@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the hot paths of the framework:
+//! scheduler decision cost (Table III's metric at micro scale), DAG
+//! analytics (HEFT ranks, DFS partitioning), the event queue, and the
+//! profilers' model training/prediction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use perfmodel::{Dataset, RandomForest, RandomForestParams, Regressor};
+use simkit::{EventQueue, SimRng, SimTime};
+use taskgraph::rank::{priorities, FnCosts};
+use taskgraph::workloads::drug::{generate, DrugParams};
+use taskgraph::workloads::random::{generate as random_dag, RandomDagParams};
+use taskgraph::partition::capacity_partition;
+use taskgraph::TaskId;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = SimRng::seed_from_u64(1);
+                (0..10_000u64)
+                    .map(|_| SimTime::from_micros((rng.uniform01() * 1e9) as u64))
+                    .collect::<Vec<_>>()
+            },
+            |times| {
+                let mut q = EventQueue::new();
+                for (i, t) in times.iter().enumerate() {
+                    q.schedule(*t, i);
+                }
+                let mut count = 0;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                count
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_dag_analytics(c: &mut Criterion) {
+    let dag = generate(&DrugParams::small(1_000)); // 4,001 tasks
+    c.bench_function("heft_priorities_4k_tasks", |b| {
+        b.iter(|| {
+            let costs = FnCosts {
+                staging: |_t: TaskId| 1.0,
+                execution: |t: TaskId| dag.spec(t).compute_seconds,
+            };
+            priorities(&dag, &costs)
+        })
+    });
+    c.bench_function("capacity_partition_4k_tasks", |b| {
+        b.iter(|| capacity_partition(&dag, &[2000, 384, 48, 52]))
+    });
+    let layered = random_dag(&RandomDagParams {
+        n_layers: 12,
+        min_width: 50,
+        max_width: 200,
+        ..Default::default()
+    });
+    c.bench_function("topological_order_layered", |b| {
+        b.iter(|| taskgraph::traverse::topological_order(&layered))
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(7);
+    let mut data = Dataset::new(4);
+    for _ in 0..500 {
+        let size = rng.uniform(1.0, 100.0);
+        let cores = [16.0, 40.0, 48.0][rng.uniform_usize(0, 3)];
+        let ghz = rng.uniform(2.2, 2.9);
+        let ram = rng.uniform(64.0, 768.0);
+        data.push(&[size, cores, ghz, ram], 5.0 * size / cores * ghz);
+    }
+    c.bench_function("random_forest_fit_500rows", |b| {
+        b.iter(|| RandomForest::fit(&data, &RandomForestParams::default()).unwrap())
+    });
+    let forest = RandomForest::fit(&data, &RandomForestParams::default()).unwrap();
+    c.bench_function("random_forest_predict", |b| {
+        b.iter(|| forest.predict(&[42.0, 40.0, 2.4, 192.0]))
+    });
+}
+
+fn bench_end_to_end_sim(c: &mut Criterion) {
+    use fedci::hardware::ClusterSpec;
+    use unifaas::prelude::*;
+    c.bench_function("sim_run_500_task_bag_2ep", |b| {
+        b.iter(|| {
+            let cfg = Config::builder()
+                .endpoint(EndpointConfig::new("a", ClusterSpec::taiyi(), 32))
+                .endpoint(EndpointConfig::new("b", ClusterSpec::qiming(), 16))
+                .strategy(SchedulingStrategy::Dha { rescheduling: true })
+                .build();
+            let mut dag = Dag::new();
+            let f = dag.register_function("stress");
+            for _ in 0..500 {
+                dag.add_task(TaskSpec::compute(f, 10.0), &[]);
+            }
+            SimRuntime::new(cfg, dag).run().unwrap().tasks_completed
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_dag_analytics,
+    bench_models,
+    bench_end_to_end_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation studies of DHA's design choices (DESIGN.md's starred items).
+//!
+//! The paper presents DHA as three mechanisms stacked on HEFT-style
+//! prioritization: EFT endpoint selection, *delay scheduling* and
+//! *re-scheduling*. Table V ablates only re-scheduling; this harness
+//! additionally ablates the delay mechanism and sweeps the steal
+//! hysteresis, on the dynamic-capacity drug workload where the mechanisms
+//! matter most.
+
+use taskgraph::workloads::drug;
+use unifaas::config::SchedulingStrategy;
+use unifaas::prelude::*;
+use unifaas_bench::{drug_dynamic_pool, print_result_header, print_result_row};
+
+fn run(strategy: SchedulingStrategy, label: &str) {
+    let mut cfg = drug_dynamic_pool().build();
+    cfg.strategy = strategy;
+    let report = SimRuntime::new(cfg, drug::generate(&drug::DrugParams::dynamic_study()))
+        .run()
+        .expect("run failed");
+    print_result_row(label, &report);
+}
+
+fn main() {
+    println!("=== Ablations: DHA mechanisms (drug screening, dynamic capacity) ===\n");
+
+    print_result_header("delay + re-scheduling ablation grid");
+    run(
+        SchedulingStrategy::DhaCustom {
+            rescheduling: true,
+            delay_dispatch: true,
+            steal_threshold_pct: 90,
+        },
+        "DHA (full)",
+    );
+    run(
+        SchedulingStrategy::DhaCustom {
+            rescheduling: false,
+            delay_dispatch: true,
+            steal_threshold_pct: 90,
+        },
+        "- re-scheduling",
+    );
+    run(
+        SchedulingStrategy::DhaCustom {
+            rescheduling: true,
+            delay_dispatch: false,
+            steal_threshold_pct: 90,
+        },
+        "- delay",
+    );
+    run(
+        SchedulingStrategy::DhaCustom {
+            rescheduling: false,
+            delay_dispatch: false,
+            steal_threshold_pct: 90,
+        },
+        "- delay - re-sched",
+    );
+
+    println!();
+    print_result_header("steal hysteresis sweep (delay + re-scheduling on)");
+    for pct in [100u8, 95, 90, 75, 50] {
+        run(
+            SchedulingStrategy::DhaCustom {
+                rescheduling: true,
+                delay_dispatch: true,
+                steal_threshold_pct: pct,
+            },
+            &format!("threshold {pct}%"),
+        );
+    }
+
+    println!(
+        "\nexpected: the full DHA wins; removing the delay mechanism shrinks the\n\
+         re-schedulable pool (tasks stuck in endpoint queues cannot be stolen), so\n\
+         '- delay' loses most of re-scheduling's benefit; very low thresholds (50%)\n\
+         under-steal, 100% risks churn."
+    );
+}

@@ -1,0 +1,39 @@
+//! Runs every experiment binary's logic in sequence — the rows recorded in
+//! EXPERIMENTS.md come from this program's output.
+//!
+//! `cargo run --release -p unifaas-bench --bin all_experiments`
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig5_latency",
+        "fig6_scaling",
+        "fig7_elasticity",
+        "fig8_workloads",
+        "table3_overhead",
+        "table4_static",
+        "fig9_utilization",
+        "fig10_staging",
+        "fig11_distribution",
+        "table5_dynamic",
+        "fig12_13_dynamic",
+        "ablations",
+        "knowledge_ablation",
+        "scaling_coordination",
+    ];
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n################ {bin} ################\n");
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nall experiments completed.");
+}

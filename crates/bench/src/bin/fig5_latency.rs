@@ -1,0 +1,63 @@
+//! Fig. 5 — UniFaaS latency breakdown.
+//!
+//! The paper runs a "hello world" task (≈1,087 ms execution) with a 1 MB
+//! input file on Qiming, 20 times, and reports per-component latency:
+//! scheduling (incl. prediction) ≈2 ms, local mocking 0.08 ms within
+//! submission, data transfer and dispatch/polling dominated by the
+//! network, execution ≈1,087 ms.
+//!
+//! We run the same workload 20 times through the simulated fabric with
+//! input prestaging disabled (so the 1 MB file actually transfers) and
+//! report the mean per-stage latency. Scheduling is real measured wall
+//! clock; the other stages are fabric model times.
+
+use fedci::hardware::ClusterSpec;
+use taskgraph::workloads::stress::hello_world;
+use unifaas::prelude::*;
+
+fn main() {
+    println!("=== Fig. 5: latency breakdown (hello world + 1 MB file, 20 runs) ===\n");
+    let runs = 20;
+    let mut totals = [0.0f64; 6]; // sched, staging, submission, queue, exec, poll
+    let mut makespan = 0.0;
+    for seed in 0..runs {
+        let cfg = Config::builder()
+            .endpoint(EndpointConfig::new("Qiming", ClusterSpec::qiming(), 1))
+            .strategy(SchedulingStrategy::Dha { rescheduling: true })
+            .seed(0xF165 + seed)
+            .build();
+        let report = SimRuntime::new(cfg, hello_world())
+            .prestage_inputs(false)
+            .run()
+            .expect("run failed");
+        let (sched, staging, submission, queue, exec, poll) = report.latency.means();
+        // Scheduling in the breakdown is measured wall clock of the
+        // scheduler hooks (the sim charges it zero virtual time).
+        totals[0] += sched;
+        totals[1] += staging;
+        totals[2] += submission;
+        totals[3] += queue;
+        totals[4] += exec;
+        totals[5] += poll;
+        makespan += report.makespan.as_secs_f64();
+    }
+    let n = runs as f64;
+    let labels = [
+        "scheduling (wall, incl. prediction)",
+        "data transfer (1 MB staging)",
+        "submission (client + dispatch)",
+        "endpoint queue",
+        "execution",
+        "result polling",
+    ];
+    println!("{:<38} {:>12}", "stage", "mean (ms)");
+    for (label, total) in labels.iter().zip(totals.iter()) {
+        println!("{:<38} {:>12.4}", label, total / n * 1_000.0);
+    }
+    println!("{:<38} {:>12.2}", "end-to-end", makespan / n * 1_000.0);
+    println!(
+        "\npaper: execution ~1,087 ms dominates; scheduling ~2 ms; mocking 0.08 ms;\n\
+         transfer/dispatch/polling are network-bound. Framework overhead must be\n\
+         a small fraction of the end-to-end time."
+    );
+}

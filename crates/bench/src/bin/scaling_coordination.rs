@@ -1,0 +1,97 @@
+//! Scheduling–elasticity coordination study (the paper's future work).
+//!
+//! Compares the default policy ("scale out aggressively" on task counts)
+//! with the coordinated policy (provision by predicted backlog seconds,
+//! skipping batch queues slower than the backlog they would relieve) on a
+//! bursty workload over clusters with very different provisioning delays.
+//!
+//! The metric trade-off: makespan vs. worker-seconds provisioned (what a
+//! facility bills you for).
+
+use simkit::{SimDuration, SimTime};
+use taskgraph::{Dag, TaskSpec};
+use unifaas::config::{ScalingConfig, ScalingPolicyKind};
+use unifaas::prelude::*;
+
+fn bursty_workflow() -> (Dag, Vec<(u64, usize, f64)>) {
+    // Three bursts of differently-sized tasks, injected over time.
+    (Dag::new(), vec![(5, 200, 20.0), (300, 60, 120.0), (600, 400, 5.0)])
+}
+
+fn run(policy: ScalingPolicyKind) -> (String, unifaas::RunReport) {
+    let mut taiyi = ClusterSpec::taiyi(); // slow batch queue (90 s)
+    taiyi.provision_delay_s = 90.0;
+    let mut lab = ClusterSpec::lab_cluster(); // fast queue (2 s)
+    let label = match policy {
+        ScalingPolicyKind::Default => "Default".to_string(),
+        ScalingPolicyKind::Coordinated {
+            target_drain_seconds,
+        } => format!("Coordinated(drain {target_drain_seconds}s)"),
+    };
+    lab.provision_delay_s = 2.0;
+    let mut cfg = Config::builder()
+        .endpoint(EndpointConfig::new("Taiyi", taiyi, 0).elastic(0, 400, 40))
+        .endpoint(EndpointConfig::new("Lab", lab, 0).elastic(0, 60, 10))
+        .strategy(SchedulingStrategy::Dha { rescheduling: true })
+        .build();
+    cfg.scaling = ScalingConfig {
+        enabled: true,
+        idle_timeout: SimDuration::from_secs(30),
+        interval: SimDuration::from_secs(1),
+        policy,
+    };
+
+    let (dag, bursts) = bursty_workflow();
+    let mut rt = SimRuntime::new(cfg, dag);
+    for (at, n, secs) in bursts {
+        rt.inject_at(SimTime::from_secs(at), move |dag| {
+            let f = dag.register_function("burst");
+            for _ in 0..n {
+                dag.add_task(TaskSpec::compute(f, secs), &[]);
+            }
+        });
+    }
+    (label, rt.run().expect("run failed"))
+}
+
+fn main() {
+    println!("=== Scheduling-elasticity coordination (bursty workload) ===\n");
+    println!(
+        "{:<26} {:>12} {:>20} {:>14}",
+        "policy", "makespan (s)", "worker-seconds", "peak workers"
+    );
+    for policy in [
+        ScalingPolicyKind::Default,
+        ScalingPolicyKind::Coordinated {
+            target_drain_seconds: 60.0,
+        },
+        ScalingPolicyKind::Coordinated {
+            target_drain_seconds: 180.0,
+        },
+    ] {
+        let (label, report) = run(policy);
+        let end = SimTime::ZERO + report.makespan + SimDuration::from_secs(60);
+        let provisioned = report.series.active_total.integral(SimTime::ZERO, end);
+        let peak = report
+            .series
+            .active_total
+            .points()
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(0.0, f64::max);
+        println!(
+            "{:<26} {:>12.0} {:>20.0} {:>14.0}",
+            label,
+            report.makespan.as_secs_f64(),
+            provisioned,
+            peak
+        );
+        assert_eq!(report.tasks_completed, 660);
+    }
+    println!(
+        "\nexpected: the coordinated policy buys nearly the same makespan with far\n\
+         fewer provisioned worker-seconds — it right-sizes node requests to the\n\
+         predicted backlog and avoids 90 s batch queues for bursts that drain\n\
+         faster than that."
+    );
+}

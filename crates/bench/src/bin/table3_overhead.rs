@@ -1,0 +1,35 @@
+//! Table III — scheduler overhead per task.
+//!
+//! The paper schedules the drug-screening workflow (24,001 functions) on
+//! the Workstation and reports wall-clock overhead per task:
+//! Capacity 1.72e-4 s, Locality 3.00e-3 s, DHA 3.46e-3 s.
+//!
+//! We run the same workflow through the simulator and measure the *real*
+//! wall-clock time spent inside scheduler hooks (decision logic +
+//! prediction), divided by tasks — the same metric. Absolute numbers
+//! depend on the host CPU; the ordering (Capacity ≪ Locality < DHA) is
+//! the reproducible claim.
+
+use taskgraph::workloads::drug::{generate, DrugParams};
+use unifaas::prelude::*;
+use unifaas_bench::{all_strategies, drug_static_pool};
+
+fn main() {
+    println!("=== Table III: scheduler overhead (drug screening, 24,001 tasks) ===\n");
+    println!("{:<12} {:>16} {:>14} {:>12}", "algorithm", "overhead/task (s)", "total (s)", "hook calls");
+    for strategy in all_strategies() {
+        let mut cfg = drug_static_pool().build();
+        cfg.strategy = strategy;
+        let dag = generate(&DrugParams::full());
+        let report = SimRuntime::new(cfg, dag).run().expect("run failed");
+        println!(
+            "{:<12} {:>16.2e} {:>14.2} {:>12}",
+            report.scheduler,
+            report.scheduler_overhead_per_task(),
+            report.scheduler_wall.as_secs_f64(),
+            report.scheduler_calls
+        );
+    }
+    println!("\npaper: Capacity 1.72e-4, Locality 3.00e-3, DHA 3.46e-3 (s/task)");
+    println!("the ordering Capacity << Locality < DHA is the reproduced result.");
+}

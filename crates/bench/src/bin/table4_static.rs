@@ -1,0 +1,68 @@
+//! Table IV — static resource capacity case study (§VI-A).
+//!
+//! Drug screening (24,001 fns) on 2000/384/48/52 workers and montage
+//! (11,340 fns) on 120/240/48/52 workers across Taiyi/Qiming/Dept/Lab,
+//! comparing Capacity, Locality and DHA (with oracle knowledge, as the
+//! paper assumes) plus single-cluster baselines.
+//!
+//! Paper rows — drug: Capacity 3,240 s / 4.86 GB, Locality 3,882 / 53.46,
+//! DHA 2,898 / 44.94, Taiyi-only 3,763 / 0; montage: Capacity 1,027 /
+//! 2.57, Locality 1,055 / 13.35, DHA 909 / 18.27, Qiming-only 1,994 / 0.
+//! The reproducible claims: DHA wins makespan, Capacity moves the least
+//! data, Locality moves the most (drug), federating beats the baseline.
+
+use fedci::hardware::ClusterSpec;
+use taskgraph::workloads::{drug, montage};
+use unifaas::prelude::*;
+use unifaas_bench::{all_strategies, drug_static_pool, montage_static_pool, print_result_header, print_result_row};
+
+fn main() {
+    println!("=== Table IV: static resource capacity ===\n");
+
+    print_result_header("drug screening workflow (24,001 functions)");
+    for strategy in all_strategies() {
+        let mut cfg = drug_static_pool().build();
+        cfg.strategy = strategy;
+        let report = SimRuntime::new(cfg, drug::generate(&drug::DrugParams::full()))
+            .run()
+            .expect("drug run failed");
+        print_result_row(&report.scheduler.clone(), &report);
+    }
+    let base_cfg = Config::builder()
+        .endpoint(EndpointConfig::new("Taiyi", ClusterSpec::taiyi(), 2000))
+        .strategy(SchedulingStrategy::Capacity)
+        .build();
+    let base = SimRuntime::new(base_cfg, drug::generate(&drug::DrugParams::full()))
+        .run()
+        .expect("baseline failed");
+    print_result_row("Baseline: Only Taiyi", &base);
+
+    println!();
+    print_result_header("montage workflow (11,340 functions)");
+    for strategy in all_strategies() {
+        let mut cfg = montage_static_pool().build();
+        cfg.strategy = strategy;
+        let report = SimRuntime::new(cfg, montage::generate(&montage::MontageParams::full()))
+            .run()
+            .expect("montage run failed");
+        print_result_row(&report.scheduler.clone(), &report);
+    }
+    let base_cfg = Config::builder()
+        .endpoint(EndpointConfig::new("Qiming", ClusterSpec::qiming(), 240))
+        .strategy(SchedulingStrategy::Capacity)
+        .build();
+    let base = SimRuntime::new(
+        base_cfg,
+        montage::generate(&montage::MontageParams::full()),
+    )
+    .run()
+    .expect("baseline failed");
+    print_result_row("Baseline: Only Qiming", &base);
+
+    println!(
+        "\npaper: drug — Cap 3240/4.86, Loc 3882/53.46, DHA 2898/44.94, base 3763/0;\n\
+         montage — Cap 1027/2.57, Loc 1055/13.35, DHA 909/18.27, base 1994/0.\n\
+         expected ordering: DHA < Capacity ~ Locality < baseline on makespan;\n\
+         Capacity minimal transfer; baselines transfer nothing."
+    );
+}

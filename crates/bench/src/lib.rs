@@ -1,0 +1,139 @@
+//! Shared helpers for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure from the
+//! paper's evaluation (see DESIGN.md's per-experiment index). The helpers
+//! here build the Table II / §VI endpoint pools and format output rows.
+
+use fedci::hardware::ClusterSpec;
+use simkit::{SimDuration, SimTime};
+use simkit::series::SeriesSet;
+use unifaas::config::{Config, ConfigBuilder, EndpointConfig, SchedulingStrategy};
+use unifaas::metrics::RunReport;
+
+/// The §VI-A static-capacity pool for the drug-screening workflow:
+/// 2000/384/48/52 workers on Taiyi/Qiming/Dept/Lab (EP1–EP4).
+pub fn drug_static_pool() -> ConfigBuilder {
+    Config::builder()
+        .endpoint(EndpointConfig::new("Taiyi", ClusterSpec::taiyi(), 2000))
+        .endpoint(EndpointConfig::new("Qiming", ClusterSpec::qiming(), 384))
+        .endpoint(EndpointConfig::new("Dept", ClusterSpec::dept_cluster(), 48))
+        .endpoint(EndpointConfig::new("Lab", ClusterSpec::lab_cluster(), 52))
+}
+
+/// The §VI-A static-capacity pool for the montage workflow:
+/// 120/240/48/52 workers.
+pub fn montage_static_pool() -> ConfigBuilder {
+    Config::builder()
+        .endpoint(EndpointConfig::new("Taiyi", ClusterSpec::taiyi(), 120))
+        .endpoint(EndpointConfig::new("Qiming", ClusterSpec::qiming(), 240))
+        .endpoint(EndpointConfig::new("Dept", ClusterSpec::dept_cluster(), 48))
+        .endpoint(EndpointConfig::new("Lab", ClusterSpec::lab_cluster(), 52))
+}
+
+/// The §VI-B dynamic-capacity pool for the drug workflow: 400/600/48/52
+/// initial workers; +600 on EP2 at t=120, −280 on EP1 at t=540 (Fig. 12).
+pub fn drug_dynamic_pool() -> ConfigBuilder {
+    Config::builder()
+        .endpoint(EndpointConfig::new("Taiyi", ClusterSpec::taiyi(), 400))
+        .endpoint(EndpointConfig::new("Qiming", ClusterSpec::qiming(), 600))
+        .endpoint(EndpointConfig::new("Dept", ClusterSpec::dept_cluster(), 48))
+        .endpoint(EndpointConfig::new("Lab", ClusterSpec::lab_cluster(), 52))
+        .capacity_event(120, 1, 600)
+        .capacity_event(540, 0, -280)
+}
+
+/// The §VI-B dynamic-capacity pool for the montage workflow: 40/240/48/52
+/// initial workers; +80 on EP1 at t=120, −168 on EP2 at t=300 (Fig. 13).
+pub fn montage_dynamic_pool() -> ConfigBuilder {
+    Config::builder()
+        .endpoint(EndpointConfig::new("Taiyi", ClusterSpec::taiyi(), 40))
+        .endpoint(EndpointConfig::new("Qiming", ClusterSpec::qiming(), 240))
+        .endpoint(EndpointConfig::new("Dept", ClusterSpec::dept_cluster(), 48))
+        .endpoint(EndpointConfig::new("Lab", ClusterSpec::lab_cluster(), 52))
+        .capacity_event(120, 0, 80)
+        .capacity_event(300, 1, -168)
+}
+
+/// The three general schedulers compared throughout the evaluation.
+pub fn all_strategies() -> Vec<SchedulingStrategy> {
+    vec![
+        SchedulingStrategy::Capacity,
+        SchedulingStrategy::Locality,
+        SchedulingStrategy::Dha { rescheduling: true },
+    ]
+}
+
+/// Prints a Table IV/V-style result row.
+pub fn print_result_row(label: &str, report: &RunReport) {
+    println!(
+        "  {:<24} {:>12.0} {:>14.2}",
+        label,
+        report.makespan.as_secs_f64(),
+        report.transfer_gb()
+    );
+}
+
+/// Prints the header matching [`print_result_row`].
+pub fn print_result_header(workflow: &str) {
+    println!("{workflow}");
+    println!(
+        "  {:<24} {:>12} {:>14}",
+        "experiment", "makespan (s)", "transfer (GB)"
+    );
+}
+
+/// Prints a labeled time-series set on a uniform grid — the textual form
+/// of the paper's figure panels.
+pub fn print_series_grid(set: &SeriesSet, from: SimTime, to: SimTime, step: SimDuration) {
+    print!("{:>8}", "t(s)");
+    for (label, _) in set.iter() {
+        print!(" {label:>12}");
+    }
+    println!();
+    let mut t = from;
+    loop {
+        print!("{:>8.0}", t.as_secs_f64());
+        for (_, series) in set.iter() {
+            print!(" {:>12.1}", series.value_at(t));
+        }
+        println!();
+        if t >= to {
+            break;
+        }
+        t += step;
+        if t > to {
+            t = to;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_match_section_vi_worker_counts() {
+        let drug = drug_static_pool().build();
+        let workers: Vec<usize> = drug.endpoints.iter().map(|e| e.workers).collect();
+        assert_eq!(&workers[..4], &[2000, 384, 48, 52]);
+        let montage = montage_static_pool().build();
+        let workers: Vec<usize> = montage.endpoints.iter().map(|e| e.workers).collect();
+        assert_eq!(&workers[..4], &[120, 240, 48, 52]);
+    }
+
+    #[test]
+    fn dynamic_pools_carry_capacity_events() {
+        let cfg = drug_dynamic_pool().build();
+        assert_eq!(cfg.capacity_events.len(), 2);
+        assert_eq!(cfg.capacity_events[0].delta, 600);
+        assert_eq!(cfg.capacity_events[1].delta, -280);
+        let cfg = montage_dynamic_pool().build();
+        assert_eq!(cfg.capacity_events[0].endpoint, 0);
+        assert_eq!(cfg.capacity_events[1].delta, -168);
+    }
+
+    #[test]
+    fn strategy_list_covers_all_three() {
+        assert_eq!(all_strategies().len(), 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! `unifaas-cli` — run simulated federated workflows from a plain-text
+//! experiment spec.
+//!
+//! The spec format is deliberately dependency-free (one directive per
+//! line, `#` comments):
+//!
+//! ```text
+//! # the paper's drug-screening case study at small scale
+//! endpoint Taiyi  taiyi  200
+//! endpoint Qiming qiming 38 max=100 node=10
+//! strategy dha
+//! knowledge oracle
+//! transfer globus
+//! seed 42
+//! capacity-event 120 1 +60
+//! scaling on idle=30
+//! workload drug pipelines=600
+//! ```
+//!
+//! Directives:
+//! * `endpoint <label> <cluster> <workers> [max=N] [node=N]` — cluster is
+//!   one of `taiyi`, `qiming`, `dept`, `lab`, `workstation`, or
+//!   `uniform:<speed>`;
+//! * `strategy capacity|locality|dha|dha-no-resched`;
+//! * `knowledge oracle|learned`;
+//! * `transfer globus|rsync`;
+//! * `seed <u64>`, `noise <cv>`;
+//! * `faults <transfer_prob> <task_prob>`;
+//! * `capacity-event <at_secs> <endpoint_index> <±delta>`;
+//! * `scaling on|off [idle=<secs>]`;
+//! * `workload drug pipelines=N | montage tiles=N | bag n=N secs=S | ensemble rounds=R batch=B`.
+
+pub mod spec;
+
+pub use spec::{parse_spec, RunSpec, SpecError};

@@ -1,0 +1,157 @@
+//! Deterministic fault injection.
+//!
+//! UniFaaS implements transfer retry and task reassignment (§IV-G). To
+//! exercise those paths the substrate can inject three failure classes:
+//! transfer failures (network conditions), task crashes (bad runtime
+//! environments — optionally biased per endpoint), and endpoint outage
+//! windows (disconnections). All draws come from a seeded stream, so a
+//! failing run replays exactly.
+
+use crate::endpoint::EndpointId;
+use simkit::{SimRng, SimTime};
+use std::collections::HashMap;
+
+/// Fault-injection configuration and state.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: SimRng,
+    /// Probability that any single transfer attempt fails.
+    pub transfer_failure_prob: f64,
+    /// Base probability that a task attempt crashes.
+    pub task_failure_prob: f64,
+    /// Extra per-endpoint crash probability (e.g. an endpoint with a broken
+    /// environment for some function).
+    endpoint_task_failure: HashMap<EndpointId, f64>,
+    /// Outage windows per endpoint: tasks dispatched inside a window fail.
+    outages: Vec<(EndpointId, SimTime, SimTime)>,
+}
+
+impl FaultInjector {
+    /// Creates an injector with no faults.
+    pub fn none(seed: u64) -> Self {
+        FaultInjector {
+            rng: SimRng::seed_from_u64(seed),
+            transfer_failure_prob: 0.0,
+            task_failure_prob: 0.0,
+            endpoint_task_failure: HashMap::new(),
+            outages: Vec::new(),
+        }
+    }
+
+    /// Creates an injector with the given base failure probabilities.
+    pub fn with_probs(seed: u64, transfer_failure_prob: f64, task_failure_prob: f64) -> Self {
+        FaultInjector {
+            transfer_failure_prob,
+            task_failure_prob,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Adds extra crash probability for tasks on one endpoint.
+    pub fn set_endpoint_task_failure(&mut self, ep: EndpointId, prob: f64) {
+        self.endpoint_task_failure.insert(ep, prob);
+    }
+
+    /// Declares an outage window `[from, to)` on an endpoint.
+    pub fn add_outage(&mut self, ep: EndpointId, from: SimTime, to: SimTime) {
+        assert!(from < to, "outage window must be non-empty");
+        self.outages.push((ep, from, to));
+    }
+
+    /// Draws whether a transfer attempt fails.
+    pub fn transfer_fails(&mut self) -> bool {
+        self.rng.chance(self.transfer_failure_prob)
+    }
+
+    /// Draws whether a task attempt on `ep` at `now` fails (outage windows
+    /// fail deterministically; otherwise base + per-endpoint probability).
+    pub fn task_fails(&mut self, ep: EndpointId, now: SimTime) -> bool {
+        if self.in_outage(ep, now) {
+            return true;
+        }
+        let p = self.task_failure_prob
+            + self.endpoint_task_failure.get(&ep).copied().unwrap_or(0.0);
+        self.rng.chance(p)
+    }
+
+    /// True if `ep` is inside an outage window at `now`.
+    pub fn in_outage(&self, ep: EndpointId, now: SimTime) -> bool {
+        self.outages
+            .iter()
+            .any(|(e, from, to)| *e == ep && now >= *from && now < *to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(i: u16) -> EndpointId {
+        EndpointId(i)
+    }
+
+    #[test]
+    fn no_faults_by_default() {
+        let mut f = FaultInjector::none(1);
+        for _ in 0..100 {
+            assert!(!f.transfer_fails());
+            assert!(!f.task_fails(ep(0), SimTime::ZERO));
+        }
+    }
+
+    #[test]
+    fn transfer_failure_rate_approximates_prob() {
+        let mut f = FaultInjector::with_probs(2, 0.3, 0.0);
+        let fails = (0..10_000).filter(|_| f.transfer_fails()).count();
+        let rate = fails as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn endpoint_bias_adds_to_base() {
+        let mut f = FaultInjector::with_probs(3, 0.0, 0.1);
+        f.set_endpoint_task_failure(ep(1), 0.4);
+        let biased = (0..10_000)
+            .filter(|_| f.task_fails(ep(1), SimTime::ZERO))
+            .count() as f64
+            / 10_000.0;
+        assert!((biased - 0.5).abs() < 0.03, "biased={biased}");
+        let base = (0..10_000)
+            .filter(|_| f.task_fails(ep(0), SimTime::ZERO))
+            .count() as f64
+            / 10_000.0;
+        assert!((base - 0.1).abs() < 0.02, "base={base}");
+    }
+
+    #[test]
+    fn outage_windows_fail_deterministically() {
+        let mut f = FaultInjector::none(4);
+        f.add_outage(ep(0), SimTime::from_secs(10), SimTime::from_secs(20));
+        assert!(!f.task_fails(ep(0), SimTime::from_secs(9)));
+        assert!(f.task_fails(ep(0), SimTime::from_secs(10)));
+        assert!(f.task_fails(ep(0), SimTime::from_secs(19)));
+        assert!(!f.task_fails(ep(0), SimTime::from_secs(20)));
+        assert!(!f.task_fails(ep(1), SimTime::from_secs(15)), "other ep ok");
+        assert!(f.in_outage(ep(0), SimTime::from_secs(15)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_outage_window_panics() {
+        let mut f = FaultInjector::none(5);
+        f.add_outage(ep(0), SimTime::from_secs(5), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = FaultInjector::with_probs(7, 0.5, 0.5);
+        let mut b = FaultInjector::with_probs(7, 0.5, 0.5);
+        for _ in 0..100 {
+            assert_eq!(a.transfer_fails(), b.transfer_fails());
+            assert_eq!(
+                a.task_fails(ep(0), SimTime::ZERO),
+                b.task_fails(ep(0), SimTime::ZERO)
+            );
+        }
+    }
+}

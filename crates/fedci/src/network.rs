@@ -1,0 +1,153 @@
+//! Wide-area network topology between endpoints.
+//!
+//! Each ordered endpoint pair has a link with a bandwidth and a propagation
+//! latency. Bandwidth on a pair is shared equally among that pair's active
+//! transfers up to the mechanism's concurrency limit (additional transfers
+//! queue in the data manager). This "fixed fair share at start" model keeps
+//! transfer completion times computable when a transfer begins — the same
+//! property the paper's transfer profiler relies on when it predicts
+//! transfer time from `(bandwidth, size, max concurrent transfers)`.
+
+use crate::endpoint::EndpointId;
+use simkit::SimDuration;
+use std::collections::HashMap;
+
+/// One directed link's characteristics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Link {
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+}
+
+impl Link {
+    /// A LAN-class link (10 GbE, sub-millisecond latency).
+    pub fn lan() -> Self {
+        Link {
+            bandwidth_bps: 1.25e9,
+            latency: SimDuration::from_micros(500),
+        }
+    }
+
+    /// A fast campus/metro link.
+    pub fn campus() -> Self {
+        Link {
+            bandwidth_bps: 500.0 * 1024.0 * 1024.0,
+            latency: SimDuration::from_millis(2),
+        }
+    }
+
+    /// A wide-area research link (the common case between sites). The
+    /// bandwidth is calibrated to the paper's observed behaviour: tens of
+    /// GB moved over thousands of seconds implies shared links sustaining
+    /// on the order of 20 MB/s per endpoint pair.
+    pub fn wan() -> Self {
+        Link {
+            bandwidth_bps: 20.0 * 1024.0 * 1024.0,
+            latency: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// Topology over all endpoints (including the home/submitting endpoint).
+#[derive(Clone, Debug)]
+pub struct NetworkTopology {
+    n: usize,
+    default_link: Link,
+    overrides: HashMap<(EndpointId, EndpointId), Link>,
+}
+
+impl NetworkTopology {
+    /// Creates a topology where every distinct pair uses `default_link`.
+    pub fn uniform(n_endpoints: usize, default_link: Link) -> Self {
+        NetworkTopology {
+            n: n_endpoints,
+            default_link,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn n_endpoints(&self) -> usize {
+        self.n
+    }
+
+    /// Overrides the link between a specific pair (both directions).
+    pub fn set_link(&mut self, a: EndpointId, b: EndpointId, link: Link) {
+        assert!(a.index() < self.n && b.index() < self.n, "endpoint out of range");
+        self.overrides.insert((a, b), link);
+        self.overrides.insert((b, a), link);
+    }
+
+    /// The link from `src` to `dst`. Same-endpoint "transfers" get an
+    /// effectively infinite link (shared filesystem).
+    pub fn link(&self, src: EndpointId, dst: EndpointId) -> Link {
+        assert!(src.index() < self.n && dst.index() < self.n, "endpoint out of range");
+        if src == dst {
+            return Link {
+                bandwidth_bps: f64::INFINITY,
+                latency: SimDuration::ZERO,
+            };
+        }
+        *self.overrides.get(&(src, dst)).unwrap_or(&self.default_link)
+    }
+
+    /// Fair bandwidth share for one of `active` concurrent transfers on the
+    /// `src → dst` link.
+    pub fn share_bps(&self, src: EndpointId, dst: EndpointId, active: usize) -> f64 {
+        let link = self.link(src, dst);
+        link.bandwidth_bps / active.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(i: u16) -> EndpointId {
+        EndpointId(i)
+    }
+
+    #[test]
+    fn uniform_default_and_override() {
+        let mut net = NetworkTopology::uniform(3, Link::wan());
+        assert_eq!(net.link(ep(0), ep(1)), Link::wan());
+        net.set_link(ep(0), ep(2), Link::campus());
+        assert_eq!(net.link(ep(0), ep(2)), Link::campus());
+        assert_eq!(net.link(ep(2), ep(0)), Link::campus(), "symmetric");
+        assert_eq!(net.link(ep(1), ep(2)), Link::wan());
+    }
+
+    #[test]
+    fn local_transfers_are_free() {
+        let net = NetworkTopology::uniform(2, Link::wan());
+        let l = net.link(ep(1), ep(1));
+        assert!(l.bandwidth_bps.is_infinite());
+        assert_eq!(l.latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_sharing() {
+        let net = NetworkTopology::uniform(2, Link::wan());
+        let full = net.share_bps(ep(0), ep(1), 1);
+        let quarter = net.share_bps(ep(0), ep(1), 4);
+        assert!((full / quarter - 4.0).abs() < 1e-9);
+        // active = 0 treated as 1.
+        assert_eq!(net.share_bps(ep(0), ep(1), 0), full);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_endpoint_panics() {
+        let net = NetworkTopology::uniform(2, Link::wan());
+        net.link(ep(0), ep(5));
+    }
+
+    #[test]
+    fn link_presets_ordering() {
+        assert!(Link::lan().bandwidth_bps > Link::campus().bandwidth_bps);
+        assert!(Link::campus().bandwidth_bps > Link::wan().bandwidth_bps);
+        assert!(Link::lan().latency < Link::wan().latency);
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-endpoint data stores.
+//!
+//! Each endpoint fronts a cluster with a shared filesystem: once a file has
+//! been staged there (or produced by a task running there), every worker on
+//! that endpoint can read it without further transfers. The data manager
+//! consults these stores to compute how many bytes a candidate placement
+//! would actually move — the quantity the Locality scheduler minimizes.
+
+use crate::endpoint::EndpointId;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Identifier of a data object (a task's output file or an external input).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DataId(pub u64);
+
+/// Location and size bookkeeping for every data object in a workflow run.
+#[derive(Clone, Debug, Default)]
+pub struct DataStore {
+    /// For each object: its size and the endpoints holding a replica.
+    objects: HashMap<DataId, ObjectInfo>,
+}
+
+#[derive(Clone, Debug)]
+struct ObjectInfo {
+    bytes: u64,
+    replicas: Vec<EndpointId>,
+}
+
+impl DataStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        DataStore::default()
+    }
+
+    /// Registers a new object produced/pinned at `home`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object was already registered (object ids are unique
+    /// per run).
+    pub fn register(&mut self, id: DataId, bytes: u64, home: EndpointId) {
+        match self.objects.entry(id) {
+            Entry::Occupied(_) => panic!("data object {id:?} registered twice"),
+            Entry::Vacant(v) => {
+                v.insert(ObjectInfo {
+                    bytes,
+                    replicas: vec![home],
+                });
+            }
+        }
+    }
+
+    /// Records that `id` now also exists at `ep` (a transfer completed).
+    /// Idempotent.
+    pub fn add_replica(&mut self, id: DataId, ep: EndpointId) {
+        let info = self.objects.get_mut(&id).expect("unknown data object");
+        if !info.replicas.contains(&ep) {
+            info.replicas.push(ep);
+        }
+    }
+
+    /// Size of an object in bytes.
+    pub fn bytes(&self, id: DataId) -> u64 {
+        self.objects.get(&id).expect("unknown data object").bytes
+    }
+
+    /// True if `ep` holds a replica of `id`.
+    pub fn present_at(&self, id: DataId, ep: EndpointId) -> bool {
+        self.objects
+            .get(&id)
+            .map(|o| o.replicas.contains(&ep))
+            .unwrap_or(false)
+    }
+
+    /// All endpoints holding `id` (in arrival order; index 0 is the home).
+    pub fn replicas(&self, id: DataId) -> &[EndpointId] {
+        &self
+            .objects
+            .get(&id)
+            .expect("unknown data object")
+            .replicas
+    }
+
+    /// Whether the object exists at all.
+    pub fn contains(&self, id: DataId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Bytes that would need to move if a task consuming `inputs` ran at
+    /// `ep` — the Locality scheduler's objective ("computes the amount of
+    /// data transferred if placed on a specific endpoint").
+    pub fn missing_bytes(&self, inputs: &[DataId], ep: EndpointId) -> u64 {
+        inputs
+            .iter()
+            .filter(|id| !self.present_at(**id, ep))
+            .map(|id| self.bytes(*id))
+            .sum()
+    }
+
+    /// Drops all replicas of an object except its home (e.g. scratch
+    /// clean-up between experiments). No-op for unknown objects.
+    pub fn evict_non_home(&mut self, id: DataId) {
+        if let Some(info) = self.objects.get_mut(&id) {
+            info.replicas.truncate(1);
+        }
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if no objects are registered.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(i: u16) -> EndpointId {
+        EndpointId(i)
+    }
+
+    #[test]
+    fn register_and_replicate() {
+        let mut ds = DataStore::new();
+        ds.register(DataId(1), 100, ep(0));
+        assert!(ds.present_at(DataId(1), ep(0)));
+        assert!(!ds.present_at(DataId(1), ep(1)));
+        ds.add_replica(DataId(1), ep(1));
+        assert!(ds.present_at(DataId(1), ep(1)));
+        assert_eq!(ds.replicas(DataId(1)), &[ep(0), ep(1)]);
+        assert_eq!(ds.bytes(DataId(1)), 100);
+    }
+
+    #[test]
+    fn add_replica_idempotent() {
+        let mut ds = DataStore::new();
+        ds.register(DataId(1), 10, ep(0));
+        ds.add_replica(DataId(1), ep(1));
+        ds.add_replica(DataId(1), ep(1));
+        assert_eq!(ds.replicas(DataId(1)).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_register_panics() {
+        let mut ds = DataStore::new();
+        ds.register(DataId(1), 10, ep(0));
+        ds.register(DataId(1), 20, ep(1));
+    }
+
+    #[test]
+    fn missing_bytes_counts_only_absent_inputs() {
+        let mut ds = DataStore::new();
+        ds.register(DataId(1), 100, ep(0));
+        ds.register(DataId(2), 50, ep(1));
+        ds.register(DataId(3), 7, ep(0));
+        ds.add_replica(DataId(3), ep(1));
+        let inputs = [DataId(1), DataId(2), DataId(3)];
+        assert_eq!(ds.missing_bytes(&inputs, ep(0)), 50); // only id 2 absent
+        assert_eq!(ds.missing_bytes(&inputs, ep(1)), 100); // only id 1 absent
+        assert_eq!(ds.missing_bytes(&inputs, ep(2)), 157); // everything
+        assert_eq!(ds.missing_bytes(&[], ep(2)), 0);
+    }
+
+    #[test]
+    fn evict_non_home_keeps_origin() {
+        let mut ds = DataStore::new();
+        ds.register(DataId(9), 5, ep(2));
+        ds.add_replica(DataId(9), ep(0));
+        ds.evict_non_home(DataId(9));
+        assert_eq!(ds.replicas(DataId(9)), &[ep(2)]);
+        ds.evict_non_home(DataId(404)); // unknown: no-op
+    }
+
+    #[test]
+    fn presence_of_unknown_object_is_false() {
+        let ds = DataStore::new();
+        assert!(!ds.present_at(DataId(1), ep(0)));
+        assert!(!ds.contains(DataId(1)));
+        assert!(ds.is_empty());
+    }
+}

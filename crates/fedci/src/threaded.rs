@@ -1,0 +1,218 @@
+//! A real-threads execution fabric.
+//!
+//! While the discrete-event backend reproduces paper-scale experiments, the
+//! *live* runtime executes actual Rust closures on per-endpoint worker
+//! thread pools — the same shape as a funcX endpoint's worker processes.
+//! Examples and the latency benchmark run on this fabric.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A job returns an optional follow-up that runs *after* the worker is
+/// marked idle again — completion callbacks that may inspect pool state
+/// (e.g. to place dependent tasks) use this so the finishing worker counts
+/// as free, like a funcX worker that reports its result after releasing.
+type Followup = Box<dyn FnOnce() + Send + 'static>;
+type Job = Box<dyn FnOnce() -> Option<Followup> + Send + 'static>;
+
+/// A pool of worker threads representing one endpoint's workers.
+///
+/// Each worker executes one job at a time, mirroring the funcX model where
+/// each worker process runs a single function invocation.
+pub struct ThreadedEndpoint {
+    name: String,
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    busy: Arc<AtomicUsize>,
+    completed: Arc<AtomicUsize>,
+    n_workers: usize,
+}
+
+impl ThreadedEndpoint {
+    /// Spawns `n_workers` worker threads named after the endpoint.
+    pub fn new(name: &str, n_workers: usize) -> Self {
+        assert!(n_workers > 0, "an endpoint needs at least one worker");
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let busy = Arc::new(AtomicUsize::new(0));
+        let completed = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::with_capacity(n_workers);
+        for i in 0..n_workers {
+            let rx = rx.clone();
+            let busy = Arc::clone(&busy);
+            let completed = Arc::clone(&completed);
+            let handle = std::thread::Builder::new()
+                .name(format!("{name}-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        busy.fetch_add(1, Ordering::SeqCst);
+                        let followup = job();
+                        busy.fetch_sub(1, Ordering::SeqCst);
+                        completed.fetch_add(1, Ordering::SeqCst);
+                        if let Some(f) = followup {
+                            f();
+                        }
+                    }
+                })
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
+        }
+        ThreadedEndpoint {
+            name: name.to_string(),
+            tx: Some(tx),
+            handles,
+            busy,
+            completed,
+            n_workers,
+        }
+    }
+
+    /// Endpoint name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Workers currently executing a job (racy snapshot, for monitoring).
+    pub fn busy_workers(&self) -> usize {
+        self.busy.load(Ordering::SeqCst)
+    }
+
+    /// Total jobs completed so far.
+    pub fn completed_jobs(&self) -> usize {
+        self.completed.load(Ordering::SeqCst)
+    }
+
+    /// Enqueues a job. Jobs are pulled by idle workers in FIFO order.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.submit_then(move || {
+            job();
+            None
+        });
+    }
+
+    /// Enqueues a job whose returned follow-up (if any) runs after the
+    /// worker has been marked idle.
+    pub fn submit_then<F>(&self, job: F)
+    where
+        F: FnOnce() -> Option<Followup> + Send + 'static,
+    {
+        self.tx
+            .as_ref()
+            .expect("endpoint already shut down")
+            .send(Box::new(job))
+            .expect("worker threads exited unexpectedly");
+    }
+
+    /// Drains the queue and joins all workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            drop(tx); // close the channel; workers exit after draining
+            for h in self.handles.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for ThreadedEndpoint {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_all_jobs() {
+        let ep = ThreadedEndpoint::new("test", 4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            ep.submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        ep.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn jobs_run_in_parallel() {
+        let ep = ThreadedEndpoint::new("par", 4);
+        let (tx, rx) = unbounded();
+        // Four jobs that each wait until all four have started: only
+        // possible if they run concurrently.
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        for _ in 0..4 {
+            let b = Arc::clone(&barrier);
+            let tx = tx.clone();
+            ep.submit(move || {
+                b.wait();
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..4 {
+            rx.recv_timeout(Duration::from_secs(5))
+                .expect("jobs deadlocked: pool is not parallel");
+        }
+        ep.shutdown();
+    }
+
+    #[test]
+    fn completed_and_busy_counters() {
+        let ep = ThreadedEndpoint::new("count", 2);
+        assert_eq!(ep.busy_workers(), 0);
+        let (tx, rx) = unbounded::<()>();
+        let (started_tx, started_rx) = unbounded::<()>();
+        ep.submit(move || {
+            started_tx.send(()).unwrap();
+            rx.recv().unwrap();
+        });
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(ep.busy_workers(), 1);
+        tx.send(()).unwrap();
+        // Wait for completion.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while ep.completed_jobs() < 1 {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        assert_eq!(ep.busy_workers(), 0);
+        assert_eq!(ep.n_workers(), 2);
+        assert_eq!(ep.name(), "count");
+    }
+
+    #[test]
+    fn drop_joins_cleanly() {
+        let ep = ThreadedEndpoint::new("drop", 2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            ep.submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(ep); // must drain the queue before joining
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        ThreadedEndpoint::new("bad", 0);
+    }
+}

@@ -1,0 +1,228 @@
+#![allow(clippy::needless_range_loop)] // index-paired loops read clearer here
+
+//! Bayesian linear regression — one of the alternative execution models the
+//! paper names (§IV-C cites Bayesian linear regression alongside XGBoost).
+//!
+//! Conjugate Gaussian model: weights `w ~ N(0, α⁻¹ I)`, observations
+//! `y = w·x + ε`, `ε ~ N(0, β⁻¹)`. The posterior is Gaussian with
+//!
+//! ```text
+//! S⁻¹ = α I + β XᵀX          (precision)
+//! m   = β S Xᵀ y              (mean)
+//! ```
+//!
+//! Predictions report both the posterior mean and the predictive variance
+//! `σ²(x) = 1/β + xᵀ S x` — the uncertainty lets a scheduler discount
+//! endpoints whose models are still poorly constrained (few observations).
+
+use crate::dataset::Dataset;
+use crate::matrix::{solve, Matrix};
+use crate::{Regressor, Trainer};
+
+/// A fitted Bayesian linear model (with intercept).
+#[derive(Clone, Debug)]
+pub struct BayesianLinearModel {
+    /// Posterior mean weights, `[intercept, w_1, ..., w_d]`.
+    mean: Vec<f64>,
+    /// Posterior covariance `S` ((d+1) × (d+1), row-major).
+    cov: Vec<f64>,
+    /// Noise precision β.
+    beta: f64,
+    d1: usize,
+}
+
+impl BayesianLinearModel {
+    /// Posterior-mean prediction for a raw feature vector.
+    pub fn predict_mean(&self, features: &[f64]) -> f64 {
+        debug_assert_eq!(features.len() + 1, self.d1);
+        let mut y = self.mean[0];
+        for (w, x) in self.mean[1..].iter().zip(features) {
+            y += w * x;
+        }
+        y
+    }
+
+    /// Predictive standard deviation at a feature vector: observation noise
+    /// plus parameter uncertainty.
+    pub fn predict_std(&self, features: &[f64]) -> f64 {
+        let phi = design_row(features);
+        // xᵀ S x
+        let mut quad = 0.0;
+        for i in 0..self.d1 {
+            let mut row = 0.0;
+            for j in 0..self.d1 {
+                row += self.cov[i * self.d1 + j] * phi[j];
+            }
+            quad += phi[i] * row;
+        }
+        (1.0 / self.beta + quad.max(0.0)).sqrt()
+    }
+
+    /// Posterior mean weights (index 0 is the intercept).
+    pub fn weights(&self) -> &[f64] {
+        &self.mean
+    }
+}
+
+fn design_row(features: &[f64]) -> Vec<f64> {
+    let mut phi = Vec::with_capacity(features.len() + 1);
+    phi.push(1.0);
+    phi.extend_from_slice(features);
+    phi
+}
+
+impl Regressor for BayesianLinearModel {
+    fn predict(&self, features: &[f64]) -> f64 {
+        self.predict_mean(features)
+    }
+
+    fn n_features(&self) -> usize {
+        self.d1 - 1
+    }
+}
+
+/// Trainer for [`BayesianLinearModel`].
+#[derive(Clone, Debug)]
+pub struct BayesianLinearRegression {
+    /// Prior precision α on the weights (larger = stronger shrinkage).
+    pub alpha: f64,
+    /// Noise precision β (inverse observation variance).
+    pub beta: f64,
+}
+
+impl Default for BayesianLinearRegression {
+    fn default() -> Self {
+        BayesianLinearRegression {
+            alpha: 1e-4,
+            beta: 1.0,
+        }
+    }
+}
+
+impl Trainer for BayesianLinearRegression {
+    type Model = BayesianLinearModel;
+
+    fn fit(&self, data: &Dataset) -> Option<BayesianLinearModel> {
+        let n = data.len();
+        if n == 0 {
+            return None;
+        }
+        let d1 = data.n_features() + 1;
+
+        // Precision matrix A = αI + β ΦᵀΦ and b = β Φᵀy.
+        let mut a = Matrix::zeros(d1, d1);
+        let mut b = vec![0.0; d1];
+        for r in 0..n {
+            let phi = design_row(data.row(r));
+            let y = data.target(r);
+            for i in 0..d1 {
+                b[i] += self.beta * phi[i] * y;
+                for j in 0..d1 {
+                    a.add_to(i, j, self.beta * phi[i] * phi[j]);
+                }
+            }
+        }
+        for i in 0..d1 {
+            a.add_to(i, i, self.alpha);
+        }
+
+        // Posterior mean solves A m = b.
+        let mean = solve(&a, &b)?;
+
+        // Posterior covariance S = A⁻¹, column by column.
+        let mut cov = vec![0.0; d1 * d1];
+        for col in 0..d1 {
+            let mut e = vec![0.0; d1];
+            e[col] = 1.0;
+            let s_col = solve(&a, &e)?;
+            for (row, v) in s_col.iter().enumerate() {
+                cov[row * d1 + col] = *v;
+            }
+        }
+        Some(BayesianLinearModel {
+            mean,
+            cov,
+            beta: self.beta,
+            d1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data(n: usize) -> Dataset {
+        let mut d = Dataset::new(1);
+        for i in 0..n {
+            let x = i as f64;
+            d.push(&[x], 3.0 + 2.0 * x);
+        }
+        d
+    }
+
+    #[test]
+    fn recovers_line_with_weak_prior() {
+        let m = BayesianLinearRegression::default()
+            .fit(&line_data(30))
+            .unwrap();
+        assert!((m.weights()[0] - 3.0).abs() < 0.05, "{:?}", m.weights());
+        assert!((m.weights()[1] - 2.0).abs() < 0.01);
+        assert!((m.predict(&[10.0]) - 23.0).abs() < 0.1);
+        assert_eq!(m.n_features(), 1);
+    }
+
+    #[test]
+    fn strong_prior_shrinks_weights() {
+        let weak = BayesianLinearRegression {
+            alpha: 1e-6,
+            beta: 1.0,
+        }
+        .fit(&line_data(5))
+        .unwrap();
+        let strong = BayesianLinearRegression {
+            alpha: 100.0,
+            beta: 1.0,
+        }
+        .fit(&line_data(5))
+        .unwrap();
+        assert!(
+            strong.weights()[1].abs() < weak.weights()[1].abs(),
+            "shrinkage: strong {:?} vs weak {:?}",
+            strong.weights(),
+            weak.weights()
+        );
+    }
+
+    #[test]
+    fn uncertainty_shrinks_with_data_and_grows_off_support() {
+        let few = BayesianLinearRegression::default()
+            .fit(&line_data(4))
+            .unwrap();
+        let many = BayesianLinearRegression::default()
+            .fit(&line_data(200))
+            .unwrap();
+        // More data → tighter posterior at the same point.
+        assert!(many.predict_std(&[2.0]) < few.predict_std(&[2.0]));
+        // Extrapolation is less certain than interpolation.
+        assert!(many.predict_std(&[10_000.0]) > many.predict_std(&[100.0]));
+        // Predictive std never drops below observation noise.
+        assert!(many.predict_std(&[100.0]) >= (1.0f64).sqrt() * 0.99);
+    }
+
+    #[test]
+    fn empty_data_returns_none() {
+        assert!(BayesianLinearRegression::default()
+            .fit(&Dataset::new(2))
+            .is_none());
+    }
+
+    #[test]
+    fn single_point_predicts_sanely() {
+        let mut d = Dataset::new(1);
+        d.push(&[1.0], 5.0);
+        let m = BayesianLinearRegression::default().fit(&d).unwrap();
+        // With a weak prior the single observation dominates near x=1.
+        assert!((m.predict(&[1.0]) - 5.0).abs() < 0.5);
+    }
+}

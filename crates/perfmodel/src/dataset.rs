@@ -1,0 +1,144 @@
+//! Training data container shared by all model families.
+
+/// A dense dataset: `n` rows of `d` features plus a scalar target per row.
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    n_features: usize,
+    features: Vec<f64>, // row-major, n * d
+    targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset for `n_features`-wide rows.
+    pub fn new(n_features: usize) -> Self {
+        Dataset {
+            n_features,
+            features: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the dataset width.
+    pub fn push(&mut self, features: &[f64], target: f64) {
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "feature width mismatch: expected {}, got {}",
+            self.n_features,
+            features.len()
+        );
+        self.features.extend_from_slice(features);
+        self.targets.push(target);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Feature width.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Row `i`'s feature slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Row `i`'s target.
+    pub fn target(&self, i: usize) -> f64 {
+        self.targets[i]
+    }
+
+    /// All targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// Builds a new dataset from a subset of row indices (with repetition
+    /// allowed — used by bootstrap sampling).
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.n_features);
+        out.features.reserve(indices.len() * self.n_features);
+        out.targets.reserve(indices.len());
+        for &i in indices {
+            out.features.extend_from_slice(self.row(i));
+            out.targets.push(self.targets[i]);
+        }
+        out
+    }
+
+    /// Keeps only the most recent `max_rows` rows (sliding window used by the
+    /// online profilers so models track drifting endpoint performance).
+    pub fn truncate_oldest(&mut self, max_rows: usize) {
+        let n = self.len();
+        if n <= max_rows {
+            return;
+        }
+        let drop = n - max_rows;
+        self.features.drain(..drop * self.n_features);
+        self.targets.drain(..drop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut d = Dataset::new(2);
+        d.push(&[1.0, 2.0], 10.0);
+        d.push(&[3.0, 4.0], 20.0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.row(0), &[1.0, 2.0]);
+        assert_eq!(d.row(1), &[3.0, 4.0]);
+        assert_eq!(d.target(1), 20.0);
+        assert_eq!(d.targets(), &[10.0, 20.0]);
+        assert_eq!(d.n_features(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn wrong_width_panics() {
+        let mut d = Dataset::new(2);
+        d.push(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn select_with_repetition() {
+        let mut d = Dataset::new(1);
+        for i in 0..5 {
+            d.push(&[i as f64], i as f64 * 10.0);
+        }
+        let s = d.select(&[4, 4, 0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.row(0), &[4.0]);
+        assert_eq!(s.target(2), 0.0);
+    }
+
+    #[test]
+    fn truncate_oldest_keeps_recent() {
+        let mut d = Dataset::new(1);
+        for i in 0..10 {
+            d.push(&[i as f64], i as f64);
+        }
+        d.truncate_oldest(3);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.row(0), &[7.0]);
+        assert_eq!(d.target(2), 9.0);
+        // No-op when already small enough.
+        d.truncate_oldest(10);
+        assert_eq!(d.len(), 3);
+    }
+}

@@ -1,0 +1,131 @@
+//! Model evaluation metrics used by the profilers to decide whether a
+//! freshly trained model should replace the current one.
+
+use crate::dataset::Dataset;
+use crate::Regressor;
+
+/// Mean absolute error of `model` on `data`.
+pub fn mae<R: Regressor + ?Sized>(model: &R, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = (0..data.len())
+        .map(|i| (model.predict(data.row(i)) - data.target(i)).abs())
+        .sum();
+    total / data.len() as f64
+}
+
+/// Root mean squared error of `model` on `data`.
+pub fn rmse<R: Regressor + ?Sized>(model: &R, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = (0..data.len())
+        .map(|i| (model.predict(data.row(i)) - data.target(i)).powi(2))
+        .sum();
+    (total / data.len() as f64).sqrt()
+}
+
+/// Coefficient of determination R². 1.0 is a perfect fit; 0.0 matches
+/// predicting the mean; negative is worse than the mean predictor. Returns
+/// 1.0 for constant targets predicted exactly, 0.0 for constant targets
+/// predicted inexactly.
+pub fn r2_score<R: Regressor + ?Sized>(model: &R, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let n = data.len() as f64;
+    let mean = data.targets().iter().sum::<f64>() / n;
+    let ss_tot: f64 = data.targets().iter().map(|y| (y - mean).powi(2)).sum();
+    let ss_res: f64 = (0..data.len())
+        .map(|i| (data.target(i) - model.predict(data.row(i))).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Splits a dataset deterministically into (train, test) with `test_every`-th
+/// rows held out (1-in-k systematic split; avoids needing an RNG here).
+pub fn systematic_split(data: &Dataset, test_every: usize) -> (Dataset, Dataset) {
+    assert!(test_every >= 2, "test_every must be at least 2");
+    let mut train_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for i in 0..data.len() {
+        if i % test_every == 0 {
+            test_idx.push(i);
+        } else {
+            train_idx.push(i);
+        }
+    }
+    (data.select(&train_idx), data.select(&test_idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linreg::LinearRegression;
+    use crate::Trainer;
+
+    fn line_data() -> Dataset {
+        let mut d = Dataset::new(1);
+        for i in 0..20 {
+            d.push(&[i as f64], 2.0 * i as f64 + 1.0);
+        }
+        d
+    }
+
+    #[test]
+    fn perfect_fit_metrics() {
+        let d = line_data();
+        let m = LinearRegression::default().fit(&d).unwrap();
+        assert!(mae(&m, &d) < 1e-6);
+        assert!(rmse(&m, &d) < 1e-6);
+        assert!((r2_score(&m, &d) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_on_empty_dataset() {
+        let d = line_data();
+        let m = LinearRegression::default().fit(&d).unwrap();
+        let empty = Dataset::new(1);
+        assert_eq!(mae(&m, &empty), 0.0);
+        assert_eq!(rmse(&m, &empty), 0.0);
+        assert_eq!(r2_score(&m, &empty), 0.0);
+    }
+
+    #[test]
+    fn r2_constant_targets() {
+        struct Const(f64);
+        impl Regressor for Const {
+            fn predict(&self, _: &[f64]) -> f64 {
+                self.0
+            }
+            fn n_features(&self) -> usize {
+                1
+            }
+        }
+        let mut d = Dataset::new(1);
+        d.push(&[1.0], 5.0);
+        d.push(&[2.0], 5.0);
+        assert_eq!(r2_score(&Const(5.0), &d), 1.0);
+        assert_eq!(r2_score(&Const(4.0), &d), 0.0);
+    }
+
+    #[test]
+    fn systematic_split_partitions() {
+        let d = line_data();
+        let (train, test) = systematic_split(&d, 4);
+        assert_eq!(test.len(), 5); // rows 0,4,8,12,16
+        assert_eq!(train.len(), 15);
+        assert_eq!(test.row(0), &[0.0]);
+        assert_eq!(train.row(0), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "test_every")]
+    fn split_rejects_degenerate_k() {
+        systematic_split(&line_data(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Polynomial regression — the paper's default transfer-time model.
+//!
+//! The transfer profiler (§IV-C) predicts transfer time from bandwidth, data
+//! size, and the number of concurrent transfers using polynomial regression.
+//! We expand each feature to powers `1..=degree` plus all pairwise products
+//! of the raw features (degree-2 cross terms), then solve the resulting
+//! linear system by OLS.
+
+use crate::dataset::Dataset;
+use crate::linreg::{LinearModel, LinearRegression};
+use crate::{Regressor, Trainer};
+
+/// A fitted polynomial model.
+#[derive(Clone, Debug)]
+pub struct PolynomialModel {
+    degree: u32,
+    cross_terms: bool,
+    n_raw: usize,
+    linear: LinearModel,
+}
+
+impl PolynomialModel {
+    fn expand(&self, raw: &[f64]) -> Vec<f64> {
+        expand_features(raw, self.degree, self.cross_terms)
+    }
+}
+
+impl Regressor for PolynomialModel {
+    fn predict(&self, features: &[f64]) -> f64 {
+        debug_assert_eq!(features.len(), self.n_raw);
+        self.linear.predict(&self.expand(features))
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_raw
+    }
+}
+
+/// Trainer for [`PolynomialModel`].
+#[derive(Clone, Debug)]
+pub struct PolynomialRegression {
+    /// Maximum power each raw feature is raised to.
+    pub degree: u32,
+    /// Include pairwise products of distinct raw features.
+    pub cross_terms: bool,
+    /// Ridge regularization passed through to OLS.
+    pub ridge: f64,
+}
+
+impl Default for PolynomialRegression {
+    fn default() -> Self {
+        PolynomialRegression {
+            degree: 2,
+            cross_terms: true,
+            ridge: 1e-9,
+        }
+    }
+}
+
+fn expand_features(raw: &[f64], degree: u32, cross_terms: bool) -> Vec<f64> {
+    let mut out = Vec::with_capacity(raw.len() * degree as usize);
+    for &x in raw {
+        let mut p = x;
+        for _ in 0..degree {
+            out.push(p);
+            p *= x;
+        }
+    }
+    if cross_terms {
+        for i in 0..raw.len() {
+            for j in (i + 1)..raw.len() {
+                out.push(raw[i] * raw[j]);
+            }
+        }
+    }
+    out
+}
+
+impl Trainer for PolynomialRegression {
+    type Model = PolynomialModel;
+
+    fn fit(&self, data: &Dataset) -> Option<PolynomialModel> {
+        assert!(self.degree >= 1, "degree must be at least 1");
+        if data.is_empty() {
+            return None;
+        }
+        let n_raw = data.n_features();
+        let mut expanded = Dataset::new(
+            expand_features(&vec![0.0; n_raw], self.degree, self.cross_terms).len(),
+        );
+        for i in 0..data.len() {
+            expanded.push(
+                &expand_features(data.row(i), self.degree, self.cross_terms),
+                data.target(i),
+            );
+        }
+        let linear = LinearRegression { ridge: self.ridge }.fit(&expanded)?;
+        Some(PolynomialModel {
+            degree: self.degree,
+            cross_terms: self.cross_terms,
+            n_raw,
+            linear,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_quadratic() {
+        // y = 2 + 3x + 0.5x^2
+        let mut data = Dataset::new(1);
+        for i in 0..20 {
+            let x = i as f64 / 2.0;
+            data.push(&[x], 2.0 + 3.0 * x + 0.5 * x * x);
+        }
+        let model = PolynomialRegression::default().fit(&data).unwrap();
+        for &x in &[0.0, 1.0, 4.5, 9.0, 12.0] {
+            let want = 2.0 + 3.0 * x + 0.5 * x * x;
+            assert!(
+                (model.predict(&[x]) - want).abs() < 1e-4,
+                "x={x}: got {} want {want}",
+                model.predict(&[x])
+            );
+        }
+    }
+
+    #[test]
+    fn fits_transfer_time_shape() {
+        // Synthetic transfer model: t = startup + size/bw * (1 + 0.1*conc).
+        // Features: (size, 1/bw, conc) — the profiler feeds inverse bandwidth.
+        let mut data = Dataset::new(3);
+        for size in [1.0, 10.0, 100.0, 500.0] {
+            for inv_bw in [0.01, 0.1] {
+                for conc in [1.0, 2.0, 4.0] {
+                    let t = 0.5 + size * inv_bw * (1.0 + 0.1 * conc);
+                    data.push(&[size, inv_bw, conc], t);
+                }
+            }
+        }
+        let model = PolynomialRegression::default().fit(&data).unwrap();
+        let pred = model.predict(&[50.0, 0.1, 2.0]);
+        let want = 0.5 + 50.0 * 0.1 * 1.2;
+        assert!(
+            (pred - want).abs() / want < 0.25,
+            "pred={pred} want={want}"
+        );
+    }
+
+    #[test]
+    fn cross_terms_capture_products() {
+        // y = x0 * x1 exactly; only learnable with cross terms.
+        let mut data = Dataset::new(2);
+        for a in 1..6 {
+            for b in 1..6 {
+                data.push(&[a as f64, b as f64], (a * b) as f64);
+            }
+        }
+        let with = PolynomialRegression::default().fit(&data).unwrap();
+        assert!((with.predict(&[3.0, 4.0]) - 12.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn degree_one_no_cross_is_plain_linear() {
+        let mut data = Dataset::new(1);
+        for i in 0..10 {
+            data.push(&[i as f64], 5.0 * i as f64 + 1.0);
+        }
+        let m = PolynomialRegression {
+            degree: 1,
+            cross_terms: false,
+            ridge: 1e-9,
+        }
+        .fit(&data)
+        .unwrap();
+        assert!((m.predict(&[20.0]) - 101.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        assert!(PolynomialRegression::default()
+            .fit(&Dataset::new(2))
+            .is_none());
+    }
+}

@@ -1,0 +1,204 @@
+//! The simulation driver: pops events in time order and hands them to a
+//! handler closure, which may schedule further events.
+
+use crate::event::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// A generic discrete-event simulation engine.
+///
+/// The engine owns the clock and the future-event list. The application
+/// defines an event enum `E` and drives the simulation with [`Engine::run`]
+/// (or [`Engine::run_until`] / [`Engine::step`] for finer control). The
+/// handler receives `(now, event, &mut Engine)` so it can schedule follow-up
+/// events.
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — scheduling into the past would break
+    /// causality and always indicates a bug in the caller.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past (now={:?}, at={:?})",
+            self.now,
+            at
+        );
+        self.queue.schedule(at, event)
+    }
+
+    /// Schedules `event` after a relative delay.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventId {
+        let at = self.now + delay;
+        self.queue.schedule(at, event)
+    }
+
+    /// Cancels a pending event. Returns true if it had not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Delivers the next event, advancing the clock, and returns false when
+    /// the queue is empty.
+    pub fn step<F: FnMut(SimTime, E, &mut Engine<E>)>(&mut self, handler: &mut F) -> bool {
+        // Take the event out first so the handler can mutably borrow the
+        // engine while we hold the payload.
+        match self.queue.pop() {
+            Some((at, ev)) => {
+                debug_assert!(at >= self.now, "event queue returned out-of-order event");
+                self.now = at;
+                self.processed += 1;
+                handler(at, ev, self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event queue drains.
+    pub fn run<F: FnMut(SimTime, E, &mut Engine<E>)>(&mut self, mut handler: F) {
+        while self.step(&mut handler) {}
+    }
+
+    /// Runs until the event queue drains or the clock passes `deadline`
+    /// (events strictly after the deadline remain queued). Returns the
+    /// number of events delivered.
+    pub fn run_until<F: FnMut(SimTime, E, &mut Engine<E>)>(
+        &mut self,
+        deadline: SimTime,
+        mut handler: F,
+    ) -> u64 {
+        let before = self.processed;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            if !self.step(&mut handler) {
+                break;
+            }
+        }
+        // Advance the clock to the deadline even if the queue drained early,
+        // so repeated run_until calls observe monotonic time.
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.processed - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+        Chain(u32),
+    }
+
+    #[test]
+    fn runs_events_in_order_and_advances_clock() {
+        let mut eng = Engine::new();
+        eng.schedule(SimTime::from_secs(2), Ev::Tick(2));
+        eng.schedule(SimTime::from_secs(1), Ev::Tick(1));
+        let mut order = Vec::new();
+        eng.run(|now, ev, _| order.push((now, format!("{ev:?}"))));
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[0].0, SimTime::from_secs(1));
+        assert_eq!(order[1].0, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn handler_can_schedule_followups() {
+        let mut eng = Engine::new();
+        eng.schedule(SimTime::ZERO, Ev::Chain(0));
+        let mut count = 0u32;
+        eng.run(|_, ev, eng| {
+            if let Ev::Chain(n) = ev {
+                count += 1;
+                if n < 9 {
+                    eng.schedule_after(SimDuration::from_secs(1), Ev::Chain(n + 1));
+                }
+            }
+        });
+        assert_eq!(count, 10);
+        assert_eq!(eng.now(), SimTime::from_secs(9));
+        assert_eq!(eng.processed(), 10);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut eng = Engine::new();
+        for s in 1..=10 {
+            eng.schedule(SimTime::from_secs(s), Ev::Tick(s as u32));
+        }
+        let n = eng.run_until(SimTime::from_secs(4), |_, _, _| {});
+        assert_eq!(n, 4);
+        assert_eq!(eng.pending(), 6);
+        assert_eq!(eng.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_queue_drains() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.run_until(SimTime::from_secs(100), |_, _, _| {});
+        assert_eq!(eng.now(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut eng = Engine::new();
+        eng.schedule(SimTime::from_secs(5), Ev::Tick(1));
+        eng.run(|_, _, eng| {
+            eng.schedule(SimTime::from_secs(1), Ev::Tick(2));
+        });
+    }
+
+    #[test]
+    fn cancellation_via_engine() {
+        let mut eng = Engine::new();
+        let id = eng.schedule(SimTime::from_secs(1), Ev::Tick(1));
+        assert!(eng.cancel(id));
+        let mut fired = false;
+        eng.run(|_, _, _| fired = true);
+        assert!(!fired);
+    }
+}

@@ -1,0 +1,233 @@
+//! The event queue: a priority queue over `(SimTime, sequence)` pairs.
+//!
+//! Events scheduled for the same instant are delivered in the order they were
+//! scheduled (FIFO tie-breaking). This matters for determinism: the UniFaaS
+//! scheduler frequently schedules several zero-delay follow-up events (e.g.
+//! "data staged" immediately followed by "dispatch task") and relies on their
+//! relative order being stable across runs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Supports O(log n) insertion and pop-min, and O(1) amortized cancellation
+/// (cancelled events are lazily skipped on pop).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    next_id: u64,
+    cancelled: std::collections::HashSet<EventId>,
+    len: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            next_id: 0,
+            cancelled: std::collections::HashSet::new(),
+            len: 0,
+        }
+    }
+
+    /// Schedules `payload` for delivery at `at`. Returns an id that can be
+    /// passed to [`EventQueue::cancel`].
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            id,
+            payload,
+        });
+        self.len += 1;
+        id
+    }
+
+    /// Cancels a previously scheduled event. Returns true if the event was
+    /// still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // We cannot remove from the middle of a heap cheaply, so record the
+        // id and skip it when popped.
+        if id.0 >= self.next_id {
+            return false;
+        }
+        if self.cancelled.insert(id) {
+            if self.len == 0 {
+                // Already delivered: undo the insert.
+                self.cancelled.remove(&id);
+                return false;
+            }
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest pending event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            self.len -= 1;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// The delivery time of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let entry = self.heap.pop().expect("peeked entry must exist");
+                self.cancelled.remove(&entry.id);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if there are no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "c");
+        q.schedule(t(1), "a");
+        q.schedule(t(3), "b");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.pop(), Some((t(3), "b")));
+        assert_eq!(q.pop(), Some((t(5), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_tie_breaking_at_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(7), i)));
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel must be a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_delivery_returns_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_unknown_id_returns_false() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        q.schedule(t(5), 2);
+        q.schedule(t(20), 3);
+        assert_eq!(q.pop(), Some((t(5), 2)));
+        q.schedule(t(15), 4);
+        assert_eq!(q.pop(), Some((t(15), 4)));
+        assert_eq!(q.pop(), Some((t(20), 3)));
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! `taskgraph` — dynamic task DAGs for UniFaaS workflows.
+//!
+//! A UniFaaS workflow (§III of the paper) is a directed acyclic graph where
+//! nodes are function *tasks* and edges are data dependencies created by
+//! passing futures. This crate provides:
+//!
+//! * [`Dag`] — an append-only task graph that is acyclic *by construction*
+//!   (a task's dependencies must already exist when it is added), which is
+//!   exactly the invariant future-passing gives you;
+//! * [`traverse`] — topological and depth-first orders, level decomposition
+//!   and critical-path analysis;
+//! * [`rank`] — the HEFT-style upward-rank priority of the DHA scheduler
+//!   (Eq. 2);
+//! * [`partition`] — the capacity-proportional DFS partitioning used by the
+//!   Capacity scheduler (Eq. 1);
+//! * [`workloads`] — generators for the paper's evaluation workloads: the
+//!   drug-screening and montage workflows of Fig. 8, the CPU-stress tasks of
+//!   the scaling/elasticity experiments, and random layered DAGs for
+//!   property tests.
+
+pub mod graph;
+pub mod partition;
+pub mod rank;
+pub mod task;
+pub mod traverse;
+pub mod workloads;
+
+pub use graph::Dag;
+pub use task::{FunctionId, TaskId, TaskSpec};

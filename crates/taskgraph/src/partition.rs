@@ -1,0 +1,179 @@
+//! Capacity-proportional DAG partitioning (the offline half of the Capacity
+//! scheduler, §IV-D).
+//!
+//! Given endpoint capacities `c_1..c_N` (worker counts) and `M` tasks, each
+//! endpoint `i` receives `M_i = M * c_i / Σc` tasks (Eq. 1), rounded with a
+//! largest-remainder rule so the counts sum exactly to `M`. Tasks are then
+//! assigned in depth-first order so that tasks on the same root-to-sink path
+//! land on the same endpoint, preserving data locality.
+
+use crate::graph::Dag;
+use crate::traverse::dfs_order;
+
+/// Splits `m` tasks proportionally to `capacities` using the
+/// largest-remainder method. The result sums to `m`; endpoints with zero
+/// capacity receive zero tasks.
+///
+/// # Panics
+///
+/// Panics if `capacities` is empty or all zero while `m > 0`.
+pub fn proportional_counts(m: usize, capacities: &[usize]) -> Vec<usize> {
+    assert!(!capacities.is_empty(), "need at least one endpoint");
+    let total: usize = capacities.iter().sum();
+    if m == 0 {
+        return vec![0; capacities.len()];
+    }
+    assert!(total > 0, "at least one endpoint must have capacity");
+
+    let mut counts = Vec::with_capacity(capacities.len());
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(capacities.len());
+    let mut assigned = 0usize;
+    for (i, &c) in capacities.iter().enumerate() {
+        let exact = m as f64 * c as f64 / total as f64;
+        let floor = exact.floor() as usize;
+        counts.push(floor);
+        assigned += floor;
+        remainders.push((i, exact - floor as f64));
+    }
+    // Distribute the leftover to the largest remainders (ties: lower index,
+    // for determinism).
+    let mut leftover = m - assigned;
+    remainders.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    for (i, _) in remainders {
+        if leftover == 0 {
+            break;
+        }
+        // Never assign tasks to a zero-capacity endpoint.
+        if capacities[i] == 0 {
+            continue;
+        }
+        counts[i] += 1;
+        leftover -= 1;
+    }
+    // If leftover remains (all remainder-candidates had zero capacity), put
+    // it on the largest-capacity endpoint.
+    if leftover > 0 {
+        let argmax = capacities
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        counts[argmax] += leftover;
+    }
+    counts
+}
+
+/// Partitions the DAG across endpoints: returns a vector indexed by task id
+/// giving the endpoint index each task is assigned to.
+///
+/// Tasks are walked in DFS order and dealt out in contiguous runs sized by
+/// [`proportional_counts`], so whole subpaths go to the same endpoint.
+pub fn capacity_partition(dag: &Dag, capacities: &[usize]) -> Vec<usize> {
+    let counts = proportional_counts(dag.len(), capacities);
+    let order = dfs_order(dag);
+    let mut assignment = vec![0usize; dag.len()];
+    let mut ep = 0usize;
+    let mut used = 0usize;
+    for t in order {
+        while ep < counts.len() && used >= counts[ep] {
+            ep += 1;
+            used = 0;
+        }
+        let target = ep.min(counts.len() - 1);
+        assignment[t.index()] = target;
+        used += 1;
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{FunctionId, TaskSpec};
+
+    fn spec() -> TaskSpec {
+        TaskSpec::compute(FunctionId(0), 1.0)
+    }
+
+    #[test]
+    fn counts_match_eq1_ratio() {
+        // Paper Fig. 2: EPs with 5, 2, 1 workers and 8 tasks → 5, 2, 1.
+        assert_eq!(proportional_counts(8, &[5, 2, 1]), vec![5, 2, 1]);
+    }
+
+    #[test]
+    fn counts_sum_exactly_with_rounding() {
+        let counts = proportional_counts(10, &[3, 3, 3]);
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        // Largest remainder: 10/3 each = 3.33 → 4,3,3 (first index wins tie).
+        assert_eq!(counts, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn zero_capacity_endpoints_get_nothing() {
+        let counts = proportional_counts(7, &[0, 5, 0, 2]);
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        assert_eq!(counts.iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn zero_tasks() {
+        assert_eq!(proportional_counts(0, &[1, 2]), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn all_zero_capacity_panics() {
+        proportional_counts(1, &[0, 0]);
+    }
+
+    #[test]
+    fn partition_respects_counts() {
+        // 8-task graph like Fig. 2: a root chain fanning into branches.
+        let mut dag = Dag::new();
+        let t1 = dag.add_task(spec(), &[]);
+        let t2 = dag.add_task(spec(), &[t1]);
+        let t3 = dag.add_task(spec(), &[t2]);
+        let t4 = dag.add_task(spec(), &[t2]);
+        let t5 = dag.add_task(spec(), &[t3, t4]);
+        let t6 = dag.add_task(spec(), &[t1]);
+        let t7 = dag.add_task(spec(), &[t6]);
+        let _t8 = dag.add_task(spec(), &[t1]);
+        let assignment = capacity_partition(&dag, &[5, 2, 1]);
+        let mut per_ep = [0usize; 3];
+        for &a in &assignment {
+            per_ep[a] += 1;
+        }
+        assert_eq!(per_ep, [5, 2, 1]);
+        // DFS keeps the first path (t1..t5) together on endpoint 0.
+        for t in [t1, t2, t3, t4, t5] {
+            assert_eq!(assignment[t.index()], 0, "{t} should be on EP0");
+        }
+        // And t6→t7 together on endpoint 1.
+        assert_eq!(assignment[t6.index()], assignment[t7.index()]);
+    }
+
+    #[test]
+    fn partition_single_endpoint() {
+        let mut dag = Dag::new();
+        let a = dag.add_task(spec(), &[]);
+        dag.add_task(spec(), &[a]);
+        let assignment = capacity_partition(&dag, &[10]);
+        assert!(assignment.iter().all(|&e| e == 0));
+    }
+
+    #[test]
+    fn partition_more_endpoints_than_tasks() {
+        let mut dag = Dag::new();
+        dag.add_task(spec(), &[]);
+        let assignment = capacity_partition(&dag, &[1, 1, 1, 1]);
+        assert_eq!(assignment.len(), 1);
+        assert!(assignment[0] < 4);
+    }
+}

@@ -1,0 +1,172 @@
+//! DHA task prioritization (Eq. 2 of the paper):
+//!
+//! ```text
+//! priority(t_i) = d̄_i + w̄_i + max over successors t_j of priority(t_j)
+//! ```
+//!
+//! where `d̄_i` is the task's average data-staging time over all endpoints
+//! and `w̄_i` its average execution time over all endpoints. This is the
+//! HEFT *upward rank*: computed in reverse topological order, it guarantees
+//! predecessors rank strictly above their successors, so scheduling in
+//! descending priority order respects dependencies.
+
+use crate::graph::Dag;
+use crate::task::TaskId;
+use crate::traverse::topological_order;
+
+/// Per-task cost estimates fed into the priority computation.
+pub trait CostEstimator {
+    /// Average data staging time of the task over all endpoints, seconds.
+    fn avg_staging_seconds(&self, task: TaskId) -> f64;
+    /// Average execution time of the task over all endpoints, seconds.
+    fn avg_execution_seconds(&self, task: TaskId) -> f64;
+}
+
+/// A [`CostEstimator`] backed by closures; convenient for tests and for the
+/// profiler-driven implementation in the `unifaas` crate.
+pub struct FnCosts<D, W>
+where
+    D: Fn(TaskId) -> f64,
+    W: Fn(TaskId) -> f64,
+{
+    /// Average staging-time closure.
+    pub staging: D,
+    /// Average execution-time closure.
+    pub execution: W,
+}
+
+impl<D, W> CostEstimator for FnCosts<D, W>
+where
+    D: Fn(TaskId) -> f64,
+    W: Fn(TaskId) -> f64,
+{
+    fn avg_staging_seconds(&self, task: TaskId) -> f64 {
+        (self.staging)(task)
+    }
+    fn avg_execution_seconds(&self, task: TaskId) -> f64 {
+        (self.execution)(task)
+    }
+}
+
+/// Computes Eq. 2 priorities for every task. Returns a vector indexed by
+/// task id.
+pub fn priorities<C: CostEstimator>(dag: &Dag, costs: &C) -> Vec<f64> {
+    let mut prio = vec![0.0f64; dag.len()];
+    // Reverse topological order: successors before predecessors.
+    for &t in topological_order(dag).iter().rev() {
+        let succ_max = dag
+            .succs(t)
+            .iter()
+            .map(|s| prio[s.index()])
+            .fold(0.0, f64::max);
+        prio[t.index()] =
+            costs.avg_staging_seconds(t) + costs.avg_execution_seconds(t) + succ_max;
+    }
+    prio
+}
+
+/// Task ids sorted by descending priority (stable: ties keep creation
+/// order, which is topological, preserving the predecessor-first property).
+pub fn priority_order<C: CostEstimator>(dag: &Dag, costs: &C) -> Vec<TaskId> {
+    let prio = priorities(dag, costs);
+    let mut ids: Vec<TaskId> = dag.task_ids().collect();
+    ids.sort_by(|a, b| {
+        prio[b.index()]
+            .partial_cmp(&prio[a.index()])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{FunctionId, TaskSpec};
+
+    fn spec(secs: f64) -> TaskSpec {
+        TaskSpec::compute(FunctionId(0), secs)
+    }
+
+    fn exec_costs(dag: &Dag) -> impl CostEstimator + '_ {
+        FnCosts {
+            staging: |_| 0.0,
+            execution: move |t: TaskId| dag.spec(t).compute_seconds,
+        }
+    }
+
+    #[test]
+    fn chain_priorities_accumulate() {
+        let mut dag = Dag::new();
+        let a = dag.add_task(spec(1.0), &[]);
+        let b = dag.add_task(spec(2.0), &[a]);
+        let c = dag.add_task(spec(3.0), &[b]);
+        let p = priorities(&dag, &exec_costs(&dag));
+        assert!((p[c.index()] - 3.0).abs() < 1e-9);
+        assert!((p[b.index()] - 5.0).abs() < 1e-9);
+        assert!((p[a.index()] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predecessors_rank_strictly_above_successors() {
+        let mut dag = Dag::new();
+        let a = dag.add_task(spec(1.0), &[]);
+        let b = dag.add_task(spec(0.5), &[a]);
+        let c = dag.add_task(spec(0.5), &[a]);
+        let d = dag.add_task(spec(0.1), &[b, c]);
+        let p = priorities(&dag, &exec_costs(&dag));
+        for t in dag.task_ids() {
+            for &s in dag.succs(t) {
+                assert!(
+                    p[t.index()] > p[s.index()],
+                    "priority({t}) must exceed priority({s})"
+                );
+            }
+        }
+        let _ = d;
+    }
+
+    #[test]
+    fn max_over_successors_not_sum() {
+        let mut dag = Dag::new();
+        let a = dag.add_task(spec(1.0), &[]);
+        let _b = dag.add_task(spec(10.0), &[a]);
+        let _c = dag.add_task(spec(20.0), &[a]);
+        let p = priorities(&dag, &exec_costs(&dag));
+        // priority(a) = 1 + max(10, 20) = 21, not 1 + 30.
+        assert!((p[a.index()] - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staging_time_contributes() {
+        let mut dag = Dag::new();
+        let a = dag.add_task(spec(1.0), &[]);
+        let costs = FnCosts {
+            staging: |_| 4.0,
+            execution: |_| 1.0,
+        };
+        let p = priorities(&dag, &costs);
+        assert!((p[a.index()] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn priority_order_is_dependency_safe() {
+        let mut dag = Dag::new();
+        let mut prev = dag.add_task(spec(1.0), &[]);
+        for _ in 0..20 {
+            prev = dag.add_task(spec(1.0), &[prev]);
+        }
+        // Add a second, heavier chain to create priority interleavings.
+        let mut p2 = dag.add_task(spec(5.0), &[]);
+        for _ in 0..5 {
+            p2 = dag.add_task(spec(5.0), &[p2]);
+        }
+        let order = priority_order(&dag, &exec_costs(&dag));
+        let mut seen = vec![false; dag.len()];
+        for t in order {
+            for p in dag.preds(t) {
+                assert!(seen[p.index()], "{p} must be ordered before {t}");
+            }
+            seen[t.index()] = true;
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Task identity and specification.
+
+use std::fmt;
+
+/// Identifier of a task within one workflow DAG. Dense (indexes into the
+/// DAG's node arena), so schedulers can use plain `Vec`s keyed by task id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of a *function* (task type). All tasks invoking the same
+/// function share one performance model in the execution profiler, mirroring
+/// the paper's "the execution profiler trains an initial performance model
+/// for each function".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FunctionId(pub u16);
+
+impl fmt::Debug for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Specification of a single task.
+///
+/// The data model follows the paper's `RemoteFile` flow: each task produces
+/// one output file of `output_bytes`; an edge `a → b` means `b` consumes
+/// `a`'s output file, which must be staged to wherever `b` runs. Tasks may
+/// additionally read `external_input_bytes` of initial data pinned at the
+/// workflow's home endpoint (the submitting site's data store).
+#[derive(Clone, Debug)]
+pub struct TaskSpec {
+    /// The function this task invokes.
+    pub function: FunctionId,
+    /// Work in seconds on a reference worker of speed 1.0. An endpoint with
+    /// speed factor `s` executes it in `compute_seconds / s`.
+    pub compute_seconds: f64,
+    /// Size of the output file this task produces, in bytes.
+    pub output_bytes: u64,
+    /// Bytes of external (workflow-initial) input read by this task, staged
+    /// from the home endpoint if the task runs elsewhere.
+    pub external_input_bytes: u64,
+    /// Cores the task occupies on its worker (informational; each funcX-style
+    /// worker runs one task regardless).
+    pub cores: u32,
+}
+
+impl TaskSpec {
+    /// Convenience constructor for a pure-compute task.
+    pub fn compute(function: FunctionId, compute_seconds: f64) -> Self {
+        TaskSpec {
+            function,
+            compute_seconds,
+            output_bytes: 0,
+            external_input_bytes: 0,
+            cores: 1,
+        }
+    }
+
+    /// Builder-style setter for the output size.
+    pub fn with_output_bytes(mut self, bytes: u64) -> Self {
+        self.output_bytes = bytes;
+        self
+    }
+
+    /// Builder-style setter for external input size.
+    pub fn with_external_input_bytes(mut self, bytes: u64) -> Self {
+        self.external_input_bytes = bytes;
+        self
+    }
+}
+
+/// Bytes in a mebibyte; the paper reports data sizes in MB/GB.
+pub const MB: u64 = 1 << 20;
+/// Bytes in a gibibyte.
+pub const GB: u64 = 1 << 30;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_setters() {
+        let t = TaskSpec::compute(FunctionId(3), 12.5)
+            .with_output_bytes(10 * MB)
+            .with_external_input_bytes(GB);
+        assert_eq!(t.function, FunctionId(3));
+        assert_eq!(t.compute_seconds, 12.5);
+        assert_eq!(t.output_bytes, 10 * MB);
+        assert_eq!(t.external_input_bytes, GB);
+        assert_eq!(t.cores, 1);
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(format!("{}", TaskId(7)), "t7");
+        assert_eq!(format!("{:?}", FunctionId(2)), "f2");
+        assert_eq!(TaskId(9).index(), 9);
+    }
+}

@@ -1,0 +1,242 @@
+//! Graph traversals: topological order, DFS order (for the Capacity
+//! scheduler's locality-preserving partitioning), level decomposition and
+//! critical-path analysis.
+
+use crate::graph::Dag;
+use crate::task::TaskId;
+
+/// Kahn's algorithm. Because [`Dag`] is acyclic by construction this always
+/// returns all tasks; it is retained (instead of just using creation order)
+/// so integration tests can cross-check the by-construction invariant.
+pub fn topological_order(dag: &Dag) -> Vec<TaskId> {
+    let n = dag.len();
+    let mut in_deg: Vec<usize> = dag.task_ids().map(|t| dag.in_degree(t)).collect();
+    let mut queue: std::collections::VecDeque<TaskId> = dag
+        .task_ids()
+        .filter(|t| in_deg[t.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(t) = queue.pop_front() {
+        order.push(t);
+        for &s in dag.succs(t) {
+            in_deg[s.index()] -= 1;
+            if in_deg[s.index()] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "DAG invariant violated: cycle detected");
+    order
+}
+
+/// Depth-first order starting from the roots, following successor edges.
+///
+/// The Capacity scheduler walks tasks in this order so that tasks on the
+/// same root-to-sink path land in the same partition, "reducing data
+/// transferred across endpoints" (§IV-D). A task is emitted the first time
+/// it is reached.
+pub fn dfs_order(dag: &Dag) -> Vec<TaskId> {
+    let n = dag.len();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<TaskId> = Vec::new();
+
+    for root in dag.roots() {
+        if visited[root.index()] {
+            continue;
+        }
+        stack.push(root);
+        while let Some(t) = stack.pop() {
+            if visited[t.index()] {
+                continue;
+            }
+            visited[t.index()] = true;
+            order.push(t);
+            // Push successors in reverse so the first-listed successor is
+            // visited first (stable, intuitive order).
+            for &s in dag.succs(t).iter().rev() {
+                if !visited[s.index()] {
+                    stack.push(s);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    order
+}
+
+/// Assigns each task its level: roots are level 0, every other task is
+/// `1 + max(level of predecessors)`.
+pub fn levels(dag: &Dag) -> Vec<usize> {
+    let mut level = vec![0usize; dag.len()];
+    for t in topological_order(dag) {
+        for &p in dag.preds(t) {
+            level[t.index()] = level[t.index()].max(level[p.index()] + 1);
+        }
+    }
+    level
+}
+
+/// Length (in compute seconds) of the critical path — the longest
+/// root-to-sink chain of `compute_seconds`. A lower bound on makespan on
+/// infinitely many unit-speed workers with free data movement.
+pub fn critical_path_seconds(dag: &Dag) -> f64 {
+    let mut finish = vec![0.0f64; dag.len()];
+    let mut best: f64 = 0.0;
+    for t in topological_order(dag) {
+        let start = dag
+            .preds(t)
+            .iter()
+            .map(|p| finish[p.index()])
+            .fold(0.0, f64::max);
+        finish[t.index()] = start + dag.spec(t).compute_seconds;
+        best = best.max(finish[t.index()]);
+    }
+    best
+}
+
+/// The tasks on one critical path (ties broken toward lower ids).
+pub fn critical_path(dag: &Dag) -> Vec<TaskId> {
+    if dag.is_empty() {
+        return Vec::new();
+    }
+    let mut finish = vec![0.0f64; dag.len()];
+    for t in topological_order(dag) {
+        let start = dag
+            .preds(t)
+            .iter()
+            .map(|p| finish[p.index()])
+            .fold(0.0, f64::max);
+        finish[t.index()] = start + dag.spec(t).compute_seconds;
+    }
+    // Walk backwards from the sink with the largest finish time.
+    let mut cur = dag
+        .task_ids()
+        .max_by(|a, b| {
+            finish[a.index()]
+                .partial_cmp(&finish[b.index()])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                // Prefer the lower id on ties (max_by keeps the later
+                // element on Equal, so order operands to favour earlier).
+                .then(b.0.cmp(&a.0))
+        })
+        .expect("non-empty");
+    let mut path = vec![cur];
+    while !dag.preds(cur).is_empty() {
+        let target = finish[cur.index()] - dag.spec(cur).compute_seconds;
+        let prev = *dag
+            .preds(cur)
+            .iter()
+            .find(|p| (finish[p.index()] - target).abs() < 1e-9)
+            .unwrap_or(&dag.preds(cur)[0]);
+        path.push(prev);
+        cur = prev;
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{FunctionId, TaskSpec};
+
+    fn spec(secs: f64) -> TaskSpec {
+        TaskSpec::compute(FunctionId(0), secs)
+    }
+
+    /// a → b → d ; a → c → d, with c longer than b.
+    fn diamond() -> (Dag, [TaskId; 4]) {
+        let mut dag = Dag::new();
+        let a = dag.add_task(spec(1.0), &[]);
+        let b = dag.add_task(spec(2.0), &[a]);
+        let c = dag.add_task(spec(5.0), &[a]);
+        let d = dag.add_task(spec(1.0), &[b, c]);
+        (dag, [a, b, c, d])
+    }
+
+    fn assert_topological(dag: &Dag, order: &[TaskId]) {
+        let pos: std::collections::HashMap<TaskId, usize> =
+            order.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+        assert_eq!(order.len(), dag.len());
+        for t in dag.task_ids() {
+            for p in dag.preds(t) {
+                assert!(pos[p] < pos[&t], "{p} must precede {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn topological_order_is_valid() {
+        let (dag, _) = diamond();
+        assert_topological(&dag, &topological_order(&dag));
+    }
+
+    #[test]
+    fn dfs_visits_paths_contiguously() {
+        // Two independent chains: a1→a2→a3, b1→b2→b3. DFS must keep each
+        // chain contiguous.
+        let mut dag = Dag::new();
+        let a1 = dag.add_task(spec(1.0), &[]);
+        let a2 = dag.add_task(spec(1.0), &[a1]);
+        let a3 = dag.add_task(spec(1.0), &[a2]);
+        let b1 = dag.add_task(spec(1.0), &[]);
+        let b2 = dag.add_task(spec(1.0), &[b1]);
+        let b3 = dag.add_task(spec(1.0), &[b2]);
+        let order = dfs_order(&dag);
+        assert_eq!(order, vec![a1, a2, a3, b1, b2, b3]);
+    }
+
+    #[test]
+    fn dfs_covers_all_tasks_once() {
+        let (dag, _) = diamond();
+        let order = dfs_order(&dag);
+        let mut sorted: Vec<u32> = order.iter().map(|t| t.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn levels_of_diamond() {
+        let (dag, [a, b, c, d]) = diamond();
+        let lv = levels(&dag);
+        assert_eq!(lv[a.index()], 0);
+        assert_eq!(lv[b.index()], 1);
+        assert_eq!(lv[c.index()], 1);
+        assert_eq!(lv[d.index()], 2);
+    }
+
+    #[test]
+    fn critical_path_takes_longest_branch() {
+        let (dag, [a, _b, c, d]) = diamond();
+        assert!((critical_path_seconds(&dag) - 7.0).abs() < 1e-9);
+        assert_eq!(critical_path(&dag), vec![a, c, d]);
+    }
+
+    #[test]
+    fn critical_path_of_empty_and_single() {
+        let dag = Dag::new();
+        assert_eq!(critical_path_seconds(&dag), 0.0);
+        assert!(critical_path(&dag).is_empty());
+
+        let mut dag = Dag::new();
+        let a = dag.add_task(spec(3.0), &[]);
+        assert_eq!(critical_path_seconds(&dag), 3.0);
+        assert_eq!(critical_path(&dag), vec![a]);
+    }
+
+    #[test]
+    fn traversals_on_wide_graph() {
+        // One root fanning out to 100 leaves.
+        let mut dag = Dag::new();
+        let root = dag.add_task(spec(1.0), &[]);
+        for _ in 0..100 {
+            dag.add_task(spec(2.0), &[root]);
+        }
+        assert_topological(&dag, &topological_order(&dag));
+        assert_eq!(dfs_order(&dag).len(), 101);
+        assert_eq!(critical_path_seconds(&dag), 3.0);
+        let lv = levels(&dag);
+        assert!(lv.iter().skip(1).all(|&l| l == 1));
+    }
+}

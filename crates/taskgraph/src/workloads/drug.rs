@@ -1,0 +1,193 @@
+//! The drug-screening workflow of Fig. 8.
+//!
+//! Modeled on the IMPECCABLE-style virtual-screening pipeline the paper
+//! cites: one receptor-preparation root task fans out to `n_pipelines`
+//! per-molecule-batch pipelines of four stages
+//! (`dock → simulate → featurize → fingerprint`).
+//!
+//! Published statistics (Fig. 8 caption):
+//! * 24,001 functions → `1 + 4 × 6,000` (the Table V variant, 12,001
+//!   functions, is `1 + 4 × 3,000`),
+//! * total computation 1,447 hours, average ≈ 220 s per task,
+//! * total input + intermediate + output data 480.64 GB.
+//!
+//! The generator reproduces these totals exactly via
+//! [`calibrate`](super::calibrate); per-task durations are log-normal around
+//! their stage mean so schedulers face realistic variability.
+
+use super::calibrate;
+use crate::graph::Dag;
+use crate::task::{TaskSpec, MB};
+use simkit::SimRng;
+
+/// Parameters of the drug-screening generator.
+#[derive(Clone, Copy, Debug)]
+pub struct DrugParams {
+    /// Number of per-molecule-batch pipelines (task count = 1 + 4×this).
+    pub n_pipelines: usize,
+    /// Coefficient of variation of task durations within a stage.
+    pub duration_cv: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DrugParams {
+    /// The paper's full workflow: 24,001 functions (§VI-A, Table IV).
+    pub fn full() -> Self {
+        DrugParams {
+            n_pipelines: 6_000,
+            duration_cv: 0.25,
+            seed: 0xD4C6,
+        }
+    }
+
+    /// The dynamic-capacity variant: 12,001 functions (§VI-B, Table V).
+    pub fn dynamic_study() -> Self {
+        DrugParams {
+            n_pipelines: 3_000,
+            ..Self::full()
+        }
+    }
+
+    /// A small variant for tests and examples.
+    pub fn small(n_pipelines: usize) -> Self {
+        DrugParams {
+            n_pipelines,
+            duration_cv: 0.25,
+            seed: 0xD4C6,
+        }
+    }
+}
+
+/// Stage names, relative mean durations (seconds) and output sizes (MB).
+/// Relative shape only — totals are calibrated afterwards.
+const STAGES: [(&str, f64, u64); 4] = [
+    ("dock", 240.0, 25),
+    ("simulate", 420.0, 20),
+    ("featurize", 150.0, 12),
+    ("fingerprint", 70.0, 5),
+];
+
+/// External input (molecule batch file) per pipeline, MB.
+const BATCH_INPUT_MB: u64 = 20;
+/// Receptor model produced by the root, MB.
+const RECEPTOR_MB: u64 = 201;
+
+/// Target totals from Fig. 8 for the full 24,001-task workflow; scaled
+/// variants get proportional targets.
+const FULL_TOTAL_HOURS: f64 = 1_447.0;
+const FULL_TOTAL_GB: f64 = 480.64;
+const FULL_PIPELINES: f64 = 6_000.0;
+
+/// Generates the drug-screening DAG.
+pub fn generate(params: &DrugParams) -> Dag {
+    let mut rng = SimRng::seed_from_u64(params.seed);
+    let mut dag = Dag::new();
+
+    let prep = dag.register_function("prepare_receptor");
+    let stage_fns: Vec<_> = STAGES
+        .iter()
+        .map(|(name, _, _)| dag.register_function(name))
+        .collect();
+
+    let root = dag.add_task(
+        TaskSpec::compute(prep, 30.0).with_output_bytes(RECEPTOR_MB * MB),
+        &[],
+    );
+
+    for _ in 0..params.n_pipelines {
+        let mut prev = root;
+        for (si, (_, mean_secs, out_mb)) in STAGES.iter().enumerate() {
+            let secs = rng.lognormal_mean_cv(*mean_secs, params.duration_cv);
+            let mut spec =
+                TaskSpec::compute(stage_fns[si], secs).with_output_bytes(out_mb * MB);
+            if si == 0 {
+                // Dock additionally reads the molecule batch file from the
+                // home endpoint.
+                spec = spec.with_external_input_bytes(BATCH_INPUT_MB * MB);
+            }
+            let deps = if si == 0 { vec![root] } else { vec![prev] };
+            prev = dag.add_task(spec, &deps);
+        }
+    }
+
+    // Calibrate to the published totals, scaled by pipeline count.
+    let frac = params.n_pipelines as f64 / FULL_PIPELINES;
+    let target_secs = FULL_TOTAL_HOURS * 3_600.0 * frac;
+    let target_bytes = (FULL_TOTAL_GB * frac * (1u64 << 30) as f64) as u64;
+    calibrate(&mut dag, target_secs, Some(target_bytes));
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_workflow_matches_fig8_statistics() {
+        let dag = generate(&DrugParams::full());
+        let s = dag.summary();
+        assert_eq!(s.n_tasks, 24_001);
+        assert_eq!(s.n_functions, 5);
+        // Total compute 1,447 h.
+        assert!((s.total_compute_seconds / 3_600.0 - 1_447.0).abs() < 1.0);
+        // Average ≈ 220 s/task (the paper rounds to 220).
+        assert!(
+            (s.mean_task_seconds - 217.0).abs() < 5.0,
+            "mean={}",
+            s.mean_task_seconds
+        );
+        // Total data 480.64 GB within rounding.
+        let gb = s.total_data_bytes as f64 / (1u64 << 30) as f64;
+        assert!((gb - 480.64).abs() < 0.01, "gb={gb}");
+    }
+
+    #[test]
+    fn dynamic_variant_has_12001_tasks() {
+        let dag = generate(&DrugParams::dynamic_study());
+        assert_eq!(dag.len(), 12_001);
+    }
+
+    #[test]
+    fn pipeline_structure() {
+        let dag = generate(&DrugParams::small(10));
+        assert_eq!(dag.len(), 41);
+        // Root fans out to 10 dock tasks.
+        let roots = dag.roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(dag.succs(roots[0]).len(), 10);
+        // 10 fingerprint sinks.
+        assert_eq!(dag.sinks().len(), 10);
+        // Every non-root task has exactly one predecessor.
+        for t in dag.task_ids().skip(1) {
+            assert_eq!(dag.in_degree(t), 1);
+        }
+    }
+
+    #[test]
+    fn durations_vary_but_are_positive() {
+        let dag = generate(&DrugParams::small(50));
+        let docks: Vec<f64> = dag
+            .task_ids()
+            .filter(|t| dag.function_name(dag.spec(*t).function) == "dock")
+            .map(|t| dag.spec(t).compute_seconds)
+            .collect();
+        assert_eq!(docks.len(), 50);
+        assert!(docks.iter().all(|&d| d > 0.0));
+        let min = docks.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = docks.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min * 1.05, "durations should vary (cv=0.25)");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&DrugParams::small(20));
+        let b = generate(&DrugParams::small(20));
+        for t in a.task_ids() {
+            assert_eq!(
+                a.spec(t).compute_seconds.to_bits(),
+                b.spec(t).compute_seconds.to_bits()
+            );
+        }
+    }
+}

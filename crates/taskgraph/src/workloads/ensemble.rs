@@ -1,0 +1,154 @@
+//! An ML-steered simulation-ensemble workload (Colmena-style).
+//!
+//! The paper's motivation cites "modern AI-driven simulations" where an ML
+//! model steers batches of simulations (e.g. Colmena, which the paper
+//! references). The structure is rounds of
+//!
+//! ```text
+//! [simulate × B] → train → [simulate × B] → train → ...
+//! ```
+//!
+//! where each round's simulations depend on the previous round's trained
+//! model. Unlike drug screening (independent pipelines) or montage (one
+//! global barrier), this workload alternates wide fan-out with a serial
+//! model-update bottleneck — a distinct stress pattern for schedulers and
+//! for elasticity (demand oscillates every round).
+
+use crate::graph::Dag;
+use crate::task::{TaskId, TaskSpec, MB};
+use simkit::SimRng;
+
+/// Parameters of the ensemble generator.
+#[derive(Clone, Copy, Debug)]
+pub struct EnsembleParams {
+    /// Number of steering rounds.
+    pub rounds: usize,
+    /// Simulations per round.
+    pub batch: usize,
+    /// Mean simulation duration, seconds.
+    pub sim_seconds: f64,
+    /// Training duration, seconds.
+    pub train_seconds: f64,
+    /// Simulation output size, bytes.
+    pub sim_output_bytes: u64,
+    /// Trained-model size, bytes (broadcast to the next round).
+    pub model_bytes: u64,
+    /// Duration coefficient of variation.
+    pub duration_cv: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EnsembleParams {
+    fn default() -> Self {
+        EnsembleParams {
+            rounds: 5,
+            batch: 50,
+            sim_seconds: 120.0,
+            train_seconds: 90.0,
+            sim_output_bytes: 15 * MB,
+            model_bytes: 64 * MB,
+            duration_cv: 0.3,
+            seed: 0xE75,
+        }
+    }
+}
+
+impl EnsembleParams {
+    /// Total number of tasks this parameterization creates.
+    pub fn n_tasks(&self) -> usize {
+        self.rounds * (self.batch + 1)
+    }
+}
+
+/// Generates the ensemble DAG.
+pub fn generate(params: &EnsembleParams) -> Dag {
+    assert!(params.rounds >= 1 && params.batch >= 1);
+    let mut rng = SimRng::seed_from_u64(params.seed);
+    let mut dag = Dag::new();
+    let f_sim = dag.register_function("simulate");
+    let f_train = dag.register_function("train");
+
+    let mut model: Option<TaskId> = None;
+    for _ in 0..params.rounds {
+        let sims: Vec<TaskId> = (0..params.batch)
+            .map(|_| {
+                let secs = rng.lognormal_mean_cv(params.sim_seconds, params.duration_cv);
+                let deps: Vec<TaskId> = model.into_iter().collect();
+                dag.add_task(
+                    TaskSpec::compute(f_sim, secs).with_output_bytes(params.sim_output_bytes),
+                    &deps,
+                )
+            })
+            .collect();
+        model = Some(dag.add_task(
+            TaskSpec::compute(f_train, params.train_seconds)
+                .with_output_bytes(params.model_bytes),
+            &sims,
+        ));
+    }
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse::{critical_path_seconds, levels};
+
+    #[test]
+    fn structure_alternates_fanout_and_barrier() {
+        let params = EnsembleParams {
+            rounds: 3,
+            batch: 4,
+            ..Default::default()
+        };
+        let dag = generate(&params);
+        assert_eq!(dag.len(), params.n_tasks());
+        assert_eq!(dag.len(), 15);
+        // Round 1 sims are roots; every later sim depends on one model.
+        assert_eq!(dag.roots().len(), 4);
+        // One final trained model.
+        assert_eq!(dag.sinks().len(), 1);
+        // Levels: sims at even levels, trains at odd levels.
+        let lv = levels(&dag);
+        assert_eq!(lv.iter().max(), Some(&5));
+    }
+
+    #[test]
+    fn critical_path_spans_all_rounds() {
+        let params = EnsembleParams {
+            rounds: 4,
+            batch: 8,
+            duration_cv: 0.0,
+            ..Default::default()
+        };
+        let dag = generate(&params);
+        let want = 4.0 * (params.sim_seconds + params.train_seconds);
+        let got = critical_path_seconds(&dag);
+        assert!((got - want).abs() < 1.0, "cp={got} want={want}");
+    }
+
+    #[test]
+    fn train_tasks_fan_in_whole_batch() {
+        let dag = generate(&EnsembleParams {
+            rounds: 2,
+            batch: 6,
+            ..Default::default()
+        });
+        let trains: Vec<TaskId> = dag
+            .task_ids()
+            .filter(|t| dag.function_name(dag.spec(*t).function) == "train")
+            .collect();
+        assert_eq!(trains.len(), 2);
+        for t in trains {
+            assert_eq!(dag.in_degree(t), 6);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&EnsembleParams::default());
+        let b = generate(&EnsembleParams::default());
+        assert_eq!(a.total_compute_seconds(), b.total_compute_seconds());
+    }
+}

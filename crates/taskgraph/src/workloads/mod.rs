@@ -1,0 +1,88 @@
+//! Workload generators for the paper's evaluation.
+//!
+//! Each generator produces a [`Dag`](crate::Dag) whose aggregate statistics
+//! (task count, mean task duration, total data volume) match the numbers
+//! published in Fig. 8 of the paper. Shapes are parameterized so scaled-down
+//! variants (e.g. the 12,001-function drug workflow of Table V) come from
+//! the same code path.
+//!
+//! Generators first lay out the DAG with *relative* stage durations and data
+//! sizes, then calibrate a single multiplicative factor for compute and one
+//! for data so the totals hit their targets exactly — see [`calibrate`].
+
+pub mod drug;
+pub mod ensemble;
+pub mod montage;
+pub mod random;
+pub mod stress;
+
+use crate::graph::Dag;
+
+/// Scales every task's `compute_seconds` so the DAG total equals
+/// `target_total_seconds`, and every task's data sizes so the total data
+/// volume equals `target_total_bytes` (if `Some`). No-op on empty DAGs or
+/// zero current totals.
+pub fn calibrate(dag: &mut Dag, target_total_seconds: f64, target_total_bytes: Option<u64>) {
+    let cur_secs = dag.total_compute_seconds();
+    if cur_secs > 0.0 && target_total_seconds > 0.0 {
+        let k = target_total_seconds / cur_secs;
+        for t in dag.task_ids().collect::<Vec<_>>() {
+            dag.spec_mut(t).compute_seconds *= k;
+        }
+    }
+    if let Some(target_bytes) = target_total_bytes {
+        let cur_bytes = dag.total_data_bytes();
+        if cur_bytes > 0 && target_bytes > 0 {
+            let k = target_bytes as f64 / cur_bytes as f64;
+            for t in dag.task_ids().collect::<Vec<_>>() {
+                let spec = dag.spec_mut(t);
+                spec.output_bytes = (spec.output_bytes as f64 * k).round() as u64;
+                spec.external_input_bytes =
+                    (spec.external_input_bytes as f64 * k).round() as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{FunctionId, TaskSpec};
+
+    #[test]
+    fn calibrate_hits_targets() {
+        let mut dag = Dag::new();
+        let a = dag.add_task(
+            TaskSpec::compute(FunctionId(0), 10.0).with_output_bytes(1000),
+            &[],
+        );
+        dag.add_task(
+            TaskSpec::compute(FunctionId(0), 30.0).with_external_input_bytes(3000),
+            &[a],
+        );
+        calibrate(&mut dag, 80.0, Some(8000));
+        assert!((dag.total_compute_seconds() - 80.0).abs() < 1e-9);
+        assert_eq!(dag.total_data_bytes(), 8000);
+        // Relative shape preserved: 1:3 ratio.
+        assert!((dag.spec(a).compute_seconds - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibrate_empty_dag_is_noop() {
+        let mut dag = Dag::new();
+        calibrate(&mut dag, 100.0, Some(100));
+        assert!(dag.is_empty());
+    }
+
+    #[test]
+    fn calibrate_without_data_target() {
+        let mut dag = Dag::new();
+        dag.add_task(
+            TaskSpec::compute(FunctionId(0), 5.0).with_output_bytes(123),
+            &[],
+        );
+        calibrate(&mut dag, 10.0, None);
+        assert_eq!(dag.total_data_bytes(), 123);
+        assert!((dag.total_compute_seconds() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,143 @@
+//! Random layered DAGs for property-based tests and micro-benchmarks.
+
+use crate::graph::Dag;
+use crate::task::{TaskId, TaskSpec, MB};
+use simkit::SimRng;
+
+/// Parameters of the layered random DAG generator.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomDagParams {
+    /// Number of layers.
+    pub n_layers: usize,
+    /// Minimum tasks per layer.
+    pub min_width: usize,
+    /// Maximum tasks per layer (inclusive).
+    pub max_width: usize,
+    /// Probability of an edge from each task in the previous layer.
+    pub edge_prob: f64,
+    /// Mean task duration, seconds (log-normal, cv 0.5).
+    pub mean_seconds: f64,
+    /// Mean output size, bytes (log-normal, cv 0.5; 0 disables data).
+    pub mean_output_bytes: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomDagParams {
+    fn default() -> Self {
+        RandomDagParams {
+            n_layers: 6,
+            min_width: 2,
+            max_width: 20,
+            edge_prob: 0.3,
+            mean_seconds: 10.0,
+            mean_output_bytes: 5 * MB,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a layered random DAG: tasks in layer `k > 0` draw edges from
+/// tasks in layer `k-1` with probability `edge_prob` (at least one edge is
+/// forced so no task beyond layer 0 is an orphan root).
+pub fn generate(params: &RandomDagParams) -> Dag {
+    assert!(params.n_layers >= 1);
+    assert!(params.min_width >= 1 && params.min_width <= params.max_width);
+    let mut rng = SimRng::seed_from_u64(params.seed);
+    let mut dag = Dag::new();
+    let f = dag.register_function("random_task");
+
+    let mut prev_layer: Vec<TaskId> = Vec::new();
+    for layer in 0..params.n_layers {
+        let width = if params.min_width == params.max_width {
+            params.min_width
+        } else {
+            rng.uniform_usize(params.min_width, params.max_width + 1)
+        };
+        let mut this_layer = Vec::with_capacity(width);
+        for _ in 0..width {
+            let secs = rng.lognormal_mean_cv(params.mean_seconds, 0.5);
+            let out = if params.mean_output_bytes == 0 {
+                0
+            } else {
+                rng.lognormal_mean_cv(params.mean_output_bytes as f64, 0.5) as u64
+            };
+            let mut deps: Vec<TaskId> = Vec::new();
+            if layer > 0 {
+                for &p in &prev_layer {
+                    if rng.chance(params.edge_prob) {
+                        deps.push(p);
+                    }
+                }
+                if deps.is_empty() {
+                    // Force at least one dependency for connectivity.
+                    deps.push(prev_layer[rng.uniform_usize(0, prev_layer.len())]);
+                }
+            }
+            this_layer.push(dag.add_task(
+                TaskSpec::compute(f, secs).with_output_bytes(out),
+                &deps,
+            ));
+        }
+        prev_layer = this_layer;
+    }
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse::levels;
+
+    #[test]
+    fn respects_layer_structure() {
+        let dag = generate(&RandomDagParams::default());
+        let lv = levels(&dag);
+        assert!(lv.iter().max().copied().unwrap_or(0) < 6);
+        assert!(!dag.is_empty());
+    }
+
+    #[test]
+    fn only_first_layer_has_roots() {
+        let params = RandomDagParams {
+            n_layers: 4,
+            min_width: 3,
+            max_width: 3,
+            ..Default::default()
+        };
+        let dag = generate(&params);
+        assert_eq!(dag.len(), 12);
+        assert_eq!(dag.roots().len(), 3, "only layer 0 may be roots");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&RandomDagParams::default());
+        let b = generate(&RandomDagParams::default());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.n_edges(), b.n_edges());
+    }
+
+    #[test]
+    fn zero_output_bytes_option() {
+        let params = RandomDagParams {
+            mean_output_bytes: 0,
+            ..Default::default()
+        };
+        let dag = generate(&params);
+        assert!(dag.task_ids().all(|t| dag.spec(t).output_bytes == 0));
+    }
+
+    #[test]
+    fn single_layer_is_a_bag() {
+        let params = RandomDagParams {
+            n_layers: 1,
+            min_width: 5,
+            max_width: 5,
+            ..Default::default()
+        };
+        let dag = generate(&params);
+        assert_eq!(dag.len(), 5);
+        assert_eq!(dag.n_edges(), 0);
+    }
+}

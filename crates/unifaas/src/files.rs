@@ -1,0 +1,146 @@
+//! `RemoteFile` objects — the paper's shim layer for wide-area data (§III-A,
+//! §IV-E).
+//!
+//! Python objects above the 10 MB payload limit must travel as
+//! `RemoteFile`s; UniFaaS stages them transparently when a consuming task is
+//! scheduled. The two subclasses select the transfer mechanism:
+//! [`GlobusFile`] and [`RsyncFile`].
+
+use fedci::endpoint::EndpointId;
+use fedci::storage::DataId;
+use fedci::transfer::TransferMechanism;
+
+/// A handle to a file managed by the UniFaaS data manager.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RemoteFile {
+    /// The data object backing this handle.
+    pub data: DataId,
+    /// Logical path on the producing endpoint.
+    pub path: String,
+    /// Size in bytes (0 until produced, for outputs).
+    pub bytes: u64,
+    /// Endpoint where the file currently canonically lives.
+    pub home: EndpointId,
+    /// Mechanism used to move this file.
+    pub mechanism: TransferMechanism,
+}
+
+impl RemoteFile {
+    /// Creates a handle for a file that already exists at `home` — the
+    /// paper's `GlobusFile.create` flow.
+    pub fn create(
+        data: DataId,
+        path: &str,
+        bytes: u64,
+        home: EndpointId,
+        mechanism: TransferMechanism,
+    ) -> Self {
+        RemoteFile {
+            data,
+            path: path.to_string(),
+            bytes,
+            home,
+            mechanism,
+        }
+    }
+
+    /// The path a task should use to read/write this file on the endpoint
+    /// where it executes — the paper's `get_remote_file_path()`. The layout
+    /// mirrors a per-endpoint staging directory.
+    pub fn remote_path(&self, at: EndpointId) -> String {
+        format!("/unifaas/stage/{at}/{}", self.path.trim_start_matches('/'))
+    }
+}
+
+/// Constructors for Globus-transferred files.
+pub struct GlobusFile;
+
+impl GlobusFile {
+    /// Creates a Globus-managed remote file.
+    pub fn create(data: DataId, path: &str, bytes: u64, home: EndpointId) -> RemoteFile {
+        RemoteFile::create(data, path, bytes, home, TransferMechanism::Globus)
+    }
+}
+
+/// Constructors for rsync-transferred files.
+pub struct RsyncFile;
+
+impl RsyncFile {
+    /// Creates an rsync-managed remote file.
+    pub fn create(data: DataId, path: &str, bytes: u64, home: EndpointId) -> RemoteFile {
+        RemoteFile::create(data, path, bytes, home, TransferMechanism::Rsync)
+    }
+}
+
+/// A directory of remote files moved as a unit (§IV-E's
+/// `RemoteDirectory`).
+#[derive(Clone, Debug, Default)]
+pub struct RemoteDirectory {
+    /// Logical directory path.
+    pub path: String,
+    /// Files inside the directory.
+    pub files: Vec<RemoteFile>,
+}
+
+impl RemoteDirectory {
+    /// Creates an empty remote directory rooted at `path`.
+    pub fn new(path: &str) -> Self {
+        RemoteDirectory {
+            path: path.to_string(),
+            files: Vec::new(),
+        }
+    }
+
+    /// Adds a file (must live under this directory's path).
+    pub fn push(&mut self, file: RemoteFile) {
+        assert!(
+            file.path.starts_with(&self.path),
+            "file `{}` is outside directory `{}`",
+            file.path,
+            self.path
+        );
+        self.files.push(file);
+    }
+
+    /// Total bytes across all member files.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globus_and_rsync_mechanisms() {
+        let g = GlobusFile::create(DataId(1), "/data/mol.smi", 100, EndpointId(0));
+        assert_eq!(g.mechanism, TransferMechanism::Globus);
+        let r = RsyncFile::create(DataId(2), "/data/out.bin", 200, EndpointId(1));
+        assert_eq!(r.mechanism, TransferMechanism::Rsync);
+        assert_eq!(r.bytes, 200);
+    }
+
+    #[test]
+    fn remote_path_is_per_endpoint() {
+        let f = GlobusFile::create(DataId(1), "/data/mol.smi", 100, EndpointId(0));
+        assert_eq!(f.remote_path(EndpointId(2)), "/unifaas/stage/ep2/data/mol.smi");
+        assert_ne!(f.remote_path(EndpointId(0)), f.remote_path(EndpointId(1)));
+    }
+
+    #[test]
+    fn directory_accumulates() {
+        let mut d = RemoteDirectory::new("/data");
+        d.push(GlobusFile::create(DataId(1), "/data/a", 10, EndpointId(0)));
+        d.push(GlobusFile::create(DataId(2), "/data/b", 20, EndpointId(0)));
+        assert_eq!(d.total_bytes(), 30);
+        assert_eq!(d.files.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside directory")]
+    fn directory_rejects_foreign_paths() {
+        let mut d = RemoteDirectory::new("/data");
+        d.push(GlobusFile::create(DataId(1), "/other/a", 10, EndpointId(0)));
+    }
+}

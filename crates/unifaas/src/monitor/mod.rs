@@ -1,0 +1,7 @@
+//! The *observe* stage: task and endpoint monitors (§IV-B).
+
+pub mod endpoint_monitor;
+pub mod task_monitor;
+
+pub use endpoint_monitor::{EndpointMonitor, MockEndpoint};
+pub use task_monitor::{HistoryDb, TaskMonitor, TaskRecord};

@@ -1,0 +1,330 @@
+//! Task monitor and history database (§IV-B).
+//!
+//! Every completed task streams a [`TaskRecord`] into the monitor, which
+//! keeps (a) per-(function, endpoint) success statistics for the fault
+//! tolerance policy and (b) an append-only [`HistoryDb`] that the profilers
+//! train on. The history database persists as a plain CSV file so a later
+//! run can "start a workflow by loading an existing database" and pre-build
+//! performance models.
+
+use fedci::endpoint::EndpointId;
+use simkit::OnlineStats;
+use std::collections::HashMap;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// One observed task execution (or transfer — the transfer profiler reuses
+/// this structure with `function_name = "__transfer__/<src>/<dst>"`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskRecord {
+    /// Name of the function executed.
+    pub function: String,
+    /// Endpoint it ran on.
+    pub endpoint: EndpointId,
+    /// Total input bytes (dependency outputs + external inputs).
+    pub input_bytes: u64,
+    /// Observed wall time, seconds.
+    pub duration_seconds: f64,
+    /// Bytes produced.
+    pub output_bytes: u64,
+    /// Endpoint hardware features at execution time.
+    pub cores: u32,
+    /// CPU frequency, GHz.
+    pub cpu_ghz: f64,
+    /// RAM, GB.
+    pub ram_gb: u32,
+    /// Whether the attempt succeeded.
+    pub success: bool,
+}
+
+/// Append-only store of task records.
+#[derive(Clone, Debug, Default)]
+pub struct HistoryDb {
+    records: Vec<TaskRecord>,
+}
+
+impl HistoryDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        HistoryDb::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, rec: TaskRecord) {
+        self.records.push(rec);
+    }
+
+    /// All records in insertion order.
+    pub fn records(&self) -> &[TaskRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no records exist.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Saves as CSV (header + one row per record).
+    pub fn save_csv<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(file);
+        writeln!(
+            w,
+            "function,endpoint,input_bytes,duration_seconds,output_bytes,cores,cpu_ghz,ram_gb,success"
+        )?;
+        for r in &self.records {
+            writeln!(
+                w,
+                "{},{},{},{},{},{},{},{},{}",
+                escape_csv(&r.function),
+                r.endpoint.0,
+                r.input_bytes,
+                r.duration_seconds,
+                r.output_bytes,
+                r.cores,
+                r.cpu_ghz,
+                r.ram_gb,
+                r.success
+            )?;
+        }
+        w.flush()
+    }
+
+    /// Loads a CSV written by [`HistoryDb::save_csv`].
+    pub fn load_csv<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        let reader = std::io::BufReader::new(file);
+        let mut db = HistoryDb::new();
+        for (i, line) in reader.lines().enumerate() {
+            let line = line?;
+            if i == 0 || line.trim().is_empty() {
+                continue; // header
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 9 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {} has {} fields, expected 9", i + 1, fields.len()),
+                ));
+            }
+            let parse_err = |what: &str| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {}: bad {what}", i + 1),
+                )
+            };
+            db.push(TaskRecord {
+                function: unescape_csv(fields[0]),
+                endpoint: EndpointId(fields[1].parse().map_err(|_| parse_err("endpoint"))?),
+                input_bytes: fields[2].parse().map_err(|_| parse_err("input_bytes"))?,
+                duration_seconds: fields[3]
+                    .parse()
+                    .map_err(|_| parse_err("duration_seconds"))?,
+                output_bytes: fields[4].parse().map_err(|_| parse_err("output_bytes"))?,
+                cores: fields[5].parse().map_err(|_| parse_err("cores"))?,
+                cpu_ghz: fields[6].parse().map_err(|_| parse_err("cpu_ghz"))?,
+                ram_gb: fields[7].parse().map_err(|_| parse_err("ram_gb"))?,
+                success: fields[8].parse().map_err(|_| parse_err("success"))?,
+            });
+        }
+        Ok(db)
+    }
+}
+
+/// Commas and quotes would corrupt rows; function names are identifiers so
+/// we simply replace commas.
+fn escape_csv(s: &str) -> String {
+    s.replace(',', ";")
+}
+
+fn unescape_csv(s: &str) -> String {
+    s.to_string()
+}
+
+/// Live aggregation over the record stream.
+#[derive(Clone, Debug, Default)]
+pub struct TaskMonitor {
+    db: HistoryDb,
+    /// (function, endpoint) → duration stats.
+    duration_stats: HashMap<(String, EndpointId), OnlineStats>,
+    /// endpoint → (successes, attempts) for the reassignment policy.
+    success_counts: HashMap<EndpointId, (u64, u64)>,
+}
+
+impl TaskMonitor {
+    /// Creates a monitor, optionally seeded with a prior history database.
+    pub fn new(history: Option<HistoryDb>) -> Self {
+        let mut m = TaskMonitor::default();
+        if let Some(db) = history {
+            for rec in db.records().to_vec() {
+                m.observe(rec);
+            }
+        }
+        m
+    }
+
+    /// Streams in one record, updating all aggregates.
+    pub fn observe(&mut self, rec: TaskRecord) {
+        let entry = self
+            .success_counts
+            .entry(rec.endpoint)
+            .or_insert((0, 0));
+        entry.1 += 1;
+        if rec.success {
+            entry.0 += 1;
+            self.duration_stats
+                .entry((rec.function.clone(), rec.endpoint))
+                .or_default()
+                .push(rec.duration_seconds);
+        }
+        self.db.push(rec);
+    }
+
+    /// The underlying history database (for persistence and training).
+    pub fn history(&self) -> &HistoryDb {
+        &self.db
+    }
+
+    /// Mean observed duration of `function` on `endpoint`, if any
+    /// successful runs exist.
+    pub fn mean_duration(&self, function: &str, endpoint: EndpointId) -> Option<f64> {
+        self.duration_stats
+            .get(&(function.to_string(), endpoint))
+            .filter(|s| s.count() > 0)
+            .map(|s| s.mean())
+    }
+
+    /// Task success rate of an endpoint (`None` if never attempted). Drives
+    /// §IV-G's "reassigns it to the endpoint with the highest success rate".
+    pub fn success_rate(&self, endpoint: EndpointId) -> Option<f64> {
+        self.success_counts
+            .get(&endpoint)
+            .filter(|(_, attempts)| *attempts > 0)
+            .map(|(ok, attempts)| *ok as f64 / *attempts as f64)
+    }
+
+    /// The endpoint with the highest success rate among `candidates`
+    /// (unattempted endpoints count as rate 1.0 — optimistic, matching the
+    /// intent of escaping a consistently failing endpoint).
+    pub fn best_endpoint_by_success(&self, candidates: &[EndpointId]) -> Option<EndpointId> {
+        candidates
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                let ra = self.success_rate(*a).unwrap_or(1.0);
+                let rb = self.success_rate(*b).unwrap_or(1.0);
+                ra.partial_cmp(&rb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    // Stable tie-break toward the lower id.
+                    .then(b.0.cmp(&a.0))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(function: &str, ep: u16, dur: f64, success: bool) -> TaskRecord {
+        TaskRecord {
+            function: function.into(),
+            endpoint: EndpointId(ep),
+            input_bytes: 1000,
+            duration_seconds: dur,
+            output_bytes: 500,
+            cores: 16,
+            cpu_ghz: 2.6,
+            ram_gb: 64,
+            success,
+        }
+    }
+
+    #[test]
+    fn aggregates_duration_per_function_endpoint() {
+        let mut m = TaskMonitor::default();
+        m.observe(rec("dock", 0, 10.0, true));
+        m.observe(rec("dock", 0, 20.0, true));
+        m.observe(rec("dock", 1, 5.0, true));
+        assert_eq!(m.mean_duration("dock", EndpointId(0)), Some(15.0));
+        assert_eq!(m.mean_duration("dock", EndpointId(1)), Some(5.0));
+        assert_eq!(m.mean_duration("dock", EndpointId(2)), None);
+        assert_eq!(m.mean_duration("other", EndpointId(0)), None);
+    }
+
+    #[test]
+    fn failed_runs_do_not_pollute_duration_stats() {
+        let mut m = TaskMonitor::default();
+        m.observe(rec("dock", 0, 999.0, false));
+        assert_eq!(m.mean_duration("dock", EndpointId(0)), None);
+        assert_eq!(m.success_rate(EndpointId(0)), Some(0.0));
+    }
+
+    #[test]
+    fn success_rates_and_best_endpoint() {
+        let mut m = TaskMonitor::default();
+        for _ in 0..8 {
+            m.observe(rec("f", 0, 1.0, true));
+        }
+        m.observe(rec("f", 0, 1.0, false));
+        m.observe(rec("f", 0, 1.0, false)); // ep0: 8/10
+        m.observe(rec("f", 1, 1.0, true)); // ep1: 1/1
+        assert!((m.success_rate(EndpointId(0)).unwrap() - 0.8).abs() < 1e-9);
+        assert_eq!(m.success_rate(EndpointId(1)), Some(1.0));
+        assert_eq!(m.success_rate(EndpointId(9)), None);
+        assert_eq!(
+            m.best_endpoint_by_success(&[EndpointId(0), EndpointId(1)]),
+            Some(EndpointId(1))
+        );
+        // Unattempted endpoints are optimistic (rate 1.0), lower id wins tie.
+        assert_eq!(
+            m.best_endpoint_by_success(&[EndpointId(0), EndpointId(5), EndpointId(6)]),
+            Some(EndpointId(5))
+        );
+        assert_eq!(m.best_endpoint_by_success(&[]), None);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut db = HistoryDb::new();
+        db.push(rec("dock", 0, 12.5, true));
+        db.push(rec("fingerprint", 3, 0.75, false));
+        let path = std::env::temp_dir().join("unifaas_history_test.csv");
+        db.save_csv(&path).unwrap();
+        let loaded = HistoryDb::load_csv(&path).unwrap();
+        assert_eq!(loaded.records(), db.records());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_rejects_malformed_rows() {
+        let path = std::env::temp_dir().join("unifaas_history_bad.csv");
+        std::fs::write(&path, "header\nonly,three,fields\n").unwrap();
+        assert!(HistoryDb::load_csv(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn monitor_seeds_from_history() {
+        let mut db = HistoryDb::new();
+        db.push(rec("dock", 0, 10.0, true));
+        let m = TaskMonitor::new(Some(db));
+        assert_eq!(m.mean_duration("dock", EndpointId(0)), Some(10.0));
+        assert_eq!(m.history().len(), 1);
+    }
+
+    #[test]
+    fn function_names_with_commas_survive() {
+        let mut db = HistoryDb::new();
+        db.push(rec("weird,name", 0, 1.0, true));
+        let path = std::env::temp_dir().join("unifaas_history_comma.csv");
+        db.save_csv(&path).unwrap();
+        let loaded = HistoryDb::load_csv(&path).unwrap();
+        assert_eq!(loaded.records()[0].function, "weird;name");
+        std::fs::remove_file(&path).ok();
+    }
+}

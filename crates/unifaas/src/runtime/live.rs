@@ -1,0 +1,568 @@
+//! The live runtime: the UniFaaS programming model over real threads.
+//!
+//! This is the analogue of the paper's Python `@function` interface
+//! (Listing 1): register functions, invoke them to get futures, pass
+//! futures as arguments to compose a dynamic task graph, and let the
+//! runtime place tasks on endpoints — here, per-endpoint worker thread
+//! pools from `fedci::threaded`.
+//!
+//! Placement is locality- and load-aware: a ready task goes to the
+//! endpoint with the most free workers, biased toward where its
+//! (byte-weighted) inputs were produced; an optional simulated WAN
+//! bandwidth converts remote input bytes into real dispatch delay, so the
+//! examples can observe data-gravity effects.
+//!
+//! Dependencies are tracked client-side and a task is only submitted to a
+//! pool once every input future resolved — a chain of tasks can never
+//! deadlock a single worker.
+
+use crate::error::UniFaasError;
+use fedci::threaded::ThreadedEndpoint;
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+use taskgraph::TaskId;
+
+/// A dynamically typed value passed between functions.
+pub type Value = Arc<dyn Any + Send + Sync>;
+
+/// Wraps a concrete value as a [`Value`].
+pub fn value<T: Any + Send + Sync>(x: T) -> Value {
+    Arc::new(x)
+}
+
+/// Downcasts a [`Value`] to a concrete type.
+pub fn downcast<T: Any + Send + Sync>(v: &Value) -> Option<&T> {
+    v.downcast_ref::<T>()
+}
+
+/// A registered function: takes resolved input values, returns a value or
+/// an application error.
+pub type AppFn = Arc<dyn Fn(&[Value]) -> Result<Value, String> + Send + Sync>;
+
+struct FutureState {
+    cell: Mutex<Option<Result<Value, String>>>,
+    cond: Condvar,
+}
+
+/// A handle to the eventual result of a task (the paper's `Future`).
+#[derive(Clone)]
+pub struct AppFuture {
+    id: usize,
+    state: Arc<FutureState>,
+}
+
+impl AppFuture {
+    /// The task id backing this future.
+    pub fn task_id(&self) -> TaskId {
+        TaskId(self.id as u32)
+    }
+
+    /// Blocks until the task completes, returning its value.
+    pub fn wait(&self) -> Result<Value, UniFaasError> {
+        let mut cell = self.state.cell.lock();
+        while cell.is_none() {
+            self.state.cond.wait(&mut cell);
+        }
+        match cell.as_ref().expect("checked above") {
+            Ok(v) => Ok(Arc::clone(v)),
+            Err(msg) => Err(UniFaasError::FunctionError {
+                task: self.task_id(),
+                message: msg.clone(),
+            }),
+        }
+    }
+
+    /// Non-blocking poll.
+    pub fn is_done(&self) -> bool {
+        self.state.cell.lock().is_some()
+    }
+
+    fn resolve(&self, result: Result<Value, String>) {
+        let mut cell = self.state.cell.lock();
+        debug_assert!(cell.is_none(), "future resolved twice");
+        *cell = Some(result);
+        self.state.cond.notify_all();
+    }
+}
+
+struct PendingTask {
+    function: String,
+    args: Vec<Value>,
+    dep_ids: Vec<usize>,
+    remaining: usize,
+    output_bytes: u64,
+}
+
+struct Coord {
+    pending: HashMap<usize, PendingTask>,
+    dependents: HashMap<usize, Vec<usize>>,
+    /// Where each resolved future's output lives, and its size.
+    produced_at: HashMap<usize, (usize, u64)>,
+    next_id: usize,
+    futures: HashMap<usize, AppFuture>,
+    outstanding: usize,
+}
+
+/// The live, multi-threaded UniFaaS runtime.
+pub struct LiveRuntime {
+    endpoints: Vec<Arc<ThreadedEndpoint>>,
+    labels: Vec<String>,
+    functions: Mutex<HashMap<String, AppFn>>,
+    coord: Arc<Mutex<Coord>>,
+    done_cond: Arc<Condvar>,
+    /// Simulated WAN bandwidth in bytes/second: moving inputs produced on
+    /// another endpoint costs real wall time. `None` disables it.
+    transfer_bandwidth_bps: Option<f64>,
+}
+
+impl LiveRuntime {
+    /// Creates a runtime with one worker pool per `(label, workers)` pair.
+    pub fn new(endpoints: &[(&str, usize)]) -> Self {
+        assert!(!endpoints.is_empty(), "need at least one endpoint");
+        LiveRuntime {
+            endpoints: endpoints
+                .iter()
+                .map(|(l, w)| Arc::new(ThreadedEndpoint::new(l, *w)))
+                .collect(),
+            labels: endpoints.iter().map(|(l, _)| l.to_string()).collect(),
+            functions: Mutex::new(HashMap::new()),
+            coord: Arc::new(Mutex::new(Coord {
+                pending: HashMap::new(),
+                dependents: HashMap::new(),
+                produced_at: HashMap::new(),
+                next_id: 0,
+                futures: HashMap::new(),
+                outstanding: 0,
+            })),
+            done_cond: Arc::new(Condvar::new()),
+            transfer_bandwidth_bps: None,
+        }
+    }
+
+    /// Enables the simulated WAN: remote input bytes are converted into a
+    /// real sleep at this bandwidth before the function runs.
+    pub fn with_transfer_bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0);
+        self.transfer_bandwidth_bps = Some(bytes_per_sec);
+        self
+    }
+
+    /// Endpoint labels.
+    pub fn endpoint_labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Registers a function under `name` (the `@function` decorator).
+    pub fn register<F>(&self, name: &str, f: F)
+    where
+        F: Fn(&[Value]) -> Result<Value, String> + Send + Sync + 'static,
+    {
+        self.functions.lock().insert(name.to_string(), Arc::new(f));
+    }
+
+    /// Invokes `name` with plain values and future dependencies; the
+    /// function receives `args` followed by the resolved dependency values,
+    /// in order. Returns immediately with a future.
+    pub fn submit(
+        &self,
+        name: &str,
+        args: Vec<Value>,
+        deps: &[&AppFuture],
+    ) -> Result<AppFuture, UniFaasError> {
+        self.submit_sized(name, args, deps, 0)
+    }
+
+    /// Like [`LiveRuntime::submit`], declaring the output size in bytes so
+    /// the placer can weigh data gravity (the `RemoteFile` analogue).
+    pub fn submit_sized(
+        &self,
+        name: &str,
+        args: Vec<Value>,
+        deps: &[&AppFuture],
+        output_bytes: u64,
+    ) -> Result<AppFuture, UniFaasError> {
+        if !self.functions.lock().contains_key(name) {
+            return Err(UniFaasError::UnknownFunction(name.to_string()));
+        }
+        let mut coord = self.coord.lock();
+        let id = coord.next_id;
+        coord.next_id += 1;
+        let future = AppFuture {
+            id,
+            state: Arc::new(FutureState {
+                cell: Mutex::new(None),
+                cond: Condvar::new(),
+            }),
+        };
+        coord.futures.insert(id, future.clone());
+        coord.outstanding += 1;
+
+        let dep_ids: Vec<usize> = deps.iter().map(|d| d.id).collect();
+        let unresolved: Vec<usize> = dep_ids
+            .iter()
+            .copied()
+            .filter(|d| !coord.produced_at.contains_key(d))
+            .collect();
+        let task = PendingTask {
+            function: name.to_string(),
+            args,
+            dep_ids,
+            remaining: unresolved.len(),
+            output_bytes,
+        };
+        if task.remaining == 0 {
+            drop(coord);
+            self.dispatch(id, task);
+        } else {
+            for d in &unresolved {
+                coord.dependents.entry(*d).or_default().push(id);
+            }
+            coord.pending.insert(id, task);
+        }
+        Ok(future)
+    }
+
+    /// Blocks until every submitted task has completed.
+    pub fn wait_all(&self) {
+        let mut coord = self.coord.lock();
+        while coord.outstanding > 0 {
+            self.done_cond.wait(&mut coord);
+        }
+    }
+
+    /// Picks an endpoint: maximize free workers, break ties toward the
+    /// endpoint holding the most input bytes.
+    fn place(&self, coord: &Coord, task: &PendingTask) -> usize {
+        let mut best = 0usize;
+        let mut best_key = (i64::MIN, i64::MIN);
+        for (i, ep) in self.endpoints.iter().enumerate() {
+            let free = ep.n_workers() as i64 - ep.busy_workers() as i64;
+            let local_bytes: i64 = task
+                .dep_ids
+                .iter()
+                .filter_map(|d| coord.produced_at.get(d))
+                .filter(|(at, _)| *at == i)
+                .map(|(_, b)| *b as i64)
+                .sum();
+            let key = (free.min(1), local_bytes); // any free slot ties; then locality
+            let key = if free <= 0 { (free, local_bytes) } else { key };
+            if key > best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn dispatch(&self, id: usize, task: PendingTask) {
+        let (ep_idx, remote_bytes, dep_values_or_err) = {
+            let coord = self.coord.lock();
+            let ep_idx = self.place(&coord, &task);
+            let remote_bytes: u64 = task
+                .dep_ids
+                .iter()
+                .filter_map(|d| coord.produced_at.get(d))
+                .filter(|(at, _)| *at != ep_idx)
+                .map(|(_, b)| *b)
+                .sum();
+            // Collect resolved dependency values (or an upstream error).
+            let mut vals = Vec::with_capacity(task.dep_ids.len());
+            let mut upstream_err = None;
+            for d in &task.dep_ids {
+                let fut = coord.futures.get(d).expect("dep future exists");
+                match fut.state.cell.lock().as_ref().expect("dep resolved") {
+                    Ok(v) => vals.push(Arc::clone(v)),
+                    Err(e) => {
+                        upstream_err = Some(format!("upstream task {d} failed: {e}"));
+                        break;
+                    }
+                }
+            }
+            (ep_idx, remote_bytes, upstream_err.map_or(Ok(vals), Err))
+        };
+
+        match dep_values_or_err {
+            Err(msg) => self.complete(id, ep_idx, Err(msg), task.output_bytes),
+            Ok(dep_values) => {
+                let f = Arc::clone(
+                    self.functions
+                        .lock()
+                        .get(&task.function)
+                        .expect("checked at submit"),
+                );
+                let mut inputs = task.args;
+                inputs.extend(dep_values);
+                let transfer_sleep = self
+                    .transfer_bandwidth_bps
+                    .filter(|_| remote_bytes > 0)
+                    .map(|bw| std::time::Duration::from_secs_f64(remote_bytes as f64 / bw));
+                let this = self.handle();
+                let output_bytes = task.output_bytes;
+                self.endpoints[ep_idx].submit_then(move || {
+                    if let Some(d) = transfer_sleep {
+                        std::thread::sleep(d); // simulated WAN staging
+                    }
+                    let result = f(&inputs);
+                    // Complete after the worker frees, so dependents see it
+                    // as placeable capacity.
+                    Some(Box::new(move || {
+                        this.complete(id, ep_idx, result, output_bytes);
+                    }) as Box<dyn FnOnce() + Send>)
+                });
+            }
+        }
+    }
+
+    fn handle(&self) -> RuntimeHandle {
+        RuntimeHandle {
+            endpoints: self.endpoints.clone(),
+            functions_snapshot: Arc::new(self.functions.lock().clone()),
+            coord: Arc::clone(&self.coord),
+            done_cond: Arc::clone(&self.done_cond),
+            transfer_bandwidth_bps: self.transfer_bandwidth_bps,
+        }
+    }
+
+    fn complete(&self, id: usize, ep: usize, result: Result<Value, String>, bytes: u64) {
+        self.handle().complete(id, ep, result, bytes);
+    }
+}
+
+/// A cheap clonable view used by worker closures to report completion and
+/// dispatch dependents.
+#[derive(Clone)]
+struct RuntimeHandle {
+    endpoints: Vec<Arc<ThreadedEndpoint>>,
+    functions_snapshot: Arc<HashMap<String, AppFn>>,
+    coord: Arc<Mutex<Coord>>,
+    done_cond: Arc<Condvar>,
+    transfer_bandwidth_bps: Option<f64>,
+}
+
+impl RuntimeHandle {
+    fn complete(&self, id: usize, ep: usize, result: Result<Value, String>, bytes: u64) {
+        let ready: Vec<(usize, PendingTask)> = {
+            let mut coord = self.coord.lock();
+            coord.produced_at.insert(id, (ep, bytes));
+            let fut = coord.futures.get(&id).expect("future exists").clone();
+            fut.resolve(result);
+            coord.outstanding -= 1;
+            if coord.outstanding == 0 {
+                self.done_cond.notify_all();
+            }
+            let mut ready = Vec::new();
+            if let Some(deps) = coord.dependents.remove(&id) {
+                for dep in deps {
+                    if let Some(t) = coord.pending.get_mut(&dep) {
+                        t.remaining -= 1;
+                        if t.remaining == 0 {
+                            let t = coord.pending.remove(&dep).expect("present");
+                            ready.push((dep, t));
+                        }
+                    }
+                }
+            }
+            ready
+        };
+        for (rid, task) in ready {
+            self.dispatch(rid, task);
+        }
+    }
+
+    fn place(&self, coord: &Coord, task: &PendingTask) -> usize {
+        let mut best = 0usize;
+        let mut best_key = (i64::MIN, i64::MIN);
+        for (i, ep) in self.endpoints.iter().enumerate() {
+            let free = ep.n_workers() as i64 - ep.busy_workers() as i64;
+            let local_bytes: i64 = task
+                .dep_ids
+                .iter()
+                .filter_map(|d| coord.produced_at.get(d))
+                .filter(|(at, _)| *at == i)
+                .map(|(_, b)| *b as i64)
+                .sum();
+            let key = if free <= 0 {
+                (free, local_bytes)
+            } else {
+                (1, local_bytes)
+            };
+            if key > best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn dispatch(&self, id: usize, task: PendingTask) {
+        let (ep_idx, remote_bytes, dep_values_or_err) = {
+            let coord = self.coord.lock();
+            let ep_idx = self.place(&coord, &task);
+            let remote_bytes: u64 = task
+                .dep_ids
+                .iter()
+                .filter_map(|d| coord.produced_at.get(d))
+                .filter(|(at, _)| *at != ep_idx)
+                .map(|(_, b)| *b)
+                .sum();
+            let mut vals = Vec::with_capacity(task.dep_ids.len());
+            let mut upstream_err = None;
+            for d in &task.dep_ids {
+                let fut = coord.futures.get(d).expect("dep future exists");
+                match fut.state.cell.lock().as_ref().expect("dep resolved") {
+                    Ok(v) => vals.push(Arc::clone(v)),
+                    Err(e) => {
+                        upstream_err = Some(format!("upstream task {d} failed: {e}"));
+                        break;
+                    }
+                }
+            }
+            (ep_idx, remote_bytes, upstream_err.map_or(Ok(vals), Err))
+        };
+
+        match dep_values_or_err {
+            Err(msg) => self.complete(id, ep_idx, Err(msg), task.output_bytes),
+            Ok(dep_values) => {
+                let f = Arc::clone(
+                    self.functions_snapshot
+                        .get(&task.function)
+                        .expect("checked at submit"),
+                );
+                let mut inputs = task.args;
+                inputs.extend(dep_values);
+                let transfer_sleep = self
+                    .transfer_bandwidth_bps
+                    .filter(|_| remote_bytes > 0)
+                    .map(|bw| std::time::Duration::from_secs_f64(remote_bytes as f64 / bw));
+                let this = self.clone();
+                let output_bytes = task.output_bytes;
+                self.endpoints[ep_idx].submit_then(move || {
+                    if let Some(d) = transfer_sleep {
+                        std::thread::sleep(d);
+                    }
+                    let result = f(&inputs);
+                    Some(Box::new(move || {
+                        this.complete(id, ep_idx, result, output_bytes);
+                    }) as Box<dyn FnOnce() + Send>)
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add_fn(rt: &LiveRuntime) {
+        rt.register("add", |args| {
+            let mut sum = 0i64;
+            for v in args {
+                sum += *downcast::<i64>(v).ok_or_else(|| "not an i64".to_string())?;
+            }
+            Ok(value(sum))
+        });
+    }
+
+    #[test]
+    fn single_task_roundtrip() {
+        let rt = LiveRuntime::new(&[("local", 2)]);
+        add_fn(&rt);
+        let f = rt.submit("add", vec![value(2i64), value(3i64)], &[]).unwrap();
+        let v = f.wait().unwrap();
+        assert_eq!(*downcast::<i64>(&v).unwrap(), 5);
+    }
+
+    #[test]
+    fn future_passing_builds_chains() {
+        let rt = LiveRuntime::new(&[("a", 1), ("b", 1)]);
+        add_fn(&rt);
+        let f1 = rt.submit("add", vec![value(1i64), value(1i64)], &[]).unwrap();
+        let f2 = rt.submit("add", vec![value(10i64)], &[&f1]).unwrap();
+        let f3 = rt.submit("add", vec![value(100i64)], &[&f2]).unwrap();
+        assert_eq!(*downcast::<i64>(&f3.wait().unwrap()).unwrap(), 112);
+    }
+
+    #[test]
+    fn chain_on_single_worker_does_not_deadlock() {
+        let rt = LiveRuntime::new(&[("solo", 1)]);
+        add_fn(&rt);
+        let mut prev = rt.submit("add", vec![value(0i64)], &[]).unwrap();
+        for _ in 0..20 {
+            prev = rt.submit("add", vec![value(1i64)], &[&prev]).unwrap();
+        }
+        assert_eq!(*downcast::<i64>(&prev.wait().unwrap()).unwrap(), 20);
+    }
+
+    #[test]
+    fn fan_in_waits_for_all_dependencies() {
+        let rt = LiveRuntime::new(&[("a", 4)]);
+        add_fn(&rt);
+        let parts: Vec<AppFuture> = (0..8)
+            .map(|i| rt.submit("add", vec![value(i as i64)], &[]).unwrap())
+            .collect();
+        let refs: Vec<&AppFuture> = parts.iter().collect();
+        let total = rt.submit("add", vec![], &refs).unwrap();
+        assert_eq!(*downcast::<i64>(&total.wait().unwrap()).unwrap(), 28);
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let rt = LiveRuntime::new(&[("a", 1)]);
+        assert!(matches!(
+            rt.submit("nope", vec![], &[]),
+            Err(UniFaasError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn application_errors_propagate_to_dependents() {
+        let rt = LiveRuntime::new(&[("a", 2)]);
+        rt.register("boom", |_| Err("kaput".into()));
+        add_fn(&rt);
+        let bad = rt.submit("boom", vec![], &[]).unwrap();
+        let child = rt.submit("add", vec![value(1i64)], &[&bad]).unwrap();
+        let err = child.wait().unwrap_err();
+        match err {
+            UniFaasError::FunctionError { message, .. } => {
+                assert!(message.contains("upstream"), "{message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        assert!(bad.wait().is_err());
+    }
+
+    #[test]
+    fn wait_all_drains_everything() {
+        let rt = LiveRuntime::new(&[("a", 4), ("b", 4)]);
+        add_fn(&rt);
+        let futures: Vec<AppFuture> = (0..50)
+            .map(|i| rt.submit("add", vec![value(i as i64)], &[]).unwrap())
+            .collect();
+        rt.wait_all();
+        for f in &futures {
+            assert!(f.is_done());
+        }
+    }
+
+    #[test]
+    fn parallelism_across_endpoints() {
+        let rt = LiveRuntime::new(&[("a", 2), ("b", 2)]);
+        rt.register("sleepy", |_| {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            Ok(value(()))
+        });
+        let t0 = std::time::Instant::now();
+        let futs: Vec<AppFuture> = (0..4)
+            .map(|_| rt.submit("sleepy", vec![], &[]).unwrap())
+            .collect();
+        for f in futs {
+            f.wait().unwrap();
+        }
+        let elapsed = t0.elapsed();
+        // 4 × 100 ms across 4 workers ≈ 100 ms; serial would be 400 ms.
+        assert!(elapsed < std::time::Duration::from_millis(350), "{elapsed:?}");
+    }
+}

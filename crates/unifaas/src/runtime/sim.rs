@@ -1,0 +1,1559 @@
+//! The discrete-event workflow runtime.
+//!
+//! Executes a workflow DAG against the `fedci` simulation substrate under
+//! virtual time, driving the full UniFaaS pipeline of §IV-A:
+//!
+//! 1. endpoints are deployed from the [`Config`];
+//! 2. the DAG generator output (a [`Dag`]) is submitted;
+//! 3. profilers predict execution/transfer times (oracle or learned);
+//! 4. the scheduler maps ready tasks to endpoints;
+//! 5. the data manager stages inputs, and the task executor dispatches
+//!    tasks and polls results;
+//! 6. the task monitor logs every run, updating the profilers.
+//!
+//! The runtime also implements multi-endpoint elasticity (§IV-H), fault
+//! tolerance (§IV-G: transfer retry + task reassignment), dynamic capacity
+//! events (Table V) and dynamic DAG growth (tasks injected mid-run).
+
+use crate::config::{Config, KnowledgeMode, SchedulingStrategy};
+use crate::data::{DataManager, XferId};
+use crate::error::UniFaasError;
+use crate::metrics::{LatencyBreakdown, RunReport, RunSeries};
+use crate::monitor::{EndpointMonitor, MockEndpoint, TaskMonitor, TaskRecord};
+use crate::monitor::HistoryDb;
+use crate::profile::transfer::transfer_record_name;
+use crate::profile::{EndpointFeatures, LearnedProfiler, OracleProfiler, Predictor};
+use crate::runtime::TaskState;
+use crate::scaling::{CoordinatedScaling, DefaultScaling, ScaleCommand, ScaleView, Scaling};
+use crate::sched::{
+    external_input_id, output_id, task_inputs, CapacityScheduler, DhaScheduler,
+    LocalityScheduler, PinnedScheduler, SchedAction, SchedCtx, Scheduler,
+};
+use fedci::endpoint::{EndpointId, EndpointSim};
+use fedci::faas::FaasServiceModel;
+use fedci::fault::FaultInjector;
+use fedci::network::{Link, NetworkTopology};
+use fedci::transfer::TransferParams;
+use simkit::event::EventId;
+use simkit::{Engine, SimDuration, SimRng, SimTime};
+use std::collections::{HashMap, VecDeque};
+use taskgraph::{Dag, TaskId};
+
+/// How many new monitor records accumulate before the learned profilers
+/// retrain.
+const RETRAIN_EVERY: usize = 64;
+
+/// Simulation events.
+#[derive(Debug)]
+enum Ev {
+    /// Re-check whether a task's staging is complete.
+    StagingCheck(TaskId),
+    /// A transfer finished (success or failure decided on delivery).
+    XferDone(XferId),
+    /// A dispatched task arrived at its endpoint.
+    TaskArrive(TaskId, EndpointId),
+    /// A task finished executing.
+    ExecDone(TaskId, EndpointId),
+    /// The client observed a task result (`bool` = success).
+    ResultObserved(TaskId, EndpointId, bool),
+    /// Periodic mock/endpoint state synchronization.
+    MockSync,
+    /// Periodic elastic-scaling evaluation.
+    ScaleTick,
+    /// Periodic DHA re-scheduling.
+    RescheduleTick,
+    /// A configured capacity change fires.
+    CapacityChange(usize),
+    /// Requested workers emerged from the batch queue.
+    Commission(EndpointId, usize),
+    /// Dynamic DAG growth hook fires.
+    Inject(usize),
+}
+
+/// Per-task runtime bookkeeping.
+#[derive(Debug)]
+struct TaskRt {
+    state: TaskState,
+    target: Option<EndpointId>,
+    pending_on: Option<EndpointId>,
+    attempts: u32,
+    attempt_eps: Vec<EndpointId>,
+    /// Retry dispatches bypass the scheduler (§IV-G reassignment policy).
+    runtime_retry: bool,
+    predicted_exec: f64,
+    t_ready: SimTime,
+    t_staged: SimTime,
+    t_dispatched: SimTime,
+    t_arrived: SimTime,
+    t_exec_start: SimTime,
+    t_exec_end: SimTime,
+}
+
+impl TaskRt {
+    fn new() -> Self {
+        TaskRt {
+            state: TaskState::Waiting,
+            target: None,
+            pending_on: None,
+            attempts: 0,
+            attempt_eps: Vec::new(),
+            runtime_retry: false,
+            predicted_exec: 0.0,
+            t_ready: SimTime::ZERO,
+            t_staged: SimTime::ZERO,
+            t_dispatched: SimTime::ZERO,
+            t_arrived: SimTime::ZERO,
+            t_exec_start: SimTime::ZERO,
+            t_exec_end: SimTime::ZERO,
+        }
+    }
+}
+
+enum ProfilerKind {
+    Oracle(OracleProfiler),
+    Learned(Box<LearnedProfiler>),
+}
+
+type InjectFn = Box<dyn FnOnce(&mut Dag)>;
+
+/// The simulated-federation workflow runtime.
+pub struct SimRuntime {
+    cfg: Config,
+    dag: Dag,
+    net: Option<NetworkTopology>,
+    history: Option<HistoryDb>,
+    prestage_inputs: bool,
+    injections: Vec<(SimTime, InjectFn)>,
+}
+
+impl SimRuntime {
+    /// Creates a runtime for `dag` under `config`.
+    pub fn new(config: Config, dag: Dag) -> Self {
+        SimRuntime {
+            cfg: config,
+            dag,
+            net: None,
+            history: None,
+            prestage_inputs: true,
+            injections: Vec::new(),
+        }
+    }
+
+    /// Overrides the network topology (default: uniform WAN links).
+    pub fn with_network(mut self, net: NetworkTopology) -> Self {
+        self.net = Some(net);
+        self
+    }
+
+    /// Preloads a history database so learned profilers start warm.
+    pub fn with_history(mut self, db: HistoryDb) -> Self {
+        self.history = Some(db);
+        self
+    }
+
+    /// Controls whether workflow-initial inputs are pre-replicated to every
+    /// endpoint before the run (datasets staged ahead of time, the paper's
+    /// case-study setup) or transferred on demand from the home endpoint
+    /// (the Fig. 5 latency experiment). Default: prestaged.
+    pub fn prestage_inputs(mut self, yes: bool) -> Self {
+        self.prestage_inputs = yes;
+        self
+    }
+
+    /// Registers a dynamic DAG growth hook: at `at`, `f` may append tasks
+    /// to the DAG (future-passing during execution).
+    pub fn inject_at<F: FnOnce(&mut Dag) + 'static>(&mut self, at: SimTime, f: F) {
+        self.injections.push((at, Box::new(f)));
+    }
+
+    /// Runs the workflow to completion and reports.
+    pub fn run(self) -> Result<RunReport, UniFaasError> {
+        self.cfg.validate()?;
+        let mut rt = Rt::build(self)?;
+        let mut engine: Engine<Ev> = Engine::new();
+        rt.bootstrap(&mut engine);
+        let mut handler =
+            |now: SimTime, ev: Ev, eng: &mut Engine<Ev>| rt.handle(now, ev, eng);
+        while engine.step(&mut handler) {}
+        rt.finish(engine.processed())
+    }
+}
+
+/// Internal mutable run state.
+struct Rt {
+    cfg: Config,
+    dag: Dag,
+    prestage: bool,
+    injections: Vec<Option<(SimTime, InjectFn)>>,
+    scheduler: Box<dyn Scheduler>,
+    endpoints: Vec<EndpointSim>,
+    features: Vec<EndpointFeatures>,
+    compute_eps: Vec<EndpointId>,
+    home: EndpointId,
+    monitor: EndpointMonitor,
+    task_monitor: TaskMonitor,
+    profiler: ProfilerKind,
+    dm: DataManager,
+    faas: FaasServiceModel,
+    faults: FaultInjector,
+    rng: SimRng,
+    scaler: Box<dyn Scaling>,
+    tasks: Vec<TaskRt>,
+    deps_remaining: Vec<usize>,
+    ep_queues: Vec<VecDeque<TaskId>>,
+    running: Vec<HashMap<TaskId, EventId>>,
+    pending_count: Vec<usize>,
+    client_busy_until: SimTime,
+    staging_count: usize,
+    completed: usize,
+    failed_attempts: usize,
+    fatal: Option<UniFaasError>,
+    makespan_end: SimTime,
+    tasks_per_ep: Vec<usize>,
+    records_at_last_retrain: usize,
+    sched_wall: std::time::Duration,
+    sched_calls: u64,
+    latency: LatencyBreakdown,
+    series: RunSeries,
+    mock_sync_armed: bool,
+    scale_armed: bool,
+    resched_armed: bool,
+}
+
+impl Rt {
+    fn build(r: SimRuntime) -> Result<Self, UniFaasError> {
+        let cfg = r.cfg;
+        let n = cfg.endpoints.len();
+        let home = EndpointId(cfg.home.expect("validated") as u16);
+
+        let endpoints: Vec<EndpointSim> = cfg
+            .endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                EndpointSim::new(
+                    EndpointId(i as u16),
+                    e.cluster.clone(),
+                    e.workers,
+                    e.max_workers,
+                )
+            })
+            .collect();
+        let features: Vec<EndpointFeatures> = cfg
+            .endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, e)| EndpointFeatures {
+                id: EndpointId(i as u16),
+                cores: e.cluster.cores_per_node,
+                cpu_ghz: e.cluster.cpu_ghz,
+                ram_gb: e.cluster.ram_gb,
+                speed_factor: e.cluster.speed_factor,
+            })
+            .collect();
+        let compute_eps: Vec<EndpointId> = cfg
+            .endpoints
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.max_workers > 0 || e.workers > 0)
+            .map(|(i, _)| EndpointId(i as u16))
+            .collect();
+
+        let net = r
+            .net
+            .unwrap_or_else(|| NetworkTopology::uniform(n, Link::wan()));
+        let params: TransferParams = cfg.transfer.default_params();
+        let dm = DataManager::new(net.clone(), params.clone(), cfg.max_transfer_retries);
+
+        let profiler = match cfg.knowledge {
+            KnowledgeMode::Oracle => {
+                ProfilerKind::Oracle(OracleProfiler::new(net, params))
+            }
+            KnowledgeMode::Learned => ProfilerKind::Learned(Box::default()),
+        };
+
+        let scheduler: Box<dyn Scheduler> = match &cfg.strategy {
+            SchedulingStrategy::Capacity => Box::new(CapacityScheduler::new()),
+            SchedulingStrategy::Locality => Box::new(LocalityScheduler::new()),
+            SchedulingStrategy::Dha { rescheduling } => {
+                Box::new(DhaScheduler::new(*rescheduling))
+            }
+            SchedulingStrategy::DhaCustom {
+                rescheduling,
+                delay_dispatch,
+                steal_threshold_pct,
+            } => Box::new(DhaScheduler::with_options(
+                crate::sched::dha::DhaOptions {
+                    rescheduling: *rescheduling,
+                    delay_dispatch: *delay_dispatch,
+                    steal_threshold: *steal_threshold_pct as f64 / 100.0,
+                },
+            )),
+            SchedulingStrategy::Pinned(map) => Box::new(PinnedScheduler::new(map.clone())),
+        };
+
+        let mocks = cfg
+            .endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                MockEndpoint::new(
+                    EndpointId(i as u16),
+                    &e.label,
+                    e.workers,
+                    e.cluster.speed_factor,
+                )
+            })
+            .collect();
+
+        let mut rng = SimRng::seed_from_u64(cfg.seed);
+        let faults = {
+            let mut f = FaultInjector::with_probs(
+                rng.fork().raw().next_u64_compat(),
+                cfg.transfer_failure_prob,
+                cfg.task_failure_prob,
+            );
+            let _ = &mut f;
+            f
+        };
+
+        let task_monitor = TaskMonitor::new(r.history);
+        let mut profiler = profiler;
+        if let ProfilerKind::Learned(p) = &mut profiler {
+            p.retrain(&task_monitor);
+        }
+
+        let n_tasks = r.dag.len();
+        let scaler: Box<dyn Scaling> = match cfg.scaling.policy {
+            crate::config::ScalingPolicyKind::Default => Box::new(DefaultScaling {
+                idle_timeout: cfg.scaling.idle_timeout,
+            }),
+            crate::config::ScalingPolicyKind::Coordinated {
+                target_drain_seconds,
+            } => Box::new(CoordinatedScaling {
+                target_drain_seconds,
+                idle_timeout: cfg.scaling.idle_timeout,
+            }),
+        };
+        let faas = cfg.faas.clone();
+        Ok(Rt {
+            cfg,
+            dag: r.dag,
+            prestage: r.prestage_inputs,
+            injections: r.injections.into_iter().map(Some).collect(),
+            scheduler,
+            endpoints,
+            features,
+            compute_eps,
+            home,
+            monitor: EndpointMonitor::new(mocks),
+            task_monitor,
+            profiler,
+            dm,
+            faas,
+            faults,
+            rng,
+            scaler,
+            tasks: (0..n_tasks).map(|_| TaskRt::new()).collect(),
+            deps_remaining: Vec::new(),
+            ep_queues: (0..n).map(|_| VecDeque::new()).collect(),
+            running: (0..n).map(|_| HashMap::new()).collect(),
+            pending_count: vec![0; n],
+            client_busy_until: SimTime::ZERO,
+            staging_count: 0,
+            completed: 0,
+            failed_attempts: 0,
+            fatal: None,
+            makespan_end: SimTime::ZERO,
+            tasks_per_ep: vec![0; n],
+            records_at_last_retrain: 0,
+            sched_wall: std::time::Duration::ZERO,
+            sched_calls: 0,
+            latency: LatencyBreakdown::default(),
+            series: RunSeries::default(),
+            mock_sync_armed: false,
+            scale_armed: false,
+            resched_armed: false,
+        })
+    }
+
+    fn predictor(&self) -> &dyn Predictor {
+        match &self.profiler {
+            ProfilerKind::Oracle(p) => p,
+            ProfilerKind::Learned(p) => p.as_ref(),
+        }
+    }
+
+    // ---- metrics helpers ----------------------------------------------
+
+    fn record_workers(&mut self, now: SimTime) {
+        let mut busy_total = 0.0;
+        let mut active_total = 0.0;
+        for ep in 0..self.endpoints.len() {
+            let e = &self.endpoints[ep];
+            let label = self.cfg.endpoints[ep].label.clone();
+            self.series
+                .busy_workers
+                .series_mut(&label)
+                .record(now, e.busy_workers() as f64);
+            self.series
+                .active_workers
+                .series_mut(&label)
+                .record(now, e.active_workers() as f64);
+            busy_total += e.busy_workers() as f64;
+            active_total += e.active_workers() as f64;
+        }
+        self.series.busy_total.record(now, busy_total);
+        self.series.active_total.record(now, active_total);
+    }
+
+    fn record_staging(&mut self, now: SimTime) {
+        self.series
+            .staging_tasks
+            .record(now, self.staging_count as f64);
+    }
+
+    fn set_pending(&mut self, t: TaskId, ep: Option<EndpointId>, now: SimTime) {
+        let old = self.tasks[t.index()].pending_on;
+        if old == ep {
+            return;
+        }
+        if let Some(o) = old {
+            self.pending_count[o.index()] -= 1;
+            let label = self.cfg.endpoints[o.index()].label.clone();
+            let v = self.pending_count[o.index()] as f64;
+            self.series.pending_tasks.series_mut(&label).record(now, v);
+        }
+        if let Some(e) = ep {
+            self.pending_count[e.index()] += 1;
+            let label = self.cfg.endpoints[e.index()].label.clone();
+            let v = self.pending_count[e.index()] as f64;
+            self.series.pending_tasks.series_mut(&label).record(now, v);
+        }
+        self.tasks[t.index()].pending_on = ep;
+    }
+
+    // ---- scheduler invocation -----------------------------------------
+
+    fn sched<F: FnOnce(&mut dyn Scheduler, &mut SchedCtx)>(
+        &mut self,
+        now: SimTime,
+        f: F,
+    ) -> Vec<SchedAction> {
+        let t0 = std::time::Instant::now();
+        let predictor: &dyn Predictor = match &self.profiler {
+            ProfilerKind::Oracle(p) => p,
+            ProfilerKind::Learned(p) => p.as_ref(),
+        };
+        let mut ctx = SchedCtx::new(
+            now,
+            &self.dag,
+            &self.monitor,
+            &self.dm.store,
+            predictor,
+            &self.features,
+            self.home,
+            &self.compute_eps,
+            &self.dm,
+            self.faas.max_payload_bytes,
+        );
+        f(self.scheduler.as_mut(), &mut ctx);
+        let actions = ctx.take_actions();
+        self.sched_wall += t0.elapsed();
+        self.sched_calls += 1;
+        actions
+    }
+
+    fn process_actions(
+        &mut self,
+        actions: Vec<SchedAction>,
+        now: SimTime,
+        eng: &mut Engine<Ev>,
+    ) {
+        for a in actions {
+            match a {
+                SchedAction::Stage { task, ep } => self.do_stage(task, ep, false, now, eng),
+                SchedAction::Dispatch { task, ep } => self.do_dispatch(task, ep, now, eng),
+            }
+        }
+    }
+
+    // ---- task lifecycle -----------------------------------------------
+
+    fn do_stage(
+        &mut self,
+        t: TaskId,
+        ep: EndpointId,
+        runtime_retry: bool,
+        now: SimTime,
+        eng: &mut Engine<Ev>,
+    ) {
+        {
+            let task = &mut self.tasks[t.index()];
+            debug_assert!(
+                matches!(
+                    task.state,
+                    TaskState::Ready | TaskState::Staging | TaskState::Staged
+                ),
+                "stage from invalid state {:?} for {t}",
+                task.state
+            );
+            if task.state != TaskState::Staging {
+                self.staging_count += 1;
+            }
+            task.state = TaskState::Staging;
+            task.target = Some(ep);
+            task.runtime_retry = runtime_retry;
+        }
+        self.set_pending(t, Some(ep), now);
+        self.record_staging(now);
+        let inputs = task_inputs(&self.dag, t, self.faas.max_payload_bytes);
+        let req = self.dm.request_stage(t, &inputs, ep, now);
+        for sx in req.started {
+            eng.schedule(sx.completes_at, Ev::XferDone(sx.id));
+        }
+        if req.missing == 0 {
+            eng.schedule(now, Ev::StagingCheck(t));
+        }
+    }
+
+    /// Checks whether `t`'s staging is complete; fires downstream if so.
+    fn check_staged(&mut self, t: TaskId, now: SimTime, eng: &mut Engine<Ev>) {
+        if self.tasks[t.index()].state != TaskState::Staging {
+            return; // stale notification (retargeted or already moved on)
+        }
+        let Some(ep) = self.tasks[t.index()].target else {
+            return;
+        };
+        let inputs = task_inputs(&self.dag, t, self.faas.max_payload_bytes);
+        if self.dm.store.missing_bytes(&inputs, ep) > 0 {
+            return; // still waiting for other objects (or retargeted)
+        }
+        {
+            let task = &mut self.tasks[t.index()];
+            task.state = TaskState::Staged;
+            task.t_staged = now;
+        }
+        self.staging_count -= 1;
+        self.record_staging(now);
+        if self.tasks[t.index()].runtime_retry {
+            // §IV-G reassignment path: bypass the scheduler.
+            self.do_dispatch(t, ep, now, eng);
+        } else {
+            let actions = self.sched(now, |s, ctx| s.on_staging_complete(ctx, t));
+            self.process_actions(actions, now, eng);
+        }
+    }
+
+    fn do_dispatch(&mut self, t: TaskId, ep: EndpointId, now: SimTime, eng: &mut Engine<Ev>) {
+        let predicted = self
+            .predictor()
+            .exec_seconds(&self.dag, t, &self.features[ep.index()]);
+        {
+            let task = &mut self.tasks[t.index()];
+            debug_assert_eq!(task.state, TaskState::Staged, "dispatch of unstaged {t}");
+            task.state = TaskState::Dispatched;
+            task.t_dispatched = now;
+            task.predicted_exec = predicted;
+            task.target = Some(ep);
+        }
+        // Local mocking: push a mock task at submission time.
+        self.monitor.mock_mut(ep).push_task(predicted);
+        // The client serializes submissions.
+        let start = if self.client_busy_until > now {
+            self.client_busy_until
+        } else {
+            now
+        };
+        self.client_busy_until = start + self.faas.client_submit_overhead;
+        let arrive = self.client_busy_until + self.faas.sample_dispatch(&mut self.rng);
+        eng.schedule(arrive, Ev::TaskArrive(t, ep));
+    }
+
+    fn try_start(&mut self, ep: EndpointId, now: SimTime, eng: &mut Engine<Ev>) {
+        let mut started_any = false;
+        while self.endpoints[ep.index()].idle_workers() > 0
+            && !self.ep_queues[ep.index()].is_empty()
+        {
+            let t = self.ep_queues[ep.index()]
+                .pop_front()
+                .expect("checked non-empty");
+            let ok = self.endpoints[ep.index()].occupy_worker(now);
+            debug_assert!(ok);
+            started_any = true;
+            {
+                let task = &mut self.tasks[t.index()];
+                task.state = TaskState::Running;
+                task.t_exec_start = now;
+            }
+            self.set_pending(t, None, now);
+            let noise = self.rng.normal_min(1.0, self.cfg.exec_noise_cv, 0.1);
+            let base = self.dag.spec(t).compute_seconds * noise;
+            let dur = self.endpoints[ep.index()].exec_duration(base);
+            let eid = eng.schedule(now + dur, Ev::ExecDone(t, ep));
+            self.running[ep.index()].insert(t, eid);
+        }
+        if started_any {
+            self.record_workers(now);
+        }
+    }
+
+    /// Gives the scheduler a chance to use idle workers on `ep`.
+    fn worker_idle_loop(&mut self, ep: EndpointId, now: SimTime, eng: &mut Engine<Ev>) {
+        if self.fatal.is_some() {
+            return;
+        }
+        // Bounded by believed idle workers so a scheduler that keeps
+        // emitting actions cannot spin forever.
+        for _ in 0..self.monitor.mock(ep).idle_workers().max(1) {
+            if self.monitor.mock(ep).idle_workers() == 0 {
+                break;
+            }
+            let actions = self.sched(now, |s, ctx| s.on_worker_idle(ctx, ep));
+            if actions.is_empty() {
+                break;
+            }
+            self.process_actions(actions, now, eng);
+        }
+    }
+
+    fn exec_done(&mut self, t: TaskId, ep: EndpointId, now: SimTime, eng: &mut Engine<Ev>) {
+        self.running[ep.index()].remove(&t);
+        self.endpoints[ep.index()].release_worker(now);
+        self.record_workers(now);
+        let success = !self.faults.task_fails(ep, now);
+        {
+            let task = &mut self.tasks[t.index()];
+            task.state = TaskState::AwaitResult;
+            task.t_exec_end = now;
+        }
+        if success {
+            // The output file exists on the endpoint's shared filesystem
+            // immediately.
+            let bytes = self.dag.spec(t).output_bytes;
+            if bytes > 0 {
+                let oid = output_id(t);
+                if self.dm.store.contains(oid) {
+                    self.dm.store.add_replica(oid, ep);
+                } else {
+                    self.dm.store.register(oid, bytes, ep);
+                }
+            }
+        }
+        let poll = SimDuration::from_secs_f64(
+            self.rng.uniform01() * self.faas.poll_interval.as_secs_f64(),
+        ) + self.faas.sample_result(&mut self.rng);
+        eng.schedule(now + poll, Ev::ResultObserved(t, ep, success));
+        // The freed worker may pull from the endpoint's local queue.
+        self.try_start(ep, now, eng);
+    }
+
+    fn result_observed(
+        &mut self,
+        t: TaskId,
+        ep: EndpointId,
+        success: bool,
+        now: SimTime,
+        eng: &mut Engine<Ev>,
+    ) {
+        let predicted = self.tasks[t.index()].predicted_exec;
+        self.monitor.mock_mut(ep).pop_task(predicted);
+
+        // Observe: stream the record into the task monitor.
+        let spec = self.dag.spec(t);
+        let input_bytes: u64 = self
+            .dag
+            .preds(t)
+            .iter()
+            .map(|p| self.dag.spec(*p).output_bytes)
+            .sum::<u64>()
+            + spec.external_input_bytes;
+        let f = &self.features[ep.index()];
+        let duration = self.tasks[t.index()]
+            .t_exec_end
+            .saturating_since(self.tasks[t.index()].t_exec_start)
+            .as_secs_f64();
+        self.task_monitor.observe(TaskRecord {
+            function: self.dag.function_name(spec.function).to_string(),
+            endpoint: ep,
+            input_bytes,
+            duration_seconds: duration,
+            output_bytes: spec.output_bytes,
+            cores: f.cores,
+            cpu_ghz: f.cpu_ghz,
+            ram_gb: f.ram_gb,
+            success,
+        });
+        self.maybe_retrain();
+
+        if success {
+            self.tasks[t.index()].state = TaskState::Done;
+            self.tasks[t.index()].attempt_eps.push(ep);
+            self.completed += 1;
+            self.makespan_end = now;
+            self.tasks_per_ep[ep.index()] += 1;
+            self.aggregate_latency(t, now);
+            // Dependencies resolve when the *client* observes the result
+            // (it orchestrates successor staging).
+            let succs: Vec<TaskId> = self.dag.succs(t).to_vec();
+            for s in succs {
+                self.deps_remaining[s.index()] -= 1;
+                if self.deps_remaining[s.index()] == 0 {
+                    self.mark_ready(s, now, eng);
+                }
+            }
+        } else {
+            self.failed_attempts += 1;
+            self.task_attempt_failed(t, ep, now, eng);
+        }
+        // The mock freed a slot: delayed tasks may now dispatch.
+        self.worker_idle_loop(ep, now, eng);
+    }
+
+    fn mark_ready(&mut self, t: TaskId, now: SimTime, eng: &mut Engine<Ev>) {
+        if self.fatal.is_some() {
+            return;
+        }
+        {
+            let task = &mut self.tasks[t.index()];
+            task.state = TaskState::Ready;
+            task.t_ready = now;
+        }
+        let actions = self.sched(now, |s, ctx| s.on_task_ready(ctx, t));
+        self.process_actions(actions, now, eng);
+    }
+
+    fn task_attempt_failed(
+        &mut self,
+        t: TaskId,
+        ep: EndpointId,
+        now: SimTime,
+        eng: &mut Engine<Ev>,
+    ) {
+        {
+            let task = &mut self.tasks[t.index()];
+            task.attempts += 1;
+            task.attempt_eps.push(ep);
+        }
+        // The runtime takes over the task (§IV-G); the scheduler must drop
+        // any reservations/queue entries it still holds for it.
+        self.scheduler.on_task_removed(t);
+        self.set_pending(t, None, now);
+        if self.tasks[t.index()].attempts >= self.cfg.max_task_attempts {
+            self.tasks[t.index()].state = TaskState::Failed;
+            if self.fatal.is_none() {
+                self.fatal = Some(UniFaasError::TaskFailed {
+                    task: t,
+                    attempts: self.tasks[t.index()].attempt_eps.clone(),
+                });
+            }
+            return;
+        }
+        // §IV-G: first retry re-executes via the scheduler's decision
+        // (same endpoint); further retries go to the endpoint with the
+        // highest observed success rate.
+        let retry_ep = if self.tasks[t.index()].attempts == 1 {
+            ep
+        } else {
+            self.task_monitor
+                .best_endpoint_by_success(&self.compute_eps)
+                .unwrap_or(ep)
+        };
+        self.tasks[t.index()].state = TaskState::Ready;
+        self.do_stage(t, retry_ep, true, now, eng);
+    }
+
+    fn aggregate_latency(&mut self, t: TaskId, now: SimTime) {
+        let task = &self.tasks[t.index()];
+        self.latency.count += 1;
+        self.latency.staging_s += task
+            .t_staged
+            .saturating_since(task.t_ready)
+            .as_secs_f64();
+        self.latency.submission_s += task
+            .t_arrived
+            .saturating_since(task.t_dispatched)
+            .as_secs_f64();
+        self.latency.queue_s += task
+            .t_exec_start
+            .saturating_since(task.t_arrived)
+            .as_secs_f64();
+        self.latency.execution_s += task
+            .t_exec_end
+            .saturating_since(task.t_exec_start)
+            .as_secs_f64();
+        self.latency.polling_s += now.saturating_since(task.t_exec_end).as_secs_f64();
+    }
+
+    fn maybe_retrain(&mut self) {
+        if let ProfilerKind::Learned(p) = &mut self.profiler {
+            let n = self.task_monitor.history().len();
+            if n >= self.records_at_last_retrain + RETRAIN_EVERY {
+                p.retrain(&self.task_monitor);
+                self.records_at_last_retrain = n;
+            }
+        }
+    }
+
+    // ---- periodic machinery -------------------------------------------
+
+    fn finished(&self) -> bool {
+        (self.completed >= self.dag.len() && self.injections.iter().all(|i| i.is_none()))
+            || self.fatal.is_some()
+    }
+
+    /// True if something is actively happening (transfers, dispatched or
+    /// running tasks, workers in the batch queue).
+    fn system_active(&self) -> bool {
+        self.dm.transfers_outstanding() > 0
+            || self.endpoints.iter().any(|e| e.pending_workers() > 0)
+            || self.tasks.iter().any(|t| {
+                matches!(
+                    t.state,
+                    TaskState::Staging
+                        | TaskState::Dispatched
+                        | TaskState::Running
+                        | TaskState::AwaitResult
+                )
+            })
+    }
+
+    /// True if the run can still make forward progress without external
+    /// events. Periodic ticks stop re-arming when this is false, so a
+    /// stalled workflow (e.g. zero workers with scaling disabled) drains
+    /// the event queue and surfaces an error instead of spinning forever.
+    fn can_progress(&self) -> bool {
+        if self.system_active() {
+            return true;
+        }
+        let waiting = self
+            .tasks
+            .iter()
+            .any(|t| matches!(t.state, TaskState::Ready | TaskState::Staged));
+        if !waiting {
+            return false;
+        }
+        // Waiting tasks can proceed if idle workers exist (a sync/tick may
+        // unblock a delayed dispatch) ...
+        if self.endpoints.iter().any(|e| e.idle_workers() > 0) {
+            return true;
+        }
+        // ... or if elastic scaling can still provision more workers.
+        self.cfg.scaling.enabled
+            && (0..self.endpoints.len()).any(|i| {
+                let e = &self.endpoints[i];
+                e.active_workers() + e.pending_workers() < self.cfg.endpoints[i].max_workers
+            })
+    }
+
+    /// (Re-)arms the periodic tick events. Called at bootstrap and after
+    /// any event that can revive a quiesced run (capacity change, worker
+    /// commissioning, dynamic DAG injection).
+    fn rearm_periodics(&mut self, eng: &mut Engine<Ev>) {
+        if !self.mock_sync_armed {
+            self.mock_sync_armed = true;
+            eng.schedule_after(self.faas.status_sync_interval, Ev::MockSync);
+        }
+        if self.cfg.scaling.enabled && !self.scale_armed {
+            self.scale_armed = true;
+            eng.schedule_after(self.cfg.scaling.interval, Ev::ScaleTick);
+        }
+        if self.scheduler.wants_ticks() && !self.resched_armed {
+            self.resched_armed = true;
+            eng.schedule_after(self.cfg.reschedule_interval, Ev::RescheduleTick);
+        }
+    }
+
+    fn sync_mocks(&mut self, _now: SimTime) {
+        // Ground-truth outstanding per endpoint.
+        let mut outstanding = vec![0usize; self.endpoints.len()];
+        for task in &self.tasks {
+            if matches!(
+                task.state,
+                TaskState::Dispatched | TaskState::Running | TaskState::AwaitResult
+            ) {
+                if let Some(ep) = task.target {
+                    outstanding[ep.index()] += 1;
+                }
+            }
+        }
+        for (ep, n) in outstanding.iter().enumerate() {
+            let e = &self.endpoints[ep];
+            self.monitor.mock_mut(EndpointId(ep as u16)).sync(
+                e.active_workers(),
+                *n,
+                e.pending_workers(),
+            );
+        }
+    }
+
+    fn scale_tick(&mut self, now: SimTime, eng: &mut Engine<Ev>) {
+        // Ready tasks without a target yet (e.g. Locality's backlog while no
+        // worker is idle anywhere) are demand visible to *every* endpoint —
+        // the paper scales out "on all the endpoints" when pending tasks
+        // exceed workers.
+        let (unassigned, unassigned_work) = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == TaskState::Ready && t.pending_on.is_none())
+            .fold((0usize, 0.0f64), |(n, w), (i, _)| {
+                (n + 1, w + self.dag.spec(TaskId(i as u32)).compute_seconds)
+            });
+        let views: Vec<ScaleView> = (0..self.endpoints.len())
+            .map(|i| {
+                let e = &self.endpoints[i];
+                let mock = self.monitor.mock(EndpointId(i as u16));
+                ScaleView {
+                    id: EndpointId(i as u16),
+                    active_workers: e.active_workers(),
+                    pending_workers: e.pending_workers(),
+                    outstanding_tasks: self.pending_count[i] + e.busy_workers() + unassigned,
+                    outstanding_work_seconds: mock.outstanding_work_seconds
+                        + unassigned_work,
+                    idle_for: e.idle_duration(now),
+                    max_workers: self.cfg.endpoints[i].max_workers,
+                    workers_per_node: self.cfg.endpoints[i].workers_per_node,
+                    provision_delay_s: e.cluster.provision_delay_s,
+                }
+            })
+            .collect();
+        let cmds = self.scaler.plan(&views, now);
+        for cmd in cmds {
+            match cmd {
+                ScaleCommand::Out { ep, workers } => {
+                    let granted = self.endpoints[ep.index()].request_workers(workers);
+                    if granted > 0 {
+                        let delay = self.endpoints[ep.index()].provision_delay();
+                        eng.schedule(now + delay, Ev::Commission(ep, granted));
+                    }
+                }
+                ScaleCommand::In { ep, workers } => {
+                    self.endpoints[ep.index()].release_idle_workers(workers, now);
+                    let e = &self.endpoints[ep.index()];
+                    let (a, p) = (e.active_workers(), e.pending_workers());
+                    let m = self.monitor.mock_mut(ep);
+                    let out = m.outstanding_tasks;
+                    m.sync(a, out, p);
+                    self.record_workers(now);
+                }
+            }
+        }
+    }
+
+    fn capacity_change(&mut self, idx: usize, now: SimTime, eng: &mut Engine<Ev>) {
+        let ev = self.cfg.capacity_events[idx];
+        let ep = EndpointId(ev.endpoint as u16);
+        let preempted = self.endpoints[ep.index()].force_capacity_delta(ev.delta, now);
+        // Choose the most recently started running tasks as the preempted
+        // ones (their batch nodes died); deterministic order.
+        if preempted > 0 {
+            let mut victims: Vec<(SimTime, TaskId)> = self.running[ep.index()]
+                .keys()
+                .map(|t| (self.tasks[t.index()].t_exec_start, *t))
+                .collect();
+            victims.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)));
+            victims.truncate(preempted);
+            for (_, t) in victims {
+                let eid = self.running[ep.index()]
+                    .remove(&t)
+                    .expect("victim is running");
+                eng.cancel(eid);
+                self.monitor
+                    .mock_mut(ep)
+                    .pop_task(self.tasks[t.index()].predicted_exec);
+                // Lost progress: back to ready, rescheduled from scratch.
+                self.mark_ready(t, now, eng);
+            }
+        }
+        self.sync_mocks(now);
+        self.record_workers(now);
+        let actions = self.sched(now, |s, ctx| s.on_capacity_change(ctx));
+        self.process_actions(actions, now, eng);
+        // New workers (positive delta) can start queued/staged tasks.
+        self.try_start(ep, now, eng);
+        self.worker_idle_loop(ep, now, eng);
+        self.rearm_periodics(eng);
+    }
+
+    fn inject(&mut self, idx: usize, now: SimTime, eng: &mut Engine<Ev>) {
+        let Some((_, f)) = self.injections[idx].take() else {
+            return;
+        };
+        let before = self.dag.len();
+        f(&mut self.dag);
+        let added: Vec<TaskId> = (before as u32..self.dag.len() as u32).map(TaskId).collect();
+        if added.is_empty() {
+            return;
+        }
+        for _ in &added {
+            self.tasks.push(TaskRt::new());
+            self.deps_remaining.push(0);
+        }
+        self.register_inputs(&added);
+        self.init_deps(&added);
+        let actions = self.sched(now, |s, ctx| s.on_tasks_added(ctx, &added));
+        self.process_actions(actions, now, eng);
+        for &t in &added {
+            if self.deps_remaining[t.index()] == 0 {
+                self.mark_ready(t, now, eng);
+            }
+        }
+    }
+
+    fn register_inputs(&mut self, tasks: &[TaskId]) {
+        for &t in tasks {
+            let bytes = self.dag.spec(t).external_input_bytes;
+            if bytes == 0 {
+                continue;
+            }
+            let id = external_input_id(t);
+            self.dm.store.register(id, bytes, self.home);
+            if self.prestage {
+                for ep in &self.compute_eps {
+                    self.dm.store.add_replica(id, *ep);
+                }
+            }
+        }
+    }
+
+    fn init_deps(&mut self, tasks: &[TaskId]) {
+        for &t in tasks {
+            // Count only incomplete predecessors (dynamic tasks may depend
+            // on already-finished ones).
+            let remaining = self
+                .dag
+                .preds(t)
+                .iter()
+                .filter(|p| self.tasks[p.index()].state != TaskState::Done)
+                .count();
+            self.deps_remaining[t.index()] = remaining;
+        }
+    }
+
+    // ---- bootstrap / event loop / teardown ----------------------------
+
+    /// Sends probing transfers across every endpoint pair and feeds the
+    /// measured durations to the transfer profiler, so `Learned` runs start
+    /// with per-pair bandwidth estimates instead of the generic default.
+    fn probe_transfers(&mut self) {
+        const PROBE_SIZES: [u64; 2] = [1 << 20, 32 << 20];
+        let mut eps: Vec<EndpointId> = self.compute_eps.clone();
+        if !eps.contains(&self.home) {
+            eps.push(self.home);
+        }
+        for &src in &eps {
+            for &dst in &eps {
+                if src == dst {
+                    continue;
+                }
+                for bytes in PROBE_SIZES {
+                    let secs = self
+                        .dm
+                        .lone_transfer_duration(bytes, src, dst)
+                        .as_secs_f64();
+                    self.task_monitor.observe(TaskRecord {
+                        function: transfer_record_name(src, dst),
+                        endpoint: dst,
+                        input_bytes: bytes,
+                        duration_seconds: secs,
+                        output_bytes: 0,
+                        cores: 0,
+                        cpu_ghz: 0.0,
+                        ram_gb: 0,
+                        success: true,
+                    });
+                }
+            }
+        }
+        if let ProfilerKind::Learned(p) = &mut self.profiler {
+            p.retrain(&self.task_monitor);
+            self.records_at_last_retrain = self.task_monitor.history().len();
+        }
+    }
+
+    fn bootstrap(&mut self, eng: &mut Engine<Ev>) {
+        let now = SimTime::ZERO;
+        if self.cfg.probe_transfers && matches!(self.profiler, ProfilerKind::Learned(_)) {
+            self.probe_transfers();
+        }
+        self.deps_remaining = vec![0; self.dag.len()];
+        let all: Vec<TaskId> = self.dag.task_ids().collect();
+        self.register_inputs(&all);
+        self.init_deps(&all);
+        self.record_workers(now);
+        self.record_staging(now);
+
+        let actions = self.sched(now, |s, ctx| s.on_tasks_added(ctx, &all));
+        self.process_actions(actions, now, eng);
+        for t in all {
+            if self.deps_remaining[t.index()] == 0 {
+                self.mark_ready(t, now, eng);
+            }
+        }
+
+        // Periodic machinery.
+        self.rearm_periodics(eng);
+        for (i, ev) in self.cfg.capacity_events.clone().iter().enumerate() {
+            eng.schedule(ev.at, Ev::CapacityChange(i));
+        }
+        let inj: Vec<(usize, SimTime)> = self
+            .injections
+            .iter()
+            .enumerate()
+            .filter_map(|(i, x)| x.as_ref().map(|(t, _)| (i, *t)))
+            .collect();
+        for (i, at) in inj {
+            eng.schedule(at, Ev::Inject(i));
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev, eng: &mut Engine<Ev>) {
+        match ev {
+            Ev::StagingCheck(t) => self.check_staged(t, now, eng),
+            Ev::XferDone(x) => {
+                let failed = self.faults.transfer_fails();
+                let out = self.dm.complete(x, now, failed);
+                if let Some((src, dst, bytes, secs)) = out.observation {
+                    self.task_monitor.observe(TaskRecord {
+                        function: transfer_record_name(src, dst),
+                        endpoint: dst,
+                        input_bytes: bytes,
+                        duration_seconds: secs,
+                        output_bytes: 0,
+                        cores: 0,
+                        cpu_ghz: 0.0,
+                        ram_gb: 0,
+                        success: true,
+                    });
+                    self.maybe_retrain();
+                }
+                for sx in out.started {
+                    eng.schedule(sx.completes_at, Ev::XferDone(sx.id));
+                }
+                for t in out.tasks_to_check {
+                    self.check_staged(t, now, eng);
+                }
+                for t in out.failed_tasks {
+                    if self.tasks[t.index()].state == TaskState::Staging {
+                        let ep = self.tasks[t.index()].target.expect("staging has target");
+                        self.staging_count -= 1;
+                        self.record_staging(now);
+                        self.failed_attempts += 1;
+                        self.task_attempt_failed(t, ep, now, eng);
+                    }
+                }
+            }
+            Ev::TaskArrive(t, ep) => {
+                self.tasks[t.index()].t_arrived = now;
+                self.ep_queues[ep.index()].push_back(t);
+                self.try_start(ep, now, eng);
+            }
+            Ev::ExecDone(t, ep) => self.exec_done(t, ep, now, eng),
+            Ev::ResultObserved(t, ep, ok) => self.result_observed(t, ep, ok, now, eng),
+            Ev::MockSync => {
+                self.mock_sync_armed = false;
+                self.sync_mocks(now);
+                if !self.finished() && self.can_progress() {
+                    self.mock_sync_armed = true;
+                    eng.schedule(now + self.faas.status_sync_interval, Ev::MockSync);
+                    // Corrected views may unblock delayed dispatches.
+                    for ep in self.compute_eps.clone() {
+                        self.worker_idle_loop(ep, now, eng);
+                    }
+                }
+            }
+            Ev::ScaleTick => {
+                self.scale_armed = false;
+                self.scale_tick(now, eng);
+                let total_active: usize =
+                    self.endpoints.iter().map(|e| e.active_workers()).sum();
+                // While any workers remain provisioned the scaler must keep
+                // watching so idle-timeout scale-in fires even when the
+                // workflow is between bursts of (injected) tasks.
+                let keep_going =
+                    total_active > 0 || (!self.finished() && self.can_progress());
+                if keep_going && self.fatal.is_none() {
+                    self.scale_armed = true;
+                    eng.schedule(now + self.cfg.scaling.interval, Ev::ScaleTick);
+                }
+            }
+            Ev::RescheduleTick => {
+                self.resched_armed = false;
+                let actions = self.sched(now, |s, ctx| s.on_tick(ctx));
+                self.process_actions(actions, now, eng);
+                if !self.finished() && self.can_progress() {
+                    self.resched_armed = true;
+                    eng.schedule(now + self.cfg.reschedule_interval, Ev::RescheduleTick);
+                }
+            }
+            Ev::CapacityChange(i) => self.capacity_change(i, now, eng),
+            Ev::Commission(ep, n) => {
+                self.endpoints[ep.index()].commission_workers(n, now);
+                let e = &self.endpoints[ep.index()];
+                let (a, p) = (e.active_workers(), e.pending_workers());
+                let m = self.monitor.mock_mut(ep);
+                let out = m.outstanding_tasks;
+                m.sync(a, out, p);
+                self.record_workers(now);
+                self.try_start(ep, now, eng);
+                self.worker_idle_loop(ep, now, eng);
+                self.rearm_periodics(eng);
+            }
+            Ev::Inject(i) => {
+                self.inject(i, now, eng);
+                self.rearm_periodics(eng);
+            }
+        }
+    }
+
+    fn finish(mut self, events: u64) -> Result<RunReport, UniFaasError> {
+        if let Some(err) = self.fatal.take() {
+            return Err(err);
+        }
+        if self.completed < self.dag.len() {
+            // The event queue drained without finishing: a scheduling
+            // deadlock (e.g. every compute endpoint at zero workers with
+            // scaling disabled). Surface it as a configuration error.
+            return Err(UniFaasError::InvalidConfig(format!(
+                "workflow stalled: {}/{} tasks completed",
+                self.completed,
+                self.dag.len()
+            )));
+        }
+        self.latency.scheduling_s = self.sched_wall.as_secs_f64();
+        let tasks_per_endpoint = self
+            .tasks_per_ep
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (self.cfg.endpoints[i].label.clone(), *n))
+            .collect();
+        Ok(RunReport {
+            scheduler: self.scheduler.name().to_string(),
+            makespan: self.makespan_end.saturating_since(SimTime::ZERO),
+            tasks_completed: self.completed,
+            failed_attempts: self.failed_attempts,
+            transfer_bytes: self.dm.bytes_moved(),
+            tasks_per_endpoint,
+            scheduler_wall: self.sched_wall,
+            scheduler_calls: self.sched_calls,
+            events_processed: events,
+            latency: self.latency,
+            series: self.series,
+        })
+    }
+}
+
+// Compatibility shim: `rand` 0.8 exposes `next_u64` via RngCore.
+trait NextU64Compat {
+    fn next_u64_compat(&mut self) -> u64;
+}
+
+impl NextU64Compat for rand::rngs::StdRng {
+    fn next_u64_compat(&mut self) -> u64 {
+        rand::RngCore::next_u64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EndpointConfig;
+    use fedci::hardware::ClusterSpec;
+    use taskgraph::TaskSpec;
+
+    fn two_ep_config(strategy: SchedulingStrategy) -> Config {
+        Config::builder()
+            .endpoint(EndpointConfig::new("fast", ClusterSpec::taiyi(), 4))
+            .endpoint(EndpointConfig::new("slow", ClusterSpec::qiming(), 2))
+            .strategy(strategy)
+            .build()
+    }
+
+    fn chain_dag(n: usize, secs: f64) -> Dag {
+        let mut dag = Dag::new();
+        let f = dag.register_function("step");
+        let mut prev = None;
+        for _ in 0..n {
+            let deps: Vec<TaskId> = prev.into_iter().collect();
+            prev = Some(dag.add_task(
+                TaskSpec::compute(f, secs).with_output_bytes(1 << 20),
+                &deps,
+            ));
+        }
+        dag
+    }
+
+    fn bag_dag(n: usize, secs: f64) -> Dag {
+        let mut dag = Dag::new();
+        let f = dag.register_function("bag");
+        for _ in 0..n {
+            dag.add_task(TaskSpec::compute(f, secs), &[]);
+        }
+        dag
+    }
+
+    #[test]
+    fn runs_chain_with_all_strategies() {
+        for strategy in [
+            SchedulingStrategy::Capacity,
+            SchedulingStrategy::Locality,
+            SchedulingStrategy::Dha { rescheduling: true },
+            SchedulingStrategy::Dha { rescheduling: false },
+        ] {
+            let report = SimRuntime::new(two_ep_config(strategy.clone()), chain_dag(5, 10.0))
+                .run()
+                .unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
+            assert_eq!(report.tasks_completed, 5, "{strategy:?}");
+            // A 5×10 s chain takes at least 50/1.4 s even on the fastest
+            // endpoint.
+            assert!(
+                report.makespan >= SimDuration::from_secs(35),
+                "{strategy:?}: makespan {}",
+                report.makespan
+            );
+            assert_eq!(report.failed_attempts, 0);
+        }
+    }
+
+    #[test]
+    fn bag_of_tasks_parallelizes() {
+        let report = SimRuntime::new(
+            two_ep_config(SchedulingStrategy::Locality),
+            bag_dag(12, 30.0),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(report.tasks_completed, 12);
+        // 12 tasks on 6 workers: two waves ≈ 60 s at reference speed,
+        // clearly below the serial 360 s.
+        assert!(
+            report.makespan < SimDuration::from_secs(150),
+            "makespan {}",
+            report.makespan
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            SimRuntime::new(
+                two_ep_config(SchedulingStrategy::Dha { rescheduling: true }),
+                chain_dag(8, 5.0),
+            )
+            .run()
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.transfer_bytes, b.transfer_bytes);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn heterogeneity_aware_dha_prefers_fast_endpoint() {
+        let mut cfg = two_ep_config(SchedulingStrategy::Dha { rescheduling: true });
+        cfg.exec_noise_cv = 0.0;
+        let report = SimRuntime::new(cfg, bag_dag(40, 60.0)).run().unwrap();
+        let fast = report
+            .tasks_per_endpoint
+            .iter()
+            .find(|(l, _)| l == "fast")
+            .unwrap()
+            .1;
+        let slow = report
+            .tasks_per_endpoint
+            .iter()
+            .find(|(l, _)| l == "slow")
+            .unwrap()
+            .1;
+        // fast has 2× workers and 1.4× speed: it must take the lion's
+        // share.
+        assert!(fast > slow * 2, "fast={fast} slow={slow}");
+    }
+
+    #[test]
+    fn transfer_bytes_counted_for_cross_endpoint_chains() {
+        // A chain under Capacity on one endpoint: everything stays local.
+        let cfg = Config::builder()
+            .endpoint(EndpointConfig::new("only", ClusterSpec::qiming(), 4))
+            .strategy(SchedulingStrategy::Capacity)
+            .build();
+        let report = SimRuntime::new(cfg, chain_dag(6, 2.0)).run().unwrap();
+        assert_eq!(report.transfer_bytes, 0, "single endpoint must not transfer");
+    }
+
+    #[test]
+    fn external_inputs_prestage_toggle() {
+        let mut dag = Dag::new();
+        let f = dag.register_function("reader");
+        dag.add_task(
+            TaskSpec::compute(f, 1.0).with_external_input_bytes(10 << 20),
+            &[],
+        );
+        let cfg = || {
+            Config::builder()
+                .endpoint(EndpointConfig::new("ep", ClusterSpec::qiming(), 2))
+                .strategy(SchedulingStrategy::Locality)
+                .build()
+        };
+        let pre = SimRuntime::new(cfg(), dag.clone()).run().unwrap();
+        assert_eq!(pre.transfer_bytes, 0);
+        let cold = SimRuntime::new(cfg(), dag)
+            .prestage_inputs(false)
+            .run()
+            .unwrap();
+        assert_eq!(cold.transfer_bytes, 10 << 20, "input must move from home");
+        assert!(cold.makespan > pre.makespan);
+    }
+
+    #[test]
+    fn task_failures_are_retried_and_reassigned() {
+        let mut cfg = two_ep_config(SchedulingStrategy::Locality);
+        cfg.task_failure_prob = 0.3;
+        cfg.max_task_attempts = 10;
+        let report = SimRuntime::new(cfg, bag_dag(30, 5.0)).run().unwrap();
+        assert_eq!(report.tasks_completed, 30);
+        assert!(report.failed_attempts > 0, "with p=0.3 some attempts fail");
+    }
+
+    #[test]
+    fn fatal_when_task_fails_everywhere() {
+        let mut cfg = two_ep_config(SchedulingStrategy::Locality);
+        cfg.task_failure_prob = 1.0;
+        cfg.max_task_attempts = 3;
+        let err = SimRuntime::new(cfg, bag_dag(2, 1.0)).run().unwrap_err();
+        assert!(matches!(err, UniFaasError::TaskFailed { .. }));
+    }
+
+    #[test]
+    fn transfer_failures_retry_transparently() {
+        let mut cfg = two_ep_config(SchedulingStrategy::Locality);
+        cfg.transfer_failure_prob = 0.2;
+        cfg.max_transfer_retries = 10;
+        let report = SimRuntime::new(cfg, chain_dag(6, 2.0)).run().unwrap();
+        assert_eq!(report.tasks_completed, 6);
+    }
+
+    #[test]
+    fn capacity_event_grows_pool() {
+        let cfg = Config::builder()
+            .endpoint(EndpointConfig::new("ep", ClusterSpec::qiming(), 2))
+            .strategy(SchedulingStrategy::Dha { rescheduling: true })
+            .capacity_event(10, 0, 8)
+            .build();
+        let report = SimRuntime::new(cfg, bag_dag(40, 30.0)).run().unwrap();
+        assert_eq!(report.tasks_completed, 40);
+        // With 10 workers after t=10 the 40×30 s bag finishes far sooner
+        // than the 600 s it would take on 2 workers.
+        assert!(
+            report.makespan < SimDuration::from_secs(400),
+            "makespan {}",
+            report.makespan
+        );
+    }
+
+    #[test]
+    fn capacity_event_shrink_preempts_and_recovers() {
+        let cfg = Config::builder()
+            .endpoint(EndpointConfig::new("a", ClusterSpec::qiming(), 8))
+            .endpoint(EndpointConfig::new("b", ClusterSpec::qiming(), 2))
+            .strategy(SchedulingStrategy::Dha { rescheduling: true })
+            .capacity_event(5, 0, -7)
+            .build();
+        let report = SimRuntime::new(cfg, bag_dag(20, 20.0)).run().unwrap();
+        assert_eq!(report.tasks_completed, 20);
+    }
+
+    #[test]
+    fn dynamic_dag_growth() {
+        let cfg = two_ep_config(SchedulingStrategy::Locality);
+        let mut rt = SimRuntime::new(cfg, bag_dag(4, 10.0));
+        rt.inject_at(SimTime::from_secs(5), |dag| {
+            let f = dag.register_function("late");
+            // Depend on an existing task to exercise cross-batch deps.
+            dag.add_task(TaskSpec::compute(f, 5.0), &[TaskId(0)]);
+            dag.add_task(TaskSpec::compute(f, 5.0), &[]);
+        });
+        let report = rt.run().unwrap();
+        assert_eq!(report.tasks_completed, 6);
+    }
+
+    #[test]
+    fn learned_knowledge_mode_completes() {
+        let mut cfg = two_ep_config(SchedulingStrategy::Dha { rescheduling: true });
+        cfg.knowledge = KnowledgeMode::Learned;
+        let report = SimRuntime::new(cfg, bag_dag(100, 10.0)).run().unwrap();
+        assert_eq!(report.tasks_completed, 100);
+    }
+
+    #[test]
+    fn elasticity_scales_out_and_in() {
+        let mut cfg = Config::builder()
+            .endpoint(
+                EndpointConfig::new("ep", ClusterSpec::lab_cluster(), 0).elastic(0, 20, 5),
+            )
+            .strategy(SchedulingStrategy::Locality)
+            .build();
+        cfg.scaling.enabled = true;
+        cfg.scaling.idle_timeout = SimDuration::from_secs(30);
+        let report = SimRuntime::new(cfg, bag_dag(20, 10.0)).run().unwrap();
+        assert_eq!(report.tasks_completed, 20);
+        // Workers were provisioned at some point...
+        let ep_active = report.series.active_workers.get("ep").unwrap();
+        let peak = ep_active
+            .points()
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(0.0, f64::max);
+        assert!(peak >= 20.0, "peak workers {peak}");
+        // ...and released after the idle timeout.
+        let last = ep_active.points().last().unwrap().1;
+        assert_eq!(last, 0.0, "workers must scale in to zero at the end");
+    }
+
+    #[test]
+    fn stalled_workflow_is_an_error() {
+        // One endpoint with zero workers and no scaling: tasks can never
+        // run.
+        let cfg = Config::builder()
+            .endpoint(EndpointConfig::new("dead", ClusterSpec::qiming(), 0).elastic(0, 1, 1))
+            .strategy(SchedulingStrategy::Locality)
+            .build();
+        let err = SimRuntime::new(cfg, bag_dag(1, 1.0)).run().unwrap_err();
+        assert!(matches!(err, UniFaasError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn latency_breakdown_populates() {
+        let report = SimRuntime::new(
+            two_ep_config(SchedulingStrategy::Locality),
+            bag_dag(5, 2.0),
+        )
+        .run()
+        .unwrap();
+        let (_, _, submission, _, exec, poll) = report.latency.means();
+        assert!(exec > 1.0, "execution ≈ 2 s / speed, got {exec}");
+        assert!(submission > 0.0);
+        assert!(poll > 0.0);
+    }
+
+    #[test]
+    fn series_track_utilization() {
+        let report = SimRuntime::new(
+            two_ep_config(SchedulingStrategy::Locality),
+            bag_dag(30, 20.0),
+        )
+        .run()
+        .unwrap();
+        // Mid-run, most of the 6 workers should be busy.
+        let mid = SimTime::from_secs_f64(report.makespan.as_secs_f64() / 2.0);
+        assert!(
+            report.series.utilization_at(mid) > 0.5,
+            "utilization {}",
+            report.series.utilization_at(mid)
+        );
+        assert!(report.mean_utilization() > 0.3);
+    }
+}

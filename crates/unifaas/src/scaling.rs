@@ -1,0 +1,307 @@
+//! Multi-endpoint elasticity (§IV-H).
+//!
+//! Each funcX endpoint can scale on its own, but only UniFaaS has the
+//! global view of the workflow. The `Scaling` trait lets users plug in
+//! their own logic; [`DefaultScaling`] implements the paper's policy:
+//! *scale out aggressively, scale in conservatively* — scale out whenever
+//! pending tasks exceed workers (in whole-node increments), and let each
+//! endpoint release its workers after sitting completely idle for the
+//! configured interval.
+
+use fedci::endpoint::EndpointId;
+use simkit::{SimDuration, SimTime};
+
+/// A snapshot of one endpoint's state, as seen by the scaling policy.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleView {
+    /// Endpoint id.
+    pub id: EndpointId,
+    /// Provisioned workers.
+    pub active_workers: usize,
+    /// Workers already requested but not yet arrived.
+    pub pending_workers: usize,
+    /// Tasks targeted at this endpoint that have not finished executing
+    /// (client-side waiting + staged + endpoint queue + running).
+    pub outstanding_tasks: usize,
+    /// Predicted seconds of work outstanding on this endpoint (from the
+    /// local mocking mechanism's predictions).
+    pub outstanding_work_seconds: f64,
+    /// How long the endpoint has been completely idle, if it is.
+    pub idle_for: Option<SimDuration>,
+    /// Upper bound on workers.
+    pub max_workers: usize,
+    /// Scale-out granularity (workers per node).
+    pub workers_per_node: usize,
+    /// This cluster's batch-queue provisioning delay, seconds.
+    pub provision_delay_s: f64,
+}
+
+/// A scaling decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleCommand {
+    /// Request this many more workers (will arrive after the cluster's
+    /// provisioning delay).
+    Out {
+        /// Target endpoint.
+        ep: EndpointId,
+        /// Workers to request.
+        workers: usize,
+    },
+    /// Release this many idle workers immediately.
+    In {
+        /// Target endpoint.
+        ep: EndpointId,
+        /// Workers to release.
+        workers: usize,
+    },
+}
+
+/// User-pluggable multi-endpoint scaling logic.
+pub trait Scaling {
+    /// Inspects all endpoints and returns commands to apply.
+    fn plan(&mut self, views: &[ScaleView], now: SimTime) -> Vec<ScaleCommand>;
+}
+
+/// The paper's default policy.
+#[derive(Clone, Debug)]
+pub struct DefaultScaling {
+    /// Idle interval before an endpoint returns its workers.
+    pub idle_timeout: SimDuration,
+}
+
+impl Scaling for DefaultScaling {
+    fn plan(&mut self, views: &[ScaleView], _now: SimTime) -> Vec<ScaleCommand> {
+        let mut cmds = Vec::new();
+        for v in views {
+            let supply = v.active_workers + v.pending_workers;
+            if v.outstanding_tasks > supply {
+                // Scale out: round the deficit up to whole nodes, clamp to
+                // the endpoint's limit.
+                let deficit = v.outstanding_tasks - supply;
+                let per_node = v.workers_per_node.max(1);
+                let rounded = deficit.div_ceil(per_node) * per_node;
+                let room = v.max_workers.saturating_sub(supply);
+                let grant = rounded.min(room);
+                if grant > 0 {
+                    cmds.push(ScaleCommand::Out {
+                        ep: v.id,
+                        workers: grant,
+                    });
+                }
+            } else if v.outstanding_tasks == 0 && v.active_workers > 0 {
+                // Scale in conservatively: only when fully idle past the
+                // timeout, and then release everything ("EP3 returns all
+                // the workers", Fig. 7).
+                if v.idle_for.is_some_and(|d| d >= self.idle_timeout) {
+                    cmds.push(ScaleCommand::In {
+                        ep: v.id,
+                        workers: v.active_workers,
+                    });
+                }
+            }
+        }
+        cmds
+    }
+}
+
+/// Scheduling-coordinated elasticity — the paper's stated future work
+/// ("explore the coordination of these algorithms with multi-endpoint
+/// elasticity").
+///
+/// Instead of reacting to raw task counts, this policy consumes the
+/// scheduler's own *predicted work* per endpoint (via the mock endpoints)
+/// and provisions just enough workers to drain each endpoint's backlog
+/// within `target_drain_seconds`. It also refuses to request workers whose
+/// batch-queue wait exceeds the time they could possibly help with — no
+/// point queueing 90 s for a backlog that drains in 30.
+#[derive(Clone, Debug)]
+pub struct CoordinatedScaling {
+    /// Desired time-to-drain for each endpoint's predicted backlog.
+    pub target_drain_seconds: f64,
+    /// Idle interval before an endpoint releases its workers.
+    pub idle_timeout: SimDuration,
+}
+
+impl Scaling for CoordinatedScaling {
+    fn plan(&mut self, views: &[ScaleView], _now: SimTime) -> Vec<ScaleCommand> {
+        let mut cmds = Vec::new();
+        for v in views {
+            let supply = v.active_workers + v.pending_workers;
+            // Workers needed so predicted_work / workers <= target.
+            let needed =
+                (v.outstanding_work_seconds / self.target_drain_seconds).ceil() as usize;
+            let needed = needed.max(if v.outstanding_tasks > 0 { 1 } else { 0 });
+            if needed > supply {
+                // Not worth waiting in the batch queue longer than the
+                // backlog would take to drain on the current supply.
+                if supply > 0 {
+                    let drain_now = v.outstanding_work_seconds / supply as f64;
+                    if v.provision_delay_s >= drain_now {
+                        continue;
+                    }
+                }
+                let per_node = v.workers_per_node.max(1);
+                let rounded = (needed - supply).div_ceil(per_node) * per_node;
+                let grant = rounded.min(v.max_workers.saturating_sub(supply));
+                if grant > 0 {
+                    cmds.push(ScaleCommand::Out {
+                        ep: v.id,
+                        workers: grant,
+                    });
+                }
+            } else if v.outstanding_tasks == 0
+                && v.active_workers > 0
+                && v.idle_for.is_some_and(|d| d >= self.idle_timeout)
+            {
+                cmds.push(ScaleCommand::In {
+                    ep: v.id,
+                    workers: v.active_workers,
+                });
+            }
+        }
+        cmds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(
+        id: u16,
+        active: usize,
+        pending: usize,
+        outstanding: usize,
+        idle_secs: Option<u64>,
+    ) -> ScaleView {
+        ScaleView {
+            id: EndpointId(id),
+            active_workers: active,
+            pending_workers: pending,
+            outstanding_tasks: outstanding,
+            outstanding_work_seconds: outstanding as f64 * 10.0,
+            idle_for: idle_secs.map(SimDuration::from_secs),
+            max_workers: 100,
+            workers_per_node: 20,
+            provision_delay_s: 5.0,
+        }
+    }
+
+    fn policy() -> DefaultScaling {
+        DefaultScaling {
+            idle_timeout: SimDuration::from_secs(30),
+        }
+    }
+
+    #[test]
+    fn scales_out_in_node_units() {
+        // 50 tasks, 0 workers → 3 nodes of 20 = 60 workers (Fig. 7's EP1).
+        let cmds = policy().plan(&[view(0, 0, 0, 50, Some(0))], SimTime::ZERO);
+        assert_eq!(
+            cmds,
+            vec![ScaleCommand::Out { ep: EndpointId(0), workers: 60 }]
+        );
+    }
+
+    #[test]
+    fn scale_out_clamps_to_max() {
+        // 200 tasks → would want 200, clamped to max 100 (Fig. 7's burst).
+        let cmds = policy().plan(&[view(0, 0, 0, 200, Some(0))], SimTime::ZERO);
+        assert_eq!(
+            cmds,
+            vec![ScaleCommand::Out { ep: EndpointId(0), workers: 100 }]
+        );
+    }
+
+    #[test]
+    fn pending_workers_count_as_supply() {
+        // 50 tasks, 60 already pending → no further request.
+        let cmds = policy().plan(&[view(0, 0, 60, 50, None)], SimTime::ZERO);
+        assert!(cmds.is_empty());
+    }
+
+    #[test]
+    fn scales_in_after_idle_timeout_only() {
+        // Idle 10 s < 30 s timeout: hold.
+        assert!(policy()
+            .plan(&[view(0, 20, 0, 0, Some(10))], SimTime::ZERO)
+            .is_empty());
+        // Idle 30 s: release everything.
+        let cmds = policy().plan(&[view(0, 20, 0, 0, Some(30))], SimTime::ZERO);
+        assert_eq!(
+            cmds,
+            vec![ScaleCommand::In { ep: EndpointId(0), workers: 20 }]
+        );
+    }
+
+    #[test]
+    fn busy_endpoint_never_scales_in() {
+        // Outstanding work → no scale-in even if (stale) idle_for is set.
+        assert!(policy()
+            .plan(&[view(0, 20, 0, 5, Some(100))], SimTime::ZERO)
+            .is_empty());
+    }
+
+    #[test]
+    fn coordinated_provisions_by_predicted_work() {
+        let mut p = CoordinatedScaling {
+            target_drain_seconds: 30.0,
+            idle_timeout: SimDuration::from_secs(30),
+        };
+        // 60 tasks × 10 s = 600 s of work; 600/30 = 20 workers needed →
+        // exactly one node.
+        let cmds = p.plan(&[view(0, 0, 0, 60, None)], SimTime::ZERO);
+        assert_eq!(
+            cmds,
+            vec![ScaleCommand::Out { ep: EndpointId(0), workers: 20 }]
+        );
+        // Light load (2 tasks = 20 s work) on 4 existing workers: drain in
+        // 5 s < target → no request.
+        assert!(p.plan(&[view(0, 4, 0, 2, None)], SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn coordinated_skips_slow_batch_queues_for_short_backlogs() {
+        let mut p = CoordinatedScaling {
+            target_drain_seconds: 10.0,
+            idle_timeout: SimDuration::from_secs(30),
+        };
+        // 40 s of work on 2 workers = 20 s drain; provisioning takes 25 s —
+        // not worth it.
+        let mut v = view(0, 2, 0, 4, None);
+        v.provision_delay_s = 25.0;
+        assert!(p.plan(&[v], SimTime::ZERO).is_empty());
+        // A fast queue (1 s) is worth it.
+        v.provision_delay_s = 1.0;
+        assert!(!p.plan(&[v], SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn coordinated_scales_in_like_default() {
+        let mut p = CoordinatedScaling {
+            target_drain_seconds: 30.0,
+            idle_timeout: SimDuration::from_secs(30),
+        };
+        let cmds = p.plan(&[view(0, 20, 0, 0, Some(31))], SimTime::ZERO);
+        assert_eq!(
+            cmds,
+            vec![ScaleCommand::In { ep: EndpointId(0), workers: 20 }]
+        );
+        assert!(p.plan(&[view(0, 20, 0, 0, Some(5))], SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn independent_decisions_per_endpoint() {
+        let cmds = policy().plan(
+            &[
+                view(0, 0, 0, 10, None),  // needs 1 node
+                view(1, 20, 0, 0, Some(40)), // idle → release
+                view(2, 20, 0, 15, None), // satisfied
+            ],
+            SimTime::ZERO,
+        );
+        assert_eq!(cmds.len(), 2);
+        assert_eq!(cmds[0], ScaleCommand::Out { ep: EndpointId(0), workers: 20 });
+        assert_eq!(cmds[1], ScaleCommand::In { ep: EndpointId(1), workers: 20 });
+    }
+}

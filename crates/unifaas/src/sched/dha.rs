@@ -1,0 +1,702 @@
+//! Dynamic heterogeneity-aware scheduling — DHA (§IV-D, Fig. 4).
+//!
+//! DHA is a hybrid of offline and real-time scheduling:
+//!
+//! 1. **Task prioritization** (offline): every task gets the Eq. 2 upward
+//!    rank `priority(tᵢ) = d̄ᵢ + w̄ᵢ + max over successors of priority`,
+//!    computed from profiler predictions (HEFT-style).
+//! 2. **Endpoint selection** (when a task becomes ready): the endpoint
+//!    minimizing the predicted *earliest finish time*
+//!    `EFT = max(data-ready, endpoint-available) + exec` is chosen and
+//!    staging starts immediately, overlapping data movement with
+//!    computation.
+//! 3. **Delay scheduling**: after staging, the task waits in a per-endpoint
+//!    client-side queue (ordered by priority) and is dispatched only when
+//!    the target has an idle worker — keeping the re-schedulable pool
+//!    large.
+//! 4. **Re-scheduling** (optional — Table V ablates it): on capacity
+//!    changes and on a periodic tick, every not-yet-dispatched task is
+//!    re-evaluated; if another endpoint now offers a sufficiently better
+//!    EFT the task is *stolen* there (its data re-stages if needed).
+
+use crate::sched::{SchedCtx, Scheduler};
+use fedci::endpoint::EndpointId;
+use fedci::storage::DataId;
+use std::collections::{HashMap, HashSet};
+use taskgraph::rank::{priorities, FnCosts};
+use taskgraph::TaskId;
+
+/// Tunable knobs of DHA, exposed for the ablation benchmarks
+/// (`bench/src/bin/ablations.rs`).
+#[derive(Clone, Copy, Debug)]
+pub struct DhaOptions {
+    /// Enable the re-scheduling mechanism (Table V ablates this).
+    pub rescheduling: bool,
+    /// Enable the delay mechanism: hold staged tasks in a client-side
+    /// priority queue until the target has idle workers. With this off,
+    /// tasks dispatch immediately after staging and queue on the endpoint
+    /// (Capacity-style), shrinking the re-schedulable pool.
+    pub delay_dispatch: bool,
+    /// A task is stolen only if the candidate endpoint's predicted EFT is
+    /// below `steal_threshold ×` the current one (hysteresis against
+    /// churn). 1.0 steals on any improvement; lower values are stickier.
+    pub steal_threshold: f64,
+}
+
+impl Default for DhaOptions {
+    fn default() -> Self {
+        DhaOptions {
+            rescheduling: true,
+            delay_dispatch: true,
+            steal_threshold: 0.9,
+        }
+    }
+}
+
+/// The dynamic heterogeneity-aware scheduler.
+#[derive(Debug)]
+pub struct DhaScheduler {
+    opts: DhaOptions,
+    priorities: Vec<f64>,
+    target: Vec<Option<EndpointId>>,
+    /// Delay queues: staged tasks awaiting an idle worker, per endpoint,
+    /// kept sorted by descending priority.
+    staged: HashMap<EndpointId, Vec<TaskId>>,
+    /// Tasks whose staging is in flight.
+    staging: HashSet<TaskId>,
+    /// Predicted execution seconds of tasks committed to an endpoint but
+    /// not yet dispatched (staging + delay queue), per task. Without this
+    /// back-pressure term the endpoint-availability estimate would ignore
+    /// the delay queues and every task would pile onto (and then ping-pong
+    /// off) the nominally fastest endpoint.
+    committed: HashMap<TaskId, (EndpointId, f64)>,
+    committed_work: HashMap<EndpointId, f64>,
+    committed_count: HashMap<EndpointId, usize>,
+}
+
+impl DhaScheduler {
+    /// Creates DHA; `rescheduling = false` gives Table V's ablated variant.
+    pub fn new(rescheduling: bool) -> Self {
+        Self::with_options(DhaOptions {
+            rescheduling,
+            ..DhaOptions::default()
+        })
+    }
+
+    /// Creates DHA with explicit knob settings (ablation studies).
+    pub fn with_options(opts: DhaOptions) -> Self {
+        DhaScheduler {
+            opts,
+            priorities: Vec::new(),
+            target: Vec::new(),
+            staged: HashMap::new(),
+            staging: HashSet::new(),
+            committed: HashMap::new(),
+            committed_work: HashMap::new(),
+            committed_count: HashMap::new(),
+        }
+    }
+
+    fn commit(&mut self, task: TaskId, ep: EndpointId, seconds: f64) {
+        self.uncommit(task);
+        self.committed.insert(task, (ep, seconds));
+        *self.committed_work.entry(ep).or_insert(0.0) += seconds;
+        *self.committed_count.entry(ep).or_insert(0) += 1;
+    }
+
+    fn uncommit(&mut self, task: TaskId) {
+        if let Some((ep, seconds)) = self.committed.remove(&task) {
+            if let Some(w) = self.committed_work.get_mut(&ep) {
+                *w = (*w - seconds).max(0.0);
+            }
+            if let Some(c) = self.committed_count.get_mut(&ep) {
+                *c = c.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Estimated seconds until a worker frees up on `ep` for a new task,
+    /// accounting for both dispatched work (mock view) and work this
+    /// scheduler has committed but not dispatched yet.
+    fn availability(&self, ctx: &SchedCtx, ep: EndpointId) -> f64 {
+        let mock = ctx.monitor.mock(ep);
+        if mock.active_workers == 0 {
+            return f64::INFINITY;
+        }
+        let queued = mock.outstanding_tasks
+            + self.committed_count.get(&ep).copied().unwrap_or(0);
+        if queued < mock.active_workers {
+            0.0
+        } else {
+            let load = mock.outstanding_work_seconds
+                + self.committed_work.get(&ep).copied().unwrap_or(0.0);
+            load / mock.active_workers as f64
+        }
+    }
+
+    /// The Eq. 2 priority of a task (for tests/metrics).
+    pub fn priority(&self, task: TaskId) -> f64 {
+        self.priorities[task.index()]
+    }
+
+    /// Current target endpoint of a task.
+    pub fn target(&self, task: TaskId) -> Option<EndpointId> {
+        self.target.get(task.index()).copied().flatten()
+    }
+
+    /// Number of tasks in delay queues.
+    pub fn delayed(&self) -> usize {
+        self.staged.values().map(|v| v.len()).sum()
+    }
+
+    /// Predicted seconds until all of `task`'s inputs could be present at
+    /// `ep`: parallel transfers, so the max over missing objects, each from
+    /// its best replica.
+    fn staging_seconds(&self, ctx: &SchedCtx, inputs: &[DataId], ep: EndpointId) -> f64 {
+        // Missing objects are grouped by their best source: objects sharing
+        // a source serialize on that pair's bandwidth (a fan-in task
+        // pulling thousands of files is link-bound, not latency-bound), and
+        // each pair additionally queues behind its existing backlog.
+        let mut per_src: HashMap<EndpointId, u64> = HashMap::new();
+        for id in inputs {
+            if ctx.store.present_at(*id, ep) {
+                continue;
+            }
+            let bytes = ctx.store.bytes(*id);
+            let src = ctx
+                .store
+                .replicas(*id)
+                .iter()
+                .copied()
+                .min_by(|a, b| {
+                    ctx.predictor
+                        .transfer_seconds(bytes, *a, ep)
+                        .partial_cmp(&ctx.predictor.transfer_seconds(bytes, *b, ep))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                })
+                .expect("object has at least one replica");
+            *per_src.entry(src).or_insert(0) += bytes;
+        }
+        per_src
+            .iter()
+            .map(|(src, total)| {
+                let queued = ctx.xfer_load.backlog_bytes(*src, ep);
+                ctx.predictor
+                    .transfer_seconds(total.saturating_add(queued), *src, ep)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Predicted earliest finish time of `task` on `ep`, relative to now.
+    fn eft(&self, ctx: &SchedCtx, task: TaskId, inputs: &[DataId], ep: EndpointId) -> f64 {
+        let data_ready = self.staging_seconds(ctx, inputs, ep);
+        let avail = self.availability(ctx, ep);
+        let exec = ctx
+            .predictor
+            .exec_seconds(ctx.dag, task, &ctx.endpoints[ep.index()]);
+        data_ready.max(avail) + exec
+    }
+
+    /// Picks the EFT-minimizing endpoint for a task.
+    fn select_endpoint(&self, ctx: &SchedCtx, task: TaskId) -> EndpointId {
+        let inputs = ctx.task_inputs(task);
+        ctx.compute_eps
+            .iter()
+            .copied()
+            .min_by(|a, b| {
+                self.eft(ctx, task, &inputs, *a)
+                    .partial_cmp(&self.eft(ctx, task, &inputs, *b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            })
+            .expect("at least one compute endpoint")
+    }
+
+    fn push_staged(&mut self, task: TaskId, ep: EndpointId) {
+        let queue = self.staged.entry(ep).or_default();
+        // Insert keeping descending priority order (stable for ties).
+        let p = self.priorities[task.index()];
+        let pos = queue
+            .iter()
+            .position(|t| self.priorities[t.index()] < p)
+            .unwrap_or(queue.len());
+        queue.insert(pos, task);
+    }
+
+    fn remove_staged(&mut self, task: TaskId, ep: EndpointId) -> bool {
+        if let Some(queue) = self.staged.get_mut(&ep) {
+            if let Some(pos) = queue.iter().position(|t| *t == task) {
+                queue.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The re-scheduling pass: re-evaluate every not-yet-dispatched task.
+    fn reschedule(&mut self, ctx: &mut SchedCtx) {
+        let mut pool: Vec<TaskId> = self
+            .staged
+            .values()
+            .flatten()
+            .copied()
+            .chain(self.staging.iter().copied())
+            .collect();
+        // Highest priority first, matching the dispatch order.
+        pool.sort_by(|a, b| {
+            self.priorities[b.index()]
+                .partial_cmp(&self.priorities[a.index()])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for task in pool {
+            let cur = self.target[task.index()].expect("pooled task has a target");
+            // Evaluate with the task's own committed load excluded, so its
+            // current endpoint is not unfairly penalized by its own weight.
+            let own = self.committed.get(&task).copied();
+            self.uncommit(task);
+            let inputs = ctx.task_inputs(task);
+            let cur_eft = self.eft(ctx, task, &inputs, cur);
+            let best = self.select_endpoint(ctx, task);
+            let exec_at = |ep: EndpointId| {
+                ctx.predictor
+                    .exec_seconds(ctx.dag, task, &ctx.endpoints[ep.index()])
+            };
+            if best != cur {
+                let best_eft = self.eft(ctx, task, &inputs, best);
+                if best_eft < cur_eft * self.opts.steal_threshold {
+                    // Steal: re-target and re-stage (instant if data present).
+                    self.remove_staged(task, cur);
+                    self.staging.insert(task);
+                    self.target[task.index()] = Some(best);
+                    self.commit(task, best, exec_at(best));
+                    ctx.stage(task, best);
+                    continue;
+                }
+            }
+            // Keep the current target; restore the committed load.
+            match own {
+                Some((ep, secs)) => self.commit(task, ep, secs),
+                None => self.commit(task, cur, exec_at(cur)),
+            }
+        }
+    }
+
+    /// Recomputes Eq. 2 priorities over the whole (possibly grown) DAG.
+    fn recompute_priorities(&mut self, ctx: &SchedCtx) {
+        let n_eps = ctx.compute_eps.len().max(1) as f64;
+        let costs = FnCosts {
+            staging: |t: TaskId| {
+                let spec = ctx.dag.spec(t);
+                let bytes: u64 = ctx
+                    .dag
+                    .preds(t)
+                    .iter()
+                    .map(|p| ctx.dag.spec(*p).output_bytes)
+                    .sum::<u64>()
+                    + spec.external_input_bytes;
+                ctx.compute_eps
+                    .iter()
+                    .map(|ep| ctx.predictor.transfer_seconds(bytes, ctx.home, *ep))
+                    .sum::<f64>()
+                    / n_eps
+            },
+            execution: |t: TaskId| {
+                ctx.compute_eps
+                    .iter()
+                    .map(|ep| {
+                        ctx.predictor
+                            .exec_seconds(ctx.dag, t, &ctx.endpoints[ep.index()])
+                    })
+                    .sum::<f64>()
+                    / n_eps
+            },
+        };
+        self.priorities = priorities(ctx.dag, &costs);
+        self.target.resize(ctx.dag.len(), None);
+    }
+}
+
+impl Scheduler for DhaScheduler {
+    fn name(&self) -> &'static str {
+        match (self.opts.rescheduling, self.opts.delay_dispatch) {
+            (true, true) => "DHA",
+            (false, true) => "DHA-no-resched",
+            (true, false) => "DHA-no-delay",
+            (false, false) => "DHA-no-delay-no-resched",
+        }
+    }
+
+    fn on_tasks_added(&mut self, ctx: &mut SchedCtx, _tasks: &[TaskId]) {
+        self.recompute_priorities(ctx);
+    }
+
+    fn on_task_ready(&mut self, ctx: &mut SchedCtx, task: TaskId) {
+        // Endpoint selection + immediate staging (overlap with compute).
+        let ep = self.select_endpoint(ctx, task);
+        self.target[task.index()] = Some(ep);
+        self.staging.insert(task);
+        let exec = ctx
+            .predictor
+            .exec_seconds(ctx.dag, task, &ctx.endpoints[ep.index()]);
+        self.commit(task, ep, exec);
+        ctx.stage(task, ep);
+    }
+
+    fn on_staging_complete(&mut self, ctx: &mut SchedCtx, task: TaskId) {
+        self.staging.remove(&task);
+        let ep = self.target[task.index()].expect("staged task has a target");
+        if !self.opts.delay_dispatch {
+            // Ablation: no delay mechanism — dispatch immediately and queue
+            // on the endpoint like Capacity does.
+            self.uncommit(task);
+            ctx.dispatch(task, ep);
+            return;
+        }
+        let queue_empty = self.staged.get(&ep).is_none_or(|q| q.is_empty());
+        if queue_empty && ctx.monitor.mock(ep).idle_workers() > 0 {
+            self.uncommit(task);
+            ctx.dispatch(task, ep);
+        } else {
+            // Delay mechanism: wait in the client-side queue (higher
+            // priority tasks already waiting go first).
+            self.push_staged(task, ep);
+        }
+    }
+
+    fn on_worker_idle(&mut self, ctx: &mut SchedCtx, ep: EndpointId) {
+        let next = self.staged.get_mut(&ep).and_then(|q| {
+            if q.is_empty() {
+                None
+            } else {
+                Some(q.remove(0))
+            }
+        });
+        if let Some(task) = next {
+            self.uncommit(task);
+            ctx.dispatch(task, ep);
+        }
+    }
+
+    fn on_task_removed(&mut self, task: TaskId) {
+        self.uncommit(task);
+        self.staging.remove(&task);
+        for queue in self.staged.values_mut() {
+            if let Some(pos) = queue.iter().position(|t| *t == task) {
+                queue.remove(pos);
+                break;
+            }
+        }
+    }
+
+    fn on_capacity_change(&mut self, ctx: &mut SchedCtx) {
+        if self.opts.rescheduling {
+            self.reschedule(ctx);
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut SchedCtx) {
+        if self.opts.rescheduling {
+            self.reschedule(ctx);
+        }
+    }
+
+    fn wants_ticks(&self) -> bool {
+        self.opts.rescheduling
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{EndpointMonitor, MockEndpoint};
+    use crate::profile::{EndpointFeatures, OracleProfiler};
+    use crate::sched::{output_id, SchedAction};
+    use fedci::network::{Link, NetworkTopology};
+    use fedci::storage::DataStore;
+    use fedci::transfer::TransferMechanism;
+    use simkit::SimTime;
+    use taskgraph::{Dag, TaskSpec};
+
+    struct Fixture {
+        dag: Dag,
+        monitor: EndpointMonitor,
+        store: DataStore,
+        oracle: OracleProfiler,
+        features: Vec<EndpointFeatures>,
+        compute: Vec<EndpointId>,
+        home: EndpointId,
+    }
+
+    /// Two compute endpoints: ep0 slow (speed 1.0), ep1 fast (speed 2.0);
+    /// ep2 is the zero-worker home.
+    fn fixture() -> Fixture {
+        let mut dag = Dag::new();
+        let f = dag.register_function("f");
+        let a = dag.add_task(TaskSpec::compute(f, 100.0).with_output_bytes(1000), &[]);
+        let _b = dag.add_task(TaskSpec::compute(f, 50.0), &[a]);
+        let speeds = [1.0, 2.0, 1.0];
+        let workers = [4usize, 4, 0];
+        let mocks = (0..3)
+            .map(|i| {
+                MockEndpoint::new(EndpointId(i as u16), &format!("ep{i}"), workers[i], speeds[i])
+            })
+            .collect();
+        Fixture {
+            dag,
+            monitor: EndpointMonitor::new(mocks),
+            store: DataStore::new(),
+            oracle: OracleProfiler::new(
+                NetworkTopology::uniform(3, Link::wan()),
+                TransferMechanism::Globus.default_params(),
+            ),
+            features: (0..3)
+                .map(|i| EndpointFeatures {
+                    id: EndpointId(i as u16),
+                    cores: 16,
+                    cpu_ghz: 2.6,
+                    ram_gb: 64,
+                    speed_factor: speeds[i],
+                })
+                .collect(),
+            compute: vec![EndpointId(0), EndpointId(1)],
+            home: EndpointId(2),
+        }
+    }
+
+    fn ctx<'a>(fx: &'a Fixture) -> SchedCtx<'a> {
+        SchedCtx::new(
+            SimTime::ZERO,
+            &fx.dag,
+            &fx.monitor,
+            &fx.store,
+            &fx.oracle,
+            &fx.features,
+            fx.home,
+            &fx.compute,
+            &crate::data::NoTransferLoad,
+            0,
+        )
+    }
+
+    fn submitted(fx: &Fixture) -> DhaScheduler {
+        let mut sched = DhaScheduler::new(true);
+        let mut c = ctx(fx);
+        let tasks: Vec<TaskId> = fx.dag.task_ids().collect();
+        sched.on_tasks_added(&mut c, &tasks);
+        sched
+    }
+
+    #[test]
+    fn priorities_decrease_along_chain() {
+        let fx = fixture();
+        let sched = submitted(&fx);
+        assert!(sched.priority(TaskId(0)) > sched.priority(TaskId(1)));
+    }
+
+    #[test]
+    fn selects_faster_endpoint_when_idle() {
+        let fx = fixture();
+        let mut sched = submitted(&fx);
+        let mut c = ctx(&fx);
+        sched.on_task_ready(&mut c, TaskId(0));
+        // ep1 (speed 2.0) halves execution time; data is nowhere so staging
+        // costs are equal.
+        assert_eq!(
+            c.take_actions(),
+            vec![SchedAction::Stage { task: TaskId(0), ep: EndpointId(1) }]
+        );
+        assert_eq!(sched.target(TaskId(0)), Some(EndpointId(1)));
+    }
+
+    #[test]
+    fn saturated_fast_endpoint_loses_to_idle_slow_one() {
+        let mut fx = fixture();
+        // Saturate ep1 with lots of outstanding work.
+        for _ in 0..4 {
+            fx.monitor.mock_mut(EndpointId(1)).push_task(500.0);
+        }
+        let mut sched = submitted(&fx);
+        let mut c = ctx(&fx);
+        sched.on_task_ready(&mut c, TaskId(0));
+        // avail(ep1) = 2000/4 = 500 s; ep0 executes in 100 s immediately.
+        assert_eq!(
+            c.take_actions(),
+            vec![SchedAction::Stage { task: TaskId(0), ep: EndpointId(0) }]
+        );
+    }
+
+    #[test]
+    fn delay_mechanism_queues_until_worker_idle() {
+        let mut fx = fixture();
+        let mut sched = submitted(&fx);
+        {
+            let mut c = ctx(&fx);
+            sched.on_task_ready(&mut c, TaskId(0));
+            c.take_actions();
+        }
+        // Saturate the chosen endpoint before staging completes.
+        for _ in 0..4 {
+            fx.monitor.mock_mut(EndpointId(1)).push_task(100.0);
+        }
+        {
+            let mut c = ctx(&fx);
+            sched.on_staging_complete(&mut c, TaskId(0));
+            assert!(c.take_actions().is_empty(), "must delay, not dispatch");
+            assert_eq!(sched.delayed(), 1);
+        }
+        // A worker frees up → the delayed task dispatches.
+        fx.monitor.mock_mut(EndpointId(1)).pop_task(100.0);
+        {
+            let mut c = ctx(&fx);
+            sched.on_worker_idle(&mut c, EndpointId(1));
+            assert_eq!(
+                c.take_actions(),
+                vec![SchedAction::Dispatch { task: TaskId(0), ep: EndpointId(1) }]
+            );
+            assert_eq!(sched.delayed(), 0);
+        }
+    }
+
+    #[test]
+    fn delay_queue_is_priority_ordered() {
+        let mut fx = fixture();
+        // Three independent tasks with different compute (→ priorities).
+        let f = fx.dag.register_function("g");
+        let small = fx.dag.add_task(TaskSpec::compute(f, 10.0), &[]);
+        let big = fx.dag.add_task(TaskSpec::compute(f, 500.0), &[]);
+        let mut sched = submitted(&fx);
+        // Saturate both endpoints so everything delays.
+        for ep in [EndpointId(0), EndpointId(1)] {
+            for _ in 0..4 {
+                fx.monitor.mock_mut(ep).push_task(1000.0);
+            }
+        }
+        let mut c = ctx(&fx);
+        sched.on_task_ready(&mut c, small);
+        sched.on_task_ready(&mut c, big);
+        c.take_actions();
+        sched.on_staging_complete(&mut c, small);
+        sched.on_staging_complete(&mut c, big);
+        assert_eq!(sched.delayed(), 2);
+        // Free one worker on each: the higher-priority (bigger) task must
+        // dispatch first from whichever queue holds both... they may be on
+        // different endpoints; check the shared case by forcing same target.
+        let ep = sched.target(big).unwrap();
+        if sched.target(small) == Some(ep) {
+            sched.on_worker_idle(&mut c, ep);
+            let acts = c.take_actions();
+            assert_eq!(acts, vec![SchedAction::Dispatch { task: big, ep }]);
+        }
+    }
+
+    #[test]
+    fn rescheduling_steals_to_new_capacity() {
+        let mut fx = fixture();
+        let mut sched = submitted(&fx);
+        // ep1 saturated → task targets ep0... make ep0 also busy so the
+        // task ends up delayed, then free ep1 massively and reschedule.
+        for ep in [EndpointId(0), EndpointId(1)] {
+            for _ in 0..4 {
+                fx.monitor.mock_mut(ep).push_task(400.0);
+            }
+        }
+        {
+            let mut c = ctx(&fx);
+            sched.on_task_ready(&mut c, TaskId(0));
+            c.take_actions();
+            sched.on_staging_complete(&mut c, TaskId(0));
+            assert_eq!(sched.delayed(), 1);
+        }
+        let old_target = sched.target(TaskId(0)).unwrap();
+        // Capacity change: the *other* endpoint empties entirely.
+        let other = if old_target == EndpointId(0) {
+            EndpointId(1)
+        } else {
+            EndpointId(0)
+        };
+        for _ in 0..4 {
+            fx.monitor.mock_mut(other).pop_task(400.0);
+        }
+        {
+            let mut c = ctx(&fx);
+            sched.on_capacity_change(&mut c);
+            let acts = c.take_actions();
+            assert_eq!(acts, vec![SchedAction::Stage { task: TaskId(0), ep: other }]);
+            assert_eq!(sched.target(TaskId(0)), Some(other));
+            assert_eq!(sched.delayed(), 0, "stolen task left the delay queue");
+        }
+    }
+
+    #[test]
+    fn no_delay_variant_dispatches_into_saturation() {
+        let mut fx = fixture();
+        let mut sched = DhaScheduler::with_options(DhaOptions {
+            delay_dispatch: false,
+            ..DhaOptions::default()
+        });
+        assert_eq!(sched.name(), "DHA-no-delay");
+        {
+            let mut c = ctx(&fx);
+            let tasks: Vec<TaskId> = fx.dag.task_ids().collect();
+            sched.on_tasks_added(&mut c, &tasks);
+        }
+        // Saturate every endpoint: a delayed DHA would queue client-side.
+        for ep in [EndpointId(0), EndpointId(1)] {
+            for _ in 0..4 {
+                fx.monitor.mock_mut(ep).push_task(100.0);
+            }
+        }
+        let mut c = ctx(&fx);
+        sched.on_task_ready(&mut c, TaskId(0));
+        c.take_actions();
+        sched.on_staging_complete(&mut c, TaskId(0));
+        let actions = c.take_actions();
+        assert_eq!(actions.len(), 1, "must dispatch despite saturation");
+        assert!(matches!(actions[0], SchedAction::Dispatch { .. }));
+        assert_eq!(sched.delayed(), 0);
+    }
+
+    #[test]
+    fn no_resched_variant_ignores_capacity_changes() {
+        let mut fx = fixture();
+        let mut sched = DhaScheduler::new(false);
+        {
+            let mut c = ctx(&fx);
+            let tasks: Vec<TaskId> = fx.dag.task_ids().collect();
+            sched.on_tasks_added(&mut c, &tasks);
+        }
+        assert!(!sched.wants_ticks());
+        for ep in [EndpointId(0), EndpointId(1)] {
+            for _ in 0..4 {
+                fx.monitor.mock_mut(ep).push_task(400.0);
+            }
+        }
+        let mut c = ctx(&fx);
+        sched.on_task_ready(&mut c, TaskId(0));
+        c.take_actions();
+        sched.on_staging_complete(&mut c, TaskId(0));
+        sched.on_capacity_change(&mut c);
+        sched.on_tick(&mut c);
+        assert!(c.take_actions().is_empty());
+    }
+
+    #[test]
+    fn staging_prefers_closest_replica() {
+        let mut fx = fixture();
+        // Put a's output on ep0 only; staging to ep0 is then free, so b
+        // should pick ep0 despite ep1 being faster (50s on ep0 without
+        // transfer beats 25s + ~10s transfer? No: transfer of 1000 bytes is
+        // tiny, so ep1 still wins. Use a huge file to flip it.)
+        fx.dag.spec_mut(TaskId(0)).output_bytes = 100 << 30; // 100 GiB
+        fx.store
+            .register(output_id(TaskId(0)), 100 << 30, EndpointId(0));
+        let mut sched = submitted(&fx);
+        let mut c = ctx(&fx);
+        sched.on_task_ready(&mut c, TaskId(1));
+        assert_eq!(
+            c.take_actions(),
+            vec![SchedAction::Stage { task: TaskId(1), ep: EndpointId(0) }]
+        );
+    }
+}

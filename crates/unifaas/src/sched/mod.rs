@@ -1,0 +1,256 @@
+//! The *decide* stage: pluggable workflow schedulers (§IV-D, Table I).
+//!
+//! | | Capacity | Locality | DHA |
+//! |---|---|---|---|
+//! | Scheduling type | Offline | Real-time | Hybrid |
+//! | Dynamic DAG supported | ✗ | ✓ | ✓ |
+//! | Dynamic resource supported | ✗ | ✓ | ✓ |
+//! | Knowledge required | ✗ | ✗ | ✓ |
+//!
+//! Schedulers are event-driven: the runtime invokes hooks when tasks become
+//! ready, staging completes, workers go idle, capacity changes, or a
+//! re-scheduling tick fires. Hooks communicate decisions back through
+//! [`SchedCtx`] actions, which the runtime executes after the hook returns:
+//!
+//! * [`SchedCtx::stage`] — pick (or re-pick) a target endpoint and begin
+//!   staging the task's missing inputs there;
+//! * [`SchedCtx::dispatch`] — submit the task to its endpoint now.
+
+pub mod capacity;
+pub mod dha;
+pub mod locality;
+pub mod pinned;
+
+pub use capacity::CapacityScheduler;
+pub use dha::{DhaOptions, DhaScheduler};
+pub use locality::LocalityScheduler;
+pub use pinned::PinnedScheduler;
+
+use crate::data::TransferLoad;
+use crate::monitor::EndpointMonitor;
+use crate::profile::{EndpointFeatures, Predictor};
+use fedci::endpoint::EndpointId;
+use fedci::storage::{DataId, DataStore};
+use simkit::SimTime;
+use taskgraph::{Dag, TaskId};
+
+/// A decision emitted by a scheduler hook.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedAction {
+    /// Set `task`'s target endpoint and stage its missing inputs there.
+    /// Re-issuing with a different endpoint re-targets the task (the DHA
+    /// re-scheduling/task-stealing path).
+    Stage {
+        /// The task to stage.
+        task: TaskId,
+        /// Its (new) target endpoint.
+        ep: EndpointId,
+    },
+    /// Submit `task` to `ep` (its inputs must already be present there).
+    Dispatch {
+        /// The task to submit.
+        task: TaskId,
+        /// The endpoint to run on.
+        ep: EndpointId,
+    },
+}
+
+/// Read view + action sink passed to scheduler hooks.
+pub struct SchedCtx<'a> {
+    /// Current time.
+    pub now: SimTime,
+    /// The workflow DAG (may have grown since the last hook).
+    pub dag: &'a Dag,
+    /// Mock endpoints (the local mocking mechanism's real-time view).
+    pub monitor: &'a EndpointMonitor,
+    /// Data object locations.
+    pub store: &'a DataStore,
+    /// Task/transfer predictions.
+    pub predictor: &'a dyn Predictor,
+    /// Hardware features per endpoint (indexed by endpoint id).
+    pub endpoints: &'a [EndpointFeatures],
+    /// The home endpoint (client + initial data).
+    pub home: EndpointId,
+    /// Endpoints that can execute tasks (max_workers > 0).
+    pub compute_eps: &'a [EndpointId],
+    /// Per-pair transfer congestion (the data manager's queues).
+    pub xfer_load: &'a dyn TransferLoad,
+    /// Outputs at or below this size travel inline through the FaaS
+    /// service (the paper's 10 MB payload limit) and never involve the
+    /// data manager.
+    pub inline_limit: u64,
+    actions: Vec<SchedAction>,
+}
+
+impl<'a> SchedCtx<'a> {
+    /// Creates a context (runtime-internal).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        now: SimTime,
+        dag: &'a Dag,
+        monitor: &'a EndpointMonitor,
+        store: &'a DataStore,
+        predictor: &'a dyn Predictor,
+        endpoints: &'a [EndpointFeatures],
+        home: EndpointId,
+        compute_eps: &'a [EndpointId],
+        xfer_load: &'a dyn TransferLoad,
+        inline_limit: u64,
+    ) -> Self {
+        SchedCtx {
+            now,
+            dag,
+            monitor,
+            store,
+            predictor,
+            endpoints,
+            home,
+            compute_eps,
+            xfer_load,
+            inline_limit,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Requests staging of `task`'s inputs to `ep` (also setting/updating
+    /// its target endpoint).
+    pub fn stage(&mut self, task: TaskId, ep: EndpointId) {
+        self.actions.push(SchedAction::Stage { task, ep });
+    }
+
+    /// Requests dispatch of `task` to `ep`.
+    pub fn dispatch(&mut self, task: TaskId, ep: EndpointId) {
+        self.actions.push(SchedAction::Dispatch { task, ep });
+    }
+
+    /// Drains the queued actions (runtime-internal).
+    pub fn take_actions(&mut self) -> Vec<SchedAction> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// Data objects `task` consumes: predecessor outputs plus its external
+    /// input (if any). Outputs within the inline payload limit are
+    /// excluded.
+    pub fn task_inputs(&self, task: TaskId) -> Vec<DataId> {
+        task_inputs(self.dag, task, self.inline_limit)
+    }
+
+    /// Total input bytes of `task`.
+    pub fn task_input_bytes(&self, task: TaskId) -> u64 {
+        let spec = self.dag.spec(task);
+        self.dag
+            .preds(task)
+            .iter()
+            .map(|p| self.dag.spec(*p).output_bytes)
+            .sum::<u64>()
+            + spec.external_input_bytes
+    }
+}
+
+/// Data-object id conventions shared by the runtime, data manager and
+/// schedulers: each task `t` owns two potential objects.
+pub fn external_input_id(task: TaskId) -> DataId {
+    DataId(task.0 as u64 * 2)
+}
+
+/// The data object holding `task`'s output file.
+pub fn output_id(task: TaskId) -> DataId {
+    DataId(task.0 as u64 * 2 + 1)
+}
+
+/// Data objects a task consumes (predecessor outputs + external input).
+///
+/// Predecessor outputs at or below `inline_limit` bytes are omitted: small
+/// results travel inline through the FaaS service (the paper's 10 MB
+/// Python-object payload path), so only `RemoteFile`-sized outputs involve
+/// the data manager. External inputs are always files.
+pub fn task_inputs(dag: &Dag, task: TaskId, inline_limit: u64) -> Vec<DataId> {
+    let mut inputs: Vec<DataId> = dag
+        .preds(task)
+        .iter()
+        .filter(|p| {
+            let b = dag.spec(**p).output_bytes;
+            b > 0 && b > inline_limit
+        })
+        .map(|p| output_id(*p))
+        .collect();
+    if dag.spec(task).external_input_bytes > 0 {
+        inputs.push(external_input_id(task));
+    }
+    inputs
+}
+
+/// The scheduler interface. Default hook implementations do nothing, so a
+/// scheduler only implements the events it cares about.
+pub trait Scheduler {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// New tasks appeared in the DAG (workflow submission or dynamic
+    /// growth).
+    fn on_tasks_added(&mut self, _ctx: &mut SchedCtx, _tasks: &[TaskId]) {}
+
+    /// All of `task`'s dependencies have completed.
+    fn on_task_ready(&mut self, ctx: &mut SchedCtx, task: TaskId);
+
+    /// `task`'s inputs are all present at its target endpoint.
+    fn on_staging_complete(&mut self, ctx: &mut SchedCtx, task: TaskId);
+
+    /// A worker on `ep` became idle (and no endpoint-queued task consumed
+    /// it).
+    fn on_worker_idle(&mut self, _ctx: &mut SchedCtx, _ep: EndpointId) {}
+
+    /// The resource capacity of some endpoint changed.
+    fn on_capacity_change(&mut self, _ctx: &mut SchedCtx) {}
+
+    /// Periodic re-scheduling tick (only delivered if
+    /// [`Scheduler::wants_ticks`]).
+    fn on_tick(&mut self, _ctx: &mut SchedCtx) {}
+
+    /// `task` left the scheduler's jurisdiction: the runtime took it over
+    /// (fault-tolerance retry, §IV-G) or it failed permanently. The
+    /// scheduler must drop any internal state it holds for the task.
+    fn on_task_removed(&mut self, _task: TaskId) {}
+
+    /// Whether the runtime should schedule periodic ticks.
+    fn wants_ticks(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskgraph::TaskSpec;
+
+    #[test]
+    fn data_id_conventions_are_disjoint() {
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..100u32 {
+            assert!(seen.insert(external_input_id(TaskId(t))));
+            assert!(seen.insert(output_id(TaskId(t))));
+        }
+    }
+
+    #[test]
+    fn task_inputs_includes_external_only_when_present() {
+        let mut dag = Dag::new();
+        let f = dag.register_function("f");
+        let a = dag.add_task(TaskSpec::compute(f, 1.0).with_output_bytes(10), &[]);
+        let b = dag.add_task(
+            TaskSpec::compute(f, 1.0).with_external_input_bytes(5),
+            &[a],
+        );
+        let c = dag.add_task(TaskSpec::compute(f, 1.0), &[a]);
+        assert_eq!(
+            task_inputs(&dag, b, 0),
+            vec![output_id(a), external_input_id(b)]
+        );
+        assert_eq!(task_inputs(&dag, c, 0), vec![output_id(a)]);
+        assert_eq!(task_inputs(&dag, a, 0), vec![]);
+        // An inline limit of 10 bytes swallows the 10-byte output but not
+        // the external input.
+        assert_eq!(task_inputs(&dag, b, 10), vec![external_input_id(b)]);
+        assert_eq!(task_inputs(&dag, c, 10), vec![]);
+    }
+}

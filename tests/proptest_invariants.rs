@@ -1,0 +1,241 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use simkit::{EventQueue, SimTime, TimeSeries};
+use taskgraph::partition::{capacity_partition, proportional_counts};
+use taskgraph::rank::{priorities, FnCosts};
+use taskgraph::traverse::{critical_path_seconds, dfs_order, levels, topological_order};
+use taskgraph::workloads::random::{generate, RandomDagParams};
+use taskgraph::TaskId;
+
+fn arb_dag() -> impl Strategy<Value = taskgraph::Dag> {
+    (1usize..6, 1usize..8, 0.05f64..0.9, 0u64..1_000).prop_map(
+        |(layers, width, edge_prob, seed)| {
+            generate(&RandomDagParams {
+                n_layers: layers,
+                min_width: 1,
+                max_width: width,
+                edge_prob,
+                mean_seconds: 10.0,
+                mean_output_bytes: 1 << 20,
+                seed,
+            })
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn topological_order_respects_all_edges(dag in arb_dag()) {
+        let order = topological_order(&dag);
+        prop_assert_eq!(order.len(), dag.len());
+        let pos: std::collections::HashMap<TaskId, usize> =
+            order.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+        for t in dag.task_ids() {
+            for p in dag.preds(t) {
+                prop_assert!(pos[p] < pos[&t]);
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_order_is_a_permutation(dag in arb_dag()) {
+        let order = dfs_order(&dag);
+        let mut ids: Vec<u32> = order.iter().map(|t| t.0).collect();
+        ids.sort_unstable();
+        let expect: Vec<u32> = (0..dag.len() as u32).collect();
+        prop_assert_eq!(ids, expect);
+    }
+
+    #[test]
+    fn heft_priorities_dominate_successors(dag in arb_dag()) {
+        let costs = FnCosts {
+            staging: |_| 0.5,
+            execution: |t: TaskId| dag.spec(t).compute_seconds,
+        };
+        let prio = priorities(&dag, &costs);
+        for t in dag.task_ids() {
+            for s in dag.succs(t) {
+                prop_assert!(
+                    prio[t.index()] > prio[s.index()],
+                    "priority({}) = {} must exceed priority({}) = {}",
+                    t, prio[t.index()], s, prio[s.index()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn levels_increase_along_edges(dag in arb_dag()) {
+        let lv = levels(&dag);
+        for t in dag.task_ids() {
+            for p in dag.preds(t) {
+                prop_assert!(lv[p.index()] < lv[t.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_bounds_total_compute(dag in arb_dag()) {
+        let cp = critical_path_seconds(&dag);
+        let total = dag.total_compute_seconds();
+        let max_task = dag
+            .task_ids()
+            .map(|t| dag.spec(t).compute_seconds)
+            .fold(0.0f64, f64::max);
+        prop_assert!(cp <= total + 1e-9);
+        prop_assert!(cp >= max_task - 1e-9);
+    }
+
+    #[test]
+    fn proportional_counts_sum_and_respect_zeros(
+        m in 0usize..5_000,
+        caps in proptest::collection::vec(0usize..500, 1..8)
+    ) {
+        prop_assume!(caps.iter().sum::<usize>() > 0);
+        let counts = proportional_counts(m, &caps);
+        prop_assert_eq!(counts.iter().sum::<usize>(), m);
+        for (count, cap) in counts.iter().zip(&caps) {
+            if *cap == 0 {
+                prop_assert_eq!(*count, 0);
+            }
+        }
+        // Largest-remainder keeps every endpoint within 1 of its exact
+        // share (when every endpoint has capacity).
+        if caps.iter().all(|c| *c > 0) {
+            let total: usize = caps.iter().sum();
+            for (count, cap) in counts.iter().zip(&caps) {
+                let exact = m as f64 * *cap as f64 / total as f64;
+                prop_assert!((*count as f64 - exact).abs() <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_partition_assigns_every_task(dag in arb_dag(), caps in proptest::collection::vec(1usize..100, 1..5)) {
+        let assignment = capacity_partition(&dag, &caps);
+        prop_assert_eq!(assignment.len(), dag.len());
+        for &a in &assignment {
+            prop_assert!(a < caps.len());
+        }
+        let counts = proportional_counts(dag.len(), &caps);
+        let mut observed = vec![0usize; caps.len()];
+        for &a in &assignment {
+            observed[a] += 1;
+        }
+        prop_assert_eq!(observed, counts);
+    }
+
+    #[test]
+    fn event_queue_pops_sorted_with_fifo_ties(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((at, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(at >= lt);
+                if at == lt {
+                    prop_assert!(idx > lidx, "FIFO tie-break violated");
+                }
+            }
+            last = Some((at, idx));
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    #[test]
+    fn time_series_integral_matches_mean(samples in proptest::collection::vec((0u64..1_000, 0.0f64..100.0), 1..50)) {
+        let mut sorted = samples.clone();
+        sorted.sort_by_key(|(t, _)| *t);
+        let mut series = TimeSeries::new();
+        for (t, v) in &sorted {
+            series.record(SimTime::from_secs(*t), *v);
+        }
+        let from = SimTime::ZERO;
+        let to = SimTime::from_secs(2_000);
+        let integral = series.integral(from, to);
+        let mean = series.mean_over(from, to);
+        prop_assert!((integral - mean * 2_000.0).abs() < 1e-6);
+        // The integral is bounded by max value × span.
+        let max = sorted.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+        prop_assert!(integral <= max * 2_000.0 + 1e-6);
+        prop_assert!(integral >= 0.0);
+    }
+
+    #[test]
+    fn calibrate_hits_arbitrary_targets(
+        dag in arb_dag(),
+        secs in 1.0f64..100_000.0,
+        bytes in 1u64..1_000_000_000
+    ) {
+        let mut dag = dag;
+        prop_assume!(dag.total_data_bytes() > 0);
+        taskgraph::workloads::calibrate(&mut dag, secs, Some(bytes));
+        prop_assert!((dag.total_compute_seconds() - secs).abs() / secs < 1e-9);
+        // Byte rounding error is at most one byte per task.
+        let diff = (dag.total_data_bytes() as i64 - bytes as i64).unsigned_abs();
+        prop_assert!(diff <= 2 * dag.len() as u64);
+    }
+}
+
+mod model_properties {
+    use super::*;
+    use perfmodel::{Dataset, LinearRegression, Regressor, Trainer};
+
+    proptest! {
+        #[test]
+        fn ols_recovers_noiseless_lines(
+            intercept in -100.0f64..100.0,
+            slope in -10.0f64..10.0,
+            xs in proptest::collection::vec(-50.0f64..50.0, 3..40)
+        ) {
+            // Need at least two distinct x values for identifiability.
+            let distinct = xs.iter().any(|x| (x - xs[0]).abs() > 1.0);
+            prop_assume!(distinct);
+            let mut data = Dataset::new(1);
+            for &x in &xs {
+                data.push(&[x], intercept + slope * x);
+            }
+            let model = LinearRegression::default().fit(&data).unwrap();
+            for &x in &xs {
+                let want = intercept + slope * x;
+                prop_assert!(
+                    (model.predict(&[x]) - want).abs() < 1e-3,
+                    "x={x}: got {} want {want}", model.predict(&[x])
+                );
+            }
+        }
+
+        #[test]
+        fn forest_predictions_stay_within_target_range(
+            seed in 0u64..500,
+            n in 10usize..80
+        ) {
+            use perfmodel::{RandomForest, RandomForestParams};
+            let mut rng = simkit::SimRng::seed_from_u64(seed);
+            let mut data = Dataset::new(2);
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for _ in 0..n {
+                let x = rng.uniform(0.0, 10.0);
+                let y = rng.uniform(0.0, 10.0);
+                let target = rng.uniform(1.0, 100.0);
+                lo = lo.min(target);
+                hi = hi.max(target);
+                data.push(&[x, y], target);
+            }
+            let forest = RandomForest::fit(&data, &RandomForestParams {
+                n_trees: 5,
+                seed,
+                ..Default::default()
+            }).unwrap();
+            // Averages of leaf means can never leave the observed range.
+            for _ in 0..20 {
+                let p = forest.predict(&[rng.uniform(-5.0, 15.0), rng.uniform(-5.0, 15.0)]);
+                prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+            }
+        }
+    }
+}
