@@ -6,10 +6,10 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use perfmodel::{Dataset, RandomForest, RandomForestParams, Regressor};
 use simkit::{EventQueue, SimRng, SimTime};
+use taskgraph::partition::capacity_partition;
 use taskgraph::rank::{priorities, FnCosts};
 use taskgraph::workloads::drug::{generate, DrugParams};
 use taskgraph::workloads::random::{generate as random_dag, RandomDagParams};
-use taskgraph::partition::capacity_partition;
 use taskgraph::TaskId;
 
 fn bench_event_queue(c: &mut Criterion) {

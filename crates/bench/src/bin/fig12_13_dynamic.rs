@@ -24,7 +24,11 @@ fn run_panel(
         let mut cfg = pool().build();
         cfg.strategy = strategy;
         let report = SimRuntime::new(cfg, make_dag()).run().expect("run failed");
-        println!("\n[{}] busy workers per endpoint (makespan {:.0} s):", report.scheduler, report.makespan.as_secs_f64());
+        println!(
+            "\n[{}] busy workers per endpoint (makespan {:.0} s):",
+            report.scheduler,
+            report.makespan.as_secs_f64()
+        );
         let end = SimTime::ZERO + report.makespan;
         let step = SimDuration::from_secs_f64((report.makespan.as_secs_f64() / 16.0).max(1.0));
         print_series_grid(&report.series.busy_workers, SimTime::ZERO, end, step);

@@ -12,30 +12,20 @@ fn print_summary(name: &str, dag: &taskgraph::Dag, paper: (usize, f64, f64)) {
     let (p_tasks, p_mean, p_gb) = paper;
     let gb = s.total_data_bytes as f64 / (1u64 << 30) as f64;
     println!("{name}");
-    println!(
-        "  {:<26} {:>12} {:>12}",
-        "metric", "paper", "generated"
-    );
+    println!("  {:<26} {:>12} {:>12}", "metric", "paper", "generated");
     println!("  {:<26} {:>12} {:>12}", "functions", p_tasks, s.n_tasks);
     println!(
         "  {:<26} {:>12.1} {:>12.1}",
         "mean task seconds", p_mean, s.mean_task_seconds
     );
-    println!(
-        "  {:<26} {:>12.2} {:>12.2}",
-        "total data (GB)", p_gb, gb
-    );
-    println!(
-        "  {:<26} {:>12} {:>12}",
-        "task types", "-", s.n_functions
-    );
-    println!(
-        "  {:<26} {:>12} {:>12}",
-        "edges", "-", s.n_edges
-    );
+    println!("  {:<26} {:>12.2} {:>12.2}", "total data (GB)", p_gb, gb);
+    println!("  {:<26} {:>12} {:>12}", "task types", "-", s.n_functions);
+    println!("  {:<26} {:>12} {:>12}", "edges", "-", s.n_edges);
     println!(
         "  {:<26} {:>12} {:>12.0}",
-        "total compute (h)", "-", s.total_compute_seconds / 3600.0
+        "total compute (h)",
+        "-",
+        s.total_compute_seconds / 3600.0
     );
     println!();
 }

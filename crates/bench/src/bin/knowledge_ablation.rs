@@ -23,10 +23,10 @@ fn dag() -> Dag {
 fn synthetic_history() -> HistoryDb {
     let mut db = HistoryDb::new();
     let clusters: [(u16, u32, f64, u32, f64); 4] = [
-        (0, 40, 2.4, 192, 1.10),  // Taiyi
-        (1, 16, 2.6, 64, 1.00),   // Qiming
-        (2, 48, 2.4, 770, 1.05),  // Dept
-        (3, 26, 2.2, 128, 0.95),  // Lab
+        (0, 40, 2.4, 192, 1.10), // Taiyi
+        (1, 16, 2.6, 64, 1.00),  // Qiming
+        (2, 48, 2.4, 770, 1.05), // Dept
+        (3, 26, 2.2, 128, 0.95), // Lab
     ];
     let stages: [(&str, f64, u64); 4] = [
         ("dock", 240.0, 20 << 20),

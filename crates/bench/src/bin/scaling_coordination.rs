@@ -15,7 +15,10 @@ use unifaas::prelude::*;
 
 fn bursty_workflow() -> (Dag, Vec<(u64, usize, f64)>) {
     // Three bursts of differently-sized tasks, injected over time.
-    (Dag::new(), vec![(5, 200, 20.0), (300, 60, 120.0), (600, 400, 5.0)])
+    (
+        Dag::new(),
+        vec![(5, 200, 20.0), (300, 60, 120.0), (600, 400, 5.0)],
+    )
 }
 
 fn run(policy: ScalingPolicyKind) -> (String, unifaas::RunReport) {

@@ -16,7 +16,10 @@ use unifaas_bench::{all_strategies, drug_static_pool};
 
 fn main() {
     println!("=== Table III: scheduler overhead (drug screening, 24,001 tasks) ===\n");
-    println!("{:<12} {:>16} {:>14} {:>12}", "algorithm", "overhead/task (s)", "total (s)", "hook calls");
+    println!(
+        "{:<12} {:>16} {:>14} {:>12}",
+        "algorithm", "overhead/task (s)", "total (s)", "hook calls"
+    );
     for strategy in all_strategies() {
         let mut cfg = drug_static_pool().build();
         cfg.strategy = strategy;

@@ -14,7 +14,9 @@
 use fedci::hardware::ClusterSpec;
 use taskgraph::workloads::{drug, montage};
 use unifaas::prelude::*;
-use unifaas_bench::{all_strategies, drug_static_pool, montage_static_pool, print_result_header, print_result_row};
+use unifaas_bench::{
+    all_strategies, drug_static_pool, montage_static_pool, print_result_header, print_result_row,
+};
 
 fn main() {
     println!("=== Table IV: static resource capacity ===\n");
@@ -51,12 +53,9 @@ fn main() {
         .endpoint(EndpointConfig::new("Qiming", ClusterSpec::qiming(), 240))
         .strategy(SchedulingStrategy::Capacity)
         .build();
-    let base = SimRuntime::new(
-        base_cfg,
-        montage::generate(&montage::MontageParams::full()),
-    )
-    .run()
-    .expect("baseline failed");
+    let base = SimRuntime::new(base_cfg, montage::generate(&montage::MontageParams::full()))
+        .run()
+        .expect("baseline failed");
     print_result_row("Baseline: Only Qiming", &base);
 
     println!(

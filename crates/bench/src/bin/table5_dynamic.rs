@@ -14,14 +14,18 @@
 use taskgraph::workloads::{drug, montage};
 use unifaas::config::SchedulingStrategy;
 use unifaas::prelude::*;
-use unifaas_bench::{drug_dynamic_pool, montage_dynamic_pool, print_result_header, print_result_row};
+use unifaas_bench::{
+    drug_dynamic_pool, montage_dynamic_pool, print_result_header, print_result_row,
+};
 
 fn strategies() -> Vec<SchedulingStrategy> {
     vec![
         SchedulingStrategy::Capacity,
         SchedulingStrategy::Locality,
         SchedulingStrategy::Dha { rescheduling: true },
-        SchedulingStrategy::Dha { rescheduling: false },
+        SchedulingStrategy::Dha {
+            rescheduling: false,
+        },
     ]
 }
 
@@ -43,12 +47,9 @@ fn main() {
     for strategy in strategies() {
         let mut cfg = montage_dynamic_pool().build();
         cfg.strategy = strategy;
-        let report = SimRuntime::new(
-            cfg,
-            montage::generate(&montage::MontageParams::full()),
-        )
-        .run()
-        .expect("montage run failed");
+        let report = SimRuntime::new(cfg, montage::generate(&montage::MontageParams::full()))
+            .run()
+            .expect("montage run failed");
         print_result_row(&report.scheduler.clone(), &report);
     }
 

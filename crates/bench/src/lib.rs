@@ -5,8 +5,8 @@
 //! here build the Table II / §VI endpoint pools and format output rows.
 
 use fedci::hardware::ClusterSpec;
-use simkit::{SimDuration, SimTime};
 use simkit::series::SeriesSet;
+use simkit::{SimDuration, SimTime};
 use unifaas::config::{Config, ConfigBuilder, EndpointConfig, SchedulingStrategy};
 use unifaas::metrics::RunReport;
 

@@ -83,10 +83,19 @@ fn main() {
 
     println!("scheduler          {}", report.scheduler);
     println!("tasks completed    {}", report.tasks_completed);
-    println!("makespan           {:.1} s (simulated)", report.makespan.as_secs_f64());
-    println!("transfer           {:.3} GB across endpoints", report.transfer_gb());
+    println!(
+        "makespan           {:.1} s (simulated)",
+        report.makespan.as_secs_f64()
+    );
+    println!(
+        "transfer           {:.3} GB across endpoints",
+        report.transfer_gb()
+    );
     println!("failed attempts    {}", report.failed_attempts);
-    println!("mean utilization   {:.1}%", report.mean_utilization() * 100.0);
+    println!(
+        "mean utilization   {:.1}%",
+        report.mean_utilization() * 100.0
+    );
     println!(
         "scheduler overhead {:.2e} s/task (wall)",
         report.scheduler_overhead_per_task()

@@ -58,7 +58,9 @@ impl WorkloadSpec {
     /// Builds the DAG for this workload.
     pub fn build(&self) -> Dag {
         match self {
-            WorkloadSpec::Drug { pipelines } => drug::generate(&drug::DrugParams::small(*pipelines)),
+            WorkloadSpec::Drug { pipelines } => {
+                drug::generate(&drug::DrugParams::small(*pipelines))
+            }
             WorkloadSpec::Montage { tiles } => {
                 montage::generate(&montage::MontageParams::small(*tiles))
             }
@@ -351,39 +353,40 @@ workload drug pipelines=10
         assert_eq!(spec.config.capacity_events.len(), 1);
         assert_eq!(spec.config.capacity_events[0].delta, -50);
         assert!(spec.config.scaling.enabled);
-        assert_eq!(
-            spec.config.scaling.idle_timeout,
-            SimDuration::from_secs(20)
-        );
+        assert_eq!(spec.config.scaling.idle_timeout, SimDuration::from_secs(20));
         assert_eq!(spec.workload, WorkloadSpec::Drug { pipelines: 10 });
         assert_eq!(spec.workload.build().len(), 41);
     }
 
     #[test]
     fn uniform_cluster_and_bag_workload() {
-        let spec = parse_spec(
-            "endpoint a uniform:1.5 4\nworkload bag n=20 secs=3.5\n",
-        )
-        .unwrap();
+        let spec = parse_spec("endpoint a uniform:1.5 4\nworkload bag n=20 secs=3.5\n").unwrap();
         assert_eq!(spec.config.endpoints[0].cluster.speed_factor, 1.5);
         assert_eq!(spec.workload.build().len(), 20);
     }
 
     #[test]
     fn montage_workload_builds() {
-        let spec =
-            parse_spec("endpoint a qiming 4\nworkload montage tiles=10\n").unwrap();
+        let spec = parse_spec("endpoint a qiming 4\nworkload montage tiles=10\n").unwrap();
         assert_eq!(spec.workload, WorkloadSpec::Montage { tiles: 10 });
         assert_eq!(spec.workload.build().len(), 56);
     }
 
     #[test]
     fn ensemble_workload_builds() {
-        let spec = parse_spec("endpoint a qiming 4
+        let spec = parse_spec(
+            "endpoint a qiming 4
 workload ensemble rounds=3 batch=5
-")
-            .unwrap();
-        assert_eq!(spec.workload, WorkloadSpec::Ensemble { rounds: 3, batch: 5 });
+",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.workload,
+            WorkloadSpec::Ensemble {
+                rounds: 3,
+                batch: 5
+            }
+        );
         assert_eq!(spec.workload.build().len(), 18);
     }
 

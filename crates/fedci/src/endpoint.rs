@@ -137,7 +137,10 @@ impl EndpointSim {
     /// Commissions `count` previously requested workers (the batch job
     /// started).
     pub fn commission_workers(&mut self, count: usize, now: SimTime) {
-        assert!(count <= self.pending_workers, "commissioning unrequested workers");
+        assert!(
+            count <= self.pending_workers,
+            "commissioning unrequested workers"
+        );
         self.accumulate_busy(now);
         self.pending_workers -= count;
         self.active_workers += count;
@@ -166,7 +169,10 @@ impl EndpointSim {
             let remove = (-delta) as usize;
             let remove = remove.min(self.active_workers);
             self.active_workers -= remove;
-            self.max_workers = self.max_workers.min(self.active_workers.max(1)).max(self.active_workers);
+            self.max_workers = self
+                .max_workers
+                .min(self.active_workers.max(1))
+                .max(self.active_workers);
             if self.busy_workers > self.active_workers {
                 let preempted = self.busy_workers - self.active_workers;
                 self.busy_workers = self.active_workers;

@@ -69,8 +69,8 @@ impl FaultInjector {
         if self.in_outage(ep, now) {
             return true;
         }
-        let p = self.task_failure_prob
-            + self.endpoint_task_failure.get(&ep).copied().unwrap_or(0.0);
+        let p =
+            self.task_failure_prob + self.endpoint_task_failure.get(&ep).copied().unwrap_or(0.0);
         self.rng.chance(p)
     }
 

@@ -156,7 +156,9 @@ mod tests {
         let tb = table2_testbed();
         let taiyi = &tb[0];
         assert!(tb.iter().all(|c| c.speed_factor <= taiyi.speed_factor));
-        assert!(tb.iter().all(|c| c.provision_delay_s <= taiyi.provision_delay_s));
+        assert!(tb
+            .iter()
+            .all(|c| c.provision_delay_s <= taiyi.provision_delay_s));
     }
 
     #[test]

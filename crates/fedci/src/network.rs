@@ -75,7 +75,10 @@ impl NetworkTopology {
 
     /// Overrides the link between a specific pair (both directions).
     pub fn set_link(&mut self, a: EndpointId, b: EndpointId, link: Link) {
-        assert!(a.index() < self.n && b.index() < self.n, "endpoint out of range");
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "endpoint out of range"
+        );
         self.overrides.insert((a, b), link);
         self.overrides.insert((b, a), link);
     }
@@ -83,14 +86,20 @@ impl NetworkTopology {
     /// The link from `src` to `dst`. Same-endpoint "transfers" get an
     /// effectively infinite link (shared filesystem).
     pub fn link(&self, src: EndpointId, dst: EndpointId) -> Link {
-        assert!(src.index() < self.n && dst.index() < self.n, "endpoint out of range");
+        assert!(
+            src.index() < self.n && dst.index() < self.n,
+            "endpoint out of range"
+        );
         if src == dst {
             return Link {
                 bandwidth_bps: f64::INFINITY,
                 latency: SimDuration::ZERO,
             };
         }
-        *self.overrides.get(&(src, dst)).unwrap_or(&self.default_link)
+        *self
+            .overrides
+            .get(&(src, dst))
+            .unwrap_or(&self.default_link)
     }
 
     /// Fair bandwidth share for one of `active` concurrent transfers on the

@@ -19,6 +19,9 @@ pub struct DataId(pub u64);
 pub struct DataStore {
     /// For each object: its size and the endpoints holding a replica.
     objects: HashMap<DataId, ObjectInfo>,
+    /// Bumped on every mutation; lets read-side caches (e.g. the DHA
+    /// scheduler's best-replica cache) invalidate in O(1).
+    version: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -49,6 +52,7 @@ impl DataStore {
                 });
             }
         }
+        self.version += 1;
     }
 
     /// Records that `id` now also exists at `ep` (a transfer completed).
@@ -57,7 +61,16 @@ impl DataStore {
         let info = self.objects.get_mut(&id).expect("unknown data object");
         if !info.replicas.contains(&ep) {
             info.replicas.push(ep);
+            self.version += 1;
         }
+    }
+
+    /// Monotone counter bumped by every replica-set mutation. Two equal
+    /// versions guarantee identical replica placement, so cached placement
+    /// decisions keyed by the version stay valid exactly as long as it is
+    /// unchanged.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Size of an object in bytes.
@@ -75,11 +88,7 @@ impl DataStore {
 
     /// All endpoints holding `id` (in arrival order; index 0 is the home).
     pub fn replicas(&self, id: DataId) -> &[EndpointId] {
-        &self
-            .objects
-            .get(&id)
-            .expect("unknown data object")
-            .replicas
+        &self.objects.get(&id).expect("unknown data object").replicas
     }
 
     /// Whether the object exists at all.
@@ -102,7 +111,10 @@ impl DataStore {
     /// clean-up between experiments). No-op for unknown objects.
     pub fn evict_non_home(&mut self, id: DataId) {
         if let Some(info) = self.objects.get_mut(&id) {
-            info.replicas.truncate(1);
+            if info.replicas.len() > 1 {
+                info.replicas.truncate(1);
+                self.version += 1;
+            }
         }
     }
 
@@ -176,6 +188,29 @@ mod tests {
         ds.evict_non_home(DataId(9));
         assert_eq!(ds.replicas(DataId(9)), &[ep(2)]);
         ds.evict_non_home(DataId(404)); // unknown: no-op
+    }
+
+    #[test]
+    fn version_tracks_replica_mutations_only() {
+        let mut ds = DataStore::new();
+        let v0 = ds.version();
+        ds.register(DataId(1), 100, ep(0));
+        let v1 = ds.version();
+        assert!(v1 > v0);
+        ds.add_replica(DataId(1), ep(1));
+        let v2 = ds.version();
+        assert!(v2 > v1);
+        // Idempotent add and reads leave the version alone.
+        ds.add_replica(DataId(1), ep(1));
+        let _ = ds.bytes(DataId(1));
+        let _ = ds.missing_bytes(&[DataId(1)], ep(2));
+        assert_eq!(ds.version(), v2);
+        ds.evict_non_home(DataId(1));
+        assert!(ds.version() > v2);
+        let v3 = ds.version();
+        ds.evict_non_home(DataId(1)); // single replica left: no change
+        ds.evict_non_home(DataId(404)); // unknown: no change
+        assert_eq!(ds.version(), v3);
     }
 
     #[test]

@@ -85,9 +85,8 @@ impl Trainer for PolynomialRegression {
             return None;
         }
         let n_raw = data.n_features();
-        let mut expanded = Dataset::new(
-            expand_features(&vec![0.0; n_raw], self.degree, self.cross_terms).len(),
-        );
+        let mut expanded =
+            Dataset::new(expand_features(&vec![0.0; n_raw], self.degree, self.cross_terms).len());
         for i in 0..data.len() {
             expanded.push(
                 &expand_features(data.row(i), self.degree, self.cross_terms),
@@ -143,10 +142,7 @@ mod tests {
         let model = PolynomialRegression::default().fit(&data).unwrap();
         let pred = model.predict(&[50.0, 0.1, 2.0]);
         let want = 0.5 + 50.0 * 0.1 * 1.2;
-        assert!(
-            (pred - want).abs() / want < 0.25,
-            "pred={pred} want={want}"
-        );
+        assert!((pred - want).abs() / want < 0.25, "pred={pred} want={want}");
     }
 
     #[test]

@@ -53,8 +53,11 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    next_id: u64,
-    cancelled: std::collections::HashSet<EventId>,
+    /// `pending[id]` is true while event `id` sits in the heap and has not
+    /// been cancelled or delivered. Ids are dense, so a flat bitmap gives
+    /// O(1) cancel with exact per-id state — a cancelled-id set cannot
+    /// distinguish "already delivered" from "still pending" without it.
+    pending: Vec<bool>,
     len: usize,
 }
 
@@ -70,8 +73,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            next_id: 0,
-            cancelled: std::collections::HashSet::new(),
+            pending: Vec::new(),
             len: 0,
         }
     }
@@ -79,8 +81,8 @@ impl<E> EventQueue<E> {
     /// Schedules `payload` for delivery at `at`. Returns an id that can be
     /// passed to [`EventQueue::cancel`].
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
-        let id = EventId(self.next_id);
-        self.next_id += 1;
+        let id = EventId(self.pending.len() as u64);
+        self.pending.push(true);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry {
@@ -94,32 +96,28 @@ impl<E> EventQueue<E> {
     }
 
     /// Cancels a previously scheduled event. Returns true if the event was
-    /// still pending.
+    /// still pending (not yet delivered or cancelled).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        // We cannot remove from the middle of a heap cheaply, so record the
-        // id and skip it when popped.
-        if id.0 >= self.next_id {
-            return false;
-        }
-        if self.cancelled.insert(id) {
-            if self.len == 0 {
-                // Already delivered: undo the insert.
-                self.cancelled.remove(&id);
-                return false;
+        // We cannot remove from the middle of a heap cheaply; clear the
+        // pending flag and skip the entry when it surfaces.
+        match self.pending.get_mut(id.0 as usize) {
+            Some(p) if *p => {
+                *p = false;
+                self.len -= 1;
+                true
             }
-            self.len -= 1;
-            true
-        } else {
-            false
+            _ => false,
         }
     }
 
     /// Removes and returns the earliest pending event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.id) {
-                continue;
+            let p = &mut self.pending[entry.id.0 as usize];
+            if !*p {
+                continue; // cancelled
             }
+            *p = false; // delivered
             self.len -= 1;
             return Some((entry.at, entry.payload));
         }
@@ -129,9 +127,8 @@ impl<E> EventQueue<E> {
     /// The delivery time of the earliest pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.id) {
-                let entry = self.heap.pop().expect("peeked entry must exist");
-                self.cancelled.remove(&entry.id);
+            if !self.pending[entry.id.0 as usize] {
+                self.heap.pop();
                 continue;
             }
             return Some(entry.at);
@@ -201,6 +198,23 @@ mod tests {
         let a = q.schedule(t(1), "a");
         assert_eq!(q.pop(), Some((t(1), "a")));
         assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_after_delivery_with_other_events_pending() {
+        // Regression: cancelling an already-delivered event while other
+        // events were still pending used to return true and corrupt `len`
+        // (the old implementation inferred "delivered" from an empty
+        // queue, which only worked when nothing else was scheduled).
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        let _b = q.schedule(t(2), "b");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.len(), 1);
+        assert!(!q.cancel(a), "event a was already delivered");
+        assert_eq!(q.len(), 1, "len must not change");
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -213,10 +213,7 @@ mod tests {
     fn lognormal_hits_target_mean() {
         let mut r = rng();
         let n = 200_000;
-        let mean = (0..n)
-            .map(|_| r.lognormal_mean_cv(220.0, 0.5))
-            .sum::<f64>()
-            / n as f64;
+        let mean = (0..n).map(|_| r.lognormal_mean_cv(220.0, 0.5)).sum::<f64>() / n as f64;
         assert!(
             (mean - 220.0).abs() / 220.0 < 0.02,
             "empirical mean {mean} too far from 220"

@@ -126,7 +126,9 @@ impl Dag {
 
     /// Ids of all root tasks (no dependencies).
     pub fn roots(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|t| self.in_degree(*t) == 0).collect()
+        self.task_ids()
+            .filter(|t| self.in_degree(*t) == 0)
+            .collect()
     }
 
     /// Ids of all sink tasks (no dependents).
@@ -242,10 +244,7 @@ mod tests {
     fn summary_statistics() {
         let mut dag = Dag::new();
         let a = dag.add_task(spec(0, 10.0).with_output_bytes(100), &[]);
-        dag.add_task(
-            spec(1, 20.0).with_external_input_bytes(50),
-            &[a],
-        );
+        dag.add_task(spec(1, 20.0).with_external_input_bytes(50), &[a]);
         let s = dag.summary();
         assert_eq!(s.n_tasks, 2);
         assert_eq!(s.n_edges, 1);

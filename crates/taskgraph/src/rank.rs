@@ -59,10 +59,72 @@ pub fn priorities<C: CostEstimator>(dag: &Dag, costs: &C) -> Vec<f64> {
             .iter()
             .map(|s| prio[s.index()])
             .fold(0.0, f64::max);
-        prio[t.index()] =
-            costs.avg_staging_seconds(t) + costs.avg_execution_seconds(t) + succ_max;
+        prio[t.index()] = costs.avg_staging_seconds(t) + costs.avg_execution_seconds(t) + succ_max;
     }
     prio
+}
+
+/// Extends an existing priority vector to cover a DAG that has grown since
+/// `prio` was computed, without revisiting the whole graph.
+///
+/// `prio` must hold consistent Eq. 2 priorities for the first `prio.len()`
+/// tasks of `dag`, computed with the *same* cost estimates (recompute from
+/// scratch with [`priorities`] whenever the estimates change). The DAG is
+/// append-only and every edge points from a lower id to a higher id
+/// (creation order is topological), which gives the incremental scheme its
+/// two legs:
+///
+/// 1. New tasks' successors are themselves new, so walking the new suffix
+///    in reverse id order computes their ranks directly.
+/// 2. An existing task's rank can only *grow* (a new successor can raise
+///    `max over successors` but nothing can lower it), so a worklist that
+///    propagates increases from the new tasks up through the ancestor
+///    frontier — stopping wherever the old rank already dominates —
+///    touches only the affected region.
+///
+/// Cost: O(new tasks + affected ancestors + their edges), versus O(whole
+/// DAG) for a full recompute on every growth step.
+pub fn extend_priorities<C: CostEstimator>(dag: &Dag, costs: &C, prio: &mut Vec<f64>) {
+    let old_n = prio.len();
+    let n = dag.len();
+    assert!(old_n <= n, "priority vector longer than the DAG");
+    if old_n == n {
+        return;
+    }
+    prio.resize(n, 0.0);
+    // Leg 1: the new suffix, in reverse id order (reverse topological).
+    for i in (old_n..n).rev() {
+        let t = TaskId(i as u32);
+        let succ_max = dag
+            .succs(t)
+            .iter()
+            .map(|s| prio[s.index()])
+            .fold(0.0, f64::max);
+        prio[i] = costs.avg_staging_seconds(t) + costs.avg_execution_seconds(t) + succ_max;
+    }
+    // Leg 2: propagate increases into the pre-existing prefix. Seed with
+    // the old predecessors of new tasks; follow predecessor edges only
+    // while ranks actually rise.
+    let mut work: Vec<TaskId> = Vec::new();
+    for i in old_n..n {
+        for &p in dag.preds(TaskId(i as u32)) {
+            if p.index() < old_n {
+                work.push(p);
+            }
+        }
+    }
+    while let Some(t) = work.pop() {
+        let succ_max = dag
+            .succs(t)
+            .iter()
+            .map(|s| prio[s.index()])
+            .fold(0.0, f64::max);
+        let updated = costs.avg_staging_seconds(t) + costs.avg_execution_seconds(t) + succ_max;
+        if updated > prio[t.index()] {
+            prio[t.index()] = updated;
+            work.extend(dag.preds(t).iter().copied());
+        }
+    }
 }
 
 /// Task ids sorted by descending priority (stable: ties keep creation
@@ -146,6 +208,101 @@ mod tests {
         };
         let p = priorities(&dag, &costs);
         assert!((p[a.index()] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extend_matches_full_recompute_on_chain_growth() {
+        let mut dag = Dag::new();
+        let a = dag.add_task(spec(1.0), &[]);
+        let b = dag.add_task(spec(2.0), &[a]);
+        let costs = FnCosts {
+            staging: |_| 0.0,
+            execution: |_: TaskId| 1.0,
+        };
+        let mut prio = priorities(&dag, &costs);
+        // Growing the tail raises every ancestor's rank.
+        let c = dag.add_task(spec(3.0), &[b]);
+        let _d = dag.add_task(spec(1.0), &[c]);
+        extend_priorities(&dag, &costs, &mut prio);
+        assert_eq!(prio, priorities(&dag, &costs));
+        assert!((prio[a.index()] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extend_stops_where_old_ranks_dominate() {
+        // A heavy branch already dominates; attaching a light new subtree
+        // to the shared root must leave the root's rank unchanged.
+        let mut dag = Dag::new();
+        let root = dag.add_task(spec(1.0), &[]);
+        let mut heavy = root;
+        for _ in 0..5 {
+            heavy = dag.add_task(spec(100.0), &[heavy]);
+        }
+        let costs2 = FnCosts {
+            staging: |_| 0.0,
+            execution: |t: TaskId| if t.index() == 0 { 1.0 } else { 100.0 },
+        };
+        let mut prio = priorities(&dag, &costs2);
+        let before_root = prio[root.index()];
+        let light = dag.add_task(spec(100.0), &[root]);
+        extend_priorities(&dag, &costs2, &mut prio);
+        assert_eq!(prio[root.index()], before_root);
+        assert_eq!(prio, priorities(&dag, &costs2));
+        assert!(prio[light.index()] > 0.0);
+    }
+
+    #[test]
+    fn extend_handles_cross_links_into_old_region() {
+        let mut dag = Dag::new();
+        let a = dag.add_task(spec(1.0), &[]);
+        let b = dag.add_task(spec(1.0), &[]);
+        let c = dag.add_task(spec(1.0), &[a, b]);
+        let costs = FnCosts {
+            staging: |_| 0.5,
+            execution: |_: TaskId| 1.0,
+        };
+        let mut prio = priorities(&dag, &costs);
+        // New diamond hanging off both an old mid task and an old root.
+        let d = dag.add_task(spec(1.0), &[c, a]);
+        let e = dag.add_task(spec(1.0), &[d, b]);
+        let _f = dag.add_task(spec(1.0), &[e]);
+        extend_priorities(&dag, &costs, &mut prio);
+        assert_eq!(prio, priorities(&dag, &costs));
+    }
+
+    #[test]
+    fn extend_on_unchanged_dag_is_a_no_op() {
+        let mut dag = Dag::new();
+        let _ = dag.add_task(spec(1.0), &[]);
+        let costs = FnCosts {
+            staging: |_| 0.0,
+            execution: |_: TaskId| 1.0,
+        };
+        let mut prio = priorities(&dag, &costs);
+        let before = prio.clone();
+        extend_priorities(&dag, &costs, &mut prio);
+        assert_eq!(prio, before);
+    }
+
+    #[test]
+    fn repeated_extension_matches_batch_computation() {
+        // Grow a randomish layered DAG one task at a time; the incremental
+        // vector must track the from-scratch one exactly at every step.
+        let mut dag = Dag::new();
+        let costs = FnCosts {
+            staging: |t: TaskId| (t.index() % 3) as f64 * 0.25,
+            execution: |t: TaskId| 1.0 + (t.index() % 7) as f64,
+        };
+        let mut prio: Vec<f64> = Vec::new();
+        for i in 0..60usize {
+            let deps: Vec<TaskId> = (0..i)
+                .filter(|j| (i * 7 + j * 13) % 11 == 0)
+                .map(|j| TaskId(j as u32))
+                .collect();
+            dag.add_task(spec(1.0), &deps);
+            extend_priorities(&dag, &costs, &mut prio);
+            assert_eq!(prio, priorities(&dag, &costs), "diverged at task {i}");
+        }
     }
 
     #[test]

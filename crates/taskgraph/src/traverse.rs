@@ -11,10 +11,8 @@ use crate::task::TaskId;
 pub fn topological_order(dag: &Dag) -> Vec<TaskId> {
     let n = dag.len();
     let mut in_deg: Vec<usize> = dag.task_ids().map(|t| dag.in_degree(t)).collect();
-    let mut queue: std::collections::VecDeque<TaskId> = dag
-        .task_ids()
-        .filter(|t| in_deg[t.index()] == 0)
-        .collect();
+    let mut queue: std::collections::VecDeque<TaskId> =
+        dag.task_ids().filter(|t| in_deg[t.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(t) = queue.pop_front() {
         order.push(t);

@@ -99,8 +99,7 @@ pub fn generate(params: &DrugParams) -> Dag {
         let mut prev = root;
         for (si, (_, mean_secs, out_mb)) in STAGES.iter().enumerate() {
             let secs = rng.lognormal_mean_cv(*mean_secs, params.duration_cv);
-            let mut spec =
-                TaskSpec::compute(stage_fns[si], secs).with_output_bytes(out_mb * MB);
+            let mut spec = TaskSpec::compute(stage_fns[si], secs).with_output_bytes(out_mb * MB);
             if si == 0 {
                 // Dock additionally reads the molecule batch file from the
                 // home endpoint.

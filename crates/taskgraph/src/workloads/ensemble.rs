@@ -82,8 +82,7 @@ pub fn generate(params: &EnsembleParams) -> Dag {
             })
             .collect();
         model = Some(dag.add_task(
-            TaskSpec::compute(f_train, params.train_seconds)
-                .with_output_bytes(params.model_bytes),
+            TaskSpec::compute(f_train, params.train_seconds).with_output_bytes(params.model_bytes),
             &sims,
         ));
     }

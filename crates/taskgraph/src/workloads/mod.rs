@@ -37,8 +37,7 @@ pub fn calibrate(dag: &mut Dag, target_total_seconds: f64, target_total_bytes: O
             for t in dag.task_ids().collect::<Vec<_>>() {
                 let spec = dag.spec_mut(t);
                 spec.output_bytes = (spec.output_bytes as f64 * k).round() as u64;
-                spec.external_input_bytes =
-                    (spec.external_input_bytes as f64 * k).round() as u64;
+                spec.external_input_bytes = (spec.external_input_bytes as f64 * k).round() as u64;
             }
         }
     }

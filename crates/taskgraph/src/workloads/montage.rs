@@ -206,7 +206,7 @@ mod tests {
         assert_eq!(dag.len(), params.n_tasks());
         assert_eq!(dag.roots().len(), 4); // the mProject tasks
         assert_eq!(dag.sinks().len(), 1); // mJPEG
-        // Every mDiffFit has exactly two predecessors.
+                                          // Every mDiffFit has exactly two predecessors.
         for t in dag.task_ids() {
             if dag.function_name(dag.spec(t).function) == "mDiffFit" {
                 assert_eq!(dag.in_degree(t), 2);

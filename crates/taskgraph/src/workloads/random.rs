@@ -74,10 +74,7 @@ pub fn generate(params: &RandomDagParams) -> Dag {
                     deps.push(prev_layer[rng.uniform_usize(0, prev_layer.len())]);
                 }
             }
-            this_layer.push(dag.add_task(
-                TaskSpec::compute(f, secs).with_output_bytes(out),
-                &deps,
-            ));
+            this_layer.push(dag.add_task(TaskSpec::compute(f, secs).with_output_bytes(out), &deps));
         }
         prev_layer = this_layer;
     }

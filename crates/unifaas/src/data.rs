@@ -243,7 +243,8 @@ impl DataManager {
             // Fair share: the link divided by the number of concurrently
             // active transfers on this pair at start time.
             let share = self.net.share_bps(pair.0, pair.1, active_now);
-            let dur = self.params.duration(xfer.bytes, share) + self.net.link(pair.0, pair.1).latency;
+            let dur =
+                self.params.duration(xfer.bytes, share) + self.net.link(pair.0, pair.1).latency;
             started.push(StartedXfer {
                 id: xid,
                 completes_at: now + dur,
@@ -258,7 +259,14 @@ impl DataManager {
         let (pair, obj, dst, bytes, attempts, started_at) = {
             let x = &self.xfers[id.0];
             debug_assert_eq!(x.state, XferState::Active);
-            ((x.src, x.dst), x.object, x.dst, x.bytes, x.attempts, x.started_at)
+            (
+                (x.src, x.dst),
+                x.object,
+                x.dst,
+                x.bytes,
+                x.attempts,
+                x.started_at,
+            )
         };
         self.pairs
             .get_mut(&pair)
@@ -282,11 +290,7 @@ impl DataManager {
                 x.state = XferState::Queued;
                 x.started_at = None;
                 *self.backlog.entry(pair).or_insert(0) += bytes;
-                self.pairs
-                    .entry(pair)
-                    .or_default()
-                    .queue
-                    .push_back(id);
+                self.pairs.entry(pair).or_default().queue.push_back(id);
             } else {
                 x.state = XferState::Failed;
                 out.failed_tasks = x.interested.clone();
@@ -310,7 +314,12 @@ impl DataManager {
 
     /// Expected transfer duration for probing/testing: what a lone transfer
     /// of `bytes` on this pair would take.
-    pub fn lone_transfer_duration(&self, bytes: u64, src: EndpointId, dst: EndpointId) -> SimDuration {
+    pub fn lone_transfer_duration(
+        &self,
+        bytes: u64,
+        src: EndpointId,
+        dst: EndpointId,
+    ) -> SimDuration {
         let share = self.net.share_bps(src, dst, 1);
         self.params.duration(bytes, share) + self.net.link(src, dst).latency
     }

@@ -44,7 +44,10 @@ impl fmt::Display for UniFaasError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             UniFaasError::TaskFailed { task, attempts } => {
-                write!(f, "task {task} failed on all attempted endpoints {attempts:?}")
+                write!(
+                    f,
+                    "task {task} failed on all attempted endpoints {attempts:?}"
+                )
             }
             UniFaasError::TransferFailed { task, dst, retries } => {
                 write!(

@@ -124,7 +124,10 @@ mod tests {
     #[test]
     fn remote_path_is_per_endpoint() {
         let f = GlobusFile::create(DataId(1), "/data/mol.smi", 100, EndpointId(0));
-        assert_eq!(f.remote_path(EndpointId(2)), "/unifaas/stage/ep2/data/mol.smi");
+        assert_eq!(
+            f.remote_path(EndpointId(2)),
+            "/unifaas/stage/ep2/data/mol.smi"
+        );
         assert_ne!(f.remote_path(EndpointId(0)), f.remote_path(EndpointId(1)));
     }
 

@@ -64,7 +64,9 @@ pub mod sched;
 
 /// Convenient glob import for applications.
 pub mod prelude {
-    pub use crate::config::{Config, ConfigBuilder, EndpointConfig, KnowledgeMode, SchedulingStrategy};
+    pub use crate::config::{
+        Config, ConfigBuilder, EndpointConfig, KnowledgeMode, SchedulingStrategy,
+    };
     pub use crate::error::UniFaasError;
     pub use crate::files::{GlobusFile, RemoteDirectory, RemoteFile, RsyncFile};
     pub use crate::metrics::RunReport;

@@ -81,7 +81,12 @@ impl MockEndpoint {
     }
 
     /// Re-synchronizes with ground truth (periodic sync with the service).
-    pub fn sync(&mut self, active_workers: usize, outstanding_tasks: usize, pending_workers: usize) {
+    pub fn sync(
+        &mut self,
+        active_workers: usize,
+        outstanding_tasks: usize,
+        pending_workers: usize,
+    ) {
         self.active_workers = active_workers;
         self.outstanding_tasks = outstanding_tasks;
         self.pending_workers = pending_workers;

@@ -170,10 +170,7 @@ impl TaskMonitor {
 
     /// Streams in one record, updating all aggregates.
     pub fn observe(&mut self, rec: TaskRecord) {
-        let entry = self
-            .success_counts
-            .entry(rec.endpoint)
-            .or_insert((0, 0));
+        let entry = self.success_counts.entry(rec.endpoint).or_insert((0, 0));
         entry.1 += 1;
         if rec.success {
             entry.0 += 1;
@@ -212,17 +209,14 @@ impl TaskMonitor {
     /// (unattempted endpoints count as rate 1.0 — optimistic, matching the
     /// intent of escaping a consistently failing endpoint).
     pub fn best_endpoint_by_success(&self, candidates: &[EndpointId]) -> Option<EndpointId> {
-        candidates
-            .iter()
-            .copied()
-            .max_by(|a, b| {
-                let ra = self.success_rate(*a).unwrap_or(1.0);
-                let rb = self.success_rate(*b).unwrap_or(1.0);
-                ra.partial_cmp(&rb)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    // Stable tie-break toward the lower id.
-                    .then(b.0.cmp(&a.0))
-            })
+        candidates.iter().copied().max_by(|a, b| {
+            let ra = self.success_rate(*a).unwrap_or(1.0);
+            let rb = self.success_rate(*b).unwrap_or(1.0);
+            ra.partial_cmp(&rb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                // Stable tie-break toward the lower id.
+                .then(b.0.cmp(&a.0))
+        })
     }
 }
 

@@ -149,9 +149,7 @@ impl ExecutionProfiler {
 
         for name in touched {
             let model = self.models.get_mut(&name).expect("just inserted");
-            if model.data.len() >= MIN_TRAIN_ROWS
-                && model.data.len() > model.rows_at_last_fit
-            {
+            if model.data.len() >= MIN_TRAIN_ROWS && model.data.len() > model.rows_at_last_fit {
                 let rows = model.data.len();
                 let fitted = {
                     let model = &self.models[&name];

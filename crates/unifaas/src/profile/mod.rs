@@ -49,6 +49,13 @@ pub trait Predictor {
 
     /// Predicted output size of `task`, bytes.
     fn output_bytes(&self, dag: &Dag, task: TaskId) -> u64;
+
+    /// Monotone counter bumped whenever the predictor's answers may have
+    /// changed (a retrain). Consumers caching predictions invalidate when
+    /// the epoch moves; a constant-knowledge predictor never needs to.
+    fn epoch(&self) -> u64 {
+        0
+    }
 }
 
 /// Ground-truth predictor backed by the simulator's own parameters.
@@ -89,6 +96,8 @@ pub struct LearnedProfiler {
     pub execution: ExecutionProfiler,
     /// Per-pair transfer models.
     pub transfer: TransferProfiler,
+    /// Retrain counter (see [`Predictor::epoch`]).
+    epoch: u64,
 }
 
 impl LearnedProfiler {
@@ -104,6 +113,7 @@ impl LearnedProfiler {
         LearnedProfiler {
             execution: ExecutionProfiler::with_family(family),
             transfer: TransferProfiler::new(),
+            epoch: 0,
         }
     }
 
@@ -111,6 +121,7 @@ impl LearnedProfiler {
     pub fn retrain(&mut self, monitor: &TaskMonitor) {
         self.execution.retrain(monitor.history());
         self.transfer.retrain(monitor.history());
+        self.epoch += 1;
     }
 }
 
@@ -150,6 +161,10 @@ impl Predictor for LearnedProfiler {
             .predict_output_bytes(dag.function_name(spec.function))
             .unwrap_or(spec.output_bytes)
     }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
 }
 
 #[cfg(test)]
@@ -172,8 +187,7 @@ mod tests {
     #[test]
     fn oracle_exec_uses_speed_factor() {
         let net = NetworkTopology::uniform(2, Link::wan());
-        let oracle =
-            OracleProfiler::new(net, TransferMechanism::Globus.default_params());
+        let oracle = OracleProfiler::new(net, TransferMechanism::Globus.default_params());
         let mut dag = Dag::new();
         let f = dag.register_function("f");
         let t = dag.add_task(TaskSpec::compute(f, 100.0), &[]);
@@ -184,21 +198,22 @@ mod tests {
     #[test]
     fn oracle_transfer_zero_for_local() {
         let net = NetworkTopology::uniform(2, Link::wan());
-        let oracle =
-            OracleProfiler::new(net, TransferMechanism::Globus.default_params());
+        let oracle = OracleProfiler::new(net, TransferMechanism::Globus.default_params());
         assert_eq!(
             oracle.transfer_seconds(1 << 30, EndpointId(0), EndpointId(0)),
             0.0
         );
         assert!(oracle.transfer_seconds(1 << 30, EndpointId(0), EndpointId(1)) > 0.0);
-        assert_eq!(oracle.transfer_seconds(0, EndpointId(0), EndpointId(1)), 0.0);
+        assert_eq!(
+            oracle.transfer_seconds(0, EndpointId(0), EndpointId(1)),
+            0.0
+        );
     }
 
     #[test]
     fn oracle_output_bytes_is_exact() {
         let net = NetworkTopology::uniform(1, Link::wan());
-        let oracle =
-            OracleProfiler::new(net, TransferMechanism::Globus.default_params());
+        let oracle = OracleProfiler::new(net, TransferMechanism::Globus.default_params());
         let mut dag = Dag::new();
         let f = dag.register_function("f");
         let t = dag.add_task(TaskSpec::compute(f, 1.0).with_output_bytes(777), &[]);

@@ -103,8 +103,7 @@ impl TransferProfiler {
 
         for pair in touched {
             let entry = self.pairs.get_mut(&pair).expect("just inserted");
-            if entry.data.len() >= MIN_TRAIN_ROWS && entry.data.len() > entry.rows_at_last_fit
-            {
+            if entry.data.len() >= MIN_TRAIN_ROWS && entry.data.len() > entry.rows_at_last_fit {
                 entry.model = self.trainer.fit(&entry.data);
                 entry.rows_at_last_fit = entry.data.len();
             }

@@ -470,7 +470,9 @@ mod tests {
     fn single_task_roundtrip() {
         let rt = LiveRuntime::new(&[("local", 2)]);
         add_fn(&rt);
-        let f = rt.submit("add", vec![value(2i64), value(3i64)], &[]).unwrap();
+        let f = rt
+            .submit("add", vec![value(2i64), value(3i64)], &[])
+            .unwrap();
         let v = f.wait().unwrap();
         assert_eq!(*downcast::<i64>(&v).unwrap(), 5);
     }
@@ -479,7 +481,9 @@ mod tests {
     fn future_passing_builds_chains() {
         let rt = LiveRuntime::new(&[("a", 1), ("b", 1)]);
         add_fn(&rt);
-        let f1 = rt.submit("add", vec![value(1i64), value(1i64)], &[]).unwrap();
+        let f1 = rt
+            .submit("add", vec![value(1i64), value(1i64)], &[])
+            .unwrap();
         let f2 = rt.submit("add", vec![value(10i64)], &[&f1]).unwrap();
         let f3 = rt.submit("add", vec![value(100i64)], &[&f2]).unwrap();
         assert_eq!(*downcast::<i64>(&f3.wait().unwrap()).unwrap(), 112);
@@ -563,6 +567,9 @@ mod tests {
         }
         let elapsed = t0.elapsed();
         // 4 × 100 ms across 4 workers ≈ 100 ms; serial would be 400 ms.
-        assert!(elapsed < std::time::Duration::from_millis(350), "{elapsed:?}");
+        assert!(
+            elapsed < std::time::Duration::from_millis(350),
+            "{elapsed:?}"
+        );
     }
 }

@@ -19,15 +19,15 @@ use crate::config::{Config, KnowledgeMode, SchedulingStrategy};
 use crate::data::{DataManager, XferId};
 use crate::error::UniFaasError;
 use crate::metrics::{LatencyBreakdown, RunReport, RunSeries};
-use crate::monitor::{EndpointMonitor, MockEndpoint, TaskMonitor, TaskRecord};
 use crate::monitor::HistoryDb;
+use crate::monitor::{EndpointMonitor, MockEndpoint, TaskMonitor, TaskRecord};
 use crate::profile::transfer::transfer_record_name;
 use crate::profile::{EndpointFeatures, LearnedProfiler, OracleProfiler, Predictor};
 use crate::runtime::TaskState;
 use crate::scaling::{CoordinatedScaling, DefaultScaling, ScaleCommand, ScaleView, Scaling};
 use crate::sched::{
-    external_input_id, output_id, task_inputs, CapacityScheduler, DhaScheduler,
-    LocalityScheduler, PinnedScheduler, SchedAction, SchedCtx, Scheduler,
+    external_input_id, output_id, task_inputs, CapacityScheduler, DhaScheduler, LocalityScheduler,
+    PinnedScheduler, SchedAction, SchedCtx, Scheduler,
 };
 use fedci::endpoint::{EndpointId, EndpointSim};
 use fedci::faas::FaasServiceModel;
@@ -172,8 +172,7 @@ impl SimRuntime {
         let mut rt = Rt::build(self)?;
         let mut engine: Engine<Ev> = Engine::new();
         rt.bootstrap(&mut engine);
-        let mut handler =
-            |now: SimTime, ev: Ev, eng: &mut Engine<Ev>| rt.handle(now, ev, eng);
+        let mut handler = |now: SimTime, ev: Ev, eng: &mut Engine<Ev>| rt.handle(now, ev, eng);
         while engine.step(&mut handler) {}
         rt.finish(engine.processed())
     }
@@ -266,29 +265,24 @@ impl Rt {
         let dm = DataManager::new(net.clone(), params.clone(), cfg.max_transfer_retries);
 
         let profiler = match cfg.knowledge {
-            KnowledgeMode::Oracle => {
-                ProfilerKind::Oracle(OracleProfiler::new(net, params))
-            }
+            KnowledgeMode::Oracle => ProfilerKind::Oracle(OracleProfiler::new(net, params)),
             KnowledgeMode::Learned => ProfilerKind::Learned(Box::default()),
         };
 
         let scheduler: Box<dyn Scheduler> = match &cfg.strategy {
             SchedulingStrategy::Capacity => Box::new(CapacityScheduler::new()),
             SchedulingStrategy::Locality => Box::new(LocalityScheduler::new()),
-            SchedulingStrategy::Dha { rescheduling } => {
-                Box::new(DhaScheduler::new(*rescheduling))
-            }
+            SchedulingStrategy::Dha { rescheduling } => Box::new(DhaScheduler::new(*rescheduling)),
             SchedulingStrategy::DhaCustom {
                 rescheduling,
                 delay_dispatch,
                 steal_threshold_pct,
-            } => Box::new(DhaScheduler::with_options(
-                crate::sched::dha::DhaOptions {
-                    rescheduling: *rescheduling,
-                    delay_dispatch: *delay_dispatch,
-                    steal_threshold: *steal_threshold_pct as f64 / 100.0,
-                },
-            )),
+            } => Box::new(DhaScheduler::with_options(crate::sched::dha::DhaOptions {
+                rescheduling: *rescheduling,
+                delay_dispatch: *delay_dispatch,
+                steal_threshold: *steal_threshold_pct as f64 / 100.0,
+                ..crate::sched::dha::DhaOptions::default()
+            })),
             SchedulingStrategy::Pinned(map) => Box::new(PinnedScheduler::new(map.clone())),
         };
 
@@ -464,12 +458,7 @@ impl Rt {
         actions
     }
 
-    fn process_actions(
-        &mut self,
-        actions: Vec<SchedAction>,
-        now: SimTime,
-        eng: &mut Engine<Ev>,
-    ) {
+    fn process_actions(&mut self, actions: Vec<SchedAction>, now: SimTime, eng: &mut Engine<Ev>) {
         for a in actions {
             match a {
                 SchedAction::Stage { task, ep } => self.do_stage(task, ep, false, now, eng),
@@ -766,10 +755,7 @@ impl Rt {
     fn aggregate_latency(&mut self, t: TaskId, now: SimTime) {
         let task = &self.tasks[t.index()];
         self.latency.count += 1;
-        self.latency.staging_s += task
-            .t_staged
-            .saturating_since(task.t_ready)
-            .as_secs_f64();
+        self.latency.staging_s += task.t_staged.saturating_since(task.t_ready).as_secs_f64();
         self.latency.submission_s += task
             .t_arrived
             .saturating_since(task.t_dispatched)
@@ -909,8 +895,7 @@ impl Rt {
                     active_workers: e.active_workers(),
                     pending_workers: e.pending_workers(),
                     outstanding_tasks: self.pending_count[i] + e.busy_workers() + unassigned,
-                    outstanding_work_seconds: mock.outstanding_work_seconds
-                        + unassigned_work,
+                    outstanding_work_seconds: mock.outstanding_work_seconds + unassigned_work,
                     idle_for: e.idle_duration(now),
                     max_workers: self.cfg.endpoints[i].max_workers,
                     workers_per_node: self.cfg.endpoints[i].workers_per_node,
@@ -1166,13 +1151,11 @@ impl Rt {
             Ev::ScaleTick => {
                 self.scale_armed = false;
                 self.scale_tick(now, eng);
-                let total_active: usize =
-                    self.endpoints.iter().map(|e| e.active_workers()).sum();
+                let total_active: usize = self.endpoints.iter().map(|e| e.active_workers()).sum();
                 // While any workers remain provisioned the scaler must keep
                 // watching so idle-timeout scale-in fires even when the
                 // workflow is between bursts of (injected) tasks.
-                let keep_going =
-                    total_active > 0 || (!self.finished() && self.can_progress());
+                let keep_going = total_active > 0 || (!self.finished() && self.can_progress());
                 if keep_going && self.fatal.is_none() {
                     self.scale_armed = true;
                     eng.schedule(now + self.cfg.scaling.interval, Ev::ScaleTick);
@@ -1276,10 +1259,7 @@ mod tests {
         let mut prev = None;
         for _ in 0..n {
             let deps: Vec<TaskId> = prev.into_iter().collect();
-            prev = Some(dag.add_task(
-                TaskSpec::compute(f, secs).with_output_bytes(1 << 20),
-                &deps,
-            ));
+            prev = Some(dag.add_task(TaskSpec::compute(f, secs).with_output_bytes(1 << 20), &deps));
         }
         dag
     }
@@ -1299,7 +1279,9 @@ mod tests {
             SchedulingStrategy::Capacity,
             SchedulingStrategy::Locality,
             SchedulingStrategy::Dha { rescheduling: true },
-            SchedulingStrategy::Dha { rescheduling: false },
+            SchedulingStrategy::Dha {
+                rescheduling: false,
+            },
         ] {
             let report = SimRuntime::new(two_ep_config(strategy.clone()), chain_dag(5, 10.0))
                 .run()
@@ -1381,7 +1363,10 @@ mod tests {
             .strategy(SchedulingStrategy::Capacity)
             .build();
         let report = SimRuntime::new(cfg, chain_dag(6, 2.0)).run().unwrap();
-        assert_eq!(report.transfer_bytes, 0, "single endpoint must not transfer");
+        assert_eq!(
+            report.transfer_bytes, 0,
+            "single endpoint must not transfer"
+        );
     }
 
     #[test]
@@ -1491,9 +1476,7 @@ mod tests {
     #[test]
     fn elasticity_scales_out_and_in() {
         let mut cfg = Config::builder()
-            .endpoint(
-                EndpointConfig::new("ep", ClusterSpec::lab_cluster(), 0).elastic(0, 20, 5),
-            )
+            .endpoint(EndpointConfig::new("ep", ClusterSpec::lab_cluster(), 0).elastic(0, 20, 5))
             .strategy(SchedulingStrategy::Locality)
             .build();
         cfg.scaling.enabled = true;
@@ -1527,12 +1510,9 @@ mod tests {
 
     #[test]
     fn latency_breakdown_populates() {
-        let report = SimRuntime::new(
-            two_ep_config(SchedulingStrategy::Locality),
-            bag_dag(5, 2.0),
-        )
-        .run()
-        .unwrap();
+        let report = SimRuntime::new(two_ep_config(SchedulingStrategy::Locality), bag_dag(5, 2.0))
+            .run()
+            .unwrap();
         let (_, _, submission, _, exec, poll) = report.latency.means();
         assert!(exec > 1.0, "execution ≈ 2 s / speed, got {exec}");
         assert!(submission > 0.0);

@@ -128,8 +128,7 @@ impl Scaling for CoordinatedScaling {
         for v in views {
             let supply = v.active_workers + v.pending_workers;
             // Workers needed so predicted_work / workers <= target.
-            let needed =
-                (v.outstanding_work_seconds / self.target_drain_seconds).ceil() as usize;
+            let needed = (v.outstanding_work_seconds / self.target_drain_seconds).ceil() as usize;
             let needed = needed.max(if v.outstanding_tasks > 0 { 1 } else { 0 });
             if needed > supply {
                 // Not worth waiting in the batch queue longer than the
@@ -199,7 +198,10 @@ mod tests {
         let cmds = policy().plan(&[view(0, 0, 0, 50, Some(0))], SimTime::ZERO);
         assert_eq!(
             cmds,
-            vec![ScaleCommand::Out { ep: EndpointId(0), workers: 60 }]
+            vec![ScaleCommand::Out {
+                ep: EndpointId(0),
+                workers: 60
+            }]
         );
     }
 
@@ -209,7 +211,10 @@ mod tests {
         let cmds = policy().plan(&[view(0, 0, 0, 200, Some(0))], SimTime::ZERO);
         assert_eq!(
             cmds,
-            vec![ScaleCommand::Out { ep: EndpointId(0), workers: 100 }]
+            vec![ScaleCommand::Out {
+                ep: EndpointId(0),
+                workers: 100
+            }]
         );
     }
 
@@ -230,7 +235,10 @@ mod tests {
         let cmds = policy().plan(&[view(0, 20, 0, 0, Some(30))], SimTime::ZERO);
         assert_eq!(
             cmds,
-            vec![ScaleCommand::In { ep: EndpointId(0), workers: 20 }]
+            vec![ScaleCommand::In {
+                ep: EndpointId(0),
+                workers: 20
+            }]
         );
     }
 
@@ -253,7 +261,10 @@ mod tests {
         let cmds = p.plan(&[view(0, 0, 0, 60, None)], SimTime::ZERO);
         assert_eq!(
             cmds,
-            vec![ScaleCommand::Out { ep: EndpointId(0), workers: 20 }]
+            vec![ScaleCommand::Out {
+                ep: EndpointId(0),
+                workers: 20
+            }]
         );
         // Light load (2 tasks = 20 s work) on 4 existing workers: drain in
         // 5 s < target → no request.
@@ -285,23 +296,40 @@ mod tests {
         let cmds = p.plan(&[view(0, 20, 0, 0, Some(31))], SimTime::ZERO);
         assert_eq!(
             cmds,
-            vec![ScaleCommand::In { ep: EndpointId(0), workers: 20 }]
+            vec![ScaleCommand::In {
+                ep: EndpointId(0),
+                workers: 20
+            }]
         );
-        assert!(p.plan(&[view(0, 20, 0, 0, Some(5))], SimTime::ZERO).is_empty());
+        assert!(p
+            .plan(&[view(0, 20, 0, 0, Some(5))], SimTime::ZERO)
+            .is_empty());
     }
 
     #[test]
     fn independent_decisions_per_endpoint() {
         let cmds = policy().plan(
             &[
-                view(0, 0, 0, 10, None),  // needs 1 node
+                view(0, 0, 0, 10, None),     // needs 1 node
                 view(1, 20, 0, 0, Some(40)), // idle → release
-                view(2, 20, 0, 15, None), // satisfied
+                view(2, 20, 0, 15, None),    // satisfied
             ],
             SimTime::ZERO,
         );
         assert_eq!(cmds.len(), 2);
-        assert_eq!(cmds[0], ScaleCommand::Out { ep: EndpointId(0), workers: 20 });
-        assert_eq!(cmds[1], ScaleCommand::In { ep: EndpointId(1), workers: 20 });
+        assert_eq!(
+            cmds[0],
+            ScaleCommand::Out {
+                ep: EndpointId(0),
+                workers: 20
+            }
+        );
+        assert_eq!(
+            cmds[1],
+            ScaleCommand::In {
+                ep: EndpointId(1),
+                workers: 20
+            }
+        );
     }
 }

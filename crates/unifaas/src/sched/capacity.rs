@@ -41,14 +41,19 @@ impl Scheduler for CapacityScheduler {
         // Partition the whole DAG by current endpoint capacity; only fill
         // in targets for tasks that do not have one yet (a dynamic DAG gets
         // its late tasks partitioned on arrival, though Capacity is not
-        // designed for that case).
+        // designed for that case). When every task already has a target —
+        // a hook fired without actual DAG growth — the O(n) partition is
+        // skipped entirely.
+        self.targets.resize(ctx.dag.len(), None);
+        if self.targets.iter().all(|t| t.is_some()) {
+            return;
+        }
         let capacities: Vec<usize> = ctx
             .compute_eps
             .iter()
             .map(|ep| ctx.monitor.mock(*ep).active_workers)
             .collect();
         let assignment = capacity_partition(ctx.dag, &capacities);
-        self.targets.resize(ctx.dag.len(), None);
         for t in ctx.dag.task_ids() {
             if self.targets[t.index()].is_none() {
                 self.targets[t.index()] = Some(ctx.compute_eps[assignment[t.index()]]);
@@ -164,12 +169,21 @@ mod tests {
         let target = sched.target(t0).unwrap();
 
         sched.on_task_ready(&mut c, t0);
-        assert_eq!(c.take_actions(), vec![SchedAction::Stage { task: t0, ep: target }]);
+        assert_eq!(
+            c.take_actions(),
+            vec![SchedAction::Stage {
+                task: t0,
+                ep: target
+            }]
+        );
 
         sched.on_staging_complete(&mut c, t0);
         assert_eq!(
             c.take_actions(),
-            vec![SchedAction::Dispatch { task: t0, ep: target }]
+            vec![SchedAction::Dispatch {
+                task: t0,
+                ep: target
+            }]
         );
     }
 

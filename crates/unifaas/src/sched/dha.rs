@@ -4,26 +4,38 @@
 //!
 //! 1. **Task prioritization** (offline): every task gets the Eq. 2 upward
 //!    rank `priority(tᵢ) = d̄ᵢ + w̄ᵢ + max over successors of priority`,
-//!    computed from profiler predictions (HEFT-style).
+//!    computed from profiler predictions (HEFT-style). When the DAG grows
+//!    dynamically, ranks are extended *incrementally*: only the new tasks
+//!    and the ancestor frontier whose ranks actually rise are revisited
+//!    (see [`taskgraph::rank::extend_priorities`]); a full recompute
+//!    happens only when the predictor retrains.
 //! 2. **Endpoint selection** (when a task becomes ready): the endpoint
 //!    minimizing the predicted *earliest finish time*
 //!    `EFT = max(data-ready, endpoint-available) + exec` is chosen and
 //!    staging starts immediately, overlapping data movement with
-//!    computation.
+//!    computation. Per-endpoint staging/execution predictions are computed
+//!    once per decision, and best-replica lookups are cached across
+//!    decisions (invalidated by the data store's version counter and the
+//!    predictor's epoch).
 //! 3. **Delay scheduling**: after staging, the task waits in a per-endpoint
 //!    client-side queue (ordered by priority) and is dispatched only when
 //!    the target has an idle worker — keeping the re-schedulable pool
-//!    large.
+//!    large. Queues are indexed binary heaps ([`DelayQueues`]): push/pop
+//!    are O(log n) and removal (stealing, fault retries) is O(1).
 //! 4. **Re-scheduling** (optional — Table V ablates it): on capacity
 //!    changes and on a periodic tick, every not-yet-dispatched task is
 //!    re-evaluated; if another endpoint now offers a sufficiently better
 //!    EFT the task is *stolen* there (its data re-stages if needed).
+//!    The optional [`DhaOptions::bounded_reschedule`] knob restricts each
+//!    pass to endpoints whose observed state changed since the previous
+//!    pass (and skips the pass entirely when nothing changed).
 
+use crate::sched::queue::DelayQueues;
 use crate::sched::{SchedCtx, Scheduler};
 use fedci::endpoint::EndpointId;
 use fedci::storage::DataId;
 use std::collections::{HashMap, HashSet};
-use taskgraph::rank::{priorities, FnCosts};
+use taskgraph::rank::{extend_priorities, priorities, CostEstimator, FnCosts};
 use taskgraph::TaskId;
 
 /// Tunable knobs of DHA, exposed for the ablation benchmarks
@@ -41,6 +53,14 @@ pub struct DhaOptions {
     /// below `steal_threshold ×` the current one (hysteresis against
     /// churn). 1.0 steals on any improvement; lower values are stickier.
     pub steal_threshold: f64,
+    /// Bound each re-scheduling pass to *dirty* endpoints — endpoints
+    /// whose mock state (worker count, outstanding load) changed since the
+    /// previous pass. A pass with no dirty endpoint is skipped outright;
+    /// otherwise a pooled task only considers moving to a dirty endpoint
+    /// (or anywhere, if its own endpoint is the one that changed). Off by
+    /// default: the default full pass re-evaluates every pooled task
+    /// against every endpoint, preserving the original decisions exactly.
+    pub bounded_reschedule: bool,
 }
 
 impl Default for DhaOptions {
@@ -49,8 +69,16 @@ impl Default for DhaOptions {
             rescheduling: true,
             delay_dispatch: true,
             steal_threshold: 0.9,
+            bounded_reschedule: false,
         }
     }
+}
+
+/// One endpoint's predicted cost breakdown for a task (internal).
+struct EpEval {
+    ep: EndpointId,
+    eft: f64,
+    exec: f64,
 }
 
 /// The dynamic heterogeneity-aware scheduler.
@@ -58,10 +86,14 @@ impl Default for DhaOptions {
 pub struct DhaScheduler {
     opts: DhaOptions,
     priorities: Vec<f64>,
+    /// The predictor epoch `priorities` was computed under; `None` until
+    /// the first computation. An epoch change forces a full recompute,
+    /// otherwise DAG growth extends the vector incrementally.
+    rank_epoch: Option<u64>,
     target: Vec<Option<EndpointId>>,
-    /// Delay queues: staged tasks awaiting an idle worker, per endpoint,
-    /// kept sorted by descending priority.
-    staged: HashMap<EndpointId, Vec<TaskId>>,
+    /// Delay queues: staged tasks awaiting an idle worker, per endpoint
+    /// (indexed heaps; descending priority, FIFO among ties).
+    staged: DelayQueues,
     /// Tasks whose staging is in flight.
     staging: HashSet<TaskId>,
     /// Predicted execution seconds of tasks committed to an endpoint but
@@ -69,9 +101,140 @@ pub struct DhaScheduler {
     /// back-pressure term the endpoint-availability estimate would ignore
     /// the delay queues and every task would pile onto (and then ping-pong
     /// off) the nominally fastest endpoint.
-    committed: HashMap<TaskId, (EndpointId, f64)>,
-    committed_work: HashMap<EndpointId, f64>,
-    committed_count: HashMap<EndpointId, usize>,
+    committed: Vec<Option<(EndpointId, f64)>>,
+    /// Aggregate committed seconds / task counts, indexed by endpoint id
+    /// (dense; read on every availability estimate).
+    committed_work: Vec<f64>,
+    committed_count: Vec<usize>,
+    /// Input-object lists of not-yet-dispatched tasks. A task's inputs
+    /// never change, so they are computed once at readiness instead of on
+    /// every re-scheduling pass.
+    inputs_cache: HashMap<TaskId, Box<[DataId]>>,
+    /// Predicted execution seconds of not-yet-dispatched tasks, one slot
+    /// per compute endpoint (same order as `ctx.compute_eps`). Filled at
+    /// readiness from the selection pass's own evaluations; spares the
+    /// re-scheduling pass a predictor call per (task, endpoint). Valid for
+    /// one predictor epoch.
+    exec_cache: HashMap<TaskId, Box<[f64]>>,
+    exec_epoch: u64,
+    /// Best replica per (object, destination) + staging scratch.
+    replica: ReplicaCache,
+    /// Per-endpoint mock-state signatures from the last re-scheduling
+    /// pass (only maintained under `bounded_reschedule`).
+    ep_sig: HashMap<EndpointId, (usize, usize, u64)>,
+}
+
+/// Best-replica memo shared by all staging estimates, valid for one
+/// (store version, predictor epoch) pair, plus reusable scratch space.
+#[derive(Debug, Default)]
+struct ReplicaCache {
+    map: HashMap<(DataId, EndpointId), EndpointId>,
+    key: (u64, u64),
+    /// Scratch: bytes to pull grouped by source (tiny; linear scan).
+    per_src: Vec<(EndpointId, u64)>,
+}
+
+impl ReplicaCache {
+    /// Drops cached decisions when the data store or predictor moved on.
+    fn refresh(&mut self, ctx: &SchedCtx) {
+        let key = (ctx.store.version(), ctx.predictor.epoch());
+        if self.key != key {
+            self.map.clear();
+            self.key = key;
+        }
+    }
+
+    /// The replica of `id` that stages to `ep` fastest (memoized).
+    fn best_source(
+        &mut self,
+        ctx: &SchedCtx,
+        id: DataId,
+        ep: EndpointId,
+        bytes: u64,
+    ) -> EndpointId {
+        if let Some(&src) = self.map.get(&(id, ep)) {
+            return src;
+        }
+        let src = ctx
+            .store
+            .replicas(id)
+            .iter()
+            .copied()
+            .map(|r| (ctx.predictor.transfer_seconds(bytes, r, ep), r))
+            .min_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1 .0.cmp(&b.1 .0))
+            })
+            .expect("object has at least one replica")
+            .1;
+        self.map.insert((id, ep), src);
+        src
+    }
+
+    /// Predicted seconds until all of `inputs` could be present at `ep`:
+    /// parallel transfers, so the max over missing objects, each from its
+    /// best replica.
+    fn staging_seconds(&mut self, ctx: &SchedCtx, inputs: &[DataId], ep: EndpointId) -> f64 {
+        // Missing objects are grouped by their best source: objects sharing
+        // a source serialize on that pair's bandwidth (a fan-in task
+        // pulling thousands of files is link-bound, not latency-bound), and
+        // each pair additionally queues behind its existing backlog.
+        self.per_src.clear();
+        for id in inputs {
+            if ctx.store.present_at(*id, ep) {
+                continue;
+            }
+            let bytes = ctx.store.bytes(*id);
+            let src = self.best_source(ctx, *id, ep, bytes);
+            match self.per_src.iter_mut().find(|(s, _)| *s == src) {
+                Some((_, total)) => *total += bytes,
+                None => self.per_src.push((src, bytes)),
+            }
+        }
+        let mut worst = 0.0f64;
+        for &(src, total) in &self.per_src {
+            let queued = ctx.xfer_load.backlog_bytes(src, ep);
+            let t = ctx
+                .predictor
+                .transfer_seconds(total.saturating_add(queued), src, ep);
+            worst = worst.max(t);
+        }
+        worst
+    }
+}
+
+/// Eq. 2 cost estimates averaged over the compute endpoints, as predicted
+/// by the profilers.
+fn rank_costs<'a>(ctx: &'a SchedCtx<'a>) -> impl CostEstimator + 'a {
+    let n_eps = ctx.compute_eps.len().max(1) as f64;
+    FnCosts {
+        staging: move |t: TaskId| {
+            let spec = ctx.dag.spec(t);
+            let bytes: u64 = ctx
+                .dag
+                .preds(t)
+                .iter()
+                .map(|p| ctx.dag.spec(*p).output_bytes)
+                .sum::<u64>()
+                + spec.external_input_bytes;
+            ctx.compute_eps
+                .iter()
+                .map(|ep| ctx.predictor.transfer_seconds(bytes, ctx.home, *ep))
+                .sum::<f64>()
+                / n_eps
+        },
+        execution: move |t: TaskId| {
+            ctx.compute_eps
+                .iter()
+                .map(|ep| {
+                    ctx.predictor
+                        .exec_seconds(ctx.dag, t, &ctx.endpoints[ep.index()])
+                })
+                .sum::<f64>()
+                / n_eps
+        },
+    }
 }
 
 impl DhaScheduler {
@@ -88,30 +251,43 @@ impl DhaScheduler {
         DhaScheduler {
             opts,
             priorities: Vec::new(),
+            rank_epoch: None,
             target: Vec::new(),
-            staged: HashMap::new(),
+            staged: DelayQueues::new(),
             staging: HashSet::new(),
-            committed: HashMap::new(),
-            committed_work: HashMap::new(),
-            committed_count: HashMap::new(),
+            committed: Vec::new(),
+            committed_work: Vec::new(),
+            committed_count: Vec::new(),
+            inputs_cache: HashMap::new(),
+            exec_cache: HashMap::new(),
+            exec_epoch: 0,
+            replica: ReplicaCache::default(),
+            ep_sig: HashMap::new(),
         }
     }
 
     fn commit(&mut self, task: TaskId, ep: EndpointId, seconds: f64) {
         self.uncommit(task);
-        self.committed.insert(task, (ep, seconds));
-        *self.committed_work.entry(ep).or_insert(0.0) += seconds;
-        *self.committed_count.entry(ep).or_insert(0) += 1;
+        if self.committed.len() <= task.index() {
+            self.committed.resize(task.index() + 1, None);
+        }
+        self.committed[task.index()] = Some((ep, seconds));
+        if self.committed_work.len() <= ep.index() {
+            self.committed_work.resize(ep.index() + 1, 0.0);
+            self.committed_count.resize(ep.index() + 1, 0);
+        }
+        self.committed_work[ep.index()] += seconds;
+        self.committed_count[ep.index()] += 1;
     }
 
     fn uncommit(&mut self, task: TaskId) {
-        if let Some((ep, seconds)) = self.committed.remove(&task) {
-            if let Some(w) = self.committed_work.get_mut(&ep) {
-                *w = (*w - seconds).max(0.0);
-            }
-            if let Some(c) = self.committed_count.get_mut(&ep) {
-                *c = c.saturating_sub(1);
-            }
+        let Some(slot) = self.committed.get_mut(task.index()) else {
+            return;
+        };
+        if let Some((ep, seconds)) = slot.take() {
+            let w = &mut self.committed_work[ep.index()];
+            *w = (*w - seconds).max(0.0);
+            self.committed_count[ep.index()] = self.committed_count[ep.index()].saturating_sub(1);
         }
     }
 
@@ -123,13 +299,13 @@ impl DhaScheduler {
         if mock.active_workers == 0 {
             return f64::INFINITY;
         }
-        let queued = mock.outstanding_tasks
-            + self.committed_count.get(&ep).copied().unwrap_or(0);
+        let queued =
+            mock.outstanding_tasks + self.committed_count.get(ep.index()).copied().unwrap_or(0);
         if queued < mock.active_workers {
             0.0
         } else {
             let load = mock.outstanding_work_seconds
-                + self.committed_work.get(&ep).copied().unwrap_or(0.0);
+                + self.committed_work.get(ep.index()).copied().unwrap_or(0.0);
             load / mock.active_workers as f64
         }
     }
@@ -146,173 +322,185 @@ impl DhaScheduler {
 
     /// Number of tasks in delay queues.
     pub fn delayed(&self) -> usize {
-        self.staged.values().map(|v| v.len()).sum()
+        self.staged.len()
     }
 
-    /// Predicted seconds until all of `task`'s inputs could be present at
-    /// `ep`: parallel transfers, so the max over missing objects, each from
-    /// its best replica.
-    fn staging_seconds(&self, ctx: &SchedCtx, inputs: &[DataId], ep: EndpointId) -> f64 {
-        // Missing objects are grouped by their best source: objects sharing
-        // a source serialize on that pair's bandwidth (a fan-in task
-        // pulling thousands of files is link-bound, not latency-bound), and
-        // each pair additionally queues behind its existing backlog.
-        let mut per_src: HashMap<EndpointId, u64> = HashMap::new();
-        for id in inputs {
-            if ctx.store.present_at(*id, ep) {
-                continue;
-            }
-            let bytes = ctx.store.bytes(*id);
-            let src = ctx
-                .store
-                .replicas(*id)
-                .iter()
-                .copied()
-                .min_by(|a, b| {
-                    ctx.predictor
-                        .transfer_seconds(bytes, *a, ep)
-                        .partial_cmp(&ctx.predictor.transfer_seconds(bytes, *b, ep))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.0.cmp(&b.0))
-                })
-                .expect("object has at least one replica");
-            *per_src.entry(src).or_insert(0) += bytes;
+    /// Drops caches whose validity key (store version / predictor epoch)
+    /// moved on. Called once per decision-making hook; within a hook
+    /// nothing mutates (actions are deferred), so the caches are safe.
+    fn refresh_caches(&mut self, ctx: &SchedCtx) {
+        self.replica.refresh(ctx);
+        let epoch = ctx.predictor.epoch();
+        if self.exec_epoch != epoch {
+            self.exec_cache.clear();
+            self.exec_epoch = epoch;
         }
-        per_src
-            .iter()
-            .map(|(src, total)| {
-                let queued = ctx.xfer_load.backlog_bytes(*src, ep);
-                ctx.predictor
-                    .transfer_seconds(total.saturating_add(queued), *src, ep)
-            })
-            .fold(0.0, f64::max)
     }
 
-    /// Predicted earliest finish time of `task` on `ep`, relative to now.
-    fn eft(&self, ctx: &SchedCtx, task: TaskId, inputs: &[DataId], ep: EndpointId) -> f64 {
-        let data_ready = self.staging_seconds(ctx, inputs, ep);
-        let avail = self.availability(ctx, ep);
-        let exec = ctx
-            .predictor
-            .exec_seconds(ctx.dag, task, &ctx.endpoints[ep.index()]);
-        data_ready.max(avail) + exec
-    }
-
-    /// Picks the EFT-minimizing endpoint for a task.
-    fn select_endpoint(&self, ctx: &SchedCtx, task: TaskId) -> EndpointId {
-        let inputs = ctx.task_inputs(task);
-        ctx.compute_eps
-            .iter()
-            .copied()
-            .min_by(|a, b| {
-                self.eft(ctx, task, &inputs, *a)
-                    .partial_cmp(&self.eft(ctx, task, &inputs, *b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.0.cmp(&b.0))
-            })
-            .expect("at least one compute endpoint")
+    /// Makes sure `task` has cached input and per-endpoint execution rows.
+    fn ensure_task_caches(&mut self, ctx: &SchedCtx, task: TaskId) {
+        self.exec_cache.entry(task).or_insert_with(|| {
+            ctx.compute_eps
+                .iter()
+                .map(|&ep| {
+                    ctx.predictor
+                        .exec_seconds(ctx.dag, task, &ctx.endpoints[ep.index()])
+                })
+                .collect()
+        });
+        self.inputs_cache
+            .entry(task)
+            .or_insert_with(|| ctx.task_inputs(task).into());
     }
 
     fn push_staged(&mut self, task: TaskId, ep: EndpointId) {
-        let queue = self.staged.entry(ep).or_default();
-        // Insert keeping descending priority order (stable for ties).
         let p = self.priorities[task.index()];
-        let pos = queue
-            .iter()
-            .position(|t| self.priorities[t.index()] < p)
-            .unwrap_or(queue.len());
-        queue.insert(pos, task);
+        self.staged.push(task, ep, p);
     }
 
-    fn remove_staged(&mut self, task: TaskId, ep: EndpointId) -> bool {
-        if let Some(queue) = self.staged.get_mut(&ep) {
-            if let Some(pos) = queue.iter().position(|t| *t == task) {
-                queue.remove(pos);
-                return true;
+    /// Endpoints whose mock signature changed since the last pass, as
+    /// (slot in `compute_eps`, endpoint) pairs. Also refreshes the stored
+    /// signatures.
+    fn dirty_endpoints(&mut self, ctx: &SchedCtx) -> Vec<(usize, EndpointId)> {
+        let mut dirty = Vec::new();
+        for (slot, &ep) in ctx.compute_eps.iter().enumerate() {
+            let mock = ctx.monitor.mock(ep);
+            let sig = (
+                mock.active_workers,
+                mock.outstanding_tasks,
+                mock.outstanding_work_seconds.to_bits(),
+            );
+            if self.ep_sig.insert(ep, sig) != Some(sig) {
+                dirty.push((slot, ep));
             }
         }
-        false
+        dirty
     }
 
     /// The re-scheduling pass: re-evaluate every not-yet-dispatched task.
     fn reschedule(&mut self, ctx: &mut SchedCtx) {
+        self.refresh_caches(ctx);
+        let dirty = if self.opts.bounded_reschedule {
+            let d = self.dirty_endpoints(ctx);
+            if d.is_empty() {
+                return; // nothing observed changed: keep every decision
+            }
+            Some(d)
+        } else {
+            None
+        };
         let mut pool: Vec<TaskId> = self
             .staged
-            .values()
-            .flatten()
-            .copied()
+            .tasks()
+            .map(|(t, _)| t)
             .chain(self.staging.iter().copied())
             .collect();
-        // Highest priority first, matching the dispatch order.
+        // Highest priority first, matching the dispatch order; ties break
+        // by task id so the steal order is deterministic (the pool is
+        // gathered from hash maps, whose iteration order is not).
         pool.sort_by(|a, b| {
             self.priorities[b.index()]
                 .partial_cmp(&self.priorities[a.index()])
                 .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
         });
+        // Slot of each endpoint in `compute_eps` (for exec-row lookups).
+        let mut slot_of = vec![usize::MAX; ctx.endpoints.len()];
+        for (slot, &ep) in ctx.compute_eps.iter().enumerate() {
+            slot_of[ep.index()] = slot;
+        }
+        let mut candidates: Vec<(usize, EndpointId)> = Vec::new();
+        let thresh = self.opts.steal_threshold;
         for task in pool {
             let cur = self.target[task.index()].expect("pooled task has a target");
+            // Candidate endpoints this task may move to. Unbounded: all of
+            // them. Bounded: the dirty ones — unless the task's own
+            // endpoint changed, in which case it may flee anywhere.
+            candidates.clear();
+            match &dirty {
+                None => candidates.extend(ctx.compute_eps.iter().copied().enumerate()),
+                Some(d) if d.iter().any(|&(_, e)| e == cur) => {
+                    candidates.extend(ctx.compute_eps.iter().copied().enumerate())
+                }
+                Some(d) => candidates.extend_from_slice(d),
+            }
             // Evaluate with the task's own committed load excluded, so its
             // current endpoint is not unfairly penalized by its own weight.
-            let own = self.committed.get(&task).copied();
+            let own = self.committed.get(task.index()).copied().flatten();
             self.uncommit(task);
-            let inputs = ctx.task_inputs(task);
-            let cur_eft = self.eft(ctx, task, &inputs, cur);
-            let best = self.select_endpoint(ctx, task);
-            let exec_at = |ep: EndpointId| {
-                ctx.predictor
-                    .exec_seconds(ctx.dag, task, &ctx.endpoints[ep.index()])
+            self.ensure_task_caches(ctx, task);
+            let execs: &[f64] = &self.exec_cache[&task];
+            let inputs: &[DataId] = &self.inputs_cache[&task];
+            // A delayed task finished staging, and replicas are never
+            // dropped mid-run, so its inputs are all present at `cur` —
+            // data-ready time there is zero without touching the store.
+            let cur_staging = if self.staging.contains(&task) {
+                self.replica.staging_seconds(ctx, inputs, cur)
+            } else {
+                0.0
             };
-            if best != cur {
-                let best_eft = self.eft(ctx, task, &inputs, best);
-                if best_eft < cur_eft * self.opts.steal_threshold {
-                    // Steal: re-target and re-stage (instant if data present).
-                    self.remove_staged(task, cur);
+            let cur_exec = execs[slot_of[cur.index()]];
+            let cur_eft = cur_staging.max(self.availability(ctx, cur)) + cur_exec;
+            let limit = cur_eft * thresh;
+            // Find the best stealing target. `avail + exec` lower-bounds
+            // the EFT (staging ≥ 0), so candidates that cannot beat the
+            // threshold are pruned before the expensive staging estimate —
+            // the common case, since most passes move nothing.
+            let mut best: Option<EpEval> = None;
+            for &(slot, ep) in &candidates {
+                if ep == cur {
+                    continue;
+                }
+                let avail = self.availability(ctx, ep);
+                let exec = execs[slot];
+                let bound = avail + exec;
+                if bound >= limit {
+                    continue; // EFT ≥ bound: provably cannot win a steal
+                }
+                if let Some(b) = &best {
+                    // A bound at or above the best EFT cannot produce a
+                    // strictly better EFT; it could still tie and win on
+                    // endpoint id, so only prune when the id loses too.
+                    if bound > b.eft || (bound >= b.eft && ep.0 > b.ep.0) {
+                        continue;
+                    }
+                }
+                let eft = self.replica.staging_seconds(ctx, inputs, ep).max(avail) + exec;
+                if eft >= limit {
+                    continue;
+                }
+                let better = match &best {
+                    None => true,
+                    Some(b) => eft < b.eft || (eft == b.eft && ep.0 < b.ep.0),
+                };
+                if better {
+                    best = Some(EpEval { ep, eft, exec });
+                }
+            }
+            // Replicates the unpruned argmin-over-all-endpoints decision:
+            // steal only if the winner also beats the current endpoint in
+            // the global tie-break (relevant only for thresholds > 1).
+            if let Some(b) = best {
+                if b.eft < cur_eft || (b.eft == cur_eft && b.ep.0 < cur.0) {
+                    self.staged.remove(task);
                     self.staging.insert(task);
-                    self.target[task.index()] = Some(best);
-                    self.commit(task, best, exec_at(best));
-                    ctx.stage(task, best);
+                    self.target[task.index()] = Some(b.ep);
+                    self.commit(task, b.ep, b.exec);
+                    ctx.stage(task, b.ep);
                     continue;
                 }
             }
             // Keep the current target; restore the committed load.
             match own {
                 Some((ep, secs)) => self.commit(task, ep, secs),
-                None => self.commit(task, cur, exec_at(cur)),
+                None => self.commit(task, cur, cur_exec),
             }
         }
     }
 
-    /// Recomputes Eq. 2 priorities over the whole (possibly grown) DAG.
+    /// Recomputes Eq. 2 priorities over the whole DAG from scratch.
     fn recompute_priorities(&mut self, ctx: &SchedCtx) {
-        let n_eps = ctx.compute_eps.len().max(1) as f64;
-        let costs = FnCosts {
-            staging: |t: TaskId| {
-                let spec = ctx.dag.spec(t);
-                let bytes: u64 = ctx
-                    .dag
-                    .preds(t)
-                    .iter()
-                    .map(|p| ctx.dag.spec(*p).output_bytes)
-                    .sum::<u64>()
-                    + spec.external_input_bytes;
-                ctx.compute_eps
-                    .iter()
-                    .map(|ep| ctx.predictor.transfer_seconds(bytes, ctx.home, *ep))
-                    .sum::<f64>()
-                    / n_eps
-            },
-            execution: |t: TaskId| {
-                ctx.compute_eps
-                    .iter()
-                    .map(|ep| {
-                        ctx.predictor
-                            .exec_seconds(ctx.dag, t, &ctx.endpoints[ep.index()])
-                    })
-                    .sum::<f64>()
-                    / n_eps
-            },
-        };
-        self.priorities = priorities(ctx.dag, &costs);
+        self.priorities = priorities(ctx.dag, &rank_costs(ctx));
         self.target.resize(ctx.dag.len(), None);
     }
 }
@@ -328,17 +516,50 @@ impl Scheduler for DhaScheduler {
     }
 
     fn on_tasks_added(&mut self, ctx: &mut SchedCtx, _tasks: &[TaskId]) {
-        self.recompute_priorities(ctx);
+        let epoch = ctx.predictor.epoch();
+        if self.rank_epoch == Some(epoch) {
+            // Same knowledge as the existing ranks: extend incrementally
+            // over the new suffix and the affected ancestor frontier.
+            extend_priorities(ctx.dag, &rank_costs(ctx), &mut self.priorities);
+            self.target.resize(ctx.dag.len(), None);
+        } else {
+            self.recompute_priorities(ctx);
+            self.rank_epoch = Some(epoch);
+        }
     }
 
     fn on_task_ready(&mut self, ctx: &mut SchedCtx, task: TaskId) {
+        self.refresh_caches(ctx);
+        self.ensure_task_caches(ctx, task);
         // Endpoint selection + immediate staging (overlap with compute).
-        let ep = self.select_endpoint(ctx, task);
+        // Every per-endpoint prediction (staging, availability, execution)
+        // is evaluated at most once; staging — the expensive one — is
+        // skipped where `avail + exec` already exceeds the running best.
+        let execs: &[f64] = &self.exec_cache[&task];
+        let inputs: &[DataId] = &self.inputs_cache[&task];
+        let mut best: Option<EpEval> = None;
+        for (slot, &ep) in ctx.compute_eps.iter().enumerate() {
+            let avail = self.availability(ctx, ep);
+            let exec = execs[slot];
+            if let Some(b) = &best {
+                let bound = avail + exec;
+                if bound > b.eft || (bound >= b.eft && ep.0 > b.ep.0) {
+                    continue; // cannot beat (or tie-break past) the best
+                }
+            }
+            let eft = self.replica.staging_seconds(ctx, inputs, ep).max(avail) + exec;
+            let better = match &best {
+                None => true,
+                Some(b) => eft < b.eft || (eft == b.eft && ep.0 < b.ep.0),
+            };
+            if better {
+                best = Some(EpEval { ep, eft, exec });
+            }
+        }
+        let b = best.expect("at least one compute endpoint");
+        let (ep, exec) = (b.ep, b.exec);
         self.target[task.index()] = Some(ep);
         self.staging.insert(task);
-        let exec = ctx
-            .predictor
-            .exec_seconds(ctx.dag, task, &ctx.endpoints[ep.index()]);
         self.commit(task, ep, exec);
         ctx.stage(task, ep);
     }
@@ -350,12 +571,15 @@ impl Scheduler for DhaScheduler {
             // Ablation: no delay mechanism — dispatch immediately and queue
             // on the endpoint like Capacity does.
             self.uncommit(task);
+            self.inputs_cache.remove(&task);
+            self.exec_cache.remove(&task);
             ctx.dispatch(task, ep);
             return;
         }
-        let queue_empty = self.staged.get(&ep).is_none_or(|q| q.is_empty());
-        if queue_empty && ctx.monitor.mock(ep).idle_workers() > 0 {
+        if self.staged.is_empty_at(ep) && ctx.monitor.mock(ep).idle_workers() > 0 {
             self.uncommit(task);
+            self.inputs_cache.remove(&task);
+            self.exec_cache.remove(&task);
             ctx.dispatch(task, ep);
         } else {
             // Delay mechanism: wait in the client-side queue (higher
@@ -365,15 +589,10 @@ impl Scheduler for DhaScheduler {
     }
 
     fn on_worker_idle(&mut self, ctx: &mut SchedCtx, ep: EndpointId) {
-        let next = self.staged.get_mut(&ep).and_then(|q| {
-            if q.is_empty() {
-                None
-            } else {
-                Some(q.remove(0))
-            }
-        });
-        if let Some(task) = next {
+        if let Some(task) = self.staged.pop(ep) {
             self.uncommit(task);
+            self.inputs_cache.remove(&task);
+            self.exec_cache.remove(&task);
             ctx.dispatch(task, ep);
         }
     }
@@ -381,12 +600,9 @@ impl Scheduler for DhaScheduler {
     fn on_task_removed(&mut self, task: TaskId) {
         self.uncommit(task);
         self.staging.remove(&task);
-        for queue in self.staged.values_mut() {
-            if let Some(pos) = queue.iter().position(|t| *t == task) {
-                queue.remove(pos);
-                break;
-            }
-        }
+        self.staged.remove(task);
+        self.inputs_cache.remove(&task);
+        self.exec_cache.remove(&task);
     }
 
     fn on_capacity_change(&mut self, ctx: &mut SchedCtx) {
@@ -439,7 +655,12 @@ mod tests {
         let workers = [4usize, 4, 0];
         let mocks = (0..3)
             .map(|i| {
-                MockEndpoint::new(EndpointId(i as u16), &format!("ep{i}"), workers[i], speeds[i])
+                MockEndpoint::new(
+                    EndpointId(i as u16),
+                    &format!("ep{i}"),
+                    workers[i],
+                    speeds[i],
+                )
             })
             .collect();
         Fixture {
@@ -504,7 +725,10 @@ mod tests {
         // costs are equal.
         assert_eq!(
             c.take_actions(),
-            vec![SchedAction::Stage { task: TaskId(0), ep: EndpointId(1) }]
+            vec![SchedAction::Stage {
+                task: TaskId(0),
+                ep: EndpointId(1)
+            }]
         );
         assert_eq!(sched.target(TaskId(0)), Some(EndpointId(1)));
     }
@@ -522,7 +746,10 @@ mod tests {
         // avail(ep1) = 2000/4 = 500 s; ep0 executes in 100 s immediately.
         assert_eq!(
             c.take_actions(),
-            vec![SchedAction::Stage { task: TaskId(0), ep: EndpointId(0) }]
+            vec![SchedAction::Stage {
+                task: TaskId(0),
+                ep: EndpointId(0)
+            }]
         );
     }
 
@@ -552,7 +779,10 @@ mod tests {
             sched.on_worker_idle(&mut c, EndpointId(1));
             assert_eq!(
                 c.take_actions(),
-                vec![SchedAction::Dispatch { task: TaskId(0), ep: EndpointId(1) }]
+                vec![SchedAction::Dispatch {
+                    task: TaskId(0),
+                    ep: EndpointId(1)
+                }]
             );
             assert_eq!(sched.delayed(), 0);
         }
@@ -622,7 +852,13 @@ mod tests {
             let mut c = ctx(&fx);
             sched.on_capacity_change(&mut c);
             let acts = c.take_actions();
-            assert_eq!(acts, vec![SchedAction::Stage { task: TaskId(0), ep: other }]);
+            assert_eq!(
+                acts,
+                vec![SchedAction::Stage {
+                    task: TaskId(0),
+                    ep: other
+                }]
+            );
             assert_eq!(sched.target(TaskId(0)), Some(other));
             assert_eq!(sched.delayed(), 0, "stolen task left the delay queue");
         }
@@ -696,7 +932,178 @@ mod tests {
         sched.on_task_ready(&mut c, TaskId(1));
         assert_eq!(
             c.take_actions(),
-            vec![SchedAction::Stage { task: TaskId(1), ep: EndpointId(0) }]
+            vec![SchedAction::Stage {
+                task: TaskId(1),
+                ep: EndpointId(0)
+            }]
         );
+    }
+
+    #[test]
+    fn replica_cache_invalidates_on_new_replicas() {
+        let mut fx = fixture();
+        fx.dag.spec_mut(TaskId(0)).output_bytes = 100 << 30; // 100 GiB
+        fx.store.register(output_id(TaskId(0)), 100 << 30, fx.home);
+        let mut sched = submitted(&fx);
+        // First decision: the object only lives at the (remote) home, so
+        // the fast endpoint wins; this warms the replica cache.
+        {
+            let mut c = ctx(&fx);
+            sched.on_task_ready(&mut c, TaskId(1));
+            assert_eq!(
+                c.take_actions(),
+                vec![SchedAction::Stage {
+                    task: TaskId(1),
+                    ep: EndpointId(1)
+                }]
+            );
+        }
+        // The object lands on ep0 (store version bumps). Re-deciding must
+        // see the new replica, not the cached best source.
+        fx.store.add_replica(output_id(TaskId(0)), EndpointId(0));
+        sched.on_task_removed(TaskId(1));
+        let mut c = ctx(&fx);
+        sched.on_task_ready(&mut c, TaskId(1));
+        assert_eq!(
+            c.take_actions(),
+            vec![SchedAction::Stage {
+                task: TaskId(1),
+                ep: EndpointId(0)
+            }]
+        );
+    }
+
+    #[test]
+    fn steal_order_is_deterministic_under_equal_priorities() {
+        // Many identical tasks (equal Eq. 2 priorities) wait in a delay
+        // queue; when capacity appears elsewhere the steal pass must visit
+        // them in a stable order: descending priority, then task id.
+        let run = || {
+            let mut fx = fixture();
+            let f = fx.dag.register_function("same");
+            let ids: Vec<TaskId> = (0..6)
+                .map(|_| fx.dag.add_task(TaskSpec::compute(f, 80.0), &[]))
+                .collect();
+            let mut sched = submitted(&fx);
+            for ep in [EndpointId(0), EndpointId(1)] {
+                for _ in 0..4 {
+                    fx.monitor.mock_mut(ep).push_task(800.0);
+                }
+            }
+            {
+                let mut c = ctx(&fx);
+                for &t in &ids {
+                    sched.on_task_ready(&mut c, t);
+                }
+                c.take_actions();
+                for &t in &ids {
+                    sched.on_staging_complete(&mut c, t);
+                }
+                assert_eq!(sched.delayed(), ids.len());
+            }
+            // Both endpoints free up completely → mass re-evaluation.
+            for ep in [EndpointId(0), EndpointId(1)] {
+                for _ in 0..4 {
+                    fx.monitor.mock_mut(ep).pop_task(800.0);
+                }
+            }
+            let mut c = ctx(&fx);
+            sched.on_capacity_change(&mut c);
+            c.take_actions()
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second, "steal pass must be deterministic");
+        // Equal priorities: the visit (and thus action) order follows ids.
+        let order: Vec<TaskId> = first
+            .iter()
+            .map(|a| match a {
+                SchedAction::Stage { task, .. } => *task,
+                SchedAction::Dispatch { task, .. } => *task,
+            })
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted, "equal-priority ties must break by id");
+    }
+
+    #[test]
+    fn growing_dag_extends_priorities_to_match_full_recompute() {
+        let mut fx = fixture();
+        let mut incremental = submitted(&fx);
+        // Grow: a chain hanging off task 1 and a fresh root.
+        let f = fx.dag.register_function("late");
+        let c1 = fx.dag.add_task(TaskSpec::compute(f, 30.0), &[TaskId(1)]);
+        let c2 = fx.dag.add_task(TaskSpec::compute(f, 70.0), &[c1]);
+        let r = fx.dag.add_task(TaskSpec::compute(f, 5.0), &[]);
+        {
+            let mut c = ctx(&fx);
+            incremental.on_tasks_added(&mut c, &[c1, c2, r]);
+        }
+        // A scheduler that first sees the grown DAG computes from scratch.
+        let full = submitted(&fx);
+        for t in fx.dag.task_ids() {
+            assert!(
+                (incremental.priority(t) - full.priority(t)).abs() < 1e-9,
+                "incremental rank of {t} diverged: {} vs {}",
+                incremental.priority(t),
+                full.priority(t)
+            );
+        }
+        // The growth raised ancestors' ranks: task 1 gained the new chain.
+        assert!(incremental.priority(TaskId(1)) > incremental.priority(c1));
+    }
+
+    #[test]
+    fn bounded_reschedule_is_off_by_default_and_steals_when_dirty() {
+        assert!(!DhaOptions::default().bounded_reschedule);
+        let mut fx = fixture();
+        let mut sched = DhaScheduler::with_options(DhaOptions {
+            bounded_reschedule: true,
+            ..DhaOptions::default()
+        });
+        {
+            let mut c = ctx(&fx);
+            let tasks: Vec<TaskId> = fx.dag.task_ids().collect();
+            sched.on_tasks_added(&mut c, &tasks);
+        }
+        for ep in [EndpointId(0), EndpointId(1)] {
+            for _ in 0..4 {
+                fx.monitor.mock_mut(ep).push_task(400.0);
+            }
+        }
+        {
+            let mut c = ctx(&fx);
+            sched.on_task_ready(&mut c, TaskId(0));
+            c.take_actions();
+            sched.on_staging_complete(&mut c, TaskId(0));
+            assert_eq!(sched.delayed(), 1);
+            // Seed the signatures; both endpoints saturated → no steal.
+            sched.on_tick(&mut c);
+            assert!(c.take_actions().is_empty());
+            // Nothing changed since: the pass must skip outright.
+            sched.on_tick(&mut c);
+            assert!(c.take_actions().is_empty());
+        }
+        // The other endpoint empties → it is dirty → the task moves there.
+        let cur = sched.target(TaskId(0)).unwrap();
+        let other = if cur == EndpointId(0) {
+            EndpointId(1)
+        } else {
+            EndpointId(0)
+        };
+        for _ in 0..4 {
+            fx.monitor.mock_mut(other).pop_task(400.0);
+        }
+        let mut c = ctx(&fx);
+        sched.on_tick(&mut c);
+        assert_eq!(
+            c.take_actions(),
+            vec![SchedAction::Stage {
+                task: TaskId(0),
+                ep: other
+            }]
+        );
+        assert_eq!(sched.target(TaskId(0)), Some(other));
     }
 }

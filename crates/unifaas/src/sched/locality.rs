@@ -12,14 +12,16 @@
 
 use crate::sched::{SchedCtx, Scheduler};
 use fedci::endpoint::EndpointId;
+use fedci::storage::DataId;
 use std::collections::{HashMap, VecDeque};
 use taskgraph::TaskId;
 
 /// The real-time minimum-data-movement scheduler.
 #[derive(Debug, Default)]
 pub struct LocalityScheduler {
-    /// Ready tasks awaiting an idle worker, FIFO.
-    ready: VecDeque<TaskId>,
+    /// Ready tasks awaiting an idle worker, FIFO, with their input-object
+    /// lists (computed once at readiness — a task's inputs never change).
+    ready: VecDeque<(TaskId, Vec<DataId>)>,
     /// Target endpoint of tasks currently staging.
     assigned: HashMap<TaskId, EndpointId>,
     /// Workers reserved (assignment made, staging not yet complete) per
@@ -47,13 +49,13 @@ impl LocalityScheduler {
 
     /// Assigns as many ready tasks as there are available workers.
     fn try_assign(&mut self, ctx: &mut SchedCtx) {
-        while let Some(&task) = self.ready.front() {
+        while let Some((task, inputs)) = self.ready.front() {
+            let task = *task;
             // Locality selection among endpoints with available workers.
             // Ties (equal bytes moved) go to the endpoint with the most
             // available workers: big pools fill contiguously, which keeps
             // consecutive sibling tasks (and later their children) on the
             // same endpoint.
-            let inputs = ctx.task_inputs(task);
             let best = ctx
                 .compute_eps
                 .iter()
@@ -61,7 +63,7 @@ impl LocalityScheduler {
                 .filter(|ep| self.available(ctx, *ep) > 0)
                 .min_by_key(|ep| {
                     (
-                        ctx.store.missing_bytes(&inputs, *ep),
+                        ctx.store.missing_bytes(inputs, *ep),
                         std::cmp::Reverse(self.available(ctx, *ep)),
                         ep.0,
                     )
@@ -83,7 +85,8 @@ impl Scheduler for LocalityScheduler {
     }
 
     fn on_task_ready(&mut self, ctx: &mut SchedCtx, task: TaskId) {
-        self.ready.push_back(task);
+        let inputs = ctx.task_inputs(task);
+        self.ready.push_back((task, inputs));
         self.try_assign(ctx);
     }
 
@@ -107,7 +110,7 @@ impl Scheduler for LocalityScheduler {
     }
 
     fn on_task_removed(&mut self, task: TaskId) {
-        if let Some(pos) = self.ready.iter().position(|t| *t == task) {
+        if let Some(pos) = self.ready.iter().position(|(t, _)| *t == task) {
             self.ready.remove(pos);
         }
         if let Some(ep) = self.assigned.remove(&task) {
@@ -197,7 +200,10 @@ mod tests {
         sched.on_task_ready(&mut c, TaskId(1));
         assert_eq!(
             c.take_actions(),
-            vec![SchedAction::Stage { task: TaskId(1), ep: EndpointId(1) }]
+            vec![SchedAction::Stage {
+                task: TaskId(1),
+                ep: EndpointId(1)
+            }]
         );
     }
 
@@ -240,7 +246,10 @@ mod tests {
         let actions = c.take_actions();
         assert_eq!(
             actions,
-            vec![SchedAction::Dispatch { task: TaskId(1), ep: EndpointId(0) }]
+            vec![SchedAction::Dispatch {
+                task: TaskId(1),
+                ep: EndpointId(0)
+            }]
         );
     }
 
@@ -256,7 +265,10 @@ mod tests {
         sched.on_task_ready(&mut c, t);
         assert_eq!(
             c.take_actions(),
-            vec![SchedAction::Stage { task: t, ep: EndpointId(1) }]
+            vec![SchedAction::Stage {
+                task: t,
+                ep: EndpointId(1)
+            }]
         );
     }
 

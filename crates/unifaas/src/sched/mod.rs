@@ -20,6 +20,7 @@ pub mod capacity;
 pub mod dha;
 pub mod locality;
 pub mod pinned;
+pub mod queue;
 
 pub use capacity::CapacityScheduler;
 pub use dha::{DhaOptions, DhaScheduler};
@@ -237,10 +238,7 @@ mod tests {
         let mut dag = Dag::new();
         let f = dag.register_function("f");
         let a = dag.add_task(TaskSpec::compute(f, 1.0).with_output_bytes(10), &[]);
-        let b = dag.add_task(
-            TaskSpec::compute(f, 1.0).with_external_input_bytes(5),
-            &[a],
-        );
+        let b = dag.add_task(TaskSpec::compute(f, 1.0).with_external_input_bytes(5), &[a]);
         let c = dag.add_task(TaskSpec::compute(f, 1.0), &[a]);
         assert_eq!(
             task_inputs(&dag, b, 0),

@@ -157,15 +157,27 @@ mod tests {
         assert_eq!(
             c.take_actions(),
             vec![
-                SchedAction::Stage { task: TaskId(0), ep: EndpointId(0) },
-                SchedAction::Stage { task: TaskId(1), ep: EndpointId(1) },
-                SchedAction::Stage { task: TaskId(2), ep: EndpointId(0) },
+                SchedAction::Stage {
+                    task: TaskId(0),
+                    ep: EndpointId(0)
+                },
+                SchedAction::Stage {
+                    task: TaskId(1),
+                    ep: EndpointId(1)
+                },
+                SchedAction::Stage {
+                    task: TaskId(2),
+                    ep: EndpointId(0)
+                },
             ]
         );
         sched.on_staging_complete(&mut c, TaskId(1));
         assert_eq!(
             c.take_actions(),
-            vec![SchedAction::Dispatch { task: TaskId(1), ep: EndpointId(1) }]
+            vec![SchedAction::Dispatch {
+                task: TaskId(1),
+                ep: EndpointId(1)
+            }]
         );
     }
 
@@ -177,7 +189,10 @@ mod tests {
         sched.on_task_ready(&mut c, TaskId(1)); // task2 is unpinned
         assert_eq!(
             c.take_actions(),
-            vec![SchedAction::Stage { task: TaskId(1), ep: EndpointId(0) }]
+            vec![SchedAction::Stage {
+                task: TaskId(1),
+                ep: EndpointId(0)
+            }]
         );
     }
 

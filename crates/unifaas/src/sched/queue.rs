@@ -1,0 +1,264 @@
+//! Indexed per-endpoint delay queues for the DHA scheduler.
+//!
+//! The delay mechanism holds every staged-but-not-dispatched task in a
+//! client-side queue ordered by descending Eq. 2 priority (FIFO among
+//! ties). The original implementation kept each queue as a sorted `Vec`,
+//! making insertion and head-removal O(n) and task lookup O(total) — the
+//! dominant scheduler cost once thousands of tasks wait (Table III's
+//! workload stages 24k tasks onto ~2.5k workers).
+//!
+//! [`DelayQueues`] replaces that with one binary heap per endpoint plus a
+//! task → (endpoint, token) index:
+//!
+//! * `push` / `pop` are O(log n);
+//! * `remove` (fault retry, task stealing) is O(1) — the index entry is
+//!   dropped and the heap entry becomes a tombstone, lazily discarded on
+//!   pop or during an occasional compaction when tombstones outnumber
+//!   live entries.
+//!
+//! Entries are ordered by their priority *at push time*; this matches the
+//! previous sorted-`Vec` behaviour (a queued task was never re-sorted when
+//! priorities were recomputed).
+
+use fedci::endpoint::EndpointId;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use taskgraph::TaskId;
+
+/// A heap entry. The `token` uniquely identifies one `push`, so a stale
+/// entry left behind by `remove` (or by a re-push of the same task) can be
+/// recognised and skipped.
+#[derive(Debug)]
+struct Entry {
+    prio: f64,
+    token: u64,
+    task: TaskId,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.token == other.token
+    }
+}
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: highest priority first; among equal priorities the
+        // earliest push (smallest token) wins — FIFO tie-breaking.
+        self.prio
+            .partial_cmp(&other.prio)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.token.cmp(&self.token))
+    }
+}
+
+#[derive(Debug, Default)]
+struct EpQueue {
+    heap: BinaryHeap<Entry>,
+    /// Non-tombstone entries in `heap`.
+    live: usize,
+}
+
+/// Priority-indexed delay queues, one per endpoint.
+#[derive(Debug, Default)]
+pub struct DelayQueues {
+    queues: HashMap<EndpointId, EpQueue>,
+    /// Where each queued task currently is, and which push put it there.
+    index: HashMap<TaskId, (EndpointId, u64)>,
+    next_token: u64,
+}
+
+impl DelayQueues {
+    /// Creates empty queues.
+    pub fn new() -> Self {
+        DelayQueues::default()
+    }
+
+    /// Queues `task` on `ep` with the given priority. If the task is
+    /// already queued (anywhere), it is moved.
+    pub fn push(&mut self, task: TaskId, ep: EndpointId, prio: f64) {
+        self.remove(task);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.index.insert(task, (ep, token));
+        let q = self.queues.entry(ep).or_default();
+        q.heap.push(Entry { prio, token, task });
+        q.live += 1;
+    }
+
+    /// Dequeues the highest-priority task waiting on `ep`, if any.
+    pub fn pop(&mut self, ep: EndpointId) -> Option<TaskId> {
+        let q = self.queues.get_mut(&ep)?;
+        while let Some(entry) = q.heap.pop() {
+            match self.index.get(&entry.task) {
+                Some(&(at, token)) if at == ep && token == entry.token => {
+                    self.index.remove(&entry.task);
+                    q.live -= 1;
+                    return Some(entry.task);
+                }
+                _ => {} // tombstone: removed or re-pushed elsewhere
+            }
+        }
+        None
+    }
+
+    /// Removes `task` from whichever queue holds it, in O(1); its heap
+    /// entry becomes a tombstone. Returns the endpoint it waited on.
+    pub fn remove(&mut self, task: TaskId) -> Option<EndpointId> {
+        let (ep, _token) = self.index.remove(&task)?;
+        if let Some(q) = self.queues.get_mut(&ep) {
+            q.live -= 1;
+            // Compact when tombstones dominate, keeping pop amortized
+            // O(log live) instead of O(log pushes-ever).
+            if q.heap.len() > 64 && q.heap.len() > 2 * q.live {
+                let index = &self.index;
+                let entries = std::mem::take(&mut q.heap).into_vec();
+                q.heap = entries
+                    .into_iter()
+                    .filter(|e| index.get(&e.task) == Some(&(ep, e.token)))
+                    .collect();
+                debug_assert_eq!(q.heap.len(), q.live);
+            }
+        }
+        Some(ep)
+    }
+
+    /// The endpoint `task` is queued on, if it is queued.
+    pub fn position_of(&self, task: TaskId) -> Option<EndpointId> {
+        self.index.get(&task).map(|&(ep, _)| ep)
+    }
+
+    /// True if no task waits on `ep`.
+    pub fn is_empty_at(&self, ep: EndpointId) -> bool {
+        self.queues.get(&ep).is_none_or(|q| q.live == 0)
+    }
+
+    /// Total queued tasks across all endpoints.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if no task is queued anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// All queued tasks and their endpoints, in unspecified order.
+    pub fn tasks(&self) -> impl Iterator<Item = (TaskId, EndpointId)> + '_ {
+        self.index.iter().map(|(&t, &(ep, _))| (t, ep))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(i: u16) -> EndpointId {
+        EndpointId(i)
+    }
+    fn t(i: u32) -> TaskId {
+        TaskId(i)
+    }
+
+    #[test]
+    fn pops_by_descending_priority() {
+        let mut q = DelayQueues::new();
+        q.push(t(1), ep(0), 1.0);
+        q.push(t(2), ep(0), 3.0);
+        q.push(t(3), ep(0), 2.0);
+        assert_eq!(q.pop(ep(0)), Some(t(2)));
+        assert_eq!(q.pop(ep(0)), Some(t(3)));
+        assert_eq!(q.pop(ep(0)), Some(t(1)));
+        assert_eq!(q.pop(ep(0)), None);
+    }
+
+    #[test]
+    fn equal_priorities_pop_fifo() {
+        let mut q = DelayQueues::new();
+        for i in 0..50 {
+            q.push(t(i), ep(0), 7.0);
+        }
+        for i in 0..50 {
+            assert_eq!(q.pop(ep(0)), Some(t(i)));
+        }
+    }
+
+    #[test]
+    fn queues_are_per_endpoint() {
+        let mut q = DelayQueues::new();
+        q.push(t(1), ep(0), 1.0);
+        q.push(t(2), ep(1), 9.0);
+        assert_eq!(q.pop(ep(0)), Some(t(1)));
+        assert_eq!(q.pop(ep(0)), None);
+        assert_eq!(q.pop(ep(1)), Some(t(2)));
+    }
+
+    #[test]
+    fn remove_skips_tombstones_on_pop() {
+        let mut q = DelayQueues::new();
+        q.push(t(1), ep(0), 5.0);
+        q.push(t(2), ep(0), 4.0);
+        assert_eq!(q.remove(t(1)), Some(ep(0)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(ep(0)), Some(t(2)));
+        assert!(q.is_empty());
+        assert_eq!(q.remove(t(1)), None, "double remove is a no-op");
+    }
+
+    #[test]
+    fn re_push_moves_task_between_endpoints() {
+        let mut q = DelayQueues::new();
+        q.push(t(1), ep(0), 5.0);
+        q.push(t(1), ep(1), 5.0); // steal: moved to ep1
+        assert_eq!(q.position_of(t(1)), Some(ep(1)));
+        assert_eq!(q.pop(ep(0)), None, "stale entry must not dispatch");
+        assert_eq!(q.pop(ep(1)), Some(t(1)));
+    }
+
+    #[test]
+    fn re_push_to_same_endpoint_keeps_one_entry() {
+        let mut q = DelayQueues::new();
+        q.push(t(1), ep(0), 5.0);
+        q.push(t(1), ep(0), 1.0); // re-push with a new priority
+        q.push(t(2), ep(0), 3.0);
+        assert_eq!(q.len(), 2);
+        // The re-push holds the fresh (lower) priority; the stale
+        // higher-priority entry is a tombstone.
+        assert_eq!(q.pop(ep(0)), Some(t(2)));
+        assert_eq!(q.pop(ep(0)), Some(t(1)));
+        assert_eq!(q.pop(ep(0)), None);
+    }
+
+    #[test]
+    fn emptiness_tracks_live_entries_not_tombstones() {
+        let mut q = DelayQueues::new();
+        q.push(t(1), ep(0), 5.0);
+        q.remove(t(1));
+        assert!(q.is_empty_at(ep(0)));
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn compaction_keeps_only_live_entries() {
+        let mut q = DelayQueues::new();
+        for i in 0..500 {
+            q.push(t(i), ep(0), i as f64);
+        }
+        for i in 0..400 {
+            q.remove(t(i));
+        }
+        assert_eq!(q.len(), 100);
+        // Compaction happened behind the scenes; order is preserved.
+        for i in (400..500).rev() {
+            assert_eq!(q.pop(ep(0)), Some(t(i)));
+        }
+    }
+}

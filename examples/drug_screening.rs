@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example drug_screening`
 
-use unifaas::prelude::*;
 use taskgraph::workloads::drug::{generate, DrugParams};
+use unifaas::prelude::*;
 
 fn pool() -> Config {
     // The Table II testbed, scaled down so the example runs in a blink:
@@ -23,12 +23,17 @@ fn main() {
     // 6,000 pipelines; same generator, same shape).
     let workload = || generate(&DrugParams::small(600));
 
-    println!("drug screening: {} tasks, {:.0} h total compute, {:.1} GB data\n",
+    println!(
+        "drug screening: {} tasks, {:.0} h total compute, {:.1} GB data\n",
         workload().len(),
         workload().total_compute_seconds() / 3600.0,
-        workload().total_data_bytes() as f64 / (1u64 << 30) as f64);
+        workload().total_data_bytes() as f64 / (1u64 << 30) as f64
+    );
 
-    println!("{:<22} {:>12} {:>16}", "scheduler", "makespan (s)", "transfer (GB)");
+    println!(
+        "{:<22} {:>12} {:>16}",
+        "scheduler", "makespan (s)", "transfer (GB)"
+    );
     for strategy in [
         SchedulingStrategy::Capacity,
         SchedulingStrategy::Locality,

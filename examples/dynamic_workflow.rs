@@ -15,7 +15,10 @@ fn base_dag() -> Dag {
     let mut dag = Dag::new();
     let screen = dag.register_function("screen");
     for _ in 0..120 {
-        dag.add_task(TaskSpec::compute(screen, 45.0).with_output_bytes(16 << 20), &[]);
+        dag.add_task(
+            TaskSpec::compute(screen, 45.0).with_output_bytes(16 << 20),
+            &[],
+        );
     }
     dag
 }
@@ -65,7 +68,9 @@ fn main() {
     );
     for strategy in [
         SchedulingStrategy::Locality,
-        SchedulingStrategy::Dha { rescheduling: false },
+        SchedulingStrategy::Dha {
+            rescheduling: false,
+        },
         SchedulingStrategy::Dha { rescheduling: true },
     ] {
         let r = run(strategy);

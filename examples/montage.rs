@@ -21,12 +21,8 @@ fn main() {
     );
 
     let mut cfg = Config::builder()
-        .endpoint(
-            EndpointConfig::new("Qiming", ClusterSpec::qiming(), 0).elastic(0, 120, 20),
-        )
-        .endpoint(
-            EndpointConfig::new("Lab", ClusterSpec::lab_cluster(), 0).elastic(0, 40, 10),
-        )
+        .endpoint(EndpointConfig::new("Qiming", ClusterSpec::qiming(), 0).elastic(0, 120, 20))
+        .endpoint(EndpointConfig::new("Lab", ClusterSpec::lab_cluster(), 0).elastic(0, 40, 10))
         .strategy(SchedulingStrategy::Locality)
         .build();
     cfg.scaling = ScalingConfig {
@@ -46,13 +42,21 @@ fn main() {
 
     // Print the worker timeline: scale-out bursts for the parallel stages,
     // scale-in during the serial tail, release at the end.
-    println!("{:>8} {:>14} {:>14}", "t (s)", "Qiming workers", "Lab workers");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "t (s)", "Qiming workers", "Lab workers"
+    );
     let end = SimTime::ZERO + report.makespan + SimDuration::from_secs(60);
     let step = SimDuration::from_secs_f64((end.as_secs_f64() / 12.0).max(1.0));
     let q = report.series.active_workers.get("Qiming").expect("series");
     let l = report.series.active_workers.get("Lab").expect("series");
     for (t, qv) in q.resample(SimTime::ZERO, end, step) {
-        println!("{:>8.0} {:>14.0} {:>14.0}", t.as_secs_f64(), qv, l.value_at(t));
+        println!(
+            "{:>8.0} {:>14.0} {:>14.0}",
+            t.as_secs_f64(),
+            qv,
+            l.value_at(t)
+        );
     }
 
     let final_workers = q.value_at(end) + l.value_at(end);

@@ -117,7 +117,9 @@ fn all_model_families_complete_in_learned_mode() {
         let mut cfg = dynamic_pool(SchedulingStrategy::Dha { rescheduling: true });
         cfg.knowledge = KnowledgeMode::Learned;
         cfg.model_family = family;
-        let report = SimRuntime::new(cfg, bag(150, 20.0, 12 << 20)).run().unwrap();
+        let report = SimRuntime::new(cfg, bag(150, 20.0, 12 << 20))
+            .run()
+            .unwrap();
         assert_eq!(report.tasks_completed, 150, "{family:?}");
     }
 }
@@ -131,7 +133,9 @@ fn probing_gives_learned_dha_transfer_awareness_from_the_start() {
         let mut cfg = Config::builder()
             .endpoint(EndpointConfig::new("a", ClusterSpec::qiming(), 4))
             .endpoint(EndpointConfig::new("b", ClusterSpec::qiming(), 4))
-            .strategy(SchedulingStrategy::Dha { rescheduling: false })
+            .strategy(SchedulingStrategy::Dha {
+                rescheduling: false,
+            })
             .build();
         cfg.knowledge = KnowledgeMode::Learned;
         cfg.probe_transfers = probe;

@@ -115,7 +115,8 @@ fn transfer_bandwidth_penalizes_cross_endpoint_dataflow() {
     // With a very slow simulated WAN, a consumer placed away from its
     // producer pays real wall time; the locality-aware placer avoids it
     // when possible.
-    let rt = LiveRuntime::new(&[("x", 1), ("y", 1)]).with_transfer_bandwidth(64.0 * 1024.0 * 1024.0);
+    let rt =
+        LiveRuntime::new(&[("x", 1), ("y", 1)]).with_transfer_bandwidth(64.0 * 1024.0 * 1024.0);
     rt.register("produce", |_| Ok(value(42i64)));
     rt.register("consume", |args: &[Value]| {
         Ok(value(*downcast::<i64>(&args[0]).ok_or("v")? * 2))

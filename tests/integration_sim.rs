@@ -25,7 +25,9 @@ fn all_strategies() -> Vec<SchedulingStrategy> {
         SchedulingStrategy::Capacity,
         SchedulingStrategy::Locality,
         SchedulingStrategy::Dha { rescheduling: true },
-        SchedulingStrategy::Dha { rescheduling: false },
+        SchedulingStrategy::Dha {
+            rescheduling: false,
+        },
     ]
 }
 
@@ -38,8 +40,10 @@ fn drug_screening_completes_under_every_scheduler() {
             .unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
         assert_eq!(report.tasks_completed, 241, "{strategy:?}");
         assert_eq!(report.failed_attempts, 0, "{strategy:?}");
-        // Makespan can never beat the critical path on the fastest cluster.
-        let lower = critical_path_seconds(&dag) / 1.10;
+        // Makespan can never beat the critical path on the fastest cluster,
+        // modulo execution noise (normal around 1.0, cv 0.02) which lets a
+        // chain of tasks finish a few percent early.
+        let lower = critical_path_seconds(&dag) / 1.10 * 0.95;
         assert!(
             report.makespan.as_secs_f64() >= lower,
             "{strategy:?}: makespan {} below lower bound {lower}",

@@ -1,0 +1,150 @@
+//! Property-based tests of the DHA delay queues ([`DelayQueues`]): under
+//! arbitrary interleavings of pushes (staging completions), pops (idle
+//! workers), and removals (task stealing, fault retries), dispatch order is
+//! descending (priority, FIFO) per endpoint and removed tasks never
+//! dispatch.
+
+use fedci::endpoint::EndpointId;
+use proptest::prelude::*;
+use taskgraph::TaskId;
+use unifaas::sched::queue::DelayQueues;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Staging completed: queue the task (moves it if already queued).
+    Push { task: u32, ep: u16, prio: f64 },
+    /// A worker on `ep` went idle: dispatch the best waiting task.
+    Pop { ep: u16 },
+    /// The task was stolen or removed: drop it wherever it waits.
+    Remove { task: u32 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..24, 0u16..4, 0.0f64..100.0).prop_map(|(task, ep, prio)| Op::Push { task, ep, prio }),
+        (0u16..4).prop_map(|ep| Op::Pop { ep }),
+        (0u32..24).prop_map(|task| Op::Remove { task }),
+    ]
+}
+
+/// Straight-line reference model: a flat list of live entries; pop scans
+/// for the best (priority, then earliest push) entry on the endpoint.
+#[derive(Default)]
+struct Model {
+    entries: Vec<(TaskId, EndpointId, f64, u64)>,
+    next_token: u64,
+}
+
+impl Model {
+    fn push(&mut self, task: TaskId, ep: EndpointId, prio: f64) {
+        self.entries.retain(|e| e.0 != task);
+        self.entries.push((task, ep, prio, self.next_token));
+        self.next_token += 1;
+    }
+
+    fn pop(&mut self, ep: EndpointId) -> Option<TaskId> {
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.1 == ep)
+            .max_by(|(_, a), (_, b)| {
+                a.2.partial_cmp(&b.2).unwrap().then(b.3.cmp(&a.3)) // earlier push wins ties
+            })
+            .map(|(i, _)| i)?;
+        Some(self.entries.remove(best).0)
+    }
+
+    fn remove(&mut self, task: TaskId) -> Option<EndpointId> {
+        let i = self.entries.iter().position(|e| e.0 == task)?;
+        Some(self.entries.remove(i).1)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn matches_reference_model(ops in proptest::collection::vec(arb_op(), 0..120)) {
+        let mut queues = DelayQueues::new();
+        let mut model = Model::default();
+        let mut removed: std::collections::HashSet<TaskId> =
+            std::collections::HashSet::new();
+        for op in ops {
+            match op {
+                Op::Push { task, ep, prio } => {
+                    let (task, ep) = (TaskId(task), EndpointId(ep));
+                    queues.push(task, ep, prio);
+                    model.push(task, ep, prio);
+                    removed.remove(&task);
+                }
+                Op::Pop { ep } => {
+                    let ep = EndpointId(ep);
+                    let got = queues.pop(ep);
+                    let want = model.pop(ep);
+                    prop_assert_eq!(
+                        got, want,
+                        "pop({}) diverged from the reference model", ep.0
+                    );
+                    if let Some(t) = got {
+                        prop_assert!(
+                            !removed.contains(&t),
+                            "removed task {} was dispatched", t
+                        );
+                    }
+                }
+                Op::Remove { task } => {
+                    let task = TaskId(task);
+                    let got = queues.remove(task);
+                    let want = model.remove(task);
+                    prop_assert_eq!(got, want, "remove({}) diverged", task);
+                    removed.insert(task);
+                }
+            }
+            // Aggregate bookkeeping stays consistent at every step.
+            prop_assert_eq!(queues.len(), model.entries.len());
+            prop_assert_eq!(queues.is_empty(), model.entries.is_empty());
+            for &(t, ep, _, _) in &model.entries {
+                prop_assert_eq!(queues.position_of(t), Some(ep));
+            }
+        }
+        // Drain everything that remains: full order must match per endpoint.
+        for ep in 0..4u16 {
+            let ep = EndpointId(ep);
+            loop {
+                let got = queues.pop(ep);
+                let want = model.pop(ep);
+                prop_assert_eq!(got, want);
+                if got.is_none() {
+                    break;
+                }
+            }
+            prop_assert!(queues.is_empty_at(ep));
+        }
+        prop_assert!(queues.is_empty());
+    }
+
+    #[test]
+    fn drains_in_descending_priority_fifo(
+        prios in proptest::collection::vec(0.0f64..10.0, 1..60)
+    ) {
+        let mut queues = DelayQueues::new();
+        let ep = EndpointId(0);
+        for (i, &p) in prios.iter().enumerate() {
+            queues.push(TaskId(i as u32), ep, p);
+        }
+        let mut drained: Vec<(f64, u32)> = Vec::new();
+        while let Some(t) = queues.pop(ep) {
+            drained.push((prios[t.index()], t.0));
+        }
+        prop_assert_eq!(drained.len(), prios.len());
+        for w in drained.windows(2) {
+            let (pa, ta) = w[0];
+            let (pb, tb) = w[1];
+            prop_assert!(
+                pa > pb || (pa == pb && ta < tb),
+                "out of order: ({pa}, {ta}) before ({pb}, {tb})"
+            );
+        }
+    }
+}

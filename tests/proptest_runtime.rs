@@ -12,7 +12,9 @@ fn arb_strategy() -> impl Strategy<Value = SchedulingStrategy> {
         Just(SchedulingStrategy::Capacity),
         Just(SchedulingStrategy::Locality),
         Just(SchedulingStrategy::Dha { rescheduling: true }),
-        Just(SchedulingStrategy::Dha { rescheduling: false }),
+        Just(SchedulingStrategy::Dha {
+            rescheduling: false
+        }),
     ]
 }
 

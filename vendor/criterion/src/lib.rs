@@ -1,0 +1,152 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! Implements `Criterion::bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros with a
+//! simple adaptive timer: each benchmark is calibrated to roughly 100 ms of
+//! wall time and reports the mean per-iteration latency. No statistics,
+//! plots, or baseline storage — just comparable numbers on stderr.
+
+use std::time::{Duration, Instant};
+
+/// How batch setup cost relates to the routine (sizing hint; the shim
+/// only distinguishes per-iteration batches from bulk batches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch.
+    SmallInput,
+    /// Large inputs: few iterations per batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Re-export of the standard optimisation barrier.
+pub use std::hint::black_box;
+
+/// Timing harness handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Total time spent in measured routines.
+    elapsed: Duration,
+    /// Number of measured iterations.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until enough samples accumulate.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: grow the batch until it takes >= 10 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(10) || batch >= 1 << 20 {
+                self.elapsed += took;
+                self.iters += batch;
+                break;
+            }
+            batch *= 2;
+        }
+        // Measurement: repeat batches until ~100 ms total.
+        while self.elapsed < Duration::from_millis(100) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += start.elapsed();
+            self.iters += batch;
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut measure_one = |this: &mut Self| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            this.elapsed += start.elapsed();
+            this.iters += 1;
+        };
+        measure_one(self);
+        while self.elapsed < Duration::from_millis(100) {
+            measure_one(self);
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.iters as u32
+        }
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Fresh runner.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Runs one named benchmark and prints its mean latency.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        eprintln!(
+            "bench {name:<40} {:>12.3?} /iter  ({} iters)",
+            b.mean(),
+            b.iters
+        );
+        self
+    }
+}
+
+/// Groups benchmark functions under one runner entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::new();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,260 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses: the
+//! MPMC unbounded [`channel`], with cloneable senders *and* receivers and
+//! disconnect detection. Built on `std::sync` primitives; FIFO per queue.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending half (cloneable, MPMC).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half (cloneable, MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned when sending into a channel with no receivers left.
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when receiving from an empty, disconnected channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait timed out with the channel still empty.
+        Timeout,
+        /// All senders dropped and the queue is empty.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders dropped and the queue is empty.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; fails only if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().expect("channel lock").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            inner.senders -= 1;
+            let last = inner.senders == 0;
+            drop(inner);
+            if last {
+                // Wake blocked receivers so they observe the disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.ready.wait(inner).expect("channel lock");
+            }
+        }
+
+        /// Like [`Receiver::recv`] but gives up after `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .ready
+                    .wait_timeout(inner, deadline - now)
+                    .expect("channel lock");
+                inner = guard;
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            if let Some(v) = inner.queue.pop_front() {
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().expect("channel lock").receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.inner.lock().expect("channel lock").receivers -= 1;
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_single_thread() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..10 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn recv_errors_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_errors_after_all_receivers_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn blocked_receivers_wake_on_disconnect() {
+            let (tx, rx) = unbounded::<u32>();
+            let h = std::thread::spawn(move || rx.recv());
+            std::thread::sleep(Duration::from_millis(20));
+            drop(tx);
+            assert_eq!(h.join().unwrap(), Err(RecvError));
+        }
+
+        #[test]
+        fn multi_consumer_distributes_all_items() {
+            let (tx, rx) = unbounded::<u32>();
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let rx = rx.clone();
+                handles.push(std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                }));
+            }
+            drop(rx);
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut all: Vec<u32> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+    }
+}
