@@ -1,0 +1,137 @@
+//! End-to-end runtime throughput benchmark → `BENCH_e2e.json`.
+//!
+//! Where `sched_overhead` isolates the wall clock spent *inside scheduler
+//! hooks*, this binary measures the whole coordinator: full-run wall-clock
+//! time and simulation events processed per second for the paper-scale
+//! workloads — drug screening (24,001 tasks), montage (11,340 tasks) and a
+//! 100k-task bag-of-tasks stress DAG — under Capacity, Locality and DHA.
+//! This is the metric the data-plane/runtime-loop work optimizes: periodic
+//! `MockSync`/`ScaleTick` handling, staging bookkeeping and metrics
+//! recording all land here and nowhere in `BENCH_sched.json`.
+//!
+//! Each row also carries the run's makespan and transfer volume so the
+//! file doubles as a bit-identity witness: optimizations must change the
+//! wall-clock columns only.
+//!
+//! Results are written as JSON to `BENCH_e2e.json` in the working
+//! directory (hand-rolled — the repo builds offline, without serde).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use taskgraph::workloads::{drug, montage, stress};
+use taskgraph::Dag;
+use unifaas::config::SchedulingStrategy;
+use unifaas::prelude::*;
+use unifaas_bench::{all_strategies, drug_static_pool, montage_static_pool};
+
+struct Row {
+    workload: &'static str,
+    tasks: usize,
+    scheduler: String,
+    wall_s: f64,
+    sched_wall_s: f64,
+    events: u64,
+    events_per_sec: f64,
+    makespan_s: f64,
+    transfer_gb: f64,
+}
+
+fn run(workload: &'static str, dag: Dag, pool: ConfigBuilder, strategy: SchedulingStrategy) -> Row {
+    let tasks = dag.len();
+    let mut cfg = pool.build();
+    cfg.strategy = strategy;
+    let t0 = Instant::now();
+    let report = SimRuntime::new(cfg, dag).run().expect("run failed");
+    let wall_s = t0.elapsed().as_secs_f64();
+    Row {
+        workload,
+        tasks,
+        scheduler: report.scheduler.clone(),
+        wall_s,
+        sched_wall_s: report.scheduler_wall.as_secs_f64(),
+        events: report.events_processed,
+        events_per_sec: report.events_processed as f64 / wall_s,
+        makespan_s: report.makespan.as_secs_f64(),
+        transfer_gb: report.transfer_gb(),
+    }
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+
+    for strategy in all_strategies() {
+        rows.push(run(
+            "drug",
+            drug::generate(&drug::DrugParams::full()),
+            drug_static_pool(),
+            strategy,
+        ));
+    }
+    for strategy in all_strategies() {
+        rows.push(run(
+            "montage",
+            montage::generate(&montage::MontageParams::full()),
+            montage_static_pool(),
+            strategy,
+        ));
+    }
+    // The 100k-task stress DAG: periodic-tick and data-plane costs that
+    // scale with the number of tasks dominate here, so a quadratic
+    // coordinator shows up as a wall-clock cliff.
+    for strategy in all_strategies() {
+        rows.push(run(
+            "stress-100k",
+            stress::bag_of_tasks(100_000, 10.0),
+            drug_static_pool(),
+            strategy,
+        ));
+    }
+
+    println!(
+        "{:<12} {:<10} {:>8} {:>10} {:>10} {:>12} {:>14} {:>12} {:>14}",
+        "workload",
+        "scheduler",
+        "tasks",
+        "wall (s)",
+        "sched (s)",
+        "events",
+        "events/s",
+        "makespan",
+        "transfer (GB)"
+    );
+    let mut json = String::from("{\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "{:<12} {:<10} {:>8} {:>10.3} {:>10.3} {:>12} {:>14.0} {:>12.0} {:>14.2}",
+            r.workload,
+            r.scheduler,
+            r.tasks,
+            r.wall_s,
+            r.sched_wall_s,
+            r.events,
+            r.events_per_sec,
+            r.makespan_s,
+            r.transfer_gb
+        );
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"scheduler\": \"{}\", \"tasks\": {}, \
+             \"wall_s\": {:.3}, \"sched_wall_s\": {:.3}, \"events\": {}, \
+             \"events_per_sec\": {:.0}, \
+             \"makespan_s\": {:.3}, \"transfer_gb\": {:.4}}}{}\n",
+            r.workload,
+            r.scheduler,
+            r.tasks,
+            r.wall_s,
+            r.sched_wall_s,
+            r.events,
+            r.events_per_sec,
+            r.makespan_s,
+            r.transfer_gb,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_e2e.json", &json).expect("write BENCH_e2e.json");
+    println!("\nwrote BENCH_e2e.json");
+}

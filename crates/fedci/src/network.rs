@@ -10,7 +10,6 @@
 
 use crate::endpoint::EndpointId;
 use simkit::SimDuration;
-use std::collections::HashMap;
 
 /// One directed link's characteristics.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -51,21 +50,37 @@ impl Link {
 }
 
 /// Topology over all endpoints (including the home/submitting endpoint).
+///
+/// Stored as a dense row-major n×n link table built once at construction:
+/// [`NetworkTopology::link`] and [`NetworkTopology::share_bps`] are plain
+/// array reads on the data manager's and the transfer profiler's hot
+/// paths, with no hashing. The diagonal holds the infinite-bandwidth
+/// "shared filesystem" pseudo-link, so same-endpoint lookups need no
+/// branch either.
 #[derive(Clone, Debug)]
 pub struct NetworkTopology {
     n: usize,
-    default_link: Link,
-    overrides: HashMap<(EndpointId, EndpointId), Link>,
+    links: Vec<Link>,
 }
 
 impl NetworkTopology {
+    /// The link used for same-endpoint "transfers": effectively infinite
+    /// (a shared filesystem, not a network hop).
+    fn local_link() -> Link {
+        Link {
+            bandwidth_bps: f64::INFINITY,
+            latency: SimDuration::ZERO,
+        }
+    }
+
     /// Creates a topology where every distinct pair uses `default_link`.
     pub fn uniform(n_endpoints: usize, default_link: Link) -> Self {
-        NetworkTopology {
-            n: n_endpoints,
-            default_link,
-            overrides: HashMap::new(),
+        let n = n_endpoints;
+        let mut links = vec![default_link; n * n];
+        for i in 0..n {
+            links[i * n + i] = Self::local_link();
         }
+        NetworkTopology { n, links }
     }
 
     /// Number of endpoints.
@@ -73,33 +88,36 @@ impl NetworkTopology {
         self.n
     }
 
+    /// Dense row-major index of an ordered endpoint pair; also used by the
+    /// data manager to key its own per-pair tables.
+    #[inline]
+    pub fn pair_id(&self, src: EndpointId, dst: EndpointId) -> usize {
+        assert!(
+            src.index() < self.n && dst.index() < self.n,
+            "endpoint out of range"
+        );
+        src.index() * self.n + dst.index()
+    }
+
     /// Overrides the link between a specific pair (both directions).
+    /// Same-endpoint links cannot be overridden (always local).
     pub fn set_link(&mut self, a: EndpointId, b: EndpointId, link: Link) {
         assert!(
             a.index() < self.n && b.index() < self.n,
             "endpoint out of range"
         );
-        self.overrides.insert((a, b), link);
-        self.overrides.insert((b, a), link);
+        if a == b {
+            return;
+        }
+        self.links[a.index() * self.n + b.index()] = link;
+        self.links[b.index() * self.n + a.index()] = link;
     }
 
     /// The link from `src` to `dst`. Same-endpoint "transfers" get an
     /// effectively infinite link (shared filesystem).
+    #[inline]
     pub fn link(&self, src: EndpointId, dst: EndpointId) -> Link {
-        assert!(
-            src.index() < self.n && dst.index() < self.n,
-            "endpoint out of range"
-        );
-        if src == dst {
-            return Link {
-                bandwidth_bps: f64::INFINITY,
-                latency: SimDuration::ZERO,
-            };
-        }
-        *self
-            .overrides
-            .get(&(src, dst))
-            .unwrap_or(&self.default_link)
+        self.links[self.pair_id(src, dst)]
     }
 
     /// Fair bandwidth share for one of `active` concurrent transfers on the

@@ -120,6 +120,14 @@ impl TimeSeries {
     }
 }
 
+/// A stable, copyable reference to one series inside a [`SeriesSet`],
+/// obtained from [`SeriesSet::handle`]. Recording through a handle is a
+/// plain index — no label comparison or `String` clone per sample — which
+/// is what keeps high-frequency metrics (per-event worker counts) off the
+/// allocator. Handles are never invalidated: series are only appended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SeriesHandle(usize);
+
 /// A labeled bundle of time series, one per endpoint/metric, keeping
 /// insertion order for stable output.
 #[derive(Clone, Debug, Default)]
@@ -135,11 +143,28 @@ impl SeriesSet {
 
     /// Returns the series with the given label, creating it if needed.
     pub fn series_mut(&mut self, label: &str) -> &mut TimeSeries {
+        let h = self.handle(label);
+        &mut self.entries[h.0].1
+    }
+
+    /// Interns `label` and returns a stable O(1) handle to its series,
+    /// creating the series if needed. Resolve once, record many times.
+    pub fn handle(&mut self, label: &str) -> SeriesHandle {
         if let Some(pos) = self.entries.iter().position(|(l, _)| l == label) {
-            return &mut self.entries[pos].1;
+            return SeriesHandle(pos);
         }
         self.entries.push((label.to_string(), TimeSeries::new()));
-        &mut self.entries.last_mut().expect("just pushed").1
+        SeriesHandle(self.entries.len() - 1)
+    }
+
+    /// The series behind a handle (O(1), no label lookup).
+    pub fn at(&self, h: SeriesHandle) -> &TimeSeries {
+        &self.entries[h.0].1
+    }
+
+    /// Mutable access to the series behind a handle (O(1)).
+    pub fn at_mut(&mut self, h: SeriesHandle) -> &mut TimeSeries {
+        &mut self.entries[h.0].1
     }
 
     /// Looks up a series by label.
@@ -267,5 +292,32 @@ mod tests {
         assert!(set.get("nope").is_none());
         let labels: Vec<&str> = set.iter().map(|(l, _)| l).collect();
         assert_eq!(labels, vec!["ep1", "ep2"]);
+    }
+
+    #[test]
+    fn handles_are_stable_and_deduplicated() {
+        let mut set = SeriesSet::new();
+        let a = set.handle("ep1");
+        let b = set.handle("ep2");
+        assert_ne!(a, b);
+        assert_eq!(set.handle("ep1"), a, "re-interning returns the same handle");
+        assert_eq!(set.len(), 2, "no duplicate series created");
+        // Handles survive later interning (append-only set).
+        let c = set.handle("ep3");
+        assert_ne!(c, a);
+        assert_eq!(set.handle("ep1"), a);
+    }
+
+    #[test]
+    fn recording_through_handle_matches_label_path() {
+        let mut set = SeriesSet::new();
+        let h = set.handle("ep1");
+        set.at_mut(h).record(t(0), 1.0);
+        set.series_mut("ep1").record(t(1), 2.0);
+        set.at_mut(h).record(t(2), 3.0);
+        // Both paths hit the same series.
+        assert_eq!(set.get("ep1").unwrap().points().len(), 3);
+        assert_eq!(set.at(h).value_at(t(2)), 3.0);
+        assert_eq!(set.len(), 1);
     }
 }

@@ -28,6 +28,16 @@ use simkit::{SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 use taskgraph::TaskId;
 
+/// Memoized replica choice per `(object, destination)`, invalidated by the
+/// store's version counter — the same discipline as the scheduler's
+/// best-replica cache. Replica sets only ever change when the store's
+/// version bumps, so a hit is exact, not approximate.
+#[derive(Default, Debug)]
+struct BestSourceCache {
+    map: HashMap<(DataId, EndpointId), EndpointId>,
+    version: u64,
+}
+
 /// Identifier of one transfer.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct XferId(pub usize);
@@ -111,6 +121,12 @@ impl TransferLoad for NoTransferLoad {
 }
 
 /// The data manager.
+///
+/// Per-pair state (`pairs`, `backlog`) lives in dense `n × n` tables
+/// indexed by [`NetworkTopology::pair_id`], and the outstanding-transfer
+/// count is a counter maintained at transfer state transitions — the
+/// runtime's periodic ticks and the scheduler's per-candidate backlog
+/// probes never scan the transfer log.
 pub struct DataManager {
     /// Object location/size bookkeeping (public: schedulers read it through
     /// the context).
@@ -118,30 +134,37 @@ pub struct DataManager {
     params: TransferParams,
     net: NetworkTopology,
     xfers: Vec<Xfer>,
-    pairs: HashMap<(EndpointId, EndpointId), PairState>,
+    pairs: Vec<PairState>,
     inflight: HashMap<(DataId, EndpointId), XferId>,
-    backlog: HashMap<(EndpointId, EndpointId), u64>,
+    backlog: Vec<u64>,
+    /// Transfers currently Queued or Active; +1 on creation, −1 on the
+    /// terminal Done/Failed transition (retries stay outstanding).
+    outstanding: usize,
+    best_src: BestSourceCache,
     bytes_moved: u64,
     max_retries: u32,
 }
 
 impl TransferLoad for DataManager {
     fn backlog_bytes(&self, src: EndpointId, dst: EndpointId) -> u64 {
-        self.backlog.get(&(src, dst)).copied().unwrap_or(0)
+        self.backlog[self.net.pair_id(src, dst)]
     }
 }
 
 impl DataManager {
     /// Creates a data manager over the given network and mechanism.
     pub fn new(net: NetworkTopology, params: TransferParams, max_retries: u32) -> Self {
+        let n = net.n_endpoints();
         DataManager {
             store: DataStore::new(),
             params,
             net,
             xfers: Vec::new(),
-            pairs: HashMap::new(),
+            pairs: (0..n * n).map(|_| PairState::default()).collect(),
             inflight: HashMap::new(),
-            backlog: HashMap::new(),
+            backlog: vec![0; n * n],
+            outstanding: 0,
+            best_src: BestSourceCache::default(),
             bytes_moved: 0,
             max_retries,
         }
@@ -152,12 +175,40 @@ impl DataManager {
         self.bytes_moved
     }
 
-    /// Number of transfers currently active or queued.
+    /// Number of transfers currently active or queued. O(1): the counter is
+    /// maintained at transfer state transitions and reconciled against a
+    /// full scan in debug builds.
     pub fn transfers_outstanding(&self) -> usize {
-        self.xfers
+        #[cfg(debug_assertions)]
+        self.reconcile_counters();
+        self.outstanding
+    }
+
+    /// Full-scan cross-check of the maintained counters: the outstanding
+    /// count and every pair's backlog must equal what a scan of the
+    /// transfer log derives. Debug builds only — this is the witness that
+    /// the O(1) accessors never drift.
+    #[cfg(debug_assertions)]
+    fn reconcile_counters(&self) {
+        let scanned = self
+            .xfers
             .iter()
             .filter(|x| matches!(x.state, XferState::Queued | XferState::Active))
-            .count()
+            .count();
+        assert_eq!(
+            self.outstanding, scanned,
+            "outstanding counter drifted from transfer log"
+        );
+        let mut backlog = vec![0u64; self.backlog.len()];
+        for x in &self.xfers {
+            if matches!(x.state, XferState::Queued | XferState::Active) {
+                backlog[self.net.pair_id(x.src, x.dst)] += x.bytes;
+            }
+        }
+        assert_eq!(
+            self.backlog, backlog,
+            "per-pair backlog drifted from transfer log"
+        );
     }
 
     /// Requests that all `inputs` of `task` become present at `dst`,
@@ -170,8 +221,24 @@ impl DataManager {
         dst: EndpointId,
         now: SimTime,
     ) -> StageRequest {
-        let mut missing = 0;
         let mut started = Vec::new();
+        let missing = self.request_stage_into(task, inputs, dst, now, &mut started);
+        StageRequest { missing, started }
+    }
+
+    /// [`DataManager::request_stage`] with a caller-owned output buffer, so
+    /// the runtime's staging hot path can reuse one scratch `Vec` instead
+    /// of allocating per task. Returns the number of missing inputs;
+    /// started transfers are appended to `out`.
+    pub fn request_stage_into(
+        &mut self,
+        task: TaskId,
+        inputs: &[DataId],
+        dst: EndpointId,
+        now: SimTime,
+        out: &mut Vec<StartedXfer>,
+    ) -> usize {
+        let mut missing = 0;
         for &obj in inputs {
             if self.store.present_at(obj, dst) {
                 continue;
@@ -186,6 +253,7 @@ impl DataManager {
             }
             let bytes = self.store.bytes(obj);
             let src = self.best_source(obj, dst);
+            let pid = self.net.pair_id(src, dst);
             let xid = XferId(self.xfers.len());
             self.xfers.push(Xfer {
                 object: obj,
@@ -197,21 +265,26 @@ impl DataManager {
                 state: XferState::Queued,
                 started_at: None,
             });
+            self.outstanding += 1;
             self.inflight.insert((obj, dst), xid);
-            *self.backlog.entry((src, dst)).or_insert(0) += bytes;
-            self.pairs
-                .entry((src, dst))
-                .or_default()
-                .queue
-                .push_back(xid);
-            started.extend(self.pump_pair((src, dst), now));
+            self.backlog[pid] += bytes;
+            self.pairs[pid].queue.push_back(xid);
+            self.pump_pair(pid, now, out);
         }
-        StageRequest { missing, started }
+        missing
     }
 
-    /// Picks the replica with the fastest link to `dst`.
-    fn best_source(&self, obj: DataId, dst: EndpointId) -> EndpointId {
-        *self
+    /// Picks the replica with the fastest link to `dst`, memoized per
+    /// `(object, dst)` until the store's replica set changes.
+    fn best_source(&mut self, obj: DataId, dst: EndpointId) -> EndpointId {
+        if self.best_src.version != self.store.version() {
+            self.best_src.map.clear();
+            self.best_src.version = self.store.version();
+        }
+        if let Some(&src) = self.best_src.map.get(&(obj, dst)) {
+            return src;
+        }
+        let src = *self
             .store
             .replicas(obj)
             .iter()
@@ -222,14 +295,18 @@ impl DataManager {
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(b.0.cmp(&a.0)) // tie → lower id
             })
-            .expect("object has at least its home replica")
+            .expect("object has at least its home replica");
+        self.best_src.map.insert((obj, dst), src);
+        src
     }
 
-    /// Starts queued transfers on a pair while concurrency allows.
-    fn pump_pair(&mut self, pair: (EndpointId, EndpointId), now: SimTime) -> Vec<StartedXfer> {
-        let mut started = Vec::new();
+    /// Starts queued transfers on a pair while concurrency allows,
+    /// appending them to `out`.
+    fn pump_pair(&mut self, pid: usize, now: SimTime, out: &mut Vec<StartedXfer>) {
+        let n = self.net.n_endpoints();
+        let (src, dst) = (EndpointId((pid / n) as u16), EndpointId((pid % n) as u16));
         loop {
-            let state = self.pairs.entry(pair).or_default();
+            let state = &mut self.pairs[pid];
             if state.active >= self.params.max_concurrent || state.queue.is_empty() {
                 break;
             }
@@ -242,15 +319,13 @@ impl DataManager {
             xfer.started_at = Some(now);
             // Fair share: the link divided by the number of concurrently
             // active transfers on this pair at start time.
-            let share = self.net.share_bps(pair.0, pair.1, active_now);
-            let dur =
-                self.params.duration(xfer.bytes, share) + self.net.link(pair.0, pair.1).latency;
-            started.push(StartedXfer {
+            let share = self.net.share_bps(src, dst, active_now);
+            let dur = self.params.duration(xfer.bytes, share) + self.net.link(src, dst).latency;
+            out.push(StartedXfer {
                 id: xid,
                 completes_at: now + dur,
             });
         }
-        started
     }
 
     /// Completes a transfer. `failed` is the fault injector's draw for this
@@ -268,17 +343,13 @@ impl DataManager {
                 x.started_at,
             )
         };
-        self.pairs
-            .get_mut(&pair)
-            .expect("pair exists for active transfer")
-            .active -= 1;
+        let pid = self.net.pair_id(pair.0, pair.1);
+        self.pairs[pid].active -= 1;
 
         let mut out = CompleteOutcome::default();
         // A finished attempt (either way) leaves the pair's backlog, unless
         // it is requeued for retry below.
-        if let Some(b) = self.backlog.get_mut(&pair) {
-            *b = b.saturating_sub(bytes);
-        }
+        self.backlog[pid] = self.backlog[pid].saturating_sub(bytes);
         // Bytes crossed the wire either way (a failed attempt still moved
         // data before dying; we count completed attempts conservatively,
         // i.e. only successes, to match the paper's "transfer size").
@@ -289,18 +360,20 @@ impl DataManager {
             if retry_allowed {
                 x.state = XferState::Queued;
                 x.started_at = None;
-                *self.backlog.entry(pair).or_insert(0) += bytes;
-                self.pairs.entry(pair).or_default().queue.push_back(id);
+                self.backlog[pid] += bytes;
+                self.pairs[pid].queue.push_back(id);
             } else {
                 x.state = XferState::Failed;
                 out.failed_tasks = x.interested.clone();
                 self.inflight.remove(&(obj, dst));
+                self.outstanding -= 1;
             }
         } else {
             let x = &mut self.xfers[id.0];
             x.state = XferState::Done;
             out.tasks_to_check = x.interested.clone();
             self.inflight.remove(&(obj, dst));
+            self.outstanding -= 1;
             self.store.add_replica(obj, dst);
             self.bytes_moved += bytes;
             let dur = started_at
@@ -308,7 +381,7 @@ impl DataManager {
                 .unwrap_or(0.0);
             out.observation = Some((pair.0, pair.1, bytes, dur));
         }
-        out.started = self.pump_pair(pair, now);
+        self.pump_pair(pid, now, &mut out.started);
         out
     }
 

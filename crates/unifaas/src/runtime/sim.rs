@@ -16,6 +16,7 @@
 //! events (Table V) and dynamic DAG growth (tasks injected mid-run).
 
 use crate::config::{Config, KnowledgeMode, SchedulingStrategy};
+use crate::data::StartedXfer;
 use crate::data::{DataManager, XferId};
 use crate::error::UniFaasError;
 use crate::metrics::{LatencyBreakdown, RunReport, RunSeries};
@@ -35,6 +36,7 @@ use fedci::fault::FaultInjector;
 use fedci::network::{Link, NetworkTopology};
 use fedci::transfer::TransferParams;
 use simkit::event::EventId;
+use simkit::series::SeriesHandle;
 use simkit::{Engine, SimDuration, SimRng, SimTime};
 use std::collections::{HashMap, VecDeque};
 use taskgraph::{Dag, TaskId};
@@ -203,7 +205,23 @@ struct Rt {
     running: Vec<HashMap<TaskId, EventId>>,
     pending_count: Vec<usize>,
     client_busy_until: SimTime,
+    // Tick counters, maintained at every task state transition by
+    // `set_state` so the periodic `MockSync`/`ScaleTick` handlers are
+    // O(n_endpoints) instead of O(n_tasks). `reconcile_counters` asserts
+    // them against a full scan in debug builds.
+    /// Tasks in Dispatched | Running | AwaitResult per target endpoint.
+    ep_outstanding: Vec<usize>,
+    /// Tasks in Staging | Dispatched | Running | AwaitResult.
+    active_task_count: usize,
+    /// Tasks in Ready | Staged.
+    waiting_task_count: usize,
+    /// Ready tasks not yet pending on any endpoint.
+    unassigned_ready: usize,
+    /// Compute-seconds of those unassigned ready tasks.
+    unassigned_work: f64,
     staging_count: usize,
+    /// Reusable buffer for transfers started by one staging request.
+    xfer_scratch: Vec<StartedXfer>,
     completed: usize,
     failed_attempts: usize,
     fatal: Option<UniFaasError>,
@@ -214,6 +232,11 @@ struct Rt {
     sched_calls: u64,
     latency: LatencyBreakdown,
     series: RunSeries,
+    /// Interned per-endpoint series handles: recording a sample is an
+    /// index, not a label lookup plus `String` clone.
+    busy_h: Vec<SeriesHandle>,
+    active_h: Vec<SeriesHandle>,
+    pending_h: Vec<Option<SeriesHandle>>,
     mock_sync_armed: bool,
     scale_armed: bool,
     resched_armed: bool,
@@ -330,6 +353,19 @@ impl Rt {
             }),
         };
         let faas = cfg.faas.clone();
+        // Intern the per-endpoint series up front (stable insertion order:
+        // endpoint id), so recording never touches labels again.
+        let mut series = RunSeries::default();
+        let busy_h: Vec<SeriesHandle> = cfg
+            .endpoints
+            .iter()
+            .map(|e| series.busy_workers.handle(&e.label))
+            .collect();
+        let active_h: Vec<SeriesHandle> = cfg
+            .endpoints
+            .iter()
+            .map(|e| series.active_workers.handle(&e.label))
+            .collect();
         Ok(Rt {
             cfg,
             dag: r.dag,
@@ -354,7 +390,13 @@ impl Rt {
             running: (0..n).map(|_| HashMap::new()).collect(),
             pending_count: vec![0; n],
             client_busy_until: SimTime::ZERO,
+            ep_outstanding: vec![0; n],
+            active_task_count: 0,
+            waiting_task_count: 0,
+            unassigned_ready: 0,
+            unassigned_work: 0.0,
             staging_count: 0,
+            xfer_scratch: Vec::new(),
             completed: 0,
             failed_attempts: 0,
             fatal: None,
@@ -364,7 +406,10 @@ impl Rt {
             sched_wall: std::time::Duration::ZERO,
             sched_calls: 0,
             latency: LatencyBreakdown::default(),
-            series: RunSeries::default(),
+            series,
+            busy_h,
+            active_h,
+            pending_h: vec![None; n],
             mock_sync_armed: false,
             scale_armed: false,
             resched_armed: false,
@@ -384,18 +429,18 @@ impl Rt {
         let mut busy_total = 0.0;
         let mut active_total = 0.0;
         for ep in 0..self.endpoints.len() {
-            let e = &self.endpoints[ep];
-            let label = self.cfg.endpoints[ep].label.clone();
+            let busy = self.endpoints[ep].busy_workers() as f64;
+            let active = self.endpoints[ep].active_workers() as f64;
             self.series
                 .busy_workers
-                .series_mut(&label)
-                .record(now, e.busy_workers() as f64);
+                .at_mut(self.busy_h[ep])
+                .record(now, busy);
             self.series
                 .active_workers
-                .series_mut(&label)
-                .record(now, e.active_workers() as f64);
-            busy_total += e.busy_workers() as f64;
-            active_total += e.active_workers() as f64;
+                .at_mut(self.active_h[ep])
+                .record(now, active);
+            busy_total += busy;
+            active_total += active;
         }
         self.series.busy_total.record(now, busy_total);
         self.series.active_total.record(now, active_total);
@@ -407,6 +452,22 @@ impl Rt {
             .record(now, self.staging_count as f64);
     }
 
+    /// Handle for an endpoint's pending-tasks series, interned on first
+    /// use so endpoints that never see pending tasks get no empty series.
+    fn pending_handle(&mut self, ep: usize) -> SeriesHandle {
+        match self.pending_h[ep] {
+            Some(h) => h,
+            None => {
+                let h = self
+                    .series
+                    .pending_tasks
+                    .handle(&self.cfg.endpoints[ep].label);
+                self.pending_h[ep] = Some(h);
+                h
+            }
+        }
+    }
+
     fn set_pending(&mut self, t: TaskId, ep: Option<EndpointId>, now: SimTime) {
         let old = self.tasks[t.index()].pending_on;
         if old == ep {
@@ -414,15 +475,29 @@ impl Rt {
         }
         if let Some(o) = old {
             self.pending_count[o.index()] -= 1;
-            let label = self.cfg.endpoints[o.index()].label.clone();
             let v = self.pending_count[o.index()] as f64;
-            self.series.pending_tasks.series_mut(&label).record(now, v);
+            let h = self.pending_handle(o.index());
+            self.series.pending_tasks.at_mut(h).record(now, v);
         }
         if let Some(e) = ep {
             self.pending_count[e.index()] += 1;
-            let label = self.cfg.endpoints[e.index()].label.clone();
             let v = self.pending_count[e.index()] as f64;
-            self.series.pending_tasks.series_mut(&label).record(now, v);
+            let h = self.pending_handle(e.index());
+            self.series.pending_tasks.at_mut(h).record(now, v);
+        }
+        // A Ready task gaining or losing an assignment moves between the
+        // unassigned and assigned demand pools (see `set_state`).
+        if self.tasks[t.index()].state == TaskState::Ready {
+            if old.is_none() && ep.is_some() {
+                self.unassigned_ready -= 1;
+                self.unassigned_work -= self.dag.spec(t).compute_seconds;
+                if self.unassigned_ready == 0 {
+                    self.unassigned_work = 0.0;
+                }
+            } else if old.is_some() && ep.is_none() {
+                self.unassigned_ready += 1;
+                self.unassigned_work += self.dag.spec(t).compute_seconds;
+            }
         }
         self.tasks[t.index()].pending_on = ep;
     }
@@ -469,6 +544,118 @@ impl Rt {
 
     // ---- task lifecycle -----------------------------------------------
 
+    /// Central task state transition. Every write to `TaskRt.state` goes
+    /// through here so the tick counters stay exact without scans. Callers
+    /// entering Dispatched must set `target` *before* calling (the
+    /// per-endpoint outstanding count is keyed by it).
+    fn set_state(&mut self, t: TaskId, new: TaskState) {
+        let old = self.tasks[t.index()].state;
+        if old == new {
+            return;
+        }
+        let pending_none = self.tasks[t.index()].pending_on.is_none();
+        match old {
+            TaskState::Staging => {
+                self.active_task_count -= 1;
+                self.staging_count -= 1;
+            }
+            TaskState::Dispatched | TaskState::Running | TaskState::AwaitResult => {
+                self.active_task_count -= 1;
+                let ep = self.tasks[t.index()]
+                    .target
+                    .expect("outstanding task has a target");
+                self.ep_outstanding[ep.index()] -= 1;
+            }
+            TaskState::Ready => {
+                self.waiting_task_count -= 1;
+                if pending_none {
+                    self.unassigned_ready -= 1;
+                    self.unassigned_work -= self.dag.spec(t).compute_seconds;
+                    if self.unassigned_ready == 0 {
+                        // Pin accumulated float error back to exactly zero
+                        // whenever the pool empties.
+                        self.unassigned_work = 0.0;
+                    }
+                }
+            }
+            TaskState::Staged => self.waiting_task_count -= 1,
+            TaskState::Waiting | TaskState::Done | TaskState::Failed => {}
+        }
+        match new {
+            TaskState::Staging => {
+                self.active_task_count += 1;
+                self.staging_count += 1;
+            }
+            TaskState::Dispatched | TaskState::Running | TaskState::AwaitResult => {
+                self.active_task_count += 1;
+                let ep = self.tasks[t.index()]
+                    .target
+                    .expect("outstanding task has a target");
+                self.ep_outstanding[ep.index()] += 1;
+            }
+            TaskState::Ready => {
+                self.waiting_task_count += 1;
+                if pending_none {
+                    self.unassigned_ready += 1;
+                    self.unassigned_work += self.dag.spec(t).compute_seconds;
+                }
+            }
+            TaskState::Staged => self.waiting_task_count += 1,
+            TaskState::Waiting | TaskState::Done | TaskState::Failed => {}
+        }
+        self.tasks[t.index()].state = new;
+    }
+
+    /// Full-scan cross-check of the transition-maintained counters, the
+    /// witness that the O(n_endpoints) tick handlers see exactly what a
+    /// DAG scan would. Debug builds only; every periodic tick calls it, so
+    /// the whole test suite doubles as a reconciliation harness.
+    #[cfg(debug_assertions)]
+    fn reconcile_counters(&self) {
+        let mut ep_outstanding = vec![0usize; self.endpoints.len()];
+        let (mut active, mut waiting, mut staging) = (0usize, 0usize, 0usize);
+        let (mut unassigned, mut work) = (0usize, 0.0f64);
+        for (i, task) in self.tasks.iter().enumerate() {
+            match task.state {
+                TaskState::Staging => {
+                    active += 1;
+                    staging += 1;
+                }
+                TaskState::Dispatched | TaskState::Running | TaskState::AwaitResult => {
+                    active += 1;
+                    let ep = task.target.expect("outstanding task has a target");
+                    ep_outstanding[ep.index()] += 1;
+                }
+                TaskState::Ready => {
+                    waiting += 1;
+                    if task.pending_on.is_none() {
+                        unassigned += 1;
+                        work += self.dag.spec(TaskId(i as u32)).compute_seconds;
+                    }
+                }
+                TaskState::Staged => waiting += 1,
+                TaskState::Waiting | TaskState::Done | TaskState::Failed => {}
+            }
+        }
+        assert_eq!(
+            self.ep_outstanding, ep_outstanding,
+            "per-endpoint outstanding counters drifted"
+        );
+        assert_eq!(self.active_task_count, active, "active counter drifted");
+        assert_eq!(self.waiting_task_count, waiting, "waiting counter drifted");
+        assert_eq!(self.staging_count, staging, "staging counter drifted");
+        assert_eq!(
+            self.unassigned_ready, unassigned,
+            "unassigned-ready counter drifted"
+        );
+        assert!(
+            (self.unassigned_work - work).abs() <= 1e-6 * work.abs().max(1.0),
+            "unassigned work-seconds drifted: {} vs {}",
+            self.unassigned_work,
+            work
+        );
+    }
+
     fn do_stage(
         &mut self,
         t: TaskId,
@@ -477,31 +664,35 @@ impl Rt {
         now: SimTime,
         eng: &mut Engine<Ev>,
     ) {
+        debug_assert!(
+            matches!(
+                self.tasks[t.index()].state,
+                TaskState::Ready | TaskState::Staging | TaskState::Staged
+            ),
+            "stage from invalid state {:?} for {t}",
+            self.tasks[t.index()].state
+        );
+        self.set_state(t, TaskState::Staging);
         {
             let task = &mut self.tasks[t.index()];
-            debug_assert!(
-                matches!(
-                    task.state,
-                    TaskState::Ready | TaskState::Staging | TaskState::Staged
-                ),
-                "stage from invalid state {:?} for {t}",
-                task.state
-            );
-            if task.state != TaskState::Staging {
-                self.staging_count += 1;
-            }
-            task.state = TaskState::Staging;
             task.target = Some(ep);
             task.runtime_retry = runtime_retry;
         }
         self.set_pending(t, Some(ep), now);
         self.record_staging(now);
         let inputs = task_inputs(&self.dag, t, self.faas.max_payload_bytes);
-        let req = self.dm.request_stage(t, &inputs, ep, now);
-        for sx in req.started {
+        // Reuse one scratch buffer for the started transfers and schedule
+        // their completions in a single batch.
+        let mut started = std::mem::take(&mut self.xfer_scratch);
+        started.clear();
+        let missing = self
+            .dm
+            .request_stage_into(t, &inputs, ep, now, &mut started);
+        for sx in &started {
             eng.schedule(sx.completes_at, Ev::XferDone(sx.id));
         }
-        if req.missing == 0 {
+        self.xfer_scratch = started;
+        if missing == 0 {
             eng.schedule(now, Ev::StagingCheck(t));
         }
     }
@@ -518,12 +709,8 @@ impl Rt {
         if self.dm.store.missing_bytes(&inputs, ep) > 0 {
             return; // still waiting for other objects (or retargeted)
         }
-        {
-            let task = &mut self.tasks[t.index()];
-            task.state = TaskState::Staged;
-            task.t_staged = now;
-        }
-        self.staging_count -= 1;
+        self.set_state(t, TaskState::Staged);
+        self.tasks[t.index()].t_staged = now;
         self.record_staging(now);
         if self.tasks[t.index()].runtime_retry {
             // §IV-G reassignment path: bypass the scheduler.
@@ -541,11 +728,11 @@ impl Rt {
         {
             let task = &mut self.tasks[t.index()];
             debug_assert_eq!(task.state, TaskState::Staged, "dispatch of unstaged {t}");
-            task.state = TaskState::Dispatched;
             task.t_dispatched = now;
             task.predicted_exec = predicted;
             task.target = Some(ep);
         }
+        self.set_state(t, TaskState::Dispatched);
         // Local mocking: push a mock task at submission time.
         self.monitor.mock_mut(ep).push_task(predicted);
         // The client serializes submissions.
@@ -570,11 +757,8 @@ impl Rt {
             let ok = self.endpoints[ep.index()].occupy_worker(now);
             debug_assert!(ok);
             started_any = true;
-            {
-                let task = &mut self.tasks[t.index()];
-                task.state = TaskState::Running;
-                task.t_exec_start = now;
-            }
+            self.set_state(t, TaskState::Running);
+            self.tasks[t.index()].t_exec_start = now;
             self.set_pending(t, None, now);
             let noise = self.rng.normal_min(1.0, self.cfg.exec_noise_cv, 0.1);
             let base = self.dag.spec(t).compute_seconds * noise;
@@ -611,11 +795,8 @@ impl Rt {
         self.endpoints[ep.index()].release_worker(now);
         self.record_workers(now);
         let success = !self.faults.task_fails(ep, now);
-        {
-            let task = &mut self.tasks[t.index()];
-            task.state = TaskState::AwaitResult;
-            task.t_exec_end = now;
-        }
+        self.set_state(t, TaskState::AwaitResult);
+        self.tasks[t.index()].t_exec_end = now;
         if success {
             // The output file exists on the endpoint's shared filesystem
             // immediately.
@@ -676,7 +857,7 @@ impl Rt {
         self.maybe_retrain();
 
         if success {
-            self.tasks[t.index()].state = TaskState::Done;
+            self.set_state(t, TaskState::Done);
             self.tasks[t.index()].attempt_eps.push(ep);
             self.completed += 1;
             self.makespan_end = now;
@@ -703,11 +884,8 @@ impl Rt {
         if self.fatal.is_some() {
             return;
         }
-        {
-            let task = &mut self.tasks[t.index()];
-            task.state = TaskState::Ready;
-            task.t_ready = now;
-        }
+        self.set_state(t, TaskState::Ready);
+        self.tasks[t.index()].t_ready = now;
         let actions = self.sched(now, |s, ctx| s.on_task_ready(ctx, t));
         self.process_actions(actions, now, eng);
     }
@@ -729,7 +907,7 @@ impl Rt {
         self.scheduler.on_task_removed(t);
         self.set_pending(t, None, now);
         if self.tasks[t.index()].attempts >= self.cfg.max_task_attempts {
-            self.tasks[t.index()].state = TaskState::Failed;
+            self.set_state(t, TaskState::Failed);
             if self.fatal.is_none() {
                 self.fatal = Some(UniFaasError::TaskFailed {
                     task: t,
@@ -748,7 +926,7 @@ impl Rt {
                 .best_endpoint_by_success(&self.compute_eps)
                 .unwrap_or(ep)
         };
-        self.tasks[t.index()].state = TaskState::Ready;
+        self.set_state(t, TaskState::Ready);
         self.do_stage(t, retry_ep, true, now, eng);
     }
 
@@ -789,19 +967,12 @@ impl Rt {
     }
 
     /// True if something is actively happening (transfers, dispatched or
-    /// running tasks, workers in the batch queue).
+    /// running tasks, workers in the batch queue). Counter reads — no task
+    /// scan.
     fn system_active(&self) -> bool {
-        self.dm.transfers_outstanding() > 0
+        self.active_task_count > 0
+            || self.dm.transfers_outstanding() > 0
             || self.endpoints.iter().any(|e| e.pending_workers() > 0)
-            || self.tasks.iter().any(|t| {
-                matches!(
-                    t.state,
-                    TaskState::Staging
-                        | TaskState::Dispatched
-                        | TaskState::Running
-                        | TaskState::AwaitResult
-                )
-            })
     }
 
     /// True if the run can still make forward progress without external
@@ -812,11 +983,7 @@ impl Rt {
         if self.system_active() {
             return true;
         }
-        let waiting = self
-            .tasks
-            .iter()
-            .any(|t| matches!(t.state, TaskState::Ready | TaskState::Staged));
-        if !waiting {
+        if self.waiting_task_count == 0 {
             return false;
         }
         // Waiting tasks can proceed if idle workers exist (a sync/tick may
@@ -851,41 +1018,27 @@ impl Rt {
     }
 
     fn sync_mocks(&mut self, _now: SimTime) {
-        // Ground-truth outstanding per endpoint.
-        let mut outstanding = vec![0usize; self.endpoints.len()];
-        for task in &self.tasks {
-            if matches!(
-                task.state,
-                TaskState::Dispatched | TaskState::Running | TaskState::AwaitResult
-            ) {
-                if let Some(ep) = task.target {
-                    outstanding[ep.index()] += 1;
-                }
-            }
-        }
-        for (ep, n) in outstanding.iter().enumerate() {
+        #[cfg(debug_assertions)]
+        self.reconcile_counters();
+        // Ground-truth outstanding per endpoint: the maintained counters.
+        for ep in 0..self.endpoints.len() {
             let e = &self.endpoints[ep];
             self.monitor.mock_mut(EndpointId(ep as u16)).sync(
                 e.active_workers(),
-                *n,
+                self.ep_outstanding[ep],
                 e.pending_workers(),
             );
         }
     }
 
     fn scale_tick(&mut self, now: SimTime, eng: &mut Engine<Ev>) {
+        #[cfg(debug_assertions)]
+        self.reconcile_counters();
         // Ready tasks without a target yet (e.g. Locality's backlog while no
         // worker is idle anywhere) are demand visible to *every* endpoint —
         // the paper scales out "on all the endpoints" when pending tasks
-        // exceed workers.
-        let (unassigned, unassigned_work) = self
-            .tasks
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.state == TaskState::Ready && t.pending_on.is_none())
-            .fold((0usize, 0.0f64), |(n, w), (i, _)| {
-                (n + 1, w + self.dag.spec(TaskId(i as u32)).compute_seconds)
-            });
+        // exceed workers. Both figures are maintained counters.
+        let (unassigned, unassigned_work) = (self.unassigned_ready, self.unassigned_work);
         let views: Vec<ScaleView> = (0..self.endpoints.len())
             .map(|i| {
                 let e = &self.endpoints[i];
@@ -1122,10 +1275,11 @@ impl Rt {
                 for t in out.failed_tasks {
                     if self.tasks[t.index()].state == TaskState::Staging {
                         let ep = self.tasks[t.index()].target.expect("staging has target");
-                        self.staging_count -= 1;
-                        self.record_staging(now);
                         self.failed_attempts += 1;
+                        // Leaving Staging (to retry or to Failed) adjusts
+                        // the staging counter inside `set_state`.
                         self.task_attempt_failed(t, ep, now, eng);
+                        self.record_staging(now);
                     }
                 }
             }

@@ -34,9 +34,57 @@ use crate::sched::queue::DelayQueues;
 use crate::sched::{SchedCtx, Scheduler};
 use fedci::endpoint::EndpointId;
 use fedci::storage::DataId;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use taskgraph::rank::{extend_priorities, priorities, CostEstimator, FnCosts};
 use taskgraph::TaskId;
+
+/// A set of task ids with O(1) insert/remove/contains and allocation-free
+/// iteration, backed by a positions vector plus a swap-remove list. The
+/// iteration order is arbitrary (callers that need determinism sort), but
+/// unlike a hash set, membership tests on the re-scheduling hot path are
+/// a single indexed load.
+#[derive(Debug, Default)]
+struct DenseTaskSet {
+    /// Position of each task in `list`; `usize::MAX` = absent.
+    pos: Vec<usize>,
+    list: Vec<TaskId>,
+}
+
+impl DenseTaskSet {
+    fn insert(&mut self, t: TaskId) {
+        if self.pos.len() <= t.index() {
+            self.pos.resize(t.index() + 1, usize::MAX);
+        }
+        if self.pos[t.index()] != usize::MAX {
+            return;
+        }
+        self.pos[t.index()] = self.list.len();
+        self.list.push(t);
+    }
+
+    fn remove(&mut self, t: TaskId) {
+        let Some(&p) = self.pos.get(t.index()) else {
+            return;
+        };
+        if p == usize::MAX {
+            return;
+        }
+        self.pos[t.index()] = usize::MAX;
+        let last = self.list.pop().expect("set is non-empty");
+        if last != t {
+            self.list[p] = last;
+            self.pos[last.index()] = p;
+        }
+    }
+
+    fn contains(&self, t: TaskId) -> bool {
+        self.pos.get(t.index()).is_some_and(|&p| p != usize::MAX)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.list.iter().copied()
+    }
+}
 
 /// Tunable knobs of DHA, exposed for the ablation benchmarks
 /// (`bench/src/bin/ablations.rs`).
@@ -95,7 +143,7 @@ pub struct DhaScheduler {
     /// (indexed heaps; descending priority, FIFO among ties).
     staged: DelayQueues,
     /// Tasks whose staging is in flight.
-    staging: HashSet<TaskId>,
+    staging: DenseTaskSet,
     /// Predicted execution seconds of tasks committed to an endpoint but
     /// not yet dispatched (staging + delay queue), per task. Without this
     /// back-pressure term the endpoint-availability estimate would ignore
@@ -106,16 +154,20 @@ pub struct DhaScheduler {
     /// (dense; read on every availability estimate).
     committed_work: Vec<f64>,
     committed_count: Vec<usize>,
-    /// Input-object lists of not-yet-dispatched tasks. A task's inputs
-    /// never change, so they are computed once at readiness instead of on
-    /// every re-scheduling pass.
-    inputs_cache: HashMap<TaskId, Box<[DataId]>>,
-    /// Predicted execution seconds of not-yet-dispatched tasks, one slot
-    /// per compute endpoint (same order as `ctx.compute_eps`). Filled at
-    /// readiness from the selection pass's own evaluations; spares the
-    /// re-scheduling pass a predictor call per (task, endpoint). Valid for
+    /// Input-object lists of not-yet-dispatched tasks, indexed by task id
+    /// (`None` = not cached). A task's inputs never change, so they are
+    /// computed once at readiness instead of on every re-scheduling pass.
+    inputs_cache: Vec<Option<Box<[DataId]>>>,
+    /// Predicted execution seconds of not-yet-dispatched tasks: one flat
+    /// row-major table of `n_tasks × exec_width` slots (`exec_width` =
+    /// `ctx.compute_eps.len()`, same column order), with a per-task valid
+    /// bit. Filled at readiness from the selection pass's own evaluations;
+    /// spares the re-scheduling pass a predictor call per (task, endpoint)
+    /// and, being contiguous, a pointer chase per pooled task. Valid for
     /// one predictor epoch.
-    exec_cache: HashMap<TaskId, Box<[f64]>>,
+    exec_cache: Vec<f64>,
+    exec_valid: Vec<bool>,
+    exec_width: usize,
     exec_epoch: u64,
     /// Best replica per (object, destination) + staging scratch.
     replica: ReplicaCache,
@@ -254,12 +306,14 @@ impl DhaScheduler {
             rank_epoch: None,
             target: Vec::new(),
             staged: DelayQueues::new(),
-            staging: HashSet::new(),
+            staging: DenseTaskSet::default(),
             committed: Vec::new(),
             committed_work: Vec::new(),
             committed_count: Vec::new(),
-            inputs_cache: HashMap::new(),
-            exec_cache: HashMap::new(),
+            inputs_cache: Vec::new(),
+            exec_cache: Vec::new(),
+            exec_valid: Vec::new(),
+            exec_width: 0,
             exec_epoch: 0,
             replica: ReplicaCache::default(),
             ep_sig: HashMap::new(),
@@ -332,25 +386,48 @@ impl DhaScheduler {
         self.replica.refresh(ctx);
         let epoch = ctx.predictor.epoch();
         if self.exec_epoch != epoch {
-            self.exec_cache.clear();
+            self.exec_valid.iter_mut().for_each(|v| *v = false);
             self.exec_epoch = epoch;
         }
     }
 
     /// Makes sure `task` has cached input and per-endpoint execution rows.
     fn ensure_task_caches(&mut self, ctx: &SchedCtx, task: TaskId) {
-        self.exec_cache.entry(task).or_insert_with(|| {
-            ctx.compute_eps
-                .iter()
-                .map(|&ep| {
+        let i = task.index();
+        let w = ctx.compute_eps.len();
+        debug_assert!(
+            self.exec_width == 0 || self.exec_width == w,
+            "compute endpoint set must be stable"
+        );
+        self.exec_width = w;
+        if self.exec_valid.len() <= i {
+            self.exec_valid.resize(i + 1, false);
+            self.exec_cache.resize((i + 1) * w, 0.0);
+        }
+        if !self.exec_valid[i] {
+            for (slot, &ep) in ctx.compute_eps.iter().enumerate() {
+                self.exec_cache[i * w + slot] =
                     ctx.predictor
-                        .exec_seconds(ctx.dag, task, &ctx.endpoints[ep.index()])
-                })
-                .collect()
-        });
-        self.inputs_cache
-            .entry(task)
-            .or_insert_with(|| ctx.task_inputs(task).into());
+                        .exec_seconds(ctx.dag, task, &ctx.endpoints[ep.index()]);
+            }
+            self.exec_valid[i] = true;
+        }
+        if self.inputs_cache.len() <= i {
+            self.inputs_cache.resize_with(i + 1, || None);
+        }
+        if self.inputs_cache[i].is_none() {
+            self.inputs_cache[i] = Some(ctx.task_inputs(task).into());
+        }
+    }
+
+    /// Clears a task's cached rows once it is dispatched or removed.
+    fn drop_task_caches(&mut self, task: TaskId) {
+        if let Some(v) = self.exec_valid.get_mut(task.index()) {
+            *v = false;
+        }
+        if let Some(slot) = self.inputs_cache.get_mut(task.index()) {
+            *slot = None;
+        }
     }
 
     fn push_staged(&mut self, task: TaskId, ep: EndpointId) {
@@ -389,52 +466,57 @@ impl DhaScheduler {
         } else {
             None
         };
-        let mut pool: Vec<TaskId> = self
+        // Gather (priority, id) pairs up front so the sort compares plain
+        // pairs instead of chasing the priorities vector per comparison.
+        let mut pool: Vec<(f64, TaskId)> = self
             .staged
             .tasks()
             .map(|(t, _)| t)
-            .chain(self.staging.iter().copied())
+            .chain(self.staging.iter())
+            .map(|t| (self.priorities[t.index()], t))
             .collect();
         // Highest priority first, matching the dispatch order; ties break
         // by task id so the steal order is deterministic (the pool is
-        // gathered from hash maps, whose iteration order is not).
-        pool.sort_by(|a, b| {
-            self.priorities[b.index()]
-                .partial_cmp(&self.priorities[a.index()])
+        // gathered from sets whose iteration order is not). (priority
+        // desc, id asc) is a strict total order, so the unstable sort is
+        // deterministic too.
+        pool.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
+                .then(a.1 .0.cmp(&b.1 .0))
         });
         // Slot of each endpoint in `compute_eps` (for exec-row lookups).
         let mut slot_of = vec![usize::MAX; ctx.endpoints.len()];
         for (slot, &ep) in ctx.compute_eps.iter().enumerate() {
             slot_of[ep.index()] = slot;
         }
-        let mut candidates: Vec<(usize, EndpointId)> = Vec::new();
+        let all_eps: Vec<(usize, EndpointId)> =
+            ctx.compute_eps.iter().copied().enumerate().collect();
         let thresh = self.opts.steal_threshold;
-        for task in pool {
+        for (_, task) in pool {
             let cur = self.target[task.index()].expect("pooled task has a target");
             // Candidate endpoints this task may move to. Unbounded: all of
             // them. Bounded: the dirty ones — unless the task's own
             // endpoint changed, in which case it may flee anywhere.
-            candidates.clear();
-            match &dirty {
-                None => candidates.extend(ctx.compute_eps.iter().copied().enumerate()),
-                Some(d) if d.iter().any(|&(_, e)| e == cur) => {
-                    candidates.extend(ctx.compute_eps.iter().copied().enumerate())
-                }
-                Some(d) => candidates.extend_from_slice(d),
-            }
+            let candidates: &[(usize, EndpointId)] = match &dirty {
+                None => &all_eps,
+                Some(d) if d.iter().any(|&(_, e)| e == cur) => &all_eps,
+                Some(d) => d,
+            };
             // Evaluate with the task's own committed load excluded, so its
             // current endpoint is not unfairly penalized by its own weight.
             let own = self.committed.get(task.index()).copied().flatten();
             self.uncommit(task);
             self.ensure_task_caches(ctx, task);
-            let execs: &[f64] = &self.exec_cache[&task];
-            let inputs: &[DataId] = &self.inputs_cache[&task];
+            let w = self.exec_width;
+            let execs: &[f64] = &self.exec_cache[task.index() * w..(task.index() + 1) * w];
+            let inputs: &[DataId] = self.inputs_cache[task.index()].as_deref().expect("cached");
             // A delayed task finished staging, and replicas are never
             // dropped mid-run, so its inputs are all present at `cur` —
             // data-ready time there is zero without touching the store.
-            let cur_staging = if self.staging.contains(&task) {
+            // (An input-less task stages in zero seconds anywhere, so the
+            // estimator is skipped outright.)
+            let cur_staging = if !inputs.is_empty() && self.staging.contains(task) {
                 self.replica.staging_seconds(ctx, inputs, cur)
             } else {
                 0.0
@@ -447,7 +529,7 @@ impl DhaScheduler {
             // threshold are pruned before the expensive staging estimate —
             // the common case, since most passes move nothing.
             let mut best: Option<EpEval> = None;
-            for &(slot, ep) in &candidates {
+            for &(slot, ep) in candidates {
                 if ep == cur {
                     continue;
                 }
@@ -465,7 +547,14 @@ impl DhaScheduler {
                         continue;
                     }
                 }
-                let eft = self.replica.staging_seconds(ctx, inputs, ep).max(avail) + exec;
+                // An input-less task stages in zero seconds — no estimator
+                // call needed. (`max` still applies: a drifted-negative
+                // availability clamps to the zero staging time.)
+                let eft = if inputs.is_empty() {
+                    0.0f64.max(avail) + exec
+                } else {
+                    self.replica.staging_seconds(ctx, inputs, ep).max(avail) + exec
+                };
                 if eft >= limit {
                     continue;
                 }
@@ -535,8 +624,9 @@ impl Scheduler for DhaScheduler {
         // Every per-endpoint prediction (staging, availability, execution)
         // is evaluated at most once; staging — the expensive one — is
         // skipped where `avail + exec` already exceeds the running best.
-        let execs: &[f64] = &self.exec_cache[&task];
-        let inputs: &[DataId] = &self.inputs_cache[&task];
+        let w = self.exec_width;
+        let execs: &[f64] = &self.exec_cache[task.index() * w..(task.index() + 1) * w];
+        let inputs: &[DataId] = self.inputs_cache[task.index()].as_deref().expect("cached");
         let mut best: Option<EpEval> = None;
         for (slot, &ep) in ctx.compute_eps.iter().enumerate() {
             let avail = self.availability(ctx, ep);
@@ -547,7 +637,11 @@ impl Scheduler for DhaScheduler {
                     continue; // cannot beat (or tie-break past) the best
                 }
             }
-            let eft = self.replica.staging_seconds(ctx, inputs, ep).max(avail) + exec;
+            let eft = if inputs.is_empty() {
+                0.0f64.max(avail) + exec
+            } else {
+                self.replica.staging_seconds(ctx, inputs, ep).max(avail) + exec
+            };
             let better = match &best {
                 None => true,
                 Some(b) => eft < b.eft || (eft == b.eft && ep.0 < b.ep.0),
@@ -565,21 +659,19 @@ impl Scheduler for DhaScheduler {
     }
 
     fn on_staging_complete(&mut self, ctx: &mut SchedCtx, task: TaskId) {
-        self.staging.remove(&task);
+        self.staging.remove(task);
         let ep = self.target[task.index()].expect("staged task has a target");
         if !self.opts.delay_dispatch {
             // Ablation: no delay mechanism — dispatch immediately and queue
             // on the endpoint like Capacity does.
             self.uncommit(task);
-            self.inputs_cache.remove(&task);
-            self.exec_cache.remove(&task);
+            self.drop_task_caches(task);
             ctx.dispatch(task, ep);
             return;
         }
         if self.staged.is_empty_at(ep) && ctx.monitor.mock(ep).idle_workers() > 0 {
             self.uncommit(task);
-            self.inputs_cache.remove(&task);
-            self.exec_cache.remove(&task);
+            self.drop_task_caches(task);
             ctx.dispatch(task, ep);
         } else {
             // Delay mechanism: wait in the client-side queue (higher
@@ -591,18 +683,16 @@ impl Scheduler for DhaScheduler {
     fn on_worker_idle(&mut self, ctx: &mut SchedCtx, ep: EndpointId) {
         if let Some(task) = self.staged.pop(ep) {
             self.uncommit(task);
-            self.inputs_cache.remove(&task);
-            self.exec_cache.remove(&task);
+            self.drop_task_caches(task);
             ctx.dispatch(task, ep);
         }
     }
 
     fn on_task_removed(&mut self, task: TaskId) {
         self.uncommit(task);
-        self.staging.remove(&task);
+        self.staging.remove(task);
         self.staged.remove(task);
-        self.inputs_cache.remove(&task);
-        self.exec_cache.remove(&task);
+        self.drop_task_caches(task);
     }
 
     fn on_capacity_change(&mut self, ctx: &mut SchedCtx) {

@@ -1,0 +1,315 @@
+//! Property test: the data manager's indexed pair tables and maintained
+//! counters agree with a flat reference model under arbitrary operation
+//! sequences.
+//!
+//! The reference model re-implements the §IV-E staging contract in the
+//! most naive way possible — flat `Vec`s, recomputed aggregates — and the
+//! test drives both it and the real [`DataManager`] through random
+//! interleavings of object registration, staging requests and transfer
+//! completions (with fault-injector draws). Checked on every step:
+//!
+//! * **dedup** — a request for an object already in flight to the same
+//!   destination joins it and starts nothing new;
+//! * **per-pair concurrency cap** — at most `max_concurrent` transfers
+//!   active per ordered endpoint pair;
+//! * **FIFO order** — transfers on a pair start in request order;
+//! * **retry / backlog restore** — a failed attempt below the retry limit
+//!   requeues and keeps its bytes on the pair; exhaustion fails exactly
+//!   the interested tasks;
+//! * **accounting** — `bytes_moved`, `transfers_outstanding` and every
+//!   pair's `backlog_bytes` equal the model's recomputed values. (In debug
+//!   builds `transfers_outstanding` additionally self-reconciles against a
+//!   scan of the transfer log, so the maintained counters are checked
+//!   twice over.)
+
+use fedci::endpoint::EndpointId;
+use fedci::network::{Link, NetworkTopology};
+use fedci::storage::DataId;
+use fedci::transfer::TransferMechanism;
+use proptest::prelude::*;
+use simkit::SimTime;
+use std::collections::VecDeque;
+use taskgraph::TaskId;
+use unifaas::data::{DataManager, TransferLoad, XferId};
+
+const N_EPS: usize = 3;
+const MAX_RETRIES: u32 = 2;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum RefState {
+    Queued,
+    Active,
+    Done,
+    Failed,
+}
+
+#[derive(Clone, Debug)]
+struct RefXfer {
+    object: DataId,
+    src: EndpointId,
+    dst: EndpointId,
+    bytes: u64,
+    attempts: u32,
+    interested: Vec<TaskId>,
+    state: RefState,
+}
+
+/// The naive model: flat vectors, no indexes, aggregates recomputed on
+/// demand. Transfer ids align with the real manager's because both
+/// allocate them in creation order.
+#[derive(Default)]
+struct RefModel {
+    /// (bytes, replicas) per object id; index = DataId.0.
+    objects: Vec<(u64, Vec<EndpointId>)>,
+    xfers: Vec<RefXfer>,
+    /// FIFO queue per ordered pair (src * N_EPS + dst).
+    queues: Vec<VecDeque<usize>>,
+    max_concurrent: usize,
+    bytes_moved: u64,
+}
+
+impl RefModel {
+    fn new(max_concurrent: usize) -> Self {
+        RefModel {
+            queues: (0..N_EPS * N_EPS).map(|_| VecDeque::new()).collect(),
+            max_concurrent,
+            ..RefModel::default()
+        }
+    }
+
+    fn present_at(&self, obj: DataId, ep: EndpointId) -> bool {
+        self.objects[obj.0 as usize].1.contains(&ep)
+    }
+
+    /// Uniform topology: every remote link is equal, so the best source is
+    /// simply the lowest-id replica (the manager's documented tie-break).
+    fn best_source(&self, obj: DataId) -> EndpointId {
+        *self.objects[obj.0 as usize].1.iter().min().unwrap()
+    }
+
+    fn active_on(&self, pid: usize) -> usize {
+        self.xfers
+            .iter()
+            .filter(|x| x.state == RefState::Active && x.src.index() * N_EPS + x.dst.index() == pid)
+            .count()
+    }
+
+    /// Starts queued transfers while the pair has concurrency headroom;
+    /// returns the started transfer ids in order.
+    fn pump(&mut self, pid: usize) -> Vec<usize> {
+        let mut started = Vec::new();
+        while self.active_on(pid) < self.max_concurrent {
+            let Some(i) = self.queues[pid].pop_front() else {
+                break;
+            };
+            self.xfers[i].state = RefState::Active;
+            started.push(i);
+        }
+        started
+    }
+
+    /// Mirrors `request_stage`; returns (missing, started ids).
+    fn request_stage(
+        &mut self,
+        task: TaskId,
+        inputs: &[DataId],
+        dst: EndpointId,
+    ) -> (usize, Vec<usize>) {
+        let mut missing = 0;
+        let mut started = Vec::new();
+        for &obj in inputs {
+            if self.present_at(obj, dst) {
+                continue;
+            }
+            missing += 1;
+            if let Some(x) = self.xfers.iter_mut().find(|x| {
+                x.object == obj
+                    && x.dst == dst
+                    && matches!(x.state, RefState::Queued | RefState::Active)
+            }) {
+                if !x.interested.contains(&task) {
+                    x.interested.push(task);
+                }
+                continue;
+            }
+            let src = self.best_source(obj);
+            let bytes = self.objects[obj.0 as usize].0;
+            let pid = src.index() * N_EPS + dst.index();
+            self.xfers.push(RefXfer {
+                object: obj,
+                src,
+                dst,
+                bytes,
+                attempts: 0,
+                interested: vec![task],
+                state: RefState::Queued,
+            });
+            let i = self.xfers.len() - 1;
+            self.queues[pid].push_back(i);
+            started.extend(self.pump(pid));
+        }
+        (missing, started)
+    }
+
+    /// Mirrors `complete`; returns (tasks_to_check, failed_tasks,
+    /// follow-up started ids).
+    fn complete(&mut self, i: usize, failed: bool) -> (Vec<TaskId>, Vec<TaskId>, Vec<usize>) {
+        assert_eq!(self.xfers[i].state, RefState::Active, "model out of sync");
+        let pid = self.xfers[i].src.index() * N_EPS + self.xfers[i].dst.index();
+        let mut to_check = Vec::new();
+        let mut failed_tasks = Vec::new();
+        if failed {
+            let retry = self.xfers[i].attempts < MAX_RETRIES;
+            self.xfers[i].attempts += 1;
+            if retry {
+                self.xfers[i].state = RefState::Queued;
+                self.queues[pid].push_back(i);
+            } else {
+                self.xfers[i].state = RefState::Failed;
+                failed_tasks = self.xfers[i].interested.clone();
+            }
+        } else {
+            self.xfers[i].state = RefState::Done;
+            to_check = self.xfers[i].interested.clone();
+            let (obj, dst, bytes) = (self.xfers[i].object, self.xfers[i].dst, self.xfers[i].bytes);
+            let replicas = &mut self.objects[obj.0 as usize].1;
+            if !replicas.contains(&dst) {
+                replicas.push(dst);
+            }
+            self.bytes_moved += bytes;
+        }
+        let started = self.pump(pid);
+        (to_check, failed_tasks, started)
+    }
+
+    fn outstanding(&self) -> usize {
+        self.xfers
+            .iter()
+            .filter(|x| matches!(x.state, RefState::Queued | RefState::Active))
+            .count()
+    }
+
+    fn backlog(&self, src: EndpointId, dst: EndpointId) -> u64 {
+        self.xfers
+            .iter()
+            .filter(|x| {
+                x.src == src
+                    && x.dst == dst
+                    && matches!(x.state, RefState::Queued | RefState::Active)
+            })
+            .map(|x| x.bytes)
+            .sum()
+    }
+
+    fn active_ids(&self) -> Vec<usize> {
+        (0..self.xfers.len())
+            .filter(|&i| self.xfers[i].state == RefState::Active)
+            .collect()
+    }
+}
+
+/// One raw step of the driver; interpreted against the current state so
+/// every generated sequence is valid (and shrinks well).
+#[derive(Clone, Debug)]
+enum Op {
+    /// Register a fresh object of `bytes` at endpoint `home % N_EPS`.
+    Register { bytes: u64, home: u8 },
+    /// Stage a pseudo-random subset of known objects (`mask`) for the next
+    /// task id at endpoint `dst % N_EPS`.
+    Stage { mask: u64, dst: u8 },
+    /// Complete the (`pick % active`)-th active transfer; `failed` is the
+    /// fault injector's draw.
+    Complete { pick: u8, failed: bool },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..64 << 20, 0u8..8).prop_map(|(bytes, home)| Op::Register { bytes, home }),
+        (0u64..u64::MAX, 0u8..8).prop_map(|(mask, dst)| Op::Stage { mask, dst }),
+        (0u8..255, 0u8..2).prop_map(|(pick, failed)| Op::Complete {
+            pick,
+            failed: failed == 1
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn data_manager_matches_flat_reference_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let params = TransferMechanism::Globus.default_params(); // max_concurrent = 4
+        let max_concurrent = params.max_concurrent;
+        let mut dm = DataManager::new(
+            NetworkTopology::uniform(N_EPS, Link::wan()),
+            params,
+            MAX_RETRIES,
+        );
+        let mut model = RefModel::new(max_concurrent);
+        let mut next_task = 0u32;
+        let mut now_s = 0u64;
+
+        for op in ops {
+            now_s += 1;
+            let now = SimTime::from_secs(now_s);
+            match op {
+                Op::Register { bytes, home } => {
+                    let id = DataId(model.objects.len() as u64);
+                    let ep = EndpointId((home as usize % N_EPS) as u16);
+                    dm.store.register(id, bytes, ep);
+                    model.objects.push((bytes, vec![ep]));
+                }
+                Op::Stage { mask, dst } => {
+                    if model.objects.is_empty() {
+                        continue;
+                    }
+                    let dst = EndpointId((dst as usize % N_EPS) as u16);
+                    let inputs: Vec<DataId> = (0..model.objects.len() as u64)
+                        .filter(|i| mask & (1 << (i % 64)) != 0)
+                        .map(DataId)
+                        .collect();
+                    let task = TaskId(next_task);
+                    next_task += 1;
+                    let req = dm.request_stage(task, &inputs, dst, now);
+                    let (missing, started) = model.request_stage(task, &inputs, dst);
+                    prop_assert_eq!(req.missing, missing, "missing-input count");
+                    let real: Vec<usize> = req.started.iter().map(|s| s.id.0).collect();
+                    prop_assert_eq!(real, started, "started set/order (FIFO)");
+                }
+                Op::Complete { pick, failed } => {
+                    let active = model.active_ids();
+                    if active.is_empty() {
+                        continue;
+                    }
+                    let i = active[pick as usize % active.len()];
+                    let out = dm.complete(XferId(i), now, failed);
+                    let (to_check, failed_tasks, started) = model.complete(i, failed);
+                    prop_assert_eq!(out.tasks_to_check, to_check, "tasks to re-check");
+                    prop_assert_eq!(out.failed_tasks, failed_tasks, "failed tasks");
+                    let real: Vec<usize> = out.started.iter().map(|s| s.id.0).collect();
+                    prop_assert_eq!(real, started, "follow-up starts (FIFO)");
+                    prop_assert_eq!(out.observation.is_some(), !failed, "observation on success only");
+                }
+            }
+            // Global invariants after every step.
+            prop_assert_eq!(dm.transfers_outstanding(), model.outstanding());
+            prop_assert_eq!(dm.bytes_moved(), model.bytes_moved);
+            for s in 0..N_EPS {
+                for d in 0..N_EPS {
+                    let (s, d) = (EndpointId(s as u16), EndpointId(d as u16));
+                    prop_assert_eq!(
+                        dm.backlog_bytes(s, d),
+                        model.backlog(s, d),
+                        "backlog for pair {:?}->{:?}", s, d
+                    );
+                }
+            }
+            for pid in 0..N_EPS * N_EPS {
+                prop_assert!(
+                    model.active_on(pid) <= max_concurrent,
+                    "pair concurrency cap exceeded"
+                );
+            }
+        }
+    }
+}
