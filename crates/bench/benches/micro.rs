@@ -185,12 +185,73 @@ fn bench_end_to_end_sim(c: &mut Criterion) {
     });
 }
 
+fn bench_tracing(c: &mut Criterion) {
+    use fedci::hardware::ClusterSpec;
+    use simkit::trace::{TraceLevel, Tracer};
+    use simkit::SimTime;
+    use unifaas::prelude::*;
+
+    // The zero-cost-when-disabled claim at its smallest scale: a span pair
+    // against a disabled tracer is two branch-on-level early returns.
+    c.bench_function("trace_span_pair_disabled", |b| {
+        let mut tr = Tracer::disabled();
+        let name = tr.intern("span");
+        let track = tr.intern("track");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tr.begin(SimTime::ZERO, name, track, i);
+            tr.end(SimTime::ZERO, name, track, i);
+            tr.len()
+        })
+    });
+    c.bench_function("trace_span_pair_enabled", |b| {
+        let mut tr = Tracer::new(TraceLevel::Full, 1 << 16);
+        let name = tr.intern("span");
+        let track = tr.intern("track");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tr.begin(SimTime::ZERO, name, track, i);
+            tr.end(SimTime::ZERO, name, track, i);
+            tr.len()
+        })
+    });
+
+    // Whole-coordinator overhead: the same 500-task DHA run as
+    // `sim_run_500_task_bag_2ep`, untraced vs fully traced. The untraced
+    // variant must stay within noise of the baseline bench (CI gates the
+    // e2e equivalent at 5%).
+    let run = |trace: Option<TraceConfig>| {
+        let cfg = Config::builder()
+            .endpoint(EndpointConfig::new("a", ClusterSpec::taiyi(), 32))
+            .endpoint(EndpointConfig::new("b", ClusterSpec::qiming(), 16))
+            .strategy(SchedulingStrategy::Dha { rescheduling: true })
+            .build();
+        let mut dag = Dag::new();
+        let f = dag.register_function("stress");
+        for _ in 0..500 {
+            dag.add_task(TaskSpec::compute(f, 10.0), &[]);
+        }
+        let mut rt = SimRuntime::new(cfg, dag);
+        if let Some(tc) = trace {
+            rt = rt.with_trace(tc);
+        }
+        rt.run().unwrap().tasks_completed
+    };
+    c.bench_function("sim_run_500_untraced", |b| b.iter(|| run(None)));
+    c.bench_function("sim_run_500_traced_full", |b| {
+        b.iter(|| run(Some(TraceConfig::default())))
+    });
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
     bench_dag_analytics,
     bench_models,
     bench_data_manager,
-    bench_end_to_end_sim
+    bench_end_to_end_sim,
+    bench_tracing
 );
 criterion_main!(benches);

@@ -15,6 +15,11 @@
 //!
 //! Results are written as JSON to `BENCH_e2e.json` in the working
 //! directory (hand-rolled — the repo builds offline, without serde).
+//!
+//! `--trace-out <path>` / `--trace-level off|spans|full` enable run
+//! tracing (all rows), mainly to measure tracing overhead against the
+//! committed baseline; the last traced run's files are written to the
+//! given path.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -36,13 +41,28 @@ struct Row {
     transfer_gb: f64,
 }
 
-fn run(workload: &'static str, dag: Dag, pool: ConfigBuilder, strategy: SchedulingStrategy) -> Row {
+fn run(
+    workload: &'static str,
+    dag: Dag,
+    pool: ConfigBuilder,
+    strategy: SchedulingStrategy,
+    trace: Option<TraceConfig>,
+    trace_out: Option<&str>,
+) -> Row {
     let tasks = dag.len();
     let mut cfg = pool.build();
     cfg.strategy = strategy;
     let t0 = Instant::now();
-    let report = SimRuntime::new(cfg, dag).run().expect("run failed");
+    let mut runtime = SimRuntime::new(cfg, dag);
+    if let Some(tc) = trace {
+        runtime = runtime.with_trace(tc);
+    }
+    let report = runtime.run().expect("run failed");
     let wall_s = t0.elapsed().as_secs_f64();
+    if let (Some(path), Some(tr)) = (trace_out, &report.trace) {
+        tr.write_files(std::path::Path::new(path))
+            .expect("write trace");
+    }
     Row {
         workload,
         tasks,
@@ -57,6 +77,30 @@ fn run(workload: &'static str, dag: Dag, pool: ConfigBuilder, strategy: Scheduli
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_out: Option<String> = None;
+    let mut trace_level: Option<TraceLevel> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace-out" => trace_out = it.next().cloned(),
+            "--trace-level" => {
+                trace_level = it
+                    .next()
+                    .and_then(|s| TraceLevel::parse(s))
+                    .or_else(|| panic!("bad --trace-level (off|spans|full)"));
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let trace = match (trace_out.is_some(), trace_level) {
+        (_, Some(level)) => Some(TraceConfig::at_level(level)),
+        (true, None) => Some(TraceConfig::default()),
+        (false, None) => None,
+    }
+    .filter(|tc| tc.level != TraceLevel::Off);
+    let out = trace_out.as_deref();
+
     let mut rows: Vec<Row> = Vec::new();
 
     for strategy in all_strategies() {
@@ -65,6 +109,8 @@ fn main() {
             drug::generate(&drug::DrugParams::full()),
             drug_static_pool(),
             strategy,
+            trace,
+            out,
         ));
     }
     for strategy in all_strategies() {
@@ -73,6 +119,8 @@ fn main() {
             montage::generate(&montage::MontageParams::full()),
             montage_static_pool(),
             strategy,
+            trace,
+            out,
         ));
     }
     // The 100k-task stress DAG: periodic-tick and data-plane costs that
@@ -84,6 +132,8 @@ fn main() {
             stress::bag_of_tasks(100_000, 10.0),
             drug_static_pool(),
             strategy,
+            trace,
+            out,
         ));
     }
 

@@ -3,21 +3,28 @@
 //! ```text
 //! unifaas-sim <spec-file> [--strategy capacity|locality|dha|dha-no-resched]
 //!                         [--series <dir>] [--quiet]
+//!                         [--trace-out <path>] [--trace-level off|spans|full]
 //! ```
 //!
 //! `--strategy` overrides the spec (handy for comparing schedulers on one
 //! spec); `--series <dir>` writes the collected time series as CSV files
-//! for plotting.
+//! for plotting; `--trace-out <path>` writes a Perfetto/Chrome trace (plus
+//! `.jsonl` and `.counters.txt` siblings) — open the JSON at
+//! <https://ui.perfetto.dev>. `--trace-level` defaults to `full` when
+//! `--trace-out` is given.
 
+use simkit::trace::TraceLevel;
 use simkit::{SimDuration, SimTime};
 use std::io::Write;
 use unifaas::config::SchedulingStrategy;
+use unifaas::trace::TraceConfig;
 use unifaas::SimRuntime;
 use unifaas_cli::parse_spec;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: unifaas-sim <spec-file> [--strategy capacity|locality|dha|dha-no-resched] [--series <dir>] [--quiet]"
+        "usage: unifaas-sim <spec-file> [--strategy capacity|locality|dha|dha-no-resched] \
+         [--series <dir>] [--quiet] [--trace-out <path>] [--trace-level off|spans|full]"
     );
     std::process::exit(2);
 }
@@ -28,10 +35,20 @@ fn main() {
     let mut strategy_override: Option<SchedulingStrategy> = None;
     let mut series_dir: Option<String> = None;
     let mut quiet = false;
+    let mut trace_out: Option<String> = None;
+    let mut trace_level: Option<TraceLevel> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--trace-out" => trace_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--trace-level" => {
+                trace_level = Some(
+                    it.next()
+                        .and_then(|s| TraceLevel::parse(s))
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--strategy" => {
                 strategy_override = Some(match it.next().map(String::as_str) {
                     Some("capacity") => SchedulingStrategy::Capacity,
@@ -74,12 +91,40 @@ fn main() {
             spec.config.endpoints.len()
         );
     }
+    // `--trace-out` implies full tracing; `--trace-level` alone records
+    // without writing (the trace is still summarized below).
+    let trace_cfg = match (trace_out.is_some(), trace_level) {
+        (_, Some(level)) => Some(TraceConfig::at_level(level)),
+        (true, None) => Some(TraceConfig::default()),
+        (false, None) => None,
+    };
     let t0 = std::time::Instant::now();
-    let report = SimRuntime::new(spec.config, dag).run().unwrap_or_else(|e| {
+    let mut runtime = SimRuntime::new(spec.config, dag);
+    if let Some(tc) = trace_cfg {
+        runtime = runtime.with_trace(tc);
+    }
+    let report = runtime.run().unwrap_or_else(|e| {
         eprintln!("workflow failed: {e}");
         std::process::exit(1);
     });
     let wall = t0.elapsed();
+
+    if let Some(path) = &trace_out {
+        match &report.trace {
+            Some(trace) => {
+                let written = trace
+                    .write_files(std::path::Path::new(path))
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot write trace {path}: {e}");
+                        std::process::exit(1);
+                    });
+                for p in written {
+                    println!("wrote {}", p.display());
+                }
+            }
+            None => eprintln!("--trace-out given but tracing is off (--trace-level off)"),
+        }
+    }
 
     println!("scheduler          {}", report.scheduler);
     println!("tasks completed    {}", report.tasks_completed);
@@ -105,6 +150,15 @@ fn main() {
         if *count > 0 {
             println!("  {label:<16} {count}");
         }
+    }
+    if let Some(trace) = &report.trace {
+        println!(
+            "trace              {} events ({} dropped), {} decisions, {} transfers",
+            trace.tracer.len(),
+            trace.tracer.dropped(),
+            trace.decisions.len(),
+            trace.transfers.len()
+        );
     }
     if !quiet {
         println!(

@@ -24,7 +24,9 @@
 //! * [`fault`] — deterministic fault injection (transfer failures, task
 //!   crashes, endpoint outages);
 //! * [`threaded`] — a real-threads execution fabric (crossbeam worker
-//!   pools) used by the live runtime and the examples.
+//!   pools) used by the live runtime and the examples;
+//! * [`trace`] — the substrate's trace-event taxonomy (queue/execute
+//!   spans, transfer and fault instants) for the `simkit::trace` sink.
 
 pub mod endpoint;
 pub mod faas;
@@ -33,6 +35,7 @@ pub mod hardware;
 pub mod network;
 pub mod storage;
 pub mod threaded;
+pub mod trace;
 pub mod transfer;
 
 pub use endpoint::{EndpointId, EndpointSim};

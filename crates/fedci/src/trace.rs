@@ -1,0 +1,146 @@
+//! The fedci-layer trace taxonomy: pre-interned labels and emit helpers
+//! for endpoint queue/execute, transfer and fault events.
+//!
+//! `fedci` components are passive state machines driven by a runtime, so
+//! rather than owning a tracer they define the *vocabulary* of substrate
+//! events here. A runtime interns the taxonomy once at startup
+//! ([`FedciTraceLabels::new`]) and calls the emit helpers at the points
+//! where it drives the corresponding fedci state change. This keeps label
+//! strings in one place and emit sites down to a pre-resolved-id call.
+//!
+//! Span names are stable strings (`"queued"`, `"executing"`, `"transfer"`,
+//! …) so downstream tooling can filter on them; see DESIGN.md
+//! "Observability" for the full event taxonomy.
+
+use crate::endpoint::EndpointId;
+use simkit::trace::{LabelId, Tracer};
+use simkit::SimTime;
+
+/// Pre-interned labels for the fedci substrate events.
+#[derive(Clone, Debug)]
+pub struct FedciTraceLabels {
+    /// Span: a task sitting in an endpoint's local queue.
+    pub queued: LabelId,
+    /// Span: a task occupying a worker.
+    pub executing: LabelId,
+    /// Span: a data transfer between endpoints.
+    pub transfer: LabelId,
+    /// Instant: a transfer attempt failed (arg = attempt number).
+    pub fault_transfer: LabelId,
+    /// Instant: a task execution failed (arg = endpoint id).
+    pub fault_task: LabelId,
+    /// Instant: endpoint capacity changed (arg = new worker count).
+    pub capacity: LabelId,
+    /// Counter: busy workers per endpoint (one label per endpoint).
+    pub busy: Vec<LabelId>,
+    /// One display track per endpoint.
+    pub tracks: Vec<LabelId>,
+}
+
+impl FedciTraceLabels {
+    /// Interns the fedci taxonomy into `tracer`, one track and one busy
+    /// counter per endpoint label.
+    pub fn new(tracer: &mut Tracer, endpoint_labels: &[String]) -> FedciTraceLabels {
+        FedciTraceLabels {
+            queued: tracer.intern("queued"),
+            executing: tracer.intern("executing"),
+            transfer: tracer.intern("transfer"),
+            fault_transfer: tracer.intern("fault.transfer"),
+            fault_task: tracer.intern("fault.task"),
+            capacity: tracer.intern("capacity"),
+            busy: endpoint_labels
+                .iter()
+                .map(|l| tracer.intern(&format!("busy.{l}")))
+                .collect(),
+            tracks: endpoint_labels.iter().map(|l| tracer.intern(l)).collect(),
+        }
+    }
+
+    /// Records an endpoint's busy-worker count after an occupy/release.
+    #[inline]
+    pub fn busy_workers(&self, tracer: &mut Tracer, at: SimTime, ep: EndpointId, busy: usize) {
+        tracer.counter(at, self.busy[ep.index()], busy as f64);
+    }
+
+    /// Records a task-execution fault on `ep`'s track.
+    #[inline]
+    pub fn task_fault(&self, tracer: &mut Tracer, at: SimTime, ep: EndpointId, task_id: u64) {
+        tracer.instant(
+            at,
+            self.fault_task,
+            self.tracks[ep.index()],
+            task_id,
+            ep.0 as i64,
+        );
+    }
+
+    /// Records a transfer-attempt fault on the destination's track.
+    #[inline]
+    pub fn transfer_fault(
+        &self,
+        tracer: &mut Tracer,
+        at: SimTime,
+        dst: EndpointId,
+        xfer_id: u64,
+        attempt: u32,
+    ) {
+        tracer.instant(
+            at,
+            self.fault_transfer,
+            self.tracks[dst.index()],
+            xfer_id,
+            attempt as i64,
+        );
+    }
+
+    /// Records a capacity change (scale-out/in, outage, commission).
+    #[inline]
+    pub fn capacity_change(
+        &self,
+        tracer: &mut Tracer,
+        at: SimTime,
+        ep: EndpointId,
+        workers: usize,
+    ) {
+        tracer.instant(
+            at,
+            self.capacity,
+            self.tracks[ep.index()],
+            ep.0 as u64,
+            workers as i64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::trace::TraceLevel;
+
+    #[test]
+    fn taxonomy_interned_per_endpoint() {
+        let mut tr = Tracer::new(TraceLevel::Full, 64);
+        let labels = FedciTraceLabels::new(&mut tr, &["Taiyi".to_string(), "Qiming".to_string()]);
+        assert_eq!(labels.tracks.len(), 2);
+        assert_eq!(labels.busy.len(), 2);
+        assert_eq!(tr.label(labels.tracks[0]), "Taiyi");
+        assert_eq!(tr.label(labels.busy[1]), "busy.Qiming");
+
+        labels.busy_workers(&mut tr, SimTime::from_secs(1), EndpointId(0), 3);
+        labels.task_fault(&mut tr, SimTime::from_secs(2), EndpointId(1), 7);
+        labels.transfer_fault(&mut tr, SimTime::from_secs(3), EndpointId(0), 9, 2);
+        labels.capacity_change(&mut tr, SimTime::from_secs(4), EndpointId(1), 16);
+        assert_eq!(tr.len(), 4);
+        let snap = tr.counters_snapshot();
+        assert!(snap.contains("busy.Taiyi 3"), "snapshot: {snap}");
+    }
+
+    #[test]
+    fn helpers_are_noops_on_disabled_tracer() {
+        let mut tr = Tracer::disabled();
+        let labels = FedciTraceLabels::new(&mut tr, &["a".to_string()]);
+        labels.busy_workers(&mut tr, SimTime::ZERO, EndpointId(0), 1);
+        labels.capacity_change(&mut tr, SimTime::ZERO, EndpointId(0), 8);
+        assert!(tr.is_empty());
+    }
+}

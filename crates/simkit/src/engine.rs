@@ -15,6 +15,20 @@ pub struct Engine<E> {
     queue: EventQueue<E>,
     now: SimTime,
     processed: u64,
+    stats: EngineStats,
+}
+
+/// Cheap always-on engine counters, snapshotted into a trace at the end of
+/// a run (see `simkit::trace`). Maintaining them is a handful of integer
+/// ops per event, so they are not gated on a trace level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events scheduled over the engine's lifetime.
+    pub scheduled: u64,
+    /// Events cancelled before firing.
+    pub cancelled: u64,
+    /// High-water mark of the pending-event queue.
+    pub max_pending: usize,
 }
 
 impl<E> Default for Engine<E> {
@@ -30,7 +44,13 @@ impl<E> Engine<E> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             processed: 0,
+            stats: EngineStats::default(),
         }
+    }
+
+    /// Scheduling/cancellation counters and the queue high-water mark.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
     }
 
     /// Current simulation time.
@@ -61,18 +81,28 @@ impl<E> Engine<E> {
             self.now,
             at
         );
-        self.queue.schedule(at, event)
+        let id = self.queue.schedule(at, event);
+        self.stats.scheduled += 1;
+        self.stats.max_pending = self.stats.max_pending.max(self.queue.len());
+        id
     }
 
     /// Schedules `event` after a relative delay.
     pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventId {
         let at = self.now + delay;
-        self.queue.schedule(at, event)
+        let id = self.queue.schedule(at, event);
+        self.stats.scheduled += 1;
+        self.stats.max_pending = self.stats.max_pending.max(self.queue.len());
+        id
     }
 
     /// Cancels a pending event. Returns true if it had not yet fired.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.queue.cancel(id)
+        let hit = self.queue.cancel(id);
+        if hit {
+            self.stats.cancelled += 1;
+        }
+        hit
     }
 
     /// Delivers the next event, advancing the clock, and returns false when
@@ -190,6 +220,20 @@ mod tests {
         eng.run(|_, _, eng| {
             eng.schedule(SimTime::from_secs(1), Ev::Tick(2));
         });
+    }
+
+    #[test]
+    fn stats_track_schedules_cancels_and_high_water() {
+        let mut eng = Engine::new();
+        let a = eng.schedule(SimTime::from_secs(1), Ev::Tick(1));
+        eng.schedule_after(SimDuration::from_secs(2), Ev::Tick(2));
+        assert_eq!(eng.stats().scheduled, 2);
+        assert_eq!(eng.stats().max_pending, 2);
+        assert!(eng.cancel(a));
+        assert!(!eng.cancel(a), "double cancel is not counted twice");
+        assert_eq!(eng.stats().cancelled, 1);
+        eng.run(|_, _, _| {});
+        assert_eq!(eng.stats().max_pending, 2, "high-water mark persists");
     }
 
     #[test]

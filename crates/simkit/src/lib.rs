@@ -42,10 +42,12 @@ pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
-pub use engine::Engine;
+pub use engine::{Engine, EngineStats};
 pub use event::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use stats::OnlineStats;
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceLevel, Tracer};

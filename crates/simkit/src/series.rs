@@ -282,6 +282,75 @@ mod tests {
     }
 
     #[test]
+    fn same_instant_overwrite_after_compression() {
+        // A run-length-compressed sample leaves the *earlier* point as the
+        // last stored one; a same-instant overwrite at the compressed time
+        // must still take effect from that time onward, not rewrite history
+        // before it.
+        let mut s = TimeSeries::new();
+        s.record(t(1), 5.0);
+        s.record(t(3), 5.0); // compressed away: identical consecutive value
+        assert_eq!(s.points().len(), 1);
+        s.record(t(3), 6.0); // "overwrite" at the compressed instant
+        assert_eq!(s.points().len(), 2);
+        assert_eq!(s.value_at(t(2)), 5.0, "history before t=3 unchanged");
+        assert_eq!(s.value_at(t(3)), 6.0);
+        assert_eq!(s.value_at(t(10)), 6.0);
+    }
+
+    #[test]
+    fn overwrite_to_match_previous_value_keeps_correct_steps() {
+        let mut s = TimeSeries::new();
+        s.record(t(0), 1.0);
+        s.record(t(1), 2.0);
+        s.record(t(1), 1.0); // overwrite back to the previous value
+        assert_eq!(s.value_at(t(0)), 1.0);
+        assert_eq!(s.value_at(t(1)), 1.0);
+        assert_eq!(s.value_at(t(5)), 1.0);
+        // A redundant change point may remain; the step function itself
+        // must still be flat at 1.0 (integral over [0,4] = 4).
+        assert!((s.integral(t(0), t(4)) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_before_first_sample_reads_zero() {
+        let mut s = TimeSeries::new();
+        s.record(t(10), 3.0);
+        let grid = s.resample(t(0), t(12), SimDuration::from_secs(4));
+        assert_eq!(
+            grid,
+            vec![(t(0), 0.0), (t(4), 0.0), (t(8), 0.0), (t(12), 3.0)]
+        );
+        // Entirely-before-first window: all zeros, including the endpoint.
+        let early = s.resample(t(0), t(4), SimDuration::from_secs(2));
+        assert!(early.iter().all(|&(_, v)| v == 0.0));
+    }
+
+    #[test]
+    fn resample_empty_series_is_all_zero() {
+        let s = TimeSeries::new();
+        let grid = s.resample(t(0), t(4), SimDuration::from_secs(2));
+        assert_eq!(grid, vec![(t(0), 0.0), (t(2), 0.0), (t(4), 0.0)]);
+    }
+
+    #[test]
+    fn integral_empty_and_single_point() {
+        let empty = TimeSeries::new();
+        assert_eq!(empty.integral(t(0), t(100)), 0.0);
+        assert_eq!(empty.mean_over(t(0), t(100)), 0.0);
+
+        let mut one = TimeSeries::new();
+        one.record(t(10), 2.0);
+        // Window entirely before the sample: value is 0 throughout.
+        assert_eq!(one.integral(t(0), t(10)), 0.0);
+        // Window straddling the sample: 0 over [0,10), 2 over [10,20].
+        assert!((one.integral(t(0), t(20)) - 20.0).abs() < 1e-9);
+        // Window entirely after the sample: constant 2.
+        assert!((one.integral(t(15), t(25)) - 20.0).abs() < 1e-9);
+        assert!((one.mean_over(t(0), t(20)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn series_set_roundtrip() {
         let mut set = SeriesSet::new();
         set.series_mut("ep1").record(t(0), 1.0);

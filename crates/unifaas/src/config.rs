@@ -209,6 +209,12 @@ pub struct Config {
     pub task_failure_prob: f64,
     /// Master RNG seed; every run with the same seed replays exactly.
     pub seed: u64,
+    /// Cross-check the runtime's transition-maintained counters against a
+    /// full task scan on every periodic tick, panicking on drift. Debug
+    /// builds always do this; the flag extends the check to release builds
+    /// (CI's release-mode reconciliation harness). Default off: the scan is
+    /// O(n_tasks) per tick.
+    pub validate_counters: bool,
 }
 
 impl Config {
@@ -289,6 +295,7 @@ impl Default for ConfigBuilder {
                 transfer_failure_prob: 0.0,
                 task_failure_prob: 0.0,
                 seed: 0x05E5,
+                validate_counters: false,
             },
         }
     }
@@ -371,6 +378,13 @@ impl ConfigBuilder {
     pub fn retries(mut self, max_transfer_retries: u32, max_task_attempts: u32) -> Self {
         self.config.max_transfer_retries = max_transfer_retries;
         self.config.max_task_attempts = max_task_attempts;
+        self
+    }
+
+    /// Enables release-mode counter reconciliation (see
+    /// [`Config::validate_counters`]).
+    pub fn validate_counters(mut self, yes: bool) -> Self {
+        self.config.validate_counters = yes;
         self
     }
 

@@ -66,9 +66,28 @@ struct Xfer {
     dst: EndpointId,
     bytes: u64,
     attempts: u32,
+    /// Replica count at source-choice time (trace rationale).
+    replica_candidates: u32,
     interested: Vec<TaskId>,
     state: XferState,
     started_at: Option<SimTime>,
+}
+
+/// Snapshot of one transfer's metadata, for tracing and diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct XferInfo {
+    /// The object being moved.
+    pub object: DataId,
+    /// Chosen source replica.
+    pub src: EndpointId,
+    /// Destination endpoint.
+    pub dst: EndpointId,
+    /// Payload size.
+    pub bytes: u64,
+    /// 1-based attempt number (>1 after retries).
+    pub attempt: u32,
+    /// How many replicas the best-source choice considered.
+    pub replica_candidates: u32,
 }
 
 #[derive(Default, Debug)]
@@ -253,6 +272,7 @@ impl DataManager {
             }
             let bytes = self.store.bytes(obj);
             let src = self.best_source(obj, dst);
+            let replica_candidates = self.store.replicas(obj).len() as u32;
             let pid = self.net.pair_id(src, dst);
             let xid = XferId(self.xfers.len());
             self.xfers.push(Xfer {
@@ -261,6 +281,7 @@ impl DataManager {
                 dst,
                 bytes,
                 attempts: 0,
+                replica_candidates,
                 interested: vec![task],
                 state: XferState::Queued,
                 started_at: None,
@@ -272,6 +293,20 @@ impl DataManager {
             self.pump_pair(pid, now, out);
         }
         missing
+    }
+
+    /// Metadata snapshot of a transfer (source-choice rationale for the
+    /// trace layer).
+    pub fn xfer_info(&self, id: XferId) -> XferInfo {
+        let x = &self.xfers[id.0];
+        XferInfo {
+            object: x.object,
+            src: x.src,
+            dst: x.dst,
+            bytes: x.bytes,
+            attempt: x.attempts + 1,
+            replica_candidates: x.replica_candidates,
+        }
     }
 
     /// Picks the replica with the fastest link to `dst`, memoized per

@@ -61,6 +61,7 @@ pub mod profile;
 pub mod runtime;
 pub mod scaling;
 pub mod sched;
+pub mod trace;
 
 /// Convenient glob import for applications.
 pub mod prelude {
@@ -72,8 +73,10 @@ pub mod prelude {
     pub use crate::metrics::RunReport;
     pub use crate::runtime::live::{LiveRuntime, Value};
     pub use crate::runtime::sim::SimRuntime;
+    pub use crate::trace::{RunTrace, TraceConfig};
     pub use fedci::hardware::ClusterSpec;
     pub use fedci::transfer::TransferMechanism;
+    pub use simkit::trace::TraceLevel;
     pub use taskgraph::{Dag, FunctionId, TaskId, TaskSpec};
 }
 

@@ -1,5 +1,6 @@
 //! Run metrics: everything the paper's tables and figures report.
 
+use crate::trace::RunTrace;
 use simkit::series::SeriesSet;
 use simkit::{SimDuration, SimTime, TimeSeries};
 
@@ -100,6 +101,9 @@ pub struct RunReport {
     pub latency: LatencyBreakdown,
     /// Collected time series.
     pub series: RunSeries,
+    /// The trace bundle of a traced run (`None` unless the runtime was
+    /// built with [`SimRuntime::with_trace`](crate::SimRuntime::with_trace)).
+    pub trace: Option<Box<RunTrace>>,
 }
 
 impl RunReport {
@@ -177,6 +181,7 @@ mod tests {
                 s.busy_total.record(SimTime::ZERO, 2.0);
                 s
             },
+            trace: None,
         };
         assert_eq!(report.transfer_gb(), 2.0);
         assert!((report.scheduler_overhead_per_task() - 0.0005).abs() < 1e-9);

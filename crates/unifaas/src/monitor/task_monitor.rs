@@ -10,7 +10,7 @@
 use fedci::endpoint::EndpointId;
 use simkit::OnlineStats;
 use std::collections::HashMap;
-use std::io::{BufRead, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
 /// One observed task execution (or transfer — the transfer profiler reuses
@@ -96,30 +96,31 @@ impl HistoryDb {
     }
 
     /// Loads a CSV written by [`HistoryDb::save_csv`].
+    ///
+    /// Quote-aware: a record may span multiple physical lines when the
+    /// function name contains embedded newlines (RFC 4180 quoting).
     pub fn load_csv<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
-        let file = std::fs::File::open(path)?;
-        let reader = std::io::BufReader::new(file);
+        let text = std::fs::read_to_string(path)?;
         let mut db = HistoryDb::new();
-        for (i, line) in reader.lines().enumerate() {
-            let line = line?;
-            if i == 0 || line.trim().is_empty() {
+        for (i, fields) in CsvRecords::new(&text).enumerate() {
+            let fields = fields?;
+            if i == 0 {
                 continue; // header
             }
-            let fields: Vec<&str> = line.split(',').collect();
             if fields.len() != 9 {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
-                    format!("line {} has {} fields, expected 9", i + 1, fields.len()),
+                    format!("record {} has {} fields, expected 9", i + 1, fields.len()),
                 ));
             }
             let parse_err = |what: &str| {
                 std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
-                    format!("line {}: bad {what}", i + 1),
+                    format!("record {}: bad {what}", i + 1),
                 )
             };
             db.push(TaskRecord {
-                function: unescape_csv(fields[0]),
+                function: fields[0].clone(),
                 endpoint: EndpointId(fields[1].parse().map_err(|_| parse_err("endpoint"))?),
                 input_bytes: fields[2].parse().map_err(|_| parse_err("input_bytes"))?,
                 duration_seconds: fields[3]
@@ -136,14 +137,105 @@ impl HistoryDb {
     }
 }
 
-/// Commas and quotes would corrupt rows; function names are identifiers so
-/// we simply replace commas.
+/// RFC 4180 field escaping: fields containing a comma, quote, CR or LF are
+/// wrapped in double quotes with embedded quotes doubled; everything else
+/// passes through unchanged so the common case stays grep-friendly.
 fn escape_csv(s: &str) -> String {
-    s.replace(',', ";")
+    if s.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for ch in s.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+        out
+    } else {
+        s.to_string()
+    }
 }
 
-fn unescape_csv(s: &str) -> String {
-    s.to_string()
+/// Iterator over CSV records, splitting on newlines *outside* quoted fields
+/// so a quoted field may contain commas, doubled quotes and line breaks.
+struct CsvRecords<'a> {
+    rest: std::str::Chars<'a>,
+    done: bool,
+}
+
+impl<'a> CsvRecords<'a> {
+    fn new(text: &'a str) -> Self {
+        CsvRecords {
+            rest: text.chars(),
+            done: false,
+        }
+    }
+}
+
+impl Iterator for CsvRecords<'_> {
+    type Item = std::io::Result<Vec<String>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let bad = |msg: &str| {
+            Some(Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                msg.to_string(),
+            )))
+        };
+        let mut fields: Vec<String> = Vec::new();
+        let mut field = String::new();
+        let mut saw_any = false;
+        let mut in_quotes = false;
+        loop {
+            let Some(ch) = self.rest.next() else {
+                if in_quotes {
+                    return bad("unterminated quoted field");
+                }
+                self.done = true;
+                if !saw_any && fields.is_empty() && field.is_empty() {
+                    return None; // trailing newline at EOF, no final record
+                }
+                fields.push(field);
+                return Some(Ok(fields));
+            };
+            saw_any = true;
+            if in_quotes {
+                if ch == '"' {
+                    // Either a doubled quote (literal `"`) or the closing one.
+                    let mut peek = self.rest.clone();
+                    if peek.next() == Some('"') {
+                        self.rest = peek;
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                } else {
+                    field.push(ch);
+                }
+                continue;
+            }
+            match ch {
+                '"' if field.is_empty() => in_quotes = true,
+                '"' => return bad("quote inside unquoted field"),
+                ',' => fields.push(std::mem::take(&mut field)),
+                '\r' => {} // tolerate CRLF line endings
+                '\n' => {
+                    if fields.is_empty() && field.is_empty() {
+                        // Blank line: skip rather than yield an empty record.
+                        saw_any = false;
+                        continue;
+                    }
+                    fields.push(field);
+                    return Some(Ok(fields));
+                }
+                _ => field.push(ch),
+            }
+        }
+    }
 }
 
 /// Live aggregation over the record stream.
@@ -312,13 +404,33 @@ mod tests {
     }
 
     #[test]
-    fn function_names_with_commas_survive() {
+    fn function_names_with_commas_quotes_newlines_roundtrip() {
+        let names = [
+            "weird,name",
+            "say \"hi\"",
+            "multi\nline",
+            "all,of\r\nthe \"above\", twice\n\"\"",
+            "trailing,",
+            ",leading",
+            "\"fully quoted\"",
+            "plain_name",
+        ];
         let mut db = HistoryDb::new();
-        db.push(rec("weird,name", 0, 1.0, true));
+        for (i, name) in names.iter().enumerate() {
+            db.push(rec(name, i as u16, 1.0 + i as f64, i % 2 == 0));
+        }
         let path = std::env::temp_dir().join("unifaas_history_comma.csv");
         db.save_csv(&path).unwrap();
         let loaded = HistoryDb::load_csv(&path).unwrap();
-        assert_eq!(loaded.records()[0].function, "weird;name");
+        assert_eq!(loaded.records(), db.records());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_rejects_unterminated_quote() {
+        let path = std::env::temp_dir().join("unifaas_history_unterminated.csv");
+        std::fs::write(&path, "header\n\"open,0,1,1.0,1,1,1.0,1,true\n").unwrap();
+        assert!(HistoryDb::load_csv(&path).is_err());
         std::fs::remove_file(&path).ok();
     }
 }

@@ -17,8 +17,12 @@
 //! deadlock a single worker.
 
 use crate::error::UniFaasError;
+use crate::trace::TraceConfig;
 use fedci::threaded::ThreadedEndpoint;
+use fedci::trace::FedciTraceLabels;
 use parking_lot::{Condvar, Mutex};
+use simkit::trace::{LabelId, Tracer};
+use simkit::SimTime;
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -95,6 +99,74 @@ struct PendingTask {
     output_bytes: u64,
 }
 
+/// Wall-clock tracing state for the live runtime: the same event
+/// vocabulary as the simulated runtime, stamped with elapsed real time
+/// mapped onto [`SimTime`]. Shared behind a mutex because worker threads
+/// complete tasks concurrently.
+struct LiveTrace {
+    tracer: Tracer,
+    t0: std::time::Instant,
+    labels: FedciTraceLabels,
+    client_track: LabelId,
+    /// Span: submitted but dependencies/placement still pending.
+    pending: LabelId,
+}
+
+impl LiveTrace {
+    fn new(cfg: &TraceConfig, endpoint_labels: &[String]) -> LiveTrace {
+        let mut tracer = Tracer::new(cfg.level, cfg.ring_capacity);
+        let labels = FedciTraceLabels::new(&mut tracer, endpoint_labels);
+        LiveTrace {
+            client_track: tracer.intern("client"),
+            pending: tracer.intern("pending"),
+            labels,
+            tracer,
+            t0: std::time::Instant::now(),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_secs_f64(self.t0.elapsed().as_secs_f64())
+    }
+}
+
+type SharedTrace = Option<Arc<Mutex<LiveTrace>>>;
+
+/// Opens the pending span for a freshly submitted task.
+fn trace_submit(trace: &SharedTrace, id: usize) {
+    if let Some(t) = trace {
+        let mut tr = t.lock();
+        let (at, name, track) = (tr.now(), tr.pending, tr.client_track);
+        tr.tracer.begin(at, name, track, id as u64);
+    }
+}
+
+/// Moves a task's span from pending to executing on its endpoint's track.
+fn trace_exec_begin(trace: &SharedTrace, id: usize, ep: usize) {
+    if let Some(t) = trace {
+        let mut tr = t.lock();
+        let at = tr.now();
+        let (pending, client) = (tr.pending, tr.client_track);
+        tr.tracer.end(at, pending, client, id as u64);
+        let (exec, track) = (tr.labels.executing, tr.labels.tracks[ep]);
+        tr.tracer.begin(at, exec, track, id as u64);
+    }
+}
+
+/// Closes a task's executing span, adding a fault instant on failure.
+fn trace_done(trace: &SharedTrace, id: usize, ep: usize, failed: bool) {
+    if let Some(t) = trace {
+        let mut tr = t.lock();
+        let at = tr.now();
+        let (exec, track) = (tr.labels.executing, tr.labels.tracks[ep]);
+        tr.tracer.end(at, exec, track, id as u64);
+        if failed {
+            let (fault, track) = (tr.labels.fault_task, tr.labels.tracks[ep]);
+            tr.tracer.instant(at, fault, track, id as u64, ep as i64);
+        }
+    }
+}
+
 struct Coord {
     pending: HashMap<usize, PendingTask>,
     dependents: HashMap<usize, Vec<usize>>,
@@ -115,6 +187,7 @@ pub struct LiveRuntime {
     /// Simulated WAN bandwidth in bytes/second: moving inputs produced on
     /// another endpoint costs real wall time. `None` disables it.
     transfer_bandwidth_bps: Option<f64>,
+    trace: SharedTrace,
 }
 
 impl LiveRuntime {
@@ -138,6 +211,7 @@ impl LiveRuntime {
             })),
             done_cond: Arc::new(Condvar::new()),
             transfer_bandwidth_bps: None,
+            trace: None,
         }
     }
 
@@ -147,6 +221,24 @@ impl LiveRuntime {
         assert!(bytes_per_sec > 0.0);
         self.transfer_bandwidth_bps = Some(bytes_per_sec);
         self
+    }
+
+    /// Enables wall-clock tracing: pending/executing spans per task on
+    /// per-endpoint tracks and fault instants, with timestamps measured
+    /// from this call. Snapshot the result with
+    /// [`LiveRuntime::trace_snapshot`].
+    pub fn with_trace(mut self, cfg: TraceConfig) -> Self {
+        if cfg.level != simkit::trace::TraceLevel::Off {
+            self.trace = Some(Arc::new(Mutex::new(LiveTrace::new(&cfg, &self.labels))));
+        }
+        self
+    }
+
+    /// A snapshot of the trace ring so far (`None` when tracing is off).
+    /// Typically called after [`LiveRuntime::wait_all`] and exported with
+    /// [`Tracer::export_perfetto`] / [`Tracer::export_jsonl`].
+    pub fn trace_snapshot(&self) -> Option<Tracer> {
+        self.trace.as_ref().map(|t| t.lock().tracer.clone())
     }
 
     /// Endpoint labels.
@@ -198,6 +290,7 @@ impl LiveRuntime {
         };
         coord.futures.insert(id, future.clone());
         coord.outstanding += 1;
+        trace_submit(&self.trace, id);
 
         let dep_ids: Vec<usize> = deps.iter().map(|d| d.id).collect();
         let unresolved: Vec<usize> = dep_ids
@@ -282,6 +375,7 @@ impl LiveRuntime {
             }
             (ep_idx, remote_bytes, upstream_err.map_or(Ok(vals), Err))
         };
+        trace_exec_begin(&self.trace, id, ep_idx);
 
         match dep_values_or_err {
             Err(msg) => self.complete(id, ep_idx, Err(msg), task.output_bytes),
@@ -322,6 +416,7 @@ impl LiveRuntime {
             coord: Arc::clone(&self.coord),
             done_cond: Arc::clone(&self.done_cond),
             transfer_bandwidth_bps: self.transfer_bandwidth_bps,
+            trace: self.trace.clone(),
         }
     }
 
@@ -339,10 +434,12 @@ struct RuntimeHandle {
     coord: Arc<Mutex<Coord>>,
     done_cond: Arc<Condvar>,
     transfer_bandwidth_bps: Option<f64>,
+    trace: SharedTrace,
 }
 
 impl RuntimeHandle {
     fn complete(&self, id: usize, ep: usize, result: Result<Value, String>, bytes: u64) {
+        trace_done(&self.trace, id, ep, result.is_err());
         let ready: Vec<(usize, PendingTask)> = {
             let mut coord = self.coord.lock();
             coord.produced_at.insert(id, (ep, bytes));
@@ -421,6 +518,7 @@ impl RuntimeHandle {
             }
             (ep_idx, remote_bytes, upstream_err.map_or(Ok(vals), Err))
         };
+        trace_exec_begin(&self.trace, id, ep_idx);
 
         match dep_values_or_err {
             Err(msg) => self.complete(id, ep_idx, Err(msg), task.output_bytes),
@@ -549,6 +647,25 @@ mod tests {
         for f in &futures {
             assert!(f.is_done());
         }
+    }
+
+    #[test]
+    fn traced_run_produces_span_pairs() {
+        let rt = LiveRuntime::new(&[("a", 2)]).with_trace(TraceConfig::default());
+        add_fn(&rt);
+        let f = rt
+            .submit("add", vec![value(1i64), value(2i64)], &[])
+            .unwrap();
+        assert_eq!(*downcast::<i64>(&f.wait().unwrap()).unwrap(), 3);
+        rt.wait_all();
+        let tr = rt.trace_snapshot().expect("tracing enabled");
+        // pending begin/end + executing begin/end.
+        assert_eq!(tr.len(), 4);
+        let mut buf = Vec::new();
+        tr.export_perfetto(&mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("executing"));
+        // Untraced runtimes have no snapshot.
+        assert!(LiveRuntime::new(&[("a", 1)]).trace_snapshot().is_none());
     }
 
     #[test]

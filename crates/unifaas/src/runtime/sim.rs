@@ -30,14 +30,17 @@ use crate::sched::{
     external_input_id, output_id, task_inputs, CapacityScheduler, DhaScheduler, LocalityScheduler,
     PinnedScheduler, SchedAction, SchedCtx, Scheduler,
 };
+use crate::trace::{DecisionRecord, RunTrace, TraceConfig, TransferRecord};
 use fedci::endpoint::{EndpointId, EndpointSim};
 use fedci::faas::FaasServiceModel;
 use fedci::fault::FaultInjector;
 use fedci::network::{Link, NetworkTopology};
+use fedci::trace::FedciTraceLabels;
 use fedci::transfer::TransferParams;
 use simkit::event::EventId;
 use simkit::series::SeriesHandle;
-use simkit::{Engine, SimDuration, SimRng, SimTime};
+use simkit::trace::{LabelId, TraceLevel, Tracer};
+use simkit::{Engine, EngineStats, SimDuration, SimRng, SimTime};
 use std::collections::{HashMap, VecDeque};
 use taskgraph::{Dag, TaskId};
 
@@ -126,6 +129,7 @@ pub struct SimRuntime {
     history: Option<HistoryDb>,
     prestage_inputs: bool,
     injections: Vec<(SimTime, InjectFn)>,
+    trace: Option<TraceConfig>,
 }
 
 impl SimRuntime {
@@ -138,7 +142,17 @@ impl SimRuntime {
             history: None,
             prestage_inputs: true,
             injections: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Enables run tracing: per-task lifecycle spans on per-endpoint
+    /// tracks, transfer spans, scheduler decision records and fault
+    /// instants, returned as [`RunReport::trace`]. An untraced run pays a
+    /// single pointer check per instrumentation site.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// Overrides the network topology (default: uniform WAN links).
@@ -176,7 +190,106 @@ impl SimRuntime {
         rt.bootstrap(&mut engine);
         let mut handler = |now: SimTime, ev: Ev, eng: &mut Engine<Ev>| rt.handle(now, ev, eng);
         while engine.step(&mut handler) {}
-        rt.finish(engine.processed())
+        rt.finish(engine.processed(), engine.stats())
+    }
+}
+
+/// Tracing state for a run, boxed behind one `Option` so untraced runs pay
+/// a pointer check per instrumentation site and nothing else.
+struct RtTrace {
+    tracer: Tracer,
+    /// Substrate taxonomy (queued/executing/transfer spans, fault instants,
+    /// busy counters) with one display track per endpoint.
+    labels: FedciTraceLabels,
+    /// Track for client-side lifecycle stages (before a task has a target).
+    client_track: LabelId,
+    ready: LabelId,
+    staging: LabelId,
+    staged: LabelId,
+    dispatched: LabelId,
+    polled: LabelId,
+    /// One instant label per `Ev` variant, emitted at `Full` level.
+    ev_labels: [LabelId; 11],
+    /// The open lifecycle span per task: `(span name, track)`.
+    open: Vec<Option<(LabelId, LabelId)>>,
+    decisions: Vec<DecisionRecord>,
+    transfers: Vec<TransferRecord>,
+    max_decisions: usize,
+    max_transfers: usize,
+    dropped_decisions: u64,
+    dropped_transfers: u64,
+}
+
+impl RtTrace {
+    fn new(cfg: &TraceConfig, endpoint_labels: &[String], n_tasks: usize) -> RtTrace {
+        let mut tracer = Tracer::new(cfg.level, cfg.ring_capacity);
+        let labels = FedciTraceLabels::new(&mut tracer, endpoint_labels);
+        RtTrace {
+            client_track: tracer.intern("client"),
+            ready: tracer.intern("ready"),
+            staging: tracer.intern("staging"),
+            staged: tracer.intern("staged"),
+            dispatched: tracer.intern("dispatched"),
+            polled: tracer.intern("polled"),
+            ev_labels: [
+                tracer.intern("ev.staging_check"),
+                tracer.intern("ev.xfer_done"),
+                tracer.intern("ev.task_arrive"),
+                tracer.intern("ev.exec_done"),
+                tracer.intern("ev.result_observed"),
+                tracer.intern("ev.mock_sync"),
+                tracer.intern("ev.scale_tick"),
+                tracer.intern("ev.reschedule_tick"),
+                tracer.intern("ev.capacity_change"),
+                tracer.intern("ev.commission"),
+                tracer.intern("ev.inject"),
+            ],
+            labels,
+            tracer,
+            open: vec![None; n_tasks],
+            decisions: Vec::new(),
+            transfers: Vec::new(),
+            max_decisions: cfg.max_decisions,
+            max_transfers: cfg.max_transfers,
+            dropped_decisions: 0,
+            dropped_transfers: 0,
+        }
+    }
+
+    /// Ends `t`'s open lifecycle span and begins `next` (or nothing, for
+    /// terminal states). The span id is the task id, so Perfetto stitches
+    /// consecutive stages into one async lane per task.
+    fn transition(&mut self, t: TaskId, now: SimTime, next: Option<(LabelId, LabelId)>) {
+        let slot = &mut self.open[t.index()];
+        if let Some((name, track)) = slot.take() {
+            self.tracer.end(now, name, track, t.0 as u64);
+        }
+        if let Some((name, track)) = next {
+            self.tracer.begin(now, name, track, t.0 as u64);
+            *slot = Some((name, track));
+        }
+    }
+
+    fn grow(&mut self, n_tasks: usize) {
+        if self.open.len() < n_tasks {
+            self.open.resize(n_tasks, None);
+        }
+    }
+
+    fn push_decision(&mut self, d: DecisionRecord) {
+        if self.decisions.len() < self.max_decisions {
+            self.decisions.push(d);
+        } else {
+            self.dropped_decisions += 1;
+        }
+    }
+
+    fn push_transfer(&mut self, r: TransferRecord) {
+        if self.transfers.len() < self.max_transfers {
+            self.transfers.push(r);
+        } else {
+            self.dropped_transfers += 1;
+        }
     }
 }
 
@@ -240,6 +353,8 @@ struct Rt {
     mock_sync_armed: bool,
     scale_armed: bool,
     resched_armed: bool,
+    /// Present only on traced runs; see [`RtTrace`].
+    trace: Option<Box<RtTrace>>,
 }
 
 impl Rt {
@@ -366,6 +481,14 @@ impl Rt {
             .iter()
             .map(|e| series.active_workers.handle(&e.label))
             .collect();
+        let trace = r
+            .trace
+            .as_ref()
+            .filter(|tc| tc.level != TraceLevel::Off)
+            .map(|tc| {
+                let labels: Vec<String> = cfg.endpoints.iter().map(|e| e.label.clone()).collect();
+                Box::new(RtTrace::new(tc, &labels, n_tasks))
+            });
         Ok(Rt {
             cfg,
             dag: r.dag,
@@ -413,6 +536,7 @@ impl Rt {
             mock_sync_armed: false,
             scale_armed: false,
             resched_armed: false,
+            trace,
         })
     }
 
@@ -510,6 +634,7 @@ impl Rt {
         f: F,
     ) -> Vec<SchedAction> {
         let t0 = std::time::Instant::now();
+        let trace_on = self.trace.as_ref().is_some_and(|t| t.tracer.enabled());
         let predictor: &dyn Predictor = match &self.profiler {
             ProfilerKind::Oracle(p) => p,
             ProfilerKind::Learned(p) => p.as_ref(),
@@ -525,11 +650,19 @@ impl Rt {
             &self.compute_eps,
             &self.dm,
             self.faas.max_payload_bytes,
-        );
+        )
+        .with_decision_trace(trace_on);
         f(self.scheduler.as_mut(), &mut ctx);
         let actions = ctx.take_actions();
         self.sched_wall += t0.elapsed();
         self.sched_calls += 1;
+        if trace_on {
+            let decisions = ctx.take_decisions();
+            let tr = self.trace.as_deref_mut().expect("trace_on implies trace");
+            for d in decisions {
+                tr.push_decision(d);
+            }
+        }
         actions
     }
 
@@ -545,10 +678,11 @@ impl Rt {
     // ---- task lifecycle -----------------------------------------------
 
     /// Central task state transition. Every write to `TaskRt.state` goes
-    /// through here so the tick counters stay exact without scans. Callers
+    /// through here so the tick counters stay exact without scans, and so a
+    /// traced run gets its per-task lifecycle spans from one place. Callers
     /// entering Dispatched must set `target` *before* calling (the
     /// per-endpoint outstanding count is keyed by it).
-    fn set_state(&mut self, t: TaskId, new: TaskState) {
+    fn set_state(&mut self, t: TaskId, new: TaskState, now: SimTime) {
         let old = self.tasks[t.index()].state;
         if old == new {
             return;
@@ -604,14 +738,102 @@ impl Rt {
             TaskState::Waiting | TaskState::Done | TaskState::Failed => {}
         }
         self.tasks[t.index()].state = new;
+        if self.trace.is_some() {
+            self.trace_state_span(t, new, now);
+        }
+    }
+
+    /// Emits the lifecycle span transition for `t` entering `new`. Stages
+    /// before a task has a target live on the client track; targeted stages
+    /// live on the target endpoint's track. The arrival→start queue wait is
+    /// traced separately (the `TaskArrive` handler), because it is not a
+    /// `TaskState` transition.
+    fn trace_state_span(&mut self, t: TaskId, new: TaskState, now: SimTime) {
+        let target = self.tasks[t.index()].target;
+        let tr = self.trace.as_deref_mut().expect("caller checked");
+        if !tr.tracer.enabled() {
+            return;
+        }
+        let track = target.map_or(tr.client_track, |ep| tr.labels.tracks[ep.index()]);
+        let next = match new {
+            TaskState::Ready => Some((tr.ready, tr.client_track)),
+            TaskState::Staging => Some((tr.staging, track)),
+            TaskState::Staged => Some((tr.staged, track)),
+            TaskState::Dispatched => Some((tr.dispatched, track)),
+            TaskState::Running => Some((tr.labels.executing, track)),
+            TaskState::AwaitResult => Some((tr.polled, track)),
+            TaskState::Waiting | TaskState::Done | TaskState::Failed => None,
+        };
+        tr.transition(t, now, next);
+    }
+
+    /// Opens a transfer span on the destination's track and, at `Full`
+    /// level, records the source-choice rationale as a [`TransferRecord`].
+    /// Callers must have checked `self.trace.is_some()`.
+    fn trace_xfer_begin(&mut self, id: XferId, now: SimTime) {
+        let info = self.dm.xfer_info(id);
+        let tr = self.trace.as_deref_mut().expect("caller checked");
+        if !tr.tracer.enabled() {
+            return;
+        }
+        let track = tr.labels.tracks[info.dst.index()];
+        tr.tracer.begin(now, tr.labels.transfer, track, id.0 as u64);
+        if tr.tracer.full() {
+            tr.push_transfer(TransferRecord {
+                at: now,
+                xfer: id.0 as u64,
+                object: info.object.0,
+                src: info.src,
+                dst: info.dst,
+                bytes: info.bytes,
+                replica_candidates: info.replica_candidates,
+                attempt: info.attempt,
+            });
+        }
+    }
+
+    /// Closes a transfer span (and emits a fault instant on a failed
+    /// attempt). Callers must have checked `self.trace.is_some()`.
+    fn trace_xfer_end(&mut self, id: XferId, now: SimTime, failed: bool) {
+        let info = self.dm.xfer_info(id);
+        let tr = self.trace.as_deref_mut().expect("caller checked");
+        if !tr.tracer.enabled() {
+            return;
+        }
+        let track = tr.labels.tracks[info.dst.index()];
+        tr.tracer.end(now, tr.labels.transfer, track, id.0 as u64);
+        if failed {
+            tr.labels
+                .transfer_fault(&mut tr.tracer, now, info.dst, id.0 as u64, info.attempt);
+        }
+    }
+
+    /// Records `ep`'s busy-worker count after an occupy/release. Callers
+    /// must have checked `self.trace.is_some()`.
+    fn trace_busy(&mut self, ep: EndpointId, now: SimTime) {
+        let busy = self.endpoints[ep.index()].busy_workers();
+        let tr = self.trace.as_deref_mut().expect("caller checked");
+        tr.labels.busy_workers(&mut tr.tracer, now, ep, busy);
+    }
+
+    /// Records `ep`'s provisioned-worker count after a capacity change.
+    /// Callers must have checked `self.trace.is_some()`.
+    fn trace_capacity(&mut self, ep: EndpointId, now: SimTime) {
+        let workers = self.endpoints[ep.index()].active_workers();
+        let tr = self.trace.as_deref_mut().expect("caller checked");
+        tr.labels.capacity_change(&mut tr.tracer, now, ep, workers);
     }
 
     /// Full-scan cross-check of the transition-maintained counters, the
     /// witness that the O(n_endpoints) tick handlers see exactly what a
-    /// DAG scan would. Debug builds only; every periodic tick calls it, so
-    /// the whole test suite doubles as a reconciliation harness.
-    #[cfg(debug_assertions)]
-    fn reconcile_counters(&self) {
+    /// DAG scan would. Returns a description of the first drifted counter,
+    /// or `None` when everything reconciles.
+    ///
+    /// Always compiled: debug builds assert it on every periodic tick, and
+    /// release builds do too when [`Config::validate_counters`] is set —
+    /// which is how CI catches release-mode-only drift (e.g. an overflow a
+    /// debug build would have trapped differently).
+    fn counter_drift(&self) -> Option<String> {
         let mut ep_outstanding = vec![0usize; self.endpoints.len()];
         let (mut active, mut waiting, mut staging) = (0usize, 0usize, 0usize);
         let (mut unassigned, mut work) = (0usize, 0.0f64);
@@ -637,23 +859,52 @@ impl Rt {
                 TaskState::Waiting | TaskState::Done | TaskState::Failed => {}
             }
         }
-        assert_eq!(
-            self.ep_outstanding, ep_outstanding,
-            "per-endpoint outstanding counters drifted"
-        );
-        assert_eq!(self.active_task_count, active, "active counter drifted");
-        assert_eq!(self.waiting_task_count, waiting, "waiting counter drifted");
-        assert_eq!(self.staging_count, staging, "staging counter drifted");
-        assert_eq!(
-            self.unassigned_ready, unassigned,
-            "unassigned-ready counter drifted"
-        );
-        assert!(
-            (self.unassigned_work - work).abs() <= 1e-6 * work.abs().max(1.0),
-            "unassigned work-seconds drifted: {} vs {}",
-            self.unassigned_work,
-            work
-        );
+        if self.ep_outstanding != ep_outstanding {
+            return Some(format!(
+                "per-endpoint outstanding counters drifted: {:?} vs scan {:?}",
+                self.ep_outstanding, ep_outstanding
+            ));
+        }
+        if self.active_task_count != active {
+            return Some(format!(
+                "active counter drifted: {} vs scan {active}",
+                self.active_task_count
+            ));
+        }
+        if self.waiting_task_count != waiting {
+            return Some(format!(
+                "waiting counter drifted: {} vs scan {waiting}",
+                self.waiting_task_count
+            ));
+        }
+        if self.staging_count != staging {
+            return Some(format!(
+                "staging counter drifted: {} vs scan {staging}",
+                self.staging_count
+            ));
+        }
+        if self.unassigned_ready != unassigned {
+            return Some(format!(
+                "unassigned-ready counter drifted: {} vs scan {unassigned}",
+                self.unassigned_ready
+            ));
+        }
+        if (self.unassigned_work - work).abs() > 1e-6 * work.abs().max(1.0) {
+            return Some(format!(
+                "unassigned work-seconds drifted: {} vs scan {work}",
+                self.unassigned_work
+            ));
+        }
+        None
+    }
+
+    /// Panics on counter drift. Every periodic tick calls this in debug
+    /// builds (the whole test suite doubles as a reconciliation harness)
+    /// and in release builds with [`Config::validate_counters`] set.
+    fn validate_counters(&self) {
+        if let Some(msg) = self.counter_drift() {
+            panic!("counter reconciliation failed: {msg}");
+        }
     }
 
     fn do_stage(
@@ -672,12 +923,14 @@ impl Rt {
             "stage from invalid state {:?} for {t}",
             self.tasks[t.index()].state
         );
-        self.set_state(t, TaskState::Staging);
+        // Target before the state change: the staging span (and, for the
+        // Dispatched family, the outstanding counter) is keyed by it.
         {
             let task = &mut self.tasks[t.index()];
             task.target = Some(ep);
             task.runtime_retry = runtime_retry;
         }
+        self.set_state(t, TaskState::Staging, now);
         self.set_pending(t, Some(ep), now);
         self.record_staging(now);
         let inputs = task_inputs(&self.dag, t, self.faas.max_payload_bytes);
@@ -690,6 +943,11 @@ impl Rt {
             .request_stage_into(t, &inputs, ep, now, &mut started);
         for sx in &started {
             eng.schedule(sx.completes_at, Ev::XferDone(sx.id));
+        }
+        if self.trace.is_some() {
+            for sx in &started {
+                self.trace_xfer_begin(sx.id, now);
+            }
         }
         self.xfer_scratch = started;
         if missing == 0 {
@@ -709,7 +967,7 @@ impl Rt {
         if self.dm.store.missing_bytes(&inputs, ep) > 0 {
             return; // still waiting for other objects (or retargeted)
         }
-        self.set_state(t, TaskState::Staged);
+        self.set_state(t, TaskState::Staged, now);
         self.tasks[t.index()].t_staged = now;
         self.record_staging(now);
         if self.tasks[t.index()].runtime_retry {
@@ -732,7 +990,7 @@ impl Rt {
             task.predicted_exec = predicted;
             task.target = Some(ep);
         }
-        self.set_state(t, TaskState::Dispatched);
+        self.set_state(t, TaskState::Dispatched, now);
         // Local mocking: push a mock task at submission time.
         self.monitor.mock_mut(ep).push_task(predicted);
         // The client serializes submissions.
@@ -757,7 +1015,7 @@ impl Rt {
             let ok = self.endpoints[ep.index()].occupy_worker(now);
             debug_assert!(ok);
             started_any = true;
-            self.set_state(t, TaskState::Running);
+            self.set_state(t, TaskState::Running, now);
             self.tasks[t.index()].t_exec_start = now;
             self.set_pending(t, None, now);
             let noise = self.rng.normal_min(1.0, self.cfg.exec_noise_cv, 0.1);
@@ -768,6 +1026,9 @@ impl Rt {
         }
         if started_any {
             self.record_workers(now);
+            if self.trace.is_some() {
+                self.trace_busy(ep, now);
+            }
         }
     }
 
@@ -795,8 +1056,15 @@ impl Rt {
         self.endpoints[ep.index()].release_worker(now);
         self.record_workers(now);
         let success = !self.faults.task_fails(ep, now);
-        self.set_state(t, TaskState::AwaitResult);
+        self.set_state(t, TaskState::AwaitResult, now);
         self.tasks[t.index()].t_exec_end = now;
+        if self.trace.is_some() {
+            self.trace_busy(ep, now);
+            if !success {
+                let tr = self.trace.as_deref_mut().expect("checked");
+                tr.labels.task_fault(&mut tr.tracer, now, ep, t.0 as u64);
+            }
+        }
         if success {
             // The output file exists on the endpoint's shared filesystem
             // immediately.
@@ -857,7 +1125,7 @@ impl Rt {
         self.maybe_retrain();
 
         if success {
-            self.set_state(t, TaskState::Done);
+            self.set_state(t, TaskState::Done, now);
             self.tasks[t.index()].attempt_eps.push(ep);
             self.completed += 1;
             self.makespan_end = now;
@@ -884,7 +1152,7 @@ impl Rt {
         if self.fatal.is_some() {
             return;
         }
-        self.set_state(t, TaskState::Ready);
+        self.set_state(t, TaskState::Ready, now);
         self.tasks[t.index()].t_ready = now;
         let actions = self.sched(now, |s, ctx| s.on_task_ready(ctx, t));
         self.process_actions(actions, now, eng);
@@ -907,7 +1175,7 @@ impl Rt {
         self.scheduler.on_task_removed(t);
         self.set_pending(t, None, now);
         if self.tasks[t.index()].attempts >= self.cfg.max_task_attempts {
-            self.set_state(t, TaskState::Failed);
+            self.set_state(t, TaskState::Failed, now);
             if self.fatal.is_none() {
                 self.fatal = Some(UniFaasError::TaskFailed {
                     task: t,
@@ -926,7 +1194,7 @@ impl Rt {
                 .best_endpoint_by_success(&self.compute_eps)
                 .unwrap_or(ep)
         };
-        self.set_state(t, TaskState::Ready);
+        self.set_state(t, TaskState::Ready, now);
         self.do_stage(t, retry_ep, true, now, eng);
     }
 
@@ -1018,8 +1286,9 @@ impl Rt {
     }
 
     fn sync_mocks(&mut self, _now: SimTime) {
-        #[cfg(debug_assertions)]
-        self.reconcile_counters();
+        if cfg!(debug_assertions) || self.cfg.validate_counters {
+            self.validate_counters();
+        }
         // Ground-truth outstanding per endpoint: the maintained counters.
         for ep in 0..self.endpoints.len() {
             let e = &self.endpoints[ep];
@@ -1032,8 +1301,9 @@ impl Rt {
     }
 
     fn scale_tick(&mut self, now: SimTime, eng: &mut Engine<Ev>) {
-        #[cfg(debug_assertions)]
-        self.reconcile_counters();
+        if cfg!(debug_assertions) || self.cfg.validate_counters {
+            self.validate_counters();
+        }
         // Ready tasks without a target yet (e.g. Locality's backlog while no
         // worker is idle anywhere) are demand visible to *every* endpoint —
         // the paper scales out "on all the endpoints" when pending tasks
@@ -1068,6 +1338,9 @@ impl Rt {
                 }
                 ScaleCommand::In { ep, workers } => {
                     self.endpoints[ep.index()].release_idle_workers(workers, now);
+                    if self.trace.is_some() {
+                        self.trace_capacity(ep, now);
+                    }
                     let e = &self.endpoints[ep.index()];
                     let (a, p) = (e.active_workers(), e.pending_workers());
                     let m = self.monitor.mock_mut(ep);
@@ -1083,6 +1356,9 @@ impl Rt {
         let ev = self.cfg.capacity_events[idx];
         let ep = EndpointId(ev.endpoint as u16);
         let preempted = self.endpoints[ep.index()].force_capacity_delta(ev.delta, now);
+        if self.trace.is_some() {
+            self.trace_capacity(ep, now);
+        }
         // Choose the most recently started running tasks as the preempted
         // ones (their batch nodes died); deterministic order.
         if preempted > 0 {
@@ -1127,6 +1403,9 @@ impl Rt {
         for _ in &added {
             self.tasks.push(TaskRt::new());
             self.deps_remaining.push(0);
+        }
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.grow(self.dag.len());
         }
         self.register_inputs(&added);
         self.init_deps(&added);
@@ -1247,10 +1526,32 @@ impl Rt {
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev, eng: &mut Engine<Ev>) {
+        if let Some(tr) = self.trace.as_deref_mut() {
+            if tr.tracer.full() {
+                let (idx, arg) = match &ev {
+                    Ev::StagingCheck(t) => (0, t.0 as i64),
+                    Ev::XferDone(x) => (1, x.0 as i64),
+                    Ev::TaskArrive(t, _) => (2, t.0 as i64),
+                    Ev::ExecDone(t, _) => (3, t.0 as i64),
+                    Ev::ResultObserved(t, _, _) => (4, t.0 as i64),
+                    Ev::MockSync => (5, 0),
+                    Ev::ScaleTick => (6, 0),
+                    Ev::RescheduleTick => (7, 0),
+                    Ev::CapacityChange(i) => (8, *i as i64),
+                    Ev::Commission(_, n) => (9, *n as i64),
+                    Ev::Inject(i) => (10, *i as i64),
+                };
+                let (name, track) = (tr.ev_labels[idx], tr.client_track);
+                tr.tracer.instant(now, name, track, 0, arg);
+            }
+        }
         match ev {
             Ev::StagingCheck(t) => self.check_staged(t, now, eng),
             Ev::XferDone(x) => {
                 let failed = self.faults.transfer_fails();
+                if self.trace.is_some() {
+                    self.trace_xfer_end(x, now, failed);
+                }
                 let out = self.dm.complete(x, now, failed);
                 if let Some((src, dst, bytes, secs)) = out.observation {
                     self.task_monitor.observe(TaskRecord {
@@ -1268,6 +1569,9 @@ impl Rt {
                 }
                 for sx in out.started {
                     eng.schedule(sx.completes_at, Ev::XferDone(sx.id));
+                    if self.trace.is_some() {
+                        self.trace_xfer_begin(sx.id, now);
+                    }
                 }
                 for t in out.tasks_to_check {
                     self.check_staged(t, now, eng);
@@ -1286,6 +1590,14 @@ impl Rt {
             Ev::TaskArrive(t, ep) => {
                 self.tasks[t.index()].t_arrived = now;
                 self.ep_queues[ep.index()].push_back(t);
+                // Not a `TaskState` change, but a distinct lifecycle stage:
+                // close the dispatched span, open the endpoint-queue wait.
+                if let Some(tr) = self.trace.as_deref_mut() {
+                    if tr.tracer.enabled() {
+                        let queued = (tr.labels.queued, tr.labels.tracks[ep.index()]);
+                        tr.transition(t, now, Some(queued));
+                    }
+                }
                 self.try_start(ep, now, eng);
             }
             Ev::ExecDone(t, ep) => self.exec_done(t, ep, now, eng),
@@ -1327,6 +1639,9 @@ impl Rt {
             Ev::CapacityChange(i) => self.capacity_change(i, now, eng),
             Ev::Commission(ep, n) => {
                 self.endpoints[ep.index()].commission_workers(n, now);
+                if self.trace.is_some() {
+                    self.trace_capacity(ep, now);
+                }
                 let e = &self.endpoints[ep.index()];
                 let (a, p) = (e.active_workers(), e.pending_workers());
                 let m = self.monitor.mock_mut(ep);
@@ -1344,7 +1659,7 @@ impl Rt {
         }
     }
 
-    fn finish(mut self, events: u64) -> Result<RunReport, UniFaasError> {
+    fn finish(mut self, events: u64, stats: EngineStats) -> Result<RunReport, UniFaasError> {
         if let Some(err) = self.fatal.take() {
             return Err(err);
         }
@@ -1358,7 +1673,36 @@ impl Rt {
                 self.dag.len()
             )));
         }
+        if self.cfg.validate_counters {
+            self.validate_counters();
+        }
         self.latency.scheduling_s = self.sched_wall.as_secs_f64();
+        // Seal the trace: close dangling spans defensively and snapshot the
+        // engine's always-on stats as final counters.
+        let trace = self.trace.take().map(|b| {
+            let end = self.makespan_end;
+            let mut rt = *b;
+            for i in 0..rt.open.len() {
+                if rt.open[i].is_some() {
+                    rt.transition(TaskId(i as u32), end, None);
+                }
+            }
+            let l = rt.tracer.intern("engine.events");
+            rt.tracer.counter(end, l, events as f64);
+            let l = rt.tracer.intern("engine.scheduled");
+            rt.tracer.counter(end, l, stats.scheduled as f64);
+            let l = rt.tracer.intern("engine.cancelled");
+            rt.tracer.counter(end, l, stats.cancelled as f64);
+            let l = rt.tracer.intern("engine.max_pending");
+            rt.tracer.counter(end, l, stats.max_pending as f64);
+            Box::new(RunTrace {
+                tracer: rt.tracer,
+                decisions: rt.decisions,
+                transfers: rt.transfers,
+                dropped_decisions: rt.dropped_decisions,
+                dropped_transfers: rt.dropped_transfers,
+            })
+        });
         let tasks_per_endpoint = self
             .tasks_per_ep
             .iter()
@@ -1377,6 +1721,7 @@ impl Rt {
             events_processed: events,
             latency: self.latency,
             series: self.series,
+            trace,
         })
     }
 }

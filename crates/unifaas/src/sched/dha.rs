@@ -32,6 +32,7 @@
 
 use crate::sched::queue::DelayQueues;
 use crate::sched::{SchedCtx, Scheduler};
+use crate::trace::{CandidateEval, DecisionKind, DecisionRecord};
 use fedci::endpoint::EndpointId;
 use fedci::storage::DataId;
 use std::collections::HashMap;
@@ -392,7 +393,8 @@ impl DhaScheduler {
     }
 
     /// Makes sure `task` has cached input and per-endpoint execution rows.
-    fn ensure_task_caches(&mut self, ctx: &SchedCtx, task: TaskId) {
+    /// Returns `(exec_cache_hit, inputs_cache_hit)` for decision records.
+    fn ensure_task_caches(&mut self, ctx: &SchedCtx, task: TaskId) -> (bool, bool) {
         let i = task.index();
         let w = ctx.compute_eps.len();
         debug_assert!(
@@ -404,7 +406,8 @@ impl DhaScheduler {
             self.exec_valid.resize(i + 1, false);
             self.exec_cache.resize((i + 1) * w, 0.0);
         }
-        if !self.exec_valid[i] {
+        let exec_hit = self.exec_valid[i];
+        if !exec_hit {
             for (slot, &ep) in ctx.compute_eps.iter().enumerate() {
                 self.exec_cache[i * w + slot] =
                     ctx.predictor
@@ -415,9 +418,11 @@ impl DhaScheduler {
         if self.inputs_cache.len() <= i {
             self.inputs_cache.resize_with(i + 1, || None);
         }
-        if self.inputs_cache[i].is_none() {
+        let inputs_hit = self.inputs_cache[i].is_some();
+        if !inputs_hit {
             self.inputs_cache[i] = Some(ctx.task_inputs(task).into());
         }
+        (exec_hit, inputs_hit)
     }
 
     /// Clears a task's cached rows once it is dispatched or removed.
@@ -507,7 +512,7 @@ impl DhaScheduler {
             // current endpoint is not unfairly penalized by its own weight.
             let own = self.committed.get(task.index()).copied().flatten();
             self.uncommit(task);
-            self.ensure_task_caches(ctx, task);
+            let (exec_hit, inputs_hit) = self.ensure_task_caches(ctx, task);
             let w = self.exec_width;
             let execs: &[f64] = &self.exec_cache[task.index() * w..(task.index() + 1) * w];
             let inputs: &[DataId] = self.inputs_cache[task.index()].as_deref().expect("cached");
@@ -521,9 +526,20 @@ impl DhaScheduler {
             } else {
                 0.0
             };
+            let cur_avail = self.availability(ctx, cur);
             let cur_exec = execs[slot_of[cur.index()]];
-            let cur_eft = cur_staging.max(self.availability(ctx, cur)) + cur_exec;
+            let cur_eft = cur_staging.max(cur_avail) + cur_exec;
             let limit = cur_eft * thresh;
+            let mut cand: Vec<CandidateEval> = Vec::new();
+            if ctx.trace_decisions {
+                cand.push(CandidateEval {
+                    ep: cur,
+                    avail_s: cur_avail,
+                    exec_s: cur_exec,
+                    staging_s: Some(cur_staging),
+                    eft_s: Some(cur_eft),
+                });
+            }
             // Find the best stealing target. `avail + exec` lower-bounds
             // the EFT (staging ≥ 0), so candidates that cannot beat the
             // threshold are pruned before the expensive staging estimate —
@@ -536,25 +552,43 @@ impl DhaScheduler {
                 let avail = self.availability(ctx, ep);
                 let exec = execs[slot];
                 let bound = avail + exec;
-                if bound >= limit {
-                    continue; // EFT ≥ bound: provably cannot win a steal
-                }
-                if let Some(b) = &best {
-                    // A bound at or above the best EFT cannot produce a
-                    // strictly better EFT; it could still tie and win on
-                    // endpoint id, so only prune when the id loses too.
-                    if bound > b.eft || (bound >= b.eft && ep.0 > b.ep.0) {
-                        continue;
+                let pruned = bound >= limit
+                    || best.as_ref().is_some_and(|b| {
+                        // A bound at or above the best EFT cannot produce a
+                        // strictly better EFT; it could still tie and win on
+                        // endpoint id, so only prune when the id loses too.
+                        bound > b.eft || (bound >= b.eft && ep.0 > b.ep.0)
+                    });
+                if pruned {
+                    if ctx.trace_decisions {
+                        cand.push(CandidateEval {
+                            ep,
+                            avail_s: avail,
+                            exec_s: exec,
+                            staging_s: None,
+                            eft_s: None,
+                        });
                     }
+                    continue; // EFT ≥ bound: provably cannot win a steal
                 }
                 // An input-less task stages in zero seconds — no estimator
                 // call needed. (`max` still applies: a drifted-negative
                 // availability clamps to the zero staging time.)
-                let eft = if inputs.is_empty() {
-                    0.0f64.max(avail) + exec
+                let staging = if inputs.is_empty() {
+                    0.0
                 } else {
-                    self.replica.staging_seconds(ctx, inputs, ep).max(avail) + exec
+                    self.replica.staging_seconds(ctx, inputs, ep)
                 };
+                let eft = staging.max(avail) + exec;
+                if ctx.trace_decisions {
+                    cand.push(CandidateEval {
+                        ep,
+                        avail_s: avail,
+                        exec_s: exec,
+                        staging_s: Some(staging),
+                        eft_s: Some(eft),
+                    });
+                }
                 if eft >= limit {
                     continue;
                 }
@@ -571,6 +605,18 @@ impl DhaScheduler {
             // the global tie-break (relevant only for thresholds > 1).
             if let Some(b) = best {
                 if b.eft < cur_eft || (b.eft == cur_eft && b.ep.0 < cur.0) {
+                    if ctx.trace_decisions {
+                        ctx.decide(DecisionRecord {
+                            at: ctx.now,
+                            task,
+                            kind: DecisionKind::Steal,
+                            chosen: b.ep,
+                            chosen_eft_s: b.eft,
+                            candidates: cand,
+                            exec_cache_hit: exec_hit,
+                            inputs_cache_hit: inputs_hit,
+                        });
+                    }
                     self.staged.remove(task);
                     self.staging.insert(task);
                     self.target[task.index()] = Some(b.ep);
@@ -619,7 +665,7 @@ impl Scheduler for DhaScheduler {
 
     fn on_task_ready(&mut self, ctx: &mut SchedCtx, task: TaskId) {
         self.refresh_caches(ctx);
-        self.ensure_task_caches(ctx, task);
+        let (exec_hit, inputs_hit) = self.ensure_task_caches(ctx, task);
         // Endpoint selection + immediate staging (overlap with compute).
         // Every per-endpoint prediction (staging, availability, execution)
         // is evaluated at most once; staging — the expensive one — is
@@ -627,6 +673,7 @@ impl Scheduler for DhaScheduler {
         let w = self.exec_width;
         let execs: &[f64] = &self.exec_cache[task.index() * w..(task.index() + 1) * w];
         let inputs: &[DataId] = self.inputs_cache[task.index()].as_deref().expect("cached");
+        let mut cand: Vec<CandidateEval> = Vec::new();
         let mut best: Option<EpEval> = None;
         for (slot, &ep) in ctx.compute_eps.iter().enumerate() {
             let avail = self.availability(ctx, ep);
@@ -634,14 +681,33 @@ impl Scheduler for DhaScheduler {
             if let Some(b) = &best {
                 let bound = avail + exec;
                 if bound > b.eft || (bound >= b.eft && ep.0 > b.ep.0) {
+                    if ctx.trace_decisions {
+                        cand.push(CandidateEval {
+                            ep,
+                            avail_s: avail,
+                            exec_s: exec,
+                            staging_s: None,
+                            eft_s: None,
+                        });
+                    }
                     continue; // cannot beat (or tie-break past) the best
                 }
             }
-            let eft = if inputs.is_empty() {
-                0.0f64.max(avail) + exec
+            let staging = if inputs.is_empty() {
+                0.0
             } else {
-                self.replica.staging_seconds(ctx, inputs, ep).max(avail) + exec
+                self.replica.staging_seconds(ctx, inputs, ep)
             };
+            let eft = staging.max(avail) + exec;
+            if ctx.trace_decisions {
+                cand.push(CandidateEval {
+                    ep,
+                    avail_s: avail,
+                    exec_s: exec,
+                    staging_s: Some(staging),
+                    eft_s: Some(eft),
+                });
+            }
             let better = match &best {
                 None => true,
                 Some(b) => eft < b.eft || (eft == b.eft && ep.0 < b.ep.0),
@@ -652,6 +718,18 @@ impl Scheduler for DhaScheduler {
         }
         let b = best.expect("at least one compute endpoint");
         let (ep, exec) = (b.ep, b.exec);
+        if ctx.trace_decisions {
+            ctx.decide(DecisionRecord {
+                at: ctx.now,
+                task,
+                kind: DecisionKind::Initial,
+                chosen: ep,
+                chosen_eft_s: b.eft,
+                candidates: cand,
+                exec_cache_hit: exec_hit,
+                inputs_cache_hit: inputs_hit,
+            });
+        }
         self.target[task.index()] = Some(ep);
         self.staging.insert(task);
         self.commit(task, ep, exec);

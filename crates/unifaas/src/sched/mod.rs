@@ -30,6 +30,7 @@ pub use pinned::PinnedScheduler;
 use crate::data::TransferLoad;
 use crate::monitor::EndpointMonitor;
 use crate::profile::{EndpointFeatures, Predictor};
+use crate::trace::DecisionRecord;
 use fedci::endpoint::EndpointId;
 use fedci::storage::{DataId, DataStore};
 use simkit::SimTime;
@@ -80,7 +81,12 @@ pub struct SchedCtx<'a> {
     /// service (the paper's 10 MB payload limit) and never involve the
     /// data manager.
     pub inline_limit: u64,
+    /// True when the runtime wants a [`DecisionRecord`] per placement.
+    /// Schedulers should skip building candidate vectors when false so the
+    /// untraced hot path stays allocation-free.
+    pub trace_decisions: bool,
     actions: Vec<SchedAction>,
+    decisions: Vec<DecisionRecord>,
 }
 
 impl<'a> SchedCtx<'a> {
@@ -109,8 +115,18 @@ impl<'a> SchedCtx<'a> {
             compute_eps,
             xfer_load,
             inline_limit,
+            trace_decisions: false,
             actions: Vec::new(),
+            decisions: Vec::new(),
         }
+    }
+
+    /// Enables decision-record capture for this hook invocation
+    /// (runtime-internal; builder-style so existing call sites are
+    /// unchanged).
+    pub fn with_decision_trace(mut self, on: bool) -> Self {
+        self.trace_decisions = on;
+        self
     }
 
     /// Requests staging of `task`'s inputs to `ep` (also setting/updating
@@ -127,6 +143,17 @@ impl<'a> SchedCtx<'a> {
     /// Drains the queued actions (runtime-internal).
     pub fn take_actions(&mut self) -> Vec<SchedAction> {
         std::mem::take(&mut self.actions)
+    }
+
+    /// Records a placement decision. Schedulers should only call this when
+    /// [`SchedCtx::trace_decisions`] is set.
+    pub fn decide(&mut self, record: DecisionRecord) {
+        self.decisions.push(record);
+    }
+
+    /// Drains the recorded decisions (runtime-internal).
+    pub fn take_decisions(&mut self) -> Vec<DecisionRecord> {
+        std::mem::take(&mut self.decisions)
     }
 
     /// Data objects `task` consumes: predecessor outputs plus its external

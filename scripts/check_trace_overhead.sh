@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Tracing-overhead gate: the e2e throughput benchmark with tracing DISABLED
+# must stay within the given tolerance of the committed BENCH_e2e.json
+# baseline on the stress-100k DHA row (the row most sensitive to per-event
+# coordinator overhead). This is the "zero-cost when disabled" witness: the
+# instrumented binary, with no trace configured, pays only a pointer-null
+# check per site.
+#
+# Usage: scripts/check_trace_overhead.sh [tolerance]
+#   tolerance — allowed relative slowdown, default 0.05 (5%). CI runners
+#   with noisy neighbours can pass a larger value.
+#
+# The benchmark binary rewrites BENCH_e2e.json in the working directory, so
+# the committed baseline is read *before* the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tolerance="${1:-0.05}"
+
+extract() {
+  awk -F'"wall_s": ' '
+    /"workload": "stress-100k"/ && /"scheduler": "DHA"/ {
+      split($2, a, ","); print a[1]; exit
+    }' "$1"
+}
+
+baseline=$(extract BENCH_e2e.json)
+if [ -z "$baseline" ]; then
+  echo "error: no stress-100k DHA row in committed BENCH_e2e.json" >&2
+  exit 1
+fi
+
+echo "==> running e2e throughput benchmark (tracing disabled)"
+cargo run --release -q -p unifaas-bench --bin e2e_throughput
+
+current=$(extract BENCH_e2e.json)
+git checkout -- BENCH_e2e.json 2>/dev/null || true
+
+echo "stress-100k DHA wall: baseline ${baseline}s, current ${current}s (tolerance ${tolerance})"
+awk -v base="$baseline" -v cur="$current" -v tol="$tolerance" 'BEGIN {
+  limit = base * (1 + tol)
+  if (cur > limit) {
+    printf "FAIL: %.3fs exceeds %.3fs (baseline %.3fs + %.0f%%)\n", cur, limit, base, tol * 100
+    exit 1
+  }
+  printf "OK: %.3fs <= %.3fs\n", cur, limit
+}'
