@@ -4,6 +4,8 @@
 //! unifaas-sim <spec-file> [--strategy capacity|locality|dha|dha-no-resched]
 //!                         [--series <dir>] [--quiet]
 //!                         [--trace-out <path>] [--trace-level off|spans|full]
+//!                         [--task-fail-prob <p>] [--transfer-fail-prob <p>]
+//!                         [--outage <ep>:<from-s>:<to-s>]...
 //! ```
 //!
 //! `--strategy` overrides the spec (handy for comparing schedulers on one
@@ -12,6 +14,11 @@
 //! `.jsonl` and `.counters.txt` siblings) — open the JSON at
 //! <https://ui.perfetto.dev>. `--trace-level` defaults to `full` when
 //! `--trace-out` is given.
+//!
+//! The fault knobs override/extend the spec for quick chaos sweeps:
+//! `--task-fail-prob` / `--transfer-fail-prob` set the per-attempt failure
+//! probabilities, and each `--outage ep:from:to` (seconds, repeatable)
+//! schedules a deterministic endpoint outage window.
 
 use simkit::trace::TraceLevel;
 use simkit::{SimDuration, SimTime};
@@ -24,9 +31,22 @@ use unifaas_cli::parse_spec;
 fn usage() -> ! {
     eprintln!(
         "usage: unifaas-sim <spec-file> [--strategy capacity|locality|dha|dha-no-resched] \
-         [--series <dir>] [--quiet] [--trace-out <path>] [--trace-level off|spans|full]"
+         [--series <dir>] [--quiet] [--trace-out <path>] [--trace-level off|spans|full] \
+         [--task-fail-prob <p>] [--transfer-fail-prob <p>] [--outage <ep>:<from-s>:<to-s>]..."
     );
     std::process::exit(2);
+}
+
+/// Parses an `--outage` operand of the form `ep:from:to` (seconds).
+fn parse_outage(s: &str) -> Option<(usize, u64, u64)> {
+    let mut parts = s.split(':');
+    let ep = parts.next()?.parse().ok()?;
+    let from = parts.next()?.parse().ok()?;
+    let to = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || to <= from {
+        return None;
+    }
+    Some((ep, from, to))
 }
 
 fn main() {
@@ -37,10 +57,36 @@ fn main() {
     let mut quiet = false;
     let mut trace_out: Option<String> = None;
     let mut trace_level: Option<TraceLevel> = None;
+    let mut task_fail_prob: Option<f64> = None;
+    let mut transfer_fail_prob: Option<f64> = None;
+    let mut outages: Vec<(usize, u64, u64)> = Vec::new();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--task-fail-prob" => {
+                task_fail_prob = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|p| (0.0..=1.0).contains(p))
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--transfer-fail-prob" => {
+                transfer_fail_prob = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|p| (0.0..=1.0).contains(p))
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--outage" => {
+                outages.push(
+                    it.next()
+                        .and_then(|s| parse_outage(s))
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--trace-out" => trace_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--trace-level" => {
                 trace_level = Some(
@@ -81,6 +127,23 @@ fn main() {
     });
     if let Some(s) = strategy_override {
         spec.config.strategy = s;
+    }
+    if let Some(p) = task_fail_prob {
+        spec.config.task_failure_prob = p;
+    }
+    if let Some(p) = transfer_fail_prob {
+        spec.config.transfer_failure_prob = p;
+    }
+    for (ep, from, to) in outages {
+        if ep >= spec.config.endpoints.len() {
+            eprintln!("--outage endpoint {ep} out of range");
+            std::process::exit(2);
+        }
+        spec.config.outages.push(unifaas::config::OutageSpec {
+            endpoint: ep,
+            from: SimTime::from_secs(from),
+            to: SimTime::from_secs(to),
+        });
     }
 
     let dag = spec.workload.build();

@@ -225,6 +225,24 @@ pub fn parse_spec(text: &str) -> Result<RunSpec, SpecError> {
                     .ok_or_else(|| err(line_no, "faults needs two probabilities"))?;
                 builder = builder.faults(xfer, task);
             }
+            "outage" => {
+                let ep: usize = tokens
+                    .get(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "outage needs <ep> <from-s> <to-s>"))?;
+                let from: u64 = tokens
+                    .get(2)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "outage needs <ep> <from-s> <to-s>"))?;
+                let to: u64 = tokens
+                    .get(3)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(line_no, "outage needs <ep> <from-s> <to-s>"))?;
+                if to <= from {
+                    return Err(err(line_no, "outage window must end after it starts"));
+                }
+                builder = builder.outage(ep, from, to);
+            }
             "capacity-event" => {
                 let at: u64 = tokens
                     .get(1)
@@ -318,6 +336,7 @@ pub fn parse_spec(text: &str) -> Result<RunSpec, SpecError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simkit::SimTime;
 
     const GOOD: &str = "\
 # comment
@@ -329,6 +348,7 @@ transfer rsync
 seed 7
 noise 0.05
 faults 0.1 0.05
+outage 1 100 200
 capacity-event 120 0 -50
 scaling on idle=20
 workload drug pipelines=10
@@ -350,6 +370,10 @@ workload drug pipelines=10
         assert_eq!(spec.config.seed, 7);
         assert_eq!(spec.config.exec_noise_cv, 0.05);
         assert_eq!(spec.config.transfer_failure_prob, 0.1);
+        assert_eq!(spec.config.outages.len(), 1);
+        assert_eq!(spec.config.outages[0].endpoint, 1);
+        assert_eq!(spec.config.outages[0].from, SimTime::from_secs(100));
+        assert_eq!(spec.config.outages[0].to, SimTime::from_secs(200));
         assert_eq!(spec.config.capacity_events.len(), 1);
         assert_eq!(spec.config.capacity_events[0].delta, -50);
         assert!(spec.config.scaling.enabled);
@@ -416,6 +440,11 @@ workload ensemble rounds=3 batch=5
         assert!(parse_spec("endpoint a qiming four\nworkload bag n=1 secs=1\n").is_err());
         assert!(parse_spec("endpoint a qiming 4 max=2\nworkload bag n=1 secs=1\n").is_err());
         assert!(parse_spec("endpoint a qiming 4\nworkload drug\n").is_err());
+        // Outage windows must be well-formed.
+        assert!(
+            parse_spec("endpoint a qiming 4\noutage 0 200 100\nworkload bag n=1 secs=1\n").is_err()
+        );
+        assert!(parse_spec("endpoint a qiming 4\noutage 0 50\nworkload bag n=1 secs=1\n").is_err());
     }
 
     #[test]

@@ -6,6 +6,10 @@
 //! environments — optionally biased per endpoint), and endpoint outage
 //! windows (disconnections). All draws come from a seeded stream, so a
 //! failing run replays exactly.
+//!
+//! Outage windows are kept per endpoint, sorted and merged on insert, so
+//! the hot-path [`FaultInjector::in_outage`] check is a binary search
+//! rather than a scan of every window ever declared.
 
 use crate::endpoint::EndpointId;
 use simkit::{SimRng, SimTime};
@@ -22,8 +26,9 @@ pub struct FaultInjector {
     /// Extra per-endpoint crash probability (e.g. an endpoint with a broken
     /// environment for some function).
     endpoint_task_failure: HashMap<EndpointId, f64>,
-    /// Outage windows per endpoint: tasks dispatched inside a window fail.
-    outages: Vec<(EndpointId, SimTime, SimTime)>,
+    /// Outage windows per endpoint, sorted by start and non-overlapping
+    /// (merged on insert). Tasks dispatched inside a window fail.
+    outages: HashMap<EndpointId, Vec<(SimTime, SimTime)>>,
 }
 
 impl FaultInjector {
@@ -34,7 +39,7 @@ impl FaultInjector {
             transfer_failure_prob: 0.0,
             task_failure_prob: 0.0,
             endpoint_task_failure: HashMap::new(),
-            outages: Vec::new(),
+            outages: HashMap::new(),
         }
     }
 
@@ -52,10 +57,24 @@ impl FaultInjector {
         self.endpoint_task_failure.insert(ep, prob);
     }
 
-    /// Declares an outage window `[from, to)` on an endpoint.
+    /// Declares an outage window `[from, to)` on an endpoint. Windows that
+    /// touch or overlap an existing one are merged.
     pub fn add_outage(&mut self, ep: EndpointId, from: SimTime, to: SimTime) {
         assert!(from < to, "outage window must be non-empty");
-        self.outages.push((ep, from, to));
+        let windows = self.outages.entry(ep).or_default();
+        let at = windows.partition_point(|&(start, _)| start < from);
+        windows.insert(at, (from, to));
+        // Merge neighbours that touch or overlap, starting one to the left
+        // (the predecessor may swallow the inserted window).
+        let mut i = at.saturating_sub(1);
+        while i + 1 < windows.len() {
+            if windows[i].1 >= windows[i + 1].0 {
+                windows[i].1 = windows[i].1.max(windows[i + 1].1);
+                windows.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Draws whether a transfer attempt fails.
@@ -64,21 +83,51 @@ impl FaultInjector {
     }
 
     /// Draws whether a task attempt on `ep` at `now` fails (outage windows
-    /// fail deterministically; otherwise base + per-endpoint probability).
+    /// fail deterministically; otherwise base + per-endpoint probability,
+    /// clamped to [0, 1]).
     pub fn task_fails(&mut self, ep: EndpointId, now: SimTime) -> bool {
         if self.in_outage(ep, now) {
             return true;
         }
-        let p =
-            self.task_failure_prob + self.endpoint_task_failure.get(&ep).copied().unwrap_or(0.0);
+        let p = (self.task_failure_prob
+            + self.endpoint_task_failure.get(&ep).copied().unwrap_or(0.0))
+        .clamp(0.0, 1.0);
         self.rng.chance(p)
     }
 
     /// True if `ep` is inside an outage window at `now`.
     pub fn in_outage(&self, ep: EndpointId, now: SimTime) -> bool {
-        self.outages
+        let Some(windows) = self.outages.get(&ep) else {
+            return false;
+        };
+        // Last window starting at or before `now`, if any, decides.
+        let at = windows.partition_point(|&(start, _)| start <= now);
+        at > 0 && now < windows[at - 1].1
+    }
+
+    /// True if any outage window is declared.
+    pub fn has_outages(&self) -> bool {
+        !self.outages.is_empty()
+    }
+
+    /// All declared (merged) outage windows, sorted by endpoint then start —
+    /// a stable order so runtimes can schedule outage events
+    /// deterministically.
+    pub fn outage_windows(&self) -> Vec<(EndpointId, SimTime, SimTime)> {
+        let mut all: Vec<(EndpointId, SimTime, SimTime)> = self
+            .outages
             .iter()
-            .any(|(e, from, to)| *e == ep && now >= *from && now < *to)
+            .flat_map(|(&ep, ws)| ws.iter().map(move |&(from, to)| (ep, from, to)))
+            .collect();
+        all.sort();
+        all
+    }
+
+    /// The end of the outage window covering `now` on `ep`, if any.
+    pub fn outage_end(&self, ep: EndpointId, now: SimTime) -> Option<SimTime> {
+        let windows = self.outages.get(&ep)?;
+        let at = windows.partition_point(|&(start, _)| start <= now);
+        (at > 0 && now < windows[at - 1].1).then(|| windows[at - 1].1)
     }
 }
 
@@ -124,6 +173,16 @@ mod tests {
     }
 
     #[test]
+    fn combined_probability_is_clamped() {
+        let mut f = FaultInjector::with_probs(6, 0.0, 0.8);
+        f.set_endpoint_task_failure(ep(0), 0.8);
+        // 0.8 + 0.8 clamps to 1.0: every attempt fails, none panics.
+        for _ in 0..100 {
+            assert!(f.task_fails(ep(0), SimTime::ZERO));
+        }
+    }
+
+    #[test]
     fn outage_windows_fail_deterministically() {
         let mut f = FaultInjector::none(4);
         f.add_outage(ep(0), SimTime::from_secs(10), SimTime::from_secs(20));
@@ -133,6 +192,59 @@ mod tests {
         assert!(!f.task_fails(ep(0), SimTime::from_secs(20)));
         assert!(!f.task_fails(ep(1), SimTime::from_secs(15)), "other ep ok");
         assert!(f.in_outage(ep(0), SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn overlapping_windows_merge() {
+        let mut f = FaultInjector::none(8);
+        f.add_outage(ep(0), SimTime::from_secs(10), SimTime::from_secs(20));
+        f.add_outage(ep(0), SimTime::from_secs(30), SimTime::from_secs(40));
+        f.add_outage(ep(0), SimTime::from_secs(15), SimTime::from_secs(32));
+        assert_eq!(
+            f.outage_windows(),
+            vec![(ep(0), SimTime::from_secs(10), SimTime::from_secs(40))]
+        );
+        assert!(f.in_outage(ep(0), SimTime::from_secs(25)));
+        assert_eq!(
+            f.outage_end(ep(0), SimTime::from_secs(25)),
+            Some(SimTime::from_secs(40))
+        );
+        assert_eq!(f.outage_end(ep(0), SimTime::from_secs(40)), None);
+    }
+
+    #[test]
+    fn adjacent_windows_merge_and_disjoint_stay_separate() {
+        let mut f = FaultInjector::none(9);
+        f.add_outage(ep(0), SimTime::from_secs(20), SimTime::from_secs(30));
+        f.add_outage(ep(0), SimTime::from_secs(10), SimTime::from_secs(20));
+        f.add_outage(ep(1), SimTime::from_secs(5), SimTime::from_secs(6));
+        assert_eq!(
+            f.outage_windows(),
+            vec![
+                (ep(0), SimTime::from_secs(10), SimTime::from_secs(30)),
+                (ep(1), SimTime::from_secs(5), SimTime::from_secs(6)),
+            ]
+        );
+        let mut g = FaultInjector::none(9);
+        g.add_outage(ep(0), SimTime::from_secs(10), SimTime::from_secs(20));
+        g.add_outage(ep(0), SimTime::from_secs(25), SimTime::from_secs(30));
+        assert_eq!(g.outage_windows().len(), 2);
+        assert!(!g.in_outage(ep(0), SimTime::from_secs(22)));
+    }
+
+    #[test]
+    fn in_outage_scales_past_many_windows() {
+        let mut f = FaultInjector::none(10);
+        for i in 0..1000u64 {
+            f.add_outage(
+                ep(0),
+                SimTime::from_secs(10 * i),
+                SimTime::from_secs(10 * i + 5),
+            );
+        }
+        assert!(f.in_outage(ep(0), SimTime::from_secs(5003)));
+        assert!(!f.in_outage(ep(0), SimTime::from_secs(5007)));
+        assert!(f.has_outages());
     }
 
     #[test]

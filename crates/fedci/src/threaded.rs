@@ -4,11 +4,18 @@
 //! *live* runtime executes actual Rust closures on per-endpoint worker
 //! thread pools — the same shape as a funcX endpoint's worker processes.
 //! Examples and the latency benchmark run on this fabric.
+//!
+//! The fabric supports fault injection for chaos testing ([`PoolFaults`]):
+//! a pool can be marked down (its liveness probe fails and placement
+//! avoids it), made to silently swallow every Nth job (a crashed worker
+//! that never reports), or slowed by a fixed delay. The live runtime's
+//! retry watchdog is what recovers the swallowed work.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A job returns an optional follow-up that runs *after* the worker is
 /// marked idle again — completion callbacks that may inspect pool state
@@ -16,6 +23,81 @@ use std::thread::JoinHandle;
 /// as free, like a funcX worker that reports its result after releasing.
 type Followup = Box<dyn FnOnce() + Send + 'static>;
 type Job = Box<dyn FnOnce() -> Option<Followup> + Send + 'static>;
+
+/// How long an idle worker blocks on the queue before re-checking pool
+/// state (fault flags, channel closure). The previous implementation
+/// blocked indefinitely; this is the configurable poll/shutdown timeout.
+pub const DEFAULT_POLL_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Fault-injection switches for one pool, shared with its workers.
+///
+/// All switches default to off, in which case the worker loop behaves
+/// exactly as a fault-free pool. Deterministic by construction: "crash
+/// every Nth job" is countable in tests, unlike a probabilistic coin.
+#[derive(Debug, Default)]
+pub struct PoolFaults {
+    /// Endpoint outage: the liveness probe fails and workers swallow
+    /// every job (they crash rather than execute).
+    down: AtomicBool,
+    /// Swallow every Nth job pulled (0 = never): the worker takes the job
+    /// and never runs it or reports back, like a worker process dying
+    /// mid-execution.
+    crash_every: AtomicUsize,
+    /// Fixed extra latency per job, in milliseconds (straggler injection).
+    delay_ms: AtomicU64,
+    /// Jobs pulled from the queue (crashed or executed).
+    jobs_seen: AtomicUsize,
+    /// Jobs swallowed by fault injection.
+    jobs_crashed: AtomicUsize,
+}
+
+impl PoolFaults {
+    /// Marks the pool down (or back up).
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    /// True while the pool is marked down.
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    /// Swallow every `n`th job (0 disables crash injection).
+    pub fn set_crash_every(&self, n: usize) {
+        self.crash_every.store(n, Ordering::SeqCst);
+    }
+
+    /// Adds `delay` of extra latency to every job.
+    pub fn set_delay(&self, delay: Duration) {
+        self.delay_ms
+            .store(delay.as_millis() as u64, Ordering::SeqCst);
+    }
+
+    /// Jobs swallowed so far.
+    pub fn crashed_jobs(&self) -> usize {
+        self.jobs_crashed.load(Ordering::SeqCst)
+    }
+
+    /// Decides the fate of the next pulled job. Returns `true` when the
+    /// job must be swallowed.
+    fn swallows_next(&self) -> bool {
+        let n = self.jobs_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        let crash_every = self.crash_every.load(Ordering::SeqCst);
+        let crash =
+            self.down.load(Ordering::SeqCst) || (crash_every > 0 && n.is_multiple_of(crash_every));
+        if crash {
+            self.jobs_crashed.fetch_add(1, Ordering::SeqCst);
+        }
+        crash
+    }
+
+    fn delay(&self) -> Option<Duration> {
+        match self.delay_ms.load(Ordering::SeqCst) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        }
+    }
+}
 
 /// A pool of worker threads representing one endpoint's workers.
 ///
@@ -27,32 +109,58 @@ pub struct ThreadedEndpoint {
     handles: Vec<JoinHandle<()>>,
     busy: Arc<AtomicUsize>,
     completed: Arc<AtomicUsize>,
+    faults: Arc<PoolFaults>,
     n_workers: usize,
 }
 
 impl ThreadedEndpoint {
-    /// Spawns `n_workers` worker threads named after the endpoint.
+    /// Spawns `n_workers` worker threads named after the endpoint, polling
+    /// the queue at [`DEFAULT_POLL_TIMEOUT`].
     pub fn new(name: &str, n_workers: usize) -> Self {
+        Self::with_poll_timeout(name, n_workers, DEFAULT_POLL_TIMEOUT)
+    }
+
+    /// Like [`ThreadedEndpoint::new`] with an explicit poll timeout: how
+    /// long an idle worker blocks before re-checking pool state. Shorter
+    /// timeouts make fault-flag changes and shutdown visible faster at the
+    /// cost of more wakeups.
+    pub fn with_poll_timeout(name: &str, n_workers: usize, poll: Duration) -> Self {
         assert!(n_workers > 0, "an endpoint needs at least one worker");
+        assert!(!poll.is_zero(), "poll timeout must be non-zero");
         let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
         let busy = Arc::new(AtomicUsize::new(0));
         let completed = Arc::new(AtomicUsize::new(0));
+        let faults = Arc::new(PoolFaults::default());
         let mut handles = Vec::with_capacity(n_workers);
         for i in 0..n_workers {
             let rx = rx.clone();
             let busy = Arc::clone(&busy);
             let completed = Arc::clone(&completed);
+            let faults = Arc::clone(&faults);
             let handle = std::thread::Builder::new()
                 .name(format!("{name}-worker-{i}"))
-                .spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        busy.fetch_add(1, Ordering::SeqCst);
-                        let followup = job();
-                        busy.fetch_sub(1, Ordering::SeqCst);
-                        completed.fetch_add(1, Ordering::SeqCst);
-                        if let Some(f) = followup {
-                            f();
-                        }
+                .spawn(move || loop {
+                    let job = match rx.recv_timeout(poll) {
+                        Ok(job) => job,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    };
+                    if faults.swallows_next() {
+                        // Simulated worker crash: the job (and its
+                        // completion callback) is dropped on the floor.
+                        // Recovery is the submitter's watchdog's job.
+                        drop(job);
+                        continue;
+                    }
+                    if let Some(d) = faults.delay() {
+                        std::thread::sleep(d);
+                    }
+                    busy.fetch_add(1, Ordering::SeqCst);
+                    let followup = job();
+                    busy.fetch_sub(1, Ordering::SeqCst);
+                    completed.fetch_add(1, Ordering::SeqCst);
+                    if let Some(f) = followup {
+                        f();
                     }
                 })
                 .expect("failed to spawn worker thread");
@@ -64,6 +172,7 @@ impl ThreadedEndpoint {
             handles,
             busy,
             completed,
+            faults,
             n_workers,
         }
     }
@@ -86,6 +195,18 @@ impl ThreadedEndpoint {
     /// Total jobs completed so far.
     pub fn completed_jobs(&self) -> usize {
         self.completed.load(Ordering::SeqCst)
+    }
+
+    /// The pool's fault-injection switches (chaos testing).
+    pub fn faults(&self) -> &Arc<PoolFaults> {
+        &self.faults
+    }
+
+    /// Liveness probe: answers whether the endpoint would accept work.
+    /// The real-fabric analogue of a heartbeat — a pool marked down stops
+    /// answering, and health monitors treat that as a missed probe.
+    pub fn responsive(&self) -> bool {
+        !self.faults.is_down()
     }
 
     /// Enqueues a job. Jobs are pulled by idle workers in FIFO order.
@@ -134,7 +255,6 @@ impl Drop for ThreadedEndpoint {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
-    use std::time::Duration;
 
     #[test]
     fn executes_all_jobs() {
@@ -166,7 +286,7 @@ mod tests {
             });
         }
         for _ in 0..4 {
-            rx.recv_timeout(Duration::from_secs(5))
+            rx.recv_timeout(DEFAULT_POLL_TIMEOUT)
                 .expect("jobs deadlocked: pool is not parallel");
         }
         ep.shutdown();
@@ -182,11 +302,11 @@ mod tests {
             started_tx.send(()).unwrap();
             rx.recv().unwrap();
         });
-        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        started_rx.recv_timeout(DEFAULT_POLL_TIMEOUT).unwrap();
         assert_eq!(ep.busy_workers(), 1);
         tx.send(()).unwrap();
         // Wait for completion.
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let deadline = std::time::Instant::now() + DEFAULT_POLL_TIMEOUT;
         while ep.completed_jobs() < 1 {
             assert!(std::time::Instant::now() < deadline);
             std::thread::yield_now();
@@ -214,5 +334,65 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         ThreadedEndpoint::new("bad", 0);
+    }
+
+    #[test]
+    fn crash_injection_swallows_every_nth_job() {
+        let ep = ThreadedEndpoint::with_poll_timeout("crashy", 1, Duration::from_millis(20));
+        ep.faults().set_crash_every(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            ep.submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        ep.shutdown();
+        // Every 2nd job swallowed: 5 executed, 5 crashed.
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn down_pool_fails_probe_and_eats_jobs() {
+        let ep = ThreadedEndpoint::with_poll_timeout("down", 2, Duration::from_millis(20));
+        assert!(ep.responsive());
+        ep.faults().set_down(true);
+        assert!(!ep.responsive());
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..4 {
+            let c = Arc::clone(&counter);
+            ep.submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Give workers a chance to pull while down.
+        let deadline = std::time::Instant::now() + DEFAULT_POLL_TIMEOUT;
+        while ep.faults().crashed_jobs() < 4 {
+            assert!(std::time::Instant::now() < deadline, "jobs not drained");
+            std::thread::yield_now();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 0);
+        // Restored: new jobs execute again.
+        ep.faults().set_down(false);
+        let c = Arc::clone(&counter);
+        ep.submit(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        ep.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn delay_injection_slows_jobs() {
+        let ep = ThreadedEndpoint::with_poll_timeout("slow", 1, Duration::from_millis(20));
+        ep.faults().set_delay(Duration::from_millis(50));
+        let t0 = std::time::Instant::now();
+        let (tx, rx) = unbounded::<()>();
+        ep.submit(move || {
+            tx.send(()).unwrap();
+        });
+        rx.recv_timeout(DEFAULT_POLL_TIMEOUT).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(50));
+        ep.shutdown();
     }
 }

@@ -31,6 +31,11 @@ pub struct FedciTraceLabels {
     pub fault_task: LabelId,
     /// Instant: endpoint capacity changed (arg = new worker count).
     pub capacity: LabelId,
+    /// Instant: endpoint health-state transition (arg = state code:
+    /// 0 healthy, 1 suspect, 2 down, 3 recovering).
+    pub health: LabelId,
+    /// Instant: a failed task attempt is being retried (arg = attempt).
+    pub retry: LabelId,
     /// Counter: busy workers per endpoint (one label per endpoint).
     pub busy: Vec<LabelId>,
     /// One display track per endpoint.
@@ -48,6 +53,8 @@ impl FedciTraceLabels {
             fault_transfer: tracer.intern("fault.transfer"),
             fault_task: tracer.intern("fault.task"),
             capacity: tracer.intern("capacity"),
+            health: tracer.intern("health"),
+            retry: tracer.intern("retry.task"),
             busy: endpoint_labels
                 .iter()
                 .map(|l| tracer.intern(&format!("busy.{l}")))
@@ -93,6 +100,45 @@ impl FedciTraceLabels {
         );
     }
 
+    /// Records a health-state transition on `ep`'s track (`state_code` as
+    /// documented on [`FedciTraceLabels::health`]).
+    #[inline]
+    pub fn health_transition(
+        &self,
+        tracer: &mut Tracer,
+        at: SimTime,
+        ep: EndpointId,
+        state_code: u32,
+    ) {
+        tracer.instant(
+            at,
+            self.health,
+            self.tracks[ep.index()],
+            ep.0 as u64,
+            state_code as i64,
+        );
+    }
+
+    /// Records a task retry on `ep`'s track (the endpoint the attempt
+    /// failed on; `attempt` is the failure count so far).
+    #[inline]
+    pub fn task_retry(
+        &self,
+        tracer: &mut Tracer,
+        at: SimTime,
+        ep: EndpointId,
+        task_id: u64,
+        attempt: u32,
+    ) {
+        tracer.instant(
+            at,
+            self.retry,
+            self.tracks[ep.index()],
+            task_id,
+            attempt as i64,
+        );
+    }
+
     /// Records a capacity change (scale-out/in, outage, commission).
     #[inline]
     pub fn capacity_change(
@@ -131,6 +177,9 @@ mod tests {
         labels.transfer_fault(&mut tr, SimTime::from_secs(3), EndpointId(0), 9, 2);
         labels.capacity_change(&mut tr, SimTime::from_secs(4), EndpointId(1), 16);
         assert_eq!(tr.len(), 4);
+        labels.health_transition(&mut tr, SimTime::from_secs(5), EndpointId(0), 2);
+        labels.task_retry(&mut tr, SimTime::from_secs(6), EndpointId(1), 7, 2);
+        assert_eq!(tr.len(), 6);
         let snap = tr.counters_snapshot();
         assert!(snap.contains("busy.Taiyi 3"), "snapshot: {snap}");
     }

@@ -127,6 +127,74 @@ pub struct CapacityEvent {
     pub delta: i64,
 }
 
+/// A scheduled endpoint outage `[from, to)` for the fault-tolerance
+/// experiments: the endpoint is marked Down at `from` (its queued and
+/// staging tasks drain through the §IV-G reassignment policy) and
+/// Recovering at `to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutageSpec {
+    /// Index of the endpoint affected.
+    pub endpoint: usize,
+    /// When the outage begins.
+    pub from: SimTime,
+    /// When liveness is restored.
+    pub to: SimTime,
+}
+
+/// Retry behavior for failed task attempts (§IV-G).
+///
+/// The delay before attempt `n + 1` (after `n` failures) is
+///
+/// ```text
+/// delay(n) = min(backoff_max, backoff_base · backoff_factor^(n-1))
+///            · (1 + backoff_jitter · u),   u ~ Uniform[-1, 1)
+/// ```
+///
+/// drawn from a dedicated RNG stream seeded from the master seed, so
+/// enabling backoff perturbs no other random draw. The default
+/// `backoff_base` of zero retries immediately — bit-identical to the
+/// behavior before backoff existed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay before the second attempt; `ZERO` retries immediately.
+    pub backoff_base: SimDuration,
+    /// Multiplier applied per additional failure.
+    pub backoff_factor: f64,
+    /// Upper bound on the (pre-jitter) delay.
+    pub backoff_max: SimDuration,
+    /// Symmetric jitter fraction in `[0, 1]`: the delay is scaled by a
+    /// factor drawn uniformly from `[1 - jitter, 1 + jitter)`.
+    pub backoff_jitter: f64,
+    /// Kill an execution attempt that exceeds this duration and reassign
+    /// the task (straggler mitigation). `None` disables the watchdog.
+    pub exec_timeout: Option<SimDuration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            backoff_base: SimDuration::ZERO,
+            backoff_factor: 2.0,
+            backoff_max: SimDuration::from_secs(300),
+            backoff_jitter: 0.1,
+            exec_timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pre-jitter delay before the attempt following `failures`
+    /// consecutive failures (`failures ≥ 1`).
+    pub fn base_delay_seconds(&self, failures: u32) -> f64 {
+        let base = self.backoff_base.as_secs_f64();
+        if base == 0.0 {
+            return 0.0;
+        }
+        let raw = base * self.backoff_factor.powi(failures.saturating_sub(1) as i32);
+        raw.min(self.backoff_max.as_secs_f64())
+    }
+}
+
 /// Which multi-endpoint scaling policy drives elasticity.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ScalingPolicyKind {
@@ -207,6 +275,12 @@ pub struct Config {
     pub transfer_failure_prob: f64,
     /// Task failure probability per attempt (fault injection).
     pub task_failure_prob: f64,
+    /// Scheduled endpoint outages (fault injection).
+    pub outages: Vec<OutageSpec>,
+    /// Retry backoff and execution-timeout policy (§IV-G).
+    pub retry: RetryPolicy,
+    /// Endpoint health state-machine thresholds.
+    pub health: crate::monitor::HealthPolicy,
     /// Master RNG seed; every run with the same seed replays exactly.
     pub seed: u64,
     /// Cross-check the runtime's transition-maintained counters against a
@@ -255,6 +329,30 @@ impl Config {
                 )));
             }
         }
+        for o in &self.outages {
+            if o.endpoint >= self.endpoints.len() {
+                return Err(UniFaasError::InvalidConfig(format!(
+                    "outage references endpoint {} out of range",
+                    o.endpoint
+                )));
+            }
+            if o.from >= o.to {
+                return Err(UniFaasError::InvalidConfig(format!(
+                    "outage window on endpoint {} is empty",
+                    o.endpoint
+                )));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.retry.backoff_jitter) {
+            return Err(UniFaasError::InvalidConfig(
+                "retry backoff jitter must be in [0, 1]".into(),
+            ));
+        }
+        if self.retry.backoff_factor < 1.0 {
+            return Err(UniFaasError::InvalidConfig(
+                "retry backoff factor must be >= 1".into(),
+            ));
+        }
         if let SchedulingStrategy::Pinned(map) = &self.strategy {
             for (_, label) in map {
                 if !self.endpoints.iter().any(|e| &e.label == label) {
@@ -294,6 +392,9 @@ impl Default for ConfigBuilder {
                 reschedule_interval: SimDuration::from_secs(10),
                 transfer_failure_prob: 0.0,
                 task_failure_prob: 0.0,
+                outages: Vec::new(),
+                retry: RetryPolicy::default(),
+                health: crate::monitor::HealthPolicy::default(),
                 seed: 0x05E5,
                 validate_counters: false,
             },
@@ -378,6 +479,28 @@ impl ConfigBuilder {
     pub fn retries(mut self, max_transfer_retries: u32, max_task_attempts: u32) -> Self {
         self.config.max_transfer_retries = max_transfer_retries;
         self.config.max_task_attempts = max_task_attempts;
+        self
+    }
+
+    /// Sets the retry backoff / execution-timeout policy.
+    pub fn retry_policy(mut self, p: RetryPolicy) -> Self {
+        self.config.retry = p;
+        self
+    }
+
+    /// Sets the endpoint health state-machine thresholds.
+    pub fn health_policy(mut self, p: crate::monitor::HealthPolicy) -> Self {
+        self.config.health = p;
+        self
+    }
+
+    /// Schedules an endpoint outage over `[from, to)` seconds.
+    pub fn outage(mut self, endpoint: usize, from_seconds: u64, to_seconds: u64) -> Self {
+        self.config.outages.push(OutageSpec {
+            endpoint,
+            from: SimTime::from_secs(from_seconds),
+            to: SimTime::from_secs(to_seconds),
+        });
         self
     }
 
@@ -488,6 +611,60 @@ mod tests {
             .home_is_last()
             .build();
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_outage() {
+        let out_of_range = Config::builder()
+            .endpoint(EndpointConfig::new("a", ClusterSpec::qiming(), 4))
+            .outage(9, 10, 20)
+            .build();
+        assert!(out_of_range.validate().is_err());
+        let empty_window = Config::builder()
+            .endpoint(EndpointConfig::new("a", ClusterSpec::qiming(), 4))
+            .outage(0, 20, 20)
+            .build();
+        assert!(empty_window.validate().is_err());
+        let good = Config::builder()
+            .endpoint(EndpointConfig::new("a", ClusterSpec::qiming(), 4))
+            .outage(0, 10, 20)
+            .build();
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_retry_policy() {
+        let bad_jitter = Config {
+            retry: RetryPolicy {
+                backoff_jitter: 1.5,
+                ..RetryPolicy::default()
+            },
+            ..two_ep_config()
+        };
+        assert!(bad_jitter.validate().is_err());
+        let bad_factor = Config {
+            retry: RetryPolicy {
+                backoff_factor: 0.5,
+                ..RetryPolicy::default()
+            },
+            ..two_ep_config()
+        };
+        assert!(bad_factor.validate().is_err());
+    }
+
+    #[test]
+    fn retry_backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            backoff_base: SimDuration::from_secs(2),
+            backoff_factor: 3.0,
+            backoff_max: SimDuration::from_secs(10),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.base_delay_seconds(1), 2.0);
+        assert_eq!(p.base_delay_seconds(2), 6.0);
+        assert_eq!(p.base_delay_seconds(3), 10.0, "capped");
+        // Default policy retries immediately regardless of failures.
+        assert_eq!(RetryPolicy::default().base_delay_seconds(5), 0.0);
     }
 
     #[test]

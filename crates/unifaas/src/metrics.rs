@@ -122,6 +122,47 @@ impl RunReport {
         }
     }
 
+    /// FNV-1a digest over the simulation-deterministic report fields,
+    /// the replay witness for the determinism gate: two runs with the
+    /// same config, seed and fault schedule must produce equal digests.
+    ///
+    /// Wall-clock measurements (`scheduler_wall`, `latency.scheduling_s`)
+    /// are excluded — they vary run to run on a real machine without the
+    /// simulation being any less deterministic.
+    pub fn determinism_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.scheduler.as_bytes());
+        mix(&self.makespan.as_secs_f64().to_bits().to_le_bytes());
+        mix(&(self.tasks_completed as u64).to_le_bytes());
+        mix(&(self.failed_attempts as u64).to_le_bytes());
+        mix(&self.transfer_bytes.to_le_bytes());
+        for (label, n) in &self.tasks_per_endpoint {
+            mix(label.as_bytes());
+            mix(&(*n as u64).to_le_bytes());
+        }
+        mix(&self.scheduler_calls.to_le_bytes());
+        mix(&self.events_processed.to_le_bytes());
+        mix(&self.latency.count.to_le_bytes());
+        for v in [
+            self.latency.staging_s,
+            self.latency.submission_s,
+            self.latency.queue_s,
+            self.latency.execution_s,
+            self.latency.polling_s,
+        ] {
+            mix(&v.to_bits().to_le_bytes());
+        }
+        h
+    }
+
     /// Mean aggregate worker utilization over the whole run.
     pub fn mean_utilization(&self) -> f64 {
         let end = SimTime::ZERO + self.makespan;
@@ -186,5 +227,15 @@ mod tests {
         assert_eq!(report.transfer_gb(), 2.0);
         assert!((report.scheduler_overhead_per_task() - 0.0005).abs() < 1e-9);
         assert_eq!(report.mean_utilization(), 0.5);
+
+        // The digest covers sim-deterministic fields and ignores wall clock.
+        let d = report.determinism_digest();
+        let mut slower = report.clone();
+        slower.scheduler_wall = std::time::Duration::from_secs(9);
+        slower.latency.scheduling_s = 42.0;
+        assert_eq!(slower.determinism_digest(), d, "wall clock must not leak");
+        let mut other = report.clone();
+        other.failed_attempts = 1;
+        assert_ne!(other.determinism_digest(), d);
     }
 }

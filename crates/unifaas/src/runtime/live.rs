@@ -15,9 +15,20 @@
 //! Dependencies are tracked client-side and a task is only submitted to a
 //! pool once every input future resolved — a chain of tasks can never
 //! deadlock a single worker.
+//!
+//! Fault tolerance mirrors the simulated runtime (§IV-G): a
+//! [`LiveRetryPolicy`] bounds attempts per task, a watchdog inside
+//! [`LiveRuntime::wait_all`] re-dispatches attempts that exceed the task
+//! timeout (recovering jobs swallowed by a crashed worker), and a
+//! [`HealthMonitor`] fed by pool liveness probes and attempt outcomes
+//! steers placement away from Down pools. Execution is at-least-once
+//! under retries; future resolution is exactly-once (stale attempts are
+//! dropped by an attempt-generation guard).
 
 use crate::error::UniFaasError;
+use crate::monitor::{HealthMonitor, HealthState};
 use crate::trace::TraceConfig;
+use fedci::endpoint::EndpointId;
 use fedci::threaded::ThreadedEndpoint;
 use fedci::trace::FedciTraceLabels;
 use parking_lot::{Condvar, Mutex};
@@ -26,7 +37,52 @@ use simkit::SimTime;
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 use taskgraph::TaskId;
+
+/// Retry/timeout policy for the live runtime (the live analogue of
+/// [`RetryPolicy`](crate::config::RetryPolicy)).
+///
+/// The default — one attempt, no timeout — reproduces the pre-retry
+/// behavior exactly: failures propagate immediately and nothing watches
+/// the clock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LiveRetryPolicy {
+    /// Attempts per task (≥ 1). An application error or timeout on the
+    /// last attempt is final.
+    pub max_attempts: u32,
+    /// Wall-clock budget per attempt; exceeded attempts are presumed
+    /// swallowed (crashed worker) and re-dispatched by the `wait_all`
+    /// watchdog. `None` disables the watchdog.
+    pub task_timeout: Option<Duration>,
+    /// Base backoff slept (by the worker) before retry attempt `k`,
+    /// doubling per attempt. Zero disables backoff.
+    pub backoff: Duration,
+}
+
+impl Default for LiveRetryPolicy {
+    fn default() -> Self {
+        LiveRetryPolicy {
+            max_attempts: 1,
+            task_timeout: None,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl LiveRetryPolicy {
+    fn enabled(&self) -> bool {
+        self.max_attempts > 1 || self.task_timeout.is_some()
+    }
+
+    /// Backoff before `attempt` (1-based; the first attempt never waits).
+    fn backoff_for(&self, attempt: u32) -> Option<Duration> {
+        if attempt <= 1 || self.backoff.is_zero() {
+            return None;
+        }
+        Some(self.backoff * 2u32.saturating_pow((attempt - 2).min(16)))
+    }
+}
 
 /// A dynamically typed value passed between functions.
 pub type Value = Arc<dyn Any + Send + Sync>;
@@ -91,6 +147,7 @@ impl AppFuture {
     }
 }
 
+#[derive(Clone)]
 struct PendingTask {
     function: String,
     args: Vec<Value>,
@@ -142,12 +199,16 @@ fn trace_submit(trace: &SharedTrace, id: usize) {
 }
 
 /// Moves a task's span from pending to executing on its endpoint's track.
-fn trace_exec_begin(trace: &SharedTrace, id: usize, ep: usize) {
+/// Only the first attempt closes the pending span; retries just open a
+/// fresh executing span.
+fn trace_exec_begin(trace: &SharedTrace, id: usize, ep: usize, first: bool) {
     if let Some(t) = trace {
         let mut tr = t.lock();
         let at = tr.now();
-        let (pending, client) = (tr.pending, tr.client_track);
-        tr.tracer.end(at, pending, client, id as u64);
+        if first {
+            let (pending, client) = (tr.pending, tr.client_track);
+            tr.tracer.end(at, pending, client, id as u64);
+        }
         let (exec, track) = (tr.labels.executing, tr.labels.tracks[ep]);
         tr.tracer.begin(at, exec, track, id as u64);
     }
@@ -167,6 +228,28 @@ fn trace_done(trace: &SharedTrace, id: usize, ep: usize, failed: bool) {
     }
 }
 
+/// Records a retry instant for a failed attempt on `ep`'s track.
+fn trace_retry(trace: &SharedTrace, id: usize, ep: usize, attempt: u32) {
+    if let Some(t) = trace {
+        let mut tr = t.lock();
+        let at = tr.now();
+        let (retry, track) = (tr.labels.retry, tr.labels.tracks[ep]);
+        tr.tracer
+            .instant(at, retry, track, id as u64, attempt as i64);
+    }
+}
+
+/// Records a health-state transition instant for `ep`.
+fn trace_health(trace: &SharedTrace, ep: usize, state: HealthState) {
+    if let Some(t) = trace {
+        let mut tr = t.lock();
+        let at = tr.now();
+        let (health, track) = (tr.labels.health, tr.labels.tracks[ep]);
+        tr.tracer
+            .instant(at, health, track, ep as u64, state.code() as i64);
+    }
+}
+
 struct Coord {
     pending: HashMap<usize, PendingTask>,
     dependents: HashMap<usize, Vec<usize>>,
@@ -175,6 +258,15 @@ struct Coord {
     next_id: usize,
     futures: HashMap<usize, AppFuture>,
     outstanding: usize,
+    /// Next attempt number per task (absent = first attempt).
+    attempts: HashMap<usize, u32>,
+    /// In-flight attempts: task id → (start, attempt, endpoint). The
+    /// attempt number is the generation guard: a completion whose attempt
+    /// no longer matches is stale (superseded by a watchdog re-dispatch)
+    /// and is dropped, so futures resolve exactly once.
+    inflight: HashMap<usize, (std::time::Instant, u32, usize)>,
+    /// Tasks kept re-dispatchable while retries are still possible.
+    retriable: HashMap<usize, PendingTask>,
 }
 
 /// The live, multi-threaded UniFaaS runtime.
@@ -188,17 +280,29 @@ pub struct LiveRuntime {
     /// another endpoint costs real wall time. `None` disables it.
     transfer_bandwidth_bps: Option<f64>,
     trace: SharedTrace,
+    retry: LiveRetryPolicy,
+    health: Arc<Mutex<HealthMonitor>>,
 }
 
 impl LiveRuntime {
     /// Creates a runtime with one worker pool per `(label, workers)` pair.
     pub fn new(endpoints: &[(&str, usize)]) -> Self {
+        Self::with_pool_poll_timeout(endpoints, fedci::threaded::DEFAULT_POLL_TIMEOUT)
+    }
+
+    /// Like [`LiveRuntime::new`], with an explicit worker-pool poll/
+    /// shutdown timeout (how long an idle worker blocks on its queue
+    /// before re-checking for shutdown; see
+    /// [`ThreadedEndpoint::with_poll_timeout`]).
+    pub fn with_pool_poll_timeout(endpoints: &[(&str, usize)], poll: Duration) -> Self {
         assert!(!endpoints.is_empty(), "need at least one endpoint");
+        let pools: Vec<Arc<ThreadedEndpoint>> = endpoints
+            .iter()
+            .map(|(l, w)| Arc::new(ThreadedEndpoint::with_poll_timeout(l, *w, poll)))
+            .collect();
+        let n = pools.len();
         LiveRuntime {
-            endpoints: endpoints
-                .iter()
-                .map(|(l, w)| Arc::new(ThreadedEndpoint::new(l, *w)))
-                .collect(),
+            endpoints: pools,
             labels: endpoints.iter().map(|(l, _)| l.to_string()).collect(),
             functions: Mutex::new(HashMap::new()),
             coord: Arc::new(Mutex::new(Coord {
@@ -208,11 +312,36 @@ impl LiveRuntime {
                 next_id: 0,
                 futures: HashMap::new(),
                 outstanding: 0,
+                attempts: HashMap::new(),
+                inflight: HashMap::new(),
+                retriable: HashMap::new(),
             })),
             done_cond: Arc::new(Condvar::new()),
             transfer_bandwidth_bps: None,
             trace: None,
+            retry: LiveRetryPolicy::default(),
+            health: Arc::new(Mutex::new(HealthMonitor::new(n))),
         }
+    }
+
+    /// Sets the retry/timeout policy (builder style). The default policy
+    /// — one attempt, no timeout — leaves behavior identical to a
+    /// runtime without fault tolerance.
+    pub fn with_retry(mut self, policy: LiveRetryPolicy) -> Self {
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        self.retry = policy;
+        self
+    }
+
+    /// The underlying worker pool for endpoint `i` (fault-injection and
+    /// introspection hooks live on the pool).
+    pub fn pool(&self, i: usize) -> &ThreadedEndpoint {
+        &self.endpoints[i]
+    }
+
+    /// Current health state of endpoint `i`.
+    pub fn endpoint_health(&self, i: usize) -> HealthState {
+        self.health.lock().state(EndpointId(i as u16))
     }
 
     /// Enables the simulated WAN: remote input bytes are converted into a
@@ -307,7 +436,7 @@ impl LiveRuntime {
         };
         if task.remaining == 0 {
             drop(coord);
-            self.dispatch(id, task);
+            self.handle().dispatch(id, task);
         } else {
             for d in &unresolved {
                 coord.dependents.entry(*d).or_default().push(id);
@@ -318,19 +447,206 @@ impl LiveRuntime {
     }
 
     /// Blocks until every submitted task has completed.
+    ///
+    /// When the retry policy sets a task timeout, this doubles as the
+    /// straggler watchdog: it wakes every quarter-timeout, scans in-flight
+    /// attempts, and fails-over any that exceeded the budget (covering
+    /// attempts swallowed by a crashed worker, which would otherwise never
+    /// complete).
     pub fn wait_all(&self) {
-        let mut coord = self.coord.lock();
-        while coord.outstanding > 0 {
-            self.done_cond.wait(&mut coord);
+        let Some(timeout) = self.retry.task_timeout else {
+            let mut coord = self.coord.lock();
+            while coord.outstanding > 0 {
+                self.done_cond.wait(&mut coord);
+            }
+            return;
+        };
+        let tick = (timeout / 4).max(Duration::from_millis(5));
+        loop {
+            let overdue: Vec<(usize, usize, u32, u64)> = {
+                let mut coord = self.coord.lock();
+                if coord.outstanding == 0 {
+                    return;
+                }
+                self.done_cond.wait_for(&mut coord, tick);
+                if coord.outstanding == 0 {
+                    return;
+                }
+                coord
+                    .inflight
+                    .iter()
+                    .filter(|(_, (start, _, _))| start.elapsed() >= timeout)
+                    .map(|(&id, &(_, attempt, ep))| {
+                        let bytes = coord.retriable.get(&id).map_or(0, |t| t.output_bytes);
+                        (id, ep, attempt, bytes)
+                    })
+                    .collect()
+            };
+            let handle = self.handle();
+            for (id, ep, attempt, bytes) in overdue {
+                handle.complete(
+                    id,
+                    ep,
+                    attempt,
+                    Err(format!("attempt {attempt} timed out after {timeout:?}")),
+                    bytes,
+                    true,
+                );
+            }
         }
     }
 
-    /// Picks an endpoint: maximize free workers, break ties toward the
-    /// endpoint holding the most input bytes.
+    fn handle(&self) -> RuntimeHandle {
+        RuntimeHandle {
+            endpoints: self.endpoints.clone(),
+            functions_snapshot: Arc::new(self.functions.lock().clone()),
+            coord: Arc::clone(&self.coord),
+            done_cond: Arc::clone(&self.done_cond),
+            transfer_bandwidth_bps: self.transfer_bandwidth_bps,
+            trace: self.trace.clone(),
+            retry: self.retry,
+            health: Arc::clone(&self.health),
+        }
+    }
+}
+
+/// A cheap clonable view used by worker closures to report completion and
+/// dispatch dependents.
+#[derive(Clone)]
+struct RuntimeHandle {
+    endpoints: Vec<Arc<ThreadedEndpoint>>,
+    functions_snapshot: Arc<HashMap<String, AppFn>>,
+    coord: Arc<Mutex<Coord>>,
+    done_cond: Arc<Condvar>,
+    transfer_bandwidth_bps: Option<f64>,
+    trace: SharedTrace,
+    retry: LiveRetryPolicy,
+    health: Arc<Mutex<HealthMonitor>>,
+}
+
+/// What `complete` decided under the coordinator lock; acted on outside it
+/// so dispatch/trace/health never run with the lock held.
+enum Next {
+    Retry(PendingTask),
+    Finalize {
+        failed: bool,
+        ran: bool,
+        ready: Vec<(usize, PendingTask)>,
+    },
+}
+
+impl RuntimeHandle {
+    /// Reports the outcome of attempt `attempt` of task `id` on `ep`.
+    ///
+    /// `can_retry` is false for deterministic failures (upstream errors)
+    /// that never touched the endpoint — retrying cannot change them and
+    /// they say nothing about endpoint health. Stale completions (the
+    /// attempt number no longer matches the in-flight record, because the
+    /// watchdog already failed this attempt over) are dropped: execution
+    /// is at-least-once, resolution exactly-once.
+    fn complete(
+        &self,
+        id: usize,
+        ep: usize,
+        attempt: u32,
+        result: Result<Value, String>,
+        bytes: u64,
+        can_retry: bool,
+    ) {
+        let next = {
+            let mut coord = self.coord.lock();
+            match coord.inflight.get(&id) {
+                Some(&(_, a, _)) if a == attempt => {}
+                _ => return, // stale or already finalized
+            }
+            coord.inflight.remove(&id);
+            if result.is_err() && can_retry && attempt < self.retry.max_attempts {
+                coord.attempts.insert(id, attempt + 1);
+                let task = coord
+                    .retriable
+                    .get(&id)
+                    .expect("retriable recorded")
+                    .clone();
+                Next::Retry(task)
+            } else {
+                coord.retriable.remove(&id);
+                coord.attempts.remove(&id);
+                let failed = result.is_err();
+                coord.produced_at.insert(id, (ep, bytes));
+                let fut = coord.futures.get(&id).expect("future exists").clone();
+                fut.resolve(result);
+                coord.outstanding -= 1;
+                if coord.outstanding == 0 {
+                    self.done_cond.notify_all();
+                }
+                let mut ready = Vec::new();
+                if let Some(deps) = coord.dependents.remove(&id) {
+                    for dep in deps {
+                        if let Some(t) = coord.pending.get_mut(&dep) {
+                            t.remaining -= 1;
+                            if t.remaining == 0 {
+                                let t = coord.pending.remove(&dep).expect("present");
+                                ready.push((dep, t));
+                            }
+                        }
+                    }
+                }
+                Next::Finalize {
+                    failed,
+                    ran: can_retry,
+                    ready,
+                }
+            }
+        };
+        match next {
+            Next::Retry(task) => {
+                trace_done(&self.trace, id, ep, true);
+                trace_retry(&self.trace, id, ep, attempt);
+                self.record_health(ep, false);
+                self.dispatch(id, task);
+            }
+            Next::Finalize { failed, ran, ready } => {
+                trace_done(&self.trace, id, ep, failed);
+                if ran {
+                    self.record_health(ep, !failed);
+                }
+                for (rid, task) in ready {
+                    self.dispatch(rid, task);
+                }
+            }
+        }
+    }
+
+    /// Feeds an attempt outcome into the health monitor, tracing any
+    /// state transition it causes.
+    fn record_health(&self, ep: usize, success: bool) {
+        let transition = {
+            let mut h = self.health.lock();
+            let id = EndpointId(ep as u16);
+            if success {
+                h.record_success(id)
+            } else {
+                h.record_failure(id)
+            }
+        };
+        if let Some(state) = transition {
+            trace_health(&self.trace, ep, state);
+        }
+    }
+
+    /// Picks an endpoint: skip pools that fail the liveness probe or are
+    /// marked Down, then maximize free workers, breaking ties toward the
+    /// endpoint holding the most input bytes. When every pool is down,
+    /// falls back to endpoint 0 — the attempt will fail or time out and
+    /// the watchdog keeps retrying until a pool recovers.
     fn place(&self, coord: &Coord, task: &PendingTask) -> usize {
-        let mut best = 0usize;
+        let health = self.health.lock();
+        let mut best: Option<usize> = None;
         let mut best_key = (i64::MIN, i64::MIN);
         for (i, ep) in self.endpoints.iter().enumerate() {
+            if !ep.responsive() || !health.is_schedulable(EndpointId(i as u16)) {
+                continue;
+            }
             let free = ep.n_workers() as i64 - ep.busy_workers() as i64;
             let local_bytes: i64 = task
                 .dep_ids
@@ -339,20 +655,30 @@ impl LiveRuntime {
                 .filter(|(at, _)| *at == i)
                 .map(|(_, b)| *b as i64)
                 .sum();
-            let key = (free.min(1), local_bytes); // any free slot ties; then locality
-            let key = if free <= 0 { (free, local_bytes) } else { key };
-            if key > best_key {
+            let key = if free <= 0 {
+                (free, local_bytes)
+            } else {
+                (1, local_bytes)
+            };
+            if best.is_none() || key > best_key {
                 best_key = key;
-                best = i;
+                best = Some(i);
             }
         }
-        best
+        best.unwrap_or(0)
     }
 
     fn dispatch(&self, id: usize, task: PendingTask) {
-        let (ep_idx, remote_bytes, dep_values_or_err) = {
-            let coord = self.coord.lock();
+        let (ep_idx, attempt, remote_bytes, dep_values_or_err) = {
+            let mut coord = self.coord.lock();
             let ep_idx = self.place(&coord, &task);
+            let attempt = coord.attempts.get(&id).copied().unwrap_or(1);
+            coord
+                .inflight
+                .insert(id, (std::time::Instant::now(), attempt, ep_idx));
+            if self.retry.enabled() {
+                coord.retriable.insert(id, task.clone());
+            }
             let remote_bytes: u64 = task
                 .dep_ids
                 .iter()
@@ -373,155 +699,17 @@ impl LiveRuntime {
                     }
                 }
             }
-            (ep_idx, remote_bytes, upstream_err.map_or(Ok(vals), Err))
+            (
+                ep_idx,
+                attempt,
+                remote_bytes,
+                upstream_err.map_or(Ok(vals), Err),
+            )
         };
-        trace_exec_begin(&self.trace, id, ep_idx);
+        trace_exec_begin(&self.trace, id, ep_idx, attempt == 1);
 
         match dep_values_or_err {
-            Err(msg) => self.complete(id, ep_idx, Err(msg), task.output_bytes),
-            Ok(dep_values) => {
-                let f = Arc::clone(
-                    self.functions
-                        .lock()
-                        .get(&task.function)
-                        .expect("checked at submit"),
-                );
-                let mut inputs = task.args;
-                inputs.extend(dep_values);
-                let transfer_sleep = self
-                    .transfer_bandwidth_bps
-                    .filter(|_| remote_bytes > 0)
-                    .map(|bw| std::time::Duration::from_secs_f64(remote_bytes as f64 / bw));
-                let this = self.handle();
-                let output_bytes = task.output_bytes;
-                self.endpoints[ep_idx].submit_then(move || {
-                    if let Some(d) = transfer_sleep {
-                        std::thread::sleep(d); // simulated WAN staging
-                    }
-                    let result = f(&inputs);
-                    // Complete after the worker frees, so dependents see it
-                    // as placeable capacity.
-                    Some(Box::new(move || {
-                        this.complete(id, ep_idx, result, output_bytes);
-                    }) as Box<dyn FnOnce() + Send>)
-                });
-            }
-        }
-    }
-
-    fn handle(&self) -> RuntimeHandle {
-        RuntimeHandle {
-            endpoints: self.endpoints.clone(),
-            functions_snapshot: Arc::new(self.functions.lock().clone()),
-            coord: Arc::clone(&self.coord),
-            done_cond: Arc::clone(&self.done_cond),
-            transfer_bandwidth_bps: self.transfer_bandwidth_bps,
-            trace: self.trace.clone(),
-        }
-    }
-
-    fn complete(&self, id: usize, ep: usize, result: Result<Value, String>, bytes: u64) {
-        self.handle().complete(id, ep, result, bytes);
-    }
-}
-
-/// A cheap clonable view used by worker closures to report completion and
-/// dispatch dependents.
-#[derive(Clone)]
-struct RuntimeHandle {
-    endpoints: Vec<Arc<ThreadedEndpoint>>,
-    functions_snapshot: Arc<HashMap<String, AppFn>>,
-    coord: Arc<Mutex<Coord>>,
-    done_cond: Arc<Condvar>,
-    transfer_bandwidth_bps: Option<f64>,
-    trace: SharedTrace,
-}
-
-impl RuntimeHandle {
-    fn complete(&self, id: usize, ep: usize, result: Result<Value, String>, bytes: u64) {
-        trace_done(&self.trace, id, ep, result.is_err());
-        let ready: Vec<(usize, PendingTask)> = {
-            let mut coord = self.coord.lock();
-            coord.produced_at.insert(id, (ep, bytes));
-            let fut = coord.futures.get(&id).expect("future exists").clone();
-            fut.resolve(result);
-            coord.outstanding -= 1;
-            if coord.outstanding == 0 {
-                self.done_cond.notify_all();
-            }
-            let mut ready = Vec::new();
-            if let Some(deps) = coord.dependents.remove(&id) {
-                for dep in deps {
-                    if let Some(t) = coord.pending.get_mut(&dep) {
-                        t.remaining -= 1;
-                        if t.remaining == 0 {
-                            let t = coord.pending.remove(&dep).expect("present");
-                            ready.push((dep, t));
-                        }
-                    }
-                }
-            }
-            ready
-        };
-        for (rid, task) in ready {
-            self.dispatch(rid, task);
-        }
-    }
-
-    fn place(&self, coord: &Coord, task: &PendingTask) -> usize {
-        let mut best = 0usize;
-        let mut best_key = (i64::MIN, i64::MIN);
-        for (i, ep) in self.endpoints.iter().enumerate() {
-            let free = ep.n_workers() as i64 - ep.busy_workers() as i64;
-            let local_bytes: i64 = task
-                .dep_ids
-                .iter()
-                .filter_map(|d| coord.produced_at.get(d))
-                .filter(|(at, _)| *at == i)
-                .map(|(_, b)| *b as i64)
-                .sum();
-            let key = if free <= 0 {
-                (free, local_bytes)
-            } else {
-                (1, local_bytes)
-            };
-            if key > best_key {
-                best_key = key;
-                best = i;
-            }
-        }
-        best
-    }
-
-    fn dispatch(&self, id: usize, task: PendingTask) {
-        let (ep_idx, remote_bytes, dep_values_or_err) = {
-            let coord = self.coord.lock();
-            let ep_idx = self.place(&coord, &task);
-            let remote_bytes: u64 = task
-                .dep_ids
-                .iter()
-                .filter_map(|d| coord.produced_at.get(d))
-                .filter(|(at, _)| *at != ep_idx)
-                .map(|(_, b)| *b)
-                .sum();
-            let mut vals = Vec::with_capacity(task.dep_ids.len());
-            let mut upstream_err = None;
-            for d in &task.dep_ids {
-                let fut = coord.futures.get(d).expect("dep future exists");
-                match fut.state.cell.lock().as_ref().expect("dep resolved") {
-                    Ok(v) => vals.push(Arc::clone(v)),
-                    Err(e) => {
-                        upstream_err = Some(format!("upstream task {d} failed: {e}"));
-                        break;
-                    }
-                }
-            }
-            (ep_idx, remote_bytes, upstream_err.map_or(Ok(vals), Err))
-        };
-        trace_exec_begin(&self.trace, id, ep_idx);
-
-        match dep_values_or_err {
-            Err(msg) => self.complete(id, ep_idx, Err(msg), task.output_bytes),
+            Err(msg) => self.complete(id, ep_idx, attempt, Err(msg), task.output_bytes, false),
             Ok(dep_values) => {
                 let f = Arc::clone(
                     self.functions_snapshot
@@ -534,15 +722,21 @@ impl RuntimeHandle {
                     .transfer_bandwidth_bps
                     .filter(|_| remote_bytes > 0)
                     .map(|bw| std::time::Duration::from_secs_f64(remote_bytes as f64 / bw));
+                let backoff = self.retry.backoff_for(attempt);
                 let this = self.clone();
                 let output_bytes = task.output_bytes;
                 self.endpoints[ep_idx].submit_then(move || {
+                    if let Some(d) = backoff {
+                        std::thread::sleep(d); // retry backoff
+                    }
                     if let Some(d) = transfer_sleep {
-                        std::thread::sleep(d);
+                        std::thread::sleep(d); // simulated WAN staging
                     }
                     let result = f(&inputs);
+                    // Complete after the worker frees, so dependents see it
+                    // as placeable capacity.
                     Some(Box::new(move || {
-                        this.complete(id, ep_idx, result, output_bytes);
+                        this.complete(id, ep_idx, attempt, result, output_bytes, true);
                     }) as Box<dyn FnOnce() + Send>)
                 });
             }
@@ -666,6 +860,108 @@ mod tests {
         assert!(String::from_utf8(buf).unwrap().contains("executing"));
         // Untraced runtimes have no snapshot.
         assert!(LiveRuntime::new(&[("a", 1)]).trace_snapshot().is_none());
+    }
+
+    #[test]
+    fn retry_recovers_from_crashing_pool() {
+        // Every 2nd job on the only pool is swallowed without running; the
+        // wait_all watchdog must time the lost attempts out and retry until
+        // everything completes.
+        let rt = LiveRuntime::new(&[("flaky", 1)]).with_retry(LiveRetryPolicy {
+            max_attempts: 6,
+            task_timeout: Some(Duration::from_millis(150)),
+            backoff: Duration::from_millis(1),
+        });
+        add_fn(&rt);
+        rt.pool(0).faults().set_crash_every(2);
+        let futs: Vec<AppFuture> = (0..6)
+            .map(|i| rt.submit("add", vec![value(i as i64)], &[]).unwrap())
+            .collect();
+        rt.wait_all();
+        for (i, f) in futs.iter().enumerate() {
+            let v = f.wait().expect("retries recover swallowed jobs");
+            assert_eq!(*downcast::<i64>(&v).unwrap(), i as i64);
+        }
+        assert!(
+            rt.pool(0).faults().crashed_jobs() > 0,
+            "fault injection actually fired"
+        );
+    }
+
+    #[test]
+    fn placement_avoids_unresponsive_pool() {
+        let rt = LiveRuntime::new(&[("dead", 4), ("live", 1)]);
+        add_fn(&rt);
+        rt.pool(0).faults().set_down(true);
+        let futs: Vec<AppFuture> = (0..5)
+            .map(|i| rt.submit("add", vec![value(i as i64)], &[]).unwrap())
+            .collect();
+        rt.wait_all();
+        for f in &futs {
+            assert!(f.wait().is_ok());
+        }
+        assert_eq!(
+            rt.pool(0).faults().crashed_jobs(),
+            0,
+            "no job was routed to the dead pool"
+        );
+    }
+
+    #[test]
+    fn repeated_failures_mark_endpoint_down() {
+        let rt = LiveRuntime::new(&[("a", 1)]);
+        rt.register("boom", |_| Err("kaput".into()));
+        for _ in 0..3 {
+            let f = rt.submit("boom", vec![], &[]).unwrap();
+            assert!(f.wait().is_err());
+        }
+        rt.wait_all();
+        assert_eq!(rt.endpoint_health(0), HealthState::Down);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_last_error() {
+        let rt = LiveRuntime::new(&[("a", 1)]).with_retry(LiveRetryPolicy {
+            max_attempts: 3,
+            task_timeout: None,
+            backoff: Duration::ZERO,
+        });
+        let tries = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let t = Arc::clone(&tries);
+        rt.register("always-fails", move |_| {
+            t.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Err("kaput".into())
+        });
+        let f = rt.submit("always-fails", vec![], &[]).unwrap();
+        assert!(f.wait().is_err());
+        rt.wait_all();
+        assert_eq!(
+            tries.load(std::sync::atomic::Ordering::SeqCst),
+            3,
+            "exactly max_attempts executions"
+        );
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_app_error() {
+        let rt = LiveRuntime::new(&[("a", 2)]).with_retry(LiveRetryPolicy {
+            max_attempts: 3,
+            task_timeout: None,
+            backoff: Duration::from_millis(1),
+        });
+        let tries = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let t = Arc::clone(&tries);
+        rt.register("flaky", move |_| {
+            if t.fetch_add(1, std::sync::atomic::Ordering::SeqCst) < 2 {
+                Err("transient".into())
+            } else {
+                Ok(value(7i64))
+            }
+        });
+        let f = rt.submit("flaky", vec![], &[]).unwrap();
+        let v = f.wait().expect("third attempt succeeds");
+        assert_eq!(*downcast::<i64>(&v).unwrap(), 7);
+        rt.wait_all();
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::data::{DataManager, XferId};
 use crate::error::UniFaasError;
 use crate::metrics::{LatencyBreakdown, RunReport, RunSeries};
 use crate::monitor::HistoryDb;
-use crate::monitor::{EndpointMonitor, MockEndpoint, TaskMonitor, TaskRecord};
+use crate::monitor::{EndpointMonitor, HealthMonitor, MockEndpoint, TaskMonitor, TaskRecord};
 use crate::profile::transfer::transfer_record_name;
 use crate::profile::{EndpointFeatures, LearnedProfiler, OracleProfiler, Predictor};
 use crate::runtime::TaskState;
@@ -55,8 +55,10 @@ enum Ev {
     StagingCheck(TaskId),
     /// A transfer finished (success or failure decided on delivery).
     XferDone(XferId),
-    /// A dispatched task arrived at its endpoint.
-    TaskArrive(TaskId, EndpointId),
+    /// A dispatched task arrived at its endpoint. The `u32` is the task's
+    /// dispatch generation: an arrival whose generation is stale (the task
+    /// was drained and re-dispatched meanwhile) is ignored.
+    TaskArrive(TaskId, EndpointId, u32),
     /// A task finished executing.
     ExecDone(TaskId, EndpointId),
     /// The client observed a task result (`bool` = success).
@@ -73,6 +75,16 @@ enum Ev {
     Commission(EndpointId, usize),
     /// Dynamic DAG growth hook fires.
     Inject(usize),
+    /// A scheduled outage window opens (index into the outage schedule):
+    /// the endpoint goes Down and its queued/staging tasks drain.
+    OutageStart(usize),
+    /// A scheduled outage window closes: the endpoint re-admits work.
+    OutageEnd(usize),
+    /// A backed-off task retry fires (§IV-G). The `u32` is the retry
+    /// generation at scheduling time; stale retries are ignored.
+    RetryTask(TaskId, EndpointId, u32),
+    /// The execution-timeout watchdog fires for attempt `u32` of a task.
+    ExecTimeout(TaskId, EndpointId, u32),
 }
 
 /// Per-task runtime bookkeeping.
@@ -85,6 +97,11 @@ struct TaskRt {
     attempt_eps: Vec<EndpointId>,
     /// Retry dispatches bypass the scheduler (§IV-G reassignment policy).
     runtime_retry: bool,
+    /// Bumped on every dispatch; stale `TaskArrive` events are dropped.
+    dispatch_gen: u32,
+    /// Bumped on every scheduled backoff retry; stale `RetryTask` events
+    /// are dropped.
+    retry_gen: u32,
     predicted_exec: f64,
     t_ready: SimTime,
     t_staged: SimTime,
@@ -103,6 +120,8 @@ impl TaskRt {
             attempts: 0,
             attempt_eps: Vec::new(),
             runtime_retry: false,
+            dispatch_gen: 0,
+            retry_gen: 0,
             predicted_exec: 0.0,
             t_ready: SimTime::ZERO,
             t_staged: SimTime::ZERO,
@@ -209,7 +228,7 @@ struct RtTrace {
     dispatched: LabelId,
     polled: LabelId,
     /// One instant label per `Ev` variant, emitted at `Full` level.
-    ev_labels: [LabelId; 11],
+    ev_labels: [LabelId; 15],
     /// The open lifecycle span per task: `(span name, track)`.
     open: Vec<Option<(LabelId, LabelId)>>,
     decisions: Vec<DecisionRecord>,
@@ -243,6 +262,10 @@ impl RtTrace {
                 tracer.intern("ev.capacity_change"),
                 tracer.intern("ev.commission"),
                 tracer.intern("ev.inject"),
+                tracer.intern("ev.outage_start"),
+                tracer.intern("ev.outage_end"),
+                tracer.intern("ev.retry_task"),
+                tracer.intern("ev.exec_timeout"),
             ],
             labels,
             tracer,
@@ -310,7 +333,17 @@ struct Rt {
     dm: DataManager,
     faas: FaasServiceModel,
     faults: FaultInjector,
+    /// Endpoint liveness state machine, driven by the outage schedule
+    /// (authoritative in the sim) and by observed successes.
+    health: HealthMonitor,
+    /// Flattened, merged outage windows — the index space of
+    /// `Ev::OutageStart`/`Ev::OutageEnd`.
+    outage_sched: Vec<(EndpointId, SimTime, SimTime)>,
     rng: SimRng,
+    /// Independently seeded stream for retry-backoff jitter, so enabling
+    /// backoff never perturbs draws on the main stream (determinism: a
+    /// zero-backoff run is bit-identical with or without this field).
+    retry_rng: SimRng,
     scaler: Box<dyn Scaling>,
     tasks: Vec<TaskRt>,
     deps_remaining: Vec<usize>,
@@ -445,9 +478,17 @@ impl Rt {
                 cfg.transfer_failure_prob,
                 cfg.task_failure_prob,
             );
-            let _ = &mut f;
+            for o in &cfg.outages {
+                f.add_outage(EndpointId(o.endpoint as u16), o.from, o.to);
+            }
             f
         };
+        let outage_sched = faults.outage_windows();
+        let health = HealthMonitor::with_policy(n, cfg.health);
+        // Seeded off the config seed but on its own stream: forking the
+        // master RNG here would consume a draw and shift every existing
+        // run's event timings.
+        let retry_rng = SimRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
 
         let task_monitor = TaskMonitor::new(r.history);
         let mut profiler = profiler;
@@ -505,7 +546,10 @@ impl Rt {
             dm,
             faas,
             faults,
+            health,
+            outage_sched,
             rng,
+            retry_rng,
             scaler,
             tasks: (0..n_tasks).map(|_| TaskRt::new()).collect(),
             deps_remaining: Vec::new(),
@@ -651,6 +695,7 @@ impl Rt {
             &self.dm,
             self.faas.max_payload_bytes,
         )
+        .with_health(&self.health)
         .with_decision_trace(trace_on);
         f(self.scheduler.as_mut(), &mut ctx);
         let actions = ctx.take_actions();
@@ -822,6 +867,22 @@ impl Rt {
         let workers = self.endpoints[ep.index()].active_workers();
         let tr = self.trace.as_deref_mut().expect("caller checked");
         tr.labels.capacity_change(&mut tr.tracer, now, ep, workers);
+    }
+
+    /// Emits a health-transition instant for `ep`'s current state. Callers
+    /// must have checked `self.trace.is_some()`.
+    fn trace_health(&mut self, ep: EndpointId, now: SimTime) {
+        let code = self.health.state(ep).code();
+        let tr = self.trace.as_deref_mut().expect("caller checked");
+        tr.labels.health_transition(&mut tr.tracer, now, ep, code);
+    }
+
+    /// Emits a retry instant for a failed attempt of `t` on `ep`. Callers
+    /// must have checked `self.trace.is_some()`.
+    fn trace_retry(&mut self, ep: EndpointId, t: TaskId, attempt: u32, now: SimTime) {
+        let tr = self.trace.as_deref_mut().expect("caller checked");
+        tr.labels
+            .task_retry(&mut tr.tracer, now, ep, t.0 as u64, attempt);
     }
 
     /// Full-scan cross-check of the transition-maintained counters, the
@@ -1001,7 +1062,12 @@ impl Rt {
         };
         self.client_busy_until = start + self.faas.client_submit_overhead;
         let arrive = self.client_busy_until + self.faas.sample_dispatch(&mut self.rng);
-        eng.schedule(arrive, Ev::TaskArrive(t, ep));
+        let gen = {
+            let task = &mut self.tasks[t.index()];
+            task.dispatch_gen += 1;
+            task.dispatch_gen
+        };
+        eng.schedule(arrive, Ev::TaskArrive(t, ep, gen));
     }
 
     fn try_start(&mut self, ep: EndpointId, now: SimTime, eng: &mut Engine<Ev>) {
@@ -1023,6 +1089,12 @@ impl Rt {
             let dur = self.endpoints[ep.index()].exec_duration(base);
             let eid = eng.schedule(now + dur, Ev::ExecDone(t, ep));
             self.running[ep.index()].insert(t, eid);
+            // Straggler watchdog (opt-in): kill and reassign an attempt
+            // that exceeds the configured execution timeout.
+            if let Some(timeout) = self.cfg.retry.exec_timeout {
+                let gen = self.tasks[t.index()].attempts;
+                eng.schedule(now + timeout, Ev::ExecTimeout(t, ep, gen));
+            }
         }
         if started_any {
             self.record_workers(now);
@@ -1125,6 +1197,13 @@ impl Rt {
         self.maybe_retrain();
 
         if success {
+            // A completed task is a liveness signal: it promotes a
+            // Recovering endpoint back to Healthy. (Outage windows — not
+            // stochastic task crashes — are what drive Down in the sim;
+            // the live runtime infers liveness from probes instead.)
+            if self.health.record_success(ep).is_some() && self.trace.is_some() {
+                self.trace_health(ep, now);
+            }
             self.set_state(t, TaskState::Done, now);
             self.tasks[t.index()].attempt_eps.push(ep);
             self.completed += 1;
@@ -1195,7 +1274,60 @@ impl Rt {
                 .unwrap_or(ep)
         };
         self.set_state(t, TaskState::Ready, now);
-        self.do_stage(t, retry_ep, true, now, eng);
+        let attempts = self.tasks[t.index()].attempts;
+        if self.trace.is_some() {
+            self.trace_retry(ep, t, attempts, now);
+        }
+        let Some(retry_ep) = self.live_retry_ep(retry_ep) else {
+            // Every compute endpoint is Down. Hand the task back to the
+            // scheduler, which parks it until capacity returns (re-driven
+            // by `on_capacity_change` at `OutageEnd`).
+            let actions = self.sched(now, |s, ctx| s.on_task_ready(ctx, t));
+            self.process_actions(actions, now, eng);
+            return;
+        };
+        let delay = self.cfg.retry.base_delay_seconds(attempts);
+        if delay <= 0.0 {
+            // Default policy: retry immediately — the pre-backoff code
+            // path, taken without touching the jitter stream.
+            self.do_stage(t, retry_ep, true, now, eng);
+        } else {
+            let jitter = self.cfg.retry.backoff_jitter;
+            let factor = if jitter > 0.0 {
+                1.0 + jitter * (2.0 * self.retry_rng.uniform01() - 1.0)
+            } else {
+                1.0
+            };
+            let gen = {
+                let task = &mut self.tasks[t.index()];
+                task.retry_gen += 1;
+                task.retry_gen
+            };
+            let at = now + SimDuration::from_secs_f64(delay * factor);
+            eng.schedule(at, Ev::RetryTask(t, retry_ep, gen));
+        }
+    }
+
+    /// The §IV-G retry target, diverted to a live endpoint when the
+    /// preferred one is Down. `None` means every compute endpoint is Down.
+    fn live_retry_ep(&self, preferred: EndpointId) -> Option<EndpointId> {
+        if !self.health.is_down(preferred) {
+            return Some(preferred);
+        }
+        let live: Vec<EndpointId> = self
+            .compute_eps
+            .iter()
+            .copied()
+            .filter(|e| !self.health.is_down(*e))
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        Some(
+            self.task_monitor
+                .best_endpoint_by_success(&live)
+                .unwrap_or(live[0]),
+        )
     }
 
     fn aggregate_latency(&mut self, t: TaskId, now: SimTime) {
@@ -1390,6 +1522,174 @@ impl Rt {
         self.rearm_periodics(eng);
     }
 
+    /// An outage window opens: mark the endpoint Down and proactively
+    /// requeue its in-flight work (§IV-G) instead of letting each task
+    /// fail at dispatch and burn an attempt.
+    fn outage_start(&mut self, idx: usize, now: SimTime, eng: &mut Engine<Ev>) {
+        let (ep, _, _) = self.outage_sched[idx];
+        if self.health.mark_down(ep).is_some() && self.trace.is_some() {
+            self.trace_health(ep, now);
+        }
+        self.drain_endpoint(ep, now, eng);
+        self.sync_mocks(now);
+        let actions = self.sched(now, |s, ctx| s.on_capacity_change(ctx));
+        self.process_actions(actions, now, eng);
+        self.rearm_periodics(eng);
+    }
+
+    /// An outage window closes: the endpoint is Recovering (its first
+    /// completed task promotes it to Healthy) and re-admits work.
+    fn outage_end(&mut self, idx: usize, now: SimTime, eng: &mut Engine<Ev>) {
+        let (ep, _, _) = self.outage_sched[idx];
+        if self.health.mark_recovering(ep).is_some() && self.trace.is_some() {
+            self.trace_health(ep, now);
+        }
+        self.sync_mocks(now);
+        let actions = self.sched(now, |s, ctx| s.on_capacity_change(ctx));
+        self.process_actions(actions, now, eng);
+        self.try_start(ep, now, eng);
+        self.worker_idle_loop(ep, now, eng);
+        self.rearm_periodics(eng);
+    }
+
+    /// Pulls every task bound to a now-Down endpoint back to Ready so the
+    /// scheduler re-places it on live endpoints. Runs in ascending task-id
+    /// order for determinism. Requeued tasks do not consume an attempt —
+    /// the outage is the runtime's fault, not the task's.
+    fn drain_endpoint(&mut self, ep: EndpointId, now: SimTime, eng: &mut Engine<Ev>) {
+        let victims: Vec<TaskId> = (0..self.tasks.len() as u32)
+            .map(TaskId)
+            .filter(|t| {
+                let task = &self.tasks[t.index()];
+                task.target == Some(ep)
+                    && matches!(
+                        task.state,
+                        TaskState::Staging
+                            | TaskState::Staged
+                            | TaskState::Dispatched
+                            | TaskState::Running
+                    )
+            })
+            .collect();
+        // The endpoint-local queue empties wholesale; its entries are all
+        // Dispatched victims handled below.
+        self.ep_queues[ep.index()].clear();
+        for t in victims {
+            let state = self.tasks[t.index()].state;
+            // The scheduler must drop any reservation it still holds.
+            self.scheduler.on_task_removed(t);
+            match state {
+                TaskState::Running => {
+                    let eid = self.running[ep.index()]
+                        .remove(&t)
+                        .expect("running task tracked");
+                    eng.cancel(eid);
+                    self.endpoints[ep.index()].release_worker(now);
+                    let predicted = self.tasks[t.index()].predicted_exec;
+                    self.monitor.mock_mut(ep).pop_task(predicted);
+                }
+                TaskState::Dispatched => {
+                    // Queued at the endpoint or still in flight; the
+                    // dispatch-generation guard voids an in-flight arrival.
+                    let predicted = self.tasks[t.index()].predicted_exec;
+                    self.monitor.mock_mut(ep).pop_task(predicted);
+                }
+                _ => {}
+            }
+            self.set_pending(t, None, now);
+            self.mark_ready(t, now, eng);
+        }
+        self.record_workers(now);
+        self.record_staging(now);
+        if self.trace.is_some() {
+            self.trace_busy(ep, now);
+        }
+    }
+
+    /// A backed-off retry fires. Stale generations (the task moved on) are
+    /// dropped; a target that went Down while the backoff ran is diverted.
+    fn retry_task(
+        &mut self,
+        t: TaskId,
+        ep: EndpointId,
+        gen: u32,
+        now: SimTime,
+        eng: &mut Engine<Ev>,
+    ) {
+        if self.fatal.is_some() {
+            return;
+        }
+        {
+            let task = &self.tasks[t.index()];
+            if task.state != TaskState::Ready || task.retry_gen != gen {
+                return;
+            }
+        }
+        match self.live_retry_ep(ep) {
+            Some(ep) => self.do_stage(t, ep, true, now, eng),
+            None => {
+                let actions = self.sched(now, |s, ctx| s.on_task_ready(ctx, t));
+                self.process_actions(actions, now, eng);
+            }
+        }
+    }
+
+    /// The execution-timeout watchdog fires: if the attempt it armed for is
+    /// still running, kill it and route through the failed-attempt path.
+    fn exec_timeout(
+        &mut self,
+        t: TaskId,
+        ep: EndpointId,
+        gen: u32,
+        now: SimTime,
+        eng: &mut Engine<Ev>,
+    ) {
+        if self.fatal.is_some() {
+            return;
+        }
+        {
+            let task = &self.tasks[t.index()];
+            if task.state != TaskState::Running || task.target != Some(ep) || task.attempts != gen {
+                return;
+            }
+        }
+        let Some(eid) = self.running[ep.index()].remove(&t) else {
+            return;
+        };
+        eng.cancel(eid);
+        self.endpoints[ep.index()].release_worker(now);
+        let predicted = self.tasks[t.index()].predicted_exec;
+        self.monitor.mock_mut(ep).pop_task(predicted);
+        self.record_workers(now);
+        self.tasks[t.index()].t_exec_end = now;
+        if self.trace.is_some() {
+            self.trace_busy(ep, now);
+            let tr = self.trace.as_deref_mut().expect("checked");
+            tr.labels.task_fault(&mut tr.tracer, now, ep, t.0 as u64);
+        }
+        // Feed the monitor a failed record so §IV-G retry targeting learns
+        // which endpoints strand straggler attempts.
+        let spec = self.dag.spec(t);
+        let f = &self.features[ep.index()];
+        self.task_monitor.observe(TaskRecord {
+            function: self.dag.function_name(spec.function).to_string(),
+            endpoint: ep,
+            input_bytes: 0,
+            duration_seconds: now
+                .saturating_since(self.tasks[t.index()].t_exec_start)
+                .as_secs_f64(),
+            output_bytes: spec.output_bytes,
+            cores: f.cores,
+            cpu_ghz: f.cpu_ghz,
+            ram_gb: f.ram_gb,
+            success: false,
+        });
+        self.failed_attempts += 1;
+        self.task_attempt_failed(t, ep, now, eng);
+        self.try_start(ep, now, eng);
+        self.worker_idle_loop(ep, now, eng);
+    }
+
     fn inject(&mut self, idx: usize, now: SimTime, eng: &mut Engine<Ev>) {
         let Some((_, f)) = self.injections[idx].take() else {
             return;
@@ -1523,6 +1823,12 @@ impl Rt {
         for (i, at) in inj {
             eng.schedule(at, Ev::Inject(i));
         }
+        // Outage windows (none configured → no events → event stream is
+        // bit-identical to a fault-free build).
+        for (i, (_, from, to)) in self.outage_sched.clone().into_iter().enumerate() {
+            eng.schedule(from, Ev::OutageStart(i));
+            eng.schedule(to, Ev::OutageEnd(i));
+        }
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev, eng: &mut Engine<Ev>) {
@@ -1531,7 +1837,7 @@ impl Rt {
                 let (idx, arg) = match &ev {
                     Ev::StagingCheck(t) => (0, t.0 as i64),
                     Ev::XferDone(x) => (1, x.0 as i64),
-                    Ev::TaskArrive(t, _) => (2, t.0 as i64),
+                    Ev::TaskArrive(t, _, _) => (2, t.0 as i64),
                     Ev::ExecDone(t, _) => (3, t.0 as i64),
                     Ev::ResultObserved(t, _, _) => (4, t.0 as i64),
                     Ev::MockSync => (5, 0),
@@ -1540,6 +1846,10 @@ impl Rt {
                     Ev::CapacityChange(i) => (8, *i as i64),
                     Ev::Commission(_, n) => (9, *n as i64),
                     Ev::Inject(i) => (10, *i as i64),
+                    Ev::OutageStart(i) => (11, *i as i64),
+                    Ev::OutageEnd(i) => (12, *i as i64),
+                    Ev::RetryTask(t, _, _) => (13, t.0 as i64),
+                    Ev::ExecTimeout(t, _, _) => (14, t.0 as i64),
                 };
                 let (name, track) = (tr.ev_labels[idx], tr.client_track);
                 tr.tracer.instant(now, name, track, 0, arg);
@@ -1587,7 +1897,18 @@ impl Rt {
                     }
                 }
             }
-            Ev::TaskArrive(t, ep) => {
+            Ev::TaskArrive(t, ep, gen) => {
+                // Stale arrival: the task was drained (endpoint outage) and
+                // possibly re-dispatched while this event was in flight.
+                {
+                    let task = &self.tasks[t.index()];
+                    if task.dispatch_gen != gen
+                        || task.state != TaskState::Dispatched
+                        || task.target != Some(ep)
+                    {
+                        return;
+                    }
+                }
                 self.tasks[t.index()].t_arrived = now;
                 self.ep_queues[ep.index()].push_back(t);
                 // Not a `TaskState` change, but a distinct lifecycle stage:
@@ -1656,6 +1977,10 @@ impl Rt {
                 self.inject(i, now, eng);
                 self.rearm_periodics(eng);
             }
+            Ev::OutageStart(i) => self.outage_start(i, now, eng),
+            Ev::OutageEnd(i) => self.outage_end(i, now, eng),
+            Ev::RetryTask(t, ep, gen) => self.retry_task(t, ep, gen, now, eng),
+            Ev::ExecTimeout(t, ep, gen) => self.exec_timeout(t, ep, gen, now, eng),
         }
     }
 
@@ -1909,6 +2234,137 @@ mod tests {
         cfg.max_task_attempts = 3;
         let err = SimRuntime::new(cfg, bag_dag(2, 1.0)).run().unwrap_err();
         assert!(matches!(err, UniFaasError::TaskFailed { .. }));
+    }
+
+    #[test]
+    fn outage_drains_endpoint_and_workflow_completes() {
+        // "fast" is down for the entire run: everything it was assigned at
+        // t=0 must be drained, reassigned and completed by "slow".
+        let mut cfg = two_ep_config(SchedulingStrategy::Locality);
+        cfg.outages.push(crate::config::OutageSpec {
+            endpoint: 0,
+            from: SimTime::from_secs(1),
+            to: SimTime::from_secs(100_000),
+        });
+        let report = SimRuntime::new(cfg, bag_dag(24, 30.0)).run().unwrap();
+        assert_eq!(report.tasks_completed, 24);
+        let by_label = |l: &str| {
+            report
+                .tasks_per_endpoint
+                .iter()
+                .find(|(label, _)| label == l)
+                .unwrap()
+                .1
+        };
+        assert_eq!(by_label("fast"), 0, "down endpoint must not execute");
+        assert_eq!(by_label("slow"), 24);
+    }
+
+    #[test]
+    fn outage_recovery_readmits_endpoint() {
+        // "fast" is down [1, 40). Tasks injected after recovery must be
+        // able to land on it again (4 idle workers beat the busy "slow").
+        let mut cfg = two_ep_config(SchedulingStrategy::Locality);
+        cfg.outages.push(crate::config::OutageSpec {
+            endpoint: 0,
+            from: SimTime::from_secs(1),
+            to: SimTime::from_secs(40),
+        });
+        let mut rt = SimRuntime::new(cfg, bag_dag(6, 300.0));
+        rt.inject_at(SimTime::from_secs(60), |dag| {
+            let f = dag.register_function("late");
+            for _ in 0..4 {
+                dag.add_task(TaskSpec::compute(f, 10.0), &[]);
+            }
+        });
+        let report = rt.run().unwrap();
+        assert_eq!(report.tasks_completed, 10);
+        let fast = report
+            .tasks_per_endpoint
+            .iter()
+            .find(|(l, _)| l == "fast")
+            .unwrap()
+            .1;
+        assert!(fast > 0, "recovered endpoint was never re-admitted");
+    }
+
+    #[test]
+    fn retry_backoff_delays_reassignment() {
+        let base = || {
+            let mut cfg = two_ep_config(SchedulingStrategy::Locality);
+            cfg.task_failure_prob = 0.5;
+            cfg.max_task_attempts = 20;
+            cfg
+        };
+        let fast = SimRuntime::new(base(), bag_dag(10, 5.0)).run().unwrap();
+        assert!(fast.failed_attempts > 0, "p=0.5 must produce failures");
+
+        let mut slow_cfg = base();
+        slow_cfg.retry.backoff_base = SimDuration::from_secs(30);
+        let slow = SimRuntime::new(slow_cfg, bag_dag(10, 5.0)).run().unwrap();
+        assert_eq!(slow.tasks_completed, 10);
+        assert!(
+            slow.makespan > fast.makespan,
+            "backoff must lengthen the faulted run: {} vs {}",
+            slow.makespan,
+            fast.makespan
+        );
+    }
+
+    #[test]
+    fn exec_timeout_kills_stragglers() {
+        // Heavy execution noise + a timeout at ~3× the nominal duration:
+        // straggler attempts are killed and retried with a fresh draw.
+        let mut cfg = two_ep_config(SchedulingStrategy::Locality);
+        cfg.exec_noise_cv = 1.5;
+        cfg.max_task_attempts = 30;
+        cfg.retry.exec_timeout = Some(SimDuration::from_secs(30));
+        let report = SimRuntime::new(cfg, bag_dag(40, 10.0)).run().unwrap();
+        assert_eq!(report.tasks_completed, 40);
+        assert!(
+            report.failed_attempts > 0,
+            "cv=1.5 must produce at least one straggler kill"
+        );
+        // No attempt's execution stage may exceed the timeout by more than
+        // rounding: the watchdog bounds execution latency.
+        assert!(
+            report.makespan < SimDuration::from_secs(3_000),
+            "timeout bounds stragglers, makespan {}",
+            report.makespan
+        );
+    }
+
+    #[test]
+    fn zero_fault_knobs_are_bit_identical_to_default() {
+        // Presence of retry/health configuration with zero probabilities
+        // and no outages must not perturb a single event.
+        let run = |cfg: Config| SimRuntime::new(cfg, chain_dag(8, 5.0)).run().unwrap();
+        let baseline = run(two_ep_config(SchedulingStrategy::Dha {
+            rescheduling: true,
+        }));
+        let mut knobs = two_ep_config(SchedulingStrategy::Dha { rescheduling: true });
+        knobs.retry = crate::config::RetryPolicy {
+            backoff_base: SimDuration::from_secs(17),
+            backoff_factor: 3.0,
+            backoff_max: SimDuration::from_secs(500),
+            backoff_jitter: 0.5,
+            // Note: an exec_timeout would add (harmless, state-guarded)
+            // watchdog events to the count, so enabling it is the one
+            // retry knob that is not event-free.
+            exec_timeout: None,
+        };
+        knobs.health = crate::monitor::HealthPolicy {
+            suspect_after: 1,
+            down_after: 2,
+            recover_after: 2,
+        };
+        let with_knobs = run(knobs);
+        assert_eq!(
+            baseline.determinism_digest(),
+            with_knobs.determinism_digest(),
+            "fault machinery must be pay-for-what-you-use"
+        );
+        assert_eq!(baseline.events_processed, with_knobs.events_processed);
     }
 
     #[test]

@@ -62,7 +62,18 @@ impl Scheduler for CapacityScheduler {
     }
 
     fn on_task_ready(&mut self, ctx: &mut SchedCtx, task: TaskId) {
-        let ep = self.targets[task.index()].expect("task partitioned at submission");
+        let mut ep = self.targets[task.index()].expect("task partitioned at submission");
+        // Capacity never revisits its offline partition (Table I), with one
+        // exception: a target the health monitor reports Down would eat the
+        // task, so divert to the first live endpoint (keeping the diversion
+        // sticky so staging and dispatch agree). With no health monitor or
+        // no outage this path never fires and the partition is untouched.
+        if ctx.is_down(ep) {
+            if let Some(live) = ctx.compute_eps.iter().copied().find(|e| !ctx.is_down(*e)) {
+                ep = live;
+                self.targets[task.index()] = Some(live);
+            }
+        }
         ctx.stage(task, ep);
     }
 

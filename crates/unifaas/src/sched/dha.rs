@@ -175,6 +175,9 @@ pub struct DhaScheduler {
     /// Per-endpoint mock-state signatures from the last re-scheduling
     /// pass (only maintained under `bounded_reschedule`).
     ep_sig: HashMap<EndpointId, (usize, usize, u64)>,
+    /// Ready tasks with nowhere to go (every compute endpoint Down when
+    /// they arrived); re-driven on the next capacity change or tick.
+    parked: Vec<TaskId>,
 }
 
 /// Best-replica memo shared by all staging estimates, valid for one
@@ -318,6 +321,7 @@ impl DhaScheduler {
             exec_epoch: 0,
             replica: ReplicaCache::default(),
             ep_sig: HashMap::new(),
+            parked: Vec::new(),
         }
     }
 
@@ -546,7 +550,7 @@ impl DhaScheduler {
             // the common case, since most passes move nothing.
             let mut best: Option<EpEval> = None;
             for &(slot, ep) in candidates {
-                if ep == cur {
+                if ep == cur || ctx.is_down(ep) {
                     continue;
                 }
                 let avail = self.availability(ctx, ep);
@@ -633,6 +637,17 @@ impl DhaScheduler {
         }
     }
 
+    /// Re-drives tasks parked during an all-endpoints-down interval.
+    fn readmit_parked(&mut self, ctx: &mut SchedCtx) {
+        if self.parked.is_empty() || ctx.all_down() {
+            return;
+        }
+        let parked = std::mem::take(&mut self.parked);
+        for task in parked {
+            self.on_task_ready(ctx, task);
+        }
+    }
+
     /// Recomputes Eq. 2 priorities over the whole DAG from scratch.
     fn recompute_priorities(&mut self, ctx: &SchedCtx) {
         self.priorities = priorities(ctx.dag, &rank_costs(ctx));
@@ -676,6 +691,9 @@ impl Scheduler for DhaScheduler {
         let mut cand: Vec<CandidateEval> = Vec::new();
         let mut best: Option<EpEval> = None;
         for (slot, &ep) in ctx.compute_eps.iter().enumerate() {
+            if ctx.is_down(ep) {
+                continue; // outage: excluded until the health monitor re-admits
+            }
             let avail = self.availability(ctx, ep);
             let exec = execs[slot];
             if let Some(b) = &best {
@@ -716,7 +734,13 @@ impl Scheduler for DhaScheduler {
                 best = Some(EpEval { ep, eft, exec });
             }
         }
-        let b = best.expect("at least one compute endpoint");
+        let Some(b) = best else {
+            // Every compute endpoint is Down: park the task and retry when
+            // capacity returns (on_capacity_change re-drives parked tasks).
+            debug_assert!(ctx.all_down(), "no candidate despite live endpoints");
+            self.parked.push(task);
+            return;
+        };
         let (ep, exec) = (b.ep, b.exec);
         if ctx.trace_decisions {
             ctx.decide(DecisionRecord {
@@ -771,15 +795,18 @@ impl Scheduler for DhaScheduler {
         self.staging.remove(task);
         self.staged.remove(task);
         self.drop_task_caches(task);
+        self.parked.retain(|&t| t != task);
     }
 
     fn on_capacity_change(&mut self, ctx: &mut SchedCtx) {
+        self.readmit_parked(ctx);
         if self.opts.rescheduling {
             self.reschedule(ctx);
         }
     }
 
     fn on_tick(&mut self, ctx: &mut SchedCtx) {
+        self.readmit_parked(ctx);
         if self.opts.rescheduling {
             self.reschedule(ctx);
         }

@@ -60,7 +60,7 @@ impl LocalityScheduler {
                 .compute_eps
                 .iter()
                 .copied()
-                .filter(|ep| self.available(ctx, *ep) > 0)
+                .filter(|ep| !ctx.is_down(*ep) && self.available(ctx, *ep) > 0)
                 .min_by_key(|ep| {
                     (
                         ctx.store.missing_bytes(inputs, *ep),

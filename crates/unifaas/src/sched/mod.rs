@@ -28,7 +28,7 @@ pub use locality::LocalityScheduler;
 pub use pinned::PinnedScheduler;
 
 use crate::data::TransferLoad;
-use crate::monitor::EndpointMonitor;
+use crate::monitor::{EndpointMonitor, HealthMonitor};
 use crate::profile::{EndpointFeatures, Predictor};
 use crate::trace::DecisionRecord;
 use fedci::endpoint::EndpointId;
@@ -85,6 +85,11 @@ pub struct SchedCtx<'a> {
     /// Schedulers should skip building candidate vectors when false so the
     /// untraced hot path stays allocation-free.
     pub trace_decisions: bool,
+    /// Endpoint liveness view, when the runtime tracks one. Candidate
+    /// loops consult [`SchedCtx::is_down`]; `None` means every endpoint is
+    /// schedulable. Kept optional so test fixtures (and runtimes without
+    /// fault tolerance) need no monitor.
+    health: Option<&'a HealthMonitor>,
     actions: Vec<SchedAction>,
     decisions: Vec<DecisionRecord>,
 }
@@ -116,6 +121,7 @@ impl<'a> SchedCtx<'a> {
             xfer_load,
             inline_limit,
             trace_decisions: false,
+            health: None,
             actions: Vec::new(),
             decisions: Vec::new(),
         }
@@ -127,6 +133,26 @@ impl<'a> SchedCtx<'a> {
     pub fn with_decision_trace(mut self, on: bool) -> Self {
         self.trace_decisions = on;
         self
+    }
+
+    /// Attaches the runtime's endpoint-health view (runtime-internal;
+    /// builder-style so existing call sites are unchanged).
+    pub fn with_health(mut self, health: &'a HealthMonitor) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// True if `ep` is known to be Down and must be skipped when picking
+    /// placement candidates. Without a health monitor, always false.
+    pub fn is_down(&self, ep: EndpointId) -> bool {
+        self.health.is_some_and(|h| h.is_down(ep))
+    }
+
+    /// True if every compute endpoint is currently Down — placement is
+    /// impossible and the task should be parked until capacity returns.
+    pub fn all_down(&self) -> bool {
+        self.health
+            .is_some_and(|h| self.compute_eps.iter().all(|&ep| h.is_down(ep)))
     }
 
     /// Requests staging of `task`'s inputs to `ep` (also setting/updating

@@ -84,6 +84,24 @@ impl Condvar {
         guard.inner = Some(std_guard);
     }
 
+    /// Blocks until notified or `timeout` elapses, releasing the guarded
+    /// mutex while waiting.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard present");
+        let (std_guard, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -98,6 +116,19 @@ impl Condvar {
 impl fmt::Debug for Condvar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("Condvar")
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because of a timeout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed.
+    pub fn timed_out(self) -> bool {
+        self.timed_out
     }
 }
 
@@ -123,6 +154,15 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let pair = (Mutex::new(false), Condvar::new());
+        let mut done = pair.0.lock();
+        let res = pair.1.wait_for(&mut done, Duration::from_millis(10));
+        assert!(res.timed_out());
+        assert!(!*done, "guard reacquired intact");
     }
 
     #[test]
