@@ -19,7 +19,12 @@
 //! `--trace-out <path>` / `--trace-level off|spans|full` enable run
 //! tracing (all rows), mainly to measure tracing overhead against the
 //! committed baseline; the last traced run's files are written to the
-//! given path.
+//! given path. `--metrics` enables the metrics registry on every row
+//! (measuring enabled-metrics overhead the same way), and
+//! `--metrics-out <path>` additionally writes the last row's registry as
+//! a Prometheus text dump. With none of these flags the binary measures
+//! the disabled-observability path — the gate enforced by
+//! `scripts/check_trace_overhead.sh`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -48,12 +53,14 @@ fn run(
     strategy: SchedulingStrategy,
     trace: Option<TraceConfig>,
     trace_out: Option<&str>,
+    metrics: bool,
+    metrics_out: Option<&str>,
 ) -> Row {
     let tasks = dag.len();
     let mut cfg = pool.build();
     cfg.strategy = strategy;
     let t0 = Instant::now();
-    let mut runtime = SimRuntime::new(cfg, dag);
+    let mut runtime = SimRuntime::new(cfg, dag).with_metrics(metrics);
     if let Some(tc) = trace {
         runtime = runtime.with_trace(tc);
     }
@@ -62,6 +69,9 @@ fn run(
     if let (Some(path), Some(tr)) = (trace_out, &report.trace) {
         tr.write_files(std::path::Path::new(path))
             .expect("write trace");
+    }
+    if let (Some(path), Some(reg)) = (metrics_out, report.metrics.as_deref()) {
+        std::fs::write(path, reg.render_prometheus()).expect("write metrics dump");
     }
     Row {
         workload,
@@ -80,6 +90,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut trace_out: Option<String> = None;
     let mut trace_level: Option<TraceLevel> = None;
+    let mut metrics = false;
+    let mut metrics_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -89,6 +101,11 @@ fn main() {
                     .next()
                     .and_then(|s| TraceLevel::parse(s))
                     .or_else(|| panic!("bad --trace-level (off|spans|full)"));
+            }
+            "--metrics" => metrics = true,
+            "--metrics-out" => {
+                metrics = true;
+                metrics_out = it.next().cloned();
             }
             other => panic!("unknown argument {other}"),
         }
@@ -111,6 +128,8 @@ fn main() {
             strategy,
             trace,
             out,
+            metrics,
+            metrics_out.as_deref(),
         ));
     }
     for strategy in all_strategies() {
@@ -121,6 +140,8 @@ fn main() {
             strategy,
             trace,
             out,
+            metrics,
+            metrics_out.as_deref(),
         ));
     }
     // The 100k-task stress DAG: periodic-tick and data-plane costs that
@@ -134,6 +155,8 @@ fn main() {
             strategy,
             trace,
             out,
+            metrics,
+            metrics_out.as_deref(),
         ));
     }
 

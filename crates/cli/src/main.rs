@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! unifaas-sim <spec-file> [--strategy capacity|locality|dha|dha-no-resched]
-//!                         [--series <dir>] [--quiet]
+//!                         [--series <dir>] [--quiet] [--report]
 //!                         [--trace-out <path>] [--trace-level off|spans|full]
+//!                         [--flame-out <path>] [--metrics-out <path>]
+//!                         [--metrics-addr <addr>]
 //!                         [--task-fail-prob <p>] [--transfer-fail-prob <p>]
 //!                         [--outage <ep>:<from-s>:<to-s>]...
 //! ```
@@ -14,6 +16,22 @@
 //! `.jsonl` and `.counters.txt` siblings) — open the JSON at
 //! <https://ui.perfetto.dev>. `--trace-level` defaults to `full` when
 //! `--trace-out` is given.
+//!
+//! Observability flags:
+//!
+//! * `--report` prints the critical-path stage attribution (which latency
+//!   stage the makespan was actually spent in, along the longest
+//!   dependency chain) and the predictor calibration table. Implies
+//!   metrics collection, and span tracing sized to hold every task.
+//! * `--metrics-out <path>` writes the final counters/gauges/histograms in
+//!   Prometheus text format (one-shot dump; implies metrics collection).
+//! * `--flame-out <path>` writes the trace as folded stacks for
+//!   `flamegraph.pl`/inferno (implies span tracing).
+//! * `--metrics-addr <addr>` serves the final registry at
+//!   `GET http://<addr>/metrics` after the run until Ctrl-C, so a scraper
+//!   or `curl` can read a finished simulation (implies metrics
+//!   collection). Use the live runtime's `serve_metrics` for scraping a
+//!   run in progress.
 //!
 //! The fault knobs override/extend the spec for quick chaos sweeps:
 //! `--task-fail-prob` / `--transfer-fail-prob` set the per-attempt failure
@@ -31,8 +49,10 @@ use unifaas_cli::parse_spec;
 fn usage() -> ! {
     eprintln!(
         "usage: unifaas-sim <spec-file> [--strategy capacity|locality|dha|dha-no-resched] \
-         [--series <dir>] [--quiet] [--trace-out <path>] [--trace-level off|spans|full] \
-         [--task-fail-prob <p>] [--transfer-fail-prob <p>] [--outage <ep>:<from-s>:<to-s>]..."
+         [--series <dir>] [--quiet] [--report] [--trace-out <path>] \
+         [--trace-level off|spans|full] [--flame-out <path>] [--metrics-out <path>] \
+         [--metrics-addr <addr>] [--task-fail-prob <p>] [--transfer-fail-prob <p>] \
+         [--outage <ep>:<from-s>:<to-s>]..."
     );
     std::process::exit(2);
 }
@@ -57,6 +77,10 @@ fn main() {
     let mut quiet = false;
     let mut trace_out: Option<String> = None;
     let mut trace_level: Option<TraceLevel> = None;
+    let mut report_flag = false;
+    let mut flame_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut task_fail_prob: Option<f64> = None;
     let mut transfer_fail_prob: Option<f64> = None;
     let mut outages: Vec<(usize, u64, u64)> = Vec::new();
@@ -88,6 +112,10 @@ fn main() {
                 );
             }
             "--trace-out" => trace_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--report" => report_flag = true,
+            "--flame-out" => flame_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--metrics-out" => metrics_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--metrics-addr" => metrics_addr = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--trace-level" => {
                 trace_level = Some(
                     it.next()
@@ -155,14 +183,27 @@ fn main() {
         );
     }
     // `--trace-out` implies full tracing; `--trace-level` alone records
-    // without writing (the trace is still summarized below).
+    // without writing (the trace is still summarized below). `--report`
+    // and `--flame-out` need span tracing too — sized so the ring holds
+    // every task's lifecycle spans, or critical-path extraction would see
+    // a truncated workflow.
+    let want_analytics = report_flag || flame_out.is_some();
     let trace_cfg = match (trace_out.is_some(), trace_level) {
         (_, Some(level)) => Some(TraceConfig::at_level(level)),
         (true, None) => Some(TraceConfig::default()),
+        (false, None) if want_analytics => Some(TraceConfig::at_level(TraceLevel::Spans)),
         (false, None) => None,
     };
+    let trace_cfg = trace_cfg.map(|mut tc| {
+        if want_analytics {
+            // ~7 lifecycle spans/task, 2 records each, plus transfers.
+            tc.ring_capacity = tc.ring_capacity.max(16 * n_tasks.max(1));
+        }
+        tc
+    });
+    let want_metrics = report_flag || metrics_out.is_some() || metrics_addr.is_some();
     let t0 = std::time::Instant::now();
-    let mut runtime = SimRuntime::new(spec.config, dag);
+    let mut runtime = SimRuntime::new(spec.config, dag).with_metrics(want_metrics);
     if let Some(tc) = trace_cfg {
         runtime = runtime.with_trace(tc);
     }
@@ -223,6 +264,60 @@ fn main() {
             trace.transfers.len()
         );
     }
+    if report_flag {
+        match report
+            .trace
+            .as_deref()
+            .and_then(unifaas::obs::critical_path)
+        {
+            Some(cp) => print!("{}", cp.render_table()),
+            None => eprintln!("--report: trace has no completed task spans"),
+        }
+        if report.calibration.is_empty() {
+            println!("predictor calibration: no observations");
+        } else {
+            println!("predictor calibration:");
+            println!(
+                "  {:<28} {:>7} {:>8} {:>8} {:>9}",
+                "model", "n", "MAPE", "bias", "p95|err|"
+            );
+            for row in &report.calibration {
+                println!(
+                    "  {:<28} {:>7} {:>7.1}% {:>+7.1}% {:>8.1}%",
+                    row.model,
+                    row.count,
+                    row.mape * 100.0,
+                    row.bias * 100.0,
+                    row.p95_abs_err * 100.0
+                );
+            }
+        }
+    }
+    if let Some(path) = &flame_out {
+        match report.trace.as_deref() {
+            Some(trace) => {
+                unifaas::obs::write_flamegraph(trace, std::path::Path::new(path)).unwrap_or_else(
+                    |e| {
+                        eprintln!("cannot write flamegraph {path}: {e}");
+                        std::process::exit(1);
+                    },
+                );
+                println!("wrote {path}");
+            }
+            None => eprintln!("--flame-out given but tracing is off (--trace-level off)"),
+        }
+    }
+    if let Some(path) = &metrics_out {
+        let reg = report
+            .metrics
+            .as_deref()
+            .expect("--metrics-out implies metrics");
+        std::fs::write(path, reg.render_prometheus()).unwrap_or_else(|e| {
+            eprintln!("cannot write metrics {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
     if !quiet {
         println!(
             "({} simulated events in {:.2} s wall)",
@@ -264,6 +359,29 @@ fn main() {
                 }
             }
             println!("wrote {path}");
+        }
+    }
+
+    if let Some(addr) = &metrics_addr {
+        let reg = report
+            .metrics
+            .map(|b| *b)
+            .expect("--metrics-addr implies metrics");
+        let server = simkit::MetricsServer::start(
+            addr,
+            std::sync::Arc::new(std::sync::Mutex::new(reg)),
+            None,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "serving final metrics at http://{}/metrics (Ctrl-C to exit)",
+            server.local_addr()
+        );
+        loop {
+            std::thread::park();
         }
     }
 }

@@ -12,6 +12,7 @@
 //! retry watchdog is what recovers the swallowed work.
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use simkit::metrics::{CounterId, GaugeId, MetricsRegistry};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -97,6 +98,18 @@ impl PoolFaults {
             ms => Some(Duration::from_millis(ms)),
         }
     }
+}
+
+/// Metric handles for one pool (see [`ThreadedEndpoint::register_metrics`]),
+/// plus the counter high-water marks that keep sampled counters monotone.
+pub struct PoolMetricIds {
+    workers: GaugeId,
+    busy: GaugeId,
+    up: GaugeId,
+    completed: CounterId,
+    crashed: CounterId,
+    last_completed: u64,
+    last_crashed: u64,
 }
 
 /// A pool of worker threads representing one endpoint's workers.
@@ -228,6 +241,56 @@ impl ThreadedEndpoint {
             .expect("endpoint already shut down")
             .send(Box::new(job))
             .expect("worker threads exited unexpectedly");
+    }
+
+    /// Registers this pool's gauge/counter families in `reg`, labelled by
+    /// endpoint name. Pair with [`ThreadedEndpoint::sample_metrics`] from a
+    /// scrape refresh hook.
+    pub fn register_metrics(&self, reg: &mut MetricsRegistry) -> PoolMetricIds {
+        let l = &[("endpoint", self.name.as_str())];
+        PoolMetricIds {
+            workers: reg.gauge("fedci_pool_workers", "Worker threads in the pool.", l),
+            busy: reg.gauge(
+                "fedci_pool_busy_workers",
+                "Workers currently executing a job.",
+                l,
+            ),
+            up: reg.gauge(
+                "fedci_pool_up",
+                "1 while the pool answers its liveness probe.",
+                l,
+            ),
+            completed: reg.counter(
+                "fedci_pool_jobs_completed_total",
+                "Jobs executed to completion.",
+                l,
+            ),
+            crashed: reg.counter(
+                "fedci_pool_jobs_crashed_total",
+                "Jobs swallowed by fault injection.",
+                l,
+            ),
+            last_completed: 0,
+            last_crashed: 0,
+        }
+    }
+
+    /// Snapshots the pool's atomics into `reg`. Counters advance by the
+    /// delta since the previous sample (`ids` remembers the high-water
+    /// marks), so repeated scrapes stay monotone.
+    pub fn sample_metrics(&self, reg: &mut MetricsRegistry, ids: &mut PoolMetricIds) {
+        reg.set(ids.workers, self.n_workers as f64);
+        reg.set(ids.busy, self.busy_workers() as f64);
+        reg.set(ids.up, if self.responsive() { 1.0 } else { 0.0 });
+        let completed = self.completed_jobs() as u64;
+        reg.inc(
+            ids.completed,
+            completed.saturating_sub(ids.last_completed) as f64,
+        );
+        ids.last_completed = completed;
+        let crashed = self.faults.crashed_jobs() as u64;
+        reg.inc(ids.crashed, crashed.saturating_sub(ids.last_crashed) as f64);
+        ids.last_crashed = crashed;
     }
 
     /// Drains the queue and joins all workers.
@@ -380,6 +443,40 @@ mod tests {
         });
         ep.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pool_metrics_sample_and_stay_monotone() {
+        let ep = ThreadedEndpoint::with_poll_timeout("metered", 2, Duration::from_millis(20));
+        let mut reg = MetricsRegistry::new();
+        let mut ids = ep.register_metrics(&mut reg);
+        ep.sample_metrics(&mut reg, &mut ids);
+        let text = reg.render_prometheus();
+        assert!(text.contains("fedci_pool_workers{endpoint=\"metered\"} 2"));
+        assert!(text.contains("fedci_pool_up{endpoint=\"metered\"} 1"));
+
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..6 {
+            let c = Arc::clone(&counter);
+            ep.submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let deadline = std::time::Instant::now() + DEFAULT_POLL_TIMEOUT;
+        while ep.completed_jobs() < 6 {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        // Two samples in a row: the counter reflects the total exactly
+        // once (delta-based sampling, not double-counted).
+        ep.sample_metrics(&mut reg, &mut ids);
+        ep.sample_metrics(&mut reg, &mut ids);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("fedci_pool_jobs_completed_total{endpoint=\"metered\"} 6"),
+            "unexpected exposition:\n{text}"
+        );
+        ep.shutdown();
     }
 
     #[test]

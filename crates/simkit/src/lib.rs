@@ -38,6 +38,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod metrics;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -46,6 +47,7 @@ pub mod trace;
 
 pub use engine::{Engine, EngineStats};
 pub use event::{EventId, EventQueue};
+pub use metrics::{LogHistogram, MetricsRegistry, MetricsServer};
 pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use stats::OnlineStats;

@@ -25,8 +25,12 @@ impl OnlineStats {
         }
     }
 
-    /// Adds an observation.
+    /// Adds an observation. NaN is ignored: a single poisoned sample (e.g.
+    /// a 0/0 relative error) must not destroy the whole accumulator.
     pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
         self.n += 1;
         let delta = x - self.mean;
         self.mean += delta / self.n as f64;
@@ -263,6 +267,51 @@ mod tests {
         c.merge(&a);
         assert_eq!(c.count(), 1);
         assert_eq!(c.mean(), 1.0);
+    }
+
+    #[test]
+    fn merge_single_sample() {
+        // Folding a one-sample accumulator is the smallest non-trivial
+        // parallel-Welford case; variance must stay exact.
+        let mut a = OnlineStats::new();
+        a.push(3.0);
+        let mut b = OnlineStats::new();
+        b.push(7.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 5.0).abs() < 1e-12);
+        assert!((a.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(a.min(), Some(3.0));
+        assert_eq!(a.max(), Some(7.0));
+    }
+
+    #[test]
+    fn merge_two_empty() {
+        let mut a = OnlineStats::new();
+        let b = OnlineStats::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.min(), None);
+    }
+
+    #[test]
+    fn nan_inputs_are_ignored() {
+        let mut a = OnlineStats::new();
+        a.push(f64::NAN);
+        assert_eq!(a.count(), 0);
+        a.push(2.0);
+        a.push(f64::NAN);
+        a.push(4.0);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 3.0).abs() < 1e-12);
+        assert!(!a.variance().is_nan());
+        // Merging an accumulator that only ever saw NaN is a no-op.
+        let mut nan_only = OnlineStats::new();
+        nan_only.push(f64::NAN);
+        a.merge(&nan_only);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 3.0).abs() < 1e-12);
     }
 
     #[test]

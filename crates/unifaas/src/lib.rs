@@ -57,6 +57,7 @@ pub mod error;
 pub mod files;
 pub mod metrics;
 pub mod monitor;
+pub mod obs;
 pub mod profile;
 pub mod runtime;
 pub mod scaling;

@@ -1,8 +1,9 @@
 //! Run metrics: everything the paper's tables and figures report.
 
+use crate::profile::accuracy::CalibrationRow;
 use crate::trace::RunTrace;
 use simkit::series::SeriesSet;
-use simkit::{SimDuration, SimTime, TimeSeries};
+use simkit::{MetricsRegistry, SimDuration, SimTime, TimeSeries};
 
 /// Per-task latency stage sums (Fig. 5's breakdown), averaged on demand.
 #[derive(Clone, Debug, Default)]
@@ -104,6 +105,15 @@ pub struct RunReport {
     /// The trace bundle of a traced run (`None` unless the runtime was
     /// built with [`SimRuntime::with_trace`](crate::SimRuntime::with_trace)).
     pub trace: Option<Box<RunTrace>>,
+    /// Predictor calibration table (per-function / per-endpoint / per-pair
+    /// MAPE, bias, p95 error). Empty unless the runtime was built with
+    /// `SimRuntime::with_metrics(true)`. Excluded from the determinism
+    /// digest: it describes prediction quality, not simulated behavior.
+    pub calibration: Vec<CalibrationRow>,
+    /// Final metrics registry of a metered run, ready for Prometheus text
+    /// dump (`None` unless built with `with_metrics(true)`). Excluded from
+    /// the determinism digest.
+    pub metrics: Option<Box<MetricsRegistry>>,
 }
 
 impl RunReport {
@@ -223,6 +233,8 @@ mod tests {
                 s
             },
             trace: None,
+            calibration: Vec::new(),
+            metrics: None,
         };
         assert_eq!(report.transfer_gb(), 2.0);
         assert!((report.scheduler_overhead_per_task() - 0.0005).abs() < 1e-9);

@@ -1,0 +1,457 @@
+//! Post-hoc trace analytics: critical-path extraction, stage attribution,
+//! and flamegraph export over [`RunTrace`] lifecycle spans.
+//!
+//! The sim runtime emits one span per task lifecycle stage
+//! (`ready → staging → staged → dispatched → queued → executing → polled`),
+//! all with span id = task id, and the stages of one task tile its lifetime
+//! with no gaps (every transition closes the previous span at the instant it
+//! opens the next). Because a successor becomes `ready` at the *exact*
+//! virtual instant its last predecessor's result is observed (the `polled`
+//! span's end), chaining backwards from the task that finishes last yields a
+//! contiguous critical path from `t = 0` whose per-stage durations sum to
+//! the makespan — the attribution printed by `unifaas-sim --report`.
+//!
+//! The chain follows timestamps, not DAG edges (the trace does not record
+//! edges): when several tasks finish at the picked instant, the lowest task
+//! id is chosen deterministically. Any prefix that cannot be chained (ring
+//! overwrote the oldest spans, or a task was injected mid-run) is reported
+//! as `unattributed` rather than silently miscounted.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::Path;
+
+use simkit::time::SimTime;
+use simkit::trace::{LabelId, TraceEvent};
+
+use crate::trace::RunTrace;
+
+/// Task lifecycle stages, in pipeline order. Matches the span names the
+/// sim runtime emits.
+pub const LIFECYCLE_STAGES: [&str; 7] = [
+    "ready",
+    "staging",
+    "staged",
+    "dispatched",
+    "queued",
+    "executing",
+    "polled",
+];
+
+/// Per-stage share of the critical path.
+#[derive(Clone, Copy, Debug)]
+pub struct StageAttribution {
+    /// Stage name (one of [`LIFECYCLE_STAGES`]).
+    pub stage: &'static str,
+    /// Seconds spent in this stage along the critical path.
+    pub seconds: f64,
+}
+
+/// The critical path through a run, with its makespan attribution.
+#[derive(Clone, Debug)]
+pub struct CriticalPath {
+    /// Task ids along the path, in chronological order.
+    pub tasks: Vec<u64>,
+    /// End of the last task's `polled` span — the traced makespan.
+    pub makespan_s: f64,
+    /// Seconds per lifecycle stage along the path, in pipeline order.
+    pub stages: Vec<StageAttribution>,
+    /// Leading time that could not be chained to any traced task
+    /// (dropped ring prefix or mid-run injection).
+    pub unattributed_s: f64,
+}
+
+impl CriticalPath {
+    /// Sum of the per-stage attributions (excluding `unattributed`).
+    pub fn attributed_s(&self) -> f64 {
+        self.stages.iter().map(|s| s.seconds).sum()
+    }
+
+    /// Renders the attribution as an aligned text table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "critical path: {} tasks, {:.3} s makespan\n",
+            self.tasks.len(),
+            self.makespan_s
+        ));
+        let denom = if self.makespan_s > 0.0 {
+            self.makespan_s
+        } else {
+            1.0
+        };
+        for s in &self.stages {
+            out.push_str(&format!(
+                "  {:<12} {:>12.3} s  {:>5.1}%\n",
+                s.stage,
+                s.seconds,
+                100.0 * s.seconds / denom
+            ));
+        }
+        if self.unattributed_s > 0.0 {
+            out.push_str(&format!(
+                "  {:<12} {:>12.3} s  {:>5.1}%\n",
+                "unattributed",
+                self.unattributed_s,
+                100.0 * self.unattributed_s / denom
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<12} {:>12.3} s\n",
+            "sum",
+            self.attributed_s() + self.unattributed_s
+        ));
+        out
+    }
+}
+
+struct Span {
+    stage: usize,
+    track: LabelId,
+    id: u64,
+    t0: SimTime,
+    t1: SimTime,
+}
+
+/// A non-lifecycle span: (name, track, begin, end).
+type OtherSpan = (LabelId, LabelId, SimTime, SimTime);
+
+/// Matches Begin/End pairs in the trace ring into lifecycle spans.
+/// Non-lifecycle spans (e.g. transfers) are returned separately keyed by
+/// their interned name so the flamegraph can show them too.
+fn extract_spans(trace: &RunTrace) -> (Vec<Span>, Vec<OtherSpan>) {
+    // Memoize LabelId -> lifecycle stage index.
+    let mut stage_of: HashMap<u32, Option<usize>> = HashMap::new();
+    let mut classify = |name: LabelId| -> Option<usize> {
+        *stage_of.entry(name.0).or_insert_with(|| {
+            LIFECYCLE_STAGES
+                .iter()
+                .position(|s| *s == trace.tracer.label(name))
+        })
+    };
+    let mut open: HashMap<(u32, u64), (LabelId, SimTime)> = HashMap::new();
+    let mut lifecycle = Vec::new();
+    let mut other = Vec::new();
+    for rec in trace.tracer.records() {
+        match rec.event {
+            TraceEvent::Begin { name, track, id } => {
+                open.insert((name.0, id), (track, rec.at));
+            }
+            TraceEvent::End { name, id, .. } => {
+                let Some((track, t0)) = open.remove(&(name.0, id)) else {
+                    continue; // begin fell off the ring
+                };
+                match classify(name) {
+                    Some(stage) => lifecycle.push(Span {
+                        stage,
+                        track,
+                        id,
+                        t0,
+                        t1: rec.at,
+                    }),
+                    None => other.push((name, track, t0, rec.at)),
+                }
+            }
+            _ => {}
+        }
+    }
+    (lifecycle, other)
+}
+
+#[derive(Default)]
+struct TaskSpans {
+    start: Option<SimTime>,
+    polled_end: Option<SimTime>,
+    per_stage: [f64; LIFECYCLE_STAGES.len()],
+}
+
+/// Extracts the critical path from a recorded trace. Returns `None` when
+/// the trace holds no completed task lifecycles (e.g. tracing was off).
+pub fn critical_path(trace: &RunTrace) -> Option<CriticalPath> {
+    let (spans, _) = extract_spans(trace);
+    let polled_idx = LIFECYCLE_STAGES.len() - 1;
+    let mut tasks: HashMap<u64, TaskSpans> = HashMap::new();
+    for s in &spans {
+        let e = tasks.entry(s.id).or_default();
+        e.start = Some(match e.start {
+            Some(t) => t.min(s.t0),
+            None => s.t0,
+        });
+        if s.stage == polled_idx {
+            e.polled_end = Some(match e.polled_end {
+                Some(t) => t.max(s.t1),
+                None => s.t1,
+            });
+        }
+        e.per_stage[s.stage] += s.t1.saturating_since(s.t0).as_secs_f64();
+    }
+
+    // Index completion instants for predecessor lookup.
+    let mut by_polled_end: HashMap<u64, Vec<u64>> = HashMap::new();
+    for (&id, t) in &tasks {
+        if let Some(pe) = t.polled_end {
+            by_polled_end.entry(pe.as_micros()).or_default().push(id);
+        }
+    }
+    for ids in by_polled_end.values_mut() {
+        ids.sort_unstable();
+    }
+
+    // The path ends at the task whose polled span ends last (ties: lowest
+    // id, deterministically).
+    let (&last_id, last) = tasks
+        .iter()
+        .filter(|(_, t)| t.polled_end.is_some())
+        .max_by_key(|(&id, t)| (t.polled_end.unwrap(), std::cmp::Reverse(id)))?;
+    let makespan_end = last.polled_end.unwrap();
+
+    let mut path = vec![last_id];
+    let mut stages = [0.0f64; LIFECYCLE_STAGES.len()];
+    let mut cur = last_id;
+    let mut unattributed_s = 0.0;
+    loop {
+        let t = &tasks[&cur];
+        for (acc, s) in stages.iter_mut().zip(t.per_stage.iter()) {
+            *acc += s;
+        }
+        let start = t.start.expect("chained task has spans");
+        if start == SimTime::ZERO {
+            break;
+        }
+        // Predecessor: a task whose result was observed at exactly this
+        // task's first-ready instant (dependency resolution happens at the
+        // same virtual time). Skip tasks already on the path (a zero-length
+        // self-match is possible when spans are instantaneous).
+        let pred = by_polled_end
+            .get(&start.as_micros())
+            .and_then(|ids| ids.iter().find(|id| !path.contains(id)))
+            .copied();
+        match pred {
+            Some(p) => {
+                path.push(p);
+                cur = p;
+            }
+            None => {
+                unattributed_s = start.as_secs_f64();
+                break;
+            }
+        }
+    }
+    path.reverse();
+
+    Some(CriticalPath {
+        tasks: path,
+        makespan_s: makespan_end.as_secs_f64(),
+        stages: LIFECYCLE_STAGES
+            .iter()
+            .zip(stages.iter())
+            .map(|(name, &seconds)| StageAttribution {
+                stage: name,
+                seconds,
+            })
+            .collect(),
+        unattributed_s,
+    })
+}
+
+/// Renders the whole trace as folded stacks (`frames... count` lines, one
+/// stack per line, weight in microseconds) — the input format of standard
+/// flamegraph renderers. Frames are `track;stage`; spans on the critical
+/// path are additionally emitted under a `critical` root so the path is
+/// visible as its own subtree.
+pub fn flamegraph_folded(trace: &RunTrace) -> String {
+    let (lifecycle, other) = extract_spans(trace);
+    let on_path: std::collections::HashSet<u64> = critical_path(trace)
+        .map(|cp| cp.tasks.into_iter().collect())
+        .unwrap_or_default();
+
+    // Aggregate by stack so renderers get pre-summed lines.
+    let mut agg: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for s in &lifecycle {
+        let us = s.t1.saturating_since(s.t0).as_micros();
+        if us == 0 {
+            continue;
+        }
+        let track = trace.tracer.label(s.track);
+        let stage = LIFECYCLE_STAGES[s.stage];
+        *agg.entry(format!("all;{track};{stage}")).or_insert(0) += us;
+        if on_path.contains(&s.id) {
+            *agg.entry(format!("critical;{track};{stage}")).or_insert(0) += us;
+        }
+    }
+    for (name, track, t0, t1) in &other {
+        let us = t1.saturating_since(*t0).as_micros();
+        if us == 0 {
+            continue;
+        }
+        let track = trace.tracer.label(*track);
+        let name = trace.tracer.label(*name);
+        *agg.entry(format!("all;{track};{name}")).or_insert(0) += us;
+    }
+
+    let mut out = String::new();
+    for (stack, us) in agg {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes [`flamegraph_folded`] output to `path`.
+pub fn write_flamegraph(trace: &RunTrace, path: &Path) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(flamegraph_folded(trace).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, EndpointConfig, SchedulingStrategy};
+    use crate::runtime::sim::SimRuntime;
+    use crate::trace::TraceConfig;
+    use fedci::hardware::ClusterSpec;
+    use simkit::TraceLevel;
+    use taskgraph::{Dag, TaskSpec};
+
+    fn two_site(strategy: SchedulingStrategy) -> Config {
+        Config::builder()
+            .endpoint(EndpointConfig::new("fast", ClusterSpec::taiyi(), 4))
+            .endpoint(EndpointConfig::new("slow", ClusterSpec::qiming(), 2))
+            .strategy(strategy)
+            .build()
+    }
+
+    fn chain_dag(n: usize) -> Dag {
+        let mut dag = Dag::new();
+        let f = dag.register_function("f");
+        let mut prev = None;
+        for _ in 0..n {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(dag.add_task(TaskSpec::compute(f, 5.0).with_output_bytes(1 << 20), &deps));
+        }
+        dag
+    }
+
+    #[test]
+    fn chain_critical_path_covers_every_task() {
+        let cfg = two_site(SchedulingStrategy::Dha {
+            rescheduling: false,
+        });
+        let n = 12;
+        let report = SimRuntime::new(cfg, chain_dag(n))
+            .with_trace(TraceConfig::at_level(TraceLevel::Spans))
+            .run()
+            .expect("run succeeds");
+        let trace = report.trace.as_ref().expect("trace recorded");
+        let cp = critical_path(trace).expect("path found");
+        assert_eq!(cp.tasks.len(), n, "a pure chain is all critical");
+        // Stage sums tile the makespan exactly (virtual time, no noise).
+        let total = cp.attributed_s() + cp.unattributed_s;
+        assert!(
+            (total - cp.makespan_s).abs() <= 0.01 * cp.makespan_s.max(1e-9),
+            "attributed {total} vs makespan {}",
+            cp.makespan_s
+        );
+        assert!(
+            (cp.makespan_s - report.makespan.as_secs_f64()).abs() < 1e-6,
+            "traced makespan matches report"
+        );
+        // Execution dominates a compute chain.
+        let exec = cp
+            .stages
+            .iter()
+            .find(|s| s.stage == "executing")
+            .unwrap()
+            .seconds;
+        assert!(
+            exec > 0.5 * cp.makespan_s,
+            "exec {exec} of {}",
+            cp.makespan_s
+        );
+        let table = cp.render_table();
+        assert!(table.contains("executing"));
+    }
+
+    #[test]
+    fn fanout_path_sums_to_makespan() {
+        // Diamond fan-out/fan-in: many parallel branches, path must still
+        // tile the makespan.
+        let mut dag = Dag::new();
+        let f = dag.register_function("f");
+        let root = dag.add_task(TaskSpec::compute(f, 1.0).with_output_bytes(1 << 20), &[]);
+        let mids: Vec<_> = (0..8)
+            .map(|i| {
+                dag.add_task(
+                    TaskSpec::compute(f, 2.0 + i as f64).with_output_bytes(1 << 20),
+                    &[root],
+                )
+            })
+            .collect();
+        dag.add_task(TaskSpec::compute(f, 1.0), &mids);
+        let cfg = two_site(SchedulingStrategy::Dha {
+            rescheduling: false,
+        });
+        let report = SimRuntime::new(cfg, dag)
+            .with_trace(TraceConfig::at_level(TraceLevel::Spans))
+            .run()
+            .expect("run succeeds");
+        let trace = report.trace.as_ref().unwrap();
+        let cp = critical_path(trace).expect("path found");
+        assert_eq!(cp.tasks.len(), 3, "root -> slowest mid -> sink");
+        let total = cp.attributed_s() + cp.unattributed_s;
+        assert!(
+            (total - cp.makespan_s).abs() <= 0.01 * cp.makespan_s.max(1e-9),
+            "attributed {total} vs makespan {}",
+            cp.makespan_s
+        );
+    }
+
+    #[test]
+    fn flamegraph_has_critical_subtree_and_positive_weights() {
+        let cfg = two_site(SchedulingStrategy::Dha {
+            rescheduling: false,
+        });
+        let report = SimRuntime::new(cfg, chain_dag(6))
+            .with_trace(TraceConfig::at_level(TraceLevel::Spans))
+            .run()
+            .unwrap();
+        let folded = flamegraph_folded(report.trace.as_ref().unwrap());
+        assert!(!folded.is_empty());
+        let mut saw_critical = false;
+        for line in folded.lines() {
+            let (stack, weight) = line.rsplit_split_once();
+            assert!(weight > 0, "weights positive: {line}");
+            assert!(stack.matches(';').count() == 2, "3 frames: {line}");
+            if stack.starts_with("critical;") {
+                saw_critical = true;
+            }
+        }
+        assert!(saw_critical, "critical subtree present:\n{folded}");
+    }
+
+    trait RSplit {
+        fn rsplit_split_once(&self) -> (&str, u64);
+    }
+    impl RSplit for str {
+        fn rsplit_split_once(&self) -> (&str, u64) {
+            let (stack, w) = self.rsplit_once(' ').expect("folded line");
+            (stack, w.parse().expect("weight"))
+        }
+    }
+
+    #[test]
+    fn no_trace_yields_no_path() {
+        let cfg = two_site(SchedulingStrategy::Dha {
+            rescheduling: false,
+        });
+        let report = SimRuntime::new(cfg, chain_dag(3))
+            .with_trace(TraceConfig::at_level(TraceLevel::Off))
+            .run()
+            .unwrap();
+        if let Some(trace) = report.trace.as_ref() {
+            assert!(critical_path(trace).is_none());
+        }
+    }
+}

@@ -11,9 +11,11 @@
 //!   CPU frequency, RAM) and per-endpoint-pair linear models for transfer
 //!   time, trained online from monitor records.
 
+pub mod accuracy;
 pub mod execution;
 pub mod transfer;
 
+pub use accuracy::{AccuracyMonitor, CalibrationRow, ErrorStats, ScaledPredictor};
 pub use execution::{ExecutionProfiler, ModelFamily};
 pub use transfer::TransferProfiler;
 

@@ -370,6 +370,42 @@ impl LiveRuntime {
         self.trace.as_ref().map(|t| t.lock().tracer.clone())
     }
 
+    /// Starts a Prometheus scrape server at `addr` (e.g. `127.0.0.1:9100`;
+    /// port 0 picks an ephemeral port, readable from
+    /// [`MetricsServer::local_addr`](simkit::MetricsServer::local_addr)).
+    ///
+    /// `GET /metrics` renders per-pool worker/liveness gauges and
+    /// completed/crashed job counters plus a client-side outstanding-tasks
+    /// gauge, all sampled from live state at scrape time. The server stops
+    /// when the returned handle is dropped; the runtime keeps running
+    /// either way.
+    pub fn serve_metrics(&self, addr: &str) -> std::io::Result<simkit::MetricsServer> {
+        let mut reg = simkit::MetricsRegistry::new();
+        let ids: Vec<fedci::threaded::PoolMetricIds> = self
+            .endpoints
+            .iter()
+            .map(|ep| ep.register_metrics(&mut reg))
+            .collect();
+        let outstanding = reg.gauge(
+            "unifaas_outstanding_tasks",
+            "Submitted tasks whose futures have not resolved.",
+            &[],
+        );
+        let pools = self.endpoints.clone();
+        let coord = Arc::clone(&self.coord);
+        // The refresh hook is `Fn`, so the per-pool counter high-water
+        // marks live behind their own lock.
+        let ids = std::sync::Mutex::new(ids);
+        let refresh: simkit::metrics::RefreshFn = Box::new(move |reg| {
+            let mut ids = ids.lock().expect("refresh hook never panics");
+            for (ep, id) in pools.iter().zip(ids.iter_mut()) {
+                ep.sample_metrics(reg, id);
+            }
+            reg.set(outstanding, coord.lock().outstanding as f64);
+        });
+        simkit::MetricsServer::start(addr, Arc::new(std::sync::Mutex::new(reg)), Some(refresh))
+    }
+
     /// Endpoint labels.
     pub fn endpoint_labels(&self) -> &[String] {
         &self.labels

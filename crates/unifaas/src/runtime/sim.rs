@@ -22,6 +22,7 @@ use crate::error::UniFaasError;
 use crate::metrics::{LatencyBreakdown, RunReport, RunSeries};
 use crate::monitor::HistoryDb;
 use crate::monitor::{EndpointMonitor, HealthMonitor, MockEndpoint, TaskMonitor, TaskRecord};
+use crate::profile::accuracy::AccuracyMonitor;
 use crate::profile::transfer::transfer_record_name;
 use crate::profile::{EndpointFeatures, LearnedProfiler, OracleProfiler, Predictor};
 use crate::runtime::TaskState;
@@ -38,6 +39,7 @@ use fedci::network::{Link, NetworkTopology};
 use fedci::trace::FedciTraceLabels;
 use fedci::transfer::TransferParams;
 use simkit::event::EventId;
+use simkit::metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 use simkit::series::SeriesHandle;
 use simkit::trace::{LabelId, TraceLevel, Tracer};
 use simkit::{Engine, EngineStats, SimDuration, SimRng, SimTime};
@@ -136,6 +138,9 @@ impl TaskRt {
 enum ProfilerKind {
     Oracle(OracleProfiler),
     Learned(Box<LearnedProfiler>),
+    /// Caller-supplied predictor (tests and what-if studies; never
+    /// retrained).
+    Custom(Box<dyn Predictor>),
 }
 
 type InjectFn = Box<dyn FnOnce(&mut Dag)>;
@@ -149,6 +154,8 @@ pub struct SimRuntime {
     prestage_inputs: bool,
     injections: Vec<(SimTime, InjectFn)>,
     trace: Option<TraceConfig>,
+    metrics: bool,
+    predictor_override: Option<Box<dyn Predictor>>,
 }
 
 impl SimRuntime {
@@ -162,7 +169,28 @@ impl SimRuntime {
             prestage_inputs: true,
             injections: Vec::new(),
             trace: None,
+            metrics: false,
+            predictor_override: None,
         }
+    }
+
+    /// Enables the metrics observatory: counters/gauges/histograms in a
+    /// [`MetricsRegistry`] (returned as [`RunReport::metrics`], ready for
+    /// Prometheus text dump) plus a live predictor-accuracy monitor whose
+    /// calibration table lands in [`RunReport::calibration`]. Disabled
+    /// runs register the same series but pay a single branch per emission
+    /// site, and their determinism digest is unchanged.
+    pub fn with_metrics(mut self, yes: bool) -> Self {
+        self.metrics = yes;
+        self
+    }
+
+    /// Replaces the config-selected profiler with a caller-supplied
+    /// predictor (e.g. a deliberately biased one for calibration tests).
+    /// The override is never retrained.
+    pub fn with_predictor(mut self, p: Box<dyn Predictor>) -> Self {
+        self.predictor_override = Some(p);
+        self
     }
 
     /// Enables run tracing: per-task lifecycle spans on per-endpoint
@@ -227,6 +255,9 @@ struct RtTrace {
     staged: LabelId,
     dispatched: LabelId,
     polled: LabelId,
+    /// Instant emitted when the predictor-accuracy monitor flags drift
+    /// (arg: signed relative error in per-mille).
+    drift: LabelId,
     /// One instant label per `Ev` variant, emitted at `Full` level.
     ev_labels: [LabelId; 15],
     /// The open lifecycle span per task: `(span name, track)`.
@@ -250,6 +281,7 @@ impl RtTrace {
             staged: tracer.intern("staged"),
             dispatched: tracer.intern("dispatched"),
             polled: tracer.intern("polled"),
+            drift: tracer.intern("predictor.drift"),
             ev_labels: [
                 tracer.intern("ev.staging_check"),
                 tracer.intern("ev.xfer_done"),
@@ -312,6 +344,113 @@ impl RtTrace {
             self.transfers.push(r);
         } else {
             self.dropped_transfers += 1;
+        }
+    }
+}
+
+/// Pre-registered metric handles for the run's [`MetricsRegistry`].
+/// Registration happens unconditionally at build time (it is setup-time
+/// metadata interning, exactly like tracer labels); every emission site
+/// guards on `MetricsRegistry::enabled`, so an unmetered run pays one
+/// branch per site.
+struct MetricHandles {
+    /// `unifaas_task_dispatches_total{endpoint}` — one per attempt sent
+    /// to an endpoint.
+    dispatches: Vec<CounterId>,
+    /// `unifaas_tasks_completed_total{endpoint}`.
+    completed: Vec<CounterId>,
+    /// `unifaas_task_attempt_failures_total{endpoint}` — failed attempts
+    /// attributed to the endpoint they ran on.
+    failures: Vec<CounterId>,
+    /// `unifaas_pending_tasks{endpoint}` gauge.
+    pending: Vec<GaugeId>,
+    /// `unifaas_task_exec_seconds{endpoint}` histogram.
+    exec_hist: Vec<HistogramId>,
+    /// `unifaas_task_stage_seconds{stage}` histograms, per completed task:
+    /// staging, submission, queue, execution, polling.
+    stage_hist: [HistogramId; 5],
+    /// `unifaas_transfers_total`.
+    transfers: CounterId,
+    /// `unifaas_transfer_bytes_total`.
+    transfer_bytes: CounterId,
+}
+
+impl MetricHandles {
+    fn new(reg: &mut MetricsRegistry, endpoints: &[String]) -> Self {
+        let per_ep = |reg: &mut MetricsRegistry, name: &str, help: &str| -> Vec<CounterId> {
+            endpoints
+                .iter()
+                .map(|l| reg.counter(name, help, &[("endpoint", l)]))
+                .collect()
+        };
+        let dispatches = per_ep(
+            reg,
+            "unifaas_task_dispatches_total",
+            "Task attempts dispatched to the endpoint.",
+        );
+        let completed = per_ep(
+            reg,
+            "unifaas_tasks_completed_total",
+            "Tasks completed successfully on the endpoint.",
+        );
+        let failures = per_ep(
+            reg,
+            "unifaas_task_attempt_failures_total",
+            "Failed task attempts on the endpoint (retried or fatal).",
+        );
+        let pending = endpoints
+            .iter()
+            .map(|l| {
+                reg.gauge(
+                    "unifaas_pending_tasks",
+                    "Tasks targeted at the endpoint but not yet executing.",
+                    &[("endpoint", l)],
+                )
+            })
+            .collect();
+        let exec_hist = endpoints
+            .iter()
+            .map(|l| {
+                reg.histogram(
+                    "unifaas_task_exec_seconds",
+                    "Observed task execution time.",
+                    &[("endpoint", l)],
+                )
+            })
+            .collect();
+        let stage = |reg: &mut MetricsRegistry, s: &str| {
+            reg.histogram(
+                "unifaas_task_stage_seconds",
+                "Per-task latency stage, sampled once per completed task.",
+                &[("stage", s)],
+            )
+        };
+        let stage_hist = [
+            stage(reg, "staging"),
+            stage(reg, "submission"),
+            stage(reg, "queue"),
+            stage(reg, "execution"),
+            stage(reg, "polling"),
+        ];
+        let transfers = reg.counter(
+            "unifaas_transfers_total",
+            "Completed inter-endpoint transfers.",
+            &[],
+        );
+        let transfer_bytes = reg.counter(
+            "unifaas_transfer_bytes_total",
+            "Bytes moved across endpoints.",
+            &[],
+        );
+        MetricHandles {
+            dispatches,
+            completed,
+            failures,
+            pending,
+            exec_hist,
+            stage_hist,
+            transfers,
+            transfer_bytes,
         }
     }
 }
@@ -388,6 +527,15 @@ struct Rt {
     resched_armed: bool,
     /// Present only on traced runs; see [`RtTrace`].
     trace: Option<Box<RtTrace>>,
+    /// Counter/gauge/histogram registry (disabled unless `with_metrics`).
+    metrics: MetricsRegistry,
+    /// Pre-registered handles into `metrics`; see [`MetricHandles`].
+    mh: MetricHandles,
+    /// Predicted-vs-actual drift monitor (present iff metrics enabled).
+    accuracy: Option<Box<AccuracyMonitor>>,
+    /// Predicted duration per in-flight transfer, keyed by `XferId.0`;
+    /// consumed when the transfer completes.
+    xfer_pred: HashMap<usize, f64>,
 }
 
 impl Rt {
@@ -435,9 +583,12 @@ impl Rt {
         let params: TransferParams = cfg.transfer.default_params();
         let dm = DataManager::new(net.clone(), params.clone(), cfg.max_transfer_retries);
 
-        let profiler = match cfg.knowledge {
-            KnowledgeMode::Oracle => ProfilerKind::Oracle(OracleProfiler::new(net, params)),
-            KnowledgeMode::Learned => ProfilerKind::Learned(Box::default()),
+        let profiler = match r.predictor_override {
+            Some(p) => ProfilerKind::Custom(p),
+            None => match cfg.knowledge {
+                KnowledgeMode::Oracle => ProfilerKind::Oracle(OracleProfiler::new(net, params)),
+                KnowledgeMode::Learned => ProfilerKind::Learned(Box::default()),
+            },
         };
 
         let scheduler: Box<dyn Scheduler> = match &cfg.strategy {
@@ -530,6 +681,14 @@ impl Rt {
                 let labels: Vec<String> = cfg.endpoints.iter().map(|e| e.label.clone()).collect();
                 Box::new(RtTrace::new(tc, &labels, n_tasks))
             });
+        let mut metrics = if r.metrics {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::disabled()
+        };
+        let ep_labels: Vec<String> = cfg.endpoints.iter().map(|e| e.label.clone()).collect();
+        let mh = MetricHandles::new(&mut metrics, &ep_labels);
+        let accuracy = r.metrics.then(|| Box::new(AccuracyMonitor::new()));
         Ok(Rt {
             cfg,
             dag: r.dag,
@@ -581,6 +740,10 @@ impl Rt {
             scale_armed: false,
             resched_armed: false,
             trace,
+            metrics,
+            mh,
+            accuracy,
+            xfer_pred: HashMap::new(),
         })
     }
 
@@ -588,6 +751,7 @@ impl Rt {
         match &self.profiler {
             ProfilerKind::Oracle(p) => p,
             ProfilerKind::Learned(p) => p.as_ref(),
+            ProfilerKind::Custom(p) => p.as_ref(),
         }
     }
 
@@ -646,12 +810,14 @@ impl Rt {
             let v = self.pending_count[o.index()] as f64;
             let h = self.pending_handle(o.index());
             self.series.pending_tasks.at_mut(h).record(now, v);
+            self.metrics.set(self.mh.pending[o.index()], v);
         }
         if let Some(e) = ep {
             self.pending_count[e.index()] += 1;
             let v = self.pending_count[e.index()] as f64;
             let h = self.pending_handle(e.index());
             self.series.pending_tasks.at_mut(h).record(now, v);
+            self.metrics.set(self.mh.pending[e.index()], v);
         }
         // A Ready task gaining or losing an assignment moves between the
         // unassigned and assigned demand pools (see `set_state`).
@@ -682,6 +848,7 @@ impl Rt {
         let predictor: &dyn Predictor = match &self.profiler {
             ProfilerKind::Oracle(p) => p,
             ProfilerKind::Learned(p) => p.as_ref(),
+            ProfilerKind::Custom(p) => p.as_ref(),
         };
         let mut ctx = SchedCtx::new(
             now,
@@ -1010,10 +1177,37 @@ impl Rt {
                 self.trace_xfer_begin(sx.id, now);
             }
         }
+        if self.accuracy.is_some() {
+            for sx in &started {
+                self.accuracy_xfer_begin(sx.id);
+            }
+        }
         self.xfer_scratch = started;
         if missing == 0 {
             eng.schedule(now, Ev::StagingCheck(t));
         }
+    }
+
+    /// Snapshots the predicted duration of a just-started transfer so the
+    /// accuracy monitor can score it on completion. Callers must have
+    /// checked `self.accuracy.is_some()`.
+    fn accuracy_xfer_begin(&mut self, id: XferId) {
+        let info = self.dm.xfer_info(id);
+        let pred = self
+            .predictor()
+            .transfer_seconds(info.bytes, info.src, info.dst);
+        self.xfer_pred.insert(id.0, pred);
+    }
+
+    /// Emits a predictor-drift instant on `ep`'s track (arg: signed
+    /// relative error in per-mille). No-op on untraced runs.
+    fn trace_drift(&mut self, ep: EndpointId, id: u64, rel_err: f64, now: SimTime) {
+        let Some(tr) = self.trace.as_deref_mut() else {
+            return;
+        };
+        let track = tr.labels.tracks[ep.index()];
+        let arg = (rel_err * 1000.0).clamp(i64::MIN as f64, i64::MAX as f64) as i64;
+        tr.tracer.instant(now, tr.drift, track, id, arg);
     }
 
     /// Checks whether `t`'s staging is complete; fires downstream if so.
@@ -1052,6 +1246,7 @@ impl Rt {
             task.target = Some(ep);
         }
         self.set_state(t, TaskState::Dispatched, now);
+        self.metrics.inc(self.mh.dispatches[ep.index()], 1.0);
         // Local mocking: push a mock task at submission time.
         self.monitor.mock_mut(ep).push_task(predicted);
         // The client serializes submissions.
@@ -1210,6 +1405,21 @@ impl Rt {
             self.makespan_end = now;
             self.tasks_per_ep[ep.index()] += 1;
             self.aggregate_latency(t, now);
+            self.metrics.inc(self.mh.completed[ep.index()], 1.0);
+            if self.accuracy.is_some() {
+                let func = self.dag.spec(t).function;
+                let acc = self.accuracy.as_deref_mut().expect("checked");
+                let drifted = acc.record_exec(
+                    self.dag.function_name(func),
+                    &self.cfg.endpoints[ep.index()].label,
+                    predicted,
+                    duration,
+                );
+                if drifted {
+                    let rel = (predicted - duration) / duration.abs().max(1e-9);
+                    self.trace_drift(ep, t.0 as u64, rel, now);
+                }
+            }
             // Dependencies resolve when the *client* observes the result
             // (it orchestrates successor staging).
             let succs: Vec<TaskId> = self.dag.succs(t).to_vec();
@@ -1249,6 +1459,7 @@ impl Rt {
             task.attempts += 1;
             task.attempt_eps.push(ep);
         }
+        self.metrics.inc(self.mh.failures[ep.index()], 1.0);
         // The runtime takes over the task (§IV-G); the scheduler must drop
         // any reservations/queue entries it still holds for it.
         self.scheduler.on_task_removed(t);
@@ -1274,6 +1485,10 @@ impl Rt {
                 .unwrap_or(ep)
         };
         self.set_state(t, TaskState::Ready, now);
+        // Each attempt samples the latency stages afresh: without this
+        // reset a retried task's staging stage would span every previous
+        // attempt, double-counting time already attributed to them.
+        self.tasks[t.index()].t_ready = now;
         let attempts = self.tasks[t.index()].attempts;
         if self.trace.is_some() {
             self.trace_retry(ep, t, attempts, now);
@@ -1332,21 +1547,39 @@ impl Rt {
 
     fn aggregate_latency(&mut self, t: TaskId, now: SimTime) {
         let task = &self.tasks[t.index()];
-        self.latency.count += 1;
-        self.latency.staging_s += task.t_staged.saturating_since(task.t_ready).as_secs_f64();
-        self.latency.submission_s += task
+        let staging = task.t_staged.saturating_since(task.t_ready).as_secs_f64();
+        let submission = task
             .t_arrived
             .saturating_since(task.t_dispatched)
             .as_secs_f64();
-        self.latency.queue_s += task
+        let queue = task
             .t_exec_start
             .saturating_since(task.t_arrived)
             .as_secs_f64();
-        self.latency.execution_s += task
+        let execution = task
             .t_exec_end
             .saturating_since(task.t_exec_start)
             .as_secs_f64();
-        self.latency.polling_s += now.saturating_since(task.t_exec_end).as_secs_f64();
+        let polling = now.saturating_since(task.t_exec_end).as_secs_f64();
+        let target = task.target;
+        self.latency.count += 1;
+        self.latency.staging_s += staging;
+        self.latency.submission_s += submission;
+        self.latency.queue_s += queue;
+        self.latency.execution_s += execution;
+        self.latency.polling_s += polling;
+        if self.metrics.enabled() {
+            let [h_stage, h_sub, h_queue, h_exec, h_poll] = self.mh.stage_hist;
+            self.metrics.observe(h_stage, staging);
+            self.metrics.observe(h_sub, submission);
+            self.metrics.observe(h_queue, queue);
+            self.metrics.observe(h_exec, execution);
+            self.metrics.observe(h_poll, polling);
+            if let Some(ep) = target {
+                self.metrics
+                    .observe(self.mh.exec_hist[ep.index()], execution);
+            }
+        }
     }
 
     fn maybe_retrain(&mut self) {
@@ -1863,7 +2096,16 @@ impl Rt {
                     self.trace_xfer_end(x, now, failed);
                 }
                 let out = self.dm.complete(x, now, failed);
+                let pred = self.xfer_pred.remove(&x.0);
                 if let Some((src, dst, bytes, secs)) = out.observation {
+                    self.metrics.inc(self.mh.transfers, 1.0);
+                    self.metrics.inc(self.mh.transfer_bytes, bytes as f64);
+                    if let (Some(pred), Some(acc)) = (pred, self.accuracy.as_deref_mut()) {
+                        if acc.record_transfer(src, dst, pred, secs) {
+                            let rel = (pred - secs) / secs.abs().max(1e-9);
+                            self.trace_drift(dst, x.0 as u64, rel, now);
+                        }
+                    }
                     self.task_monitor.observe(TaskRecord {
                         function: transfer_record_name(src, dst),
                         endpoint: dst,
@@ -1881,6 +2123,9 @@ impl Rt {
                     eng.schedule(sx.completes_at, Ev::XferDone(sx.id));
                     if self.trace.is_some() {
                         self.trace_xfer_begin(sx.id, now);
+                    }
+                    if self.accuracy.is_some() {
+                        self.accuracy_xfer_begin(sx.id);
                     }
                 }
                 for t in out.tasks_to_check {
@@ -2034,6 +2279,16 @@ impl Rt {
             .enumerate()
             .map(|(i, n)| (self.cfg.endpoints[i].label.clone(), *n))
             .collect();
+        let mut metrics = std::mem::take(&mut self.metrics);
+        let calibration = self
+            .accuracy
+            .as_deref()
+            .map(|a| a.calibration_table())
+            .unwrap_or_default();
+        if let Some(acc) = self.accuracy.as_deref() {
+            acc.export(&mut metrics);
+        }
+        let metrics = metrics.enabled().then(|| Box::new(metrics));
         Ok(RunReport {
             scheduler: self.scheduler.name().to_string(),
             makespan: self.makespan_end.saturating_since(SimTime::ZERO),
@@ -2047,6 +2302,8 @@ impl Rt {
             latency: self.latency,
             series: self.series,
             trace,
+            calibration,
+            metrics,
         })
     }
 }

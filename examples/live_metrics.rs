@@ -1,0 +1,64 @@
+//! Live metrics: scrape a running `LiveRuntime` in Prometheus format.
+//!
+//! Starts the in-repo scrape server (`LiveRuntime::serve_metrics`, plain
+//! `std::net::TcpListener` — no HTTP dependency), submits a batch of work,
+//! and fetches `/metrics` with a raw TCP GET to show what Prometheus would
+//! see: per-pool worker/busy/up gauges, monotone job counters and the
+//! coordinator's outstanding-task gauge.
+//!
+//! Run with: `cargo run --release --example live_metrics`
+
+use std::io::{Read as _, Write as _};
+use unifaas::runtime::live::{value, LiveRuntime, Value};
+
+fn scrape(addr: std::net::SocketAddr) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to scrape server");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .expect("send scrape request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or(response);
+    body
+}
+
+fn main() {
+    let rt = LiveRuntime::new(&[("cluster", 4), ("lab", 2)]);
+    rt.register("spin", |_args: &[Value]| {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        Ok(value(()))
+    });
+
+    // Port 0 lets the OS pick; a real deployment would pass a fixed
+    // address and point a Prometheus scrape job (or `curl`) at it.
+    let server = rt
+        .serve_metrics("127.0.0.1:0")
+        .expect("start scrape server");
+    let addr = server.local_addr();
+    println!("serving metrics at http://{addr}/metrics\n");
+
+    let futures: Vec<_> = (0..16)
+        .map(|_| rt.submit("spin", vec![], &[]).expect("submit"))
+        .collect();
+
+    // Scrape mid-flight: busy workers and outstanding tasks are nonzero.
+    println!("--- mid-run scrape ---");
+    for line in scrape(addr).lines().filter(|l| !l.starts_with('#')) {
+        println!("{line}");
+    }
+
+    for f in &futures {
+        f.wait().expect("task failed");
+    }
+    rt.wait_all();
+
+    // Scrape after the drain: counters keep their totals, gauges go idle.
+    println!("\n--- post-run scrape ---");
+    for line in scrape(addr).lines().filter(|l| !l.starts_with('#')) {
+        println!("{line}");
+    }
+    // The server thread stops when `server` drops.
+}

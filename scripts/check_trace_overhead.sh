@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Tracing-overhead gate: the e2e throughput benchmark with tracing DISABLED
-# must stay within the given tolerance of the committed BENCH_e2e.json
-# baseline on the stress-100k DHA row (the row most sensitive to per-event
-# coordinator overhead). This is the "zero-cost when disabled" witness: the
-# instrumented binary, with no trace configured, pays only a pointer-null
-# check per site.
+# Observability-overhead gate: the e2e throughput benchmark with tracing
+# AND metrics DISABLED must stay within the given tolerance of the
+# committed BENCH_e2e.json baseline on the stress-100k DHA row (the row
+# most sensitive to per-event coordinator overhead). This is the
+# "zero-cost when disabled" witness: the instrumented binary, with no
+# trace configured and no metrics registry enabled, pays only a
+# pointer-null check per trace site and a single branch per metric site.
 #
 # Usage: scripts/check_trace_overhead.sh [tolerance]
 #   tolerance — allowed relative slowdown, default 0.05 (5%). CI runners
@@ -30,7 +31,7 @@ if [ -z "$baseline" ]; then
   exit 1
 fi
 
-echo "==> running e2e throughput benchmark (tracing disabled)"
+echo "==> running e2e throughput benchmark (tracing and metrics disabled)"
 cargo run --release -q -p unifaas-bench --bin e2e_throughput
 
 current=$(extract BENCH_e2e.json)
