@@ -4,7 +4,8 @@
 //! hooks*, this binary measures the whole coordinator: full-run wall-clock
 //! time and simulation events processed per second for the paper-scale
 //! workloads — drug screening (24,001 tasks), montage (11,340 tasks) and a
-//! 100k-task bag-of-tasks stress DAG — under Capacity, Locality and DHA.
+//! 100k-task bag-of-tasks stress DAG — under Capacity, Locality and DHA —
+//! plus a million-task layered stress DAG (omitted with `--smoke`).
 //! This is the metric the data-plane/runtime-loop work optimizes: periodic
 //! `MockSync`/`ScaleTick` handling, staging bookkeeping and metrics
 //! recording all land here and nowhere in `BENCH_sched.json`.
@@ -25,6 +26,15 @@
 //! a Prometheus text dump. With none of these flags the binary measures
 //! the disabled-observability path — the gate enforced by
 //! `scripts/check_trace_overhead.sh`.
+//!
+//! `--smoke` drops the million-task rows (CI's bench-smoke job).
+//! `--shards <n>` runs every row on the sharded event engine
+//! (`Config::engine_shards = n`); makespan/transfer columns must not
+//! move — the engine is delivery-order-identical. Every
+//! row also reports the process's cumulative peak RSS (`VmHWM` after the
+//! run — a high-water mark, not a per-run delta) and, when built with
+//! `--features alloc-count`, the allocation count and bytes attributable
+//! to the run.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -32,7 +42,9 @@ use taskgraph::workloads::{drug, montage, stress};
 use taskgraph::Dag;
 use unifaas::config::SchedulingStrategy;
 use unifaas::prelude::*;
-use unifaas_bench::{all_strategies, drug_static_pool, montage_static_pool};
+use unifaas_bench::{
+    all_strategies, alloc_snapshot, drug_static_pool, montage_static_pool, peak_rss_bytes,
+};
 
 struct Row {
     workload: &'static str,
@@ -44,6 +56,9 @@ struct Row {
     events_per_sec: f64,
     makespan_s: f64,
     transfer_gb: f64,
+    allocs: Option<u64>,
+    alloc_mb: Option<f64>,
+    peak_rss_mb: Option<f64>,
 }
 
 fn run(
@@ -55,10 +70,13 @@ fn run(
     trace_out: Option<&str>,
     metrics: bool,
     metrics_out: Option<&str>,
+    shards: usize,
 ) -> Row {
     let tasks = dag.len();
     let mut cfg = pool.build();
     cfg.strategy = strategy;
+    cfg.engine_shards = shards;
+    let alloc0 = alloc_snapshot();
     let t0 = Instant::now();
     let mut runtime = SimRuntime::new(cfg, dag).with_metrics(metrics);
     if let Some(tc) = trace {
@@ -66,6 +84,10 @@ fn run(
     }
     let report = runtime.run().expect("run failed");
     let wall_s = t0.elapsed().as_secs_f64();
+    let alloc = match (alloc0, alloc_snapshot()) {
+        (Some(a), Some(b)) => Some(b.since(a)),
+        _ => None,
+    };
     if let (Some(path), Some(tr)) = (trace_out, &report.trace) {
         tr.write_files(std::path::Path::new(path))
             .expect("write trace");
@@ -83,6 +105,9 @@ fn run(
         events_per_sec: report.events_processed as f64 / wall_s,
         makespan_s: report.makespan.as_secs_f64(),
         transfer_gb: report.transfer_gb(),
+        allocs: alloc.map(|a| a.allocs),
+        alloc_mb: alloc.map(|a| a.bytes as f64 / (1 << 20) as f64),
+        peak_rss_mb: peak_rss_bytes().map(|b| b as f64 / (1 << 20) as f64),
     }
 }
 
@@ -92,9 +117,19 @@ fn main() {
     let mut trace_level: Option<TraceLevel> = None;
     let mut metrics = false;
     let mut metrics_out: Option<String> = None;
+    let mut smoke = false;
+    let mut shards = 1usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--shards" => {
+                shards = it
+                    .next()
+                    .expect("--shards <n>")
+                    .parse()
+                    .expect("bad --shards")
+            }
             "--trace-out" => trace_out = it.next().cloned(),
             "--trace-level" => {
                 trace_level = it
@@ -130,6 +165,7 @@ fn main() {
             out,
             metrics,
             metrics_out.as_deref(),
+            shards,
         ));
     }
     for strategy in all_strategies() {
@@ -142,6 +178,7 @@ fn main() {
             out,
             metrics,
             metrics_out.as_deref(),
+            shards,
         ));
     }
     // The 100k-task stress DAG: periodic-tick and data-plane costs that
@@ -157,11 +194,31 @@ fn main() {
             out,
             metrics,
             metrics_out.as_deref(),
+            shards,
         ));
+    }
+    // A million tasks in four dependent layers: the batched-EFT
+    // reschedule path, arena state and sharded-queue bookkeeping at full
+    // scale. Dropped in smoke runs — these rows dominate the binary's
+    // runtime.
+    if !smoke {
+        for strategy in all_strategies() {
+            rows.push(run(
+                "stress-1m",
+                stress::million(),
+                drug_static_pool(),
+                strategy,
+                trace,
+                out,
+                metrics,
+                metrics_out.as_deref(),
+                shards,
+            ));
+        }
     }
 
     println!(
-        "{:<12} {:<10} {:>8} {:>10} {:>10} {:>12} {:>14} {:>12} {:>14}",
+        "{:<12} {:<10} {:>8} {:>10} {:>10} {:>12} {:>14} {:>12} {:>14} {:>10}",
         "workload",
         "scheduler",
         "tasks",
@@ -170,28 +227,13 @@ fn main() {
         "events",
         "events/s",
         "makespan",
-        "transfer (GB)"
+        "transfer (GB)",
+        "rss (MiB)"
     );
     let mut json = String::from("{\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         println!(
-            "{:<12} {:<10} {:>8} {:>10.3} {:>10.3} {:>12} {:>14.0} {:>12.0} {:>14.2}",
-            r.workload,
-            r.scheduler,
-            r.tasks,
-            r.wall_s,
-            r.sched_wall_s,
-            r.events,
-            r.events_per_sec,
-            r.makespan_s,
-            r.transfer_gb
-        );
-        let _ = write!(
-            json,
-            "    {{\"workload\": \"{}\", \"scheduler\": \"{}\", \"tasks\": {}, \
-             \"wall_s\": {:.3}, \"sched_wall_s\": {:.3}, \"events\": {}, \
-             \"events_per_sec\": {:.0}, \
-             \"makespan_s\": {:.3}, \"transfer_gb\": {:.4}}}{}\n",
+            "{:<12} {:<10} {:>8} {:>10.3} {:>10.3} {:>12} {:>14.0} {:>12.0} {:>14.2} {:>10}",
             r.workload,
             r.scheduler,
             r.tasks,
@@ -201,6 +243,30 @@ fn main() {
             r.events_per_sec,
             r.makespan_s,
             r.transfer_gb,
+            match r.peak_rss_mb {
+                Some(mb) => format!("{mb:.0}"),
+                None => "-".into(),
+            }
+        );
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"scheduler\": \"{}\", \"tasks\": {}, \
+             \"wall_s\": {:.3}, \"sched_wall_s\": {:.3}, \"events\": {}, \
+             \"events_per_sec\": {:.0}, \
+             \"makespan_s\": {:.3}, \"transfer_gb\": {:.4}, \
+             \"allocs\": {}, \"alloc_mb\": {}, \"peak_rss_mb\": {}}}{}\n",
+            r.workload,
+            r.scheduler,
+            r.tasks,
+            r.wall_s,
+            r.sched_wall_s,
+            r.events,
+            r.events_per_sec,
+            r.makespan_s,
+            r.transfer_gb,
+            r.allocs.map_or("null".into(), |v| v.to_string()),
+            r.alloc_mb.map_or("null".into(), |v| format!("{v:.1}")),
+            r.peak_rss_mb.map_or("null".into(), |v| format!("{v:.0}")),
             if i + 1 < rows.len() { "," } else { "" }
         );
     }

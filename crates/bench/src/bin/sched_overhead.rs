@@ -4,7 +4,9 @@
 //! logic + prediction) per task — the Table III metric — for Capacity,
 //! Locality and DHA on the drug-screening (24,001 tasks) and montage
 //! (10,565 tasks) workflows, plus a 100k-task bag-of-tasks stress DAG that
-//! guards against superlinear blowup in the queue and re-scheduling paths.
+//! guards against superlinear blowup in the queue and re-scheduling paths,
+//! and a million-task layered DAG (omitted with `--smoke`) that sizes the
+//! batched-EFT reschedule path.
 //!
 //! Results are written as JSON to `BENCH_sched.json` in the working
 //! directory (hand-rolled — the repo builds offline, without serde).
@@ -72,6 +74,17 @@ fn main() {
         drug_static_pool(),
         SchedulingStrategy::Dha { rescheduling: true },
     ));
+    // Stress: a million tasks in four dependent layers. Exercises the
+    // batched-EFT reschedule path at full scale; skipped in smoke runs
+    // (`--smoke`) to keep CI fast.
+    if !std::env::args().any(|a| a == "--smoke") {
+        rows.push(run(
+            "stress-1m",
+            stress::million(),
+            drug_static_pool(),
+            SchedulingStrategy::Dha { rescheduling: true },
+        ));
+    }
 
     println!(
         "{:<12} {:<10} {:>8} {:>18} {:>12} {:>12} {:>12}",

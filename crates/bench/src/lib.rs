@@ -4,11 +4,17 @@
 //! paper's evaluation (see DESIGN.md's per-experiment index). The helpers
 //! here build the Table II / §VI endpoint pools and format output rows.
 
+pub mod memstats;
+pub mod sweep;
+
 use fedci::hardware::ClusterSpec;
 use simkit::series::SeriesSet;
 use simkit::{SimDuration, SimTime};
 use unifaas::config::{Config, ConfigBuilder, EndpointConfig, SchedulingStrategy};
 use unifaas::metrics::RunReport;
+
+pub use memstats::{alloc_snapshot, peak_rss_bytes, AllocSnapshot};
+pub use sweep::{default_sweep_threads, run_sweep, SweepJob, SweepOutcome, SweepSummary};
 
 /// The §VI-A static-capacity pool for the drug-screening workflow:
 /// 2000/384/48/52 workers on Taiyi/Qiming/Dept/Lab (EP1–EP4).

@@ -1,0 +1,146 @@
+//! Memory accounting for the benchmark binaries: allocation counters and
+//! peak resident set size.
+//!
+//! Allocation counting swaps in a wrapping global allocator, which taxes
+//! every allocation with two atomic increments — measurably slowing the
+//! hot paths it is meant to audit. It is therefore opt-in behind the
+//! `alloc-count` cargo feature; without the feature [`alloc_snapshot`]
+//! returns `None` and the process keeps the stock allocator. Peak RSS
+//! comes from `/proc/self/status` (`VmHWM`) and is always available on
+//! Linux; it is a process-wide high-water mark, so per-row values in a
+//! multi-row benchmark are cumulative, not per-run.
+
+/// Cumulative allocation counters at a point in time. Subtract two
+/// snapshots to attribute allocations to a region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Number of `alloc`/`realloc` calls so far.
+    pub allocs: u64,
+    /// Total bytes requested by those calls.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Counters accumulated since `earlier`.
+    pub fn since(self, earlier: AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+#[cfg(feature = "alloc-count")]
+mod counting {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    pub static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+}
+
+/// Current allocation counters, or `None` when the crate was built
+/// without the `alloc-count` feature.
+pub fn alloc_snapshot() -> Option<AllocSnapshot> {
+    #[cfg(feature = "alloc-count")]
+    {
+        use std::sync::atomic::Ordering;
+        Some(AllocSnapshot {
+            allocs: counting::ALLOCS.load(Ordering::Relaxed),
+            bytes: counting::BYTES.load(Ordering::Relaxed),
+        })
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        None
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_is_sane_on_linux() {
+        let rss = peak_rss_bytes().expect("procfs present on test hosts");
+        // More than a megabyte, less than a terabyte.
+        assert!(rss > 1 << 20, "peak RSS {rss} implausibly small");
+        assert!(rss < 1 << 40, "peak RSS {rss} implausibly large");
+    }
+
+    #[test]
+    fn alloc_snapshot_matches_feature_gate() {
+        let snap = alloc_snapshot();
+        assert_eq!(snap.is_some(), cfg!(feature = "alloc-count"));
+        if let Some(a) = snap {
+            let v: Vec<u8> = Vec::with_capacity(4096);
+            drop(v);
+            let b = alloc_snapshot().unwrap();
+            let d = b.since(a);
+            assert!(d.allocs >= 1);
+            assert!(d.bytes >= 4096);
+        }
+    }
+
+    #[test]
+    fn snapshot_subtraction_saturates() {
+        let a = AllocSnapshot {
+            allocs: 5,
+            bytes: 100,
+        };
+        let b = AllocSnapshot {
+            allocs: 3,
+            bytes: 50,
+        };
+        assert_eq!(
+            b.since(a),
+            AllocSnapshot {
+                allocs: 0,
+                bytes: 0
+            }
+        );
+        assert_eq!(
+            a.since(b),
+            AllocSnapshot {
+                allocs: 2,
+                bytes: 50
+            }
+        );
+    }
+}

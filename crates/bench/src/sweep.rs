@@ -1,0 +1,190 @@
+//! Parallel multi-seed / multi-config sweep driver.
+//!
+//! A sweep is a batch of independent simulation runs — the same workload
+//! across seeds, strategies, or config variants — executed concurrently on
+//! OS threads. Each run is single-threaded and bit-deterministic (the
+//! simulation itself never shares state across runs), so a sweep changes
+//! wall-clock time only: every [`RunReport`] is identical to what a serial
+//! loop would produce, and results come back in submission order
+//! regardless of which thread finished first.
+//!
+//! The driver is plain `std::thread::scope` over a shared work index — the
+//! repo builds offline, so no rayon. Worker count defaults to available
+//! parallelism; a `UNIFAAS_SWEEP_THREADS` override exists for pinning CI.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use unifaas::metrics::RunReport;
+
+/// One unit of sweep work: a label plus a closure producing a finished
+/// [`RunReport`]. The closure owns everything it needs (DAG, config) so
+/// jobs can run on any thread.
+pub struct SweepJob {
+    /// Row label, e.g. `"stress-1m/DHA/seed3"`.
+    pub label: String,
+    /// Builds and runs the simulation.
+    pub run: Box<dyn FnOnce() -> RunReport + Send>,
+}
+
+impl SweepJob {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, run: impl FnOnce() -> RunReport + Send + 'static) -> Self {
+        SweepJob {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// One finished sweep run.
+pub struct SweepOutcome {
+    /// The job's label.
+    pub label: String,
+    /// Wall-clock seconds this run took on its worker thread.
+    pub wall_s: f64,
+    /// The run's report, bit-identical to a serial execution.
+    pub report: RunReport,
+}
+
+/// Results of a whole sweep.
+pub struct SweepSummary {
+    /// Per-job outcomes, in submission order.
+    pub outcomes: Vec<SweepOutcome>,
+    /// Wall-clock seconds for the whole batch (submission → last join).
+    pub wall_s: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl SweepSummary {
+    /// Total simulation events processed across all runs.
+    pub fn total_events(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.report.events_processed)
+            .sum()
+    }
+
+    /// Aggregate throughput: total events across the batch divided by the
+    /// batch wall clock. With `threads > 1` this exceeds any single run's
+    /// rate — the sweep's figure of merit.
+    pub fn aggregate_events_per_sec(&self) -> f64 {
+        self.total_events() as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// Default worker count: `UNIFAAS_SWEEP_THREADS` if set and positive,
+/// otherwise the machine's available parallelism.
+pub fn default_sweep_threads() -> usize {
+    if let Ok(v) = std::env::var("UNIFAAS_SWEEP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `jobs` across `threads` worker threads and returns the outcomes
+/// in submission order.
+///
+/// Work is claimed dynamically (shared atomic cursor), so a batch of
+/// uneven runs — a 1M-task DHA run next to a 100k Capacity run — keeps
+/// every core busy until the queue drains. Panics in a job propagate: the
+/// scope joins all threads first, then re-raises, so no result is
+/// silently dropped.
+pub fn run_sweep(jobs: Vec<SweepJob>, threads: usize) -> SweepSummary {
+    let threads = threads.max(1).min(jobs.len().max(1));
+    let t0 = Instant::now();
+    let n = jobs.len();
+    // Jobs are taken by index; results land at the same index, so
+    // submission order survives out-of-order completion.
+    let work: Vec<Mutex<Option<SweepJob>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let slots: Vec<Mutex<Option<SweepOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = work[i].lock().unwrap().take().expect("job claimed twice");
+                let start = Instant::now();
+                let report = (job.run)();
+                *slots[i].lock().unwrap() = Some(SweepOutcome {
+                    label: job.label,
+                    wall_s: start.elapsed().as_secs_f64(),
+                    report,
+                });
+            });
+        }
+    });
+    let outcomes = slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("job produced no outcome"))
+        .collect();
+    SweepSummary {
+        outcomes,
+        wall_s: t0.elapsed().as_secs_f64(),
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskgraph::workloads::stress;
+    use unifaas::prelude::*;
+
+    fn tiny_job(seed: u64) -> SweepJob {
+        SweepJob::new(format!("tiny/seed{seed}"), move || {
+            let mut cfg = crate::drug_static_pool().build();
+            cfg.seed = seed;
+            SimRuntime::new(cfg, stress::bag_of_tasks(200, 1.0))
+                .run()
+                .expect("run")
+        })
+    }
+
+    #[test]
+    fn sweep_preserves_submission_order_and_determinism() {
+        let serial: Vec<u64> = (0..4)
+            .map(|s| {
+                let SweepOutcome { report, .. } =
+                    run_sweep(vec![tiny_job(s)], 1).outcomes.pop().unwrap();
+                report.determinism_digest()
+            })
+            .collect();
+        let swept = run_sweep((0..4).map(tiny_job).collect(), 4);
+        assert_eq!(swept.outcomes.len(), 4);
+        for (i, (o, want)) in swept.outcomes.iter().zip(&serial).enumerate() {
+            assert_eq!(o.label, format!("tiny/seed{i}"));
+            assert_eq!(
+                o.report.determinism_digest(),
+                *want,
+                "parallel run {i} diverged from serial"
+            );
+        }
+        assert!(swept.total_events() > 0);
+        assert!(swept.aggregate_events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn sweep_caps_threads_at_job_count() {
+        let s = run_sweep(vec![tiny_job(9)], 64);
+        assert_eq!(s.threads, 1);
+        assert_eq!(s.outcomes[0].label, "tiny/seed9");
+    }
+
+    #[test]
+    fn thread_default_is_positive() {
+        assert!(default_sweep_threads() >= 1);
+    }
+}

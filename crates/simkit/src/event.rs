@@ -13,7 +13,7 @@ use crate::time::SimTime;
 
 /// Identifier of a scheduled event, usable for cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct EventId(u64);
+pub struct EventId(pub(crate) u64);
 
 struct Entry<E> {
     at: SimTime,

@@ -45,7 +45,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Engine, EngineStats};
+pub use engine::{Engine, EngineStats, EventSink, ShardedEngine};
 pub use event::{EventId, EventQueue};
 pub use metrics::{LogHistogram, MetricsRegistry, MetricsServer};
 pub use rng::SimRng;

@@ -36,6 +36,35 @@ pub fn weak_scaling(task_seconds: f64, n_workers: usize) -> Dag {
     bag_of_tasks(per_worker * n_workers, task_seconds)
 }
 
+/// A layered stress bag: `depth` layers of `width` independent tasks,
+/// where task `j` of layer `k+1` depends on task `j` of layer `k` (a
+/// bundle of `width` independent chains). Same no-data-movement shape
+/// family as [`bag_of_tasks`] (`depth == 1` is exactly that), scaled to
+/// million-task graphs for the engine/scheduler stress benchmarks: the
+/// layering keeps a bounded ready frontier so the run exercises
+/// readiness propagation, not just one giant initial burst.
+pub fn layered_bag(width: usize, depth: usize, seconds: f64) -> Dag {
+    assert!(depth >= 1, "layered_bag needs at least one layer");
+    let mut dag = Dag::new();
+    let f = dag.register_function(&format!("stress_{seconds}s"));
+    let mut prev: Vec<crate::TaskId> = (0..width)
+        .map(|_| dag.add_task(TaskSpec::compute(f, seconds), &[]))
+        .collect();
+    for _ in 1..depth {
+        prev = prev
+            .iter()
+            .map(|p| dag.add_task(TaskSpec::compute(f, seconds), std::slice::from_ref(p)))
+            .collect();
+    }
+    dag
+}
+
+/// The "stress-1m" scalability workload: one million 1 s tasks as four
+/// 250,000-wide layers of [`layered_bag`].
+pub fn million() -> Dag {
+    layered_bag(250_000, 4, 1.0)
+}
+
 /// The Fig. 5 "hello world" workload: a single ~1 s task reading a 1 MB
 /// input file from the home endpoint.
 pub fn hello_world() -> Dag {
@@ -81,6 +110,22 @@ mod tests {
     #[should_panic(expected = "expects 1 s or 5 s")]
     fn strong_scaling_rejects_other_durations() {
         strong_scaling(2.0);
+    }
+
+    #[test]
+    fn layered_bag_shape() {
+        let dag = layered_bag(10, 4, 2.0);
+        assert_eq!(dag.len(), 40);
+        assert_eq!(dag.n_edges(), 30);
+        assert_eq!(dag.roots().len(), 10);
+        assert!((dag.total_compute_seconds() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layered_bag_depth_one_is_a_bag() {
+        let dag = layered_bag(25, 1, 1.0);
+        assert_eq!(dag.len(), 25);
+        assert_eq!(dag.n_edges(), 0);
     }
 
     #[test]

@@ -289,6 +289,18 @@ pub struct Config {
     /// (CI's release-mode reconciliation harness). Default off: the scan is
     /// O(n_tasks) per tick.
     pub validate_counters: bool,
+    /// Event-engine shard count. `0` or `1` selects the single-queue
+    /// reference engine; larger values run the per-endpoint sharded engine
+    /// with conservative-lookahead merging (typically `endpoints + 1`).
+    /// Delivery order — and every determinism digest — is identical either
+    /// way; this only trades heap sizes for merge bookkeeping.
+    pub engine_shards: usize,
+    /// Record utilization time-series (busy/active workers, staging and
+    /// pending task counts) during the run. Default on; large-scale
+    /// throughput benchmarks turn it off to shave per-event overhead.
+    /// Series are diagnostic output only — schedules, report counters, and
+    /// the determinism digest are identical either way.
+    pub record_series: bool,
 }
 
 impl Config {
@@ -397,6 +409,8 @@ impl Default for ConfigBuilder {
                 health: crate::monitor::HealthPolicy::default(),
                 seed: 0x05E5,
                 validate_counters: false,
+                engine_shards: 1,
+                record_series: true,
             },
         }
     }
@@ -508,6 +522,19 @@ impl ConfigBuilder {
     /// [`Config::validate_counters`]).
     pub fn validate_counters(mut self, yes: bool) -> Self {
         self.config.validate_counters = yes;
+        self
+    }
+
+    /// Sets the event-engine shard count (see [`Config::engine_shards`]).
+    pub fn engine_shards(mut self, shards: usize) -> Self {
+        self.config.engine_shards = shards;
+        self
+    }
+
+    /// Toggles utilization time-series recording (see
+    /// [`Config::record_series`]).
+    pub fn record_series(mut self, yes: bool) -> Self {
+        self.config.record_series = yes;
         self
     }
 

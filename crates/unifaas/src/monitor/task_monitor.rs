@@ -239,11 +239,21 @@ impl Iterator for CsvRecords<'_> {
 }
 
 /// Live aggregation over the record stream.
+///
+/// Function names are interned to dense `u32` ids so the per-record and
+/// per-query paths hash a fixed-size integer key instead of allocating
+/// and hashing an owned `String` — `observe` runs once per completed
+/// task and `mean_duration` once per prediction, so both are hot at the
+/// million-task scale.
 #[derive(Clone, Debug, Default)]
 pub struct TaskMonitor {
     db: HistoryDb,
-    /// (function, endpoint) → duration stats.
-    duration_stats: HashMap<(String, EndpointId), OnlineStats>,
+    /// Function name → interned id (index into `names`).
+    name_ids: HashMap<String, u32>,
+    /// Interned id → function name.
+    names: Vec<String>,
+    /// (interned function, endpoint) → duration stats.
+    duration_stats: HashMap<(u32, EndpointId), OnlineStats>,
     /// endpoint → (successes, attempts) for the reassignment policy.
     success_counts: HashMap<EndpointId, (u64, u64)>,
 }
@@ -260,14 +270,26 @@ impl TaskMonitor {
         m
     }
 
+    /// Interned id of `function`, allocating only on first sight.
+    fn intern(&mut self, function: &str) -> u32 {
+        if let Some(&id) = self.name_ids.get(function) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(function.to_string());
+        self.name_ids.insert(function.to_string(), id);
+        id
+    }
+
     /// Streams in one record, updating all aggregates.
     pub fn observe(&mut self, rec: TaskRecord) {
         let entry = self.success_counts.entry(rec.endpoint).or_insert((0, 0));
         entry.1 += 1;
         if rec.success {
             entry.0 += 1;
+            let id = self.intern(&rec.function);
             self.duration_stats
-                .entry((rec.function.clone(), rec.endpoint))
+                .entry((id, rec.endpoint))
                 .or_default()
                 .push(rec.duration_seconds);
         }
@@ -282,8 +304,9 @@ impl TaskMonitor {
     /// Mean observed duration of `function` on `endpoint`, if any
     /// successful runs exist.
     pub fn mean_duration(&self, function: &str, endpoint: EndpointId) -> Option<f64> {
+        let id = *self.name_ids.get(function)?;
         self.duration_stats
-            .get(&(function.to_string(), endpoint))
+            .get(&(id, endpoint))
             .filter(|s| s.count() > 0)
             .map(|s| s.mean())
     }

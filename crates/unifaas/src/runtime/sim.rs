@@ -42,7 +42,7 @@ use simkit::event::EventId;
 use simkit::metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 use simkit::series::SeriesHandle;
 use simkit::trace::{LabelId, TraceLevel, Tracer};
-use simkit::{Engine, EngineStats, SimDuration, SimRng, SimTime};
+use simkit::{Engine, EngineStats, EventSink, ShardedEngine, SimDuration, SimRng, SimTime};
 use std::collections::{HashMap, VecDeque};
 use taskgraph::{Dag, TaskId};
 
@@ -89,49 +89,82 @@ enum Ev {
     ExecTimeout(TaskId, EndpointId, u32),
 }
 
-/// Per-task runtime bookkeeping.
-#[derive(Debug)]
-struct TaskRt {
-    state: TaskState,
-    target: Option<EndpointId>,
-    pending_on: Option<EndpointId>,
-    attempts: u32,
-    attempt_eps: Vec<EndpointId>,
+/// Per-task runtime bookkeeping in structure-of-arrays layout: one dense
+/// `Vec` per field, indexed by task id.
+///
+/// The hot paths — `set_state`, the result-observation pipeline,
+/// `counter_drift`, `drain_endpoint` — each touch one or two fields of
+/// many tasks. The former per-task struct was ~100 bytes, so every such
+/// walk strided through mostly-cold cache lines; parallel arrays turn
+/// them into sequential scans of small homogeneous vectors. The arena
+/// also absorbs what used to be side maps: the `ExecDone` event id of a
+/// running task (previously a per-endpoint `HashMap<TaskId, EventId>`)
+/// lives in `exec_event`/`run_pos`, and the failed-attempt history
+/// (previously a `Vec` allocated inside every task) is a side table
+/// touched only by tasks that actually failed.
+#[derive(Debug, Default)]
+struct TaskArena {
+    state: Vec<TaskState>,
+    target: Vec<Option<EndpointId>>,
+    pending_on: Vec<Option<EndpointId>>,
+    attempts: Vec<u32>,
     /// Retry dispatches bypass the scheduler (§IV-G reassignment policy).
-    runtime_retry: bool,
+    runtime_retry: Vec<bool>,
     /// Bumped on every dispatch; stale `TaskArrive` events are dropped.
-    dispatch_gen: u32,
+    dispatch_gen: Vec<u32>,
     /// Bumped on every scheduled backoff retry; stale `RetryTask` events
     /// are dropped.
-    retry_gen: u32,
-    predicted_exec: f64,
-    t_ready: SimTime,
-    t_staged: SimTime,
-    t_dispatched: SimTime,
-    t_arrived: SimTime,
-    t_exec_start: SimTime,
-    t_exec_end: SimTime,
+    retry_gen: Vec<u32>,
+    predicted_exec: Vec<f64>,
+    /// The pending `ExecDone` event of a Running task.
+    exec_event: Vec<Option<EventId>>,
+    /// Index into its endpoint's running list while the task runs.
+    run_pos: Vec<u32>,
+    t_ready: Vec<SimTime>,
+    t_staged: Vec<SimTime>,
+    t_dispatched: Vec<SimTime>,
+    t_arrived: Vec<SimTime>,
+    t_exec_start: Vec<SimTime>,
+    t_exec_end: Vec<SimTime>,
+    /// Endpoints of failed attempts, populated only for tasks that have
+    /// failed at least once (the fatal `TaskFailed` error reports them).
+    attempt_eps: HashMap<TaskId, Vec<EndpointId>>,
 }
 
-impl TaskRt {
-    fn new() -> Self {
-        TaskRt {
-            state: TaskState::Waiting,
-            target: None,
-            pending_on: None,
-            attempts: 0,
-            attempt_eps: Vec::new(),
-            runtime_retry: false,
-            dispatch_gen: 0,
-            retry_gen: 0,
-            predicted_exec: 0.0,
-            t_ready: SimTime::ZERO,
-            t_staged: SimTime::ZERO,
-            t_dispatched: SimTime::ZERO,
-            t_arrived: SimTime::ZERO,
-            t_exec_start: SimTime::ZERO,
-            t_exec_end: SimTime::ZERO,
-        }
+impl TaskArena {
+    fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Appends `n` tasks in the initial (Waiting) state.
+    fn grow(&mut self, n: usize) {
+        let total = self.state.len() + n;
+        self.state.resize(total, TaskState::Waiting);
+        self.target.resize(total, None);
+        self.pending_on.resize(total, None);
+        self.attempts.resize(total, 0);
+        self.runtime_retry.resize(total, false);
+        self.dispatch_gen.resize(total, 0);
+        self.retry_gen.resize(total, 0);
+        self.predicted_exec.resize(total, 0.0);
+        self.exec_event.resize(total, None);
+        self.run_pos.resize(total, 0);
+        self.t_ready.resize(total, SimTime::ZERO);
+        self.t_staged.resize(total, SimTime::ZERO);
+        self.t_dispatched.resize(total, SimTime::ZERO);
+        self.t_arrived.resize(total, SimTime::ZERO);
+        self.t_exec_start.resize(total, SimTime::ZERO);
+        self.t_exec_end.resize(total, SimTime::ZERO);
+    }
+
+    /// Records a failed attempt on `ep` for the fatal-error report.
+    fn record_failed_attempt(&mut self, t: TaskId, ep: EndpointId) {
+        self.attempt_eps.entry(t).or_default().push(ep);
+    }
+
+    /// Endpoints of `t`'s failed attempts, oldest first.
+    fn failed_attempt_eps(&self, t: TaskId) -> Vec<EndpointId> {
+        self.attempt_eps.get(&t).cloned().unwrap_or_default()
     }
 }
 
@@ -232,12 +265,51 @@ impl SimRuntime {
     /// Runs the workflow to completion and reports.
     pub fn run(self) -> Result<RunReport, UniFaasError> {
         self.cfg.validate()?;
+        let shards = self.cfg.engine_shards;
         let mut rt = Rt::build(self)?;
-        let mut engine: Engine<Ev> = Engine::new();
-        rt.bootstrap(&mut engine);
-        let mut handler = |now: SimTime, ev: Ev, eng: &mut Engine<Ev>| rt.handle(now, ev, eng);
-        while engine.step(&mut handler) {}
-        rt.finish(engine.processed(), engine.stats())
+        if shards > 1 {
+            // Sharded path: per-endpoint event queues merged by the exact
+            // global (time, seq) order, so delivery — and the determinism
+            // digest — is bit-identical to the single-queue engine.
+            let mut engine: ShardedEngine<Ev> = ShardedEngine::new(shards, shard_of);
+            rt.bootstrap(&mut engine);
+            let mut handler =
+                |now: SimTime, ev: Ev, eng: &mut ShardedEngine<Ev>| rt.handle(now, ev, eng);
+            while engine.step(&mut handler) {}
+            rt.finish(engine.processed(), engine.stats())
+        } else {
+            let mut engine: Engine<Ev> = Engine::new();
+            rt.bootstrap(&mut engine);
+            let mut handler = |now: SimTime, ev: Ev, eng: &mut Engine<Ev>| rt.handle(now, ev, eng);
+            while engine.step(&mut handler) {}
+            rt.finish(engine.processed(), engine.stats())
+        }
+    }
+}
+
+/// Event → shard classifier for [`ShardedEngine`]: events concerning one
+/// endpoint go to that endpoint's shard, per-task client-side events
+/// spread by task id, and global periodic events share shard 0. Any
+/// deterministic map is *correct* (the merge preserves global order
+/// regardless); this one just keeps each endpoint's dense event streams
+/// in small private heaps.
+fn shard_of(ev: &Ev) -> usize {
+    match ev {
+        Ev::TaskArrive(_, ep, _)
+        | Ev::ExecDone(_, ep)
+        | Ev::ResultObserved(_, ep, _)
+        | Ev::RetryTask(_, ep, _)
+        | Ev::ExecTimeout(_, ep, _)
+        | Ev::Commission(ep, _) => 1 + ep.index(),
+        Ev::StagingCheck(t) => 1 + t.index(),
+        Ev::XferDone(_)
+        | Ev::MockSync
+        | Ev::ScaleTick
+        | Ev::RescheduleTick
+        | Ev::CapacityChange(_)
+        | Ev::Inject(_)
+        | Ev::OutageStart(_)
+        | Ev::OutageEnd(_) => 0,
     }
 }
 
@@ -484,10 +556,12 @@ struct Rt {
     /// zero-backoff run is bit-identical with or without this field).
     retry_rng: SimRng,
     scaler: Box<dyn Scaling>,
-    tasks: Vec<TaskRt>,
+    tasks: TaskArena,
     deps_remaining: Vec<usize>,
     ep_queues: Vec<VecDeque<TaskId>>,
-    running: Vec<HashMap<TaskId, EventId>>,
+    /// Tasks currently executing on each endpoint (dense, swap-removed;
+    /// positions mirrored in `TaskArena::run_pos`).
+    running: Vec<Vec<TaskId>>,
     pending_count: Vec<usize>,
     client_busy_until: SimTime,
     // Tick counters, maintained at every task state transition by
@@ -710,10 +784,14 @@ impl Rt {
             rng,
             retry_rng,
             scaler,
-            tasks: (0..n_tasks).map(|_| TaskRt::new()).collect(),
+            tasks: {
+                let mut arena = TaskArena::default();
+                arena.grow(n_tasks);
+                arena
+            },
             deps_remaining: Vec::new(),
             ep_queues: (0..n).map(|_| VecDeque::new()).collect(),
-            running: (0..n).map(|_| HashMap::new()).collect(),
+            running: (0..n).map(|_| Vec::new()).collect(),
             pending_count: vec![0; n],
             client_busy_until: SimTime::ZERO,
             ep_outstanding: vec![0; n],
@@ -758,6 +836,9 @@ impl Rt {
     // ---- metrics helpers ----------------------------------------------
 
     fn record_workers(&mut self, now: SimTime) {
+        if !self.cfg.record_series {
+            return;
+        }
         let mut busy_total = 0.0;
         let mut active_total = 0.0;
         for ep in 0..self.endpoints.len() {
@@ -779,6 +860,9 @@ impl Rt {
     }
 
     fn record_staging(&mut self, now: SimTime) {
+        if !self.cfg.record_series {
+            return;
+        }
         self.series
             .staging_tasks
             .record(now, self.staging_count as f64);
@@ -801,27 +885,31 @@ impl Rt {
     }
 
     fn set_pending(&mut self, t: TaskId, ep: Option<EndpointId>, now: SimTime) {
-        let old = self.tasks[t.index()].pending_on;
+        let old = self.tasks.pending_on[t.index()];
         if old == ep {
             return;
         }
         if let Some(o) = old {
             self.pending_count[o.index()] -= 1;
             let v = self.pending_count[o.index()] as f64;
-            let h = self.pending_handle(o.index());
-            self.series.pending_tasks.at_mut(h).record(now, v);
+            if self.cfg.record_series {
+                let h = self.pending_handle(o.index());
+                self.series.pending_tasks.at_mut(h).record(now, v);
+            }
             self.metrics.set(self.mh.pending[o.index()], v);
         }
         if let Some(e) = ep {
             self.pending_count[e.index()] += 1;
             let v = self.pending_count[e.index()] as f64;
-            let h = self.pending_handle(e.index());
-            self.series.pending_tasks.at_mut(h).record(now, v);
+            if self.cfg.record_series {
+                let h = self.pending_handle(e.index());
+                self.series.pending_tasks.at_mut(h).record(now, v);
+            }
             self.metrics.set(self.mh.pending[e.index()], v);
         }
         // A Ready task gaining or losing an assignment moves between the
         // unassigned and assigned demand pools (see `set_state`).
-        if self.tasks[t.index()].state == TaskState::Ready {
+        if self.tasks.state[t.index()] == TaskState::Ready {
             if old.is_none() && ep.is_some() {
                 self.unassigned_ready -= 1;
                 self.unassigned_work -= self.dag.spec(t).compute_seconds;
@@ -833,7 +921,7 @@ impl Rt {
                 self.unassigned_work += self.dag.spec(t).compute_seconds;
             }
         }
-        self.tasks[t.index()].pending_on = ep;
+        self.tasks.pending_on[t.index()] = ep;
     }
 
     // ---- scheduler invocation -----------------------------------------
@@ -878,7 +966,12 @@ impl Rt {
         actions
     }
 
-    fn process_actions(&mut self, actions: Vec<SchedAction>, now: SimTime, eng: &mut Engine<Ev>) {
+    fn process_actions(
+        &mut self,
+        actions: Vec<SchedAction>,
+        now: SimTime,
+        eng: &mut dyn EventSink<Ev>,
+    ) {
         for a in actions {
             match a {
                 SchedAction::Stage { task, ep } => self.do_stage(task, ep, false, now, eng),
@@ -889,17 +982,17 @@ impl Rt {
 
     // ---- task lifecycle -----------------------------------------------
 
-    /// Central task state transition. Every write to `TaskRt.state` goes
+    /// Central task state transition. Every write to `TaskArena::state` goes
     /// through here so the tick counters stay exact without scans, and so a
     /// traced run gets its per-task lifecycle spans from one place. Callers
     /// entering Dispatched must set `target` *before* calling (the
     /// per-endpoint outstanding count is keyed by it).
     fn set_state(&mut self, t: TaskId, new: TaskState, now: SimTime) {
-        let old = self.tasks[t.index()].state;
+        let old = self.tasks.state[t.index()];
         if old == new {
             return;
         }
-        let pending_none = self.tasks[t.index()].pending_on.is_none();
+        let pending_none = self.tasks.pending_on[t.index()].is_none();
         match old {
             TaskState::Staging => {
                 self.active_task_count -= 1;
@@ -907,9 +1000,7 @@ impl Rt {
             }
             TaskState::Dispatched | TaskState::Running | TaskState::AwaitResult => {
                 self.active_task_count -= 1;
-                let ep = self.tasks[t.index()]
-                    .target
-                    .expect("outstanding task has a target");
+                let ep = self.tasks.target[t.index()].expect("outstanding task has a target");
                 self.ep_outstanding[ep.index()] -= 1;
             }
             TaskState::Ready => {
@@ -934,9 +1025,7 @@ impl Rt {
             }
             TaskState::Dispatched | TaskState::Running | TaskState::AwaitResult => {
                 self.active_task_count += 1;
-                let ep = self.tasks[t.index()]
-                    .target
-                    .expect("outstanding task has a target");
+                let ep = self.tasks.target[t.index()].expect("outstanding task has a target");
                 self.ep_outstanding[ep.index()] += 1;
             }
             TaskState::Ready => {
@@ -949,7 +1038,7 @@ impl Rt {
             TaskState::Staged => self.waiting_task_count += 1,
             TaskState::Waiting | TaskState::Done | TaskState::Failed => {}
         }
-        self.tasks[t.index()].state = new;
+        self.tasks.state[t.index()] = new;
         if self.trace.is_some() {
             self.trace_state_span(t, new, now);
         }
@@ -961,7 +1050,7 @@ impl Rt {
     /// traced separately (the `TaskArrive` handler), because it is not a
     /// `TaskState` transition.
     fn trace_state_span(&mut self, t: TaskId, new: TaskState, now: SimTime) {
-        let target = self.tasks[t.index()].target;
+        let target = self.tasks.target[t.index()];
         let tr = self.trace.as_deref_mut().expect("caller checked");
         if !tr.tracer.enabled() {
             return;
@@ -1065,20 +1154,20 @@ impl Rt {
         let mut ep_outstanding = vec![0usize; self.endpoints.len()];
         let (mut active, mut waiting, mut staging) = (0usize, 0usize, 0usize);
         let (mut unassigned, mut work) = (0usize, 0.0f64);
-        for (i, task) in self.tasks.iter().enumerate() {
-            match task.state {
+        for (i, &state) in self.tasks.state.iter().enumerate() {
+            match state {
                 TaskState::Staging => {
                     active += 1;
                     staging += 1;
                 }
                 TaskState::Dispatched | TaskState::Running | TaskState::AwaitResult => {
                     active += 1;
-                    let ep = task.target.expect("outstanding task has a target");
+                    let ep = self.tasks.target[i].expect("outstanding task has a target");
                     ep_outstanding[ep.index()] += 1;
                 }
                 TaskState::Ready => {
                     waiting += 1;
-                    if task.pending_on.is_none() {
+                    if self.tasks.pending_on[i].is_none() {
                         unassigned += 1;
                         work += self.dag.spec(TaskId(i as u32)).compute_seconds;
                     }
@@ -1141,23 +1230,20 @@ impl Rt {
         ep: EndpointId,
         runtime_retry: bool,
         now: SimTime,
-        eng: &mut Engine<Ev>,
+        eng: &mut dyn EventSink<Ev>,
     ) {
         debug_assert!(
             matches!(
-                self.tasks[t.index()].state,
+                self.tasks.state[t.index()],
                 TaskState::Ready | TaskState::Staging | TaskState::Staged
             ),
             "stage from invalid state {:?} for {t}",
-            self.tasks[t.index()].state
+            self.tasks.state[t.index()]
         );
         // Target before the state change: the staging span (and, for the
         // Dispatched family, the outstanding counter) is keyed by it.
-        {
-            let task = &mut self.tasks[t.index()];
-            task.target = Some(ep);
-            task.runtime_retry = runtime_retry;
-        }
+        self.tasks.target[t.index()] = Some(ep);
+        self.tasks.runtime_retry[t.index()] = runtime_retry;
         self.set_state(t, TaskState::Staging, now);
         self.set_pending(t, Some(ep), now);
         self.record_staging(now);
@@ -1211,11 +1297,11 @@ impl Rt {
     }
 
     /// Checks whether `t`'s staging is complete; fires downstream if so.
-    fn check_staged(&mut self, t: TaskId, now: SimTime, eng: &mut Engine<Ev>) {
-        if self.tasks[t.index()].state != TaskState::Staging {
+    fn check_staged(&mut self, t: TaskId, now: SimTime, eng: &mut dyn EventSink<Ev>) {
+        if self.tasks.state[t.index()] != TaskState::Staging {
             return; // stale notification (retargeted or already moved on)
         }
-        let Some(ep) = self.tasks[t.index()].target else {
+        let Some(ep) = self.tasks.target[t.index()] else {
             return;
         };
         let inputs = task_inputs(&self.dag, t, self.faas.max_payload_bytes);
@@ -1223,9 +1309,9 @@ impl Rt {
             return; // still waiting for other objects (or retargeted)
         }
         self.set_state(t, TaskState::Staged, now);
-        self.tasks[t.index()].t_staged = now;
+        self.tasks.t_staged[t.index()] = now;
         self.record_staging(now);
-        if self.tasks[t.index()].runtime_retry {
+        if self.tasks.runtime_retry[t.index()] {
             // §IV-G reassignment path: bypass the scheduler.
             self.do_dispatch(t, ep, now, eng);
         } else {
@@ -1234,17 +1320,24 @@ impl Rt {
         }
     }
 
-    fn do_dispatch(&mut self, t: TaskId, ep: EndpointId, now: SimTime, eng: &mut Engine<Ev>) {
+    fn do_dispatch(
+        &mut self,
+        t: TaskId,
+        ep: EndpointId,
+        now: SimTime,
+        eng: &mut dyn EventSink<Ev>,
+    ) {
         let predicted = self
             .predictor()
             .exec_seconds(&self.dag, t, &self.features[ep.index()]);
-        {
-            let task = &mut self.tasks[t.index()];
-            debug_assert_eq!(task.state, TaskState::Staged, "dispatch of unstaged {t}");
-            task.t_dispatched = now;
-            task.predicted_exec = predicted;
-            task.target = Some(ep);
-        }
+        debug_assert_eq!(
+            self.tasks.state[t.index()],
+            TaskState::Staged,
+            "dispatch of unstaged {t}"
+        );
+        self.tasks.t_dispatched[t.index()] = now;
+        self.tasks.predicted_exec[t.index()] = predicted;
+        self.tasks.target[t.index()] = Some(ep);
         self.set_state(t, TaskState::Dispatched, now);
         self.metrics.inc(self.mh.dispatches[ep.index()], 1.0);
         // Local mocking: push a mock task at submission time.
@@ -1258,14 +1351,36 @@ impl Rt {
         self.client_busy_until = start + self.faas.client_submit_overhead;
         let arrive = self.client_busy_until + self.faas.sample_dispatch(&mut self.rng);
         let gen = {
-            let task = &mut self.tasks[t.index()];
-            task.dispatch_gen += 1;
-            task.dispatch_gen
+            self.tasks.dispatch_gen[t.index()] += 1;
+            self.tasks.dispatch_gen[t.index()]
         };
         eng.schedule(arrive, Ev::TaskArrive(t, ep, gen));
     }
 
-    fn try_start(&mut self, ep: EndpointId, now: SimTime, eng: &mut Engine<Ev>) {
+    /// Tracks `t` as running on `ep`, remembering its pending `ExecDone`
+    /// event. O(1): dense list push plus two arena writes.
+    fn running_insert(&mut self, ep: EndpointId, t: TaskId, eid: EventId) {
+        let list = &mut self.running[ep.index()];
+        self.tasks.run_pos[t.index()] = list.len() as u32;
+        self.tasks.exec_event[t.index()] = Some(eid);
+        list.push(t);
+    }
+
+    /// Untracks `t` from `ep`'s running list (swap-remove), returning its
+    /// pending `ExecDone` event id if it was tracked.
+    fn running_remove(&mut self, ep: EndpointId, t: TaskId) -> Option<EventId> {
+        let eid = self.tasks.exec_event[t.index()].take()?;
+        let list = &mut self.running[ep.index()];
+        let pos = self.tasks.run_pos[t.index()] as usize;
+        debug_assert_eq!(list[pos], t, "run_pos out of sync");
+        list.swap_remove(pos);
+        if let Some(&moved) = list.get(pos) {
+            self.tasks.run_pos[moved.index()] = pos as u32;
+        }
+        Some(eid)
+    }
+
+    fn try_start(&mut self, ep: EndpointId, now: SimTime, eng: &mut dyn EventSink<Ev>) {
         let mut started_any = false;
         while self.endpoints[ep.index()].idle_workers() > 0
             && !self.ep_queues[ep.index()].is_empty()
@@ -1277,17 +1392,17 @@ impl Rt {
             debug_assert!(ok);
             started_any = true;
             self.set_state(t, TaskState::Running, now);
-            self.tasks[t.index()].t_exec_start = now;
+            self.tasks.t_exec_start[t.index()] = now;
             self.set_pending(t, None, now);
             let noise = self.rng.normal_min(1.0, self.cfg.exec_noise_cv, 0.1);
             let base = self.dag.spec(t).compute_seconds * noise;
             let dur = self.endpoints[ep.index()].exec_duration(base);
             let eid = eng.schedule(now + dur, Ev::ExecDone(t, ep));
-            self.running[ep.index()].insert(t, eid);
+            self.running_insert(ep, t, eid);
             // Straggler watchdog (opt-in): kill and reassign an attempt
             // that exceeds the configured execution timeout.
             if let Some(timeout) = self.cfg.retry.exec_timeout {
-                let gen = self.tasks[t.index()].attempts;
+                let gen = self.tasks.attempts[t.index()];
                 eng.schedule(now + timeout, Ev::ExecTimeout(t, ep, gen));
             }
         }
@@ -1300,7 +1415,7 @@ impl Rt {
     }
 
     /// Gives the scheduler a chance to use idle workers on `ep`.
-    fn worker_idle_loop(&mut self, ep: EndpointId, now: SimTime, eng: &mut Engine<Ev>) {
+    fn worker_idle_loop(&mut self, ep: EndpointId, now: SimTime, eng: &mut dyn EventSink<Ev>) {
         if self.fatal.is_some() {
             return;
         }
@@ -1318,13 +1433,13 @@ impl Rt {
         }
     }
 
-    fn exec_done(&mut self, t: TaskId, ep: EndpointId, now: SimTime, eng: &mut Engine<Ev>) {
-        self.running[ep.index()].remove(&t);
+    fn exec_done(&mut self, t: TaskId, ep: EndpointId, now: SimTime, eng: &mut dyn EventSink<Ev>) {
+        self.running_remove(ep, t);
         self.endpoints[ep.index()].release_worker(now);
         self.record_workers(now);
         let success = !self.faults.task_fails(ep, now);
         self.set_state(t, TaskState::AwaitResult, now);
-        self.tasks[t.index()].t_exec_end = now;
+        self.tasks.t_exec_end[t.index()] = now;
         if self.trace.is_some() {
             self.trace_busy(ep, now);
             if !success {
@@ -1359,9 +1474,9 @@ impl Rt {
         ep: EndpointId,
         success: bool,
         now: SimTime,
-        eng: &mut Engine<Ev>,
+        eng: &mut dyn EventSink<Ev>,
     ) {
-        let predicted = self.tasks[t.index()].predicted_exec;
+        let predicted = self.tasks.predicted_exec[t.index()];
         self.monitor.mock_mut(ep).pop_task(predicted);
 
         // Observe: stream the record into the task monitor.
@@ -1374,9 +1489,8 @@ impl Rt {
             .sum::<u64>()
             + spec.external_input_bytes;
         let f = &self.features[ep.index()];
-        let duration = self.tasks[t.index()]
-            .t_exec_end
-            .saturating_since(self.tasks[t.index()].t_exec_start)
+        let duration = self.tasks.t_exec_end[t.index()]
+            .saturating_since(self.tasks.t_exec_start[t.index()])
             .as_secs_f64();
         self.task_monitor.observe(TaskRecord {
             function: self.dag.function_name(spec.function).to_string(),
@@ -1400,7 +1514,12 @@ impl Rt {
                 self.trace_health(ep, now);
             }
             self.set_state(t, TaskState::Done, now);
-            self.tasks[t.index()].attempt_eps.push(ep);
+            // The per-task attempt log only matters for the fatal
+            // `TaskFailed` report; clean first-try successes (the
+            // overwhelming majority) skip it entirely.
+            if let Some(eps) = self.tasks.attempt_eps.get_mut(&t) {
+                eps.push(ep);
+            }
             self.completed += 1;
             self.makespan_end = now;
             self.tasks_per_ep[ep.index()] += 1;
@@ -1437,12 +1556,12 @@ impl Rt {
         self.worker_idle_loop(ep, now, eng);
     }
 
-    fn mark_ready(&mut self, t: TaskId, now: SimTime, eng: &mut Engine<Ev>) {
+    fn mark_ready(&mut self, t: TaskId, now: SimTime, eng: &mut dyn EventSink<Ev>) {
         if self.fatal.is_some() {
             return;
         }
         self.set_state(t, TaskState::Ready, now);
-        self.tasks[t.index()].t_ready = now;
+        self.tasks.t_ready[t.index()] = now;
         let actions = self.sched(now, |s, ctx| s.on_task_ready(ctx, t));
         self.process_actions(actions, now, eng);
     }
@@ -1452,24 +1571,21 @@ impl Rt {
         t: TaskId,
         ep: EndpointId,
         now: SimTime,
-        eng: &mut Engine<Ev>,
+        eng: &mut dyn EventSink<Ev>,
     ) {
-        {
-            let task = &mut self.tasks[t.index()];
-            task.attempts += 1;
-            task.attempt_eps.push(ep);
-        }
+        self.tasks.attempts[t.index()] += 1;
+        self.tasks.record_failed_attempt(t, ep);
         self.metrics.inc(self.mh.failures[ep.index()], 1.0);
         // The runtime takes over the task (§IV-G); the scheduler must drop
         // any reservations/queue entries it still holds for it.
         self.scheduler.on_task_removed(t);
         self.set_pending(t, None, now);
-        if self.tasks[t.index()].attempts >= self.cfg.max_task_attempts {
+        if self.tasks.attempts[t.index()] >= self.cfg.max_task_attempts {
             self.set_state(t, TaskState::Failed, now);
             if self.fatal.is_none() {
                 self.fatal = Some(UniFaasError::TaskFailed {
                     task: t,
-                    attempts: self.tasks[t.index()].attempt_eps.clone(),
+                    attempts: self.tasks.failed_attempt_eps(t),
                 });
             }
             return;
@@ -1477,7 +1593,7 @@ impl Rt {
         // §IV-G: first retry re-executes via the scheduler's decision
         // (same endpoint); further retries go to the endpoint with the
         // highest observed success rate.
-        let retry_ep = if self.tasks[t.index()].attempts == 1 {
+        let retry_ep = if self.tasks.attempts[t.index()] == 1 {
             ep
         } else {
             self.task_monitor
@@ -1488,8 +1604,8 @@ impl Rt {
         // Each attempt samples the latency stages afresh: without this
         // reset a retried task's staging stage would span every previous
         // attempt, double-counting time already attributed to them.
-        self.tasks[t.index()].t_ready = now;
-        let attempts = self.tasks[t.index()].attempts;
+        self.tasks.t_ready[t.index()] = now;
+        let attempts = self.tasks.attempts[t.index()];
         if self.trace.is_some() {
             self.trace_retry(ep, t, attempts, now);
         }
@@ -1514,9 +1630,8 @@ impl Rt {
                 1.0
             };
             let gen = {
-                let task = &mut self.tasks[t.index()];
-                task.retry_gen += 1;
-                task.retry_gen
+                self.tasks.retry_gen[t.index()] += 1;
+                self.tasks.retry_gen[t.index()]
             };
             let at = now + SimDuration::from_secs_f64(delay * factor);
             eng.schedule(at, Ev::RetryTask(t, retry_ep, gen));
@@ -1546,22 +1661,21 @@ impl Rt {
     }
 
     fn aggregate_latency(&mut self, t: TaskId, now: SimTime) {
-        let task = &self.tasks[t.index()];
-        let staging = task.t_staged.saturating_since(task.t_ready).as_secs_f64();
-        let submission = task
-            .t_arrived
-            .saturating_since(task.t_dispatched)
+        let i = t.index();
+        let staging = self.tasks.t_staged[i]
+            .saturating_since(self.tasks.t_ready[i])
             .as_secs_f64();
-        let queue = task
-            .t_exec_start
-            .saturating_since(task.t_arrived)
+        let submission = self.tasks.t_arrived[i]
+            .saturating_since(self.tasks.t_dispatched[i])
             .as_secs_f64();
-        let execution = task
-            .t_exec_end
-            .saturating_since(task.t_exec_start)
+        let queue = self.tasks.t_exec_start[i]
+            .saturating_since(self.tasks.t_arrived[i])
             .as_secs_f64();
-        let polling = now.saturating_since(task.t_exec_end).as_secs_f64();
-        let target = task.target;
+        let execution = self.tasks.t_exec_end[i]
+            .saturating_since(self.tasks.t_exec_start[i])
+            .as_secs_f64();
+        let polling = now.saturating_since(self.tasks.t_exec_end[i]).as_secs_f64();
+        let target = self.tasks.target[i];
         self.latency.count += 1;
         self.latency.staging_s += staging;
         self.latency.submission_s += submission;
@@ -1635,7 +1749,7 @@ impl Rt {
     /// (Re-)arms the periodic tick events. Called at bootstrap and after
     /// any event that can revive a quiesced run (capacity change, worker
     /// commissioning, dynamic DAG injection).
-    fn rearm_periodics(&mut self, eng: &mut Engine<Ev>) {
+    fn rearm_periodics(&mut self, eng: &mut dyn EventSink<Ev>) {
         if !self.mock_sync_armed {
             self.mock_sync_armed = true;
             eng.schedule_after(self.faas.status_sync_interval, Ev::MockSync);
@@ -1665,7 +1779,7 @@ impl Rt {
         }
     }
 
-    fn scale_tick(&mut self, now: SimTime, eng: &mut Engine<Ev>) {
+    fn scale_tick(&mut self, now: SimTime, eng: &mut dyn EventSink<Ev>) {
         if cfg!(debug_assertions) || self.cfg.validate_counters {
             self.validate_counters();
         }
@@ -1717,7 +1831,7 @@ impl Rt {
         }
     }
 
-    fn capacity_change(&mut self, idx: usize, now: SimTime, eng: &mut Engine<Ev>) {
+    fn capacity_change(&mut self, idx: usize, now: SimTime, eng: &mut dyn EventSink<Ev>) {
         let ev = self.cfg.capacity_events[idx];
         let ep = EndpointId(ev.endpoint as u16);
         let preempted = self.endpoints[ep.index()].force_capacity_delta(ev.delta, now);
@@ -1728,19 +1842,17 @@ impl Rt {
         // ones (their batch nodes died); deterministic order.
         if preempted > 0 {
             let mut victims: Vec<(SimTime, TaskId)> = self.running[ep.index()]
-                .keys()
-                .map(|t| (self.tasks[t.index()].t_exec_start, *t))
+                .iter()
+                .map(|t| (self.tasks.t_exec_start[t.index()], *t))
                 .collect();
             victims.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)));
             victims.truncate(preempted);
             for (_, t) in victims {
-                let eid = self.running[ep.index()]
-                    .remove(&t)
-                    .expect("victim is running");
+                let eid = self.running_remove(ep, t).expect("victim is running");
                 eng.cancel(eid);
                 self.monitor
                     .mock_mut(ep)
-                    .pop_task(self.tasks[t.index()].predicted_exec);
+                    .pop_task(self.tasks.predicted_exec[t.index()]);
                 // Lost progress: back to ready, rescheduled from scratch.
                 self.mark_ready(t, now, eng);
             }
@@ -1758,7 +1870,7 @@ impl Rt {
     /// An outage window opens: mark the endpoint Down and proactively
     /// requeue its in-flight work (§IV-G) instead of letting each task
     /// fail at dispatch and burn an attempt.
-    fn outage_start(&mut self, idx: usize, now: SimTime, eng: &mut Engine<Ev>) {
+    fn outage_start(&mut self, idx: usize, now: SimTime, eng: &mut dyn EventSink<Ev>) {
         let (ep, _, _) = self.outage_sched[idx];
         if self.health.mark_down(ep).is_some() && self.trace.is_some() {
             self.trace_health(ep, now);
@@ -1772,7 +1884,7 @@ impl Rt {
 
     /// An outage window closes: the endpoint is Recovering (its first
     /// completed task promotes it to Healthy) and re-admits work.
-    fn outage_end(&mut self, idx: usize, now: SimTime, eng: &mut Engine<Ev>) {
+    fn outage_end(&mut self, idx: usize, now: SimTime, eng: &mut dyn EventSink<Ev>) {
         let (ep, _, _) = self.outage_sched[idx];
         if self.health.mark_recovering(ep).is_some() && self.trace.is_some() {
             self.trace_health(ep, now);
@@ -1789,14 +1901,13 @@ impl Rt {
     /// scheduler re-places it on live endpoints. Runs in ascending task-id
     /// order for determinism. Requeued tasks do not consume an attempt —
     /// the outage is the runtime's fault, not the task's.
-    fn drain_endpoint(&mut self, ep: EndpointId, now: SimTime, eng: &mut Engine<Ev>) {
+    fn drain_endpoint(&mut self, ep: EndpointId, now: SimTime, eng: &mut dyn EventSink<Ev>) {
         let victims: Vec<TaskId> = (0..self.tasks.len() as u32)
             .map(TaskId)
             .filter(|t| {
-                let task = &self.tasks[t.index()];
-                task.target == Some(ep)
+                self.tasks.target[t.index()] == Some(ep)
                     && matches!(
-                        task.state,
+                        self.tasks.state[t.index()],
                         TaskState::Staging
                             | TaskState::Staged
                             | TaskState::Dispatched
@@ -1808,23 +1919,21 @@ impl Rt {
         // Dispatched victims handled below.
         self.ep_queues[ep.index()].clear();
         for t in victims {
-            let state = self.tasks[t.index()].state;
+            let state = self.tasks.state[t.index()];
             // The scheduler must drop any reservation it still holds.
             self.scheduler.on_task_removed(t);
             match state {
                 TaskState::Running => {
-                    let eid = self.running[ep.index()]
-                        .remove(&t)
-                        .expect("running task tracked");
+                    let eid = self.running_remove(ep, t).expect("running task tracked");
                     eng.cancel(eid);
                     self.endpoints[ep.index()].release_worker(now);
-                    let predicted = self.tasks[t.index()].predicted_exec;
+                    let predicted = self.tasks.predicted_exec[t.index()];
                     self.monitor.mock_mut(ep).pop_task(predicted);
                 }
                 TaskState::Dispatched => {
                     // Queued at the endpoint or still in flight; the
                     // dispatch-generation guard voids an in-flight arrival.
-                    let predicted = self.tasks[t.index()].predicted_exec;
+                    let predicted = self.tasks.predicted_exec[t.index()];
                     self.monitor.mock_mut(ep).pop_task(predicted);
                 }
                 _ => {}
@@ -1847,16 +1956,14 @@ impl Rt {
         ep: EndpointId,
         gen: u32,
         now: SimTime,
-        eng: &mut Engine<Ev>,
+        eng: &mut dyn EventSink<Ev>,
     ) {
         if self.fatal.is_some() {
             return;
         }
+        if self.tasks.state[t.index()] != TaskState::Ready || self.tasks.retry_gen[t.index()] != gen
         {
-            let task = &self.tasks[t.index()];
-            if task.state != TaskState::Ready || task.retry_gen != gen {
-                return;
-            }
+            return;
         }
         match self.live_retry_ep(ep) {
             Some(ep) => self.do_stage(t, ep, true, now, eng),
@@ -1875,26 +1982,26 @@ impl Rt {
         ep: EndpointId,
         gen: u32,
         now: SimTime,
-        eng: &mut Engine<Ev>,
+        eng: &mut dyn EventSink<Ev>,
     ) {
         if self.fatal.is_some() {
             return;
         }
+        if self.tasks.state[t.index()] != TaskState::Running
+            || self.tasks.target[t.index()] != Some(ep)
+            || self.tasks.attempts[t.index()] != gen
         {
-            let task = &self.tasks[t.index()];
-            if task.state != TaskState::Running || task.target != Some(ep) || task.attempts != gen {
-                return;
-            }
+            return;
         }
-        let Some(eid) = self.running[ep.index()].remove(&t) else {
+        let Some(eid) = self.running_remove(ep, t) else {
             return;
         };
         eng.cancel(eid);
         self.endpoints[ep.index()].release_worker(now);
-        let predicted = self.tasks[t.index()].predicted_exec;
+        let predicted = self.tasks.predicted_exec[t.index()];
         self.monitor.mock_mut(ep).pop_task(predicted);
         self.record_workers(now);
-        self.tasks[t.index()].t_exec_end = now;
+        self.tasks.t_exec_end[t.index()] = now;
         if self.trace.is_some() {
             self.trace_busy(ep, now);
             let tr = self.trace.as_deref_mut().expect("checked");
@@ -1909,7 +2016,7 @@ impl Rt {
             endpoint: ep,
             input_bytes: 0,
             duration_seconds: now
-                .saturating_since(self.tasks[t.index()].t_exec_start)
+                .saturating_since(self.tasks.t_exec_start[t.index()])
                 .as_secs_f64(),
             output_bytes: spec.output_bytes,
             cores: f.cores,
@@ -1923,7 +2030,7 @@ impl Rt {
         self.worker_idle_loop(ep, now, eng);
     }
 
-    fn inject(&mut self, idx: usize, now: SimTime, eng: &mut Engine<Ev>) {
+    fn inject(&mut self, idx: usize, now: SimTime, eng: &mut dyn EventSink<Ev>) {
         let Some((_, f)) = self.injections[idx].take() else {
             return;
         };
@@ -1933,10 +2040,9 @@ impl Rt {
         if added.is_empty() {
             return;
         }
-        for _ in &added {
-            self.tasks.push(TaskRt::new());
-            self.deps_remaining.push(0);
-        }
+        self.tasks.grow(added.len());
+        self.deps_remaining
+            .resize(self.deps_remaining.len() + added.len(), 0);
         if let Some(tr) = self.trace.as_deref_mut() {
             tr.grow(self.dag.len());
         }
@@ -1975,7 +2081,7 @@ impl Rt {
                 .dag
                 .preds(t)
                 .iter()
-                .filter(|p| self.tasks[p.index()].state != TaskState::Done)
+                .filter(|p| self.tasks.state[p.index()] != TaskState::Done)
                 .count();
             self.deps_remaining[t.index()] = remaining;
         }
@@ -2022,7 +2128,7 @@ impl Rt {
         }
     }
 
-    fn bootstrap(&mut self, eng: &mut Engine<Ev>) {
+    fn bootstrap(&mut self, eng: &mut dyn EventSink<Ev>) {
         let now = SimTime::ZERO;
         if self.cfg.probe_transfers && matches!(self.profiler, ProfilerKind::Learned(_)) {
             self.probe_transfers();
@@ -2064,7 +2170,7 @@ impl Rt {
         }
     }
 
-    fn handle(&mut self, now: SimTime, ev: Ev, eng: &mut Engine<Ev>) {
+    fn handle(&mut self, now: SimTime, ev: Ev, eng: &mut dyn EventSink<Ev>) {
         if let Some(tr) = self.trace.as_deref_mut() {
             if tr.tracer.full() {
                 let (idx, arg) = match &ev {
@@ -2132,8 +2238,8 @@ impl Rt {
                     self.check_staged(t, now, eng);
                 }
                 for t in out.failed_tasks {
-                    if self.tasks[t.index()].state == TaskState::Staging {
-                        let ep = self.tasks[t.index()].target.expect("staging has target");
+                    if self.tasks.state[t.index()] == TaskState::Staging {
+                        let ep = self.tasks.target[t.index()].expect("staging has target");
                         self.failed_attempts += 1;
                         // Leaving Staging (to retry or to Failed) adjusts
                         // the staging counter inside `set_state`.
@@ -2145,16 +2251,13 @@ impl Rt {
             Ev::TaskArrive(t, ep, gen) => {
                 // Stale arrival: the task was drained (endpoint outage) and
                 // possibly re-dispatched while this event was in flight.
+                if self.tasks.dispatch_gen[t.index()] != gen
+                    || self.tasks.state[t.index()] != TaskState::Dispatched
+                    || self.tasks.target[t.index()] != Some(ep)
                 {
-                    let task = &self.tasks[t.index()];
-                    if task.dispatch_gen != gen
-                        || task.state != TaskState::Dispatched
-                        || task.target != Some(ep)
-                    {
-                        return;
-                    }
+                    return;
                 }
-                self.tasks[t.index()].t_arrived = now;
+                self.tasks.t_arrived[t.index()] = now;
                 self.ep_queues[ep.index()].push_back(t);
                 // Not a `TaskState` change, but a distinct lifecycle stage:
                 // close the dispatched span, open the endpoint-queue wait.
@@ -2622,6 +2725,50 @@ mod tests {
             "fault machinery must be pay-for-what-you-use"
         );
         assert_eq!(baseline.events_processed, with_knobs.events_processed);
+    }
+
+    #[test]
+    fn sharded_engine_is_digest_identical_to_single_queue() {
+        // The sharded engine merges per-endpoint queues by the exact
+        // global (time, seq) order, so every strategy must replay
+        // bit-identically for any shard count — including fault paths
+        // (retries, outages) that cancel and reschedule events.
+        for strategy in [
+            SchedulingStrategy::Capacity,
+            SchedulingStrategy::Locality,
+            SchedulingStrategy::Dha { rescheduling: true },
+        ] {
+            let base_cfg = two_ep_config(strategy.clone());
+            let baseline = SimRuntime::new(base_cfg.clone(), bag_dag(24, 4.0))
+                .run()
+                .unwrap();
+            for shards in [2usize, 3, 8] {
+                let mut cfg = base_cfg.clone();
+                cfg.engine_shards = shards;
+                let sharded = SimRuntime::new(cfg, bag_dag(24, 4.0)).run().unwrap();
+                assert_eq!(
+                    baseline.determinism_digest(),
+                    sharded.determinism_digest(),
+                    "{strategy:?} diverged with {shards} shards"
+                );
+                assert_eq!(baseline.events_processed, sharded.events_processed);
+            }
+        }
+
+        // And with the fault machinery exercised: stochastic task
+        // failures force retries through cancel/reschedule paths.
+        let mut faulty = two_ep_config(SchedulingStrategy::Dha { rescheduling: true });
+        faulty.task_failure_prob = 0.2;
+        faulty.max_task_attempts = 10;
+        let baseline = SimRuntime::new(faulty.clone(), chain_dag(12, 2.0))
+            .run()
+            .unwrap();
+        let mut sharded_cfg = faulty;
+        sharded_cfg.engine_shards = 4;
+        let sharded = SimRuntime::new(sharded_cfg, chain_dag(12, 2.0))
+            .run()
+            .unwrap();
+        assert_eq!(baseline.determinism_digest(), sharded.determinism_digest());
     }
 
     #[test]

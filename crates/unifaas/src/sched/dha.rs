@@ -178,6 +178,64 @@ pub struct DhaScheduler {
     /// Ready tasks with nowhere to go (every compute endpoint Down when
     /// they arrived); re-driven on the next capacity change or tick.
     parked: Vec<TaskId>,
+    /// Membership bitmap of the re-scheduling pool (`staged` ∪ `staging`),
+    /// indexed by task id.
+    pooled: Vec<bool>,
+    /// Number of pooled tasks (`pooled.iter().filter(|b| **b).count()`).
+    pool_len: usize,
+    /// `in_pool_sorted[t]`: task `t` currently has an entry (live or
+    /// stale) in `pool_main` or `pool_young`.
+    in_pool_sorted: Vec<bool>,
+    /// Persistent re-scheduling pool, sorted (priority desc, id asc),
+    /// kept as a two-level structure so a pass never re-sorts ~pool-size
+    /// pairs: `pool_main` is the large sorted run, `pool_young` a small
+    /// sorted run of recent arrivals, and `pool_inserts` the raw delta
+    /// since the last pass (sorted and merged into `pool_young` at pass
+    /// start; `pool_young` folds into `pool_main` only when it outgrows a
+    /// fraction of it). Departed members leave stale entries (`pooled`
+    /// false) that iteration skips and compaction drops.
+    pool_main: Vec<(f64, TaskId)>,
+    pool_young: Vec<(f64, TaskId)>,
+    pool_inserts: Vec<TaskId>,
+    /// Stale entries currently in `pool_main` + `pool_young`.
+    pool_stale: usize,
+    /// Priority generation the pool's sort keys were computed under. Any
+    /// priority recomputation (DAG growth, predictor epoch change) bumps
+    /// `prio_gen` and forces a full rebuild, since stored keys go stale.
+    prio_gen: u64,
+    pool_prio_gen: Option<u64>,
+    /// Batched-EFT evaluation classes: pooled tasks sharing (current
+    /// endpoint, committed seconds, exec-cache row) are decision-identical
+    /// within a pass until some steal shifts committed load, so each class
+    /// is evaluated once per pass and the pass terminates as soon as every
+    /// class present in the pool holds a no-steal verdict. Valid for one
+    /// `exec_epoch`; `class_gen` bumps on reset so `class_of` entries
+    /// self-invalidate without an O(n) clear.
+    classes: Vec<EvalClass>,
+    /// Packed per-task class: `(gen << 6) | idx`, `idx == 63` = none.
+    class_of: Vec<u32>,
+    class_gen: u32,
+    class_count: Vec<u32>,
+    /// Pooled tasks without a valid class (inputs, missing caches, …);
+    /// each is evaluated individually every pass.
+    unclassified: usize,
+    class_epoch: u64,
+    /// Per-pass no-steal verdicts, indexed like `classes` (reused buffer).
+    class_verdict: Vec<bool>,
+}
+
+/// `class_of` packed value meaning "no class" in generation 0 (and, via
+/// the generation check, in every later one).
+const CLASS_NONE: u32 = 63;
+
+/// One batched-EFT evaluation class: tasks whose re-scheduling decision
+/// is provably identical (see `DhaScheduler::classify`).
+#[derive(Debug)]
+struct EvalClass {
+    ep: EndpointId,
+    secs: u64,
+    /// The shared exec-cache row, as exact bit patterns.
+    row: Box<[u64]>,
 }
 
 /// Best-replica memo shared by all staging estimates, valid for one
@@ -322,6 +380,22 @@ impl DhaScheduler {
             replica: ReplicaCache::default(),
             ep_sig: HashMap::new(),
             parked: Vec::new(),
+            pooled: Vec::new(),
+            pool_len: 0,
+            in_pool_sorted: Vec::new(),
+            pool_main: Vec::new(),
+            pool_young: Vec::new(),
+            pool_inserts: Vec::new(),
+            pool_stale: 0,
+            prio_gen: 0,
+            pool_prio_gen: None,
+            classes: Vec::new(),
+            class_of: Vec::new(),
+            class_gen: 0,
+            class_count: Vec::new(),
+            unclassified: 0,
+            class_epoch: 0,
+            class_verdict: Vec::new(),
         }
     }
 
@@ -442,6 +516,149 @@ impl DhaScheduler {
     fn push_staged(&mut self, task: TaskId, ep: EndpointId) {
         let p = self.priorities[task.index()];
         self.staged.push(task, ep, p);
+        self.pool_enter(task);
+    }
+
+    /// Records `task` joining the re-scheduling pool (`staged` ∪
+    /// `staging`). Idempotent; queues a sorted-pool insert unless a stale
+    /// entry from an earlier membership can simply be revived, and files
+    /// the task into its evaluation class (or the unclassified bucket).
+    fn pool_enter(&mut self, task: TaskId) {
+        let i = task.index();
+        if self.pooled.len() <= i {
+            self.pooled.resize(i + 1, false);
+            self.in_pool_sorted.resize(i + 1, false);
+            self.class_of.resize(i + 1, CLASS_NONE);
+        }
+        if self.pooled[i] {
+            return;
+        }
+        self.pooled[i] = true;
+        self.pool_len += 1;
+        if self.in_pool_sorted[i] {
+            // Revive the stale entry already sitting in the sorted runs.
+            self.pool_stale -= 1;
+        } else {
+            self.pool_inserts.push(task);
+        }
+        self.bucket_enter(task);
+    }
+
+    /// Records `task` leaving the re-scheduling pool. Its sorted-pool
+    /// entry (if any) goes stale and is dropped at the next compaction.
+    fn pool_leave(&mut self, task: TaskId) {
+        let i = task.index();
+        if !self.pooled.get(i).copied().unwrap_or(false) {
+            return;
+        }
+        self.pooled[i] = false;
+        self.pool_len -= 1;
+        if self.in_pool_sorted[i] {
+            self.pool_stale += 1;
+        }
+        self.bucket_leave(task);
+    }
+
+    /// Classifies `task` and adds it to the matching bucket count.
+    fn bucket_enter(&mut self, task: TaskId) {
+        match self.classify(task) {
+            Some(c) => self.class_count[c] += 1,
+            None => self.unclassified += 1,
+        }
+    }
+
+    /// Removes `task` from whatever bucket it currently counts in.
+    fn bucket_leave(&mut self, task: TaskId) {
+        match self.class_idx(task) {
+            Some(c) => self.class_count[c] -= 1,
+            None => self.unclassified -= 1,
+        }
+    }
+
+    /// `task`'s current class index, if its packed entry is from the
+    /// live generation and not the none-sentinel.
+    fn class_idx(&self, task: TaskId) -> Option<usize> {
+        let v = *self.class_of.get(task.index())?;
+        if v >> 6 == self.class_gen && v & 63 != 63 {
+            Some((v & 63) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Drops every class: bumping the generation invalidates all packed
+    /// `class_of` entries at once, and every pooled task counts as
+    /// unclassified until re-filed (lazily, as passes visit it).
+    fn reset_classes(&mut self) {
+        self.class_gen = self.class_gen.wrapping_add(1);
+        self.classes.clear();
+        self.class_count.clear();
+        self.unclassified = self.pool_len;
+        self.class_epoch = self.exec_epoch;
+    }
+
+    /// Tries to file `task` into an evaluation class, creating one if
+    /// needed (bounded table; overflow stays unclassified). Eligibility
+    /// mirrors the exactness argument in `reschedule`: the committed slot
+    /// must hold the current target (so the pass's uncommit/commit pair
+    /// restores state bit-exactly), the inputs must be cached and empty
+    /// (zero staging seconds on every endpoint), and the exec row must be
+    /// valid for the live epoch. Writes `class_of` either way and returns
+    /// the class index.
+    fn classify(&mut self, task: TaskId) -> Option<usize> {
+        if self.class_epoch != self.exec_epoch {
+            // Stale table; `reset_classes` fixes the epoch but needs the
+            // caller's bucket counts intact, so only reset here where
+            // every packed entry is already from a dead generation.
+            self.class_gen = self.class_gen.wrapping_add(1);
+            self.classes.clear();
+            self.class_count.clear();
+            self.unclassified = self.pool_len.saturating_sub(1);
+            self.class_epoch = self.exec_epoch;
+        }
+        let i = task.index();
+        let none = (self.class_gen << 6) | 63;
+        self.class_of[i] = none;
+        let w = self.exec_width;
+        if w == 0
+            || !self.exec_valid.get(i).copied().unwrap_or(false)
+            || !self
+                .inputs_cache
+                .get(i)
+                .and_then(|s| s.as_deref())
+                .is_some_and(|inp| inp.is_empty())
+        {
+            return None;
+        }
+        let (ep, secs) = self.committed.get(i).copied().flatten()?;
+        if self.target.get(i).copied().flatten() != Some(ep) {
+            return None;
+        }
+        let secs = secs.to_bits();
+        let row = &self.exec_cache[i * w..(i + 1) * w];
+        let found = self.classes.iter().position(|c| {
+            c.ep == ep
+                && c.secs == secs
+                && c.row.len() == w
+                && c.row.iter().zip(row).all(|(&b, &v)| b == v.to_bits())
+        });
+        let c = match found {
+            Some(c) => c,
+            None => {
+                if self.classes.len() >= 63 {
+                    return None;
+                }
+                self.classes.push(EvalClass {
+                    ep,
+                    secs,
+                    row: row.iter().map(|v| v.to_bits()).collect(),
+                });
+                self.class_count.push(0);
+                self.classes.len() - 1
+            }
+        };
+        self.class_of[i] = (self.class_gen << 6) | c as u32;
+        Some(c)
     }
 
     /// Endpoints whose mock signature changed since the last pass, as
@@ -466,6 +683,10 @@ impl DhaScheduler {
     /// The re-scheduling pass: re-evaluate every not-yet-dispatched task.
     fn reschedule(&mut self, ctx: &mut SchedCtx) {
         self.refresh_caches(ctx);
+        if self.class_epoch != self.exec_epoch {
+            // Predictor moved on: every class's row is stale.
+            self.reset_classes();
+        }
         let dirty = if self.opts.bounded_reschedule {
             let d = self.dirty_endpoints(ctx);
             if d.is_empty() {
@@ -475,25 +696,102 @@ impl DhaScheduler {
         } else {
             None
         };
-        // Gather (priority, id) pairs up front so the sort compares plain
-        // pairs instead of chasing the priorities vector per comparison.
-        let mut pool: Vec<(f64, TaskId)> = self
-            .staged
-            .tasks()
-            .map(|(t, _)| t)
-            .chain(self.staging.iter())
-            .map(|t| (self.priorities[t.index()], t))
-            .collect();
+        // Bring the persistent two-level sorted pool up to date.
         // Highest priority first, matching the dispatch order; ties break
-        // by task id so the steal order is deterministic (the pool is
-        // gathered from sets whose iteration order is not). (priority
-        // desc, id asc) is a strict total order, so the unstable sort is
+        // by task id so the steal order is deterministic. (priority desc,
+        // id asc) is a strict total order, so the unstable sort is
         // deterministic too.
-        pool.sort_unstable_by(|a, b| {
+        let cmp = |a: &(f64, TaskId), b: &(f64, TaskId)| {
             b.0.partial_cmp(&a.0)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.1 .0.cmp(&b.1 .0))
-        });
+        };
+        if self.pool_prio_gen != Some(self.prio_gen) {
+            // Sort keys went stale: rebuild from scratch, exactly the
+            // membership the old per-pass gather produced.
+            self.pool_inserts.clear();
+            self.in_pool_sorted.iter_mut().for_each(|b| *b = false);
+            self.pool_young.clear();
+            self.pool_stale = 0;
+            self.pool_main = self
+                .staged
+                .tasks()
+                .map(|(t, _)| t)
+                .chain(self.staging.iter())
+                .map(|t| (self.priorities[t.index()], t))
+                .collect();
+            self.pool_main.sort_unstable_by(cmp);
+            for &(_, t) in &self.pool_main {
+                self.in_pool_sorted[t.index()] = true;
+            }
+            self.pool_prio_gen = Some(self.prio_gen);
+        } else if !self.pool_inserts.is_empty() {
+            // Merge the (few) arrivals since the last pass into the small
+            // young run; only fold young into main when it outgrows an
+            // eighth of it, so a pass never touches ~pool-size memory.
+            let mut ins: Vec<(f64, TaskId)> = self
+                .pool_inserts
+                .drain(..)
+                .filter(|t| self.pooled[t.index()] && !self.in_pool_sorted[t.index()])
+                .map(|t| (self.priorities[t.index()], t))
+                .collect();
+            ins.sort_unstable_by(cmp);
+            ins.dedup_by(|a, b| a.1 == b.1);
+            for &(_, t) in &ins {
+                self.in_pool_sorted[t.index()] = true;
+            }
+            if self.pool_young.is_empty() {
+                self.pool_young = ins;
+            } else {
+                let young = std::mem::take(&mut self.pool_young);
+                let mut merged = Vec::with_capacity(young.len() + ins.len());
+                let mut ii = 0;
+                for entry in young {
+                    while ii < ins.len() && cmp(&ins[ii], &entry).is_lt() {
+                        merged.push(ins[ii]);
+                        ii += 1;
+                    }
+                    merged.push(entry);
+                }
+                merged.extend_from_slice(&ins[ii..]);
+                self.pool_young = merged;
+            }
+        }
+        let total = self.pool_main.len() + self.pool_young.len();
+        if self.pool_young.len() > 1024.max(self.pool_main.len() / 8)
+            || self.pool_stale * 2 > total.max(1)
+        {
+            // Compact: fold young into main, dropping stale entries.
+            let main = std::mem::take(&mut self.pool_main);
+            let young = std::mem::take(&mut self.pool_young);
+            let mut merged = Vec::with_capacity(total - self.pool_stale);
+            let mut iy = 0;
+            for entry in main {
+                while iy < young.len() && cmp(&young[iy], &entry).is_lt() {
+                    let e = young[iy];
+                    iy += 1;
+                    if self.pooled[e.1.index()] {
+                        merged.push(e);
+                    } else {
+                        self.in_pool_sorted[e.1.index()] = false;
+                    }
+                }
+                if self.pooled[entry.1.index()] {
+                    merged.push(entry);
+                } else {
+                    self.in_pool_sorted[entry.1.index()] = false;
+                }
+            }
+            for &e in &young[iy..] {
+                if self.pooled[e.1.index()] {
+                    merged.push(e);
+                } else {
+                    self.in_pool_sorted[e.1.index()] = false;
+                }
+            }
+            self.pool_main = merged;
+            self.pool_stale = 0;
+        }
         // Slot of each endpoint in `compute_eps` (for exec-row lookups).
         let mut slot_of = vec![usize::MAX; ctx.endpoints.len()];
         for (slot, &ep) in ctx.compute_eps.iter().enumerate() {
@@ -502,7 +800,74 @@ impl DhaScheduler {
         let all_eps: Vec<(usize, EndpointId)> =
             ctx.compute_eps.iter().copied().enumerate().collect();
         let thresh = self.opts.steal_threshold;
-        for (_, task) in pool {
+        // Batched EFT: tasks sharing an evaluation class (current
+        // endpoint, committed seconds, exec row — see `classify`) are
+        // decision-identical while no steal perturbs committed load:
+        // input-less tasks stage in zero seconds everywhere, and a task
+        // that keeps its target restores exactly the committed load it
+        // released, so the availability state is bit-identical before and
+        // after its evaluation. Each class is therefore evaluated once
+        // per pass (its verdict covers every later member), any steal
+        // clears the verdicts, and the pass terminates outright once
+        // every class present in the pool holds a no-steal verdict and no
+        // unclassified tasks remain. For homogeneous bags that makes a
+        // pass O(#classes) instead of O(pool). Traced passes evaluate
+        // every task (each owes a decision record).
+        debug_assert_eq!(
+            self.class_count.iter().map(|&c| c as usize).sum::<usize>() + self.unclassified,
+            self.pool_len,
+            "class buckets out of sync with pool membership"
+        );
+        self.class_verdict.clear();
+        self.class_verdict.resize(self.classes.len(), false);
+        // Unvisited members per class this pass. A class with no members
+        // left ahead of the cursor cannot (and need not) earn a verdict:
+        // excluding it lets the pass break as soon as everything still
+        // ahead is verdict-covered, even right after a steal cleared the
+        // verdicts.
+        let mut remaining: Vec<u32> = self.class_count.clone();
+        let mut unverdicted = remaining.iter().filter(|&&n| n > 0).count();
+        let pool_main = std::mem::take(&mut self.pool_main);
+        let pool_young = std::mem::take(&mut self.pool_young);
+        let mut im = 0;
+        let mut iy = 0;
+        loop {
+            if !ctx.trace_decisions && self.unclassified == 0 && unverdicted == 0 {
+                break; // every pooled task is covered by a no-steal verdict
+            }
+            let take_young = match (pool_main.get(im), pool_young.get(iy)) {
+                (None, None) => break,
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                (Some(a), Some(b)) => cmp(b, a).is_lt(),
+            };
+            let (_, task) = if take_young {
+                iy += 1;
+                pool_young[iy - 1]
+            } else {
+                im += 1;
+                pool_main[im - 1]
+            };
+            if !self.pooled[task.index()] {
+                continue; // stale entry: left the pool since last compaction
+            }
+            let pre_class = self.class_idx(task);
+            if let Some(c) = pre_class {
+                // This member is now visited; classes filed mid-pass only
+                // ever contain already-visited tasks, so `c` predates the
+                // pass and is in bounds.
+                remaining[c] -= 1;
+                if remaining[c] == 0 && !self.class_verdict[c] {
+                    unverdicted -= 1;
+                }
+            }
+            if !ctx.trace_decisions {
+                if let Some(c) = pre_class {
+                    if self.class_verdict[c] {
+                        continue; // covered by this pass's class verdict
+                    }
+                }
+            }
             let cur = self.target[task.index()].expect("pooled task has a target");
             // Candidate endpoints this task may move to. Unbounded: all of
             // them. Bounded: the dirty ones — unless the task's own
@@ -621,11 +986,29 @@ impl DhaScheduler {
                             inputs_cache_hit: inputs_hit,
                         });
                     }
+                    self.bucket_leave(task);
                     self.staged.remove(task);
                     self.staging.insert(task);
                     self.target[task.index()] = Some(b.ep);
                     self.commit(task, b.ep, b.exec);
                     ctx.stage(task, b.ep);
+                    // Re-file under the new target, then drop every
+                    // no-steal verdict: the steal shifted committed load,
+                    // so earlier conclusions no longer bind.
+                    match self.classify(task) {
+                        Some(c) => {
+                            if self.class_verdict.len() < self.classes.len() {
+                                self.class_verdict.resize(self.classes.len(), false);
+                            }
+                            if remaining.len() < self.classes.len() {
+                                remaining.resize(self.classes.len(), 0);
+                            }
+                            self.class_count[c] += 1;
+                        }
+                        None => self.unclassified += 1,
+                    }
+                    self.class_verdict.iter_mut().for_each(|v| *v = false);
+                    unverdicted = remaining.iter().filter(|&&n| n > 0).count();
                     continue;
                 }
             }
@@ -634,7 +1017,38 @@ impl DhaScheduler {
                 Some((ep, secs)) => self.commit(task, ep, secs),
                 None => self.commit(task, cur, cur_exec),
             }
+            // Keep the current target: the task's class (filed now if it
+            // was unclassified, e.g. its committed slot was just restored)
+            // earns this pass's no-steal verdict.
+            if pre_class.is_none() {
+                // Re-file: the restore may have made the task classifiable.
+                // Joining a class never changes `remaining` — this task is
+                // already visited.
+                self.bucket_leave(task);
+                match self.classify(task) {
+                    Some(c) => {
+                        self.class_count[c] += 1;
+                        if self.class_verdict.len() < self.classes.len() {
+                            self.class_verdict.resize(self.classes.len(), false);
+                        }
+                        if remaining.len() < self.classes.len() {
+                            remaining.resize(self.classes.len(), 0);
+                        }
+                    }
+                    None => self.unclassified += 1,
+                }
+            }
+            if let Some(c) = self.class_idx(task) {
+                if !self.class_verdict[c] {
+                    self.class_verdict[c] = true;
+                    if remaining[c] > 0 {
+                        unverdicted -= 1;
+                    }
+                }
+            }
         }
+        self.pool_main = pool_main;
+        self.pool_young = pool_young;
     }
 
     /// Re-drives tasks parked during an all-endpoints-down interval.
@@ -666,6 +1080,9 @@ impl Scheduler for DhaScheduler {
     }
 
     fn on_tasks_added(&mut self, ctx: &mut SchedCtx, _tasks: &[TaskId]) {
+        // Priorities are about to change (extension can rewrite ancestor
+        // ranks as well): the persistent pool's sort keys go stale.
+        self.prio_gen += 1;
         let epoch = ctx.predictor.epoch();
         if self.rank_epoch == Some(epoch) {
             // Same knowledge as the existing ranks: extend incrementally
@@ -757,6 +1174,7 @@ impl Scheduler for DhaScheduler {
         self.target[task.index()] = Some(ep);
         self.staging.insert(task);
         self.commit(task, ep, exec);
+        self.pool_enter(task);
         ctx.stage(task, ep);
     }
 
@@ -768,12 +1186,14 @@ impl Scheduler for DhaScheduler {
             // on the endpoint like Capacity does.
             self.uncommit(task);
             self.drop_task_caches(task);
+            self.pool_leave(task);
             ctx.dispatch(task, ep);
             return;
         }
         if self.staged.is_empty_at(ep) && ctx.monitor.mock(ep).idle_workers() > 0 {
             self.uncommit(task);
             self.drop_task_caches(task);
+            self.pool_leave(task);
             ctx.dispatch(task, ep);
         } else {
             // Delay mechanism: wait in the client-side queue (higher
@@ -786,6 +1206,7 @@ impl Scheduler for DhaScheduler {
         if let Some(task) = self.staged.pop(ep) {
             self.uncommit(task);
             self.drop_task_caches(task);
+            self.pool_leave(task);
             ctx.dispatch(task, ep);
         }
     }
@@ -795,6 +1216,7 @@ impl Scheduler for DhaScheduler {
         self.staging.remove(task);
         self.staged.remove(task);
         self.drop_task_caches(task);
+        self.pool_leave(task);
         self.parked.retain(|&t| t != task);
     }
 

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Bench-smoke regression gate: run `e2e_throughput --smoke` and fail if
+# the stress-100k DHA events/s throughput regressed more than the given
+# fraction below the committed BENCH_e2e.json baseline.
+#
+# Usage: scripts/check_bench_smoke.sh [max_regression]
+#   max_regression — allowed relative throughput drop, default 0.10
+#   (10%). CI runners with noisy neighbours can pass a larger value.
+#
+# The benchmark rewrites BENCH_e2e.json in place, so the baseline is read
+# before the run and the file is restored afterwards; the fresh results
+# are kept in bench-smoke/ for artifact upload.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+max_regression="${1:-0.10}"
+
+extract_eps() {
+  awk -F'"events_per_sec": ' '
+    /"workload": "stress-100k"/ && /"scheduler": "DHA"/ {
+      split($2, a, ","); print a[1]; exit
+    }' "$1"
+}
+
+baseline=$(extract_eps BENCH_e2e.json)
+if [ -z "$baseline" ]; then
+  echo "error: no stress-100k DHA row in committed BENCH_e2e.json" >&2
+  exit 1
+fi
+
+echo "==> running e2e throughput benchmark (smoke set)"
+cargo run --release -q -p unifaas-bench --bin e2e_throughput -- --smoke
+
+current=$(extract_eps BENCH_e2e.json)
+mkdir -p bench-smoke
+cp BENCH_e2e.json bench-smoke/BENCH_e2e.smoke.json
+git checkout -- BENCH_e2e.json 2>/dev/null || true
+
+echo "stress-100k DHA events/s: baseline ${baseline}, current ${current}" \
+     "(max regression ${max_regression})"
+awk -v base="$baseline" -v cur="$current" -v tol="$max_regression" 'BEGIN {
+  floor = base * (1 - tol)
+  if (cur < floor) {
+    printf "FAIL: %.0f events/s below %.0f (baseline %.0f - %.0f%%)\n",
+           cur, floor, base, tol * 100
+    exit 1
+  }
+  printf "OK: %.0f events/s >= %.0f\n", cur, floor
+}'

@@ -12,7 +12,9 @@
 #   with noisy neighbours can pass a larger value.
 #
 # The benchmark binary rewrites BENCH_e2e.json in the working directory, so
-# the committed baseline is read *before* the run.
+# the committed baseline is read *before* the run. Both engine paths are
+# gated: the single-queue reference and the sharded engine (--shards 5),
+# whose stress-100k makespan must additionally match bit-for-bit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,18 +33,48 @@ if [ -z "$baseline" ]; then
   exit 1
 fi
 
+extract_makespan() {
+  awk -F'"makespan_s": ' '
+    /"workload": "stress-100k"/ && /"scheduler": "DHA"/ {
+      split($2, a, ","); print a[1]; exit
+    }' "$1"
+}
+
+gate() {
+  local label="$1" current="$2"
+  echo "stress-100k DHA wall [$label]: baseline ${baseline}s, current ${current}s (tolerance ${tolerance})"
+  awk -v base="$baseline" -v cur="$current" -v tol="$tolerance" 'BEGIN {
+    limit = base * (1 + tol)
+    if (cur > limit) {
+      printf "FAIL: %.3fs exceeds %.3fs (baseline %.3fs + %.0f%%)\n", cur, limit, base, tol * 100
+      exit 1
+    }
+    printf "OK: %.3fs <= %.3fs\n", cur, limit
+  }'
+}
+
 echo "==> running e2e throughput benchmark (tracing and metrics disabled)"
-cargo run --release -q -p unifaas-bench --bin e2e_throughput
+cargo run --release -q -p unifaas-bench --bin e2e_throughput -- --smoke
 
 current=$(extract BENCH_e2e.json)
+makespan_single=$(extract_makespan BENCH_e2e.json)
 git checkout -- BENCH_e2e.json 2>/dev/null || true
+gate "single-queue" "$current"
 
-echo "stress-100k DHA wall: baseline ${baseline}s, current ${current}s (tolerance ${tolerance})"
-awk -v base="$baseline" -v cur="$current" -v tol="$tolerance" 'BEGIN {
-  limit = base * (1 + tol)
-  if (cur > limit) {
-    printf "FAIL: %.3fs exceeds %.3fs (baseline %.3fs + %.0f%%)\n", cur, limit, base, tol * 100
-    exit 1
-  }
-  printf "OK: %.3fs <= %.3fs\n", cur, limit
-}'
+# The same gate against the sharded event engine: an execution strategy,
+# not a semantic change, so it must stay inside the overhead envelope
+# AND reproduce the simulated outcome (makespan column) exactly.
+echo "==> running e2e throughput benchmark (sharded engine, 5 shards)"
+cargo run --release -q -p unifaas-bench --bin e2e_throughput -- --smoke --shards 5
+
+current=$(extract BENCH_e2e.json)
+makespan_sharded=$(extract_makespan BENCH_e2e.json)
+git checkout -- BENCH_e2e.json 2>/dev/null || true
+gate "sharded" "$current"
+
+if [ "$makespan_single" != "$makespan_sharded" ]; then
+  echo "FAIL: sharded engine changed stress-100k DHA makespan" \
+       "(${makespan_single}s -> ${makespan_sharded}s)" >&2
+  exit 1
+fi
+echo "OK: sharded makespan identical (${makespan_sharded}s)"

@@ -118,4 +118,105 @@ proptest! {
         let report = SimRuntime::new(cfg, dag).run().unwrap();
         prop_assert_eq!(report.tasks_completed, n);
     }
+
+    /// The sharded event engine is an execution strategy, not a semantic
+    /// change: across random topologies, seeds and outage windows, a run
+    /// on the per-endpoint sharded engine must deliver the exact event
+    /// sequence of the single-queue reference — witnessed by equal
+    /// determinism digests (which cover event and decision counts,
+    /// placements, makespan and transfer totals).
+    #[test]
+    fn sharded_engine_matches_single_shard(
+        strategy in arb_strategy(),
+        layers in 1usize..5,
+        width in 1usize..8,
+        edge_prob in 0.1f64..0.8,
+        seed in 0u64..10_000,
+        shards in 2usize..9,
+        outage_ep in 0usize..3, // 2 = no outage
+        outage_from in 50u64..500,
+        outage_len in 50u64..500,
+    ) {
+        let outage = (outage_ep < 2).then_some((outage_ep, outage_from, outage_len));
+        let dag = generate(&RandomDagParams {
+            n_layers: layers,
+            min_width: 1,
+            max_width: width,
+            edge_prob,
+            mean_seconds: 15.0,
+            mean_output_bytes: 20 << 20,
+            seed,
+        });
+        let build = |engine_shards: usize| {
+            let mut b = Config::builder()
+                .endpoint(EndpointConfig::new("a", ClusterSpec::qiming(), 6))
+                .endpoint(EndpointConfig::new("b", ClusterSpec::taiyi(), 4))
+                .strategy(strategy.clone())
+                .retries(25, 25)
+                .seed(seed)
+                .engine_shards(engine_shards);
+            if let Some((ep, from, len)) = outage {
+                b = b.outage(ep, from, from + len);
+            }
+            b.build()
+        };
+        let single = SimRuntime::new(build(1), dag.clone()).run().unwrap();
+        let sharded = SimRuntime::new(build(shards), dag).run().unwrap();
+        prop_assert_eq!(
+            single.determinism_digest(),
+            sharded.determinism_digest(),
+            "sharded engine diverged (seed={}, shards={}, outage={:?})",
+            seed, shards, outage
+        );
+        prop_assert_eq!(single.events_processed, sharded.events_processed);
+        prop_assert_eq!(single.makespan, sharded.makespan);
+    }
+
+    /// The SoA task arena as a model target: `validate_counters` makes
+    /// the runtime re-derive its aggregate counters from a full arena
+    /// scan on every periodic tick and panic on drift, so completing a
+    /// random faulty run under it checks the arena's per-task state
+    /// machine against the event stream. Running twice must also
+    /// reproduce the digest bit-for-bit (arena layout cannot leak
+    /// iteration-order nondeterminism).
+    #[test]
+    fn arena_counters_reconcile_under_faults(
+        strategy in arb_strategy(),
+        transfer_p in 0.0f64..0.2,
+        task_p in 0.0f64..0.15,
+        seed in 0u64..10_000,
+        outage_ep in 0usize..3, // 2 = no outage
+        outage_from in 50u64..400,
+        outage_len in 50u64..400,
+    ) {
+        let outage = (outage_ep < 2).then_some((outage_ep, outage_from, outage_len));
+        let dag = generate(&RandomDagParams {
+            n_layers: 3,
+            min_width: 2,
+            max_width: 6,
+            edge_prob: 0.4,
+            mean_seconds: 10.0,
+            mean_output_bytes: 15 << 20,
+            seed,
+        });
+        let n = dag.len();
+        let build = || {
+            let mut b = Config::builder()
+                .endpoint(EndpointConfig::new("a", ClusterSpec::qiming(), 8))
+                .endpoint(EndpointConfig::new("b", ClusterSpec::taiyi(), 8))
+                .strategy(strategy.clone())
+                .faults(transfer_p, task_p)
+                .retries(25, 25)
+                .seed(seed)
+                .validate_counters(true);
+            if let Some((ep, from, len)) = outage {
+                b = b.outage(ep, from, from + len);
+            }
+            b.build()
+        };
+        let a = SimRuntime::new(build(), dag.clone()).run().unwrap();
+        let b = SimRuntime::new(build(), dag).run().unwrap();
+        prop_assert_eq!(a.tasks_completed, n);
+        prop_assert_eq!(a.determinism_digest(), b.determinism_digest());
+    }
 }
