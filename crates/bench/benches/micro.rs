@@ -13,27 +13,138 @@ use taskgraph::workloads::random::{generate as random_dag, RandomDagParams};
 use taskgraph::TaskId;
 
 fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_10k", |b| {
+    // Calendar wheel vs binary-heap reference on identical traffic: the
+    // classic hold model. Preload 10k pending events (the working set a
+    // stress run actually carries), then run a pop-one/schedule-one steady
+    // state where each new event lands a short, sim-shaped delay past the
+    // event just delivered. The heap pays O(log n) sifts against the full
+    // working set on every operation; the wheel pays O(1) bucket pushes.
+    fn delays(n: u64) -> Vec<u64> {
+        let mut rng = SimRng::seed_from_u64(1);
+        (0..n)
+            .map(|_| (rng.uniform01() * 5e6) as u64) // 0–5 s, sim-typical
+            .collect()
+    }
+    fn hold(q: &mut EventQueue<usize>, delays: &[u64]) -> usize {
+        for (i, d) in delays.iter().enumerate() {
+            q.schedule(SimTime::from_micros(*d), i);
+        }
+        let mut count = 0;
+        for (i, d) in delays.iter().enumerate() {
+            let (now, _) = q.pop().expect("queue holds 10k events");
+            q.schedule(SimTime::from_micros(now.as_micros() + *d), i);
+            count += 1;
+        }
+        while q.pop().is_some() {
+            count += 1;
+        }
+        count
+    }
+    c.bench_function("event_queue_schedule_pop_wheel", |b| {
         b.iter_batched(
-            || {
-                let mut rng = SimRng::seed_from_u64(1);
-                (0..10_000u64)
-                    .map(|_| SimTime::from_micros((rng.uniform01() * 1e9) as u64))
-                    .collect::<Vec<_>>()
-            },
-            |times| {
-                let mut q = EventQueue::new();
-                for (i, t) in times.iter().enumerate() {
-                    q.schedule(*t, i);
-                }
-                let mut count = 0;
-                while q.pop().is_some() {
-                    count += 1;
-                }
-                count
-            },
+            || delays(10_000),
+            |d| hold(&mut EventQueue::new(), &d),
             BatchSize::SmallInput,
         )
+    });
+    c.bench_function("event_queue_schedule_pop_heap", |b| {
+        b.iter_batched(
+            || delays(10_000),
+            |d| hold(&mut EventQueue::new_reference_heap(), &d),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sched_hooks(c: &mut Criterion) {
+    use fedci::endpoint::EndpointId;
+    use fedci::network::{Link, NetworkTopology};
+    use fedci::storage::DataStore;
+    use fedci::transfer::TransferMechanism;
+    use taskgraph::{Dag, TaskSpec};
+    use unifaas::data::NoTransferLoad;
+    use unifaas::monitor::{EndpointMonitor, MockEndpoint};
+    use unifaas::profile::{EndpointFeatures, OracleProfiler};
+    use unifaas::sched::{capacity::CapacityScheduler, SchedCtx, Scheduler};
+
+    // The batched-hook dividend: pushing one 256-task same-timestamp ready
+    // run through the Capacity scheduler as a single `on_tasks_ready` call
+    // (one SchedCtx, one action drain — what the batched runtime pays) vs
+    // 256 separate hook invocations each with its own SchedCtx build and
+    // action drain (what the per-task runtime used to pay). The decisions
+    // and the resulting action list are identical.
+    let mut dag = Dag::new();
+    let f = dag.register_function("f");
+    let tasks: Vec<TaskId> = (0..256)
+        .map(|_| dag.add_task(TaskSpec::compute(f, 1.0), &[]))
+        .collect();
+    let monitor = EndpointMonitor::new(vec![
+        MockEndpoint::new(EndpointId(0), "a", 64, 1.0),
+        MockEndpoint::new(EndpointId(1), "b", 64, 1.0),
+    ]);
+    let store = DataStore::new();
+    let oracle = OracleProfiler::new(
+        NetworkTopology::uniform(2, Link::wan()),
+        TransferMechanism::Globus.default_params(),
+    );
+    let features: Vec<EndpointFeatures> = (0..2)
+        .map(|i| EndpointFeatures {
+            id: EndpointId(i as u16),
+            cores: 16,
+            cpu_ghz: 2.6,
+            ram_gb: 64,
+            speed_factor: 1.0,
+        })
+        .collect();
+    let compute = [EndpointId(0), EndpointId(1)];
+    let ctx = |actions: Vec<_>| {
+        SchedCtx::new(
+            SimTime::ZERO,
+            &dag,
+            &monitor,
+            &store,
+            &oracle,
+            &features,
+            EndpointId(0),
+            &compute,
+            &NoTransferLoad,
+            0,
+        )
+        .with_action_buf(actions)
+    };
+    let prime = |sched: &mut CapacityScheduler| {
+        let mut c = ctx(Vec::new());
+        sched.on_tasks_added(&mut c, &tasks);
+        c.take_actions()
+    };
+
+    c.bench_function("hook_batch_vs_single/batched_256", |b| {
+        let mut sched = CapacityScheduler::new();
+        let mut buf = prime(&mut sched);
+        b.iter(|| {
+            buf.clear();
+            let mut c = ctx(std::mem::take(&mut buf));
+            let n = sched.on_tasks_ready(&mut c, &tasks);
+            buf = c.take_actions();
+            assert_eq!(n, tasks.len());
+            buf.len()
+        })
+    });
+    c.bench_function("hook_batch_vs_single/single_256", |b| {
+        let mut sched = CapacityScheduler::new();
+        let mut buf = prime(&mut sched);
+        let mut out: Vec<_> = Vec::new();
+        b.iter(|| {
+            out.clear();
+            for &t in &tasks {
+                buf.clear();
+                let mut c = ctx(std::mem::take(&mut buf));
+                sched.on_task_ready(&mut c, t);
+                buf = c.take_actions();
+                out.append(&mut buf);
+            }
+            out.len()
+        })
     });
 }
 
@@ -248,6 +359,7 @@ fn bench_tracing(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_sched_hooks,
     bench_dag_analytics,
     bench_models,
     bench_data_manager,

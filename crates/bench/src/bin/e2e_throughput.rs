@@ -71,11 +71,13 @@ fn run(
     metrics: bool,
     metrics_out: Option<&str>,
     shards: usize,
+    reference_queue: bool,
 ) -> Row {
     let tasks = dag.len();
     let mut cfg = pool.build();
     cfg.strategy = strategy;
     cfg.engine_shards = shards;
+    cfg.engine_reference_queue = reference_queue;
     let alloc0 = alloc_snapshot();
     let t0 = Instant::now();
     let mut runtime = SimRuntime::new(cfg, dag).with_metrics(metrics);
@@ -119,6 +121,10 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut smoke = false;
     let mut shards = 1usize;
+    let mut reference_queue = false;
+    let mut only: Option<String> = None;
+    let mut only_sched: Option<String> = None;
+    let mut out_path = "BENCH_e2e.json".to_string();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -130,6 +136,10 @@ fn main() {
                     .parse()
                     .expect("bad --shards")
             }
+            "--reference-queue" => reference_queue = true,
+            "--only" => only = it.next().cloned(),
+            "--strategy" => only_sched = it.next().cloned(),
+            "--out" => out_path = it.next().cloned().expect("--out <path>"),
             "--trace-out" => trace_out = it.next().cloned(),
             "--trace-level" => {
                 trace_level = it
@@ -155,64 +165,69 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
 
-    for strategy in all_strategies() {
-        rows.push(run(
+    // `--only` / `--strategy` filter the workload × scheduler matrix so CI
+    // gates (and profiling runs) can pay for exactly one row.
+    let strategy_name = |s: &SchedulingStrategy| match s {
+        SchedulingStrategy::Capacity => "Capacity",
+        SchedulingStrategy::Locality => "Locality",
+        SchedulingStrategy::Dha { .. } => "DHA",
+        _ => "other",
+    };
+    let strategies: Vec<SchedulingStrategy> = all_strategies()
+        .into_iter()
+        .filter(|s| {
+            only_sched
+                .as_deref()
+                .is_none_or(|f| strategy_name(s).eq_ignore_ascii_case(f))
+        })
+        .collect();
+    let wants = |w: &str| only.as_deref().is_none_or(|f| w == f);
+
+    // DAG generators are lazy so a filtered run never builds the
+    // million-task graph it is not going to execute.
+    type DagGen = fn() -> Dag;
+    let workloads: Vec<(&'static str, DagGen, fn() -> ConfigBuilder)> = vec![
+        (
             "drug",
-            drug::generate(&drug::DrugParams::full()),
-            drug_static_pool(),
-            strategy,
-            trace,
-            out,
-            metrics,
-            metrics_out.as_deref(),
-            shards,
-        ));
-    }
-    for strategy in all_strategies() {
-        rows.push(run(
+            (|| drug::generate(&drug::DrugParams::full())) as DagGen,
+            drug_static_pool as fn() -> ConfigBuilder,
+        ),
+        (
             "montage",
-            montage::generate(&montage::MontageParams::full()),
-            montage_static_pool(),
-            strategy,
-            trace,
-            out,
-            metrics,
-            metrics_out.as_deref(),
-            shards,
-        ));
-    }
-    // The 100k-task stress DAG: periodic-tick and data-plane costs that
-    // scale with the number of tasks dominate here, so a quadratic
-    // coordinator shows up as a wall-clock cliff.
-    for strategy in all_strategies() {
-        rows.push(run(
+            || montage::generate(&montage::MontageParams::full()),
+            montage_static_pool,
+        ),
+        // The 100k-task stress DAG: periodic-tick and data-plane costs that
+        // scale with the number of tasks dominate here, so a quadratic
+        // coordinator shows up as a wall-clock cliff.
+        (
             "stress-100k",
-            stress::bag_of_tasks(100_000, 10.0),
-            drug_static_pool(),
-            strategy,
-            trace,
-            out,
-            metrics,
-            metrics_out.as_deref(),
-            shards,
-        ));
-    }
-    // A million tasks in four dependent layers: the batched-EFT
-    // reschedule path, arena state and sharded-queue bookkeeping at full
-    // scale. Dropped in smoke runs — these rows dominate the binary's
-    // runtime.
-    if !smoke {
-        for strategy in all_strategies() {
+            || stress::bag_of_tasks(100_000, 10.0),
+            drug_static_pool,
+        ),
+        // A million tasks in four dependent layers: the batched-EFT
+        // reschedule path, arena state and sharded-queue bookkeeping at
+        // full scale. Dropped in smoke runs — these rows dominate the
+        // binary's runtime.
+        ("stress-1m", stress::million, drug_static_pool),
+    ];
+
+    for (name, gen, pool) in workloads {
+        if !wants(name) || (smoke && name == "stress-1m") {
+            continue;
+        }
+        for strategy in strategies.clone() {
             rows.push(run(
-                "stress-1m",
-                stress::million(),
-                drug_static_pool(),
+                name,
+                gen(),
+                pool(),
                 strategy,
                 trace,
                 out,
                 metrics,
                 metrics_out.as_deref(),
                 shards,
+                reference_queue,
             ));
         }
     }
@@ -271,6 +286,6 @@ fn main() {
         );
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_e2e.json", &json).expect("write BENCH_e2e.json");
-    println!("\nwrote BENCH_e2e.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_e2e.json");
+    println!("\nwrote {out_path}");
 }

@@ -16,10 +16,8 @@
 //!   single-queue engine; the win is smaller per-shard heaps and long
 //!   same-shard drain runs that never touch the other heaps.
 
-use crate::event::{EventId, EventQueue};
+use crate::event::{EventId, EventQueue, EventSlab, OrderCore, Pending};
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// The scheduling surface shared by [`Engine`] and [`ShardedEngine`].
 ///
@@ -73,10 +71,22 @@ impl<E> Default for Engine<E> {
 }
 
 impl<E> Engine<E> {
-    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    /// Creates an engine with the clock at [`SimTime::ZERO`], on the
+    /// default calendar-wheel event queue.
     pub fn new() -> Self {
+        Self::with_queue(EventQueue::new())
+    }
+
+    /// Creates an engine on the reference binary-heap event queue.
+    /// Delivery order is identical to [`Engine::new`]; this exists so
+    /// digest gates and benches can pin the wheel against the heap.
+    pub fn new_reference() -> Self {
+        Self::with_queue(EventQueue::new_reference_heap())
+    }
+
+    fn with_queue(queue: EventQueue<E>) -> Self {
         Engine {
-            queue: EventQueue::new(),
+            queue,
             now: SimTime::ZERO,
             processed: 0,
             stats: EngineStats::default(),
@@ -203,42 +213,11 @@ impl<E> EventSink<E> for Engine<E> {
     }
 }
 
-/// One pending event in a shard heap. Ordered by the same global
-/// `(at, seq)` key as [`EventQueue`] entries, inverted for min-heap use.
-struct ShardEntry<E> {
-    at: SimTime,
-    seq: u64,
-    id: EventId,
-    payload: E,
-}
-
-impl<E> PartialEq for ShardEntry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-impl<E> Eq for ShardEntry<E> {}
-impl<E> PartialOrd for ShardEntry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for ShardEntry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Inverted: BinaryHeap is a max-heap, we want the earliest
-        // (time, seq) on top — identical to `EventQueue`'s ordering.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// The cross-shard horizon: the head `(at, seq)` of the earliest event
-/// in any shard other than the one currently draining. `None` means no
-/// other shard holds a live event, so the current shard may drain
-/// completely.
-type Horizon = Option<(SimTime, u64)>;
+/// The cross-shard horizon: the head `(at µs, seq)` of the earliest
+/// event in any shard other than the one currently draining. `None`
+/// means no other shard holds a live event, so the current shard may
+/// drain completely.
+type Horizon = Option<(u64, u64)>;
 
 /// A sharded discrete-event engine with conservative-lookahead merging.
 ///
@@ -258,11 +237,20 @@ type Horizon = Option<(SimTime, u64)>;
 /// shard heads more often than strictly needed, never deliver out of
 /// order.
 pub struct ShardedEngine<E> {
-    shards: Vec<BinaryHeap<ShardEntry<E>>>,
+    /// Per-shard ordering cores (calendar wheel by default, reference
+    /// heap on request); payloads live in the shared slab.
+    shards: Vec<OrderCore>,
+    /// Live (scheduled, not yet delivered/cancelled) events per shard —
+    /// lets an empty shard's wheel re-anchor before the next insert.
+    shard_live: Vec<usize>,
+    /// Payload slab shared across shards; slot generations provide the
+    /// same lazy cancellation scheme as [`EventQueue`], with slots
+    /// recycled via the free list instead of a monotone `live` table.
+    slab: EventSlab<E>,
+    /// slot → shard, kept in lockstep with the slab so `cancel` can
+    /// decrement the right shard's live count.
+    slot_shard: Vec<u32>,
     route: Box<dyn Fn(&E) -> usize>,
-    /// `EventId` → not-yet-cancelled, lazily consulted on pop (same
-    /// tombstone scheme as [`EventQueue`]).
-    live: Vec<bool>,
     pending: usize,
     next_seq: u64,
     now: SimTime,
@@ -278,11 +266,27 @@ impl<E> ShardedEngine<E> {
     /// mapping each event to its shard (the result is taken modulo
     /// `shards`). `shards` is clamped to at least 1.
     pub fn new(shards: usize, route: impl Fn(&E) -> usize + 'static) -> Self {
+        Self::with_cores(shards, route, OrderCore::wheel)
+    }
+
+    /// Like [`ShardedEngine::new`] but on the reference binary-heap
+    /// backend, for differential tests against the wheel.
+    pub fn new_reference(shards: usize, route: impl Fn(&E) -> usize + 'static) -> Self {
+        Self::with_cores(shards, route, OrderCore::reference_heap)
+    }
+
+    fn with_cores(
+        shards: usize,
+        route: impl Fn(&E) -> usize + 'static,
+        core: fn() -> OrderCore,
+    ) -> Self {
         let n = shards.max(1);
         ShardedEngine {
-            shards: (0..n).map(|_| BinaryHeap::new()).collect(),
+            shards: (0..n).map(|_| core()).collect(),
+            shard_live: vec![0; n],
+            slab: EventSlab::new(),
+            slot_shard: Vec::new(),
             route: Box::new(route),
-            live: Vec::new(),
             pending: 0,
             next_seq: 0,
             now: SimTime::ZERO,
@@ -333,20 +337,33 @@ impl<E> ShardedEngine<E> {
         let shard = (self.route)(&event) % self.shards.len();
         let seq = self.next_seq;
         self.next_seq += 1;
-        let id = EventId(self.live.len() as u64);
-        self.live.push(true);
+        let id = self.slab.insert(event);
+        let slot = id.slot() as usize;
+        if slot >= self.slot_shard.len() {
+            debug_assert_eq!(slot, self.slot_shard.len());
+            self.slot_shard.push(shard as u32);
+        } else {
+            self.slot_shard[slot] = shard as u32;
+        }
+        let at_us = at.as_micros();
+        if self.shard_live[shard] == 0 {
+            // This shard's wheel holds no live events: re-position its
+            // window so the insert lands in a rung, not the overflow heap.
+            self.shards[shard].re_anchor(at_us);
+        }
+        self.shard_live[shard] += 1;
         self.pending += 1;
         // A new event in a *different* shard may move the cross-shard
         // horizon earlier; its seq is the largest ever so a tie on `at`
         // never beats the cached head.
-        if shard != self.cur && self.horizon.is_none_or(|(hat, _)| at < hat) {
-            self.horizon = Some((at, seq));
+        if shard != self.cur && self.horizon.is_none_or(|(hat, _)| at_us < hat) {
+            self.horizon = Some((at_us, seq));
         }
-        self.shards[shard].push(ShardEntry {
-            at,
+        self.shards[shard].insert(Pending {
+            at: at_us,
             seq,
-            id,
-            payload: event,
+            slot: id.slot(),
+            generation: id.generation(),
         });
         self.stats.scheduled += 1;
         self.stats.max_pending = self.stats.max_pending.max(self.pending);
@@ -360,34 +377,27 @@ impl<E> ShardedEngine<E> {
 
     /// Cancels a pending event. Returns true if it had not yet fired.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        let slot = self.live.get_mut(id.0 as usize);
-        match slot {
-            Some(l) if *l => {
-                *l = false;
-                self.pending -= 1;
-                self.stats.cancelled += 1;
-                true
-            }
-            _ => false,
+        if self.slab.cancel(id) {
+            let shard = self.slot_shard[id.slot() as usize] as usize;
+            self.shard_live[shard] -= 1;
+            self.pending -= 1;
+            self.stats.cancelled += 1;
+            true
+        } else {
+            false
         }
     }
 
-    /// Discards cancelled entries at the top of shard `s` and returns
-    /// its live head key.
-    fn clean_head(&mut self, s: usize) -> Option<(SimTime, u64)> {
-        while let Some(e) = self.shards[s].peek() {
-            if self.live[e.id.0 as usize] {
-                return Some((e.at, e.seq));
-            }
-            self.shards[s].pop();
-        }
-        None
+    /// Live head key of shard `s` (stale entries are scrubbed lazily by
+    /// the core).
+    fn clean_head(&mut self, s: usize) -> Option<(u64, u64)> {
+        self.shards[s].peek_next(&self.slab).map(|p| (p.at, p.seq))
     }
 
     /// Re-scans every shard head: the earliest becomes the current
     /// shard, the second-earliest the new horizon.
     fn rescan(&mut self) -> bool {
-        let mut best: Option<(SimTime, u64, usize)> = None;
+        let mut best: Option<(u64, u64, usize)> = None;
         let mut second: Horizon = None;
         for s in 0..self.shards.len() {
             if let Some((at, seq)) = self.clean_head(s) {
@@ -427,14 +437,21 @@ impl<E> ShardedEngine<E> {
             if !within && !self.rescan() {
                 return None;
             }
-            if let Some(e) = self.shards[self.cur].pop() {
-                debug_assert!(self.live[e.id.0 as usize], "clean_head leaves a live head");
-                self.live[e.id.0 as usize] = false;
+            if let Some(p) = self.shards[self.cur].pop_next(&self.slab) {
+                self.shard_live[self.cur] -= 1;
                 self.pending -= 1;
-                return Some((e.at, e.payload));
+                let payload = self.slab.take(p.slot);
+                return Some((SimTime::from_micros(p.at), payload));
             }
             // `cur` drained and rescan found another shard: loop.
         }
+    }
+
+    /// Number of payload slots ever allocated — bounded by the concurrent
+    /// pending high-water mark (slots recycle through a free list), not
+    /// the lifetime event count.
+    pub fn slot_capacity(&self) -> usize {
+        self.slab.slot_capacity()
     }
 
     /// Delivers the next event, advancing the clock; returns false when

@@ -295,6 +295,11 @@ pub struct Config {
     /// Delivery order — and every determinism digest — is identical either
     /// way; this only trades heap sizes for merge bookkeeping.
     pub engine_shards: usize,
+    /// Run the event engine on the reference binary-heap queue instead of
+    /// the default calendar wheel. Delivery order — and every determinism
+    /// digest — is identical either way; the flag exists so CI and
+    /// differential tests can pin the wheel against the heap baseline.
+    pub engine_reference_queue: bool,
     /// Record utilization time-series (busy/active workers, staging and
     /// pending task counts) during the run. Default on; large-scale
     /// throughput benchmarks turn it off to shave per-event overhead.
@@ -410,6 +415,7 @@ impl Default for ConfigBuilder {
                 seed: 0x05E5,
                 validate_counters: false,
                 engine_shards: 1,
+                engine_reference_queue: false,
                 record_series: true,
             },
         }
@@ -522,6 +528,13 @@ impl ConfigBuilder {
     /// [`Config::validate_counters`]).
     pub fn validate_counters(mut self, yes: bool) -> Self {
         self.config.validate_counters = yes;
+        self
+    }
+
+    /// Runs the engine on the reference binary-heap event queue (see
+    /// [`Config::engine_reference_queue`]).
+    pub fn engine_reference_queue(mut self, yes: bool) -> Self {
+        self.config.engine_reference_queue = yes;
         self
     }
 

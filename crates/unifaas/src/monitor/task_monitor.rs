@@ -12,13 +12,16 @@ use simkit::OnlineStats;
 use std::collections::HashMap;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 /// One observed task execution (or transfer — the transfer profiler reuses
 /// this structure with `function_name = "__transfer__/<src>/<dst>"`).
 #[derive(Clone, Debug, PartialEq)]
 pub struct TaskRecord {
-    /// Name of the function executed.
-    pub function: String,
+    /// Name of the function executed. Shared (`Arc<str>`) so the runtime's
+    /// per-completion observation clones an interned name instead of
+    /// allocating a fresh `String` per task.
+    pub function: Arc<str>,
     /// Endpoint it ran on.
     pub endpoint: EndpointId,
     /// Total input bytes (dependency outputs + external inputs).
@@ -120,7 +123,7 @@ impl HistoryDb {
                 )
             };
             db.push(TaskRecord {
-                function: fields[0].clone(),
+                function: Arc::from(fields[0].as_str()),
                 endpoint: EndpointId(fields[1].parse().map_err(|_| parse_err("endpoint"))?),
                 input_bytes: fields[2].parse().map_err(|_| parse_err("input_bytes"))?,
                 duration_seconds: fields[3]

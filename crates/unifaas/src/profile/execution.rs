@@ -77,7 +77,7 @@ impl FunctionModel {
 
 /// Per-function execution-time and output-size models.
 pub struct ExecutionProfiler {
-    models: HashMap<String, FunctionModel>,
+    models: HashMap<std::sync::Arc<str>, FunctionModel>,
     family: ModelFamily,
     forest_params: RandomForestParams,
     history_rows_seen: usize,
@@ -120,7 +120,7 @@ impl ExecutionProfiler {
     /// for functions that gained data.
     pub fn retrain(&mut self, history: &HistoryDb) {
         let records = history.records();
-        let mut touched: Vec<String> = Vec::new();
+        let mut touched: Vec<std::sync::Arc<str>> = Vec::new();
         for rec in &records[self.history_rows_seen.min(records.len())..] {
             if !rec.success {
                 continue;

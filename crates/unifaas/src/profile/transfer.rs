@@ -142,7 +142,7 @@ mod tests {
 
     fn xfer_record(src: u16, dst: u16, bytes: u64, dur: f64) -> TaskRecord {
         TaskRecord {
-            function: transfer_record_name(EndpointId(src), EndpointId(dst)),
+            function: transfer_record_name(EndpointId(src), EndpointId(dst)).into(),
             endpoint: EndpointId(dst),
             input_bytes: bytes,
             duration_seconds: dur,

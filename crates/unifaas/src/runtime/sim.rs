@@ -44,11 +44,17 @@ use simkit::series::SeriesHandle;
 use simkit::trace::{LabelId, TraceLevel, Tracer};
 use simkit::{Engine, EngineStats, EventSink, ShardedEngine, SimDuration, SimRng, SimTime};
 use std::collections::{HashMap, VecDeque};
-use taskgraph::{Dag, TaskId};
+use std::sync::Arc;
+use taskgraph::{Dag, FunctionId, TaskId};
 
 /// How many new monitor records accumulate before the learned profilers
 /// retrain.
 const RETRAIN_EVERY: usize = 64;
+
+/// Upper bound on the spare action/decision buffers kept for recycling.
+/// Nesting depth of `sched` re-entry is small; anything beyond this is a
+/// leak guard, not a tuning knob.
+const SCRATCH_POOL: usize = 8;
 
 /// Simulation events.
 #[derive(Debug)]
@@ -266,19 +272,28 @@ impl SimRuntime {
     pub fn run(self) -> Result<RunReport, UniFaasError> {
         self.cfg.validate()?;
         let shards = self.cfg.engine_shards;
+        let reference = self.cfg.engine_reference_queue;
         let mut rt = Rt::build(self)?;
         if shards > 1 {
             // Sharded path: per-endpoint event queues merged by the exact
             // global (time, seq) order, so delivery — and the determinism
             // digest — is bit-identical to the single-queue engine.
-            let mut engine: ShardedEngine<Ev> = ShardedEngine::new(shards, shard_of);
+            let mut engine: ShardedEngine<Ev> = if reference {
+                ShardedEngine::new_reference(shards, shard_of)
+            } else {
+                ShardedEngine::new(shards, shard_of)
+            };
             rt.bootstrap(&mut engine);
             let mut handler =
                 |now: SimTime, ev: Ev, eng: &mut ShardedEngine<Ev>| rt.handle(now, ev, eng);
             while engine.step(&mut handler) {}
             rt.finish(engine.processed(), engine.stats())
         } else {
-            let mut engine: Engine<Ev> = Engine::new();
+            let mut engine: Engine<Ev> = if reference {
+                Engine::new_reference()
+            } else {
+                Engine::new()
+            };
             rt.bootstrap(&mut engine);
             let mut handler = |now: SimTime, ev: Ev, eng: &mut Engine<Ev>| rt.handle(now, ev, eng);
             while engine.step(&mut handler) {}
@@ -581,6 +596,19 @@ struct Rt {
     staging_count: usize,
     /// Reusable buffer for transfers started by one staging request.
     xfer_scratch: Vec<StartedXfer>,
+    /// Spare `SchedAction` buffers recycled across scheduler hook calls.
+    /// A small stack, not a single slot: applying actions can re-enter
+    /// `sched` (staging completion → dispatch), and each nesting level
+    /// needs its own buffer.
+    action_bufs: Vec<Vec<SchedAction>>,
+    /// Spare `DecisionRecord` buffers (populated on traced runs only).
+    decision_bufs: Vec<Vec<DecisionRecord>>,
+    /// Reusable buffer of tasks that turned Ready within one event, fed to
+    /// the batched `on_tasks_ready` hook.
+    ready_scratch: Vec<TaskId>,
+    /// Interned function names (indexed by `FunctionId`) so each completed
+    /// task's monitor record clones an `Arc<str>` instead of allocating.
+    fn_names: Vec<Arc<str>>,
     completed: usize,
     failed_attempts: usize,
     fatal: Option<UniFaasError>,
@@ -801,6 +829,10 @@ impl Rt {
             unassigned_work: 0.0,
             staging_count: 0,
             xfer_scratch: Vec::new(),
+            action_bufs: Vec::new(),
+            decision_bufs: Vec::new(),
+            ready_scratch: Vec::new(),
+            fn_names: Vec::new(),
             completed: 0,
             failed_attempts: 0,
             fatal: None,
@@ -951,32 +983,42 @@ impl Rt {
             self.faas.max_payload_bytes,
         )
         .with_health(&self.health)
-        .with_decision_trace(trace_on);
+        .with_decision_trace(trace_on)
+        .with_action_buf(self.action_bufs.pop().unwrap_or_default())
+        .with_decision_buf(self.decision_bufs.pop().unwrap_or_default());
         f(self.scheduler.as_mut(), &mut ctx);
         let actions = ctx.take_actions();
         self.sched_wall += t0.elapsed();
         self.sched_calls += 1;
+        let mut decisions = ctx.take_decisions();
         if trace_on {
-            let decisions = ctx.take_decisions();
             let tr = self.trace.as_deref_mut().expect("trace_on implies trace");
-            for d in decisions {
+            for d in decisions.drain(..) {
                 tr.push_decision(d);
             }
+        }
+        if self.decision_bufs.len() < SCRATCH_POOL {
+            self.decision_bufs.push(decisions);
         }
         actions
     }
 
     fn process_actions(
         &mut self,
-        actions: Vec<SchedAction>,
+        mut actions: Vec<SchedAction>,
         now: SimTime,
         eng: &mut dyn EventSink<Ev>,
     ) {
-        for a in actions {
+        for a in actions.drain(..) {
             match a {
                 SchedAction::Stage { task, ep } => self.do_stage(task, ep, false, now, eng),
                 SchedAction::Dispatch { task, ep } => self.do_dispatch(task, ep, now, eng),
             }
+        }
+        // Hand the drained buffer back to `sched` for the next hook call:
+        // the steady-state schedule→act cycle then allocates no `Vec`s.
+        if self.action_bufs.len() < SCRATCH_POOL {
+            self.action_bufs.push(actions);
         }
     }
 
@@ -1414,18 +1456,24 @@ impl Rt {
         }
     }
 
-    /// Gives the scheduler a chance to use idle workers on `ep`.
+    /// Gives the scheduler a chance to use idle workers on `ep`. One
+    /// batched `on_workers_idle` call covers every believed-idle slot —
+    /// each dispatch the scheduler emits occupies one mock slot when
+    /// applied, so the slot count equals the number of per-slot hook
+    /// calls the unbatched loop would have made. Still bounded by the
+    /// believed idle count so a scheduler that keeps emitting actions
+    /// without filling slots cannot spin forever.
     fn worker_idle_loop(&mut self, ep: EndpointId, now: SimTime, eng: &mut dyn EventSink<Ev>) {
         if self.fatal.is_some() {
             return;
         }
-        // Bounded by believed idle workers so a scheduler that keeps
-        // emitting actions cannot spin forever.
         for _ in 0..self.monitor.mock(ep).idle_workers().max(1) {
-            if self.monitor.mock(ep).idle_workers() == 0 {
+            let idle = self.monitor.mock(ep).idle_workers();
+            if idle == 0 || !self.scheduler.has_idle_work(ep) {
                 break;
             }
-            let actions = self.sched(now, |s, ctx| s.on_worker_idle(ctx, ep));
+            let batch = [(ep, idle)];
+            let actions = self.sched(now, |s, ctx| s.on_workers_idle(ctx, &batch));
             if actions.is_empty() {
                 break;
             }
@@ -1481,6 +1529,7 @@ impl Rt {
 
         // Observe: stream the record into the task monitor.
         let spec = self.dag.spec(t);
+        let (func, output_bytes) = (spec.function, spec.output_bytes);
         let input_bytes: u64 = self
             .dag
             .preds(t)
@@ -1488,16 +1537,17 @@ impl Rt {
             .map(|p| self.dag.spec(*p).output_bytes)
             .sum::<u64>()
             + spec.external_input_bytes;
+        let function = self.function_arc(func);
         let f = &self.features[ep.index()];
         let duration = self.tasks.t_exec_end[t.index()]
             .saturating_since(self.tasks.t_exec_start[t.index()])
             .as_secs_f64();
         self.task_monitor.observe(TaskRecord {
-            function: self.dag.function_name(spec.function).to_string(),
+            function,
             endpoint: ep,
             input_bytes,
             duration_seconds: duration,
-            output_bytes: spec.output_bytes,
+            output_bytes,
             cores: f.cores,
             cpu_ghz: f.cpu_ghz,
             ram_gb: f.ram_gb,
@@ -1540,14 +1590,18 @@ impl Rt {
                 }
             }
             // Dependencies resolve when the *client* observes the result
-            // (it orchestrates successor staging).
-            let succs: Vec<TaskId> = self.dag.succs(t).to_vec();
-            for s in succs {
+            // (it orchestrates successor staging). Indexed re-borrow per
+            // successor instead of cloning the slice: the adjacency list
+            // and `deps_remaining` are both fields of `self`.
+            debug_assert!(self.ready_scratch.is_empty());
+            for i in 0..self.dag.succs(t).len() {
+                let s = self.dag.succs(t)[i];
                 self.deps_remaining[s.index()] -= 1;
                 if self.deps_remaining[s.index()] == 0 {
-                    self.mark_ready(s, now, eng);
+                    self.ready_scratch.push(s);
                 }
             }
+            self.mark_ready_batch(now, eng);
         } else {
             self.failed_attempts += 1;
             self.task_attempt_failed(t, ep, now, eng);
@@ -1564,6 +1618,44 @@ impl Rt {
         self.tasks.t_ready[t.index()] = now;
         let actions = self.sched(now, |s, ctx| s.on_task_ready(ctx, t));
         self.process_actions(actions, now, eng);
+    }
+
+    /// Batched counterpart of [`SimRuntime::mark_ready`] over the tasks in
+    /// `ready_scratch`: all of them turn Ready at `now`, then the
+    /// scheduler is driven through `on_tasks_ready` under the
+    /// consume-a-prefix contract — each call consumes ≥ 1 task, the
+    /// emitted actions are applied, and the hook re-enters with the
+    /// unconsumed suffix. For schedulers on the default (per-task) hook
+    /// this is call-for-call identical to a `mark_ready` loop; batching-
+    /// aware schedulers coalesce hook overhead across a same-timestamp
+    /// run without changing any decision.
+    fn mark_ready_batch(&mut self, now: SimTime, eng: &mut dyn EventSink<Ev>) {
+        if self.fatal.is_some() || self.ready_scratch.is_empty() {
+            self.ready_scratch.clear();
+            return;
+        }
+        let mut ready = std::mem::take(&mut self.ready_scratch);
+        for &t in &ready {
+            self.set_state(t, TaskState::Ready, now);
+            self.tasks.t_ready[t.index()] = now;
+        }
+        let mut i = 0;
+        while i < ready.len() && self.fatal.is_none() {
+            let rest = &ready[i..];
+            let mut consumed = 0usize;
+            let actions = self.sched(now, |s, ctx| {
+                consumed = s.on_tasks_ready(ctx, rest);
+            });
+            debug_assert!(
+                consumed >= 1 && consumed <= rest.len(),
+                "on_tasks_ready must consume a non-empty prefix ({consumed} of {})",
+                rest.len()
+            );
+            self.process_actions(actions, now, eng);
+            i += consumed.clamp(1, rest.len());
+        }
+        ready.clear();
+        self.ready_scratch = ready;
     }
 
     fn task_attempt_failed(
@@ -1694,6 +1786,19 @@ impl Rt {
                     .observe(self.mh.exec_hist[ep.index()], execution);
             }
         }
+    }
+
+    /// Interned name of function `f`. The cache extends lazily because
+    /// dynamic DAG growth can register new functions mid-run.
+    fn function_arc(&mut self, f: FunctionId) -> Arc<str> {
+        let i = f.0 as usize;
+        if i >= self.fn_names.len() {
+            for j in self.fn_names.len()..self.dag.n_functions() {
+                self.fn_names
+                    .push(Arc::from(self.dag.function_name(FunctionId(j as u16))));
+            }
+        }
+        self.fn_names[i].clone()
     }
 
     fn maybe_retrain(&mut self) {
@@ -2010,15 +2115,17 @@ impl Rt {
         // Feed the monitor a failed record so §IV-G retry targeting learns
         // which endpoints strand straggler attempts.
         let spec = self.dag.spec(t);
+        let (func, output_bytes) = (spec.function, spec.output_bytes);
+        let function = self.function_arc(func);
         let f = &self.features[ep.index()];
         self.task_monitor.observe(TaskRecord {
-            function: self.dag.function_name(spec.function).to_string(),
+            function,
             endpoint: ep,
             input_bytes: 0,
             duration_seconds: now
                 .saturating_since(self.tasks.t_exec_start[t.index()])
                 .as_secs_f64(),
-            output_bytes: spec.output_bytes,
+            output_bytes,
             cores: f.cores,
             cpu_ghz: f.cpu_ghz,
             ram_gb: f.ram_gb,
@@ -2050,11 +2157,13 @@ impl Rt {
         self.init_deps(&added);
         let actions = self.sched(now, |s, ctx| s.on_tasks_added(ctx, &added));
         self.process_actions(actions, now, eng);
+        debug_assert!(self.ready_scratch.is_empty());
         for &t in &added {
             if self.deps_remaining[t.index()] == 0 {
-                self.mark_ready(t, now, eng);
+                self.ready_scratch.push(t);
             }
         }
+        self.mark_ready_batch(now, eng);
     }
 
     fn register_inputs(&mut self, tasks: &[TaskId]) {
@@ -2109,7 +2218,7 @@ impl Rt {
                         .lone_transfer_duration(bytes, src, dst)
                         .as_secs_f64();
                     self.task_monitor.observe(TaskRecord {
-                        function: transfer_record_name(src, dst),
+                        function: transfer_record_name(src, dst).into(),
                         endpoint: dst,
                         input_bytes: bytes,
                         duration_seconds: secs,
@@ -2142,11 +2251,13 @@ impl Rt {
 
         let actions = self.sched(now, |s, ctx| s.on_tasks_added(ctx, &all));
         self.process_actions(actions, now, eng);
+        debug_assert!(self.ready_scratch.is_empty());
         for t in all {
             if self.deps_remaining[t.index()] == 0 {
-                self.mark_ready(t, now, eng);
+                self.ready_scratch.push(t);
             }
         }
+        self.mark_ready_batch(now, eng);
 
         // Periodic machinery.
         self.rearm_periodics(eng);
@@ -2213,7 +2324,7 @@ impl Rt {
                         }
                     }
                     self.task_monitor.observe(TaskRecord {
-                        function: transfer_record_name(src, dst),
+                        function: transfer_record_name(src, dst).into(),
                         endpoint: dst,
                         input_bytes: bytes,
                         duration_seconds: secs,
@@ -2278,7 +2389,10 @@ impl Rt {
                     self.mock_sync_armed = true;
                     eng.schedule(now + self.faas.status_sync_interval, Ev::MockSync);
                     // Corrected views may unblock delayed dispatches.
-                    for ep in self.compute_eps.clone() {
+                    // Indexed loop: `compute_eps` is fixed after startup
+                    // and cloning it here would allocate on every sync.
+                    for i in 0..self.compute_eps.len() {
+                        let ep = self.compute_eps[i];
                         self.worker_idle_loop(ep, now, eng);
                     }
                 }

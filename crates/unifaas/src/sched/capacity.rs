@@ -77,6 +77,22 @@ impl Scheduler for CapacityScheduler {
         ctx.stage(task, ep);
     }
 
+    fn has_idle_work(&self, _ep: EndpointId) -> bool {
+        // Capacity dispatches straight from staging completion and never
+        // reacts to idle workers (tasks queue on the endpoint instead).
+        false
+    }
+
+    fn on_tasks_ready(&mut self, ctx: &mut SchedCtx, tasks: &[TaskId]) -> usize {
+        // Each decision reads only the offline partition and endpoint
+        // health — neither is touched by applying `Stage` actions — so a
+        // whole same-timestamp ready run can be consumed in one call.
+        for &task in tasks {
+            self.on_task_ready(ctx, task);
+        }
+        tasks.len()
+    }
+
     fn on_staging_complete(&mut self, ctx: &mut SchedCtx, task: TaskId) {
         // Dispatch immediately; the task queues on the endpoint if all
         // workers are busy (overlapping staging with computation).

@@ -1067,6 +1067,17 @@ impl DhaScheduler {
         self.priorities = priorities(ctx.dag, &rank_costs(ctx));
         self.target.resize(ctx.dag.len(), None);
     }
+
+    /// Allocation-free mirror of `!ctx.task_inputs(task).is_empty()`: does
+    /// this task stage any `RemoteFile`-sized data? Used by the batched
+    /// ready hook to decide where a same-timestamp run must be cut.
+    fn has_file_inputs(ctx: &SchedCtx, task: TaskId) -> bool {
+        ctx.dag.spec(task).external_input_bytes > 0
+            || ctx.dag.preds(task).iter().any(|p| {
+                let b = ctx.dag.spec(*p).output_bytes;
+                b > 0 && b > ctx.inline_limit
+            })
+    }
 }
 
 impl Scheduler for DhaScheduler {
@@ -1176,6 +1187,53 @@ impl Scheduler for DhaScheduler {
         self.commit(task, ep, exec);
         self.pool_enter(task);
         ctx.stage(task, ep);
+    }
+
+    fn on_tasks_ready(&mut self, ctx: &mut SchedCtx, tasks: &[TaskId]) -> usize {
+        // Consume-a-prefix batching. The only placement input that applying
+        // a `Stage` action mutates is the transfer backlog consulted by
+        // `staging_seconds` — availability reads the endpoint mocks plus our
+        // own synchronous `committed` bookkeeping, neither of which a Stage
+        // touches. So the prefix stays bit-identical to the per-task hook
+        // until *both* (a) some already-consumed task had file inputs (its
+        // Stage will grow the backlog once applied) and (b) the next task
+        // also has file inputs (it would read that grown backlog). Cut
+        // there; the runtime applies the pending actions and re-enters with
+        // the rest of the run.
+        let mut backlog_dirty = false;
+        let mut n = 0;
+        for &task in tasks {
+            let has_inputs = Self::has_file_inputs(ctx, task);
+            if backlog_dirty && has_inputs {
+                break;
+            }
+            self.on_task_ready(ctx, task);
+            n += 1;
+            backlog_dirty |= has_inputs;
+        }
+        n
+    }
+
+    fn has_idle_work(&self, ep: EndpointId) -> bool {
+        // The idle hook only ever pops the delay queue for `ep`.
+        !self.staged.is_empty_at(ep)
+    }
+
+    fn on_workers_idle(&mut self, ctx: &mut SchedCtx, idle: &[(EndpointId, usize)]) {
+        // Per idle slot the per-item hook pops one delayed task; it reads
+        // only the scheduler's own staged queue, so the whole run batches
+        // into one call with identical dispatch order.
+        for &(ep, count) in idle {
+            for _ in 0..count {
+                let Some(task) = self.staged.pop(ep) else {
+                    break;
+                };
+                self.uncommit(task);
+                self.drop_task_caches(task);
+                self.pool_leave(task);
+                ctx.dispatch(task, ep);
+            }
+        }
     }
 
     fn on_staging_complete(&mut self, ctx: &mut SchedCtx, task: TaskId) {

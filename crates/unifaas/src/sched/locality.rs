@@ -90,6 +90,31 @@ impl Scheduler for LocalityScheduler {
         self.try_assign(ctx);
     }
 
+    fn on_tasks_ready(&mut self, ctx: &mut SchedCtx, tasks: &[TaskId]) -> usize {
+        // `try_assign` reads the mock idle count minus our own synchronous
+        // `reserved` bookkeeping; applying its `Stage` actions between tasks
+        // changes neither. Enqueue the whole run, then drain once — the
+        // assignments (and their order) match the per-task hook exactly.
+        for &task in tasks {
+            let inputs = ctx.task_inputs(task);
+            self.ready.push_back((task, inputs));
+        }
+        self.try_assign(ctx);
+        tasks.len()
+    }
+
+    fn on_workers_idle(&mut self, ctx: &mut SchedCtx, _idle: &[(EndpointId, usize)]) {
+        // One drain covers every newly idle slot: `try_assign` already loops
+        // until it runs out of ready tasks or available workers, so the
+        // per-slot default would only add no-op re-entries.
+        self.try_assign(ctx);
+    }
+
+    fn has_idle_work(&self, _ep: EndpointId) -> bool {
+        // An idle worker only matters while tasks wait in the ready queue.
+        !self.ready.is_empty()
+    }
+
     fn on_staging_complete(&mut self, ctx: &mut SchedCtx, task: TaskId) {
         let ep = self
             .assigned

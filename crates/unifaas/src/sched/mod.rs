@@ -135,6 +135,24 @@ impl<'a> SchedCtx<'a> {
         self
     }
 
+    /// Seeds the action sink with a recycled buffer (runtime-internal).
+    /// The runtime hands back the buffer it got from
+    /// [`SchedCtx::take_actions`] on the previous hook, cleared, so the
+    /// steady-state hook path allocates no fresh `Vec` per event.
+    pub fn with_action_buf(mut self, buf: Vec<SchedAction>) -> Self {
+        debug_assert!(buf.is_empty());
+        self.actions = buf;
+        self
+    }
+
+    /// Seeds the decision sink with a recycled buffer (runtime-internal);
+    /// same contract as [`SchedCtx::with_action_buf`].
+    pub fn with_decision_buf(mut self, buf: Vec<DecisionRecord>) -> Self {
+        debug_assert!(buf.is_empty());
+        self.decisions = buf;
+        self
+    }
+
     /// Attaches the runtime's endpoint-health view (runtime-internal;
     /// builder-style so existing call sites are unchanged).
     pub fn with_health(mut self, health: &'a HealthMonitor) -> Self {
@@ -247,12 +265,64 @@ pub trait Scheduler {
     /// All of `task`'s dependencies have completed.
     fn on_task_ready(&mut self, ctx: &mut SchedCtx, task: TaskId);
 
+    /// Batched form of [`Scheduler::on_task_ready`]: `tasks` became ready
+    /// at the same instant (the engine delivers same-timestamp event runs
+    /// back-to-back and the runtime coalesces them).
+    ///
+    /// **Consume-a-prefix contract.** The scheduler must place at least
+    /// one task and return how many it consumed; the runtime then applies
+    /// the queued [`SchedAction`]s and calls again with the remainder.
+    /// This lets a scheduler stop early whenever a decision it just made
+    /// must take effect before the next task can be evaluated (e.g. DHA's
+    /// transfer-backlog feedback), while schedulers whose decisions are
+    /// independent consume the whole slice in one call — amortizing the
+    /// per-hook context setup, wall-clock sampling, and action-drain
+    /// overhead across the run.
+    ///
+    /// The default consumes exactly one task via `on_task_ready`, which
+    /// reproduces the unbatched semantics (actions applied between every
+    /// pair of tasks) for schedulers that don't override this.
+    fn on_tasks_ready(&mut self, ctx: &mut SchedCtx, tasks: &[TaskId]) -> usize {
+        self.on_task_ready(ctx, tasks[0]);
+        1
+    }
+
     /// `task`'s inputs are all present at its target endpoint.
     fn on_staging_complete(&mut self, ctx: &mut SchedCtx, task: TaskId);
 
     /// A worker on `ep` became idle (and no endpoint-queued task consumed
     /// it).
     fn on_worker_idle(&mut self, _ctx: &mut SchedCtx, _ep: EndpointId) {}
+
+    /// Batched form of [`Scheduler::on_worker_idle`]: `idle` lists
+    /// endpoints with their current idle-worker counts. Called once per
+    /// drive instead of once per idle slot; a scheduler holding tasks
+    /// ready to dispatch should emit up to `count` dispatches per
+    /// endpoint in one pass. Queued actions are applied after the hook
+    /// returns; the runtime re-invokes while dispatches keep landing.
+    ///
+    /// The default loops `on_worker_idle` once per idle slot, matching
+    /// the unbatched behaviour for schedulers that don't override it
+    /// (hook decisions cannot observe their own queued actions, so
+    /// per-slot interleaving is indistinguishable from this loop).
+    fn on_workers_idle(&mut self, ctx: &mut SchedCtx, idle: &[(EndpointId, usize)]) {
+        for &(ep, count) in idle {
+            for _ in 0..count {
+                self.on_worker_idle(ctx, ep);
+            }
+        }
+    }
+
+    /// Cheap pre-check for the idle-worker hook: could the scheduler do
+    /// anything with an idle worker on `ep` right now? While this returns
+    /// `false` the runtime may skip the `on_worker_idle`/`on_workers_idle`
+    /// round-trip entirely — on large runs that is one saved hook call per
+    /// freed worker slot. Implementations must be conservative (return
+    /// `true` unless certainly idle-indifferent) and side-effect free; the
+    /// default keeps every existing scheduler on the always-invoked path.
+    fn has_idle_work(&self, _ep: EndpointId) -> bool {
+        true
+    }
 
     /// The resource capacity of some endpoint changed.
     fn on_capacity_change(&mut self, _ctx: &mut SchedCtx) {}

@@ -73,6 +73,11 @@ impl Scheduler for PinnedScheduler {
         // queue depth is what drives the elastic scale-out.
         ctx.dispatch(task, ep);
     }
+
+    fn has_idle_work(&self, _ep: EndpointId) -> bool {
+        // Pinned never reacts to idle workers.
+        false
+    }
 }
 
 #[cfg(test)]

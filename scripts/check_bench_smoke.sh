@@ -1,49 +1,95 @@
 #!/usr/bin/env bash
-# Bench-smoke regression gate: run `e2e_throughput --smoke` and fail if
-# the stress-100k DHA events/s throughput regressed more than the given
-# fraction below the committed BENCH_e2e.json baseline.
+# Bench-smoke regression gate, three checks in one script:
+#
+#   1. Throughput: `e2e_throughput --smoke` (built with `--features
+#      alloc-count`) must keep stress-100k DHA events/s within the given
+#      fraction of the committed BENCH_e2e.json baseline.
+#   2. Allocations: the stress-100k Capacity row must show (near-)zero
+#      steady-state allocations — the slab event pool and recycled
+#      scratch buffers mean every allocation after warm-up is a bug.
+#      The gate allows at most events/100 allocations for the whole run,
+#      which admits setup growth (~2.4k allocations for 400k events
+#      today) but fails on even one allocation per hundred events.
+#   3. Scale: a separate `--only stress-1m --strategy Capacity` run must
+#      keep million-task events/s within the same fraction of its
+#      committed baseline (the calendar-queue hot path at full scale).
 #
 # Usage: scripts/check_bench_smoke.sh [max_regression]
 #   max_regression — allowed relative throughput drop, default 0.10
 #   (10%). CI runners with noisy neighbours can pass a larger value.
 #
-# The benchmark rewrites BENCH_e2e.json in place, so the baseline is read
-# before the run and the file is restored afterwards; the fresh results
-# are kept in bench-smoke/ for artifact upload.
+# Fresh results are written to bench-smoke/ via --out, so the committed
+# BENCH_e2e.json baseline is never touched.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 max_regression="${1:-0.10}"
 
-extract_eps() {
-  awk -F'"events_per_sec": ' '
-    /"workload": "stress-100k"/ && /"scheduler": "DHA"/ {
-      split($2, a, ","); print a[1]; exit
-    }' "$1"
+# extract FILE WORKLOAD SCHEDULER FIELD — one numeric JSON field from
+# the first row matching the workload × scheduler pair.
+extract() {
+  awk -v w="\"workload\": \"$2\"" -v s="\"scheduler\": \"$3\"" \
+      -F"\"$4\": " '
+    $0 ~ w && $0 ~ s { split($2, a, ","); print a[1]; exit }' "$1"
 }
 
-baseline=$(extract_eps BENCH_e2e.json)
-if [ -z "$baseline" ]; then
-  echo "error: no stress-100k DHA row in committed BENCH_e2e.json" >&2
+gate_eps() {
+  local label="$1" base="$2" cur="$3"
+  echo "${label} events/s: baseline ${base}, current ${cur}" \
+       "(max regression ${max_regression})"
+  awk -v base="$base" -v cur="$cur" -v tol="$max_regression" 'BEGIN {
+    floor = base * (1 - tol)
+    if (cur < floor) {
+      printf "FAIL: %.0f events/s below %.0f (baseline %.0f - %.0f%%)\n",
+             cur, floor, base, tol * 100
+      exit 1
+    }
+    printf "OK: %.0f events/s >= %.0f\n", cur, floor
+  }'
+}
+
+baseline_100k=$(extract BENCH_e2e.json stress-100k DHA events_per_sec)
+baseline_1m=$(extract BENCH_e2e.json stress-1m Capacity events_per_sec)
+if [ -z "$baseline_100k" ] || [ -z "$baseline_1m" ]; then
+  echo "error: missing stress-100k DHA or stress-1m Capacity row in" \
+       "committed BENCH_e2e.json" >&2
   exit 1
 fi
 
-echo "==> running e2e throughput benchmark (smoke set)"
-cargo run --release -q -p unifaas-bench --bin e2e_throughput -- --smoke
-
-current=$(extract_eps BENCH_e2e.json)
 mkdir -p bench-smoke
-cp BENCH_e2e.json bench-smoke/BENCH_e2e.smoke.json
-git checkout -- BENCH_e2e.json 2>/dev/null || true
 
-echo "stress-100k DHA events/s: baseline ${baseline}, current ${current}" \
-     "(max regression ${max_regression})"
-awk -v base="$baseline" -v cur="$current" -v tol="$max_regression" 'BEGIN {
-  floor = base * (1 - tol)
-  if (cur < floor) {
-    printf "FAIL: %.0f events/s below %.0f (baseline %.0f - %.0f%%)\n",
-           cur, floor, base, tol * 100
+echo "==> running e2e throughput benchmark (smoke set, alloc counting on)"
+cargo run --release -q -p unifaas-bench --features alloc-count \
+  --bin e2e_throughput -- --smoke --out bench-smoke/BENCH_e2e.smoke.json
+
+gate_eps "stress-100k DHA" "$baseline_100k" \
+  "$(extract bench-smoke/BENCH_e2e.smoke.json stress-100k DHA events_per_sec)"
+
+# Zero-steady-state-allocation gate. `allocs` is null unless the binary
+# was built with --features alloc-count, so a null here means the gate
+# silently stopped measuring — fail loudly instead.
+allocs=$(extract bench-smoke/BENCH_e2e.smoke.json stress-100k Capacity allocs)
+events=$(extract bench-smoke/BENCH_e2e.smoke.json stress-100k Capacity events)
+if [ -z "$allocs" ] || [ "$allocs" = "null" ]; then
+  echo "FAIL: allocs column is null — alloc-count feature not active" >&2
+  exit 1
+fi
+echo "stress-100k Capacity allocations: ${allocs} over ${events} events"
+awk -v allocs="$allocs" -v events="$events" 'BEGIN {
+  limit = int(events / 100)
+  if (allocs > limit) {
+    printf "FAIL: %d allocations exceed %d (events/100) — steady state is no longer allocation-free\n",
+           allocs, limit
     exit 1
   }
-  printf "OK: %.0f events/s >= %.0f\n", cur, floor
+  printf "OK: %d allocations <= %d (%.4f per event)\n",
+         allocs, limit, allocs / events
 }'
+
+echo "==> running million-task capacity benchmark (calendar-queue hot path)"
+cargo run --release -q -p unifaas-bench --features alloc-count \
+  --bin e2e_throughput -- --only stress-1m --strategy Capacity \
+  --out bench-smoke/BENCH_e2e.stress1m.json
+
+gate_eps "stress-1m Capacity" "$baseline_1m" \
+  "$(extract bench-smoke/BENCH_e2e.stress1m.json stress-1m Capacity events_per_sec)"

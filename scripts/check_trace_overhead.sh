@@ -12,9 +12,12 @@
 #   with noisy neighbours can pass a larger value.
 #
 # The benchmark binary rewrites BENCH_e2e.json in the working directory, so
-# the committed baseline is read *before* the run. Both engine paths are
-# gated: the single-queue reference and the sharded engine (--shards 5),
-# whose stress-100k makespan must additionally match bit-for-bit.
+# the committed baseline is read *before* the run. Three engine paths are
+# gated: the default calendar-queue engine, the sharded engine (--shards 5),
+# and the binary-heap reference queue (--reference-queue). The sharded and
+# heap runs must additionally reproduce the default run's stress-100k
+# makespan bit-for-bit — sharding and queue choice are execution
+# strategies, not semantic changes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -59,7 +62,7 @@ cargo run --release -q -p unifaas-bench --bin e2e_throughput -- --smoke
 current=$(extract BENCH_e2e.json)
 makespan_single=$(extract_makespan BENCH_e2e.json)
 git checkout -- BENCH_e2e.json 2>/dev/null || true
-gate "single-queue" "$current"
+gate "calendar-queue" "$current"
 
 # The same gate against the sharded event engine: an execution strategy,
 # not a semantic change, so it must stay inside the overhead envelope
@@ -78,3 +81,20 @@ if [ "$makespan_single" != "$makespan_sharded" ]; then
   exit 1
 fi
 echo "OK: sharded makespan identical (${makespan_sharded}s)"
+
+# The binary-heap reference queue is kept as a differential oracle for
+# the calendar queue: it must produce a bit-identical simulated outcome.
+# No wall-clock gate here — the heap path is the slower reference and is
+# only required to be *correct*, not fast.
+echo "==> running e2e throughput benchmark (binary-heap reference queue)"
+cargo run --release -q -p unifaas-bench --bin e2e_throughput -- --smoke --reference-queue
+
+makespan_heap=$(extract_makespan BENCH_e2e.json)
+git checkout -- BENCH_e2e.json 2>/dev/null || true
+
+if [ "$makespan_single" != "$makespan_heap" ]; then
+  echo "FAIL: heap reference queue changed stress-100k DHA makespan" \
+       "(${makespan_single}s -> ${makespan_heap}s)" >&2
+  exit 1
+fi
+echo "OK: heap-reference makespan identical (${makespan_heap}s)"

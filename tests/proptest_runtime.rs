@@ -119,14 +119,15 @@ proptest! {
         prop_assert_eq!(report.tasks_completed, n);
     }
 
-    /// The sharded event engine is an execution strategy, not a semantic
-    /// change: across random topologies, seeds and outage windows, a run
-    /// on the per-endpoint sharded engine must deliver the exact event
-    /// sequence of the single-queue reference — witnessed by equal
-    /// determinism digests (which cover event and decision counts,
-    /// placements, makespan and transfer totals).
+    /// The event engine offers two execution-strategy axes that must never
+    /// change semantics: single-queue vs sharded, and calendar-wheel vs
+    /// binary-heap reference ordering. Across random topologies, seeds and
+    /// outage windows, all four combinations must deliver the exact same
+    /// event sequence — witnessed by equal determinism digests (which
+    /// cover event and decision counts, placements, makespan and transfer
+    /// totals).
     #[test]
-    fn sharded_engine_matches_single_shard(
+    fn engine_variants_match_single_shard_wheel(
         strategy in arb_strategy(),
         layers in 1usize..5,
         width in 1usize..8,
@@ -147,29 +148,34 @@ proptest! {
             mean_output_bytes: 20 << 20,
             seed,
         });
-        let build = |engine_shards: usize| {
+        let build = |engine_shards: usize, reference_queue: bool| {
             let mut b = Config::builder()
                 .endpoint(EndpointConfig::new("a", ClusterSpec::qiming(), 6))
                 .endpoint(EndpointConfig::new("b", ClusterSpec::taiyi(), 4))
                 .strategy(strategy.clone())
                 .retries(25, 25)
                 .seed(seed)
-                .engine_shards(engine_shards);
+                .engine_shards(engine_shards)
+                .engine_reference_queue(reference_queue);
             if let Some((ep, from, len)) = outage {
                 b = b.outage(ep, from, from + len);
             }
             b.build()
         };
-        let single = SimRuntime::new(build(1), dag.clone()).run().unwrap();
-        let sharded = SimRuntime::new(build(shards), dag).run().unwrap();
-        prop_assert_eq!(
-            single.determinism_digest(),
-            sharded.determinism_digest(),
-            "sharded engine diverged (seed={}, shards={}, outage={:?})",
-            seed, shards, outage
-        );
-        prop_assert_eq!(single.events_processed, sharded.events_processed);
-        prop_assert_eq!(single.makespan, sharded.makespan);
+        let single = SimRuntime::new(build(1, false), dag.clone()).run().unwrap();
+        for (engine_shards, reference_queue) in [(1, true), (shards, false), (shards, true)] {
+            let other = SimRuntime::new(build(engine_shards, reference_queue), dag.clone())
+                .run()
+                .unwrap();
+            prop_assert_eq!(
+                single.determinism_digest(),
+                other.determinism_digest(),
+                "engine variant diverged (seed={}, shards={}, reference_queue={}, outage={:?})",
+                seed, engine_shards, reference_queue, outage
+            );
+            prop_assert_eq!(single.events_processed, other.events_processed);
+            prop_assert_eq!(single.makespan, other.makespan);
+        }
     }
 
     /// The SoA task arena as a model target: `validate_counters` makes
