@@ -27,6 +27,10 @@
 //! the disabled-observability path — the gate enforced by
 //! `scripts/check_trace_overhead.sh`.
 //!
+//! `--journal <path>` writes a run journal per row to `<path>.<workload>.
+//! <scheduler>.journal` (measuring journaling-enabled overhead; makespan
+//! and transfer columns must not move — the journal only observes).
+//!
 //! `--smoke` drops the million-task rows (CI's bench-smoke job).
 //! `--shards <n>` runs every row on the sharded event engine
 //! (`Config::engine_shards = n`); makespan/transfer columns must not
@@ -72,8 +76,15 @@ fn run(
     metrics_out: Option<&str>,
     shards: usize,
     reference_queue: bool,
+    journal: Option<&str>,
 ) -> Row {
     let tasks = dag.len();
+    let sched_tag = match &strategy {
+        SchedulingStrategy::Capacity => "Capacity",
+        SchedulingStrategy::Locality => "Locality",
+        SchedulingStrategy::Dha { .. } => "DHA",
+        _ => "other",
+    };
     let mut cfg = pool.build();
     cfg.strategy = strategy;
     cfg.engine_shards = shards;
@@ -83,6 +94,9 @@ fn run(
     let mut runtime = SimRuntime::new(cfg, dag).with_metrics(metrics);
     if let Some(tc) = trace {
         runtime = runtime.with_trace(tc);
+    }
+    if let Some(prefix) = journal {
+        runtime = runtime.with_journal(format!("{prefix}.{workload}.{sched_tag}.journal"));
     }
     let report = runtime.run().expect("run failed");
     let wall_s = t0.elapsed().as_secs_f64();
@@ -122,6 +136,7 @@ fn main() {
     let mut smoke = false;
     let mut shards = 1usize;
     let mut reference_queue = false;
+    let mut journal: Option<String> = None;
     let mut only: Option<String> = None;
     let mut only_sched: Option<String> = None;
     let mut out_path = "BENCH_e2e.json".to_string();
@@ -137,6 +152,7 @@ fn main() {
                     .expect("bad --shards")
             }
             "--reference-queue" => reference_queue = true,
+            "--journal" => journal = it.next().cloned(),
             "--only" => only = it.next().cloned(),
             "--strategy" => only_sched = it.next().cloned(),
             "--out" => out_path = it.next().cloned().expect("--out <path>"),
@@ -228,6 +244,7 @@ fn main() {
                 metrics_out.as_deref(),
                 shards,
                 reference_queue,
+                journal.as_deref(),
             ));
         }
     }

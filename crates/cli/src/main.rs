@@ -37,7 +37,26 @@
 //! `--task-fail-prob` / `--transfer-fail-prob` set the per-attempt failure
 //! probabilities, and each `--outage ep:from:to` (seconds, repeatable)
 //! schedules a deterministic endpoint outage window.
+//!
+//! Run-journal flags and subcommands:
+//!
+//! * `--journal-out <path>` writes a run journal: one binary record per
+//!   delivered event plus scheduler decision notes, with rolling chunk
+//!   digests (see `simkit::journal`).
+//! * `--progress` streams periodic progress snapshots (events/s, queue
+//!   occupancy, ready/executing counts, wall-vs-virtual ratio) to stderr
+//!   with a stall detector; `--progress-addr <addr>` additionally serves
+//!   them live at `GET /metrics` while the run executes.
+//! * `--shards <n>` / `--reference-queue` select the engine flavor (for
+//!   differential journal runs; digests are identical either way).
+//! * `unifaas-sim doctor <a.journal> <b.journal>` compares two journals
+//!   and localizes the first divergent event with task/decision context.
+//!   Exits 0 when identical, 1 on divergence.
+//! * `unifaas-sim journal-perturb <in> <out> <index>` rewrites a journal
+//!   with one record's timestamp bumped — an injected divergence for
+//!   exercising the doctor end to end.
 
+use simkit::journal::Journal;
 use simkit::trace::TraceLevel;
 use simkit::{SimDuration, SimTime};
 use std::io::Write;
@@ -52,9 +71,63 @@ fn usage() -> ! {
          [--series <dir>] [--quiet] [--report] [--trace-out <path>] \
          [--trace-level off|spans|full] [--flame-out <path>] [--metrics-out <path>] \
          [--metrics-addr <addr>] [--task-fail-prob <p>] [--transfer-fail-prob <p>] \
-         [--outage <ep>:<from-s>:<to-s>]..."
+         [--outage <ep>:<from-s>:<to-s>]... [--journal-out <path>] [--progress] \
+         [--progress-addr <addr>] [--shards <n>] [--reference-queue]\n\
+         \x20      unifaas-sim doctor <a.journal> <b.journal>\n\
+         \x20      unifaas-sim journal-perturb <in.journal> <out.journal> <record-index>"
     );
     std::process::exit(2);
+}
+
+fn open_journal(path: &str) -> Journal {
+    let j = Journal::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open journal {path}: {e}");
+        std::process::exit(2);
+    });
+    if !j.clean_close() {
+        eprintln!(
+            "warning: {path} was not sealed cleanly; comparing its {} intact records",
+            j.total_records()
+        );
+    }
+    j
+}
+
+/// `unifaas-sim doctor a.journal b.journal`: exit 0 when identical, 1 on
+/// divergence, 2 on usage/open errors.
+fn doctor_main(args: &[String]) -> ! {
+    let [a, b] = args else {
+        eprintln!("usage: unifaas-sim doctor <a.journal> <b.journal>");
+        std::process::exit(2);
+    };
+    let report = unifaas::obs::doctor(&open_journal(a), &open_journal(b));
+    print!("{}", unifaas::obs::render_doctor(&report));
+    std::process::exit(if report.is_identical() { 0 } else { 1 });
+}
+
+/// `unifaas-sim journal-perturb in out index`: injected single-event
+/// divergence for exercising the doctor end to end.
+fn perturb_main(args: &[String]) -> ! {
+    let (src, dst, index) = match args {
+        [src, dst, index] => match index.parse::<u64>() {
+            Ok(i) => (src, dst, i),
+            Err(_) => {
+                eprintln!("journal-perturb: record index must be an integer, got `{index}`");
+                std::process::exit(2);
+            }
+        },
+        _ => {
+            eprintln!("usage: unifaas-sim journal-perturb <in.journal> <out.journal> <index>");
+            std::process::exit(2);
+        }
+    };
+    unifaas::obs::perturb_journal(std::path::Path::new(src), std::path::Path::new(dst), index)
+        .unwrap_or_else(|e| {
+            eprintln!("journal-perturb: {e}");
+            std::process::exit(2);
+        });
+    println!("wrote {dst} (record {index} timestamp bumped by 1us)");
+    std::process::exit(0);
 }
 
 /// Parses an `--outage` operand of the form `ep:from:to` (seconds).
@@ -71,6 +144,11 @@ fn parse_outage(s: &str) -> Option<(usize, u64, u64)> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("doctor") => doctor_main(&args[1..]),
+        Some("journal-perturb") => perturb_main(&args[1..]),
+        _ => {}
+    }
     let mut spec_path: Option<String> = None;
     let mut strategy_override: Option<SchedulingStrategy> = None;
     let mut series_dir: Option<String> = None;
@@ -84,6 +162,11 @@ fn main() {
     let mut task_fail_prob: Option<f64> = None;
     let mut transfer_fail_prob: Option<f64> = None;
     let mut outages: Vec<(usize, u64, u64)> = Vec::new();
+    let mut journal_out: Option<String> = None;
+    let mut progress = false;
+    let mut progress_addr: Option<String> = None;
+    let mut shards: Option<usize> = None;
+    let mut reference_queue = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -135,6 +218,19 @@ fn main() {
                 });
             }
             "--series" => series_dir = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--journal-out" => journal_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--progress" => progress = true,
+            "--progress-addr" => {
+                progress_addr = Some(it.next().cloned().unwrap_or_else(|| usage()))
+            }
+            "--shards" => {
+                shards = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--reference-queue" => reference_queue = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => usage(),
             other if spec_path.is_none() && !other.starts_with('-') => {
@@ -173,6 +269,12 @@ fn main() {
             to: SimTime::from_secs(to),
         });
     }
+    if let Some(n) = shards {
+        spec.config.engine_shards = n;
+    }
+    if reference_queue {
+        spec.config.engine_reference_queue = true;
+    }
 
     let dag = spec.workload.build();
     let n_tasks = dag.len();
@@ -206,6 +308,16 @@ fn main() {
     let mut runtime = SimRuntime::new(spec.config, dag).with_metrics(want_metrics);
     if let Some(tc) = trace_cfg {
         runtime = runtime.with_trace(tc);
+    }
+    if let Some(path) = &journal_out {
+        runtime = runtime.with_journal(path);
+    }
+    if progress || progress_addr.is_some() {
+        runtime = runtime.with_flight(unifaas::flight::FlightConfig {
+            progress_stderr: progress,
+            serve_addr: progress_addr.clone(),
+            ..unifaas::flight::FlightConfig::default()
+        });
     }
     let report = runtime.run().unwrap_or_else(|e| {
         eprintln!("workflow failed: {e}");
@@ -263,6 +375,20 @@ fn main() {
             trace.decisions.len(),
             trace.transfers.len()
         );
+    }
+    if let (Some(path), Some(j)) = (&journal_out, &report.journal) {
+        println!(
+            "journal            {path}: {} records in {} chunks, digest {:#018x}",
+            j.records, j.chunks, j.digest
+        );
+    }
+    if let Some(fl) = report.flight.as_deref() {
+        if fl.stalls > 0 {
+            eprintln!(
+                "warning: stall detector fired {} time(s); see the last --progress lines",
+                fl.stalls
+            );
+        }
     }
     if report_flag {
         match report

@@ -17,6 +17,7 @@
 //!   same-shard drain runs that never touch the other heaps.
 
 use crate::event::{EventId, EventQueue, EventSlab, OrderCore, Pending};
+use crate::journal::{EventCode, JournalWriter};
 use crate::time::{SimDuration, SimTime};
 
 /// The scheduling surface shared by [`Engine`] and [`ShardedEngine`].
@@ -35,6 +36,32 @@ pub trait EventSink<E> {
     fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventId;
     /// Cancels a pending event. Returns true if it had not yet fired.
     fn cancel(&mut self, id: EventId) -> bool;
+    /// Number of pending events. Defaults to 0 for sinks without a queue
+    /// view (exposed here so diagnostics like the flight recorder can
+    /// sample queue occupancy through the object-safe surface).
+    fn pending(&self) -> usize {
+        0
+    }
+    /// Appends an application note (e.g. a scheduler decision) to the run
+    /// journal, stamped with the current time and the sequence number of
+    /// the event being handled. No-op when no journal is installed.
+    fn journal_note(&mut self, _kind: u16, _a: u64, _b: u64) {}
+}
+
+/// A journal installed on an engine: the writer plus the application's
+/// event encoder. Boxed inside the engine so the disabled path costs one
+/// pointer-null check per delivery.
+struct JournalTap<E> {
+    writer: JournalWriter,
+    encode: fn(&E) -> EventCode,
+}
+
+impl<E> JournalTap<E> {
+    #[inline]
+    fn record(&mut self, at: SimTime, seq: u64, ev: &E) {
+        let c = (self.encode)(ev);
+        self.writer.append(at.as_micros(), seq, c.kind, c.a, c.b);
+    }
 }
 
 /// A generic discrete-event simulation engine.
@@ -49,6 +76,7 @@ pub struct Engine<E> {
     now: SimTime,
     processed: u64,
     stats: EngineStats,
+    journal: Option<Box<JournalTap<E>>>,
 }
 
 /// Cheap always-on engine counters, snapshotted into a trace at the end of
@@ -90,7 +118,22 @@ impl<E> Engine<E> {
             now: SimTime::ZERO,
             processed: 0,
             stats: EngineStats::default(),
+            journal: None,
         }
+    }
+
+    /// Installs a run journal: every delivered event is encoded via
+    /// `encode` and appended to `writer`, stamped with its delivery time
+    /// and sequence number. With no journal installed, delivery pays one
+    /// pointer-null check.
+    pub fn set_journal(&mut self, writer: JournalWriter, encode: fn(&E) -> EventCode) {
+        self.journal = Some(Box::new(JournalTap { writer, encode }));
+    }
+
+    /// Removes and returns the installed journal writer (call
+    /// [`JournalWriter::finish`] on it to seal the file).
+    pub fn take_journal(&mut self) -> Option<JournalWriter> {
+        self.journal.take().map(|t| t.writer)
     }
 
     /// Scheduling/cancellation counters and the queue high-water mark.
@@ -160,6 +203,9 @@ impl<E> Engine<E> {
                 debug_assert!(at >= self.now, "event queue returned out-of-order event");
                 self.now = at;
                 self.processed += 1;
+                if let Some(j) = self.journal.as_deref_mut() {
+                    j.record(at, self.processed, &ev);
+                }
                 handler(at, ev, self);
                 true
             }
@@ -211,6 +257,15 @@ impl<E> EventSink<E> for Engine<E> {
     fn cancel(&mut self, id: EventId) -> bool {
         Engine::cancel(self, id)
     }
+    fn pending(&self) -> usize {
+        Engine::pending(self)
+    }
+    fn journal_note(&mut self, kind: u16, a: u64, b: u64) {
+        if let Some(j) = self.journal.as_deref_mut() {
+            j.writer
+                .append(self.now.as_micros(), self.processed, kind, a, b);
+        }
+    }
 }
 
 /// The cross-shard horizon: the head `(at µs, seq)` of the earliest
@@ -259,6 +314,7 @@ pub struct ShardedEngine<E> {
     /// Shard currently being drained.
     cur: usize,
     horizon: Horizon,
+    journal: Option<Box<JournalTap<E>>>,
 }
 
 impl<E> ShardedEngine<E> {
@@ -294,12 +350,26 @@ impl<E> ShardedEngine<E> {
             stats: EngineStats::default(),
             cur: 0,
             horizon: None,
+            journal: None,
         }
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Installs a run journal; see [`Engine::set_journal`]. Because the
+    /// sharded merge delivers the exact single-queue order, the journal a
+    /// sharded run writes is byte-identical to the single-engine journal
+    /// of the same schedule.
+    pub fn set_journal(&mut self, writer: JournalWriter, encode: fn(&E) -> EventCode) {
+        self.journal = Some(Box::new(JournalTap { writer, encode }));
+    }
+
+    /// Removes and returns the installed journal writer.
+    pub fn take_journal(&mut self) -> Option<JournalWriter> {
+        self.journal.take().map(|t| t.writer)
     }
 
     /// Scheduling/cancellation counters and the queue high-water mark.
@@ -462,6 +532,9 @@ impl<E> ShardedEngine<E> {
                 debug_assert!(at >= self.now, "sharded engine merged out of order");
                 self.now = at;
                 self.processed += 1;
+                if let Some(j) = self.journal.as_deref_mut() {
+                    j.record(at, self.processed, &ev);
+                }
                 handler(at, ev, self);
                 true
             }
@@ -487,6 +560,15 @@ impl<E> EventSink<E> for ShardedEngine<E> {
     }
     fn cancel(&mut self, id: EventId) -> bool {
         ShardedEngine::cancel(self, id)
+    }
+    fn pending(&self) -> usize {
+        ShardedEngine::pending(self)
+    }
+    fn journal_note(&mut self, kind: u16, a: u64, b: u64) {
+        if let Some(j) = self.journal.as_deref_mut() {
+            j.writer
+                .append(self.now.as_micros(), self.processed, kind, a, b);
+        }
     }
 }
 
@@ -705,5 +787,99 @@ mod tests {
         eng.run(|_, _, eng| {
             eng.schedule(SimTime::from_secs(1), Ev::Tick(2));
         });
+    }
+
+    #[test]
+    fn journal_is_identical_across_engine_flavors() {
+        use crate::journal::{EventCode, Journal, JournalWriter};
+
+        fn encode(ev: &Ev) -> EventCode {
+            match ev {
+                Ev::Tick(t) => EventCode {
+                    kind: 0,
+                    a: *t as u64,
+                    b: 0,
+                },
+                Ev::Chain(t) => EventCode {
+                    kind: 1,
+                    a: *t as u64,
+                    b: 0,
+                },
+            }
+        }
+
+        fn model<S: EventSink<Ev>>(now: SimTime, ev: Ev, eng: &mut S, budget: &mut u32) {
+            let Ev::Chain(tag) = ev else { return };
+            if *budget == 0 {
+                return;
+            }
+            *budget -= 1;
+            let mut s = tag as u64 ^ 0x9e37_79b9_7f4a_7c15;
+            if s == 0 {
+                s = 1;
+            }
+            let n = next_rand(&mut s) % 3;
+            for _ in 0..n {
+                let d = SimDuration::from_millis(next_rand(&mut s) % 700);
+                eng.schedule(now + d, Ev::Chain(next_rand(&mut s) as u32));
+            }
+        }
+
+        let tmp = |name: &str| {
+            let mut p = std::env::temp_dir();
+            p.push(format!(
+                "simkit-engine-journal-{}-{name}",
+                std::process::id()
+            ));
+            p
+        };
+        let seed_events: Vec<(SimTime, u32)> = {
+            let mut s = 0x5eed_u64;
+            (0..32)
+                .map(|i| (SimTime::from_millis(next_rand(&mut s) % 5000), i))
+                .collect()
+        };
+
+        let mut digests = Vec::new();
+        let paths = [tmp("wheel"), tmp("heap"), tmp("sharded")];
+        for (i, path) in paths.iter().enumerate() {
+            let writer = JournalWriter::create_with_chunk_records(path, 16).unwrap();
+            let mut budget = 2000u32;
+            match i {
+                0 | 1 => {
+                    let mut eng = if i == 0 {
+                        Engine::new()
+                    } else {
+                        Engine::new_reference()
+                    };
+                    eng.set_journal(writer, encode);
+                    for &(at, tag) in &seed_events {
+                        eng.schedule(at, Ev::Chain(tag));
+                    }
+                    eng.run(|now, ev, eng| model(now, ev, eng, &mut budget));
+                    digests.push(eng.take_journal().unwrap().finish().unwrap());
+                }
+                _ => {
+                    let mut eng = ShardedEngine::new(3, |ev: &Ev| match ev {
+                        Ev::Chain(t) | Ev::Tick(t) => *t as usize,
+                    });
+                    eng.set_journal(writer, encode);
+                    for &(at, tag) in &seed_events {
+                        eng.schedule(at, Ev::Chain(tag));
+                    }
+                    eng.run(|now, ev, eng| model(now, ev, eng, &mut budget));
+                    digests.push(eng.take_journal().unwrap().finish().unwrap());
+                }
+            }
+        }
+        assert_eq!(digests[0], digests[1], "wheel vs heap journal diverged");
+        assert_eq!(digests[0], digests[2], "single vs sharded journal diverged");
+        assert!(digests[0].records > 0);
+        let j = Journal::open(&paths[0]).unwrap();
+        assert!(j.clean_close());
+        assert_eq!(j.total_records(), digests[0].records);
+        for p in &paths {
+            std::fs::remove_file(p).ok();
+        }
     }
 }

@@ -38,6 +38,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod journal;
 pub mod metrics;
 pub mod rng;
 pub mod series;
@@ -47,6 +48,7 @@ pub mod trace;
 
 pub use engine::{Engine, EngineStats, EventSink, ShardedEngine};
 pub use event::{EventId, EventQueue};
+pub use journal::{Journal, JournalRecord, JournalSummary, JournalWriter};
 pub use metrics::{LogHistogram, MetricsRegistry, MetricsServer};
 pub use rng::SimRng;
 pub use series::TimeSeries;

@@ -306,6 +306,13 @@ pub struct Config {
     /// Series are diagnostic output only — schedules, report counters, and
     /// the determinism digest are identical either way.
     pub record_series: bool,
+    /// Fold the scheduler decision stream (every staging and dispatch
+    /// action, in order) into an auxiliary digest reported as
+    /// [`RunReport::decision_digest`](crate::metrics::RunReport::decision_digest)
+    /// and mixed into the determinism digest. Default off: the event
+    /// stream already witnesses behavior; this catches placement
+    /// divergence even when the event stream happens to agree.
+    pub digest_decisions: bool,
 }
 
 impl Config {
@@ -417,6 +424,7 @@ impl Default for ConfigBuilder {
                 engine_shards: 1,
                 engine_reference_queue: false,
                 record_series: true,
+                digest_decisions: false,
             },
         }
     }
@@ -541,6 +549,13 @@ impl ConfigBuilder {
     /// Sets the event-engine shard count (see [`Config::engine_shards`]).
     pub fn engine_shards(mut self, shards: usize) -> Self {
         self.config.engine_shards = shards;
+        self
+    }
+
+    /// Folds the scheduler decision stream into the determinism digest
+    /// (see [`Config::digest_decisions`]).
+    pub fn digest_decisions(mut self, yes: bool) -> Self {
+        self.config.digest_decisions = yes;
         self
     }
 

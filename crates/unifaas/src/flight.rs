@@ -1,0 +1,487 @@
+//! In-run flight recorder: a bounded ring of recent events plus periodic
+//! progress snapshots, with a stall detector.
+//!
+//! A million-task simulation is a black box while it executes: the process
+//! prints nothing until the event queue drains. The flight recorder makes
+//! the run observable *while it is happening* at negligible cost:
+//!
+//! * a **ring** of the most recent deliveries (virtual time, kind, ids) —
+//!   the crash-dump context when a run wedges or panics;
+//! * periodic **progress snapshots** — events/s, queue occupancy,
+//!   ready/executing counts, wall-vs-virtual time ratio — taken every N
+//!   events, optionally printed to stderr (`--progress`) and published
+//!   through the existing [`MetricsServer`] for live scrape;
+//! * a **stall detector** that flags when virtual time keeps advancing but
+//!   no task completes within a configurable horizon — the signature of a
+//!   livelocked scheduler (periodic ticks firing forever with no
+//!   progress), which otherwise burns wall clock silently.
+//!
+//! The recorder observes only; it never touches the RNG or schedules
+//! events, so enabling it cannot perturb the determinism digest. A run
+//! without a recorder pays one pointer-null check per delivered event.
+
+use simkit::journal::EventCode;
+use simkit::metrics::{GaugeId, MetricsRegistry, MetricsServer};
+use simkit::{SimDuration, SimTime};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Configuration for the in-run flight recorder.
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Events between progress snapshots.
+    pub snapshot_every: u64,
+    /// Capacity of the recent-event ring.
+    pub ring_capacity: usize,
+    /// Virtual-time horizon for the stall detector: if this much virtual
+    /// time passes without any task completing (while work remains), the
+    /// run is flagged as stalled.
+    pub stall_horizon: SimDuration,
+    /// When set, serve live progress gauges at this address
+    /// (`GET /metrics`, Prometheus text format) for the duration of the
+    /// run.
+    pub serve_addr: Option<String>,
+    /// Print a progress line to stderr at every snapshot.
+    pub progress_stderr: bool,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            snapshot_every: 1 << 16,
+            ring_capacity: 256,
+            stall_horizon: SimDuration::from_secs(600),
+            serve_addr: None,
+            progress_stderr: false,
+        }
+    }
+}
+
+/// One entry of the recent-event ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecentEvent {
+    /// Virtual delivery time.
+    pub at: SimTime,
+    /// Delivery sequence number.
+    pub seq: u64,
+    /// Application event kind (same encoding as the run journal).
+    pub kind: u16,
+    /// First application id.
+    pub a: u64,
+    /// Second application id.
+    pub b: u64,
+}
+
+/// One periodic progress snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressSnapshot {
+    /// Wall-clock seconds since the run started.
+    pub wall_s: f64,
+    /// Virtual time at the snapshot.
+    pub virtual_s: f64,
+    /// Events delivered so far.
+    pub events: u64,
+    /// Delivery rate since the previous snapshot (events per wall second).
+    pub events_per_sec: f64,
+    /// Tasks completed so far.
+    pub completed: u64,
+    /// Tasks in Ready | Staged (waiting for placement or dispatch).
+    pub ready: usize,
+    /// Tasks in Staging | Dispatched | Running | AwaitResult.
+    pub executing: usize,
+    /// Pending events in the engine queue.
+    pub queue_pending: usize,
+    /// Wall seconds spent per virtual second so far (how much faster than
+    /// real time the simulation runs; lower is faster).
+    pub wall_per_virtual: f64,
+    /// True if the stall detector is currently flagging the run.
+    pub stalled: bool,
+}
+
+/// Final flight-recorder state, attached to
+/// [`RunReport::flight`](crate::metrics::RunReport::flight).
+#[derive(Debug, Clone, Default)]
+pub struct FlightReport {
+    /// All progress snapshots, in order.
+    pub snapshots: Vec<ProgressSnapshot>,
+    /// Number of distinct stall episodes detected.
+    pub stalls: u64,
+    /// The recent-event ring at the end of the run, oldest first.
+    pub recent: Vec<RecentEvent>,
+}
+
+/// Per-event counters the runtime feeds the recorder; all already
+/// maintained by the runtime's tick counters, so sampling them is free.
+#[derive(Debug, Clone, Copy)]
+pub struct FlightSample {
+    /// Tasks completed so far.
+    pub completed: u64,
+    /// Tasks in Ready | Staged.
+    pub ready: usize,
+    /// Tasks in Staging | Dispatched | Running | AwaitResult.
+    pub executing: usize,
+    /// Pending events in the engine queue.
+    pub queue_pending: usize,
+}
+
+/// Gauge handles into the live-scrape registry.
+struct FlightGauges {
+    events: GaugeId,
+    events_per_sec: GaugeId,
+    virtual_s: GaugeId,
+    completed: GaugeId,
+    ready: GaugeId,
+    executing: GaugeId,
+    queue_pending: GaugeId,
+    wall_per_virtual: GaugeId,
+    stalls: GaugeId,
+}
+
+/// The in-run flight recorder; see the module docs.
+pub struct FlightRecorder {
+    cfg: FlightConfig,
+    start: Instant,
+    ring: Vec<RecentEvent>,
+    ring_next: usize,
+    events: u64,
+    next_snapshot: u64,
+    last_snapshot_wall: f64,
+    last_snapshot_events: u64,
+    snapshots: Vec<ProgressSnapshot>,
+    last_completed: u64,
+    last_completion_vt: SimTime,
+    stalled: bool,
+    stalls: u64,
+    /// Live scrape surface, present iff `serve_addr` was configured. The
+    /// server is held for its Drop (stops the scrape thread with the run).
+    live: Option<(Arc<Mutex<MetricsRegistry>>, FlightGauges, MetricsServer)>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("events", &self.events)
+            .field("snapshots", &self.snapshots.len())
+            .field("stalls", &self.stalls)
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a recorder (binding the live scrape server if configured).
+    pub fn new(cfg: FlightConfig) -> std::io::Result<FlightRecorder> {
+        let live = match &cfg.serve_addr {
+            Some(addr) => {
+                let mut reg = MetricsRegistry::new();
+                let gauges = FlightGauges {
+                    events: reg.gauge(
+                        "unifaas_flight_events",
+                        "Events delivered so far in the running simulation.",
+                        &[],
+                    ),
+                    events_per_sec: reg.gauge(
+                        "unifaas_flight_events_per_sec",
+                        "Delivery rate since the previous snapshot.",
+                        &[],
+                    ),
+                    virtual_s: reg.gauge(
+                        "unifaas_flight_virtual_seconds",
+                        "Current virtual time of the running simulation.",
+                        &[],
+                    ),
+                    completed: reg.gauge(
+                        "unifaas_flight_tasks_completed",
+                        "Tasks completed so far.",
+                        &[],
+                    ),
+                    ready: reg.gauge(
+                        "unifaas_flight_tasks_ready",
+                        "Tasks waiting for placement or dispatch.",
+                        &[],
+                    ),
+                    executing: reg.gauge(
+                        "unifaas_flight_tasks_executing",
+                        "Tasks staging, dispatched, running or awaiting results.",
+                        &[],
+                    ),
+                    queue_pending: reg.gauge(
+                        "unifaas_flight_queue_pending",
+                        "Pending events in the engine queue.",
+                        &[],
+                    ),
+                    wall_per_virtual: reg.gauge(
+                        "unifaas_flight_wall_per_virtual",
+                        "Wall seconds spent per virtual second.",
+                        &[],
+                    ),
+                    stalls: reg.gauge(
+                        "unifaas_flight_stalls",
+                        "Stall episodes detected (virtual time advancing, no completions).",
+                        &[],
+                    ),
+                };
+                let shared = Arc::new(Mutex::new(reg));
+                let server = MetricsServer::start(addr, Arc::clone(&shared), None)?;
+                Some((shared, gauges, server))
+            }
+            None => None,
+        };
+        let ring_capacity = cfg.ring_capacity.max(1);
+        let snapshot_every = cfg.snapshot_every.max(1);
+        Ok(FlightRecorder {
+            ring: Vec::with_capacity(ring_capacity),
+            ring_next: 0,
+            events: 0,
+            next_snapshot: snapshot_every,
+            last_snapshot_wall: 0.0,
+            last_snapshot_events: 0,
+            snapshots: Vec::new(),
+            last_completed: 0,
+            last_completion_vt: SimTime::ZERO,
+            stalled: false,
+            stalls: 0,
+            start: Instant::now(),
+            live: None.or(live),
+            cfg: FlightConfig {
+                snapshot_every,
+                ring_capacity,
+                ..cfg
+            },
+        })
+    }
+
+    /// The live scrape address, when serving.
+    pub fn serve_addr(&self) -> Option<std::net::SocketAddr> {
+        self.live.as_ref().map(|(_, _, s)| s.local_addr())
+    }
+
+    /// Records one delivered event. Called once per delivery from the
+    /// runtime's event handler, so the internal event count doubles as the
+    /// engine's delivery sequence number; `code` is the same encoding the
+    /// run journal uses.
+    pub fn on_event(&mut self, now: SimTime, code: EventCode, sample: FlightSample) {
+        self.events += 1;
+        let entry = RecentEvent {
+            at: now,
+            seq: self.events,
+            kind: code.kind,
+            a: code.a,
+            b: code.b,
+        };
+        if self.ring.len() < self.cfg.ring_capacity {
+            self.ring.push(entry);
+        } else {
+            self.ring[self.ring_next] = entry;
+        }
+        self.ring_next = (self.ring_next + 1) % self.cfg.ring_capacity;
+
+        // Stall bookkeeping: any completion clears the flag; otherwise the
+        // run is stalled once `stall_horizon` of virtual time passes with
+        // work still outstanding.
+        if sample.completed != self.last_completed {
+            self.last_completed = sample.completed;
+            self.last_completion_vt = now;
+            self.stalled = false;
+        } else if !self.stalled
+            && (sample.ready + sample.executing) > 0
+            && now.saturating_since(self.last_completion_vt) > self.cfg.stall_horizon
+        {
+            self.stalled = true;
+            self.stalls += 1;
+            if self.cfg.progress_stderr {
+                eprintln!(
+                    "[flight] STALL: no task completed since T+{:.1}s (virtual now {:.1}s, \
+                     {} ready, {} executing)",
+                    self.last_completion_vt.as_secs_f64(),
+                    now.as_secs_f64(),
+                    sample.ready,
+                    sample.executing
+                );
+            }
+        }
+
+        if self.events >= self.next_snapshot {
+            self.next_snapshot = self.events + self.cfg.snapshot_every;
+            self.snapshot(now, sample);
+        }
+    }
+
+    fn snapshot(&mut self, now: SimTime, sample: FlightSample) {
+        let wall_s = self.start.elapsed().as_secs_f64();
+        let delta_wall = (wall_s - self.last_snapshot_wall).max(1e-9);
+        let delta_events = self.events - self.last_snapshot_events;
+        let virtual_s = now.as_secs_f64();
+        let snap = ProgressSnapshot {
+            wall_s,
+            virtual_s,
+            events: self.events,
+            events_per_sec: delta_events as f64 / delta_wall,
+            completed: sample.completed,
+            ready: sample.ready,
+            executing: sample.executing,
+            queue_pending: sample.queue_pending,
+            wall_per_virtual: if virtual_s > 0.0 {
+                wall_s / virtual_s
+            } else {
+                0.0
+            },
+            stalled: self.stalled,
+        };
+        self.last_snapshot_wall = wall_s;
+        self.last_snapshot_events = self.events;
+        if self.cfg.progress_stderr {
+            eprintln!(
+                "[flight] vt={:.1}s events={} ({:.0}/s) completed={} ready={} executing={} \
+                 queue={} wall/virtual={:.4}{}",
+                snap.virtual_s,
+                snap.events,
+                snap.events_per_sec,
+                snap.completed,
+                snap.ready,
+                snap.executing,
+                snap.queue_pending,
+                snap.wall_per_virtual,
+                if snap.stalled { " STALLED" } else { "" }
+            );
+        }
+        if let Some((shared, g, _)) = &self.live {
+            let mut reg = shared.lock().expect("flight registry poisoned");
+            reg.set(g.events, snap.events as f64);
+            reg.set(g.events_per_sec, snap.events_per_sec);
+            reg.set(g.virtual_s, snap.virtual_s);
+            reg.set(g.completed, snap.completed as f64);
+            reg.set(g.ready, snap.ready as f64);
+            reg.set(g.executing, snap.executing as f64);
+            reg.set(g.queue_pending, snap.queue_pending as f64);
+            reg.set(g.wall_per_virtual, snap.wall_per_virtual);
+            reg.set(g.stalls, self.stalls as f64);
+        }
+        self.snapshots.push(snap);
+    }
+
+    /// Seals the recorder into its final report (ring unrolled oldest
+    /// first). Stops the live scrape server, if any.
+    pub fn into_report(self) -> FlightReport {
+        let mut recent = Vec::with_capacity(self.ring.len());
+        if self.ring.len() == self.cfg.ring_capacity {
+            recent.extend_from_slice(&self.ring[self.ring_next..]);
+            recent.extend_from_slice(&self.ring[..self.ring_next]);
+        } else {
+            recent.extend_from_slice(&self.ring);
+        }
+        FlightReport {
+            snapshots: self.snapshots,
+            stalls: self.stalls,
+            recent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(kind: u16, a: u64) -> EventCode {
+        EventCode { kind, a, b: 0 }
+    }
+
+    fn sample(completed: u64, ready: usize, executing: usize) -> FlightSample {
+        FlightSample {
+            completed,
+            ready,
+            executing,
+            queue_pending: 3,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_events() {
+        let mut fr = FlightRecorder::new(FlightConfig {
+            ring_capacity: 4,
+            snapshot_every: 1000,
+            ..FlightConfig::default()
+        })
+        .unwrap();
+        for i in 0..10u64 {
+            fr.on_event(SimTime::from_secs(i), code(0, i), sample(0, 1, 0));
+        }
+        let report = fr.into_report();
+        let seqs: Vec<u64> = report.recent.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10], "oldest-first, last 4 kept");
+    }
+
+    #[test]
+    fn snapshots_fire_every_n_events() {
+        let mut fr = FlightRecorder::new(FlightConfig {
+            snapshot_every: 5,
+            ..FlightConfig::default()
+        })
+        .unwrap();
+        for i in 0..17u64 {
+            fr.on_event(SimTime::from_secs(i), code(0, i), sample(i, 1, 1));
+        }
+        let report = fr.into_report();
+        assert_eq!(report.snapshots.len(), 3); // at events 5, 10, 15
+        assert_eq!(report.snapshots[0].events, 5);
+        assert_eq!(report.snapshots[2].events, 15);
+        assert!(report.snapshots[2].events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn stall_detector_flags_and_clears() {
+        let mut fr = FlightRecorder::new(FlightConfig {
+            stall_horizon: SimDuration::from_secs(10),
+            snapshot_every: 1,
+            ..FlightConfig::default()
+        })
+        .unwrap();
+        // Completions up to t=5, then virtual time advances with none.
+        fr.on_event(SimTime::from_secs(5), code(0, 0), sample(1, 2, 1));
+        fr.on_event(SimTime::from_secs(10), code(5, 0), sample(1, 2, 1));
+        assert_eq!(fr.stalls, 0, "within horizon");
+        fr.on_event(SimTime::from_secs(16), code(5, 0), sample(1, 2, 1));
+        assert_eq!(fr.stalls, 1, "horizon exceeded with work outstanding");
+        // A completion clears the stall; a new episode counts separately.
+        fr.on_event(SimTime::from_secs(17), code(3, 0), sample(2, 1, 1));
+        assert!(!fr.stalled);
+        fr.on_event(SimTime::from_secs(40), code(5, 0), sample(2, 1, 1));
+        assert_eq!(fr.stalls, 2);
+        let report = fr.into_report();
+        assert!(report.snapshots.iter().any(|s| s.stalled));
+    }
+
+    #[test]
+    fn no_stall_when_no_work_remains() {
+        let mut fr = FlightRecorder::new(FlightConfig {
+            stall_horizon: SimDuration::from_secs(1),
+            ..FlightConfig::default()
+        })
+        .unwrap();
+        fr.on_event(SimTime::from_secs(100), code(5, 0), sample(5, 0, 0));
+        assert_eq!(fr.stalls, 0, "drained run is not a stall");
+    }
+
+    #[test]
+    fn live_scrape_serves_flight_gauges() {
+        use std::io::{Read as _, Write as _};
+        let mut fr = FlightRecorder::new(FlightConfig {
+            snapshot_every: 1,
+            serve_addr: Some("127.0.0.1:0".into()),
+            ..FlightConfig::default()
+        })
+        .unwrap();
+        fr.on_event(SimTime::from_secs(2), code(0, 7), sample(1, 2, 3));
+        let addr = fr.serve_addr().expect("server bound");
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.contains("unifaas_flight_events 1"), "{response}");
+        assert!(
+            response.contains("unifaas_flight_tasks_executing 3"),
+            "{response}"
+        );
+    }
+}

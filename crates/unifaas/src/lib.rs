@@ -55,6 +55,7 @@ pub mod config;
 pub mod data;
 pub mod error;
 pub mod files;
+pub mod flight;
 pub mod metrics;
 pub mod monitor;
 pub mod obs;

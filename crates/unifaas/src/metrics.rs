@@ -1,7 +1,9 @@
 //! Run metrics: everything the paper's tables and figures report.
 
+use crate::flight::FlightReport;
 use crate::profile::accuracy::CalibrationRow;
 use crate::trace::RunTrace;
+use simkit::journal::JournalSummary;
 use simkit::series::SeriesSet;
 use simkit::{MetricsRegistry, SimDuration, SimTime, TimeSeries};
 
@@ -114,6 +116,23 @@ pub struct RunReport {
     /// dump (`None` unless built with `with_metrics(true)`). Excluded from
     /// the determinism digest.
     pub metrics: Option<Box<MetricsRegistry>>,
+    /// FNV-1a digest over the scheduler decision stream (every staging and
+    /// dispatch action, in order). `None` unless the run was configured
+    /// with `digest_decisions(true)`; when present it is folded into
+    /// [`determinism_digest`](RunReport::determinism_digest) so placement
+    /// divergence is caught even when the event stream happens to agree.
+    pub decision_digest: Option<u64>,
+    /// Summary of the run journal written during this run (`None` unless
+    /// built with [`SimRuntime::with_journal`](crate::SimRuntime::with_journal)).
+    /// Excluded from the determinism digest so journaled and unjournaled
+    /// runs of the same config stay bit-identical; the journal digest is
+    /// its own, stronger witness.
+    pub journal: Option<JournalSummary>,
+    /// Flight-recorder report (`None` unless built with
+    /// [`SimRuntime::with_flight`](crate::SimRuntime::with_flight)).
+    /// Excluded from the determinism digest: snapshots carry wall-clock
+    /// measurements.
+    pub flight: Option<Box<FlightReport>>,
 }
 
 impl RunReport {
@@ -169,6 +188,9 @@ impl RunReport {
             self.latency.polling_s,
         ] {
             mix(&v.to_bits().to_le_bytes());
+        }
+        if let Some(d) = self.decision_digest {
+            mix(&d.to_le_bytes());
         }
         h
     }
@@ -235,6 +257,9 @@ mod tests {
             trace: None,
             calibration: Vec::new(),
             metrics: None,
+            decision_digest: None,
+            journal: None,
+            flight: None,
         };
         assert_eq!(report.transfer_gb(), 2.0);
         assert!((report.scheduler_overhead_per_task() - 0.0005).abs() < 1e-9);
@@ -249,5 +274,24 @@ mod tests {
         let mut other = report.clone();
         other.failed_attempts = 1;
         assert_ne!(other.determinism_digest(), d);
+
+        // The journal summary and flight report are observation artifacts:
+        // attaching them must not move the digest.
+        let mut journaled = report.clone();
+        journaled.journal = Some(JournalSummary {
+            records: 100,
+            chunks: 1,
+            digest: 0xdead_beef,
+        });
+        journaled.flight = Some(Box::default());
+        assert_eq!(journaled.determinism_digest(), d, "observers must not leak");
+
+        // The decision digest, when enabled, is folded in.
+        let mut decided = report.clone();
+        decided.decision_digest = Some(7);
+        assert_ne!(decided.determinism_digest(), d);
+        let mut decided2 = report.clone();
+        decided2.decision_digest = Some(8);
+        assert_ne!(decided2.determinism_digest(), decided.determinism_digest());
     }
 }

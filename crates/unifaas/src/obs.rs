@@ -305,6 +305,306 @@ pub fn write_flamegraph(trace: &RunTrace, path: &Path) -> std::io::Result<()> {
     f.write_all(flamegraph_folded(trace).as_bytes())
 }
 
+// ---------------------------------------------------------------------------
+// Run-journal divergence doctor
+// ---------------------------------------------------------------------------
+
+use simkit::journal::{Journal, JournalRecord, NOTE_KIND_FLAG};
+
+/// Journal event-kind names, indexed by the `kind` field of delivery
+/// records. Must stay in sync with the sim runtime's event encoding (the
+/// same order as its trace labels).
+pub const EVENT_KIND_NAMES: [&str; 15] = [
+    "StagingCheck",
+    "XferDone",
+    "TaskArrive",
+    "ExecDone",
+    "ResultObserved",
+    "MockSync",
+    "ScaleTick",
+    "RescheduleTick",
+    "CapacityChange",
+    "Commission",
+    "Inject",
+    "OutageStart",
+    "OutageEnd",
+    "RetryTask",
+    "ExecTimeout",
+];
+
+/// Journal note kind: the scheduler decided to stage data for task `a`
+/// toward endpoint `b`.
+pub const NOTE_DECISION_STAGE: u16 = NOTE_KIND_FLAG | 1;
+/// Journal note kind: the scheduler decided to dispatch task `a` to
+/// endpoint `b`.
+pub const NOTE_DECISION_DISPATCH: u16 = NOTE_KIND_FLAG | 2;
+
+/// Human name for a journal record kind (delivery or note).
+pub fn kind_name(kind: u16) -> &'static str {
+    match kind {
+        NOTE_DECISION_STAGE => "Decision:Stage",
+        NOTE_DECISION_DISPATCH => "Decision:Dispatch",
+        k if k & NOTE_KIND_FLAG != 0 => "Note:?",
+        k => EVENT_KIND_NAMES
+            .get(k as usize)
+            .copied()
+            .unwrap_or("Event:?"),
+    }
+}
+
+/// The task id a journal record is about, when its kind carries one in
+/// field `a` (staging checks, arrivals, completions, retries, timeouts,
+/// and scheduler decision notes).
+pub fn task_of(rec: &JournalRecord) -> Option<u64> {
+    match rec.kind {
+        0 | 2 | 3 | 4 | 13 | 14 | NOTE_DECISION_STAGE | NOTE_DECISION_DISPATCH => Some(rec.a),
+        _ => None,
+    }
+}
+
+/// One side of a divergence: the record (if that journal still has one at
+/// the divergent index) paired with its global record index.
+pub type IndexedRecord = (u64, JournalRecord);
+
+/// Full context around the first divergent record of two journals.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Global index (0-based, over delivery + note records) of the first
+    /// record on which the journals disagree.
+    pub index: u64,
+    /// The record journal A holds at [`index`](Divergence::index)
+    /// (`None` when A ended first).
+    pub a: Option<JournalRecord>,
+    /// The record journal B holds at the same index (`None` when B ended
+    /// first).
+    pub b: Option<JournalRecord>,
+    /// The records immediately preceding the divergence (shared prefix,
+    /// taken from journal A), oldest first.
+    pub preceding: Vec<IndexedRecord>,
+    /// Journal A's records for the task owning the divergent record — its
+    /// lifecycle span through the journal (capped).
+    pub task_lifecycle: Vec<IndexedRecord>,
+    /// The nearest scheduler decision note at or before the divergence
+    /// concerning the owning task, from journal A.
+    pub nearest_decision: Option<IndexedRecord>,
+}
+
+/// Verdict of [`doctor`]: either the journals agree record for record, or
+/// the first divergent record with its context.
+#[derive(Clone, Debug)]
+pub enum DoctorReport {
+    /// The journals hold identical record streams.
+    Identical {
+        /// Records compared.
+        records: u64,
+        /// Shared final rolling digest.
+        digest: u64,
+    },
+    /// The journals diverge; context localizes the first differing record.
+    Diverged(Box<Divergence>),
+}
+
+impl DoctorReport {
+    /// True when the verdict is [`DoctorReport::Identical`].
+    pub fn is_identical(&self) -> bool {
+        matches!(self, DoctorReport::Identical { .. })
+    }
+}
+
+/// How many shared-prefix records to show before a divergence.
+const PRECEDING_WINDOW: usize = 8;
+/// Cap on lifecycle records collected for the owning task.
+const LIFECYCLE_CAP: usize = 64;
+
+/// Compares two run journals and localizes their first divergent record.
+///
+/// The rolling per-chunk digests are prefix digests (each covers every
+/// record from the start of the journal), so when both journals use the
+/// same chunk size the first divergent *chunk* is found by binary search —
+/// O(log chunks) digest comparisons — and only that one chunk is decoded
+/// record by record. Journals with different chunk sizes fall back to a
+/// linear scan.
+pub fn doctor(a: &Journal, b: &Journal) -> DoctorReport {
+    if a.total_records() == b.total_records() && a.final_digest() == b.final_digest() {
+        return DoctorReport::Identical {
+            records: a.total_records(),
+            digest: a.final_digest(),
+        };
+    }
+
+    // Narrow to the first chunk whose prefix digest disagrees. The
+    // predicate "digest differs at chunk k" is monotone in k (a prefix
+    // digest covers everything before it), so binary search applies.
+    let start = if a.chunk_records() == b.chunk_records() {
+        let n = a.chunk_count().min(b.chunk_count());
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if a.chunk(mid).digest != b.chunk(mid).digest {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        if lo < n {
+            a.chunk(lo).first_index
+        } else if n > 0 {
+            // All common chunks agree: the divergence is in the tail.
+            let last = a.chunk(n - 1);
+            last.first_index + last.records as u64
+        } else {
+            0
+        }
+    } else {
+        0
+    };
+
+    // Record-by-record scan from the narrowed start.
+    let mut ia = a.iter().skip(start as usize);
+    let mut ib = b.iter().skip(start as usize);
+    let mut index = start;
+    let (rec_a, rec_b) = loop {
+        match (ia.next(), ib.next()) {
+            (Some(ra), Some(rb)) if ra == rb => index += 1,
+            (None, None) => {
+                // Same content despite differing summaries (e.g. one side
+                // closed uncleanly after its last record): treat the
+                // compared streams as identical.
+                return DoctorReport::Identical {
+                    records: index,
+                    digest: a.final_digest(),
+                };
+            }
+            (ra, rb) => break (ra, rb),
+        }
+    };
+
+    // Context: one pass over journal A's shared prefix collects the
+    // preceding window, the owning task's lifecycle, and the nearest
+    // decision note.
+    let owner = rec_a
+        .as_ref()
+        .and_then(task_of)
+        .or_else(|| rec_b.as_ref().and_then(task_of));
+    let mut preceding = Vec::new();
+    let mut task_lifecycle = Vec::new();
+    let mut nearest_decision = None;
+    for (i, rec) in a.iter().enumerate() {
+        let i = i as u64;
+        if i < index {
+            if i + (PRECEDING_WINDOW as u64) >= index {
+                preceding.push((i, rec));
+            }
+            if owner == task_of(&rec) && owner.is_some() && rec.is_note() {
+                nearest_decision = Some((i, rec));
+            }
+        }
+        if owner.is_some() && task_of(&rec) == owner && task_lifecycle.len() < LIFECYCLE_CAP {
+            task_lifecycle.push((i, rec));
+        }
+    }
+
+    DoctorReport::Diverged(Box::new(Divergence {
+        index,
+        a: rec_a,
+        b: rec_b,
+        preceding,
+        task_lifecycle,
+        nearest_decision,
+    }))
+}
+
+/// Rewrites the journal at `src` into `dst` with record `index`'s
+/// timestamp bumped by one microsecond — the injected single-event
+/// divergence used by the perturbation harness and CI's doctor smoke job.
+/// Chunk digests and checksums are recomputed, so the output is a valid
+/// journal that differs from the source in exactly one record.
+pub fn perturb_journal(src: &Path, dst: &Path, index: u64) -> std::io::Result<()> {
+    use simkit::journal::JournalWriter;
+    let j = Journal::open(src)?;
+    if index >= j.total_records() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "record index {index} out of range ({} records)",
+                j.total_records()
+            ),
+        ));
+    }
+    let mut w = JournalWriter::create_with_chunk_records(dst, j.chunk_records())?;
+    for (i, rec) in j.iter().enumerate() {
+        let at = if i as u64 == index {
+            rec.at_us + 1
+        } else {
+            rec.at_us
+        };
+        w.append(at, rec.seq, rec.kind, rec.a, rec.b);
+    }
+    w.finish()?;
+    Ok(())
+}
+
+fn render_record(out: &mut String, idx: u64, rec: &JournalRecord) {
+    out.push_str(&format!(
+        "  #{idx:<8} t={:>14.6}s seq={:<8} {:<18} a={} b={}\n",
+        rec.at_us as f64 / 1e6,
+        rec.seq,
+        kind_name(rec.kind),
+        rec.a,
+        rec.b
+    ));
+}
+
+/// Renders a [`DoctorReport`] as the human diagnosis `unifaas-sim doctor`
+/// prints.
+pub fn render_doctor(report: &DoctorReport) -> String {
+    let mut out = String::new();
+    match report {
+        DoctorReport::Identical { records, digest } => {
+            out.push_str(&format!(
+                "journals identical: {records} records, digest {digest:#018x}\n"
+            ));
+        }
+        DoctorReport::Diverged(d) => {
+            out.push_str(&format!("journals DIVERGE at record #{}\n", d.index));
+            match (&d.a, &d.b) {
+                (Some(ra), Some(rb)) => {
+                    out.push_str("journal A:\n");
+                    render_record(&mut out, d.index, ra);
+                    out.push_str("journal B:\n");
+                    render_record(&mut out, d.index, rb);
+                }
+                (Some(ra), None) => {
+                    out.push_str("journal B ends here; journal A continues with:\n");
+                    render_record(&mut out, d.index, ra);
+                }
+                (None, Some(rb)) => {
+                    out.push_str("journal A ends here; journal B continues with:\n");
+                    render_record(&mut out, d.index, rb);
+                }
+                (None, None) => {}
+            }
+            if !d.preceding.is_empty() {
+                out.push_str("shared prefix before divergence:\n");
+                for (i, rec) in &d.preceding {
+                    render_record(&mut out, *i, rec);
+                }
+            }
+            if let Some((i, rec)) = &d.nearest_decision {
+                out.push_str("nearest scheduler decision for the owning task:\n");
+                render_record(&mut out, *i, rec);
+            }
+            if !d.task_lifecycle.is_empty() {
+                out.push_str("owning task's lifecycle in journal A:\n");
+                for (i, rec) in &d.task_lifecycle {
+                    render_record(&mut out, *i, rec);
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +739,88 @@ mod tests {
             let (stack, w) = self.rsplit_once(' ').expect("folded line");
             (stack, w.parse().expect("weight"))
         }
+    }
+
+    fn write_journal(path: &Path, n: u64, chunk: u32, perturb: Option<u64>) {
+        use simkit::journal::JournalWriter;
+        let mut w = JournalWriter::create_with_chunk_records(path, chunk).unwrap();
+        for i in 0..n {
+            let at = if perturb == Some(i) {
+                i * 1_000 + 1
+            } else {
+                i * 1_000
+            };
+            // Every 5th record is a decision note about the same task.
+            if i % 5 == 0 {
+                w.append(at, i + 1, NOTE_DECISION_DISPATCH, i % 7, 1);
+            } else {
+                w.append(at, i + 1, (i % 15) as u16, i % 7, 0);
+            }
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn doctor_reports_identical_for_equal_journals() {
+        let dir = std::env::temp_dir().join(format!("ufdoc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pa = dir.join("a.journal");
+        let pb = dir.join("b.journal");
+        write_journal(&pa, 100, 16, None);
+        write_journal(&pb, 100, 16, None);
+        let report = doctor(&Journal::open(&pa).unwrap(), &Journal::open(&pb).unwrap());
+        assert!(report.is_identical());
+        assert!(render_doctor(&report).contains("identical"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn doctor_localizes_single_record_perturbation() {
+        let dir = std::env::temp_dir().join(format!("ufdoc2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pa = dir.join("a.journal");
+        let pb = dir.join("b.journal");
+        write_journal(&pa, 200, 16, None);
+        write_journal(&pb, 200, 16, Some(123));
+        let report = doctor(&Journal::open(&pa).unwrap(), &Journal::open(&pb).unwrap());
+        let DoctorReport::Diverged(d) = &report else {
+            panic!("expected divergence");
+        };
+        assert_eq!(d.index, 123, "exact perturbed record");
+        assert!(d.a.is_some() && d.b.is_some());
+        assert!(!d.preceding.is_empty());
+        // Record 123's task id is 123 % 7 = 4; the nearest decision note
+        // about task 4 at or before index 123 exists (notes every 5th).
+        assert!(d.nearest_decision.is_some());
+        assert!(!d.task_lifecycle.is_empty());
+        let rendered = render_doctor(&report);
+        assert!(rendered.contains("DIVERGE at record #123"), "{rendered}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn doctor_reports_truncation_as_tail_divergence() {
+        let dir = std::env::temp_dir().join(format!("ufdoc3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pa = dir.join("a.journal");
+        let pb = dir.join("b.journal");
+        write_journal(&pa, 64, 16, None); // 4 full chunks
+        write_journal(&pb, 80, 16, None); // one chunk more
+        let report = doctor(&Journal::open(&pa).unwrap(), &Journal::open(&pb).unwrap());
+        let DoctorReport::Diverged(d) = &report else {
+            panic!("expected divergence");
+        };
+        assert_eq!(d.index, 64);
+        assert!(d.a.is_none() && d.b.is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kind_names_cover_events_and_notes() {
+        assert_eq!(kind_name(2), "TaskArrive");
+        assert_eq!(kind_name(NOTE_DECISION_STAGE), "Decision:Stage");
+        assert_eq!(kind_name(NOTE_DECISION_DISPATCH), "Decision:Dispatch");
+        assert_eq!(kind_name(99), "Event:?");
     }
 
     #[test]

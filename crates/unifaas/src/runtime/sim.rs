@@ -19,9 +19,11 @@ use crate::config::{Config, KnowledgeMode, SchedulingStrategy};
 use crate::data::StartedXfer;
 use crate::data::{DataManager, XferId};
 use crate::error::UniFaasError;
+use crate::flight::{FlightConfig, FlightRecorder, FlightSample};
 use crate::metrics::{LatencyBreakdown, RunReport, RunSeries};
 use crate::monitor::HistoryDb;
 use crate::monitor::{EndpointMonitor, HealthMonitor, MockEndpoint, TaskMonitor, TaskRecord};
+use crate::obs::{NOTE_DECISION_DISPATCH, NOTE_DECISION_STAGE};
 use crate::profile::accuracy::AccuracyMonitor;
 use crate::profile::transfer::transfer_record_name;
 use crate::profile::{EndpointFeatures, LearnedProfiler, OracleProfiler, Predictor};
@@ -39,11 +41,13 @@ use fedci::network::{Link, NetworkTopology};
 use fedci::trace::FedciTraceLabels;
 use fedci::transfer::TransferParams;
 use simkit::event::EventId;
+use simkit::journal::{EventCode, JournalSummary, JournalWriter};
 use simkit::metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 use simkit::series::SeriesHandle;
 use simkit::trace::{LabelId, TraceLevel, Tracer};
 use simkit::{Engine, EngineStats, EventSink, ShardedEngine, SimDuration, SimRng, SimTime};
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::Arc;
 use taskgraph::{Dag, FunctionId, TaskId};
 
@@ -195,6 +199,8 @@ pub struct SimRuntime {
     trace: Option<TraceConfig>,
     metrics: bool,
     predictor_override: Option<Box<dyn Predictor>>,
+    journal_out: Option<PathBuf>,
+    flight: Option<FlightConfig>,
 }
 
 impl SimRuntime {
@@ -210,7 +216,30 @@ impl SimRuntime {
             trace: None,
             metrics: false,
             predictor_override: None,
+            journal_out: None,
+            flight: None,
         }
+    }
+
+    /// Writes a run journal to `path`: one binary record per delivered
+    /// event plus scheduler decision notes, with rolling per-chunk digests
+    /// (see [`simkit::journal`]). The journal is the input of
+    /// `unifaas-sim doctor`; a run without one pays a single pointer check
+    /// per delivered event, and journaled runs produce bit-identical
+    /// reports and digests to unjournaled ones.
+    pub fn with_journal<P: Into<PathBuf>>(mut self, path: P) -> Self {
+        self.journal_out = Some(path.into());
+        self
+    }
+
+    /// Enables the in-run flight recorder: a bounded ring of recent
+    /// events, periodic progress snapshots (optionally streamed to stderr
+    /// or served live over HTTP) and a stall detector, returned as
+    /// [`RunReport::flight`]. The recorder only observes runtime counters,
+    /// so schedules and digests are unchanged.
+    pub fn with_flight(mut self, cfg: FlightConfig) -> Self {
+        self.flight = Some(cfg);
+        self
     }
 
     /// Enables the metrics observatory: counters/gauges/histograms in a
@@ -273,7 +302,34 @@ impl SimRuntime {
         self.cfg.validate()?;
         let shards = self.cfg.engine_shards;
         let reference = self.cfg.engine_reference_queue;
+        let journal_out = self.journal_out.clone();
+        let flight_cfg = self.flight.clone();
         let mut rt = Rt::build(self)?;
+        rt.journal_notes = journal_out.is_some();
+        if let Some(fc) = flight_cfg {
+            let fr = FlightRecorder::new(fc)
+                .map_err(|e| UniFaasError::InvalidConfig(format!("flight recorder: {e}")))?;
+            rt.flight = Some(Box::new(fr));
+        }
+        let open_journal = |engine_journal: &mut dyn FnMut(JournalWriter)| match &journal_out {
+            Some(path) => {
+                let w = JournalWriter::create(path).map_err(|e| {
+                    UniFaasError::InvalidConfig(format!("journal {}: {e}", path.display()))
+                })?;
+                engine_journal(w);
+                Ok(())
+            }
+            None => Ok(()),
+        };
+        let seal = |w: Option<JournalWriter>| -> Result<Option<JournalSummary>, UniFaasError> {
+            match w {
+                Some(w) => w
+                    .finish()
+                    .map(Some)
+                    .map_err(|e| UniFaasError::InvalidConfig(format!("journal: {e}"))),
+                None => Ok(None),
+            }
+        };
         if shards > 1 {
             // Sharded path: per-endpoint event queues merged by the exact
             // global (time, seq) order, so delivery — and the determinism
@@ -283,21 +339,25 @@ impl SimRuntime {
             } else {
                 ShardedEngine::new(shards, shard_of)
             };
+            open_journal(&mut |w| engine.set_journal(w, ev_code))?;
             rt.bootstrap(&mut engine);
             let mut handler =
                 |now: SimTime, ev: Ev, eng: &mut ShardedEngine<Ev>| rt.handle(now, ev, eng);
             while engine.step(&mut handler) {}
-            rt.finish(engine.processed(), engine.stats())
+            let journal = seal(engine.take_journal())?;
+            rt.finish(engine.processed(), engine.stats(), journal)
         } else {
             let mut engine: Engine<Ev> = if reference {
                 Engine::new_reference()
             } else {
                 Engine::new()
             };
+            open_journal(&mut |w| engine.set_journal(w, ev_code))?;
             rt.bootstrap(&mut engine);
             let mut handler = |now: SimTime, ev: Ev, eng: &mut Engine<Ev>| rt.handle(now, ev, eng);
             while engine.step(&mut handler) {}
-            rt.finish(engine.processed(), engine.stats())
+            let journal = seal(engine.take_journal())?;
+            rt.finish(engine.processed(), engine.stats(), journal)
         }
     }
 }
@@ -326,6 +386,31 @@ fn shard_of(ev: &Ev) -> usize {
         | Ev::OutageStart(_)
         | Ev::OutageEnd(_) => 0,
     }
+}
+
+/// Event → journal/flight encoding. Kinds follow the trace-label order of
+/// `handle`'s instant match (and [`crate::obs::EVENT_KIND_NAMES`]); `a`
+/// carries the task/transfer/schedule id and `b` packs the endpoint id in
+/// its low 32 bits with any generation/flag above.
+fn ev_code(ev: &Ev) -> EventCode {
+    let (kind, a, b) = match ev {
+        Ev::StagingCheck(t) => (0, t.0 as u64, 0),
+        Ev::XferDone(x) => (1, x.0 as u64, 0),
+        Ev::TaskArrive(t, ep, gen) => (2, t.0 as u64, ep.0 as u64 | (*gen as u64) << 32),
+        Ev::ExecDone(t, ep) => (3, t.0 as u64, ep.0 as u64),
+        Ev::ResultObserved(t, ep, ok) => (4, t.0 as u64, ep.0 as u64 | (*ok as u64) << 32),
+        Ev::MockSync => (5, 0, 0),
+        Ev::ScaleTick => (6, 0, 0),
+        Ev::RescheduleTick => (7, 0, 0),
+        Ev::CapacityChange(i) => (8, *i as u64, 0),
+        Ev::Commission(ep, n) => (9, *n as u64, ep.0 as u64),
+        Ev::Inject(i) => (10, *i as u64, 0),
+        Ev::OutageStart(i) => (11, *i as u64, 0),
+        Ev::OutageEnd(i) => (12, *i as u64, 0),
+        Ev::RetryTask(t, ep, gen) => (13, t.0 as u64, ep.0 as u64 | (*gen as u64) << 32),
+        Ev::ExecTimeout(t, ep, gen) => (14, t.0 as u64, ep.0 as u64 | (*gen as u64) << 32),
+    };
+    EventCode { kind, a, b }
 }
 
 /// Tracing state for a run, boxed behind one `Option` so untraced runs pay
@@ -638,6 +723,15 @@ struct Rt {
     /// Predicted duration per in-flight transfer, keyed by `XferId.0`;
     /// consumed when the transfer completes.
     xfer_pred: HashMap<usize, f64>,
+    /// True when a run journal is attached to the engine: scheduler
+    /// decisions then interleave as note records via
+    /// [`EventSink::journal_note`].
+    journal_notes: bool,
+    /// Running FNV over the scheduler decision stream (present iff
+    /// `Config::digest_decisions`); lands in `RunReport::decision_digest`.
+    decision_digest: Option<u64>,
+    /// In-run flight recorder (present iff `SimRuntime::with_flight`).
+    flight: Option<Box<FlightRecorder>>,
 }
 
 impl Rt {
@@ -791,6 +885,7 @@ impl Rt {
         let ep_labels: Vec<String> = cfg.endpoints.iter().map(|e| e.label.clone()).collect();
         let mh = MetricHandles::new(&mut metrics, &ep_labels);
         let accuracy = r.metrics.then(|| Box::new(AccuracyMonitor::new()));
+        let digest_decisions = cfg.digest_decisions;
         Ok(Rt {
             cfg,
             dag: r.dag,
@@ -854,6 +949,9 @@ impl Rt {
             mh,
             accuracy,
             xfer_pred: HashMap::new(),
+            journal_notes: false,
+            decision_digest: digest_decisions.then_some(0xcbf2_9ce4_8422_2325),
+            flight: None,
         })
     }
 
@@ -1003,6 +1101,32 @@ impl Rt {
         actions
     }
 
+    /// Folds one scheduler decision into the decision digest and, on
+    /// journaled runs, interleaves it into the journal as a note record.
+    fn note_decision(
+        &mut self,
+        kind: u16,
+        task: TaskId,
+        ep: EndpointId,
+        eng: &mut dyn EventSink<Ev>,
+    ) {
+        if let Some(h) = self.decision_digest.as_mut() {
+            const PRIME: u64 = 0x0000_0100_0000_01b3;
+            for byte in kind
+                .to_le_bytes()
+                .into_iter()
+                .chain(task.0.to_le_bytes())
+                .chain((ep.0 as u32).to_le_bytes())
+            {
+                *h ^= byte as u64;
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        if self.journal_notes {
+            eng.journal_note(kind, task.0 as u64, ep.0 as u64);
+        }
+    }
+
     fn process_actions(
         &mut self,
         mut actions: Vec<SchedAction>,
@@ -1011,8 +1135,14 @@ impl Rt {
     ) {
         for a in actions.drain(..) {
             match a {
-                SchedAction::Stage { task, ep } => self.do_stage(task, ep, false, now, eng),
-                SchedAction::Dispatch { task, ep } => self.do_dispatch(task, ep, now, eng),
+                SchedAction::Stage { task, ep } => {
+                    self.note_decision(NOTE_DECISION_STAGE, task, ep, eng);
+                    self.do_stage(task, ep, false, now, eng)
+                }
+                SchedAction::Dispatch { task, ep } => {
+                    self.note_decision(NOTE_DECISION_DISPATCH, task, ep, eng);
+                    self.do_dispatch(task, ep, now, eng)
+                }
             }
         }
         // Hand the drained buffer back to `sched` for the next hook call:
@@ -2282,6 +2412,18 @@ impl Rt {
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev, eng: &mut dyn EventSink<Ev>) {
+        if let Some(fl) = self.flight.as_deref_mut() {
+            fl.on_event(
+                now,
+                ev_code(&ev),
+                FlightSample {
+                    completed: self.completed as u64,
+                    ready: self.waiting_task_count,
+                    executing: self.active_task_count,
+                    queue_pending: eng.pending(),
+                },
+            );
+        }
         if let Some(tr) = self.trace.as_deref_mut() {
             if tr.tracer.full() {
                 let (idx, arg) = match &ev {
@@ -2446,7 +2588,12 @@ impl Rt {
         }
     }
 
-    fn finish(mut self, events: u64, stats: EngineStats) -> Result<RunReport, UniFaasError> {
+    fn finish(
+        mut self,
+        events: u64,
+        stats: EngineStats,
+        journal: Option<JournalSummary>,
+    ) -> Result<RunReport, UniFaasError> {
         if let Some(err) = self.fatal.take() {
             return Err(err);
         }
@@ -2521,6 +2668,9 @@ impl Rt {
             trace,
             calibration,
             metrics,
+            decision_digest: self.decision_digest,
+            journal,
+            flight: self.flight.take().map(|f| Box::new(f.into_report())),
         })
     }
 }
