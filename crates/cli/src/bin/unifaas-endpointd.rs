@@ -1,0 +1,77 @@
+//! `unifaas-endpointd` — a process-isolated endpoint daemon.
+//!
+//! ```text
+//! unifaas-endpointd [--name <label>] [--workers <n>] [--listen <addr>]
+//!                   [--generation <g>]
+//!                   [--chaos-swallow-every <k>] [--chaos-delay-ms <ms>]
+//!                   [--chaos-dup-results]
+//! ```
+//!
+//! The daemon binds a TCP listener, prints `LISTENING <addr>` on stdout
+//! (the handshake its supervisor parses — `--listen 127.0.0.1:0` lets the
+//! OS pick a free port), then serves the `fedci::proto` frame protocol:
+//! DISPATCH jobs run on `--workers` threads over the builtin byte-level
+//! function registry, TRANSFER frames stage input blobs, HEARTBEATs are
+//! acked with current busy count, and DRAIN flushes and exits.
+//!
+//! The `--chaos-*` flags are for crash/fault testing only: swallow every
+//! k-th job without replying (a hung worker), delay every execution (a
+//! straggler), or send every RESULT twice (a duplicating network). The
+//! chaos tests in `crates/cli/tests` drive these — and plain `kill -9` —
+//! to prove the client's exactly-once machinery holds against real
+//! process failures.
+
+use fedci::process::{run_daemon, DaemonChaos, DaemonConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: unifaas-endpointd [--name <label>] [--workers <n>] [--listen <addr>] \
+         [--generation <g>] [--chaos-swallow-every <k>] [--chaos-delay-ms <ms>] \
+         [--chaos-dup-results]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_or_usage<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(v) = value else {
+        eprintln!("unifaas-endpointd: {flag} needs a value");
+        usage();
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("unifaas-endpointd: bad value `{v}` for {flag}");
+        usage();
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut cfg = DaemonConfig::new("endpoint", 2);
+    let mut chaos = DaemonChaos::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--name" => cfg.name = parse_or_usage("--name", args.next()),
+            "--workers" => cfg.workers = parse_or_usage("--workers", args.next()),
+            "--listen" => cfg.listen = parse_or_usage("--listen", args.next()),
+            "--generation" => cfg.generation = parse_or_usage("--generation", args.next()),
+            "--chaos-swallow-every" => {
+                chaos.swallow_every = parse_or_usage("--chaos-swallow-every", args.next())
+            }
+            "--chaos-delay-ms" => chaos.delay_ms = parse_or_usage("--chaos-delay-ms", args.next()),
+            "--chaos-dup-results" => chaos.dup_results = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unifaas-endpointd: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    cfg.chaos = chaos;
+    let name = cfg.name.clone();
+    if let Err(e) = run_daemon(cfg, |addr| {
+        // The supervisor reads this exact line to learn the bound port.
+        println!("{}{addr}", fedci::process::LISTENING_PREFIX);
+    }) {
+        eprintln!("unifaas-endpointd[{name}]: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,256 @@
+//! `unifaas-fabric` — run a deterministic layered DAG on a live fabric
+//! backend and report the result digest plus recovery statistics.
+//!
+//! ```text
+//! unifaas-fabric [--backend threaded|process] [--endpoints a:4,b:4]
+//!                [--tasks <n>] [--width <w>] [--seed <s>]
+//!                [--daemon <path-to-unifaas-endpointd>]
+//!                [--chaos-kill <ep>:<after-k-completions>]...
+//!                [--max-attempts <n>] [--task-timeout-ms <ms>]
+//!                [--fast-timing] [--report]
+//! ```
+//!
+//! With `--backend process` each endpoint is a spawned
+//! `unifaas-endpointd` child speaking the length-prefixed TCP protocol;
+//! `--chaos-kill ep:k` SIGKILLs endpoint `ep`'s child once `k` tasks have
+//! completed (repeatable), and the supervisor's heartbeat/reconnect/
+//! re-dispatch machinery is expected to carry the run to the same digest
+//! an unfaulted run produces. The final line is machine-readable:
+//!
+//! ```text
+//! digest=0x<16 hex> tasks=<n> failures=<n> retries=<n> ...
+//! ```
+
+use fedci::fabric::{Fabric, FabricTiming, ThreadedFabric};
+use fedci::process::{EndpointMode, ProcessEndpointSpec, ProcessFabric, ProcessFabricConfig};
+use std::sync::Arc;
+use std::time::Duration;
+use unifaas::runtime::fabric::FabricRuntime;
+use unifaas::runtime::live::LiveRetryPolicy;
+use unifaas_cli::fabricrun::{
+    collect_outcome, default_daemon_path, submit_layered, FabricWorkload,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: unifaas-fabric [--backend threaded|process] [--endpoints a:4,b:4] \
+         [--tasks <n>] [--width <w>] [--seed <s>] [--daemon <path>] \
+         [--chaos-kill <ep>:<after-k>]... [--max-attempts <n>] \
+         [--task-timeout-ms <ms>] [--fast-timing] [--report]"
+    );
+    std::process::exit(2);
+}
+
+fn need(flag: &str, v: Option<String>) -> String {
+    v.unwrap_or_else(|| {
+        eprintln!("unifaas-fabric: {flag} needs a value");
+        usage();
+    })
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("unifaas-fabric: bad value `{v}` for {flag}");
+        usage();
+    })
+}
+
+/// `a:4,b:4` → `[("a", 4), ("b", 4)]`.
+fn parse_endpoints(s: &str) -> Vec<(String, usize)> {
+    s.split(',')
+        .map(|part| {
+            let Some((name, workers)) = part.split_once(':') else {
+                eprintln!("unifaas-fabric: bad endpoint `{part}` (want name:workers)");
+                usage();
+            };
+            (name.to_string(), parse("--endpoints", workers))
+        })
+        .collect()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut backend = String::from("threaded");
+    let mut endpoints = vec![("a".to_string(), 4), ("b".to_string(), 4)];
+    let mut tasks = 200usize;
+    let mut width = 4usize;
+    let mut seed = 42u64;
+    let mut daemon: Option<String> = None;
+    let mut kills: Vec<(usize, u64)> = Vec::new();
+    let mut max_attempts = 5u32;
+    let mut task_timeout_ms = 0u64;
+    let mut fast_timing = false;
+    let mut report = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--backend" => backend = need("--backend", args.next()),
+            "--endpoints" => endpoints = parse_endpoints(&need("--endpoints", args.next())),
+            "--tasks" => tasks = parse("--tasks", &need("--tasks", args.next())),
+            "--width" => width = parse("--width", &need("--width", args.next())),
+            "--seed" => seed = parse("--seed", &need("--seed", args.next())),
+            "--daemon" => daemon = Some(need("--daemon", args.next())),
+            "--chaos-kill" => {
+                let v = need("--chaos-kill", args.next());
+                let Some((ep, after)) = v.split_once(':') else {
+                    eprintln!("unifaas-fabric: bad --chaos-kill `{v}` (want ep:after-k)");
+                    usage();
+                };
+                kills.push((parse("--chaos-kill", ep), parse("--chaos-kill", after)));
+            }
+            "--max-attempts" => {
+                max_attempts = parse("--max-attempts", &need("--max-attempts", args.next()))
+            }
+            "--task-timeout-ms" => {
+                task_timeout_ms =
+                    parse("--task-timeout-ms", &need("--task-timeout-ms", args.next()))
+            }
+            "--fast-timing" => fast_timing = true,
+            "--report" => report = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unifaas-fabric: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    if tasks == 0 || endpoints.is_empty() {
+        eprintln!("unifaas-fabric: need at least one task and one endpoint");
+        usage();
+    }
+
+    let timing = if fast_timing {
+        FabricTiming::fast()
+    } else {
+        FabricTiming::default()
+    };
+    // Process runs default to a watchdog: a SIGKILLed endpoint swallows
+    // in-flight work, and only a timeout (or the connection-loss
+    // fail-over) brings it back.
+    let timeout = match (task_timeout_ms, backend.as_str()) {
+        (0, "process") => Some(Duration::from_secs(10)),
+        (0, _) => None,
+        (ms, _) => Some(Duration::from_millis(ms)),
+    };
+    let policy = LiveRetryPolicy {
+        max_attempts,
+        task_timeout: timeout,
+        backoff: Duration::from_millis(if fast_timing { 5 } else { 50 }),
+    };
+
+    let (fabric, proc_fabric): (Arc<dyn Fabric>, Option<Arc<ProcessFabric>>) = match backend
+        .as_str()
+    {
+        "threaded" => {
+            if !kills.is_empty() {
+                eprintln!("unifaas-fabric: --chaos-kill needs --backend process");
+                usage();
+            }
+            let eps: Vec<(&str, usize)> = endpoints.iter().map(|(n, w)| (n.as_str(), *w)).collect();
+            (Arc::new(ThreadedFabric::new(&eps, &timing)), None)
+        }
+        "process" => {
+            let daemon_path =
+                daemon.or_else(|| default_daemon_path().map(|p| p.to_string_lossy().into_owned()));
+            let Some(daemon_path) = daemon_path else {
+                eprintln!("unifaas-fabric: cannot locate unifaas-endpointd; pass --daemon <path>");
+                std::process::exit(2);
+            };
+            let specs: Vec<ProcessEndpointSpec> = endpoints
+                .iter()
+                .map(|(name, workers)| ProcessEndpointSpec {
+                    name: name.clone(),
+                    workers: *workers,
+                    mode: EndpointMode::Spawn {
+                        command: vec![daemon_path.clone()],
+                    },
+                })
+                .collect();
+            let cfg = ProcessFabricConfig {
+                timing,
+                seed,
+                respawn: true,
+            };
+            let pf = Arc::new(ProcessFabric::new(specs, cfg));
+            (Arc::clone(&pf) as Arc<dyn Fabric>, Some(pf))
+        }
+        other => {
+            eprintln!("unifaas-fabric: unknown backend `{other}`");
+            usage();
+        }
+    };
+    for (ep, _) in &kills {
+        if *ep >= endpoints.len() {
+            eprintln!("unifaas-fabric: --chaos-kill endpoint {ep} out of range");
+            std::process::exit(2);
+        }
+    }
+
+    let rt = Arc::new(FabricRuntime::new(Arc::clone(&fabric)).with_retry(policy));
+    let workload = FabricWorkload { tasks, width, seed };
+    let started = std::time::Instant::now();
+    let futures = submit_layered(&rt, &workload);
+
+    // The chaos scheduler: fire each kill once its completion threshold
+    // passes. Polling stats() is deliberate — it observes the run exactly
+    // like an external chaos agent would.
+    let killer = proc_fabric.as_ref().map(|pf| {
+        let pf = Arc::clone(pf);
+        let rt = Arc::clone(&rt);
+        let mut kills = kills.clone();
+        kills.sort_by_key(|&(_, after)| after);
+        std::thread::spawn(move || {
+            while !kills.is_empty() {
+                let completed = rt.stats().completed;
+                while let Some(&(ep, after)) = kills.first() {
+                    if completed >= after {
+                        eprintln!("chaos: SIGKILL endpoint {ep} after {completed} completions");
+                        pf.kill(ep);
+                        kills.remove(0);
+                    } else {
+                        break;
+                    }
+                }
+                if rt.stats().completed as usize >= tasks {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    });
+
+    rt.wait_all();
+    let outcome = collect_outcome(&futures);
+    if let Some(k) = killer {
+        let _ = k.join();
+    }
+    let wall = started.elapsed();
+    let stats = rt.stats();
+
+    if report {
+        eprintln!(
+            "backend={backend} endpoints={} tasks={tasks} width={width} wall={wall:?}",
+            endpoints.len()
+        );
+        if let Some(pf) = &proc_fabric {
+            for (i, (name, _)) in endpoints.iter().enumerate() {
+                let c = pf.counters(i);
+                eprintln!(
+                    "endpoint {i} ({name}): generation={} connects={} respawns={} \
+                     failovers={} stale_results={}",
+                    pf.generation(i),
+                    c.connects,
+                    c.respawns,
+                    c.failovers,
+                    c.stale_results
+                );
+            }
+        }
+    }
+    println!(
+        "digest={:#018x} tasks={tasks} failures={} dispatched={} retries={} \
+         watchdog_timeouts={}",
+        outcome.digest, outcome.failures, stats.dispatched, stats.retries, stats.watchdog_timeouts
+    );
+    fabric.shutdown();
+    std::process::exit(if outcome.failures == 0 { 0 } else { 1 });
+}

@@ -30,6 +30,7 @@
 //! * `scaling on|off [idle=<secs>]`;
 //! * `workload drug pipelines=N | montage tiles=N | bag n=N secs=S | ensemble rounds=R batch=B`.
 
+pub mod fabricrun;
 pub mod spec;
 
 pub use spec::{parse_spec, RunSpec, SpecError};

@@ -1,0 +1,118 @@
+//! Crash-recovery test for the run journal: `kill -9` a real
+//! `unifaas-sim` process mid-run and assert the half-written journal is
+//! still a parseable clean prefix — every fully flushed chunk validates,
+//! the truncated tail is dropped, and the doctor's verdict against an
+//! untouched full run of the same spec is "clean prefix", not a
+//! divergence.
+
+use simkit::journal::Journal;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+use unifaas::obs::{doctor, render_doctor, DoctorReport};
+
+/// A deterministic spec big enough that SIGKILL lands mid-run: ~40k bag
+/// tasks produce well over 100k journal records (many 4096-record
+/// chunks), while the sim itself stays fast.
+const SPEC: &str = "\
+endpoint fast taiyi 16
+endpoint slow qiming 8
+strategy dha
+seed 1234
+workload bag n=40000 secs=20
+";
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "unifaas-crash-journal-{}-{name}",
+        std::process::id()
+    ));
+    p
+}
+
+#[test]
+fn kill_nine_mid_run_leaves_a_parseable_clean_prefix_journal() {
+    let spec_path = temp_path("spec.txt");
+    let crash_path = temp_path("crash.journal");
+    let full_path = temp_path("full.journal");
+    std::fs::write(&spec_path, SPEC).expect("write spec");
+
+    // Run 1: killed. Poll the journal file until at least two full
+    // chunks (header + 2 * (8 + 4096*34 + 16) bytes) hit the disk, then
+    // SIGKILL — the writer dies mid-stream with a partial tail.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_unifaas-sim"))
+        .arg(&spec_path)
+        .arg("--journal-out")
+        .arg(&crash_path)
+        .arg("--quiet")
+        .spawn()
+        .expect("spawn unifaas-sim");
+    let two_chunks = 16 + 2 * (8 + 4096 * 34 + 16);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let size = std::fs::metadata(&crash_path).map(|m| m.len()).unwrap_or(0);
+        if size >= two_chunks {
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("run finished before the kill landed (status {status}, {size} bytes)");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "journal never reached {two_chunks} bytes (at {size})"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap");
+
+    // The survivor: parseable, unclean, non-empty — corruption detection
+    // dropped only the torn tail.
+    let crashed = Journal::open(&crash_path).expect("truncated journal must still parse");
+    assert!(
+        !crashed.clean_close(),
+        "a SIGKILLed run cannot have sealed its journal"
+    );
+    assert!(crashed.total_records() > 0, "no validated records survived");
+    assert!(crashed.chunk_count() >= 2, "expected at least two chunks");
+
+    // Run 2: the same deterministic spec to completion.
+    let status = Command::new(env!("CARGO_BIN_EXE_unifaas-sim"))
+        .arg(&spec_path)
+        .arg("--journal-out")
+        .arg(&full_path)
+        .arg("--quiet")
+        .status()
+        .expect("full run");
+    assert!(status.success(), "unfaulted run failed: {status}");
+    let full = Journal::open(&full_path).expect("full journal");
+    assert!(full.clean_close());
+    assert!(full.total_records() > crashed.total_records());
+
+    // Doctor verdict: a clean prefix, explicitly distinguished from a
+    // real divergence.
+    let report = doctor(&crashed, &full);
+    let DoctorReport::Diverged(d) = &report else {
+        panic!("truncated-vs-full must not be Identical");
+    };
+    assert!(
+        d.is_clean_prefix(),
+        "crash truncation misdiagnosed as divergence: {}",
+        render_doctor(&report)
+    );
+    assert_eq!(
+        d.shared_records(),
+        crashed.total_records(),
+        "every surviving record must match the full run"
+    );
+    let rendered = render_doctor(&report);
+    assert!(
+        rendered.contains("CLEAN PREFIX"),
+        "verdict wording: {rendered}"
+    );
+
+    for p in [&spec_path, &crash_path, &full_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,0 +1,321 @@
+//! Chaos integration tests for the process fabric: real child daemons,
+//! real SIGKILLs, real half-open sockets. The invariant under every
+//! fault is the same — the run completes with no task lost and no task
+//! double-resolved, and every per-task result equals the unfaulted
+//! in-process reference.
+
+use fedci::fabric::{Fabric, FabricTiming, ProbeState, ThreadedFabric};
+use fedci::process::{
+    spawn_daemon_thread, ChaosProxy, DaemonChaos, DaemonConfig, EndpointMode, ProcessEndpointSpec,
+    ProcessFabric, ProcessFabricConfig,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use unifaas::runtime::fabric::FabricRuntime;
+use unifaas::runtime::live::LiveRetryPolicy;
+use unifaas_cli::fabricrun::{
+    collect_outcome, reference_outcome, run_workload, submit_layered, FabricWorkload,
+};
+
+fn daemon_bin() -> String {
+    env!("CARGO_BIN_EXE_unifaas-endpointd").to_string()
+}
+
+fn spawn_spec(name: &str, workers: usize) -> ProcessEndpointSpec {
+    ProcessEndpointSpec {
+        name: name.to_string(),
+        workers,
+        mode: EndpointMode::Spawn {
+            command: vec![daemon_bin()],
+        },
+    }
+}
+
+fn fast_cfg(seed: u64) -> ProcessFabricConfig {
+    ProcessFabricConfig {
+        timing: FabricTiming::fast(),
+        seed,
+        respawn: true,
+    }
+}
+
+/// Generous budgets for debug builds: the watchdog is a correctness
+/// backstop here, not a latency target.
+fn retry_policy() -> LiveRetryPolicy {
+    LiveRetryPolicy {
+        max_attempts: 6,
+        task_timeout: Some(Duration::from_secs(5)),
+        backoff: Duration::from_millis(5),
+    }
+}
+
+fn assert_matches_reference(outcome: &unifaas_cli::fabricrun::RunOutcome, w: &FabricWorkload) {
+    assert_eq!(outcome.failures, 0, "tasks failed: {:?}", outcome.results);
+    let want = reference_outcome(w);
+    assert_eq!(outcome.results.len(), want.len(), "task lost or duplicated");
+    for (i, (got, want)) in outcome.results.iter().zip(&want).enumerate() {
+        assert_eq!(
+            got.as_ref().unwrap().as_slice(),
+            want.as_slice(),
+            "task {i} diverged from the unfaulted reference"
+        );
+    }
+}
+
+/// Waits until `completed` crosses `k` (so a kill lands mid-run, with
+/// work genuinely in flight).
+fn wait_completions(rt: &FabricRuntime, k: u64, budget: Duration) {
+    let start = Instant::now();
+    while rt.stats().completed < k {
+        assert!(
+            start.elapsed() < budget,
+            "only {} completions after {budget:?}",
+            rt.stats().completed
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn threaded_and_process_backends_agree_bit_for_bit() {
+    let w = FabricWorkload::new(60, 1234);
+    let threaded = {
+        let fabric = Arc::new(ThreadedFabric::new(
+            &[("a", 2), ("b", 2)],
+            &FabricTiming::fast(),
+        ));
+        let rt = FabricRuntime::new(fabric);
+        run_workload(&rt, &w)
+    };
+    let process = {
+        let fabric = Arc::new(ProcessFabric::new(
+            vec![spawn_spec("a", 2), spawn_spec("b", 2)],
+            fast_cfg(1),
+        ));
+        let rt =
+            FabricRuntime::new(Arc::clone(&fabric) as Arc<dyn Fabric>).with_retry(retry_policy());
+        let out = run_workload(&rt, &w);
+        fabric.shutdown();
+        out
+    };
+    assert_eq!(threaded.digest, process.digest);
+    assert_matches_reference(&process, &w);
+}
+
+#[test]
+fn sigkill_mid_run_respawns_and_loses_nothing() {
+    let w = FabricWorkload::new(120, 77);
+    let fabric = Arc::new(ProcessFabric::new(
+        vec![spawn_spec("victim", 2), spawn_spec("peer", 2)],
+        fast_cfg(2),
+    ));
+    let rt = FabricRuntime::new(Arc::clone(&fabric) as Arc<dyn Fabric>).with_retry(retry_policy());
+    let futures = submit_layered(&rt, &w);
+    // Let the run get going, then SIGKILL the victim's child process —
+    // its in-flight dispatches die with it.
+    wait_completions(&rt, 20, Duration::from_secs(30));
+    fabric.kill(0);
+    rt.wait_all();
+    let outcome = collect_outcome(&futures);
+    assert_matches_reference(&outcome, &w);
+
+    let c = fabric.counters(0);
+    assert!(c.respawns >= 1, "victim was never respawned: {c:?}");
+    assert!(
+        fabric.generation(0) >= 1,
+        "respawned daemon must carry a new generation"
+    );
+    // The kill either failed over in-flight work (connection died with
+    // dispatches outstanding) or the watchdog caught it; both surface as
+    // retries when anything was in flight.
+    fabric.shutdown();
+}
+
+#[test]
+fn repeated_sigkills_of_both_endpoints_still_converge() {
+    let w = FabricWorkload::new(150, 9);
+    let fabric = Arc::new(ProcessFabric::new(
+        vec![spawn_spec("a", 2), spawn_spec("b", 2)],
+        fast_cfg(3),
+    ));
+    let rt = FabricRuntime::new(Arc::clone(&fabric) as Arc<dyn Fabric>).with_retry(retry_policy());
+    let futures = submit_layered(&rt, &w);
+    for (k, ep) in [(15u64, 0usize), (40, 1), (70, 0)] {
+        wait_completions(&rt, k, Duration::from_secs(60));
+        fabric.kill(ep);
+    }
+    rt.wait_all();
+    let outcome = collect_outcome(&futures);
+    assert_matches_reference(&outcome, &w);
+    assert!(fabric.counters(0).respawns >= 1);
+    assert!(fabric.counters(1).respawns >= 1);
+    fabric.shutdown();
+}
+
+#[test]
+fn mid_frame_socket_cut_reconnects_and_completes() {
+    // Daemon runs in-thread; the client connects through a byte-counting
+    // proxy that severs the connection three bytes into a frame.
+    let daemon = spawn_daemon_thread(DaemonConfig::new("proxied", 2)).expect("daemon");
+    let proxy = ChaosProxy::start(daemon.addr()).expect("proxy");
+    let fabric = Arc::new(ProcessFabric::new(
+        vec![ProcessEndpointSpec {
+            name: "proxied".to_string(),
+            workers: 2,
+            mode: EndpointMode::Connect {
+                addr: proxy.addr().to_string(),
+            },
+        }],
+        fast_cfg(4),
+    ));
+    let rt = FabricRuntime::new(Arc::clone(&fabric) as Arc<dyn Fabric>).with_retry(retry_policy());
+
+    let w = FabricWorkload::new(40, 5);
+    let futures = submit_layered(&rt, &w);
+    wait_completions(&rt, 5, Duration::from_secs(30));
+    // Arm a mid-frame cut: the next RESULT/ack frame dies 3 bytes in
+    // (inside the length header), leaving a half-delivered frame.
+    proxy.cut_after_down_bytes(3);
+    rt.wait_all();
+    let outcome = collect_outcome(&futures);
+    assert_matches_reference(&outcome, &w);
+    assert!(
+        fabric.counters(0).connects >= 2,
+        "expected a reconnect after the cut: {:?}",
+        fabric.counters(0)
+    );
+    fabric.shutdown();
+    drop(proxy);
+    let _ = daemon; // dropped (detached) after shutdown drained it
+}
+
+#[test]
+fn stalled_connection_fails_over_and_replayed_results_are_dropped_stale() {
+    // Two endpoints: "slow" executes with a delay, so cutting its
+    // connection mid-run strands completed RESULTs in the daemon outbox.
+    // They replay on reconnect — after the client has already failed the
+    // attempts over — and must be dropped as stale, not double-resolved.
+    let slow_daemon = spawn_daemon_thread(DaemonConfig {
+        chaos: DaemonChaos {
+            delay_ms: 60,
+            ..DaemonChaos::default()
+        },
+        ..DaemonConfig::new("slow", 2)
+    })
+    .expect("daemon");
+    let proxy = ChaosProxy::start(slow_daemon.addr()).expect("proxy");
+    let fabric = Arc::new(ProcessFabric::new(
+        vec![
+            ProcessEndpointSpec {
+                name: "slow".to_string(),
+                workers: 2,
+                mode: EndpointMode::Connect {
+                    addr: proxy.addr().to_string(),
+                },
+            },
+            spawn_spec("fast", 2),
+        ],
+        fast_cfg(5),
+    ));
+    let rt = FabricRuntime::new(Arc::clone(&fabric) as Arc<dyn Fabric>).with_retry(retry_policy());
+
+    let w = FabricWorkload {
+        tasks: 60,
+        width: 6,
+        seed: 11,
+    };
+    let futures = submit_layered(&rt, &w);
+    // Wait until the slow endpoint has work in flight, then cut. Its
+    // workers keep executing into the outbox while disconnected.
+    wait_completions(&rt, 4, Duration::from_secs(30));
+    proxy.cut_now();
+    rt.wait_all();
+    let outcome = collect_outcome(&futures);
+    assert_matches_reference(&outcome, &w);
+
+    let c = fabric.counters(0);
+    assert!(
+        c.failovers >= 1,
+        "cut connection should have failed over in-flight work: {c:?}"
+    );
+    // Give the replayed outbox a beat to arrive, then check it was
+    // ignored. (The replay may also have raced `wait_all`, which is
+    // fine — the counter is monotone.)
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while fabric.counters(0).stale_results == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        fabric.counters(0).stale_results >= 1,
+        "replayed RESULTs for failed-over attempts must be counted stale: {:?}",
+        fabric.counters(0)
+    );
+    fabric.shutdown();
+}
+
+#[test]
+fn duplicated_results_resolve_each_task_exactly_once() {
+    // A daemon that sends every RESULT twice: the second copy no longer
+    // matches an outstanding (task, attempt) and must be dropped.
+    let daemon = spawn_daemon_thread(DaemonConfig {
+        chaos: DaemonChaos {
+            dup_results: true,
+            ..DaemonChaos::default()
+        },
+        ..DaemonConfig::new("dup", 2)
+    })
+    .expect("daemon");
+    let fabric = Arc::new(ProcessFabric::new(
+        vec![ProcessEndpointSpec {
+            name: "dup".to_string(),
+            workers: 2,
+            mode: EndpointMode::Connect {
+                addr: daemon.addr().to_string(),
+            },
+        }],
+        fast_cfg(6),
+    ));
+    let rt = FabricRuntime::new(Arc::clone(&fabric) as Arc<dyn Fabric>).with_retry(retry_policy());
+    let w = FabricWorkload::new(30, 21);
+    let outcome = run_workload(&rt, &w);
+    assert_matches_reference(&outcome, &w);
+    let c = fabric.counters(0);
+    assert!(
+        c.stale_results as usize >= w.tasks,
+        "every duplicate should be dropped stale: {c:?}"
+    );
+    assert_eq!(rt.stats().completed as usize, w.tasks);
+    fabric.shutdown();
+}
+
+#[test]
+fn respawn_disabled_turns_sigkill_into_clean_permanent_failure() {
+    // With respawn off and only one endpoint, killing it must fail the
+    // remaining tasks with real error messages — never hang.
+    let fabric = Arc::new(ProcessFabric::new(
+        vec![spawn_spec("mortal", 2)],
+        ProcessFabricConfig {
+            timing: FabricTiming::fast(),
+            seed: 7,
+            respawn: false,
+        },
+    ));
+    let rt =
+        FabricRuntime::new(Arc::clone(&fabric) as Arc<dyn Fabric>).with_retry(LiveRetryPolicy {
+            max_attempts: 2,
+            task_timeout: Some(Duration::from_millis(500)),
+            backoff: Duration::ZERO,
+        });
+    let w = FabricWorkload::new(50, 3);
+    let futures = submit_layered(&rt, &w);
+    wait_completions(&rt, 5, Duration::from_secs(30));
+    fabric.kill(0);
+    rt.wait_all();
+    let outcome = collect_outcome(&futures);
+    assert!(outcome.failures > 0, "the kill should strand some tasks");
+    // No hang, every future resolved, and the endpoint reads Dead.
+    assert_eq!(outcome.results.len(), w.tasks);
+    assert!(fabric.wait_probe(0, ProbeState::Dead, Duration::from_secs(5)));
+    assert_eq!(fabric.counters(0).respawns, 0);
+    fabric.shutdown();
+}

@@ -1,0 +1,637 @@
+//! The execution-fabric abstraction shared by the live backends.
+//!
+//! The simulated backend reproduces the paper's experiments over virtual
+//! time; the *live* backends execute real work on real resources. Before
+//! this module existed the only live backend was the in-process
+//! [`threaded`](crate::threaded) worker pools, and the runtime above was
+//! welded to them. [`Fabric`] extracts the contract that runtime actually
+//! relies on, so the same client path — placement, retry/health machinery,
+//! straggler watchdog — drives both the threaded pools and the
+//! process-isolated TCP backend ([`crate::process`]):
+//!
+//! * work is a *named function over bytes* ([`JobSpec`]): the only job
+//!   shape that can cross a process boundary. Dependencies are staged as
+//!   keyed blobs ([`Fabric::stage`]) so data gravity works over a wire;
+//! * completion is asynchronous and **at-most-once per attempt**: the
+//!   fabric calls the [`Completion`] exactly once per submitted attempt,
+//!   with `Err` covering both application failures and fabric-level loss
+//!   (connection cut, endpoint crash). Exactly-once *task* semantics are
+//!   the client's job, via attempt generations;
+//! * liveness is a cheap probe ([`Fabric::probe`]) distilled from whatever
+//!   signal the backend has — pool fault flags in-process, heartbeat
+//!   acknowledgements over TCP.
+//!
+//! [`FabricTiming`] centralizes the heartbeat/poll/backoff intervals that
+//! used to be hardcoded per backend, with the ordering every liveness
+//! pipeline needs validated in one place (heartbeat < suspect < down).
+
+use crate::threaded::ThreadedEndpoint;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The outcome of one job attempt: result bytes or an error message.
+pub type FabricResult = Result<Vec<u8>, String>;
+
+/// Completion callback for one submitted attempt. Called exactly once,
+/// from a fabric-owned thread.
+pub type Completion = Box<dyn FnOnce(FabricResult) + Send + 'static>;
+
+/// A function call the fabric can ship across a process boundary.
+///
+/// The executed input is `concat(blob[d] for d in deps) ++ payload`; the
+/// dep blobs must have been [`Fabric::stage`]d at the target endpoint
+/// first (an in-order transport makes "stage then dispatch" race-free).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Task id (stable across attempts).
+    pub task: u64,
+    /// Attempt number, 1-based. The generation guard: a RESULT carrying a
+    /// stale attempt is not this dispatch's answer.
+    pub attempt: u32,
+    /// Registered function name.
+    pub function: Arc<str>,
+    /// Keys of staged input blobs, concatenated in this order.
+    pub deps: Vec<u64>,
+    /// Inline argument bytes, appended after the dep blobs.
+    pub payload: Vec<u8>,
+}
+
+/// Coarse liveness as seen by the fabric's own signal (heartbeats, fault
+/// flags). The client feeds this into its `HealthPolicy` state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeState {
+    /// Endpoint answers its liveness signal.
+    Alive,
+    /// Liveness signal is late (missed heartbeats past the suspect
+    /// threshold) but the endpoint is not yet declared gone.
+    Suspect,
+    /// Endpoint is disconnected / crashed / marked down.
+    Dead,
+}
+
+/// A live execution fabric: endpoints that run named functions over bytes
+/// and report back asynchronously.
+///
+/// Implementations: [`ThreadedFabric`] (in-process worker pools) and
+/// [`ProcessFabric`](crate::process::ProcessFabric) (endpoint daemons over
+/// TCP). The simulated backend keeps its own discrete-event path but
+/// shares the health/retry machinery and metrics taxonomy above this
+/// trait.
+pub trait Fabric: Send + Sync {
+    /// Endpoint display labels; `labels().len()` is the endpoint count.
+    fn labels(&self) -> &[String];
+
+    /// Number of endpoints.
+    fn n_endpoints(&self) -> usize {
+        self.labels().len()
+    }
+
+    /// Configured workers at endpoint `ep`.
+    fn n_workers(&self, ep: usize) -> usize;
+
+    /// Workers currently executing (racy snapshot; for placement).
+    fn busy_workers(&self, ep: usize) -> usize;
+
+    /// The backend's own liveness verdict for `ep`.
+    fn probe(&self, ep: usize) -> ProbeState;
+
+    /// Makes blob `key` available at `ep` for later [`JobSpec::deps`]
+    /// references. Idempotent per connection epoch: the fabric tracks
+    /// what `ep` already holds and re-ships after a reconnect/restart.
+    /// Fire-and-forget; a lost blob surfaces as a failed dispatch.
+    fn stage(&self, ep: usize, key: u64, bytes: &Arc<Vec<u8>>);
+
+    /// Submits one attempt to `ep`. `done` fires exactly once — with the
+    /// function's result, or `Err` if the attempt was lost (endpoint
+    /// down, connection cut, unknown function, missing input blob).
+    fn submit(&self, ep: usize, job: JobSpec, done: Completion);
+
+    /// Gracefully stops the fabric (drains daemons/pools). Idempotent.
+    fn shutdown(&self);
+}
+
+// ---------------------------------------------------------------------------
+// FabricTiming
+// ---------------------------------------------------------------------------
+
+/// Heartbeat/poll/backoff intervals shared by the live backends.
+///
+/// These used to be scattered hardcodes (`threaded::DEFAULT_POLL_TIMEOUT`,
+/// ad-hoc watchdog ticks). Centralizing them buys one validation point:
+/// liveness only works if `heartbeat_interval < suspect_after <
+/// down_after`, and backoff only terminates if `reconnect_base <=
+/// reconnect_max`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FabricTiming {
+    /// How long an idle threaded worker blocks on its queue before
+    /// re-checking pool state (fault flags, shutdown).
+    pub poll_timeout: Duration,
+    /// Interval between heartbeats on a process-fabric connection.
+    pub heartbeat_interval: Duration,
+    /// No heartbeat ack for this long ⇒ the endpoint is Suspect.
+    pub suspect_after: Duration,
+    /// No heartbeat ack for this long ⇒ the connection is declared dead:
+    /// in-flight work fails over and the reconnect loop starts.
+    pub down_after: Duration,
+    /// First reconnect backoff delay (doubles per consecutive failure).
+    pub reconnect_base: Duration,
+    /// Backoff ceiling.
+    pub reconnect_max: Duration,
+    /// TCP connect attempt budget.
+    pub connect_timeout: Duration,
+}
+
+impl Default for FabricTiming {
+    fn default() -> Self {
+        FabricTiming {
+            poll_timeout: crate::threaded::DEFAULT_POLL_TIMEOUT,
+            heartbeat_interval: Duration::from_millis(500),
+            suspect_after: Duration::from_millis(1500),
+            down_after: Duration::from_secs(5),
+            reconnect_base: Duration::from_millis(100),
+            reconnect_max: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+impl FabricTiming {
+    /// A millisecond-scale preset for tests: fast heartbeats, fast
+    /// suspicion, fast reconnect. Still satisfies [`FabricTiming::validate`].
+    pub fn fast() -> Self {
+        FabricTiming {
+            poll_timeout: Duration::from_millis(20),
+            heartbeat_interval: Duration::from_millis(25),
+            suspect_after: Duration::from_millis(80),
+            down_after: Duration::from_millis(250),
+            reconnect_base: Duration::from_millis(10),
+            reconnect_max: Duration::from_millis(200),
+            connect_timeout: Duration::from_millis(500),
+        }
+    }
+
+    /// Checks the interval ordering the liveness pipeline depends on.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.poll_timeout.is_zero() {
+            return Err("poll_timeout must be non-zero".into());
+        }
+        if self.heartbeat_interval.is_zero() {
+            return Err("heartbeat_interval must be non-zero".into());
+        }
+        if self.heartbeat_interval >= self.suspect_after {
+            return Err(format!(
+                "heartbeat_interval ({:?}) must be < suspect_after ({:?})",
+                self.heartbeat_interval, self.suspect_after
+            ));
+        }
+        if self.suspect_after >= self.down_after {
+            return Err(format!(
+                "suspect_after ({:?}) must be < down_after ({:?})",
+                self.suspect_after, self.down_after
+            ));
+        }
+        if self.reconnect_base.is_zero() || self.reconnect_base > self.reconnect_max {
+            return Err(format!(
+                "reconnect_base ({:?}) must be non-zero and <= reconnect_max ({:?})",
+                self.reconnect_base, self.reconnect_max
+            ));
+        }
+        if self.connect_timeout.is_zero() {
+            return Err("connect_timeout must be non-zero".into());
+        }
+        Ok(())
+    }
+
+    /// Missed-beat count at which a connection turns Suspect.
+    pub fn suspect_misses(&self) -> u64 {
+        Self::misses(self.suspect_after, self.heartbeat_interval)
+    }
+
+    /// Missed-beat count at which a connection is declared dead.
+    pub fn down_misses(&self) -> u64 {
+        Self::misses(self.down_after, self.heartbeat_interval)
+    }
+
+    fn misses(threshold: Duration, interval: Duration) -> u64 {
+        (threshold.as_micros().div_ceil(interval.as_micros().max(1))).max(1) as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Function registry + builtins
+// ---------------------------------------------------------------------------
+
+/// A function the fabric can execute: bytes in, bytes out.
+pub type WireFn = Arc<dyn Fn(&[u8]) -> FabricResult + Send + Sync>;
+
+/// A name → [`WireFn`] registry.
+///
+/// The threaded fabric executes registrations in-process; the endpoint
+/// daemon ships with [`FnRegistry::builtins`] so the same function names
+/// produce the same bytes on every backend — which is what lets chaos
+/// tests compare a faulted run's result set against an unfaulted one.
+#[derive(Clone, Default)]
+pub struct FnRegistry {
+    map: Arc<Mutex<HashMap<String, WireFn>>>,
+}
+
+impl std::fmt::Debug for FnRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<String> = self.map.lock().keys().cloned().collect();
+        names.sort();
+        f.debug_struct("FnRegistry").field("names", &names).finish()
+    }
+}
+
+impl FnRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The deterministic builtin set every backend agrees on:
+    ///
+    /// * `echo` — identity;
+    /// * `fnv` — 8-byte LE FNV-1a 64 of the input (the workhorse for
+    ///   result-set digests: chaining it over deps makes every task's
+    ///   output a checksum of its whole ancestry);
+    /// * `sum64` — sums the input interpreted as LE u64s (errors unless
+    ///   the length is a multiple of 8);
+    /// * `sleep` — first 8 bytes are LE milliseconds to sleep; echoes the
+    ///   rest (straggler material for watchdog tests);
+    /// * `fail` — always errors with the payload as the message.
+    pub fn builtins() -> Self {
+        let reg = Self::new();
+        reg.register("echo", |input| Ok(input.to_vec()));
+        reg.register("fnv", |input| Ok(fnv1a64(input).to_le_bytes().to_vec()));
+        reg.register("sum64", |input| {
+            if !input.len().is_multiple_of(8) {
+                return Err(format!("sum64: input length {} not /8", input.len()));
+            }
+            let mut sum = 0u64;
+            for chunk in input.chunks_exact(8) {
+                sum = sum.wrapping_add(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+            }
+            Ok(sum.to_le_bytes().to_vec())
+        });
+        reg.register("sleep", |input| {
+            if input.len() < 8 {
+                return Err("sleep: need 8-byte millisecond prefix".into());
+            }
+            let ms = u64::from_le_bytes(input[..8].try_into().expect("8 bytes"));
+            std::thread::sleep(Duration::from_millis(ms.min(60_000)));
+            Ok(input[8..].to_vec())
+        });
+        reg.register("fail", |input| {
+            Err(String::from_utf8_lossy(input).into_owned())
+        });
+        reg
+    }
+
+    /// Registers (or replaces) `name`.
+    pub fn register<F>(&self, name: &str, f: F)
+    where
+        F: Fn(&[u8]) -> FabricResult + Send + Sync + 'static,
+    {
+        self.map.lock().insert(name.to_string(), Arc::new(f));
+    }
+
+    /// Looks up `name`.
+    pub fn get(&self, name: &str) -> Option<WireFn> {
+        self.map.lock().get(name).cloned()
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.map.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — the workspace's standing checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Assembles a job's input: staged dep blobs in `deps` order, then the
+/// inline payload. Shared by the threaded fabric and the endpoint daemon
+/// so both sides agree byte-for-byte.
+pub fn assemble_input(
+    blobs: &HashMap<u64, Arc<Vec<u8>>>,
+    job: &JobSpec,
+) -> Result<Vec<u8>, String> {
+    let mut size = job.payload.len();
+    for d in &job.deps {
+        size += blobs
+            .get(d)
+            .ok_or_else(|| format!("missing input blob {d} for task {}", job.task))?
+            .len();
+    }
+    let mut input = Vec::with_capacity(size);
+    for d in &job.deps {
+        input.extend_from_slice(blobs.get(d).expect("checked above"));
+    }
+    input.extend_from_slice(&job.payload);
+    Ok(input)
+}
+
+// ---------------------------------------------------------------------------
+// ThreadedFabric
+// ---------------------------------------------------------------------------
+
+/// The in-process fabric: [`ThreadedEndpoint`] worker pools behind the
+/// [`Fabric`] trait.
+///
+/// Staged blobs live in a per-endpoint map (the analogue of an endpoint's
+/// shared filesystem); jobs execute registry functions on the pool's
+/// workers. Fault injection flows through the pool's [`PoolFaults`]
+/// switches — a down pool fails its probe and swallows submissions, which
+/// is exactly the loss mode the client's watchdog recovers.
+///
+/// [`PoolFaults`]: crate::threaded::PoolFaults
+pub struct ThreadedFabric {
+    pools: Vec<Arc<ThreadedEndpoint>>,
+    labels: Vec<String>,
+    registry: FnRegistry,
+    blobs: Vec<BlobStore>,
+}
+
+/// One endpoint's staged-blob map (the in-process stand-in for a
+/// cluster's shared filesystem).
+type BlobStore = Arc<Mutex<HashMap<u64, Arc<Vec<u8>>>>>;
+
+impl ThreadedFabric {
+    /// One worker pool per `(label, workers)` pair, with the builtin
+    /// function set plus anything later [`ThreadedFabric::registry`]
+    /// registrations add.
+    pub fn new(endpoints: &[(&str, usize)], timing: &FabricTiming) -> Self {
+        timing.validate().expect("invalid fabric timing");
+        assert!(!endpoints.is_empty(), "need at least one endpoint");
+        ThreadedFabric {
+            pools: endpoints
+                .iter()
+                .map(|(l, w)| {
+                    Arc::new(ThreadedEndpoint::with_poll_timeout(
+                        l,
+                        *w,
+                        timing.poll_timeout,
+                    ))
+                })
+                .collect(),
+            labels: endpoints.iter().map(|(l, _)| l.to_string()).collect(),
+            registry: FnRegistry::builtins(),
+            blobs: endpoints
+                .iter()
+                .map(|_| Arc::new(Mutex::new(HashMap::new())))
+                .collect(),
+        }
+    }
+
+    /// The function registry (builtins pre-loaded; add more freely).
+    pub fn registry(&self) -> &FnRegistry {
+        &self.registry
+    }
+
+    /// The underlying pool for endpoint `ep` (fault-injection hooks).
+    pub fn pool(&self, ep: usize) -> &ThreadedEndpoint {
+        &self.pools[ep]
+    }
+}
+
+impl Fabric for ThreadedFabric {
+    fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    fn n_workers(&self, ep: usize) -> usize {
+        self.pools[ep].n_workers()
+    }
+
+    fn busy_workers(&self, ep: usize) -> usize {
+        self.pools[ep].busy_workers()
+    }
+
+    fn probe(&self, ep: usize) -> ProbeState {
+        if self.pools[ep].responsive() {
+            ProbeState::Alive
+        } else {
+            ProbeState::Dead
+        }
+    }
+
+    fn stage(&self, ep: usize, key: u64, bytes: &Arc<Vec<u8>>) {
+        self.blobs[ep].lock().insert(key, Arc::clone(bytes));
+    }
+
+    fn submit(&self, ep: usize, job: JobSpec, done: Completion) {
+        let registry = self.registry.clone();
+        let blobs = Arc::clone(&self.blobs[ep]);
+        self.pools[ep].submit_then(move || {
+            let result = match registry.get(&job.function) {
+                None => Err(format!("unknown function `{}`", job.function)),
+                Some(f) => assemble_input(&blobs.lock(), &job).and_then(|input| f(&input)),
+            };
+            // Report after the worker frees, so dependents see this
+            // worker as placeable capacity (same as the live runtime).
+            Some(Box::new(move || done(result)) as Box<dyn FnOnce() + Send>)
+        });
+    }
+
+    fn shutdown(&self) {
+        // Pools drain and join on drop; nothing to force here. Kept as a
+        // trait hook because the process fabric needs a real drain.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn timing_default_and_fast_validate() {
+        assert_eq!(FabricTiming::default().validate(), Ok(()));
+        assert_eq!(FabricTiming::fast().validate(), Ok(()));
+        assert_eq!(
+            FabricTiming::default().poll_timeout,
+            crate::threaded::DEFAULT_POLL_TIMEOUT,
+            "the old hardcode and the shared config must agree"
+        );
+    }
+
+    #[test]
+    fn timing_rejects_bad_orderings() {
+        let d = FabricTiming::default();
+        let t = FabricTiming {
+            heartbeat_interval: d.suspect_after,
+            ..d
+        };
+        assert!(t.validate().unwrap_err().contains("suspect_after"));
+
+        let t = FabricTiming {
+            suspect_after: d.down_after,
+            ..d
+        };
+        assert!(t.validate().unwrap_err().contains("down_after"));
+
+        let t = FabricTiming {
+            reconnect_base: d.reconnect_max + Duration::from_millis(1),
+            ..d
+        };
+        assert!(t.validate().unwrap_err().contains("reconnect_base"));
+
+        for t in [
+            FabricTiming {
+                heartbeat_interval: Duration::ZERO,
+                ..d
+            },
+            FabricTiming {
+                poll_timeout: Duration::ZERO,
+                ..d
+            },
+            FabricTiming {
+                connect_timeout: Duration::ZERO,
+                ..d
+            },
+        ] {
+            assert!(t.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn timing_miss_thresholds() {
+        let t = FabricTiming {
+            heartbeat_interval: Duration::from_millis(100),
+            suspect_after: Duration::from_millis(250),
+            down_after: Duration::from_millis(1000),
+            ..FabricTiming::default()
+        };
+        assert_eq!(t.validate(), Ok(()));
+        assert_eq!(t.suspect_misses(), 3);
+        assert_eq!(t.down_misses(), 10);
+        assert!(t.suspect_misses() < t.down_misses());
+    }
+
+    #[test]
+    fn builtins_are_deterministic() {
+        let reg = FnRegistry::builtins();
+        let fnv = reg.get("fnv").unwrap();
+        assert_eq!(fnv(b"abc").unwrap(), fnv(b"abc").unwrap());
+        assert_ne!(fnv(b"abc").unwrap(), fnv(b"abd").unwrap());
+        let sum = reg.get("sum64").unwrap();
+        let mut input = Vec::new();
+        input.extend_from_slice(&3u64.to_le_bytes());
+        input.extend_from_slice(&4u64.to_le_bytes());
+        assert_eq!(sum(&input).unwrap(), 7u64.to_le_bytes().to_vec());
+        assert!(sum(b"odd").unwrap_err().contains("not /8"));
+        assert_eq!(reg.get("echo").unwrap()(b"x").unwrap(), b"x".to_vec());
+        assert_eq!(reg.get("fail").unwrap()(b"boom").unwrap_err(), "boom");
+        assert!(reg.get("nope").is_none());
+        assert!(reg.names().contains(&"sleep".to_string()));
+    }
+
+    #[test]
+    fn assemble_orders_deps_then_payload() {
+        let mut blobs = HashMap::new();
+        blobs.insert(1u64, Arc::new(b"AA".to_vec()));
+        blobs.insert(2u64, Arc::new(b"BB".to_vec()));
+        let job = JobSpec {
+            task: 9,
+            attempt: 1,
+            function: Arc::from("echo"),
+            deps: vec![2, 1],
+            payload: b"CC".to_vec(),
+        };
+        assert_eq!(assemble_input(&blobs, &job).unwrap(), b"BBAACC".to_vec());
+        let missing = JobSpec {
+            deps: vec![3],
+            ..job
+        };
+        assert!(assemble_input(&blobs, &missing)
+            .unwrap_err()
+            .contains("missing input blob 3"));
+    }
+
+    #[test]
+    fn threaded_fabric_round_trip() {
+        let fabric = ThreadedFabric::new(&[("a", 2), ("b", 1)], &FabricTiming::fast());
+        assert_eq!(fabric.n_endpoints(), 2);
+        assert_eq!(fabric.n_workers(0), 2);
+        assert_eq!(fabric.probe(1), ProbeState::Alive);
+
+        let blob = Arc::new(b"hello ".to_vec());
+        fabric.stage(1, 7, &blob);
+        let (tx, rx) = mpsc::channel();
+        fabric.submit(
+            1,
+            JobSpec {
+                task: 1,
+                attempt: 1,
+                function: Arc::from("echo"),
+                deps: vec![7],
+                payload: b"world".to_vec(),
+            },
+            Box::new(move |r| tx.send(r).unwrap()),
+        );
+        let got = rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(got, b"hello world".to_vec());
+    }
+
+    #[test]
+    fn threaded_fabric_errors_without_losing_completion() {
+        let fabric = ThreadedFabric::new(&[("a", 1)], &FabricTiming::fast());
+        let (tx, rx) = mpsc::channel();
+        // Unknown function.
+        let tx2 = tx.clone();
+        fabric.submit(
+            0,
+            JobSpec {
+                task: 1,
+                attempt: 1,
+                function: Arc::from("nope"),
+                deps: vec![],
+                payload: vec![],
+            },
+            Box::new(move |r| tx2.send(r).unwrap()),
+        );
+        assert!(rx
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .unwrap_err()
+            .contains("unknown function"));
+        // Missing staged blob.
+        fabric.submit(
+            0,
+            JobSpec {
+                task: 2,
+                attempt: 1,
+                function: Arc::from("echo"),
+                deps: vec![42],
+                payload: vec![],
+            },
+            Box::new(move |r| tx.send(r).unwrap()),
+        );
+        assert!(rx
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .unwrap_err()
+            .contains("missing input blob"));
+    }
+
+    #[test]
+    fn threaded_fabric_down_pool_fails_probe() {
+        let fabric = ThreadedFabric::new(&[("a", 1)], &FabricTiming::fast());
+        fabric.pool(0).faults().set_down(true);
+        assert_eq!(fabric.probe(0), ProbeState::Dead);
+        fabric.pool(0).faults().set_down(false);
+        assert_eq!(fabric.probe(0), ProbeState::Alive);
+    }
+}

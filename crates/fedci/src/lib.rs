@@ -25,14 +25,24 @@
 //!   crashes, endpoint outages);
 //! * [`threaded`] — a real-threads execution fabric (crossbeam worker
 //!   pools) used by the live runtime and the examples;
+//! * [`fabric`] — the live-fabric abstraction ([`fabric::Fabric`]) shared
+//!   by the threaded pools and the process backend, with the
+//!   [`fabric::FabricTiming`] heartbeat/poll configuration;
+//! * [`proto`] — the length-prefixed wire codec the process fabric speaks
+//!   (HELLO/DISPATCH/RESULT/POLL/TRANSFER/HEARTBEAT/DRAIN);
+//! * [`process`] — process-isolated endpoint daemons over TCP: spawn,
+//!   heartbeat, reconnect with seeded backoff, survive `kill -9`;
 //! * [`trace`] — the substrate's trace-event taxonomy (queue/execute
 //!   spans, transfer and fault instants) for the `simkit::trace` sink.
 
 pub mod endpoint;
 pub mod faas;
+pub mod fabric;
 pub mod fault;
 pub mod hardware;
 pub mod network;
+pub mod process;
+pub mod proto;
 pub mod storage;
 pub mod threaded;
 pub mod trace;

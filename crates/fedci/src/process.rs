@@ -1,0 +1,1639 @@
+//! Process-isolated endpoints over TCP — the fabric that survives
+//! `kill -9`.
+//!
+//! Two halves:
+//!
+//! * **Daemon** ([`run_daemon`] / the `unifaas-endpointd` binary): one
+//!   endpoint as its own OS process. It binds a listener, announces the
+//!   bound address, and serves one client connection at a time with the
+//!   [`crate::proto`] framing: blobs staged by TRANSFER, work arriving as
+//!   DISPATCH, results flowing back as RESULT, liveness answered per
+//!   HEARTBEAT. Results produced while the client is away are queued and
+//!   **replayed on the next connection** — deliberately, because that is
+//!   exactly the stale-RESULT case the client's attempt-generation guard
+//!   must absorb.
+//! * **Client** ([`ProcessFabric`]): one supervisor thread per endpoint
+//!   owning the child process (spawn mode) or a remote address (connect
+//!   mode), the connection, and the in-flight table. Heartbeats drive a
+//!   missed-beat liveness verdict ([`FabricTiming::suspect_after`] /
+//!   [`FabricTiming::down_after`]); a dead connection fails every
+//!   outstanding attempt (the runtime above re-dispatches under a fresh
+//!   attempt number), and reconnection runs seeded exponential backoff,
+//!   respawning the child if it actually died.
+//!
+//! [`ChaosProxy`] sits between client and daemon for the nastier failure
+//! modes: cut mid-frame after N bytes, stall one direction to fake a
+//! half-open connection, or sever on command.
+
+use crate::fabric::{
+    assemble_input, Completion, Fabric, FabricTiming, FnRegistry, JobSpec, ProbeState,
+};
+use crate::proto::{Frame, PROTO_VERSION};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Condvar, Mutex};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use simkit::metrics::{CounterId, GaugeId, MetricsRegistry};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The line a daemon prints on stdout once its listener is bound:
+/// `LISTENING <addr>`. The spawning supervisor parses it to learn the
+/// ephemeral port.
+pub const LISTENING_PREFIX: &str = "LISTENING ";
+
+/// How long the daemon blocks reading a connection before treating the
+/// client as gone. Any live client heartbeats far more often than this.
+const DAEMON_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+// ---------------------------------------------------------------------------
+// Daemon
+// ---------------------------------------------------------------------------
+
+/// Daemon-side fault injection, for chaos tests that need the *endpoint*
+/// to misbehave (as opposed to the connection, which [`ChaosProxy`]
+/// covers).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DaemonChaos {
+    /// Silently drop every Nth dispatched job (0 = never): the worker
+    /// takes it and no RESULT ever comes back.
+    pub swallow_every: usize,
+    /// Sleep this long before executing each job (straggler injection;
+    /// also widens the window for a result to complete while the client
+    /// is disconnected).
+    pub delay_ms: u64,
+    /// Send every RESULT twice — a hostile duplicate the client's
+    /// attempt guard must drop.
+    pub dup_results: bool,
+}
+
+/// Configuration for one endpoint daemon.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Endpoint name, echoed in HELLO.
+    pub name: String,
+    /// Worker thread count.
+    pub workers: usize,
+    /// Listen address, typically `127.0.0.1:0` (ephemeral port).
+    pub listen: String,
+    /// Spawn generation, echoed in HELLO (the supervisor increments it
+    /// per respawn).
+    pub generation: u64,
+    /// Fault injection switches.
+    pub chaos: DaemonChaos,
+}
+
+impl DaemonConfig {
+    /// A daemon on an ephemeral localhost port, no chaos.
+    pub fn new(name: &str, workers: usize) -> Self {
+        DaemonConfig {
+            name: name.to_string(),
+            workers,
+            listen: "127.0.0.1:0".to_string(),
+            generation: 0,
+            chaos: DaemonChaos::default(),
+        }
+    }
+}
+
+/// State shared between the daemon's accept loop, workers and writer.
+struct DaemonShared {
+    /// Frames awaiting write, in order. RESULTs that fail to write (or
+    /// arrive while disconnected) survive here for replay; acks are
+    /// connection-scoped and dropped on write failure.
+    outbox: Mutex<VecDeque<Frame>>,
+    outbox_cv: Condvar,
+    /// Current client connection (write half); `None` while between
+    /// clients. The writer thread consults this before every frame.
+    conn: Mutex<Option<TcpStream>>,
+    busy: AtomicU32,
+    queued: AtomicU32,
+    completed: AtomicU64,
+    jobs_seen: AtomicU64,
+    stop_writer: AtomicBool,
+}
+
+impl DaemonShared {
+    fn push(&self, f: Frame) {
+        self.outbox.lock().push_back(f);
+        self.outbox_cv.notify_all();
+    }
+}
+
+/// Runs one endpoint daemon to completion: bind, announce via `on_ready`,
+/// serve connections until a DRAIN arrives, finish queued work, flush
+/// results, return. This is the entire body of `unifaas-endpointd`, kept
+/// in the library so tests can run a daemon on a thread ([`spawn_daemon_thread`])
+/// instead of a child process.
+pub fn run_daemon<F: FnOnce(SocketAddr)>(cfg: DaemonConfig, on_ready: F) -> std::io::Result<()> {
+    let listener = TcpListener::bind(&cfg.listen)?;
+    let addr = listener.local_addr()?;
+    on_ready(addr);
+
+    let registry = FnRegistry::builtins();
+    let blobs: Arc<Mutex<HashMap<u64, Arc<Vec<u8>>>>> = Arc::new(Mutex::new(HashMap::new()));
+    let shared = Arc::new(DaemonShared {
+        outbox: Mutex::new(VecDeque::new()),
+        outbox_cv: Condvar::new(),
+        conn: Mutex::new(None),
+        busy: AtomicU32::new(0),
+        queued: AtomicU32::new(0),
+        completed: AtomicU64::new(0),
+        jobs_seen: AtomicU64::new(0),
+        stop_writer: AtomicBool::new(false),
+    });
+
+    let (job_tx, job_rx) = unbounded::<JobSpec>();
+    let mut workers = Vec::with_capacity(cfg.workers.max(1));
+    for i in 0..cfg.workers.max(1) {
+        let rx = job_rx.clone();
+        let shared = Arc::clone(&shared);
+        let blobs = Arc::clone(&blobs);
+        let registry = registry.clone();
+        let chaos = cfg.chaos;
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("{}-worker-{i}", cfg.name))
+                .spawn(move || daemon_worker(&rx, &shared, &blobs, &registry, &chaos))
+                .expect("spawn daemon worker"),
+        );
+    }
+
+    let writer = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("{}-writer", cfg.name))
+            .spawn(move || daemon_writer(&shared))
+            .expect("spawn daemon writer")
+    };
+
+    // Accept loop: one client at a time, until DRAIN.
+    let mut draining = false;
+    while !draining {
+        let (stream, _) = listener.accept()?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(DAEMON_READ_TIMEOUT)).ok();
+        stream.set_write_timeout(Some(Duration::from_secs(5))).ok();
+        // HELLO goes out first, before the writer can replay queued
+        // results on this connection.
+        let hello = Frame::Hello {
+            proto: PROTO_VERSION,
+            name: cfg.name.clone(),
+            workers: cfg.workers as u32,
+            generation: cfg.generation,
+        };
+        let mut write_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if hello.write_to(&mut write_half).is_err() {
+            continue;
+        }
+        *shared.conn.lock() = Some(write_half);
+        shared.outbox_cv.notify_all();
+
+        draining = daemon_serve_connection(stream, &shared, &blobs, &job_tx);
+        if !draining {
+            // Connection lost; the write half stays queued-for-replay.
+            *shared.conn.lock() = None;
+        }
+    }
+
+    // Drain: no new work; finish the queue, flush results (the final
+    // connection stays open until the outbox is empty), exit.
+    drop(job_tx);
+    for w in workers {
+        let _ = w.join();
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !shared.outbox.lock().is_empty() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    shared.stop_writer.store(true, Ordering::SeqCst);
+    shared.outbox_cv.notify_all();
+    let _ = writer.join();
+    *shared.conn.lock() = None;
+    Ok(())
+}
+
+/// Reads frames from one client connection until it breaks or DRAINs.
+/// Returns `true` if the daemon should shut down (DRAIN received).
+fn daemon_serve_connection(
+    mut stream: TcpStream,
+    shared: &DaemonShared,
+    blobs: &Mutex<HashMap<u64, Arc<Vec<u8>>>>,
+    job_tx: &Sender<JobSpec>,
+) -> bool {
+    loop {
+        let frame = match Frame::read_from(&mut stream) {
+            Ok(f) => f,
+            Err(_) => return false, // connection gone; back to accept
+        };
+        match frame {
+            Frame::Dispatch {
+                task,
+                attempt,
+                function,
+                deps,
+                payload,
+            } => {
+                shared.queued.fetch_add(1, Ordering::SeqCst);
+                let _ = job_tx.send(JobSpec {
+                    task,
+                    attempt,
+                    function: Arc::from(function.as_str()),
+                    deps,
+                    payload,
+                });
+            }
+            Frame::Transfer { key, payload } => {
+                let stored = payload.len() as u64;
+                blobs.lock().insert(key, Arc::new(payload));
+                shared.push(Frame::TransferAck { key, stored });
+            }
+            Frame::Heartbeat { seq } => {
+                shared.push(Frame::HeartbeatAck {
+                    seq,
+                    busy: shared.busy.load(Ordering::SeqCst),
+                });
+            }
+            Frame::Poll => {
+                shared.push(Frame::PollAck {
+                    busy: shared.busy.load(Ordering::SeqCst),
+                    queued: shared.queued.load(Ordering::SeqCst),
+                    completed: shared.completed.load(Ordering::SeqCst),
+                });
+            }
+            Frame::Drain => {
+                shared.push(Frame::DrainAck {
+                    remaining: shared.queued.load(Ordering::SeqCst)
+                        + shared.busy.load(Ordering::SeqCst),
+                });
+                return true;
+            }
+            // Client-bound frames arriving here are a protocol violation;
+            // tolerate them rather than crash the endpoint.
+            _ => {}
+        }
+    }
+}
+
+/// One daemon worker: pull a job, apply chaos, execute, queue the RESULT.
+fn daemon_worker(
+    rx: &Receiver<JobSpec>,
+    shared: &DaemonShared,
+    blobs: &Mutex<HashMap<u64, Arc<Vec<u8>>>>,
+    registry: &FnRegistry,
+    chaos: &DaemonChaos,
+) {
+    while let Ok(job) = rx.recv() {
+        shared.queued.fetch_sub(1, Ordering::SeqCst);
+        let n = shared.jobs_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        if chaos.swallow_every > 0 && n.is_multiple_of(chaos.swallow_every as u64) {
+            continue; // crashed mid-execution: no RESULT, ever
+        }
+        if chaos.delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(chaos.delay_ms));
+        }
+        shared.busy.fetch_add(1, Ordering::SeqCst);
+        let outcome = match registry.get(&job.function) {
+            None => Err(format!("unknown function `{}`", job.function)),
+            Some(f) => assemble_input(&blobs.lock(), &job).and_then(|input| f(&input)),
+        };
+        shared.busy.fetch_sub(1, Ordering::SeqCst);
+        shared.completed.fetch_add(1, Ordering::SeqCst);
+        let result = Frame::Result {
+            task: job.task,
+            attempt: job.attempt,
+            ok: outcome.is_ok(),
+            payload: match outcome {
+                Ok(bytes) => bytes,
+                Err(msg) => msg.into_bytes(),
+            },
+        };
+        if chaos.dup_results {
+            shared.push(result.clone());
+        }
+        shared.push(result);
+    }
+}
+
+/// The daemon's single writer: drains the outbox onto whatever connection
+/// is current. RESULTs that cannot be written survive for the next
+/// connection; acks do not (they are meaningless to a future client).
+fn daemon_writer(shared: &DaemonShared) {
+    loop {
+        let frame = {
+            let mut q = shared.outbox.lock();
+            loop {
+                if shared.stop_writer.load(Ordering::SeqCst) {
+                    return;
+                }
+                if !q.is_empty() && shared.conn.lock().is_some() {
+                    break q.pop_front().expect("non-empty");
+                }
+                shared.outbox_cv.wait_for(&mut q, Duration::from_millis(50));
+            }
+        };
+        let stream = shared.conn.lock().as_ref().and_then(|s| s.try_clone().ok());
+        let wrote = match stream {
+            Some(mut s) => frame.write_to(&mut s).is_ok(),
+            None => false,
+        };
+        if !wrote {
+            // Connection raced away mid-write. Results are precious —
+            // requeue them at the front so replay preserves order.
+            if matches!(frame, Frame::Result { .. }) {
+                shared.outbox.lock().push_front(frame);
+            }
+            *shared.conn.lock() = None;
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+/// Handle to a daemon running on a thread in this process (connect-mode
+/// tests; production daemons are child processes).
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    join: Option<JoinHandle<std::io::Result<()>>>,
+}
+
+impl DaemonHandle {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the daemon to exit (it exits after a DRAIN).
+    pub fn join(mut self) -> std::io::Result<()> {
+        match self.join.take() {
+            Some(j) => j
+                .join()
+                .unwrap_or_else(|_| Err(std::io::Error::other("daemon thread panicked"))),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        // Detach: a daemon that was never drained would block a join
+        // forever on accept(). Tests that care call `join()` explicitly.
+        drop(self.join.take());
+    }
+}
+
+/// Runs [`run_daemon`] on a thread and returns once the listener is bound.
+pub fn spawn_daemon_thread(cfg: DaemonConfig) -> std::io::Result<DaemonHandle> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let name = cfg.name.clone();
+    let join = std::thread::Builder::new()
+        .name(format!("{name}-daemon"))
+        .spawn(move || {
+            run_daemon(cfg, |addr| {
+                let _ = tx.send(addr);
+            })
+        })?;
+    match rx.recv_timeout(Duration::from_secs(10)) {
+        Ok(addr) => Ok(DaemonHandle {
+            addr,
+            join: Some(join),
+        }),
+        Err(_) => Err(std::io::Error::other("daemon failed to bind")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client: ProcessFabric
+// ---------------------------------------------------------------------------
+
+/// How the fabric reaches one endpoint.
+#[derive(Clone, Debug)]
+pub enum EndpointMode {
+    /// Spawn `command` as a child process (argv prefix; the fabric
+    /// appends `--name/--workers/--listen/--generation`), parse the
+    /// `LISTENING` line, connect. The supervisor respawns it — with an
+    /// incremented generation — if it dies.
+    Spawn {
+        /// Program and leading arguments (e.g. the `unifaas-endpointd`
+        /// path plus chaos flags).
+        command: Vec<String>,
+    },
+    /// Connect to an already-running daemon (or a [`ChaosProxy`] in
+    /// front of one).
+    Connect {
+        /// `host:port` of the daemon.
+        addr: String,
+    },
+}
+
+/// One endpoint's identity and reachability.
+#[derive(Clone, Debug)]
+pub struct ProcessEndpointSpec {
+    /// Endpoint name (also the spawned daemon's `--name`).
+    pub name: String,
+    /// Worker count (also the spawned daemon's `--workers`; in connect
+    /// mode this is the placement-capacity assumption until HELLO says
+    /// otherwise).
+    pub workers: usize,
+    /// Spawn or connect.
+    pub mode: EndpointMode,
+}
+
+/// Fabric-wide knobs.
+#[derive(Clone, Debug)]
+pub struct ProcessFabricConfig {
+    /// Heartbeat/liveness/backoff intervals (validated at construction).
+    pub timing: FabricTiming,
+    /// Seed for the per-endpoint backoff-jitter RNG streams.
+    pub seed: u64,
+    /// Whether a dead spawned child is respawned (generation + 1). With
+    /// this off a killed endpoint stays dead — useful for asserting
+    /// permanent-loss behaviour.
+    pub respawn: bool,
+}
+
+impl Default for ProcessFabricConfig {
+    fn default() -> Self {
+        ProcessFabricConfig {
+            timing: FabricTiming::default(),
+            seed: 1,
+            respawn: true,
+        }
+    }
+}
+
+/// Monotone per-endpoint robustness counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProcessCounters {
+    /// Successful connections established (first connect included).
+    pub connects: u64,
+    /// Child processes spawned beyond the first (i.e. respawns).
+    pub respawns: u64,
+    /// Outstanding attempts failed over because their connection died.
+    pub failovers: u64,
+    /// RESULT frames dropped because no matching (task, attempt) was
+    /// outstanding — replays from resurrected endpoints, duplicates.
+    pub stale_results: u64,
+}
+
+/// Per-endpoint state shared between the supervisor thread and the
+/// fabric's public accessors.
+struct EpShared {
+    probe: AtomicU8, // 0 = Alive, 1 = Suspect, 2 = Dead
+    busy: AtomicU32,
+    workers: AtomicU32,
+    generation: AtomicU64,
+    connects: AtomicU64,
+    respawns: AtomicU64,
+    failovers: AtomicU64,
+    stale_results: AtomicU64,
+}
+
+impl EpShared {
+    fn new(workers: usize) -> Self {
+        EpShared {
+            probe: AtomicU8::new(2),
+            busy: AtomicU32::new(0),
+            workers: AtomicU32::new(workers as u32),
+            generation: AtomicU64::new(0),
+            connects: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            stale_results: AtomicU64::new(0),
+        }
+    }
+
+    fn set_probe(&self, p: ProbeState) {
+        self.probe.store(
+            match p {
+                ProbeState::Alive => 0,
+                ProbeState::Suspect => 1,
+                ProbeState::Dead => 2,
+            },
+            Ordering::SeqCst,
+        );
+    }
+
+    fn get_probe(&self) -> ProbeState {
+        match self.probe.load(Ordering::SeqCst) {
+            0 => ProbeState::Alive,
+            1 => ProbeState::Suspect,
+            _ => ProbeState::Dead,
+        }
+    }
+}
+
+/// Everything the supervisor thread reacts to, merged into one channel so
+/// a single `recv_timeout` drives commands, inbound frames, and timer
+/// deadlines alike.
+enum Ev {
+    Stage(u64, Arc<Vec<u8>>),
+    Submit(JobSpec, Completion),
+    /// A frame from the reader of connection-epoch `.0`.
+    Frame(u64, Frame),
+    /// The reader of connection-epoch `.0` hit EOF/error.
+    ReaderClosed(u64),
+    /// SIGKILL the child (chaos hook).
+    Kill,
+    Shutdown,
+}
+
+/// One live connection as the supervisor sees it.
+struct Conn {
+    stream: TcpStream,
+    epoch: u64,
+    staged: HashSet<u64>,
+    hb_last_sent: Instant,
+    last_ack: Instant,
+}
+
+/// The supervisor for one endpoint.
+struct Supervisor {
+    spec: ProcessEndpointSpec,
+    timing: FabricTiming,
+    respawn: bool,
+    shared: Arc<EpShared>,
+    rx: Receiver<Ev>,
+    self_tx: Sender<Ev>,
+    rng: StdRng,
+    child: Option<Child>,
+    child_addr: Option<SocketAddr>,
+    spawned_once: bool,
+    conn: Option<Conn>,
+    epoch: u64,
+    hb_seq: u64,
+    backoff_exp: u32,
+    next_connect: Instant,
+    gave_up: bool,
+    outstanding: HashMap<(u64, u32), Completion>,
+    blob_cache: HashMap<u64, Arc<Vec<u8>>>,
+}
+
+impl Supervisor {
+    fn run(mut self) {
+        loop {
+            let now = Instant::now();
+            if self.conn.is_none() && !self.gave_up && now >= self.next_connect {
+                self.try_connect();
+            }
+            if let Some(c) = &mut self.conn {
+                if now.duration_since(c.hb_last_sent) >= self.timing.heartbeat_interval {
+                    self.hb_seq += 1;
+                    let hb = Frame::Heartbeat { seq: self.hb_seq };
+                    c.hb_last_sent = now;
+                    if hb.write_to(&mut &c.stream).is_err() {
+                        self.conn_lost("heartbeat write failed");
+                    }
+                }
+            }
+            if let Some(c) = &self.conn {
+                let silent = now.duration_since(c.last_ack);
+                if silent >= self.timing.down_after {
+                    self.conn_lost("liveness timeout");
+                } else if silent >= self.timing.suspect_after {
+                    self.shared.set_probe(ProbeState::Suspect);
+                }
+            }
+            let wait = self
+                .next_deadline()
+                .saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(wait.max(Duration::from_millis(1))) {
+                Ok(Ev::Shutdown) => return self.shutdown(),
+                Ok(ev) => self.handle(ev),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return self.shutdown(),
+            }
+        }
+    }
+
+    /// The earliest instant at which time-driven work (heartbeat,
+    /// liveness verdict, reconnect attempt) is due.
+    fn next_deadline(&self) -> Instant {
+        match &self.conn {
+            Some(c) => {
+                let hb = c.hb_last_sent + self.timing.heartbeat_interval;
+                let suspect = c.last_ack + self.timing.suspect_after;
+                let down = c.last_ack + self.timing.down_after;
+                hb.min(suspect).min(down)
+            }
+            None => {
+                if self.gave_up {
+                    Instant::now() + Duration::from_secs(3600)
+                } else {
+                    self.next_connect
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Stage(key, bytes) => {
+                self.blob_cache.insert(key, Arc::clone(&bytes));
+                self.stage_to_conn(key);
+            }
+            Ev::Submit(job, done) => self.submit(job, done),
+            Ev::Frame(epoch, frame) => self.on_frame(epoch, frame),
+            Ev::ReaderClosed(epoch) => {
+                if self.conn.as_ref().is_some_and(|c| c.epoch == epoch) {
+                    self.conn_lost("connection closed");
+                }
+            }
+            Ev::Kill => self.kill_child(),
+            Ev::Shutdown => unreachable!("handled in run()"),
+        }
+    }
+
+    /// Ships blob `key` to the current connection unless it already has
+    /// it this epoch.
+    fn stage_to_conn(&mut self, key: u64) {
+        let Some(c) = &mut self.conn else { return };
+        if c.staged.contains(&key) {
+            return;
+        }
+        let Some(bytes) = self.blob_cache.get(&key) else {
+            return;
+        };
+        let frame = Frame::Transfer {
+            key,
+            payload: bytes.as_ref().clone(),
+        };
+        if frame.write_to(&mut &c.stream).is_ok() {
+            c.staged.insert(key);
+        } else {
+            self.conn_lost("transfer write failed");
+        }
+    }
+
+    fn submit(&mut self, job: JobSpec, done: Completion) {
+        if self.conn.is_none() {
+            done(Err(format!("endpoint {} not connected", self.spec.name)));
+            return;
+        }
+        // Re-stage any dep this connection epoch hasn't seen (a restarted
+        // daemon lost its blob store; a reconnect cleared `staged`).
+        for d in job.deps.clone() {
+            if !self.blob_cache.contains_key(&d) {
+                done(Err(format!(
+                    "dep blob {d} for task {} never staged",
+                    job.task
+                )));
+                return;
+            }
+            self.stage_to_conn(d);
+            if self.conn.is_none() {
+                done(Err(format!("endpoint {} not connected", self.spec.name)));
+                return;
+            }
+        }
+        let frame = Frame::Dispatch {
+            task: job.task,
+            attempt: job.attempt,
+            function: job.function.to_string(),
+            deps: job.deps.clone(),
+            payload: job.payload.clone(),
+        };
+        let c = self.conn.as_mut().expect("checked above");
+        if frame.write_to(&mut &c.stream).is_err() {
+            self.conn_lost("dispatch write failed");
+            done(Err(format!(
+                "endpoint {} dispatch write failed",
+                self.spec.name
+            )));
+            return;
+        }
+        self.outstanding.insert((job.task, job.attempt), done);
+    }
+
+    fn on_frame(&mut self, epoch: u64, frame: Frame) {
+        if self.conn.as_ref().is_none_or(|c| c.epoch != epoch) {
+            return; // a stale reader's leftovers
+        }
+        // Any frame is proof of life.
+        if let Some(c) = &mut self.conn {
+            c.last_ack = Instant::now();
+        }
+        match frame {
+            Frame::Hello {
+                proto,
+                workers,
+                generation,
+                ..
+            } => {
+                if proto != PROTO_VERSION {
+                    self.conn_lost("protocol version mismatch");
+                    return;
+                }
+                self.shared.workers.store(workers, Ordering::SeqCst);
+                self.shared.generation.store(generation, Ordering::SeqCst);
+                self.shared.set_probe(ProbeState::Alive);
+            }
+            Frame::HeartbeatAck { busy, .. } => {
+                self.shared.busy.store(busy, Ordering::SeqCst);
+                self.shared.set_probe(ProbeState::Alive);
+            }
+            Frame::PollAck { busy, .. } => {
+                self.shared.busy.store(busy, Ordering::SeqCst);
+            }
+            Frame::Result {
+                task,
+                attempt,
+                ok,
+                payload,
+            } => match self.outstanding.remove(&(task, attempt)) {
+                Some(done) => done(if ok {
+                    Ok(payload)
+                } else {
+                    Err(String::from_utf8_lossy(&payload).into_owned())
+                }),
+                None => {
+                    // A replay from a resurrected connection, a
+                    // duplicate, or an attempt we already failed over.
+                    // Exactly-once resolution = drop it here.
+                    self.shared.stale_results.fetch_add(1, Ordering::SeqCst);
+                }
+            },
+            Frame::TransferAck { .. } | Frame::DrainAck { .. } => {}
+            _ => {}
+        }
+    }
+
+    fn try_connect(&mut self) {
+        let addr = match self.ensure_target() {
+            Some(a) => a,
+            None => {
+                self.schedule_reconnect();
+                return;
+            }
+        };
+        match TcpStream::connect_timeout(&addr, self.timing.connect_timeout) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                stream.set_write_timeout(Some(self.timing.down_after)).ok();
+                self.epoch += 1;
+                let epoch = self.epoch;
+                if let Ok(mut read_half) = stream.try_clone() {
+                    let tx = self.self_tx.clone();
+                    let name = self.spec.name.clone();
+                    std::thread::Builder::new()
+                        .name(format!("{name}-reader-{epoch}"))
+                        .spawn(move || loop {
+                            match Frame::read_from(&mut read_half) {
+                                Ok(f) => {
+                                    if tx.send(Ev::Frame(epoch, f)).is_err() {
+                                        return;
+                                    }
+                                }
+                                Err(_) => {
+                                    let _ = tx.send(Ev::ReaderClosed(epoch));
+                                    return;
+                                }
+                            }
+                        })
+                        .expect("spawn reader");
+                } else {
+                    self.schedule_reconnect();
+                    return;
+                }
+                let now = Instant::now();
+                self.conn = Some(Conn {
+                    stream,
+                    epoch,
+                    staged: HashSet::new(),
+                    // Backdate so the first heartbeat goes out on the
+                    // next loop iteration.
+                    hb_last_sent: now - self.timing.heartbeat_interval,
+                    last_ack: now,
+                });
+                self.backoff_exp = 0;
+                self.shared.connects.fetch_add(1, Ordering::SeqCst);
+                // Probe flips to Alive when HELLO arrives.
+            }
+            Err(_) => self.schedule_reconnect(),
+        }
+    }
+
+    /// Resolves the address to connect to, spawning/respawning the child
+    /// if this endpoint owns one and it is not running.
+    fn ensure_target(&mut self) -> Option<SocketAddr> {
+        match self.spec.mode.clone() {
+            EndpointMode::Connect { addr } => {
+                addr.to_socket_addrs().ok().and_then(|mut a| a.next())
+            }
+            EndpointMode::Spawn { command } => {
+                let child_dead = match &mut self.child {
+                    None => true,
+                    Some(ch) => ch.try_wait().map(|st| st.is_some()).unwrap_or(true),
+                };
+                if child_dead {
+                    if self.spawned_once && !self.respawn {
+                        self.gave_up = true;
+                        return None;
+                    }
+                    let generation =
+                        self.shared.respawns.load(Ordering::SeqCst) + u64::from(self.spawned_once);
+                    match spawn_endpointd(&command, &self.spec, generation) {
+                        Ok((child, addr)) => {
+                            if self.spawned_once {
+                                self.shared.respawns.fetch_add(1, Ordering::SeqCst);
+                            }
+                            self.spawned_once = true;
+                            self.child = Some(child);
+                            self.child_addr = Some(addr);
+                        }
+                        Err(_) => return None,
+                    }
+                }
+                self.child_addr
+            }
+        }
+    }
+
+    /// Declares the connection dead: fail every outstanding attempt (the
+    /// runtime re-dispatches under fresh attempt numbers), clear the
+    /// staged set, and schedule reconnection.
+    fn conn_lost(&mut self, reason: &str) {
+        let Some(c) = self.conn.take() else { return };
+        let _ = c.stream.shutdown(Shutdown::Both);
+        self.shared.set_probe(ProbeState::Dead);
+        let n = self.outstanding.len() as u64;
+        if n > 0 {
+            self.shared.failovers.fetch_add(n, Ordering::SeqCst);
+        }
+        for ((task, _attempt), done) in std::mem::take(&mut self.outstanding) {
+            done(Err(format!(
+                "endpoint {}: {reason} (task {task} in flight)",
+                self.spec.name
+            )));
+        }
+        // Retry promptly; if the peer is really gone the connect failure
+        // path takes over with exponential backoff.
+        self.next_connect = Instant::now();
+    }
+
+    /// Seeded exponential backoff with multiplicative jitter in
+    /// [0.5, 1.5): deterministic per (fabric seed, endpoint), desynced
+    /// across endpoints so a mass outage does not produce a reconnect
+    /// stampede.
+    fn schedule_reconnect(&mut self) {
+        let base = self.timing.reconnect_base.as_secs_f64();
+        let max = self.timing.reconnect_max.as_secs_f64();
+        let exp = f64::from(self.backoff_exp.min(16));
+        let jitter = 0.5 + self.rng.gen::<f64>();
+        let delay = (base * exp.exp2() * jitter).min(max);
+        self.backoff_exp = self.backoff_exp.saturating_add(1);
+        self.next_connect = Instant::now() + Duration::from_secs_f64(delay);
+    }
+
+    /// SIGKILL the child — the chaos hook. `Child::kill` is SIGKILL on
+    /// unix: no cleanup, no flush, the real crash.
+    fn kill_child(&mut self) {
+        if let Some(mut ch) = self.child.take() {
+            let _ = ch.kill();
+            let _ = ch.wait(); // reap
+        }
+    }
+
+    fn shutdown(mut self) {
+        if let Some(c) = &mut self.conn {
+            let epoch = c.epoch;
+            if Frame::Drain.write_to(&mut &c.stream).is_ok() {
+                // Give the daemon a moment to ack so it exits cleanly;
+                // results that race in still resolve normally.
+                let deadline = Instant::now() + Duration::from_millis(500);
+                'wait: while Instant::now() < deadline {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    match self.rx.recv_timeout(left.max(Duration::from_millis(1))) {
+                        Ok(Ev::Frame(e, Frame::DrainAck { .. })) if e == epoch => break 'wait,
+                        Ok(Ev::Frame(e, f)) => self.on_frame(e, f),
+                        Ok(_) | Err(RecvTimeoutError::Timeout) => break 'wait,
+                        Err(RecvTimeoutError::Disconnected) => break 'wait,
+                    }
+                }
+            }
+        }
+        if let Some(c) = self.conn.take() {
+            let _ = c.stream.shutdown(Shutdown::Both);
+        }
+        if let Some(mut ch) = self.child.take() {
+            // Post-drain the daemon exits on its own; give it a beat,
+            // then make sure.
+            let deadline = Instant::now() + Duration::from_secs(2);
+            loop {
+                match ch.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    _ => {
+                        let _ = ch.kill();
+                        let _ = ch.wait();
+                        break;
+                    }
+                }
+            }
+        }
+        self.shared.set_probe(ProbeState::Dead);
+        for (_, done) in std::mem::take(&mut self.outstanding) {
+            done(Err("fabric shut down".to_string()));
+        }
+    }
+}
+
+/// Spawns `unifaas-endpointd` (or whatever `command` names) and parses
+/// its `LISTENING <addr>` announcement.
+fn spawn_endpointd(
+    command: &[String],
+    spec: &ProcessEndpointSpec,
+    generation: u64,
+) -> std::io::Result<(Child, SocketAddr)> {
+    if command.is_empty() {
+        return Err(std::io::Error::other("empty spawn command"));
+    }
+    let mut cmd = Command::new(&command[0]);
+    cmd.args(&command[1..])
+        .arg("--name")
+        .arg(&spec.name)
+        .arg("--workers")
+        .arg(spec.workers.to_string())
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--generation")
+        .arg(generation.to_string())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    let mut child = cmd.spawn()?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| std::io::Error::other("no child stdout"))?;
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(std::io::Error::other("daemon exited before announcing"));
+        }
+        if let Some(rest) = line.trim().strip_prefix(LISTENING_PREFIX) {
+            match rest.parse::<SocketAddr>() {
+                Ok(a) => break a,
+                Err(_) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(std::io::Error::other("bad LISTENING line"));
+                }
+            }
+        }
+    };
+    Ok((child, addr))
+}
+
+/// Metric handles for one process-fabric endpoint (see
+/// [`ProcessFabric::register_metrics`]), with counter high-water marks
+/// for monotone sampling — same shape as the threaded pool's.
+pub struct ProcMetricIds {
+    workers: GaugeId,
+    busy: GaugeId,
+    up: GaugeId,
+    connects: CounterId,
+    respawns: CounterId,
+    failovers: CounterId,
+    stale: CounterId,
+    last: ProcessCounters,
+}
+
+/// The process-isolated fabric: one supervisor thread per endpoint, child
+/// daemons (or remote addresses) behind it, the [`Fabric`] trait in front.
+pub struct ProcessFabric {
+    labels: Vec<String>,
+    shared: Vec<Arc<EpShared>>,
+    txs: Vec<Sender<Ev>>,
+    joins: Mutex<Vec<JoinHandle<()>>>,
+    down: AtomicBool,
+}
+
+impl ProcessFabric {
+    /// Starts one supervisor per endpoint. Spawn-mode children launch
+    /// (and connect) asynchronously — use [`ProcessFabric::wait_probe`]
+    /// to block until an endpoint is up.
+    pub fn new(specs: Vec<ProcessEndpointSpec>, cfg: ProcessFabricConfig) -> Self {
+        cfg.timing.validate().expect("invalid fabric timing");
+        assert!(!specs.is_empty(), "need at least one endpoint");
+        let mut labels = Vec::new();
+        let mut shared = Vec::new();
+        let mut txs = Vec::new();
+        let mut joins = Vec::new();
+        for (i, spec) in specs.into_iter().enumerate() {
+            let (tx, rx) = unbounded::<Ev>();
+            let ep_shared = Arc::new(EpShared::new(spec.workers));
+            let sup = Supervisor {
+                timing: cfg.timing,
+                respawn: cfg.respawn,
+                shared: Arc::clone(&ep_shared),
+                rx,
+                self_tx: tx.clone(),
+                rng: StdRng::seed_from_u64(
+                    cfg.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
+                ),
+                child: None,
+                child_addr: None,
+                spawned_once: false,
+                conn: None,
+                epoch: 0,
+                hb_seq: 0,
+                backoff_exp: 0,
+                next_connect: Instant::now(),
+                gave_up: false,
+                outstanding: HashMap::new(),
+                blob_cache: HashMap::new(),
+                spec: spec.clone(),
+            };
+            labels.push(spec.name.clone());
+            shared.push(ep_shared);
+            txs.push(tx);
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("{}-supervisor", spec.name))
+                    .spawn(move || sup.run())
+                    .expect("spawn supervisor"),
+            );
+        }
+        ProcessFabric {
+            labels,
+            shared,
+            txs,
+            joins: Mutex::new(joins),
+            down: AtomicBool::new(false),
+        }
+    }
+
+    /// Blocks until `ep`'s probe reads `want`, up to `timeout`.
+    pub fn wait_probe(&self, ep: usize, want: ProbeState, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.shared[ep].get_probe() == want {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.shared[ep].get_probe() == want
+    }
+
+    /// SIGKILLs `ep`'s child daemon (spawn mode only; a no-op otherwise).
+    /// The supervisor notices via missed heartbeats / connection reset,
+    /// fails over in-flight work, and respawns if configured to.
+    pub fn kill(&self, ep: usize) {
+        let _ = self.txs[ep].send(Ev::Kill);
+    }
+
+    /// Robustness counters for `ep`.
+    pub fn counters(&self, ep: usize) -> ProcessCounters {
+        let s = &self.shared[ep];
+        ProcessCounters {
+            connects: s.connects.load(Ordering::SeqCst),
+            respawns: s.respawns.load(Ordering::SeqCst),
+            failovers: s.failovers.load(Ordering::SeqCst),
+            stale_results: s.stale_results.load(Ordering::SeqCst),
+        }
+    }
+
+    /// The spawn generation `ep` last announced in HELLO.
+    pub fn generation(&self, ep: usize) -> u64 {
+        self.shared[ep].generation.load(Ordering::SeqCst)
+    }
+
+    /// Registers this fabric's per-endpoint gauge/counter families,
+    /// mirroring the threaded pool's taxonomy (`fedci_proc_*`).
+    pub fn register_metrics(&self, reg: &mut MetricsRegistry) -> Vec<ProcMetricIds> {
+        self.labels
+            .iter()
+            .map(|name| {
+                let l = &[("endpoint", name.as_str())];
+                ProcMetricIds {
+                    workers: reg.gauge("fedci_proc_workers", "Workers at the endpoint daemon.", l),
+                    busy: reg.gauge(
+                        "fedci_proc_busy_workers",
+                        "Workers executing, per last heartbeat ack.",
+                        l,
+                    ),
+                    up: reg.gauge(
+                        "fedci_proc_up",
+                        "1 while the endpoint connection is Alive.",
+                        l,
+                    ),
+                    connects: reg.counter(
+                        "fedci_proc_connects_total",
+                        "Connections established to the endpoint.",
+                        l,
+                    ),
+                    respawns: reg.counter(
+                        "fedci_proc_respawns_total",
+                        "Endpoint daemons respawned after dying.",
+                        l,
+                    ),
+                    failovers: reg.counter(
+                        "fedci_proc_failovers_total",
+                        "In-flight attempts failed over on connection loss.",
+                        l,
+                    ),
+                    stale: reg.counter(
+                        "fedci_proc_stale_results_total",
+                        "RESULT frames dropped by the attempt guard.",
+                        l,
+                    ),
+                    last: ProcessCounters::default(),
+                }
+            })
+            .collect()
+    }
+
+    /// Samples every endpoint's atomics into `reg`; counters advance by
+    /// delta so repeated scrapes stay monotone.
+    pub fn sample_metrics(&self, reg: &mut MetricsRegistry, ids: &mut [ProcMetricIds]) {
+        for (ep, id) in ids.iter_mut().enumerate() {
+            let s = &self.shared[ep];
+            reg.set(id.workers, f64::from(s.workers.load(Ordering::SeqCst)));
+            reg.set(id.busy, f64::from(s.busy.load(Ordering::SeqCst)));
+            reg.set(
+                id.up,
+                if s.get_probe() == ProbeState::Alive {
+                    1.0
+                } else {
+                    0.0
+                },
+            );
+            let now = self.counters(ep);
+            reg.inc(id.connects, (now.connects - id.last.connects) as f64);
+            reg.inc(id.respawns, (now.respawns - id.last.respawns) as f64);
+            reg.inc(id.failovers, (now.failovers - id.last.failovers) as f64);
+            reg.inc(id.stale, (now.stale_results - id.last.stale_results) as f64);
+            id.last = now;
+        }
+    }
+}
+
+impl Fabric for ProcessFabric {
+    fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    fn n_workers(&self, ep: usize) -> usize {
+        self.shared[ep].workers.load(Ordering::SeqCst) as usize
+    }
+
+    fn busy_workers(&self, ep: usize) -> usize {
+        self.shared[ep].busy.load(Ordering::SeqCst) as usize
+    }
+
+    fn probe(&self, ep: usize) -> ProbeState {
+        self.shared[ep].get_probe()
+    }
+
+    fn stage(&self, ep: usize, key: u64, bytes: &Arc<Vec<u8>>) {
+        let _ = self.txs[ep].send(Ev::Stage(key, Arc::clone(bytes)));
+    }
+
+    fn submit(&self, ep: usize, job: JobSpec, done: Completion) {
+        if let Err(e) = self.txs[ep].send(Ev::Submit(job, done)) {
+            if let Ev::Submit(_, done) = e.0 {
+                done(Err(format!("endpoint {} supervisor gone", self.labels[ep])));
+            }
+        }
+    }
+
+    fn shutdown(&self) {
+        if self.down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for tx in &self.txs {
+            let _ = tx.send(Ev::Shutdown);
+        }
+        for j in self.joins.lock().drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ProcessFabric {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ChaosProxy
+// ---------------------------------------------------------------------------
+
+/// A fault-injecting TCP proxy between a [`ProcessFabric`] client and a
+/// daemon: forwards byte streams until told to cut mid-frame
+/// ([`ChaosProxy::cut_after_down_bytes`]), sever ([`ChaosProxy::cut_now`]),
+/// or stall the daemon→client direction ([`ChaosProxy::set_stall_down`])
+/// — the half-open connection where the peer is silent but the socket
+/// never errors.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    ctl: Arc<ProxyCtl>,
+    join: Option<JoinHandle<()>>,
+}
+
+struct ProxyCtl {
+    upstream: SocketAddr,
+    /// Remaining daemon→client bytes before an abrupt cut; -1 = no cut
+    /// armed. One-shot: disarms itself after firing.
+    cut_down_budget: AtomicI64,
+    stall_down: AtomicBool,
+    closed: AtomicBool,
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on an ephemeral localhost port forwarding to
+    /// `upstream`. Serves one client connection at a time (matching the
+    /// daemon) and re-accepts after every cut, so reconnects flow
+    /// through.
+    pub fn start(upstream: SocketAddr) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let ctl = Arc::new(ProxyCtl {
+            upstream,
+            cut_down_budget: AtomicI64::new(-1),
+            stall_down: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let ctl2 = Arc::clone(&ctl);
+        let join = std::thread::Builder::new()
+            .name("chaos-proxy".to_string())
+            .spawn(move || proxy_accept_loop(&listener, &ctl2))?;
+        Ok(ChaosProxy {
+            addr,
+            ctl,
+            join: Some(join),
+        })
+    }
+
+    /// The proxy's listen address (point the fabric's connect mode here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Severs the current connection immediately, both directions.
+    pub fn cut_now(&self) {
+        for s in self.ctl.conns.lock().iter() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Arms a one-shot cut after `n` more daemon→client bytes — lands
+    /// mid-frame for any frame longer than `n`.
+    pub fn cut_after_down_bytes(&self, n: u64) {
+        self.ctl
+            .cut_down_budget
+            .store(n.min(i64::MAX as u64) as i64, Ordering::SeqCst);
+    }
+
+    /// Stalls (or resumes) the daemon→client direction while leaving the
+    /// sockets open: acks stop arriving, nothing errors — the client
+    /// must conclude death from silence alone.
+    pub fn set_stall_down(&self, stall: bool) {
+        self.ctl.stall_down.store(stall, Ordering::SeqCst);
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.ctl.closed.store(true, Ordering::SeqCst);
+        self.cut_now();
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn proxy_accept_loop(listener: &TcpListener, ctl: &Arc<ProxyCtl>) {
+    while !ctl.closed.load(Ordering::SeqCst) {
+        let client = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => return,
+        };
+        let upstream = match TcpStream::connect_timeout(&ctl.upstream, Duration::from_secs(2)) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        client.set_nodelay(true).ok();
+        upstream.set_nodelay(true).ok();
+        // Short read timeouts let the pumps notice `closed` and cuts.
+        client
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .ok();
+        upstream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .ok();
+        {
+            let mut conns = ctl.conns.lock();
+            conns.clear();
+            if let (Ok(c), Ok(u)) = (client.try_clone(), upstream.try_clone()) {
+                conns.push(c);
+                conns.push(u);
+            }
+        }
+        let up = {
+            let (mut src, mut dst) = match (client.try_clone(), upstream.try_clone()) {
+                (Ok(s), Ok(d)) => (s, d),
+                _ => continue,
+            };
+            let ctl = Arc::clone(ctl);
+            std::thread::spawn(move || proxy_pump(&mut src, &mut dst, &ctl, false))
+        };
+        let down = {
+            let (mut src, mut dst) = (upstream, client);
+            let ctl = Arc::clone(ctl);
+            std::thread::spawn(move || proxy_pump(&mut src, &mut dst, &ctl, true))
+        };
+        let _ = up.join();
+        let _ = down.join();
+        ctl.conns.lock().clear();
+    }
+}
+
+/// Copies `src` → `dst` in small chunks, applying stall/cut controls when
+/// pumping the daemon→client (`down`) direction.
+fn proxy_pump(src: &mut TcpStream, dst: &mut TcpStream, ctl: &ProxyCtl, down: bool) {
+    let mut buf = [0u8; 256];
+    loop {
+        if ctl.closed.load(Ordering::SeqCst) {
+            let _ = dst.shutdown(Shutdown::Both);
+            return;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => {
+                let _ = dst.shutdown(Shutdown::Both);
+                return;
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => {
+                let _ = dst.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        if down {
+            while ctl.stall_down.load(Ordering::SeqCst) {
+                if ctl.closed.load(Ordering::SeqCst) {
+                    let _ = dst.shutdown(Shutdown::Both);
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let budget = ctl.cut_down_budget.load(Ordering::SeqCst);
+            if budget >= 0 {
+                let allow = (budget as usize).min(n);
+                if allow > 0 && dst.write_all(&buf[..allow]).is_err() {
+                    let _ = src.shutdown(Shutdown::Both);
+                    return;
+                }
+                if n >= budget as usize {
+                    // The cut: close both sides abruptly, disarm.
+                    ctl.cut_down_budget.store(-1, Ordering::SeqCst);
+                    let _ = dst.shutdown(Shutdown::Both);
+                    let _ = src.shutdown(Shutdown::Both);
+                    return;
+                }
+                ctl.cut_down_budget
+                    .store(budget - n as i64, Ordering::SeqCst);
+                continue;
+            }
+        }
+        if dst.write_all(&buf[..n]).is_err() {
+            let _ = src.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn fast_cfg(seed: u64) -> ProcessFabricConfig {
+        ProcessFabricConfig {
+            timing: FabricTiming::fast(),
+            seed,
+            respawn: true,
+        }
+    }
+
+    #[test]
+    fn daemon_speaks_the_protocol_raw() {
+        let daemon = spawn_daemon_thread(DaemonConfig::new("raw", 2)).unwrap();
+        let mut s = TcpStream::connect(daemon.addr()).unwrap();
+        let hello = Frame::read_from(&mut s).unwrap();
+        match hello {
+            Frame::Hello {
+                proto,
+                name,
+                workers,
+                generation,
+            } => {
+                assert_eq!(proto, PROTO_VERSION);
+                assert_eq!(name, "raw");
+                assert_eq!(workers, 2);
+                assert_eq!(generation, 0);
+            }
+            other => panic!("expected HELLO, got {other:?}"),
+        }
+        // Stage a blob, dispatch against it, read the result.
+        Frame::Transfer {
+            key: 5,
+            payload: b"hi ".to_vec(),
+        }
+        .write_to(&mut s)
+        .unwrap();
+        Frame::Dispatch {
+            task: 1,
+            attempt: 1,
+            function: "echo".to_string(),
+            deps: vec![5],
+            payload: b"there".to_vec(),
+        }
+        .write_to(&mut s)
+        .unwrap();
+        Frame::Heartbeat { seq: 1 }.write_to(&mut s).unwrap();
+        let mut saw_result = false;
+        let mut saw_hb = false;
+        let mut saw_transfer_ack = false;
+        for _ in 0..3 {
+            match Frame::read_from(&mut s).unwrap() {
+                Frame::Result {
+                    task,
+                    attempt,
+                    ok,
+                    payload,
+                } => {
+                    assert_eq!((task, attempt, ok), (1, 1, true));
+                    assert_eq!(payload, b"hi there".to_vec());
+                    saw_result = true;
+                }
+                Frame::HeartbeatAck { seq, .. } => {
+                    assert_eq!(seq, 1);
+                    saw_hb = true;
+                }
+                Frame::TransferAck { key, stored } => {
+                    assert_eq!((key, stored), (5, 3));
+                    saw_transfer_ack = true;
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert!(saw_result && saw_hb && saw_transfer_ack);
+        Frame::Drain.write_to(&mut s).unwrap();
+        assert!(matches!(
+            Frame::read_from(&mut s).unwrap(),
+            Frame::DrainAck { .. }
+        ));
+        daemon.join().unwrap();
+    }
+
+    #[test]
+    fn process_fabric_connect_mode_round_trip() {
+        let daemon = spawn_daemon_thread(DaemonConfig::new("ep0", 2)).unwrap();
+        let fabric = ProcessFabric::new(
+            vec![ProcessEndpointSpec {
+                name: "ep0".to_string(),
+                workers: 2,
+                mode: EndpointMode::Connect {
+                    addr: daemon.addr().to_string(),
+                },
+            }],
+            fast_cfg(7),
+        );
+        assert!(
+            fabric.wait_probe(0, ProbeState::Alive, Duration::from_secs(5)),
+            "endpoint never came up"
+        );
+        let blob = Arc::new(b"abc".to_vec());
+        fabric.stage(0, 11, &blob);
+        let (tx, rx) = mpsc::channel();
+        fabric.submit(
+            0,
+            JobSpec {
+                task: 1,
+                attempt: 1,
+                function: Arc::from("fnv"),
+                deps: vec![11],
+                payload: b"xyz".to_vec(),
+            },
+            Box::new(move |r| tx.send(r).unwrap()),
+        );
+        let got = rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(
+            got,
+            crate::fabric::fnv1a64(b"abcxyz").to_le_bytes().to_vec()
+        );
+        assert!(fabric.counters(0).connects >= 1);
+        fabric.shutdown();
+        daemon.join().unwrap();
+    }
+
+    #[test]
+    fn submit_fails_fast_when_unreachable() {
+        // Grab an ephemeral port and close the listener: connections are
+        // refused, the fabric backs off, submissions fail promptly.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let fabric = ProcessFabric::new(
+            vec![ProcessEndpointSpec {
+                name: "gone".to_string(),
+                workers: 1,
+                mode: EndpointMode::Connect {
+                    addr: dead.to_string(),
+                },
+            }],
+            fast_cfg(3),
+        );
+        assert_eq!(fabric.probe(0), ProbeState::Dead);
+        let (tx, rx) = mpsc::channel();
+        fabric.submit(
+            0,
+            JobSpec {
+                task: 1,
+                attempt: 1,
+                function: Arc::from("echo"),
+                deps: vec![],
+                payload: vec![],
+            },
+            Box::new(move |r| tx.send(r).unwrap()),
+        );
+        let err = rx
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .unwrap_err();
+        assert!(err.contains("not connected"), "err = {err}");
+        fabric.shutdown();
+    }
+
+    #[test]
+    fn proxy_cut_mid_frame_then_reconnect() {
+        let daemon = spawn_daemon_thread(DaemonConfig::new("prox", 1)).unwrap();
+        let proxy = ChaosProxy::start(daemon.addr()).unwrap();
+        // Cut after 3 daemon→client bytes: mid-HELLO, guaranteed.
+        proxy.cut_after_down_bytes(3);
+        let fabric = ProcessFabric::new(
+            vec![ProcessEndpointSpec {
+                name: "prox".to_string(),
+                workers: 1,
+                mode: EndpointMode::Connect {
+                    addr: proxy.addr().to_string(),
+                },
+            }],
+            fast_cfg(11),
+        );
+        // First connection dies mid-frame; the reconnect (budget
+        // disarmed) completes and work flows.
+        assert!(
+            fabric.wait_probe(0, ProbeState::Alive, Duration::from_secs(10)),
+            "never recovered from mid-frame cut"
+        );
+        let (tx, rx) = mpsc::channel();
+        fabric.submit(
+            0,
+            JobSpec {
+                task: 1,
+                attempt: 1,
+                function: Arc::from("echo"),
+                deps: vec![],
+                payload: b"ok".to_vec(),
+            },
+            Box::new(move |r| tx.send(r).unwrap()),
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap(),
+            b"ok".to_vec()
+        );
+        assert!(fabric.counters(0).connects >= 2, "{:?}", fabric.counters(0));
+        fabric.shutdown();
+        daemon.join().unwrap();
+    }
+}

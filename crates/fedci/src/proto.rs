@@ -1,0 +1,619 @@
+//! The process fabric's wire protocol.
+//!
+//! One frame = `[u32 LE length][u16 LE kind][body]`, where `length` covers
+//! the kind tag plus the body (so every valid frame has `length >= 2`).
+//! Multi-byte integers are little-endian; strings are `u16` length +
+//! UTF-8 bytes; byte blobs are `u32` length + bytes.
+//!
+//! The codec is written for adversarial input: a frame header is fully
+//! validated **before** any allocation (a claimed length beyond
+//! [`MAX_FRAME`] is rejected without reserving a byte), truncated bodies
+//! and trailing garbage are hard errors, and decode never panics — the
+//! proptests in `crates/fedci/tests/proptest_proto.rs` hold it to that.
+//!
+//! Message flow (client = the [`ProcessFabric`](crate::process::ProcessFabric)
+//! manager, daemon = `unifaas-endpointd`):
+//!
+//! ```text
+//! daemon → client   HELLO        once per connection: identity + generation
+//! client → daemon   TRANSFER     stage an input blob        → TRANSFER_ACK
+//! client → daemon   DISPATCH     run a function attempt     → RESULT
+//! client → daemon   HEARTBEAT    liveness, seq-numbered     → HEARTBEAT_ACK
+//! client → daemon   POLL         queue-depth snapshot       → POLL_ACK
+//! client → daemon   DRAIN        finish queued work, stop   → DRAIN_ACK
+//! ```
+
+use std::io::{Read, Write};
+
+/// Protocol revision carried in HELLO; peers with a different revision
+/// must disconnect.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Upper bound on `length` (kind + body). Chosen comfortably above any
+/// real frame so the only way to hit it is corruption or attack; checked
+/// before allocating.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Decode/IO failures. Every variant is a clean error — no panics, no
+/// partial state.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The input ended before the frame did.
+    Truncated,
+    /// The header claims a length over [`MAX_FRAME`] (or under the
+    /// 2-byte kind tag).
+    Oversized(u32),
+    /// Unrecognized kind tag.
+    UnknownKind(u16),
+    /// A string field was not UTF-8.
+    BadUtf8,
+    /// Bytes left over after a complete message was decoded.
+    TrailingBytes(usize),
+    /// Underlying socket/file error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "frame truncated"),
+            ProtoError::Oversized(n) => write!(f, "frame length {n} out of bounds"),
+            ProtoError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            ProtoError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
+            ProtoError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Every message the process fabric exchanges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Daemon → client, once per connection: who am I, how many workers,
+    /// and which spawn *generation* — a client that respawned the daemon
+    /// knows whether it is talking to the incarnation it expects.
+    Hello {
+        /// Protocol revision ([`PROTO_VERSION`]).
+        proto: u16,
+        /// Endpoint name.
+        name: String,
+        /// Worker thread count.
+        workers: u32,
+        /// Spawn generation (incremented by the supervisor per respawn).
+        generation: u64,
+    },
+    /// Client → daemon: execute one attempt of a task.
+    Dispatch {
+        /// Task id (stable across attempts).
+        task: u64,
+        /// Attempt number — echoed in RESULT; the client drops stale ones.
+        attempt: u32,
+        /// Registered function name.
+        function: String,
+        /// Staged blob keys, concatenated in order as the input prefix.
+        deps: Vec<u64>,
+        /// Inline argument bytes, appended after the dep blobs.
+        payload: Vec<u8>,
+    },
+    /// Daemon → client: outcome of one dispatch.
+    Result {
+        /// Task id from the dispatch.
+        task: u64,
+        /// Attempt from the dispatch (the exactly-once guard).
+        attempt: u32,
+        /// 1 = payload is the function result; 0 = payload is an
+        /// error message.
+        ok: bool,
+        /// Result bytes or UTF-8 error message.
+        payload: Vec<u8>,
+    },
+    /// Client → daemon: request a queue-depth snapshot.
+    Poll,
+    /// Daemon → client: answer to [`Frame::Poll`].
+    PollAck {
+        /// Workers currently executing.
+        busy: u32,
+        /// Jobs queued and not yet started.
+        queued: u32,
+        /// Jobs completed since the daemon started.
+        completed: u64,
+    },
+    /// Client → daemon: stage blob `key` for later dispatch deps.
+    Transfer {
+        /// Blob key.
+        key: u64,
+        /// Blob bytes.
+        payload: Vec<u8>,
+    },
+    /// Daemon → client: blob stored.
+    TransferAck {
+        /// Blob key being acknowledged.
+        key: u64,
+        /// Bytes stored.
+        stored: u64,
+    },
+    /// Client → daemon: liveness probe.
+    Heartbeat {
+        /// Monotone sequence number per connection.
+        seq: u64,
+    },
+    /// Daemon → client: answer to [`Frame::Heartbeat`].
+    HeartbeatAck {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Workers currently executing (free liveness piggyback).
+        busy: u32,
+    },
+    /// Client → daemon: finish queued work, then exit cleanly.
+    Drain,
+    /// Daemon → client: drain accepted.
+    DrainAck {
+        /// Jobs still queued or executing at the time of the ack.
+        remaining: u32,
+    },
+}
+
+impl Frame {
+    /// The frame's kind tag.
+    pub fn kind(&self) -> u16 {
+        match self {
+            Frame::Hello { .. } => 1,
+            Frame::Dispatch { .. } => 2,
+            Frame::Result { .. } => 3,
+            Frame::Poll => 4,
+            Frame::PollAck { .. } => 5,
+            Frame::Transfer { .. } => 6,
+            Frame::TransferAck { .. } => 7,
+            Frame::Heartbeat { .. } => 8,
+            Frame::HeartbeatAck { .. } => 9,
+            Frame::Drain => 10,
+            Frame::DrainAck { .. } => 11,
+        }
+    }
+
+    /// Encodes the frame, header included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.extend_from_slice(&self.kind().to_le_bytes());
+        match self {
+            Frame::Hello {
+                proto,
+                name,
+                workers,
+                generation,
+            } => {
+                body.extend_from_slice(&proto.to_le_bytes());
+                put_str(&mut body, name);
+                body.extend_from_slice(&workers.to_le_bytes());
+                body.extend_from_slice(&generation.to_le_bytes());
+            }
+            Frame::Dispatch {
+                task,
+                attempt,
+                function,
+                deps,
+                payload,
+            } => {
+                body.extend_from_slice(&task.to_le_bytes());
+                body.extend_from_slice(&attempt.to_le_bytes());
+                put_str(&mut body, function);
+                body.extend_from_slice(&(deps.len() as u16).to_le_bytes());
+                for d in deps {
+                    body.extend_from_slice(&d.to_le_bytes());
+                }
+                put_bytes(&mut body, payload);
+            }
+            Frame::Result {
+                task,
+                attempt,
+                ok,
+                payload,
+            } => {
+                body.extend_from_slice(&task.to_le_bytes());
+                body.extend_from_slice(&attempt.to_le_bytes());
+                body.push(u8::from(*ok));
+                put_bytes(&mut body, payload);
+            }
+            Frame::Poll | Frame::Drain => {}
+            Frame::PollAck {
+                busy,
+                queued,
+                completed,
+            } => {
+                body.extend_from_slice(&busy.to_le_bytes());
+                body.extend_from_slice(&queued.to_le_bytes());
+                body.extend_from_slice(&completed.to_le_bytes());
+            }
+            Frame::Transfer { key, payload } => {
+                body.extend_from_slice(&key.to_le_bytes());
+                put_bytes(&mut body, payload);
+            }
+            Frame::TransferAck { key, stored } => {
+                body.extend_from_slice(&key.to_le_bytes());
+                body.extend_from_slice(&stored.to_le_bytes());
+            }
+            Frame::Heartbeat { seq } => {
+                body.extend_from_slice(&seq.to_le_bytes());
+            }
+            Frame::HeartbeatAck { seq, busy } => {
+                body.extend_from_slice(&seq.to_le_bytes());
+                body.extend_from_slice(&busy.to_le_bytes());
+            }
+            Frame::DrainAck { remaining } => {
+                body.extend_from_slice(&remaining.to_le_bytes());
+            }
+        }
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes one frame from `buf`, which must contain exactly the frame
+    /// (header included) and nothing else.
+    pub fn decode(buf: &[u8]) -> Result<Frame, ProtoError> {
+        let mut c = Cursor { buf, pos: 0 };
+        let len = c.u32()?;
+        if !(2..=MAX_FRAME).contains(&len) {
+            return Err(ProtoError::Oversized(len));
+        }
+        if buf.len() as u64 - 4 != len as u64 {
+            return if (buf.len() as u64) < 4 + len as u64 {
+                Err(ProtoError::Truncated)
+            } else {
+                Err(ProtoError::TrailingBytes(buf.len() - 4 - len as usize))
+            };
+        }
+        let frame = decode_body(&mut c)?;
+        if c.pos != buf.len() {
+            return Err(ProtoError::TrailingBytes(buf.len() - c.pos));
+        }
+        Ok(frame)
+    }
+
+    /// Reads one frame from `r` (blocking). The length header is bounds
+    /// checked before the body buffer is allocated, so a hostile peer
+    /// cannot make the reader reserve [`MAX_FRAME`]-scale memory with a
+    /// 4-byte header alone — the allocation happens only once, capped.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Frame, ProtoError> {
+        let mut head = [0u8; 4];
+        read_exact_or_truncated(r, &mut head)?;
+        let len = u32::from_le_bytes(head);
+        if !(2..=MAX_FRAME).contains(&len) {
+            return Err(ProtoError::Oversized(len));
+        }
+        let mut body = vec![0u8; len as usize];
+        read_exact_or_truncated(r, &mut body)?;
+        let mut c = Cursor { buf: &body, pos: 0 };
+        let frame = decode_body(&mut c)?;
+        if c.pos != body.len() {
+            return Err(ProtoError::TrailingBytes(body.len() - c.pos));
+        }
+        Ok(frame)
+    }
+
+    /// Writes the encoded frame to `w` and flushes.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), ProtoError> {
+        w.write_all(&self.encode())?;
+        w.flush()?;
+        Ok(())
+    }
+}
+
+fn decode_body(c: &mut Cursor<'_>) -> Result<Frame, ProtoError> {
+    let kind = c.u16()?;
+    Ok(match kind {
+        1 => Frame::Hello {
+            proto: c.u16()?,
+            name: c.string()?,
+            workers: c.u32()?,
+            generation: c.u64()?,
+        },
+        2 => {
+            let task = c.u64()?;
+            let attempt = c.u32()?;
+            let function = c.string()?;
+            let n = c.u16()? as usize;
+            let mut deps = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                deps.push(c.u64()?);
+            }
+            let payload = c.bytes()?;
+            Frame::Dispatch {
+                task,
+                attempt,
+                function,
+                deps,
+                payload,
+            }
+        }
+        3 => Frame::Result {
+            task: c.u64()?,
+            attempt: c.u32()?,
+            ok: c.u8()? != 0,
+            payload: c.bytes()?,
+        },
+        4 => Frame::Poll,
+        5 => Frame::PollAck {
+            busy: c.u32()?,
+            queued: c.u32()?,
+            completed: c.u64()?,
+        },
+        6 => Frame::Transfer {
+            key: c.u64()?,
+            payload: c.bytes()?,
+        },
+        7 => Frame::TransferAck {
+            key: c.u64()?,
+            stored: c.u64()?,
+        },
+        8 => Frame::Heartbeat { seq: c.u64()? },
+        9 => Frame::HeartbeatAck {
+            seq: c.u64()?,
+            busy: c.u32()?,
+        },
+        10 => Frame::Drain,
+        11 => Frame::DrainAck {
+            remaining: c.u32()?,
+        },
+        k => return Err(ProtoError::UnknownKind(k)),
+    })
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "string field too long");
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+/// `read_exact` with EOF mapped to [`ProtoError::Truncated`]; other IO
+/// errors pass through.
+fn read_exact_or_truncated<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), ProtoError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(ProtoError::Truncated),
+        Err(e) => Err(ProtoError::Io(e)),
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice. Every accessor
+/// fails with [`ProtoError::Truncated`] instead of slicing out of range;
+/// variable-length fields validate the claimed length against the
+/// remaining input before copying, so a hostile length cannot force an
+/// allocation larger than the data actually present.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], ProtoError> {
+        if self.buf.len() - self.pos < n {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let n = self.u16()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadUtf8)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                proto: PROTO_VERSION,
+                name: "taiyi".into(),
+                workers: 32,
+                generation: 3,
+            },
+            Frame::Dispatch {
+                task: 7,
+                attempt: 2,
+                function: "fnv".into(),
+                deps: vec![1, 2, 3],
+                payload: b"xyz".to_vec(),
+            },
+            Frame::Result {
+                task: 7,
+                attempt: 2,
+                ok: true,
+                payload: vec![0xde, 0xad],
+            },
+            Frame::Result {
+                task: 8,
+                attempt: 1,
+                ok: false,
+                payload: b"boom".to_vec(),
+            },
+            Frame::Poll,
+            Frame::PollAck {
+                busy: 3,
+                queued: 9,
+                completed: 1234,
+            },
+            Frame::Transfer {
+                key: 42,
+                payload: vec![1; 100],
+            },
+            Frame::TransferAck {
+                key: 42,
+                stored: 100,
+            },
+            Frame::Heartbeat { seq: 99 },
+            Frame::HeartbeatAck { seq: 99, busy: 2 },
+            Frame::Drain,
+            Frame::DrainAck { remaining: 5 },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_kind() {
+        for f in all_frames() {
+            let bytes = f.encode();
+            assert_eq!(Frame::decode(&bytes).unwrap(), f, "decode(encode) != id");
+            let mut r = std::io::Cursor::new(bytes.clone());
+            assert_eq!(Frame::read_from(&mut r).unwrap(), f);
+            let mut w = Vec::new();
+            f.write_to(&mut w).unwrap();
+            assert_eq!(w, bytes);
+        }
+    }
+
+    #[test]
+    fn stream_of_frames_reads_in_order() {
+        let frames = all_frames();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode());
+        }
+        let mut r = std::io::Cursor::new(stream);
+        for f in &frames {
+            assert_eq!(&Frame::read_from(&mut r).unwrap(), f);
+        }
+        assert!(matches!(
+            Frame::read_from(&mut r),
+            Err(ProtoError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn truncation_at_every_byte_errors_cleanly() {
+        for f in all_frames() {
+            let bytes = f.encode();
+            for cut in 0..bytes.len() {
+                match Frame::decode(&bytes[..cut]) {
+                    Err(_) => {}
+                    Ok(got) => panic!("decoded {got:?} from {cut}/{} bytes", bytes.len()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut bytes = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 8]);
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(ProtoError::Oversized(_))
+        ));
+        // And from a reader claiming 4 GiB with only 4 real bytes: the
+        // error must come back without trying to read (or allocate) more.
+        let huge = u32::MAX.to_le_bytes();
+        let mut r = std::io::Cursor::new(huge.to_vec());
+        assert!(matches!(
+            Frame::read_from(&mut r),
+            Err(ProtoError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn zero_and_one_byte_lengths_rejected() {
+        for len in [0u32, 1] {
+            let mut bytes = len.to_le_bytes().to_vec();
+            bytes.extend_from_slice(&vec![0; len as usize]);
+            assert!(matches!(
+                Frame::decode(&bytes),
+                Err(ProtoError::Oversized(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn unknown_kind_and_trailing_bytes_rejected() {
+        let mut bad = Frame::Poll.encode();
+        bad[4] = 0xff; // kind := 0x00ff
+        assert!(matches!(
+            Frame::decode(&bad),
+            Err(ProtoError::UnknownKind(255))
+        ));
+
+        let mut trailing = Frame::Heartbeat { seq: 1 }.encode();
+        trailing.push(0);
+        assert!(matches!(
+            Frame::decode(&trailing),
+            Err(ProtoError::TrailingBytes(1))
+        ));
+
+        // Inner trailing bytes: length header admits one more byte than
+        // the message consumes.
+        let mut inner = Frame::Poll.encode();
+        inner.push(7);
+        let len = (inner.len() - 4) as u32;
+        inner[..4].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&inner),
+            Err(ProtoError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn bad_utf8_in_string_field_rejected() {
+        let f = Frame::Hello {
+            proto: 1,
+            name: "ab".into(),
+            workers: 1,
+            generation: 0,
+        };
+        let mut bytes = f.encode();
+        // name bytes start after len(4) + kind(2) + proto(2) + strlen(2).
+        bytes[10] = 0xff;
+        bytes[11] = 0xfe;
+        assert!(matches!(Frame::decode(&bytes), Err(ProtoError::BadUtf8)));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ProtoError::Oversized(99);
+        assert!(e.to_string().contains("99"));
+        assert!(ProtoError::Truncated.to_string().contains("truncated"));
+        assert!(ProtoError::UnknownKind(7).to_string().contains('7'));
+        assert!(ProtoError::TrailingBytes(3).to_string().contains('3'));
+        assert!(ProtoError::BadUtf8.to_string().contains("UTF-8"));
+        let io = ProtoError::from(std::io::Error::other("x"));
+        assert!(io.to_string().contains("io"));
+    }
+}

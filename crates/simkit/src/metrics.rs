@@ -743,17 +743,64 @@ impl Drop for MetricsServer {
     }
 }
 
+/// Per-connection wall-clock budget for one scrape (request head *and*
+/// response). The server handles one request at a time, so without a hard
+/// deadline a stalled client — dribbling one byte per read timeout, or
+/// never draining its receive buffer — wedges every later scraper.
+const SCRAPE_DEADLINE: std::time::Duration = std::time::Duration::from_secs(2);
+
+/// Remaining time before `deadline`, as a timeout for the next socket op;
+/// errors with `TimedOut` once the budget is spent. (A `None` socket
+/// timeout would mean "block forever", so zero must become an error, not
+/// be passed through.)
+fn remaining(deadline: std::time::Instant) -> std::io::Result<std::time::Duration> {
+    let left = deadline.saturating_duration_since(std::time::Instant::now());
+    if left.is_zero() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "scrape client exceeded its time budget",
+        ));
+    }
+    Ok(left)
+}
+
+/// `write_all` with an overall deadline: per-write timeouts alone reset on
+/// every partial success, so a client draining one byte at a time could
+/// hold the thread indefinitely.
+fn write_all_deadline(
+    stream: &mut TcpStream,
+    mut buf: &[u8],
+    deadline: std::time::Instant,
+) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        stream.set_write_timeout(Some(remaining(deadline)?))?;
+        match stream.write(buf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "scrape client stopped accepting bytes",
+                ))
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 fn serve_one(
     stream: &mut TcpStream,
     registry: &Arc<Mutex<MetricsRegistry>>,
     refresh: Option<&(dyn Fn(&mut MetricsRegistry) + Send)>,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    let deadline = std::time::Instant::now() + SCRAPE_DEADLINE;
     // Read until the end of the request head; we only care about the
     // request line.
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     loop {
+        stream.set_read_timeout(Some(remaining(deadline)?))?;
         let n = stream.read(&mut chunk)?;
         if n == 0 {
             break;
@@ -786,7 +833,7 @@ fn serve_one(
         "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
-    stream.write_all(response.as_bytes())
+    write_all_deadline(stream, response.as_bytes(), deadline)
 }
 
 #[cfg(test)]

@@ -73,6 +73,7 @@ pub mod prelude {
     pub use crate::error::UniFaasError;
     pub use crate::files::{GlobusFile, RemoteDirectory, RemoteFile, RsyncFile};
     pub use crate::metrics::RunReport;
+    pub use crate::runtime::fabric::{FabricRunStats, FabricRuntime, WireFuture};
     pub use crate::runtime::live::{LiveRuntime, Value};
     pub use crate::runtime::sim::SimRuntime;
     pub use crate::trace::{RunTrace, TraceConfig};

@@ -389,6 +389,23 @@ pub struct Divergence {
     pub nearest_decision: Option<IndexedRecord>,
 }
 
+impl Divergence {
+    /// True when neither journal contradicts the other: one simply ends
+    /// where the other continues, and every record they share matched.
+    /// This is the signature of a crash-truncated journal — a `kill -9`
+    /// mid-run leaves a clean prefix of the surviving run, not a real
+    /// divergence — and the doctor words its verdict accordingly.
+    pub fn is_clean_prefix(&self) -> bool {
+        self.a.is_none() != self.b.is_none()
+    }
+
+    /// How many records the two journals agree on before one ends or
+    /// they differ.
+    pub fn shared_records(&self) -> u64 {
+        self.index
+    }
+}
+
 /// Verdict of [`doctor`]: either the journals agree record for record, or
 /// the first divergent record with its context.
 #[derive(Clone, Debug)]
@@ -566,7 +583,21 @@ pub fn render_doctor(report: &DoctorReport) -> String {
             ));
         }
         DoctorReport::Diverged(d) => {
-            out.push_str(&format!("journals DIVERGE at record #{}\n", d.index));
+            if d.is_clean_prefix() {
+                let (short, long) = if d.a.is_none() {
+                    ("A", "B")
+                } else {
+                    ("B", "A")
+                };
+                out.push_str(&format!(
+                    "journal {short} is a CLEAN PREFIX of journal {long}: first {} records \
+                     identical, then {short} ends (truncated run — crash or kill, not a \
+                     divergence)\n",
+                    d.index
+                ));
+            } else {
+                out.push_str(&format!("journals DIVERGE at record #{}\n", d.index));
+            }
             match (&d.a, &d.b) {
                 (Some(ra), Some(rb)) => {
                     out.push_str("journal A:\n");
@@ -793,6 +824,10 @@ mod tests {
         // about task 4 at or before index 123 exists (notes every 5th).
         assert!(d.nearest_decision.is_some());
         assert!(!d.task_lifecycle.is_empty());
+        assert!(
+            !d.is_clean_prefix(),
+            "a contradicting record is a real divergence, not truncation"
+        );
         let rendered = render_doctor(&report);
         assert!(rendered.contains("DIVERGE at record #123"), "{rendered}");
         std::fs::remove_dir_all(&dir).ok();
@@ -812,6 +847,12 @@ mod tests {
         };
         assert_eq!(d.index, 64);
         assert!(d.a.is_none() && d.b.is_some());
+        // Pure truncation gets the softer verdict: a clean prefix (the
+        // shape a `kill -9` mid-run leaves behind), called out as such.
+        assert!(d.is_clean_prefix());
+        assert_eq!(d.shared_records(), 64);
+        let rendered = render_doctor(&report);
+        assert!(rendered.contains("CLEAN PREFIX"), "{rendered}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -76,7 +76,7 @@ impl LiveRetryPolicy {
     }
 
     /// Backoff before `attempt` (1-based; the first attempt never waits).
-    fn backoff_for(&self, attempt: u32) -> Option<Duration> {
+    pub(crate) fn backoff_for(&self, attempt: u32) -> Option<Duration> {
         if attempt <= 1 || self.backoff.is_zero() {
             return None;
         }

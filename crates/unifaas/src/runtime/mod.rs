@@ -6,8 +6,13 @@
 //! * [`sim`] — a deterministic discrete-event runtime over virtual time,
 //!   reproducing the paper's experiments at full scale in milliseconds;
 //! * [`live`] — a real-thread runtime executing actual Rust closures on
-//!   per-endpoint worker pools (the `fedci::threaded` fabric).
+//!   per-endpoint worker pools (the `fedci::threaded` fabric);
+//! * [`fabric`] — a wire-level runtime over any [`fedci::fabric::Fabric`]
+//!   backend, including process-isolated TCP endpoint daemons
+//!   (`fedci::process`), sharing the live runtime's exactly-once retry
+//!   and health machinery.
 
+pub mod fabric;
 pub mod live;
 pub mod sim;
 

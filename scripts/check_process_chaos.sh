@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Process-fabric chaos gate: release-mode chaos suites (real SIGKILLs of
+# child endpoint daemons, mid-frame socket cuts, half-open connections,
+# duplicate/replayed RESULTs, a kill -9'd journal writer), then an
+# end-to-end digest equivalence run of the `unifaas-fabric` driver:
+# threaded backend, unfaulted process backend, and a process run whose
+# endpoints are SIGKILLed mid-flight must all print the same result
+# digest with zero failures.
+#
+# Usage: scripts/check_process_chaos.sh [outdir]
+#   outdir — where run transcripts, digests and recovery counters land
+#   (default process-chaos/). CI uploads this directory as an artifact
+#   when the gate fails, so a flaky recovery on a runner ships the
+#   evidence needed to debug it offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+outdir="${1:-process-chaos}"
+mkdir -p "$outdir"
+
+echo "==> release chaos suites (SIGKILL, socket cuts, stale replay)"
+cargo test --release -q -p unifaas-cli --test integration_process \
+  -- --nocapture 2>&1 | tee "$outdir/integration_process.txt"
+cargo test --release -q -p unifaas-cli --test proptest_process \
+  2>&1 | tee "$outdir/proptest_process.txt"
+
+echo "==> kill -9 journal recovery (partial chunk parses, doctor says clean prefix)"
+cargo test --release -q -p unifaas-cli --test integration_crash_journal \
+  2>&1 | tee "$outdir/crash_journal.txt"
+
+echo "==> building release fabric binaries"
+cargo build --release -q -p unifaas-cli \
+  --bin unifaas-fabric --bin unifaas-endpointd
+
+fabric() {
+  local tag="$1"
+  shift
+  ./target/release/unifaas-fabric \
+    --tasks 400 --width 4 --seed 2024 --fast-timing --report "$@" \
+    2> "$outdir/$tag.report.txt" | tee "$outdir/$tag.out.txt"
+}
+
+echo "==> digest gate: threaded vs process vs process+SIGKILL"
+fabric threaded --backend threaded
+fabric process --backend process
+fabric chaos --backend process \
+  --chaos-kill 0:60 --chaos-kill 1:150 --chaos-kill 0:250
+
+digest() { sed -n 's/^digest=\(0x[0-9a-f]*\).*/\1/p' "$outdir/$1.out.txt"; }
+d_threaded=$(digest threaded)
+d_process=$(digest process)
+d_chaos=$(digest chaos)
+echo "threaded=$d_threaded process=$d_process chaos=$d_chaos"
+if [ -z "$d_threaded" ] || [ "$d_threaded" != "$d_process" ] \
+  || [ "$d_threaded" != "$d_chaos" ]; then
+  echo "FAIL: digests diverge across backends/faults" >&2
+  cat "$outdir/chaos.report.txt" >&2
+  exit 1
+fi
+for tag in threaded process chaos; do
+  if ! grep -q " failures=0 " "$outdir/$tag.out.txt"; then
+    echo "FAIL: $tag run reported failures" >&2
+    exit 1
+  fi
+done
+if ! grep -q "respawns=[1-9]" "$outdir/chaos.report.txt"; then
+  echo "FAIL: chaos run never respawned a killed endpoint" >&2
+  cat "$outdir/chaos.report.txt" >&2
+  exit 1
+fi
+echo "OK: SIGKILLed process run converged to the unfaulted digest ($d_threaded)"

@@ -1,0 +1,113 @@
+//! Workspace-level integration of the fabric stack: the `Fabric` trait,
+//! the byte-level `FabricRuntime` client path, and the wire protocol via
+//! an in-thread daemon (connect mode — the spawn/SIGKILL paths live in
+//! `crates/cli/tests`, where the daemon binary is available).
+
+use fedci::fabric::{assemble_input, Fabric, FabricTiming, FnRegistry, JobSpec, ThreadedFabric};
+use fedci::process::{
+    spawn_daemon_thread, DaemonConfig, EndpointMode, ProcessEndpointSpec, ProcessFabric,
+    ProcessFabricConfig,
+};
+use std::sync::Arc;
+use std::time::Duration;
+use unifaas::runtime::fabric::FabricRuntime;
+use unifaas::runtime::live::LiveRetryPolicy;
+use unifaas_cli::fabricrun::{reference_outcome, run_workload, FabricWorkload};
+
+#[test]
+fn builtin_registry_covers_the_demo_functions() {
+    let reg = FnRegistry::builtins();
+    for name in ["echo", "fnv", "sum64", "sleep", "fail"] {
+        assert!(reg.get(name).is_some(), "missing builtin {name}");
+    }
+    let fnv = reg.get("fnv").unwrap();
+    let out = fnv(b"hello").unwrap();
+    assert_eq!(out.len(), 8, "fnv output is a 64-bit digest");
+    let fail = reg.get("fail").unwrap();
+    assert_eq!(fail(b"boom").unwrap_err(), "boom");
+}
+
+#[test]
+fn assemble_input_orders_deps_before_payload() {
+    let mut blobs = std::collections::HashMap::new();
+    blobs.insert(7u64, Arc::new(b"AA".to_vec()));
+    blobs.insert(9u64, Arc::new(b"BB".to_vec()));
+    let job = JobSpec {
+        task: 1,
+        attempt: 1,
+        function: Arc::from("echo"),
+        deps: vec![9, 7],
+        payload: b"CC".to_vec(),
+    };
+    assert_eq!(assemble_input(&blobs, &job).unwrap(), b"BBAACC");
+    let missing = JobSpec {
+        deps: vec![3],
+        ..job
+    };
+    assert!(assemble_input(&blobs, &missing).unwrap_err().contains("3"));
+}
+
+#[test]
+fn threaded_fabric_runs_the_reference_workload() {
+    let w = FabricWorkload::new(80, 99);
+    let fabric = Arc::new(ThreadedFabric::new(
+        &[("a", 2), ("b", 2), ("c", 1)],
+        &FabricTiming::fast(),
+    ));
+    let rt = FabricRuntime::new(fabric);
+    let outcome = run_workload(&rt, &w);
+    assert_eq!(outcome.failures, 0);
+    let want = reference_outcome(&w);
+    for (got, want) in outcome.results.iter().zip(&want) {
+        assert_eq!(got.as_ref().unwrap().as_slice(), want.as_slice());
+    }
+}
+
+#[test]
+fn process_fabric_connect_mode_matches_threaded_digest() {
+    let w = FabricWorkload::new(50, 7);
+    let threaded = {
+        let fabric = Arc::new(ThreadedFabric::new(&[("a", 2)], &FabricTiming::fast()));
+        run_workload(&FabricRuntime::new(fabric), &w)
+    };
+    let daemon = spawn_daemon_thread(DaemonConfig::new("root-it", 2)).expect("daemon");
+    let fabric = Arc::new(ProcessFabric::new(
+        vec![ProcessEndpointSpec {
+            name: "root-it".to_string(),
+            workers: 2,
+            mode: EndpointMode::Connect {
+                addr: daemon.addr().to_string(),
+            },
+        }],
+        ProcessFabricConfig {
+            timing: FabricTiming::fast(),
+            seed: 1,
+            respawn: false,
+        },
+    ));
+    let rt =
+        FabricRuntime::new(Arc::clone(&fabric) as Arc<dyn Fabric>).with_retry(LiveRetryPolicy {
+            max_attempts: 4,
+            task_timeout: Some(Duration::from_secs(5)),
+            backoff: Duration::from_millis(2),
+        });
+    let process = run_workload(&rt, &w);
+    fabric.shutdown();
+    daemon.join().expect("daemon drains cleanly");
+    assert_eq!(process.failures, 0);
+    assert_eq!(
+        process.digest, threaded.digest,
+        "wire transport must not change results"
+    );
+}
+
+#[test]
+fn fabric_timing_validation_is_exposed_end_to_end() {
+    let bad = FabricTiming {
+        heartbeat_interval: Duration::from_secs(10),
+        ..FabricTiming::default()
+    };
+    assert!(bad.validate().is_err(), "heartbeat >= suspect must fail");
+    assert!(FabricTiming::default().validate().is_ok());
+    assert!(FabricTiming::fast().validate().is_ok());
+}

@@ -250,3 +250,57 @@ fn live_runtime_scrape_smoke() {
         .iter()
         .any(|s| s.name == "unifaas_outstanding_tasks" && s.value == 0.0));
 }
+
+/// Satellite regression: a stalled scrape client must not wedge the
+/// single-threaded scrape server. The first client dribbles a partial
+/// request head and then goes silent; the per-connection deadline must
+/// disconnect it so a well-behaved scraper behind it still gets served
+/// promptly.
+#[test]
+fn stalled_scrape_client_cannot_wedge_the_server() {
+    use simkit::metrics::{MetricsRegistry, MetricsServer};
+    use std::io::{Read, Write};
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    let mut reg = MetricsRegistry::new();
+    let g = reg.gauge("stall_test_gauge", "marker", &[]);
+    reg.set(g, 42.0);
+    let server =
+        MetricsServer::start("127.0.0.1:0", Arc::new(Mutex::new(reg)), None).expect("bind");
+    let addr = server.local_addr();
+
+    // The villain: opens a connection, sends two bytes of request head,
+    // then stalls forever (held open for the whole test).
+    let mut villain = std::net::TcpStream::connect(addr).expect("connect");
+    villain.write_all(b"GE").expect("partial head");
+
+    // Give the server a beat to accept the villain first, so the honest
+    // client genuinely queues behind the stall.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let start = Instant::now();
+    let mut honest = std::net::TcpStream::connect(addr).expect("connect");
+    honest
+        .write_all(
+            format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .expect("send request");
+    let mut response = String::new();
+    honest.read_to_string(&mut response).expect("read response");
+    let waited = start.elapsed();
+
+    assert!(response.starts_with("HTTP/1.1 200"), "got: {response}");
+    assert!(
+        response.contains("stall_test_gauge"),
+        "body missing the marker gauge: {response}"
+    );
+    // The villain's budget is 2s; anything wildly past that means the
+    // deadline did not fire and we only got lucky.
+    assert!(
+        waited < Duration::from_secs(10),
+        "honest scraper waited {waited:?} behind the stalled client"
+    );
+    drop(villain);
+}
