@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! unifaas-endpointd [--name <label>] [--workers <n>] [--listen <addr>]
-//!                   [--generation <g>]
+//!                   [--generation <g>] [--telemetry-ring <events>]
 //!                   [--chaos-swallow-every <k>] [--chaos-delay-ms <ms>]
 //!                   [--chaos-dup-results]
 //! ```
@@ -12,7 +12,11 @@
 //! OS pick a free port), then serves the `fedci::proto` frame protocol:
 //! DISPATCH jobs run on `--workers` threads over the builtin byte-level
 //! function registry, TRANSFER frames stage input blobs, HEARTBEATs are
-//! acked with current busy count, and DRAIN flushes and exits.
+//! acked with current busy count (plus a local-clock stamp feeding the
+//! client's offset estimator), and DRAIN flushes and exits. When a client
+//! subscribes with TELEMETRY_SUB, per-attempt trace events accumulate in
+//! a bounded ring (`--telemetry-ring` events, drop-oldest) and ship as
+//! TELEMETRY batches behind every heartbeat ack.
 //!
 //! The `--chaos-*` flags are for crash/fault testing only: swallow every
 //! k-th job without replying (a hung worker), delay every execution (a
@@ -26,8 +30,8 @@ use fedci::process::{run_daemon, DaemonChaos, DaemonConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: unifaas-endpointd [--name <label>] [--workers <n>] [--listen <addr>] \
-         [--generation <g>] [--chaos-swallow-every <k>] [--chaos-delay-ms <ms>] \
-         [--chaos-dup-results]"
+         [--generation <g>] [--telemetry-ring <events>] [--chaos-swallow-every <k>] \
+         [--chaos-delay-ms <ms>] [--chaos-dup-results]"
     );
     std::process::exit(2);
 }
@@ -53,6 +57,9 @@ fn main() {
             "--workers" => cfg.workers = parse_or_usage("--workers", args.next()),
             "--listen" => cfg.listen = parse_or_usage("--listen", args.next()),
             "--generation" => cfg.generation = parse_or_usage("--generation", args.next()),
+            "--telemetry-ring" => {
+                cfg.telemetry_ring = parse_or_usage("--telemetry-ring", args.next())
+            }
             "--chaos-swallow-every" => {
                 chaos.swallow_every = parse_or_usage("--chaos-swallow-every", args.next())
             }

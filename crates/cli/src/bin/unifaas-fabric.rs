@@ -6,8 +6,11 @@
 //!                [--tasks <n>] [--width <w>] [--seed <s>]
 //!                [--daemon <path-to-unifaas-endpointd>]
 //!                [--chaos-kill <ep>:<after-k-completions>]...
+//!                [--chaos-swallow-every <k>] [--chaos-delay-ms <ms>]
 //!                [--max-attempts <n>] [--task-timeout-ms <ms>]
 //!                [--fast-timing] [--report]
+//!                [--trace-out <path>] [--trace-level off|spans|full]
+//!                [--metrics-out <path>] [--metrics-addr <addr>]
 //! ```
 //!
 //! With `--backend process` each endpoint is a spawned
@@ -15,7 +18,26 @@
 //! `--chaos-kill ep:k` SIGKILLs endpoint `ep`'s child once `k` tasks have
 //! completed (repeatable), and the supervisor's heartbeat/reconnect/
 //! re-dispatch machinery is expected to carry the run to the same digest
-//! an unfaulted run produces. The final line is machine-readable:
+//! an unfaulted run produces. `--chaos-swallow-every` / `--chaos-delay-ms`
+//! pass the daemons' own fault injectors through, so the injected instants
+//! show up in the merged timeline.
+//!
+//! Observability flags:
+//!
+//! * `--trace-out <path>` writes the *merged cross-process* Perfetto
+//!   timeline: the client's `c.*` lifecycle events plus (process backend)
+//!   every daemon's telemetry, offset-corrected onto the client clock via
+//!   the heartbeat NTP estimator, one track per daemon generation labelled
+//!   with its offset ± uncertainty. Implies tracing and (process backend)
+//!   the telemetry subscription. Open at <https://ui.perfetto.dev>.
+//! * `--trace-level` sets the client recording level (defaults to `spans`
+//!   when `--trace-out` is given).
+//! * `--metrics-out <path>` (process backend) writes the final
+//!   `fedci_proc_*` / `fedci_wire_*` registry in Prometheus text format.
+//! * `--metrics-addr <addr>` (process backend) serves the registry at
+//!   `GET http://<addr>/metrics` *during* the run, re-sampled per scrape.
+//!
+//! The final line is machine-readable:
 //!
 //! ```text
 //! digest=0x<16 hex> tasks=<n> failures=<n> retries=<n> ...
@@ -23,6 +45,8 @@
 
 use fedci::fabric::{Fabric, FabricTiming, ThreadedFabric};
 use fedci::process::{EndpointMode, ProcessEndpointSpec, ProcessFabric, ProcessFabricConfig};
+use simkit::metrics::MetricsRegistry;
+use simkit::TraceLevel;
 use std::sync::Arc;
 use std::time::Duration;
 use unifaas::runtime::fabric::FabricRuntime;
@@ -35,8 +59,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: unifaas-fabric [--backend threaded|process] [--endpoints a:4,b:4] \
          [--tasks <n>] [--width <w>] [--seed <s>] [--daemon <path>] \
-         [--chaos-kill <ep>:<after-k>]... [--max-attempts <n>] \
-         [--task-timeout-ms <ms>] [--fast-timing] [--report]"
+         [--chaos-kill <ep>:<after-k>]... [--chaos-swallow-every <k>] \
+         [--chaos-delay-ms <ms>] [--max-attempts <n>] \
+         [--task-timeout-ms <ms>] [--fast-timing] [--report] \
+         [--trace-out <path>] [--trace-level off|spans|full] \
+         [--metrics-out <path>] [--metrics-addr <addr>]"
     );
     std::process::exit(2);
 }
@@ -81,6 +108,12 @@ fn main() {
     let mut task_timeout_ms = 0u64;
     let mut fast_timing = false;
     let mut report = false;
+    let mut trace_out: Option<String> = None;
+    let mut trace_level: Option<TraceLevel> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut chaos_swallow_every = 0u64;
+    let mut chaos_delay_ms = 0u64;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--backend" => backend = need("--backend", args.next()),
@@ -104,8 +137,27 @@ fn main() {
                 task_timeout_ms =
                     parse("--task-timeout-ms", &need("--task-timeout-ms", args.next()))
             }
+            "--chaos-swallow-every" => {
+                chaos_swallow_every = parse(
+                    "--chaos-swallow-every",
+                    &need("--chaos-swallow-every", args.next()),
+                )
+            }
+            "--chaos-delay-ms" => {
+                chaos_delay_ms = parse("--chaos-delay-ms", &need("--chaos-delay-ms", args.next()))
+            }
             "--fast-timing" => fast_timing = true,
             "--report" => report = true,
+            "--trace-out" => trace_out = Some(need("--trace-out", args.next())),
+            "--trace-level" => {
+                let v = need("--trace-level", args.next());
+                trace_level = Some(TraceLevel::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unifaas-fabric: bad value `{v}` for --trace-level");
+                    usage();
+                }));
+            }
+            "--metrics-out" => metrics_out = Some(need("--metrics-out", args.next())),
+            "--metrics-addr" => metrics_addr = Some(need("--metrics-addr", args.next())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unifaas-fabric: unknown flag `{other}`");
@@ -136,13 +188,26 @@ fn main() {
         task_timeout: timeout,
         backoff: Duration::from_millis(if fast_timing { 5 } else { 50 }),
     };
+    // `--trace-out` implies span tracing; `--trace-level` alone records
+    // without writing. The telemetry subscription (process backend) rides
+    // on the same switch: no tracing, no TELEMETRY frames on the wire.
+    let level = trace_level.unwrap_or(if trace_out.is_some() {
+        TraceLevel::Spans
+    } else {
+        TraceLevel::Off
+    });
+    let tracing = level != TraceLevel::Off;
 
     let (fabric, proc_fabric): (Arc<dyn Fabric>, Option<Arc<ProcessFabric>>) = match backend
         .as_str()
     {
         "threaded" => {
-            if !kills.is_empty() {
-                eprintln!("unifaas-fabric: --chaos-kill needs --backend process");
+            if !kills.is_empty() || chaos_swallow_every > 0 || chaos_delay_ms > 0 {
+                eprintln!("unifaas-fabric: --chaos-* flags need --backend process");
+                usage();
+            }
+            if metrics_out.is_some() || metrics_addr.is_some() {
+                eprintln!("unifaas-fabric: --metrics-out/--metrics-addr need --backend process");
                 usage();
             }
             let eps: Vec<(&str, usize)> = endpoints.iter().map(|(n, w)| (n.as_str(), *w)).collect();
@@ -155,13 +220,24 @@ fn main() {
                 eprintln!("unifaas-fabric: cannot locate unifaas-endpointd; pass --daemon <path>");
                 std::process::exit(2);
             };
+            // Daemon-side chaos rides the spawn command, so respawned
+            // generations inject the same faults.
+            let mut command = vec![daemon_path.clone()];
+            if chaos_swallow_every > 0 {
+                command.push("--chaos-swallow-every".to_string());
+                command.push(chaos_swallow_every.to_string());
+            }
+            if chaos_delay_ms > 0 {
+                command.push("--chaos-delay-ms".to_string());
+                command.push(chaos_delay_ms.to_string());
+            }
             let specs: Vec<ProcessEndpointSpec> = endpoints
                 .iter()
                 .map(|(name, workers)| ProcessEndpointSpec {
                     name: name.clone(),
                     workers: *workers,
                     mode: EndpointMode::Spawn {
-                        command: vec![daemon_path.clone()],
+                        command: command.clone(),
                     },
                 })
                 .collect();
@@ -169,6 +245,7 @@ fn main() {
                 timing,
                 seed,
                 respawn: true,
+                telemetry: tracing,
             };
             let pf = Arc::new(ProcessFabric::new(specs, cfg));
             (Arc::clone(&pf) as Arc<dyn Fabric>, Some(pf))
@@ -185,7 +262,41 @@ fn main() {
         }
     }
 
-    let rt = Arc::new(FabricRuntime::new(Arc::clone(&fabric)).with_retry(policy));
+    let rt = Arc::new(
+        FabricRuntime::new(Arc::clone(&fabric))
+            .with_retry(policy)
+            .with_trace(level),
+    );
+
+    // The metrics registry is shared with the scrape server (when one is
+    // up); every scrape re-samples the fabric under the registry lock.
+    let metrics = (metrics_out.is_some() || metrics_addr.is_some()).then(|| {
+        let pf = proc_fabric.as_ref().expect("checked above").clone();
+        let mut reg = MetricsRegistry::new();
+        let ids = pf.register_metrics(&mut reg);
+        (
+            std::sync::Arc::new(std::sync::Mutex::new(reg)),
+            std::sync::Arc::new(std::sync::Mutex::new(ids)),
+        )
+    });
+    let _server = metrics_addr.as_ref().map(|addr| {
+        let (reg, ids) = metrics.as_ref().expect("metrics set up").clone();
+        let pf = proc_fabric.as_ref().expect("checked above").clone();
+        let server = simkit::MetricsServer::start(
+            addr,
+            reg,
+            Some(Box::new(move |r: &mut MetricsRegistry| {
+                pf.sample_metrics(r, &mut ids.lock().expect("ids lock"));
+            })),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("unifaas-fabric: cannot serve metrics at {addr}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("serving metrics at http://{}/metrics", server.local_addr());
+        server
+    });
+
     let workload = FabricWorkload { tasks, width, seed };
     let started = std::time::Instant::now();
     let futures = submit_layered(&rt, &workload);
@@ -246,11 +357,61 @@ fn main() {
             }
         }
     }
+    // Shutdown drains the daemons — the DRAIN-triggered final telemetry
+    // flush lands before the supervisors exit, so the harvest below sees
+    // the complete event stream.
+    let client_tracer = rt.take_client_tracer();
+    fabric.shutdown();
+
+    if trace_out.is_some() || metrics_out.is_some() {
+        let telemetry: Vec<fedci::process::EndpointTelemetry> = proc_fabric
+            .as_ref()
+            .map(|pf| (0..endpoints.len()).map(|i| pf.telemetry(i)).collect())
+            .unwrap_or_default();
+        if let Some(path) = &trace_out {
+            let merged = unifaas::obs::merge_process_timeline(client_tracer.as_ref(), &telemetry);
+            let chains = unifaas::obs::attempt_chains(client_tracer.as_ref(), &telemetry);
+            // Generous slack on top of each chain's clock uncertainty:
+            // the stamps bracket queueing, not just the wire.
+            let violations = unifaas::obs::causal_violations(&chains, 5_000);
+            let complete = chains.iter().filter(|c| c.is_complete()).count();
+            let truncated = chains.iter().filter(|c| c.is_truncated()).count();
+            eprintln!(
+                "trace: {} attempts ({complete} complete, {truncated} truncated), \
+                 {} causal violations",
+                chains.len(),
+                violations.len()
+            );
+            for v in &violations {
+                eprintln!("trace: violation: {v}");
+            }
+            let mut f = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("unifaas-fabric: cannot create {path}: {e}");
+                std::process::exit(1);
+            });
+            merged.export_perfetto(&mut f).unwrap_or_else(|e| {
+                eprintln!("unifaas-fabric: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = &metrics_out {
+            let (reg, ids) = metrics.as_ref().expect("metrics set up");
+            let pf = proc_fabric.as_ref().expect("checked above");
+            let mut reg = reg.lock().expect("registry lock");
+            pf.sample_metrics(&mut reg, &mut ids.lock().expect("ids lock"));
+            std::fs::write(path, reg.render_prometheus()).unwrap_or_else(|e| {
+                eprintln!("unifaas-fabric: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+        }
+    }
+
     println!(
         "digest={:#018x} tasks={tasks} failures={} dispatched={} retries={} \
          watchdog_timeouts={}",
         outcome.digest, outcome.failures, stats.dispatched, stats.retries, stats.watchdog_timeouts
     );
-    fabric.shutdown();
     std::process::exit(if outcome.failures == 0 { 0 } else { 1 });
 }

@@ -36,6 +36,7 @@ fn fast_cfg(seed: u64) -> ProcessFabricConfig {
         timing: FabricTiming::fast(),
         seed,
         respawn: true,
+        telemetry: false,
     }
 }
 
@@ -279,13 +280,164 @@ fn duplicated_results_resolve_each_task_exactly_once() {
     let w = FabricWorkload::new(30, 21);
     let outcome = run_workload(&rt, &w);
     assert_matches_reference(&outcome, &w);
+    assert_eq!(rt.stats().completed as usize, w.tasks);
+    // Count duplicates only after shutdown: the drain exchange is
+    // in-order, so by the time the DRAIN ack lands the reader has
+    // consumed every duplicate RESULT still in flight (the last task's
+    // second copy can otherwise race this assertion).
+    fabric.shutdown();
     let c = fabric.counters(0);
     assert!(
         c.stale_results as usize >= w.tasks,
         "every duplicate should be dropped stale: {c:?}"
     );
-    assert_eq!(rt.stats().completed as usize, w.tasks);
+}
+
+#[test]
+fn sigkill_timeline_spans_generations_and_shows_truncated_attempts() {
+    // The crash-lab run with the observability plane on: SIGKILL the
+    // victim mid-run, then demand one merged timeline that shows the
+    // whole story — pre-kill attempts on generation 0 (some truncated:
+    // received/executing but never resulted), the respawn gap, and
+    // post-respawn retries on generation 1, all offset-corrected.
+    let w = FabricWorkload::new(120, 31);
+    let chaos_cmd = vec![
+        daemon_bin(),
+        "--chaos-delay-ms".to_string(),
+        "25".to_string(),
+    ];
+    let fabric = Arc::new(ProcessFabric::new(
+        vec![
+            ProcessEndpointSpec {
+                name: "victim".to_string(),
+                workers: 2,
+                mode: EndpointMode::Spawn { command: chaos_cmd },
+            },
+            spawn_spec("peer", 2),
+        ],
+        ProcessFabricConfig {
+            telemetry: true,
+            ..fast_cfg(8)
+        },
+    ));
+    let rt = FabricRuntime::new(Arc::clone(&fabric) as Arc<dyn Fabric>)
+        .with_retry(retry_policy())
+        .with_trace(simkit::TraceLevel::Spans);
+    let futures = submit_layered(&rt, &w);
+    wait_completions(&rt, 20, Duration::from_secs(30));
+    fabric.kill(0);
+    rt.wait_all();
+    let outcome = collect_outcome(&futures);
+    assert_matches_reference(&outcome, &w);
+    assert!(fabric.counters(0).respawns >= 1);
+
+    let client = rt.take_client_tracer().expect("tracing enabled");
     fabric.shutdown();
+    let telemetry: Vec<_> = (0..2).map(|i| fabric.telemetry(i)).collect();
+
+    // Both the killed generation and its successor shipped events.
+    let victim_gens: std::collections::BTreeSet<u64> =
+        telemetry[0].events.iter().map(|&(g, _)| g).collect();
+    assert!(
+        victim_gens.contains(&0) && victim_gens.iter().any(|&g| g >= 1),
+        "need events from before and after the respawn: {victim_gens:?}"
+    );
+    // Every surviving generation synced its clock.
+    for &(g, est) in &telemetry[0].clocks {
+        assert!(est.samples >= 1, "gen {g} never synced");
+    }
+
+    let chains = unifaas::obs::attempt_chains(Some(&client), &telemetry);
+    assert!(
+        chains.iter().any(|c| c.is_truncated()),
+        "the kill (or its chaos delay) should leave truncated attempts"
+    );
+    // Every task shows up on the client timeline; most also have a fully
+    // joined chain. (A kill can eat daemon-side stamps that were still in
+    // the ring — exact completeness is only guaranteed without faults.)
+    let tasks_seen: std::collections::BTreeSet<u64> = chains
+        .iter()
+        .filter(|c| c.c_dispatch_us.is_some())
+        .map(|c| c.task)
+        .collect();
+    assert_eq!(tasks_seen.len(), w.tasks, "client side covers every task");
+    assert!(
+        chains.iter().filter(|c| c.is_complete()).count() >= w.tasks / 2,
+        "the bulk of attempts still join end to end"
+    );
+    let violations = unifaas::obs::causal_violations(&chains, 10_000);
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // The merged Perfetto timeline renders the generation gap and the
+    // injected chaos instants.
+    let merged = unifaas::obs::merge_process_timeline(Some(&client), &telemetry);
+    let mut buf = Vec::new();
+    merged.export_perfetto(&mut buf).unwrap();
+    let json = String::from_utf8(buf).unwrap();
+    assert!(json.contains("victim gen0"), "pre-kill track present");
+    assert!(json.contains("victim gen1"), "post-respawn track present");
+    assert!(json.contains("d.chaos.delay"), "chaos instants visible");
+}
+
+#[test]
+fn chaos_swallow_instants_are_assertable_in_the_merged_timeline() {
+    // A daemon that swallows every 5th job: the swallow instant must be
+    // visible in the merged timeline at an explicit (task, attempt), and
+    // every swallowed attempt shows up as a truncated chain.
+    let daemon = spawn_daemon_thread(DaemonConfig {
+        chaos: DaemonChaos {
+            swallow_every: 5,
+            ..DaemonChaos::default()
+        },
+        ..DaemonConfig::new("swallower", 2)
+    })
+    .expect("daemon");
+    let fabric = Arc::new(ProcessFabric::new(
+        vec![ProcessEndpointSpec {
+            name: "swallower".to_string(),
+            workers: 2,
+            mode: EndpointMode::Connect {
+                addr: daemon.addr().to_string(),
+            },
+        }],
+        ProcessFabricConfig {
+            telemetry: true,
+            ..fast_cfg(9)
+        },
+    ));
+    let rt = FabricRuntime::new(Arc::clone(&fabric) as Arc<dyn Fabric>)
+        .with_retry(LiveRetryPolicy {
+            max_attempts: 6,
+            task_timeout: Some(Duration::from_millis(400)),
+            backoff: Duration::ZERO,
+        })
+        .with_trace(simkit::TraceLevel::Spans);
+    let w = FabricWorkload::new(40, 17);
+    let outcome = run_workload(&rt, &w);
+    assert_matches_reference(&outcome, &w);
+
+    let client = rt.take_client_tracer().expect("tracing enabled");
+    fabric.shutdown();
+    daemon.join().expect("daemon drains cleanly");
+    let tel = fabric.telemetry(0);
+    assert!(
+        tel.counters.chaos_swallowed >= 1,
+        "swallow counter shipped: {:?}",
+        tel.counters
+    );
+
+    let chains = unifaas::obs::attempt_chains(Some(&client), std::slice::from_ref(&tel));
+    let truncated = chains.iter().filter(|c| c.is_truncated()).count();
+    assert!(
+        truncated as u64 >= tel.counters.chaos_swallowed,
+        "every swallowed attempt is a truncated chain ({truncated} < {})",
+        tel.counters.chaos_swallowed
+    );
+    let merged = unifaas::obs::merge_process_timeline(Some(&client), std::slice::from_ref(&tel));
+    let mut buf = Vec::new();
+    merged.export_perfetto(&mut buf).unwrap();
+    let json = String::from_utf8(buf).unwrap();
+    assert!(json.contains("d.chaos.swallow"), "swallow instants visible");
 }
 
 #[test]
@@ -298,6 +450,7 @@ fn respawn_disabled_turns_sigkill_into_clean_permanent_failure() {
             timing: FabricTiming::fast(),
             seed: 7,
             respawn: false,
+            telemetry: false,
         },
     ));
     let rt =

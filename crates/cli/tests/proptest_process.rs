@@ -48,6 +48,7 @@ proptest! {
                 timing: FabricTiming::fast(),
                 seed,
                 respawn: true,
+                telemetry: false,
             },
         ));
         let rt = FabricRuntime::new(Arc::clone(&fabric) as Arc<dyn Fabric>)

@@ -29,7 +29,7 @@ use crate::threaded::ThreadedEndpoint;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The outcome of one job attempt: result bytes or an error message.
 pub type FabricResult = Result<Vec<u8>, String>;
@@ -110,6 +110,16 @@ pub trait Fabric: Send + Sync {
 
     /// Gracefully stops the fabric (drains daemons/pools). Idempotent.
     fn shutdown(&self);
+
+    /// The instant this fabric's client-side clock started — the epoch
+    /// all observability timestamps (client trace events, heartbeat
+    /// clock probes) are measured from, so traces recorded against the
+    /// fabric and the runtime above it share one timeline. Backends that
+    /// keep no clock return "now", which is only consistent within a
+    /// single call.
+    fn clock_epoch(&self) -> Instant {
+        Instant::now()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -362,6 +372,7 @@ pub struct ThreadedFabric {
     labels: Vec<String>,
     registry: FnRegistry,
     blobs: Vec<BlobStore>,
+    clock0: Instant,
 }
 
 /// One endpoint's staged-blob map (the in-process stand-in for a
@@ -392,6 +403,7 @@ impl ThreadedFabric {
                 .iter()
                 .map(|_| Arc::new(Mutex::new(HashMap::new())))
                 .collect(),
+            clock0: Instant::now(),
         }
     }
 
@@ -409,6 +421,10 @@ impl ThreadedFabric {
 impl Fabric for ThreadedFabric {
     fn labels(&self) -> &[String] {
         &self.labels
+    }
+
+    fn clock_epoch(&self) -> Instant {
+        self.clock0
     }
 
     fn n_workers(&self, ep: usize) -> usize {

@@ -35,6 +35,7 @@
 //! * [`trace`] — the substrate's trace-event taxonomy (queue/execute
 //!   spans, transfer and fault instants) for the `simkit::trace` sink.
 
+pub mod clock;
 pub mod endpoint;
 pub mod faas;
 pub mod fabric;

@@ -25,14 +25,20 @@
 //! modes: cut mid-frame after N bytes, stall one direction to fake a
 //! half-open connection, or sever on command.
 
+use crate::clock::{ClockEstimate, ClockSample, ClockSync};
 use crate::fabric::{
     assemble_input, Completion, Fabric, FabricTiming, FnRegistry, JobSpec, ProbeState,
 };
-use crate::proto::{Frame, PROTO_VERSION};
+use crate::proto::{
+    Frame, TelemetryEvent, PROTO_VERSION, TEL_CTR_CHAOS_DELAYS, TEL_CTR_CHAOS_SWALLOWED,
+    TEL_CTR_DISPATCHES, TEL_CTR_RESULTS_ERR, TEL_CTR_RESULTS_OK, TEL_CTR_RING_DROPPED,
+    TEL_MAX_EVENTS, TEL_STAGE_CHAOS_DELAY, TEL_STAGE_CHAOS_SWALLOW, TEL_STAGE_EXEC_BEGIN,
+    TEL_STAGE_EXEC_END, TEL_STAGE_RECV, TEL_STAGE_SENT,
+};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex};
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use simkit::metrics::{CounterId, GaugeId, MetricsRegistry};
+use simkit::metrics::{CounterId, GaugeId, HistogramId, LogHistogram, MetricsRegistry};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -50,6 +56,13 @@ pub const LISTENING_PREFIX: &str = "LISTENING ";
 /// How long the daemon blocks reading a connection before treating the
 /// client as gone. Any live client heartbeats far more often than this.
 const DAEMON_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default capacity of the daemon's telemetry ring: events beyond this
+/// drop oldest-first (counted, reported via `TEL_CTR_RING_DROPPED`).
+pub const DAEMON_TEL_RING_CAPACITY: usize = 1 << 16;
+
+/// Client-side cap on buffered daemon telemetry events per endpoint.
+const CLIENT_TEL_EVENT_CAP: usize = 1 << 18;
 
 // ---------------------------------------------------------------------------
 // Daemon
@@ -86,6 +99,9 @@ pub struct DaemonConfig {
     pub generation: u64,
     /// Fault injection switches.
     pub chaos: DaemonChaos,
+    /// Capacity of the telemetry trace ring (events). The ring only
+    /// fills once a client subscribes with TELEMETRY_SUB.
+    pub telemetry_ring: usize,
 }
 
 impl DaemonConfig {
@@ -97,6 +113,7 @@ impl DaemonConfig {
             listen: "127.0.0.1:0".to_string(),
             generation: 0,
             chaos: DaemonChaos::default(),
+            telemetry_ring: DAEMON_TEL_RING_CAPACITY,
         }
     }
 }
@@ -125,6 +142,154 @@ impl DaemonShared {
     }
 }
 
+/// The daemon's observability plane: a compact bounded trace ring of
+/// [`TelemetryEvent`]s stamped in local monotonic micros, cumulative
+/// counters, and an execution-latency sketch. The ring and the sketch
+/// only fill while a client is subscribed (`level > 0`); the counters
+/// are a handful of always-on atomic increments per job. Nothing ships
+/// unsolicited — batches leave only in response to subscribed-heartbeat
+/// and DRAIN flushes.
+struct DaemonTelemetry {
+    /// Local monotonic epoch — all `t_us` stamps are micros since this.
+    start: Instant,
+    /// This incarnation's spawn generation, stamped into every batch.
+    generation: u64,
+    /// 0 = off; >0 mirrors `simkit::trace::TraceLevel` (set by
+    /// TELEMETRY_SUB).
+    level: AtomicU8,
+    /// Next batch sequence number.
+    seq: AtomicU64,
+    ring: Mutex<TelRing>,
+    dispatches: AtomicU64,
+    results_ok: AtomicU64,
+    results_err: AtomicU64,
+    chaos_swallowed: AtomicU64,
+    chaos_delays: AtomicU64,
+    /// Execution latency (seconds) of completed attempts.
+    exec_hist: Mutex<LogHistogram>,
+}
+
+struct TelRing {
+    events: VecDeque<TelemetryEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl DaemonTelemetry {
+    fn new(generation: u64, ring_cap: usize) -> Self {
+        DaemonTelemetry {
+            start: Instant::now(),
+            generation,
+            level: AtomicU8::new(0),
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(TelRing {
+                events: VecDeque::new(),
+                cap: ring_cap.max(1),
+                dropped: 0,
+            }),
+            dispatches: AtomicU64::new(0),
+            results_ok: AtomicU64::new(0),
+            results_err: AtomicU64::new(0),
+            chaos_swallowed: AtomicU64::new(0),
+            chaos_delays: AtomicU64::new(0),
+            exec_hist: Mutex::new(LogHistogram::new()),
+        }
+    }
+
+    /// Micros since daemon start — the daemon's local monotonic clock,
+    /// also stamped into HEARTBEAT_ACK for the client's offset estimator.
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    fn enabled(&self) -> bool {
+        self.level.load(Ordering::Relaxed) != 0
+    }
+
+    /// Records one trace event (no-op while unsubscribed). The ring
+    /// drops oldest-first under pressure and counts what it lost.
+    fn event(&self, stage: u8, task: u64, attempt: u32, arg: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let ev = TelemetryEvent {
+            stage,
+            t_us: self.now_us(),
+            task,
+            attempt,
+            arg,
+        };
+        let mut ring = self.ring.lock();
+        if ring.events.len() == ring.cap {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(ev);
+    }
+
+    /// Drains the ring into TELEMETRY frames (possibly several, each at
+    /// most [`TEL_MAX_EVENTS`] events). Counters and the latency sketch
+    /// ride on the final frame as cumulative state; an empty ring still
+    /// yields one frame so counter updates reach the client between
+    /// events. Returns nothing while unsubscribed.
+    fn flush_frames(&self) -> Vec<Frame> {
+        if !self.enabled() {
+            return Vec::new();
+        }
+        let (mut batches, dropped) = {
+            let mut ring = self.ring.lock();
+            let events: Vec<TelemetryEvent> = ring.events.drain(..).collect();
+            let dropped = ring.dropped;
+            let mut batches: Vec<Vec<TelemetryEvent>> = events
+                .chunks(TEL_MAX_EVENTS)
+                .map(<[TelemetryEvent]>::to_vec)
+                .collect();
+            if batches.is_empty() {
+                batches.push(Vec::new());
+            }
+            (batches, dropped)
+        };
+        let counters = vec![
+            (TEL_CTR_DISPATCHES, self.dispatches.load(Ordering::Relaxed)),
+            (TEL_CTR_RESULTS_OK, self.results_ok.load(Ordering::Relaxed)),
+            (
+                TEL_CTR_RESULTS_ERR,
+                self.results_err.load(Ordering::Relaxed),
+            ),
+            (
+                TEL_CTR_CHAOS_SWALLOWED,
+                self.chaos_swallowed.load(Ordering::Relaxed),
+            ),
+            (
+                TEL_CTR_CHAOS_DELAYS,
+                self.chaos_delays.load(Ordering::Relaxed),
+            ),
+            (TEL_CTR_RING_DROPPED, dropped),
+        ];
+        let exec_buckets = self.exec_hist.lock().bucket_counts();
+        let last = batches.len() - 1;
+        batches
+            .drain(..)
+            .enumerate()
+            .map(|(i, events)| Frame::Telemetry {
+                generation: self.generation,
+                seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1,
+                events,
+                counters: if i == last {
+                    counters.clone()
+                } else {
+                    Vec::new()
+                },
+                exec_buckets: if i == last {
+                    exec_buckets.clone()
+                } else {
+                    Vec::new()
+                },
+            })
+            .collect()
+    }
+}
+
 /// Runs one endpoint daemon to completion: bind, announce via `on_ready`,
 /// serve connections until a DRAIN arrives, finish queued work, flush
 /// results, return. This is the entire body of `unifaas-endpointd`, kept
@@ -137,6 +302,7 @@ pub fn run_daemon<F: FnOnce(SocketAddr)>(cfg: DaemonConfig, on_ready: F) -> std:
 
     let registry = FnRegistry::builtins();
     let blobs: Arc<Mutex<HashMap<u64, Arc<Vec<u8>>>>> = Arc::new(Mutex::new(HashMap::new()));
+    let tel = Arc::new(DaemonTelemetry::new(cfg.generation, cfg.telemetry_ring));
     let shared = Arc::new(DaemonShared {
         outbox: Mutex::new(VecDeque::new()),
         outbox_cv: Condvar::new(),
@@ -156,19 +322,21 @@ pub fn run_daemon<F: FnOnce(SocketAddr)>(cfg: DaemonConfig, on_ready: F) -> std:
         let blobs = Arc::clone(&blobs);
         let registry = registry.clone();
         let chaos = cfg.chaos;
+        let tel = Arc::clone(&tel);
         workers.push(
             std::thread::Builder::new()
                 .name(format!("{}-worker-{i}", cfg.name))
-                .spawn(move || daemon_worker(&rx, &shared, &blobs, &registry, &chaos))
+                .spawn(move || daemon_worker(&rx, &shared, &blobs, &registry, &chaos, &tel))
                 .expect("spawn daemon worker"),
         );
     }
 
     let writer = {
         let shared = Arc::clone(&shared);
+        let tel = Arc::clone(&tel);
         std::thread::Builder::new()
             .name(format!("{}-writer", cfg.name))
-            .spawn(move || daemon_writer(&shared))
+            .spawn(move || daemon_writer(&shared, &tel))
             .expect("spawn daemon writer")
     };
 
@@ -197,7 +365,7 @@ pub fn run_daemon<F: FnOnce(SocketAddr)>(cfg: DaemonConfig, on_ready: F) -> std:
         *shared.conn.lock() = Some(write_half);
         shared.outbox_cv.notify_all();
 
-        draining = daemon_serve_connection(stream, &shared, &blobs, &job_tx);
+        draining = daemon_serve_connection(stream, &shared, &blobs, &job_tx, &tel);
         if !draining {
             // Connection lost; the write half stays queued-for-replay.
             *shared.conn.lock() = None;
@@ -228,6 +396,7 @@ fn daemon_serve_connection(
     shared: &DaemonShared,
     blobs: &Mutex<HashMap<u64, Arc<Vec<u8>>>>,
     job_tx: &Sender<JobSpec>,
+    tel: &DaemonTelemetry,
 ) -> bool {
     loop {
         let frame = match Frame::read_from(&mut stream) {
@@ -238,11 +407,14 @@ fn daemon_serve_connection(
             Frame::Dispatch {
                 task,
                 attempt,
+                generation: _,
                 function,
                 deps,
                 payload,
             } => {
-                shared.queued.fetch_add(1, Ordering::SeqCst);
+                let depth = shared.queued.fetch_add(1, Ordering::SeqCst) + 1;
+                tel.dispatches.fetch_add(1, Ordering::Relaxed);
+                tel.event(TEL_STAGE_RECV, task, attempt, u64::from(depth));
                 let _ = job_tx.send(JobSpec {
                     task,
                     attempt,
@@ -256,11 +428,22 @@ fn daemon_serve_connection(
                 blobs.lock().insert(key, Arc::new(payload));
                 shared.push(Frame::TransferAck { key, stored });
             }
-            Frame::Heartbeat { seq } => {
+            Frame::Heartbeat { seq, t_client_us } => {
                 shared.push(Frame::HeartbeatAck {
                     seq,
                     busy: shared.busy.load(Ordering::SeqCst),
+                    t_client_us,
+                    t_daemon_us: tel.now_us(),
                 });
+                // Telemetry rides the heartbeat cadence: anything the
+                // ring gathered since the last beat ships right behind
+                // the ack (nothing while unsubscribed).
+                for f in tel.flush_frames() {
+                    shared.push(f);
+                }
+            }
+            Frame::TelemetrySub { level } => {
+                tel.level.store(level, Ordering::Relaxed);
             }
             Frame::Poll => {
                 shared.push(Frame::PollAck {
@@ -270,6 +453,11 @@ fn daemon_serve_connection(
                 });
             }
             Frame::Drain => {
+                // Final telemetry flush goes out ahead of DRAIN_ACK so a
+                // draining client ingests it before it stops listening.
+                for f in tel.flush_frames() {
+                    shared.push(f);
+                }
                 shared.push(Frame::DrainAck {
                     remaining: shared.queued.load(Ordering::SeqCst)
                         + shared.busy.load(Ordering::SeqCst),
@@ -290,27 +478,50 @@ fn daemon_worker(
     blobs: &Mutex<HashMap<u64, Arc<Vec<u8>>>>,
     registry: &FnRegistry,
     chaos: &DaemonChaos,
+    tel: &DaemonTelemetry,
 ) {
     while let Ok(job) = rx.recv() {
         shared.queued.fetch_sub(1, Ordering::SeqCst);
         let n = shared.jobs_seen.fetch_add(1, Ordering::SeqCst) + 1;
         if chaos.swallow_every > 0 && n.is_multiple_of(chaos.swallow_every as u64) {
-            continue; // crashed mid-execution: no RESULT, ever
+            // Crashed mid-execution: no RESULT, ever. The explicit
+            // instant lets the merged timeline show *where* the fault
+            // landed instead of leaving an unexplained truncated attempt.
+            tel.chaos_swallowed.fetch_add(1, Ordering::Relaxed);
+            tel.event(TEL_STAGE_CHAOS_SWALLOW, job.task, job.attempt, 0);
+            continue;
         }
         if chaos.delay_ms > 0 {
+            tel.chaos_delays.fetch_add(1, Ordering::Relaxed);
+            tel.event(TEL_STAGE_CHAOS_DELAY, job.task, job.attempt, chaos.delay_ms);
             std::thread::sleep(Duration::from_millis(chaos.delay_ms));
         }
         shared.busy.fetch_add(1, Ordering::SeqCst);
+        tel.event(TEL_STAGE_EXEC_BEGIN, job.task, job.attempt, 0);
+        let exec_start = Instant::now();
         let outcome = match registry.get(&job.function) {
             None => Err(format!("unknown function `{}`", job.function)),
             Some(f) => assemble_input(&blobs.lock(), &job).and_then(|input| f(&input)),
         };
+        let ok = outcome.is_ok();
+        tel.event(TEL_STAGE_EXEC_END, job.task, job.attempt, u64::from(ok));
+        if tel.enabled() {
+            tel.exec_hist
+                .lock()
+                .observe(exec_start.elapsed().as_secs_f64());
+        }
+        if ok {
+            tel.results_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            tel.results_err.fetch_add(1, Ordering::Relaxed);
+        }
         shared.busy.fetch_sub(1, Ordering::SeqCst);
         shared.completed.fetch_add(1, Ordering::SeqCst);
         let result = Frame::Result {
             task: job.task,
             attempt: job.attempt,
-            ok: outcome.is_ok(),
+            generation: tel.generation,
+            ok,
             payload: match outcome {
                 Ok(bytes) => bytes,
                 Err(msg) => msg.into_bytes(),
@@ -326,7 +537,7 @@ fn daemon_worker(
 /// The daemon's single writer: drains the outbox onto whatever connection
 /// is current. RESULTs that cannot be written survive for the next
 /// connection; acks do not (they are meaningless to a future client).
-fn daemon_writer(shared: &DaemonShared) {
+fn daemon_writer(shared: &DaemonShared, tel: &DaemonTelemetry) {
     loop {
         let frame = {
             let mut q = shared.outbox.lock();
@@ -340,11 +551,25 @@ fn daemon_writer(shared: &DaemonShared) {
                 shared.outbox_cv.wait_for(&mut q, Duration::from_millis(50));
             }
         };
+        let result_ids = match &frame {
+            Frame::Result {
+                task, attempt, ok, ..
+            } => Some((*task, *attempt, *ok)),
+            _ => None,
+        };
         let stream = shared.conn.lock().as_ref().and_then(|s| s.try_clone().ok());
         let wrote = match stream {
             Some(mut s) => frame.write_to(&mut s).is_ok(),
             None => false,
         };
+        if wrote {
+            // The span's last daemon-side stamp: the RESULT actually hit
+            // the wire (replays after a reconnect re-stamp, which is the
+            // truth — the first copy never arrived).
+            if let Some((task, attempt, ok)) = result_ids {
+                tel.event(TEL_STAGE_SENT, task, attempt, u64::from(ok));
+            }
+        }
         if !wrote {
             // Connection raced away mid-write. Results are precious —
             // requeue them at the front so replay preserves order.
@@ -457,6 +682,12 @@ pub struct ProcessFabricConfig {
     /// this off a killed endpoint stays dead — useful for asserting
     /// permanent-loss behaviour.
     pub respawn: bool,
+    /// Subscribe to daemon telemetry (TELEMETRY_SUB after every HELLO)
+    /// and buffer the returned trace batches for
+    /// [`ProcessFabric::telemetry`]. Off by default: a telemetry-off run
+    /// exchanges no TELEMETRY frames at all and its results are
+    /// bit-identical to pre-observability builds.
+    pub telemetry: bool,
 }
 
 impl Default for ProcessFabricConfig {
@@ -465,6 +696,7 @@ impl Default for ProcessFabricConfig {
             timing: FabricTiming::default(),
             seed: 1,
             respawn: true,
+            telemetry: false,
         }
     }
 }
@@ -494,6 +726,20 @@ struct EpShared {
     respawns: AtomicU64,
     failovers: AtomicU64,
     stale_results: AtomicU64,
+    // Wire-level observability: frame/byte counters for both directions
+    // plus telemetry ingest stats, all cheap relaxed atomics.
+    frames_sent: AtomicU64,
+    frames_recv: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_recv: AtomicU64,
+    tel_frames: AtomicU64,
+    tel_events: AtomicU64,
+    /// Heartbeat round-trip times, seconds.
+    rtt_hist: Mutex<LogHistogram>,
+    /// DISPATCH-write to RESULT-arrival latency, seconds.
+    dispatch_hist: Mutex<LogHistogram>,
+    /// Buffered daemon telemetry and clock evidence.
+    telemetry: Mutex<TelemetryStore>,
 }
 
 impl EpShared {
@@ -507,6 +753,15 @@ impl EpShared {
             respawns: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             stale_results: AtomicU64::new(0),
+            frames_sent: AtomicU64::new(0),
+            frames_recv: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            bytes_recv: AtomicU64::new(0),
+            tel_frames: AtomicU64::new(0),
+            tel_events: AtomicU64::new(0),
+            rtt_hist: Mutex::new(LogHistogram::new()),
+            dispatch_hist: Mutex::new(LogHistogram::new()),
+            telemetry: Mutex::new(TelemetryStore::new()),
         }
     }
 
@@ -527,6 +782,100 @@ impl EpShared {
             1 => ProbeState::Suspect,
             _ => ProbeState::Dead,
         }
+    }
+}
+
+/// Client-side accumulation of one endpoint daemon's telemetry. Keyed by
+/// spawn generation throughout: a respawned daemon restarts its monotonic
+/// clock, so events, counters, sketches, and clock evidence from
+/// different incarnations must never be conflated.
+struct TelemetryStore {
+    /// Buffered trace events, tagged with the generation whose daemon
+    /// clock stamped them.
+    events: Vec<(u64, TelemetryEvent)>,
+    /// Highest batch sequence ingested per generation.
+    last_seq: HashMap<u64, u64>,
+    /// Latest cumulative counters per generation (code → value).
+    gen_counters: HashMap<u64, Vec<(u16, u64)>>,
+    /// Latest cumulative exec-latency bucket counts per generation.
+    gen_buckets: HashMap<u64, Vec<(i32, u64)>>,
+    /// Heartbeat clock evidence per generation.
+    clocks: HashMap<u64, ClockSync>,
+    /// Batches refused: stale generation or non-advancing sequence.
+    dropped_batches: u64,
+    /// Events discarded once [`CLIENT_TEL_EVENT_CAP`] was reached.
+    dropped_events: u64,
+}
+
+impl TelemetryStore {
+    fn new() -> Self {
+        TelemetryStore {
+            events: Vec::new(),
+            last_seq: HashMap::new(),
+            gen_counters: HashMap::new(),
+            gen_buckets: HashMap::new(),
+            clocks: HashMap::new(),
+            dropped_batches: 0,
+            dropped_events: 0,
+        }
+    }
+
+    /// Ingests one TELEMETRY batch. A batch from any generation other
+    /// than the connection's current one, or whose sequence fails to
+    /// advance past everything already ingested for that generation, is
+    /// dropped whole — merging it would put events on the wrong clock or
+    /// regress cumulative counters. Returns whether the batch was kept.
+    fn ingest(
+        &mut self,
+        current_gen: u64,
+        generation: u64,
+        seq: u64,
+        events: Vec<TelemetryEvent>,
+        counters: Vec<(u16, u64)>,
+        exec_buckets: Vec<(i32, u64)>,
+    ) -> bool {
+        if generation != current_gen {
+            self.dropped_batches += 1;
+            return false;
+        }
+        let last = self.last_seq.entry(generation).or_insert(0);
+        if seq <= *last {
+            self.dropped_batches += 1;
+            return false;
+        }
+        *last = seq;
+        for ev in events {
+            if self.events.len() >= CLIENT_TEL_EVENT_CAP {
+                self.dropped_events += 1;
+            } else {
+                self.events.push((generation, ev));
+            }
+        }
+        // Counters and the sketch are cumulative-since-daemon-start, so
+        // the newest batch supersedes whatever we held (and a batch that
+        // carries neither leaves the last full snapshot in place).
+        if !counters.is_empty() {
+            self.gen_counters.insert(generation, counters);
+        }
+        if !exec_buckets.is_empty() {
+            self.gen_buckets.insert(generation, exec_buckets);
+        }
+        true
+    }
+}
+
+/// Wraps the reader half of a supervisor connection to count inbound
+/// bytes at the socket, including frames that later fail to decode.
+struct CountingReader {
+    inner: TcpStream,
+    bytes: Arc<EpShared>,
+}
+
+impl Read for CountingReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes.bytes_recv.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
     }
 }
 
@@ -554,11 +903,22 @@ struct Conn {
     last_ack: Instant,
 }
 
+/// One in-flight attempt: its completion plus the instant its DISPATCH
+/// hit the wire (for the dispatch-roundtrip histogram).
+struct Pending {
+    done: Completion,
+    sent_at: Instant,
+}
+
 /// The supervisor for one endpoint.
 struct Supervisor {
     spec: ProcessEndpointSpec,
     timing: FabricTiming,
     respawn: bool,
+    telemetry: bool,
+    /// The fabric-wide client clock epoch; all `t_client_us` stamps are
+    /// micros since this, so every endpoint shares one client timeline.
+    clock0: Instant,
     shared: Arc<EpShared>,
     rx: Receiver<Ev>,
     self_tx: Sender<Ev>,
@@ -572,25 +932,56 @@ struct Supervisor {
     backoff_exp: u32,
     next_connect: Instant,
     gave_up: bool,
-    outstanding: HashMap<(u64, u32), Completion>,
+    outstanding: HashMap<(u64, u32), Pending>,
     blob_cache: HashMap<u64, Arc<Vec<u8>>>,
 }
 
 impl Supervisor {
+    /// Micros on the shared client clock.
+    fn now_us(&self) -> u64 {
+        self.clock0.elapsed().as_micros() as u64
+    }
+
+    /// Writes one frame on the current connection, counting wire frames
+    /// and bytes. Returns `false` on failure or while disconnected
+    /// without touching connection state — callers decide whether a
+    /// failed write kills the connection.
+    fn write_frame(&self, frame: &Frame) -> bool {
+        let Some(c) = &self.conn else { return false };
+        let bytes = frame.encode();
+        if (&c.stream).write_all(&bytes).is_ok() {
+            self.shared.frames_sent.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .bytes_sent
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
     fn run(mut self) {
         loop {
             let now = Instant::now();
             if self.conn.is_none() && !self.gave_up && now >= self.next_connect {
                 self.try_connect();
             }
-            if let Some(c) = &mut self.conn {
-                if now.duration_since(c.hb_last_sent) >= self.timing.heartbeat_interval {
-                    self.hb_seq += 1;
-                    let hb = Frame::Heartbeat { seq: self.hb_seq };
+            let hb_due = self.conn.as_ref().is_some_and(|c| {
+                now.duration_since(c.hb_last_sent) >= self.timing.heartbeat_interval
+            });
+            if hb_due {
+                self.hb_seq += 1;
+                // Every heartbeat is also a clock probe: the daemon
+                // echoes t_client_us back with its own stamp.
+                let hb = Frame::Heartbeat {
+                    seq: self.hb_seq,
+                    t_client_us: self.now_us(),
+                };
+                if let Some(c) = &mut self.conn {
                     c.hb_last_sent = now;
-                    if hb.write_to(&mut &c.stream).is_err() {
-                        self.conn_lost("heartbeat write failed");
-                    }
+                }
+                if !self.write_frame(&hb) {
+                    self.conn_lost("heartbeat write failed");
                 }
             }
             if let Some(c) = &self.conn {
@@ -654,8 +1045,11 @@ impl Supervisor {
     /// Ships blob `key` to the current connection unless it already has
     /// it this epoch.
     fn stage_to_conn(&mut self, key: u64) {
-        let Some(c) = &mut self.conn else { return };
-        if c.staged.contains(&key) {
+        let already = match &self.conn {
+            None => return,
+            Some(c) => c.staged.contains(&key),
+        };
+        if already {
             return;
         }
         let Some(bytes) = self.blob_cache.get(&key) else {
@@ -665,8 +1059,10 @@ impl Supervisor {
             key,
             payload: bytes.as_ref().clone(),
         };
-        if frame.write_to(&mut &c.stream).is_ok() {
-            c.staged.insert(key);
+        if self.write_frame(&frame) {
+            if let Some(c) = &mut self.conn {
+                c.staged.insert(key);
+            }
         } else {
             self.conn_lost("transfer write failed");
         }
@@ -696,12 +1092,15 @@ impl Supervisor {
         let frame = Frame::Dispatch {
             task: job.task,
             attempt: job.attempt,
+            // Span context: the daemon generation this dispatch believes
+            // it is talking to (a respawned daemon will answer with its
+            // own, newer generation on the RESULT).
+            generation: self.shared.generation.load(Ordering::SeqCst),
             function: job.function.to_string(),
             deps: job.deps.clone(),
             payload: job.payload.clone(),
         };
-        let c = self.conn.as_mut().expect("checked above");
-        if frame.write_to(&mut &c.stream).is_err() {
+        if !self.write_frame(&frame) {
             self.conn_lost("dispatch write failed");
             done(Err(format!(
                 "endpoint {} dispatch write failed",
@@ -709,7 +1108,13 @@ impl Supervisor {
             )));
             return;
         }
-        self.outstanding.insert((job.task, job.attempt), done);
+        self.outstanding.insert(
+            (job.task, job.attempt),
+            Pending {
+                done,
+                sent_at: Instant::now(),
+            },
+        );
     }
 
     fn on_frame(&mut self, epoch: u64, frame: Frame) {
@@ -735,9 +1140,33 @@ impl Supervisor {
                 self.shared.generation.store(generation, Ordering::SeqCst);
                 self.shared.set_probe(ProbeState::Alive);
             }
-            Frame::HeartbeatAck { busy, .. } => {
+            Frame::HeartbeatAck {
+                busy,
+                t_client_us,
+                t_daemon_us,
+                ..
+            } => {
                 self.shared.busy.store(busy, Ordering::SeqCst);
                 self.shared.set_probe(ProbeState::Alive);
+                let sample = ClockSample {
+                    t0_us: t_client_us,
+                    t_daemon_us,
+                    t3_us: self.now_us(),
+                };
+                if sample.t3_us >= sample.t0_us {
+                    self.shared
+                        .rtt_hist
+                        .lock()
+                        .observe(sample.rtt_us() as f64 / 1e6);
+                    let generation = self.shared.generation.load(Ordering::SeqCst);
+                    self.shared
+                        .telemetry
+                        .lock()
+                        .clocks
+                        .entry(generation)
+                        .or_default()
+                        .observe(sample);
+                }
             }
             Frame::PollAck { busy, .. } => {
                 self.shared.busy.store(busy, Ordering::SeqCst);
@@ -745,14 +1174,21 @@ impl Supervisor {
             Frame::Result {
                 task,
                 attempt,
+                generation: _,
                 ok,
                 payload,
             } => match self.outstanding.remove(&(task, attempt)) {
-                Some(done) => done(if ok {
-                    Ok(payload)
-                } else {
-                    Err(String::from_utf8_lossy(&payload).into_owned())
-                }),
+                Some(p) => {
+                    self.shared
+                        .dispatch_hist
+                        .lock()
+                        .observe(p.sent_at.elapsed().as_secs_f64());
+                    (p.done)(if ok {
+                        Ok(payload)
+                    } else {
+                        Err(String::from_utf8_lossy(&payload).into_owned())
+                    });
+                }
                 None => {
                     // A replay from a resurrected connection, a
                     // duplicate, or an attempt we already failed over.
@@ -760,6 +1196,30 @@ impl Supervisor {
                     self.shared.stale_results.fetch_add(1, Ordering::SeqCst);
                 }
             },
+            Frame::Telemetry {
+                generation,
+                seq,
+                events,
+                counters,
+                exec_buckets,
+            } => {
+                let current = self.shared.generation.load(Ordering::SeqCst);
+                let n_events = events.len() as u64;
+                let kept = self.shared.telemetry.lock().ingest(
+                    current,
+                    generation,
+                    seq,
+                    events,
+                    counters,
+                    exec_buckets,
+                );
+                if kept {
+                    self.shared.tel_frames.fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .tel_events
+                        .fetch_add(n_events, Ordering::Relaxed);
+                }
+            }
             Frame::TransferAck { .. } | Frame::DrainAck { .. } => {}
             _ => {}
         }
@@ -779,21 +1239,29 @@ impl Supervisor {
                 stream.set_write_timeout(Some(self.timing.down_after)).ok();
                 self.epoch += 1;
                 let epoch = self.epoch;
-                if let Ok(mut read_half) = stream.try_clone() {
+                if let Ok(read_half) = stream.try_clone() {
                     let tx = self.self_tx.clone();
                     let name = self.spec.name.clone();
+                    let shared = Arc::clone(&self.shared);
                     std::thread::Builder::new()
                         .name(format!("{name}-reader-{epoch}"))
-                        .spawn(move || loop {
-                            match Frame::read_from(&mut read_half) {
-                                Ok(f) => {
-                                    if tx.send(Ev::Frame(epoch, f)).is_err() {
+                        .spawn(move || {
+                            let mut reader = CountingReader {
+                                inner: read_half,
+                                bytes: Arc::clone(&shared),
+                            };
+                            loop {
+                                match Frame::read_from(&mut reader) {
+                                    Ok(f) => {
+                                        shared.frames_recv.fetch_add(1, Ordering::Relaxed);
+                                        if tx.send(Ev::Frame(epoch, f)).is_err() {
+                                            return;
+                                        }
+                                    }
+                                    Err(_) => {
+                                        let _ = tx.send(Ev::ReaderClosed(epoch));
                                         return;
                                     }
-                                }
-                                Err(_) => {
-                                    let _ = tx.send(Ev::ReaderClosed(epoch));
-                                    return;
                                 }
                             }
                         })
@@ -814,6 +1282,14 @@ impl Supervisor {
                 });
                 self.backoff_exp = 0;
                 self.shared.connects.fetch_add(1, Ordering::SeqCst);
+                // Telemetry is strictly opt-in and per-connection: the
+                // subscription is the first frame on every connection —
+                // ahead of any dispatch, so the daemon's RECV stamps
+                // cover even the first task, and re-sent on every
+                // reconnect so a respawned daemon re-subscribes.
+                if self.telemetry {
+                    let _ = self.write_frame(&Frame::TelemetrySub { level: 2 });
+                }
                 // Probe flips to Alive when HELLO arrives.
             }
             Err(_) => self.schedule_reconnect(),
@@ -867,8 +1343,8 @@ impl Supervisor {
         if n > 0 {
             self.shared.failovers.fetch_add(n, Ordering::SeqCst);
         }
-        for ((task, _attempt), done) in std::mem::take(&mut self.outstanding) {
-            done(Err(format!(
+        for ((task, _attempt), p) in std::mem::take(&mut self.outstanding) {
+            (p.done)(Err(format!(
                 "endpoint {}: {reason} (task {task} in flight)",
                 self.spec.name
             )));
@@ -902,9 +1378,8 @@ impl Supervisor {
     }
 
     fn shutdown(mut self) {
-        if let Some(c) = &mut self.conn {
-            let epoch = c.epoch;
-            if Frame::Drain.write_to(&mut &c.stream).is_ok() {
+        if let Some(epoch) = self.conn.as_ref().map(|c| c.epoch) {
+            if self.write_frame(&Frame::Drain) {
                 // Give the daemon a moment to ack so it exits cleanly;
                 // results that race in still resolve normally.
                 let deadline = Instant::now() + Duration::from_millis(500);
@@ -941,8 +1416,8 @@ impl Supervisor {
             }
         }
         self.shared.set_probe(ProbeState::Dead);
-        for (_, done) in std::mem::take(&mut self.outstanding) {
-            done(Err("fabric shut down".to_string()));
+        for (_, p) in std::mem::take(&mut self.outstanding) {
+            (p.done)(Err("fabric shut down".to_string()));
         }
     }
 }
@@ -1009,6 +1484,76 @@ pub struct ProcMetricIds {
     failovers: CounterId,
     stale: CounterId,
     last: ProcessCounters,
+    // Wire observability (`fedci_wire_*`).
+    frames_sent: CounterId,
+    frames_recv: CounterId,
+    bytes_sent: CounterId,
+    bytes_recv: CounterId,
+    tel_frames: CounterId,
+    tel_events: CounterId,
+    tel_dropped: CounterId,
+    hb_rtt: HistogramId,
+    dispatch_rtt: HistogramId,
+    clock_offset: GaugeId,
+    clock_err: GaugeId,
+    last_wire: WireLast,
+}
+
+/// Counter high-water marks for the wire series (delta sampling keeps
+/// scrapes monotone, matching `ProcessCounters` handling).
+#[derive(Clone, Copy, Debug, Default)]
+struct WireLast {
+    frames_sent: u64,
+    frames_recv: u64,
+    bytes_sent: u64,
+    bytes_recv: u64,
+    tel_frames: u64,
+    tel_events: u64,
+    tel_dropped: u64,
+}
+
+/// One endpoint's drained observability plane, ready for merging into a
+/// cross-process timeline (`unifaas::obs`): daemon trace events and clock
+/// estimates grouped by spawn generation, cumulative daemon counters
+/// summed across generations, and the reconstituted execution-latency
+/// sketch.
+#[derive(Clone, Debug)]
+pub struct EndpointTelemetry {
+    /// Endpoint name.
+    pub endpoint: String,
+    /// Daemon trace events as `(generation, event)` — `t_us` is on that
+    /// generation's daemon clock.
+    pub events: Vec<(u64, TelemetryEvent)>,
+    /// Clock mapping per generation (absent generations never completed
+    /// a heartbeat round trip).
+    pub clocks: Vec<(u64, ClockEstimate)>,
+    /// Daemon-side counters summed across generations.
+    pub counters: DaemonCounters,
+    /// Execution latency (seconds) across generations, rebuilt from the
+    /// shipped bucket counts.
+    pub exec_hist: LogHistogram,
+    /// Events the daemon's ring dropped before they could ship.
+    pub ring_dropped: u64,
+    /// Telemetry batches the client refused (stale generation or
+    /// out-of-order sequence).
+    pub dropped_batches: u64,
+    /// Events the client discarded at its buffer cap.
+    pub dropped_events: u64,
+}
+
+/// Cumulative daemon-side work counters (summed across generations).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DaemonCounters {
+    /// DISPATCH frames accepted.
+    pub dispatches: u64,
+    /// Successful RESULTs produced.
+    pub results_ok: u64,
+    /// Failed RESULTs produced.
+    pub results_err: u64,
+    /// Jobs swallowed by chaos injection.
+    pub chaos_swallowed: u64,
+    /// Jobs straggler-delayed by chaos injection.
+    pub chaos_delays: u64,
 }
 
 /// The process-isolated fabric: one supervisor thread per endpoint, child
@@ -1019,6 +1564,7 @@ pub struct ProcessFabric {
     txs: Vec<Sender<Ev>>,
     joins: Mutex<Vec<JoinHandle<()>>>,
     down: AtomicBool,
+    clock0: Instant,
 }
 
 impl ProcessFabric {
@@ -1028,6 +1574,7 @@ impl ProcessFabric {
     pub fn new(specs: Vec<ProcessEndpointSpec>, cfg: ProcessFabricConfig) -> Self {
         cfg.timing.validate().expect("invalid fabric timing");
         assert!(!specs.is_empty(), "need at least one endpoint");
+        let clock0 = Instant::now();
         let mut labels = Vec::new();
         let mut shared = Vec::new();
         let mut txs = Vec::new();
@@ -1038,6 +1585,8 @@ impl ProcessFabric {
             let sup = Supervisor {
                 timing: cfg.timing,
                 respawn: cfg.respawn,
+                telemetry: cfg.telemetry,
+                clock0,
                 shared: Arc::clone(&ep_shared),
                 rx,
                 self_tx: tx.clone(),
@@ -1073,6 +1622,52 @@ impl ProcessFabric {
             txs,
             joins: Mutex::new(joins),
             down: AtomicBool::new(false),
+            clock0,
+        }
+    }
+
+    /// Snapshots `ep`'s buffered daemon telemetry. Meaningful only when
+    /// the fabric was built with [`ProcessFabricConfig::telemetry`] on;
+    /// call after [`Fabric::shutdown`] to include the final DRAIN flush.
+    pub fn telemetry(&self, ep: usize) -> EndpointTelemetry {
+        let store = self.shared[ep].telemetry.lock();
+        let mut events = store.events.clone();
+        events.sort_by_key(|&(g, ev)| (g, ev.t_us));
+        let mut clocks: Vec<(u64, ClockEstimate)> = store
+            .clocks
+            .iter()
+            .filter_map(|(&g, cs)| cs.estimate().map(|e| (g, e)))
+            .collect();
+        clocks.sort_by_key(|&(g, _)| g);
+        let mut counters = DaemonCounters::default();
+        let mut ring_dropped = 0;
+        for vals in store.gen_counters.values() {
+            for &(code, v) in vals {
+                match code {
+                    TEL_CTR_DISPATCHES => counters.dispatches += v,
+                    TEL_CTR_RESULTS_OK => counters.results_ok += v,
+                    TEL_CTR_RESULTS_ERR => counters.results_err += v,
+                    TEL_CTR_CHAOS_SWALLOWED => counters.chaos_swallowed += v,
+                    TEL_CTR_CHAOS_DELAYS => counters.chaos_delays += v,
+                    TEL_CTR_RING_DROPPED => ring_dropped += v,
+                    _ => {}
+                }
+            }
+        }
+        let mut exec_hist = LogHistogram::new();
+        let alpha = exec_hist.relative_error();
+        for buckets in store.gen_buckets.values() {
+            exec_hist.merge(&LogHistogram::from_bucket_counts(alpha, buckets));
+        }
+        EndpointTelemetry {
+            endpoint: self.labels[ep].clone(),
+            events,
+            clocks,
+            counters,
+            exec_hist,
+            ring_dropped,
+            dropped_batches: store.dropped_batches,
+            dropped_events: store.dropped_events,
         }
     }
 
@@ -1151,6 +1746,62 @@ impl ProcessFabric {
                         l,
                     ),
                     last: ProcessCounters::default(),
+                    frames_sent: reg.counter(
+                        "fedci_wire_frames_sent_total",
+                        "Frames written to the endpoint connection.",
+                        l,
+                    ),
+                    frames_recv: reg.counter(
+                        "fedci_wire_frames_received_total",
+                        "Frames decoded off the endpoint connection.",
+                        l,
+                    ),
+                    bytes_sent: reg.counter(
+                        "fedci_wire_bytes_sent_total",
+                        "Bytes written to the endpoint connection.",
+                        l,
+                    ),
+                    bytes_recv: reg.counter(
+                        "fedci_wire_bytes_received_total",
+                        "Bytes read from the endpoint connection.",
+                        l,
+                    ),
+                    tel_frames: reg.counter(
+                        "fedci_wire_telemetry_frames_total",
+                        "TELEMETRY batches ingested from the daemon.",
+                        l,
+                    ),
+                    tel_events: reg.counter(
+                        "fedci_wire_telemetry_events_total",
+                        "Daemon trace events ingested.",
+                        l,
+                    ),
+                    tel_dropped: reg.counter(
+                        "fedci_wire_telemetry_dropped_total",
+                        "TELEMETRY batches refused (stale generation or out-of-order sequence).",
+                        l,
+                    ),
+                    hb_rtt: reg.histogram(
+                        "fedci_wire_heartbeat_rtt_seconds",
+                        "Heartbeat round-trip time.",
+                        l,
+                    ),
+                    dispatch_rtt: reg.histogram(
+                        "fedci_wire_dispatch_roundtrip_seconds",
+                        "DISPATCH write to RESULT arrival.",
+                        l,
+                    ),
+                    clock_offset: reg.gauge(
+                        "fedci_wire_clock_offset_seconds",
+                        "Estimated daemon-minus-client clock offset (current generation).",
+                        l,
+                    ),
+                    clock_err: reg.gauge(
+                        "fedci_wire_clock_uncertainty_seconds",
+                        "NTP error bound on the clock offset (half the minimum heartbeat RTT).",
+                        l,
+                    ),
+                    last_wire: WireLast::default(),
                 }
             })
             .collect()
@@ -1177,6 +1828,59 @@ impl ProcessFabric {
             reg.inc(id.failovers, (now.failovers - id.last.failovers) as f64);
             reg.inc(id.stale, (now.stale_results - id.last.stale_results) as f64);
             id.last = now;
+
+            let wire = WireLast {
+                frames_sent: s.frames_sent.load(Ordering::Relaxed),
+                frames_recv: s.frames_recv.load(Ordering::Relaxed),
+                bytes_sent: s.bytes_sent.load(Ordering::Relaxed),
+                bytes_recv: s.bytes_recv.load(Ordering::Relaxed),
+                tel_frames: s.tel_frames.load(Ordering::Relaxed),
+                tel_events: s.tel_events.load(Ordering::Relaxed),
+                tel_dropped: s.telemetry.lock().dropped_batches,
+            };
+            reg.inc(
+                id.frames_sent,
+                (wire.frames_sent - id.last_wire.frames_sent) as f64,
+            );
+            reg.inc(
+                id.frames_recv,
+                (wire.frames_recv - id.last_wire.frames_recv) as f64,
+            );
+            reg.inc(
+                id.bytes_sent,
+                (wire.bytes_sent - id.last_wire.bytes_sent) as f64,
+            );
+            reg.inc(
+                id.bytes_recv,
+                (wire.bytes_recv - id.last_wire.bytes_recv) as f64,
+            );
+            reg.inc(
+                id.tel_frames,
+                (wire.tel_frames - id.last_wire.tel_frames) as f64,
+            );
+            reg.inc(
+                id.tel_events,
+                (wire.tel_events - id.last_wire.tel_events) as f64,
+            );
+            reg.inc(
+                id.tel_dropped,
+                (wire.tel_dropped - id.last_wire.tel_dropped) as f64,
+            );
+            id.last_wire = wire;
+            reg.replace_histogram(id.hb_rtt, s.rtt_hist.lock().clone());
+            reg.replace_histogram(id.dispatch_rtt, s.dispatch_hist.lock().clone());
+            // Clock gauges report the *current* generation's estimate.
+            let generation = s.generation.load(Ordering::SeqCst);
+            if let Some(est) = s
+                .telemetry
+                .lock()
+                .clocks
+                .get(&generation)
+                .and_then(ClockSync::estimate)
+            {
+                reg.set(id.clock_offset, est.offset_us as f64 / 1e6);
+                reg.set(id.clock_err, est.uncertainty_us as f64 / 1e6);
+            }
         }
     }
 }
@@ -1184,6 +1888,10 @@ impl ProcessFabric {
 impl Fabric for ProcessFabric {
     fn labels(&self) -> &[String] {
         &self.labels
+    }
+
+    fn clock_epoch(&self) -> Instant {
+        self.clock0
     }
 
     fn n_workers(&self, ep: usize) -> usize {
@@ -1440,6 +2148,7 @@ mod tests {
             timing: FabricTiming::fast(),
             seed,
             respawn: true,
+            telemetry: false,
         }
     }
 
@@ -1472,13 +2181,19 @@ mod tests {
         Frame::Dispatch {
             task: 1,
             attempt: 1,
+            generation: 0,
             function: "echo".to_string(),
             deps: vec![5],
             payload: b"there".to_vec(),
         }
         .write_to(&mut s)
         .unwrap();
-        Frame::Heartbeat { seq: 1 }.write_to(&mut s).unwrap();
+        Frame::Heartbeat {
+            seq: 1,
+            t_client_us: 777,
+        }
+        .write_to(&mut s)
+        .unwrap();
         let mut saw_result = false;
         let mut saw_hb = false;
         let mut saw_transfer_ack = false;
@@ -1487,15 +2202,20 @@ mod tests {
                 Frame::Result {
                     task,
                     attempt,
+                    generation,
                     ok,
                     payload,
                 } => {
-                    assert_eq!((task, attempt, ok), (1, 1, true));
+                    assert_eq!((task, attempt, generation, ok), (1, 1, 0, true));
                     assert_eq!(payload, b"hi there".to_vec());
                     saw_result = true;
                 }
-                Frame::HeartbeatAck { seq, .. } => {
-                    assert_eq!(seq, 1);
+                Frame::HeartbeatAck {
+                    seq, t_client_us, ..
+                } => {
+                    // Unsubscribed: the ack comes back alone (no
+                    // TELEMETRY rides behind it) with our stamp echoed.
+                    assert_eq!((seq, t_client_us), (1, 777));
                     saw_hb = true;
                 }
                 Frame::TransferAck { key, stored } => {
@@ -1512,6 +2232,111 @@ mod tests {
             Frame::DrainAck { .. }
         ));
         daemon.join().unwrap();
+    }
+
+    #[test]
+    fn daemon_ships_telemetry_only_when_subscribed() {
+        let daemon = spawn_daemon_thread(DaemonConfig::new("tel", 1)).unwrap();
+        let mut s = TcpStream::connect(daemon.addr()).unwrap();
+        assert!(matches!(
+            Frame::read_from(&mut s).unwrap(),
+            Frame::Hello { .. }
+        ));
+        Frame::TelemetrySub { level: 2 }.write_to(&mut s).unwrap();
+        Frame::Dispatch {
+            task: 9,
+            attempt: 1,
+            generation: 0,
+            function: "echo".to_string(),
+            deps: vec![],
+            payload: b"x".to_vec(),
+        }
+        .write_to(&mut s)
+        .unwrap();
+        // Wait for the RESULT so the full span exists, then beat to
+        // trigger a flush.
+        loop {
+            if matches!(Frame::read_from(&mut s).unwrap(), Frame::Result { .. }) {
+                break;
+            }
+        }
+        Frame::Heartbeat {
+            seq: 1,
+            t_client_us: 1,
+        }
+        .write_to(&mut s)
+        .unwrap();
+        let mut stages = Vec::new();
+        let counters;
+        loop {
+            match Frame::read_from(&mut s).unwrap() {
+                Frame::Telemetry {
+                    generation,
+                    seq,
+                    events,
+                    counters: c,
+                    ..
+                } => {
+                    assert_eq!(generation, 0);
+                    assert!(seq >= 1);
+                    stages.extend(events.iter().map(|e| e.stage));
+                    counters = c;
+                    break;
+                }
+                Frame::HeartbeatAck { t_daemon_us, .. } => {
+                    assert!(t_daemon_us > 0, "daemon must stamp its clock");
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        // The attempt's full daemon-side span made it across.
+        for want in [
+            TEL_STAGE_RECV,
+            TEL_STAGE_EXEC_BEGIN,
+            TEL_STAGE_EXEC_END,
+            TEL_STAGE_SENT,
+        ] {
+            assert!(stages.contains(&want), "missing stage {want} in {stages:?}");
+        }
+        assert!(counters.contains(&(TEL_CTR_DISPATCHES, 1)), "{counters:?}");
+        assert!(counters.contains(&(TEL_CTR_RESULTS_OK, 1)), "{counters:?}");
+        Frame::Drain.write_to(&mut s).unwrap();
+        // The drain-triggered flush precedes the ack.
+        let mut saw_final_flush = false;
+        loop {
+            match Frame::read_from(&mut s).unwrap() {
+                Frame::Telemetry { .. } => saw_final_flush = true,
+                Frame::DrainAck { .. } => break,
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert!(saw_final_flush, "DRAIN must flush telemetry before acking");
+        daemon.join().unwrap();
+    }
+
+    #[test]
+    fn telemetry_store_drops_stale_generation_and_out_of_order_batches() {
+        let ev = |t_us| TelemetryEvent {
+            stage: TEL_STAGE_RECV,
+            t_us,
+            task: 1,
+            attempt: 1,
+            arg: 0,
+        };
+        let mut store = TelemetryStore::new();
+        assert!(store.ingest(1, 1, 1, vec![ev(10)], vec![(TEL_CTR_DISPATCHES, 1)], vec![]));
+        // A batch from a dead generation must never merge: its clock is
+        // a different incarnation's and its counters would double-count.
+        assert!(!store.ingest(1, 0, 7, vec![ev(20)], vec![(TEL_CTR_DISPATCHES, 9)], vec![]));
+        // Replayed / reordered sequence numbers are refused whole.
+        assert!(!store.ingest(1, 1, 1, vec![ev(30)], vec![], vec![]));
+        assert!(store.ingest(1, 1, 2, vec![ev(40)], vec![], vec![]));
+        assert!(!store.ingest(1, 1, 2, vec![ev(50)], vec![], vec![]));
+        assert_eq!(store.dropped_batches, 3);
+        let times: Vec<u64> = store.events.iter().map(|&(_, e)| e.t_us).collect();
+        assert_eq!(times, vec![10, 40]);
+        assert_eq!(store.gen_counters[&1], vec![(TEL_CTR_DISPATCHES, 1)]);
+        assert!(!store.gen_counters.contains_key(&0));
     }
 
     #[test]

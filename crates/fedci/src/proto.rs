@@ -15,24 +15,91 @@
 //! manager, daemon = `unifaas-endpointd`):
 //!
 //! ```text
-//! daemon → client   HELLO        once per connection: identity + generation
-//! client → daemon   TRANSFER     stage an input blob        → TRANSFER_ACK
-//! client → daemon   DISPATCH     run a function attempt     → RESULT
-//! client → daemon   HEARTBEAT    liveness, seq-numbered     → HEARTBEAT_ACK
-//! client → daemon   POLL         queue-depth snapshot       → POLL_ACK
-//! client → daemon   DRAIN        finish queued work, stop   → DRAIN_ACK
+//! daemon → client   HELLO          once per connection: identity + generation
+//! client → daemon   TRANSFER       stage an input blob        → TRANSFER_ACK
+//! client → daemon   DISPATCH       run a function attempt     → RESULT
+//! client → daemon   HEARTBEAT      liveness, seq-numbered,
+//!                                  timestamped for clock sync → HEARTBEAT_ACK
+//! client → daemon   POLL           queue-depth snapshot       → POLL_ACK
+//! client → daemon   TELEMETRY_SUB  enable/disable daemon telemetry
+//! daemon → client   TELEMETRY      batched trace events + metric deltas
+//! client → daemon   DRAIN          finish queued work, stop   → DRAIN_ACK
 //! ```
+//!
+//! The observability plane rides on three things: DISPATCH/RESULT carry
+//! the span context `(task, attempt, generation)` so daemon-side spans
+//! can be stitched to the client attempt that caused them; HEARTBEAT /
+//! HEARTBEAT_ACK carry send/receive timestamps (client monotonic micros
+//! out, daemon monotonic micros back, client stamp echoed) feeding the
+//! NTP-style offset estimator in [`crate::clock`]; and TELEMETRY frames
+//! batch-ship the daemon's trace ring ([`TelemetryEvent`]s in daemon
+//! monotonic micros), cumulative counters, and execution-latency sketch
+//! buckets back to the supervisor.
 
 use std::io::{Read, Write};
 
 /// Protocol revision carried in HELLO; peers with a different revision
-/// must disconnect.
-pub const PROTO_VERSION: u16 = 1;
+/// must disconnect. Revision 2 added clock-sync timestamps on the
+/// heartbeat exchange, the `generation` span context on DISPATCH/RESULT,
+/// and the TELEMETRY_SUB/TELEMETRY pair.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Upper bound on `length` (kind + body). Chosen comfortably above any
 /// real frame so the only way to hit it is corruption or attack; checked
 /// before allocating.
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Most [`TelemetryEvent`]s a daemon packs into one TELEMETRY frame.
+/// 8192 events × 29 bytes ≈ 232 KiB — far under [`MAX_FRAME`], so even a
+/// full ring ships as a short burst of well-bounded frames.
+pub const TEL_MAX_EVENTS: usize = 8192;
+
+/// [`TelemetryEvent::stage`]: DISPATCH frame decoded on the daemon
+/// (`arg` = queue depth at that instant).
+pub const TEL_STAGE_RECV: u8 = 1;
+/// [`TelemetryEvent::stage`]: a worker began executing (`arg` unused).
+pub const TEL_STAGE_EXEC_BEGIN: u8 = 2;
+/// [`TelemetryEvent::stage`]: execution finished (`arg` = 1 ok, 0 error).
+pub const TEL_STAGE_EXEC_END: u8 = 3;
+/// [`TelemetryEvent::stage`]: the RESULT frame was written to the socket
+/// (`arg` = 1 ok, 0 error).
+pub const TEL_STAGE_SENT: u8 = 4;
+/// [`TelemetryEvent::stage`]: chaos swallowed the attempt — no RESULT
+/// will ever come (`arg` unused).
+pub const TEL_STAGE_CHAOS_SWALLOW: u8 = 5;
+/// [`TelemetryEvent::stage`]: chaos delayed the attempt (`arg` = ms).
+pub const TEL_STAGE_CHAOS_DELAY: u8 = 6;
+
+/// Telemetry counter code: DISPATCH frames received.
+pub const TEL_CTR_DISPATCHES: u16 = 1;
+/// Telemetry counter code: attempts that produced an ok RESULT.
+pub const TEL_CTR_RESULTS_OK: u16 = 2;
+/// Telemetry counter code: attempts that produced an error RESULT.
+pub const TEL_CTR_RESULTS_ERR: u16 = 3;
+/// Telemetry counter code: attempts swallowed by chaos injection.
+pub const TEL_CTR_CHAOS_SWALLOWED: u16 = 4;
+/// Telemetry counter code: attempts delayed by chaos injection.
+pub const TEL_CTR_CHAOS_DELAYS: u16 = 5;
+/// Telemetry counter code: trace events dropped by the daemon ring.
+pub const TEL_CTR_RING_DROPPED: u16 = 6;
+
+/// One daemon-side trace event, stamped in the daemon's local monotonic
+/// clock (micros since daemon start). The client maps `t_us` onto its own
+/// timeline with the per-generation clock offset from [`crate::clock`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryEvent {
+    /// What happened — one of the `TEL_STAGE_*` codes. Unknown codes
+    /// pass through the codec untouched (forward compatibility).
+    pub stage: u8,
+    /// Daemon monotonic micros since daemon start.
+    pub t_us: u64,
+    /// Task id the event belongs to.
+    pub task: u64,
+    /// Attempt number the event belongs to.
+    pub attempt: u32,
+    /// Stage-specific argument (see the `TEL_STAGE_*` docs).
+    pub arg: u64,
+}
 
 /// Decode/IO failures. Every variant is a clean error — no panics, no
 /// partial state.
@@ -49,6 +116,10 @@ pub enum ProtoError {
     BadUtf8,
     /// Bytes left over after a complete message was decoded.
     TrailingBytes(usize),
+    /// A field held a value the encoder can never produce (e.g. a bool
+    /// byte other than 0/1) — rejected so the codec stays a bijection on
+    /// its valid set.
+    Malformed(&'static str),
     /// Underlying socket/file error.
     Io(std::io::Error),
 }
@@ -61,6 +132,7 @@ impl std::fmt::Display for ProtoError {
             ProtoError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
             ProtoError::BadUtf8 => write!(f, "string field is not UTF-8"),
             ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
+            ProtoError::Malformed(what) => write!(f, "malformed field: {what}"),
             ProtoError::Io(e) => write!(f, "io: {e}"),
         }
     }
@@ -96,6 +168,10 @@ pub enum Frame {
         task: u64,
         /// Attempt number — echoed in RESULT; the client drops stale ones.
         attempt: u32,
+        /// Span context: the daemon generation the client believes it is
+        /// dispatching to (from HELLO). Lets daemon-side telemetry be
+        /// stitched to the exact client attempt → incarnation pair.
+        generation: u64,
         /// Registered function name.
         function: String,
         /// Staged blob keys, concatenated in order as the input prefix.
@@ -109,6 +185,10 @@ pub enum Frame {
         task: u64,
         /// Attempt from the dispatch (the exactly-once guard).
         attempt: u32,
+        /// Span context: the generation of the daemon incarnation that
+        /// actually executed this attempt — a replay from a resurrected
+        /// daemon is distinguishable from a fresh result.
+        generation: u64,
         /// 1 = payload is the function result; 0 = payload is an
         /// error message.
         ok: bool,
@@ -140,10 +220,14 @@ pub enum Frame {
         /// Bytes stored.
         stored: u64,
     },
-    /// Client → daemon: liveness probe.
+    /// Client → daemon: liveness probe, doubling as a clock-sync probe.
     Heartbeat {
         /// Monotone sequence number per connection.
         seq: u64,
+        /// Client monotonic micros when the probe left — NTP `t0`,
+        /// echoed back in the ack so the client never has to remember
+        /// which probe an ack answers.
+        t_client_us: u64,
     },
     /// Daemon → client: answer to [`Frame::Heartbeat`].
     HeartbeatAck {
@@ -151,6 +235,11 @@ pub enum Frame {
         seq: u64,
         /// Workers currently executing (free liveness piggyback).
         busy: u32,
+        /// Echo of the probe's `t_client_us` (NTP `t0`).
+        t_client_us: u64,
+        /// Daemon monotonic micros when the probe was handled — NTP
+        /// `t1`≈`t2` (turnaround inside the daemon is sub-millisecond).
+        t_daemon_us: u64,
     },
     /// Client → daemon: finish queued work, then exit cleanly.
     Drain,
@@ -158,6 +247,36 @@ pub enum Frame {
     DrainAck {
         /// Jobs still queued or executing at the time of the ack.
         remaining: u32,
+    },
+    /// Client → daemon: subscribe to (or mute) the daemon's telemetry
+    /// stream. Strictly opt-in: a daemon never ships TELEMETRY frames
+    /// unsolicited, so a telemetry-off client sees a byte-identical
+    /// conversation.
+    TelemetrySub {
+        /// 0 = off, 1 = spans, 2 = full — mirrors
+        /// `simkit::trace::TraceLevel`.
+        level: u8,
+    },
+    /// Daemon → client: a batch of trace events plus metric state,
+    /// shipped opportunistically on the heartbeat cadence and flushed
+    /// once more on DRAIN.
+    Telemetry {
+        /// The sending incarnation's spawn generation. The client drops
+        /// batches whose generation is not the one it is connected to —
+        /// a resurrected daemon's replayed telemetry never merges.
+        generation: u64,
+        /// Per-generation batch sequence number, strictly increasing;
+        /// the client drops reordered or replayed batches.
+        seq: u64,
+        /// Trace events in daemon monotonic time, oldest first.
+        events: Vec<TelemetryEvent>,
+        /// Cumulative (since daemon start) counters as
+        /// (`TEL_CTR_*`, value) pairs — cumulative, not deltas, so a
+        /// lost batch undercounts nothing.
+        counters: Vec<(u16, u64)>,
+        /// Cumulative execution-latency sketch as sparse
+        /// `LogHistogram` bucket counts (`bucket_counts()` form).
+        exec_buckets: Vec<(i32, u64)>,
     },
 }
 
@@ -176,6 +295,8 @@ impl Frame {
             Frame::HeartbeatAck { .. } => 9,
             Frame::Drain => 10,
             Frame::DrainAck { .. } => 11,
+            Frame::TelemetrySub { .. } => 12,
+            Frame::Telemetry { .. } => 13,
         }
     }
 
@@ -198,12 +319,14 @@ impl Frame {
             Frame::Dispatch {
                 task,
                 attempt,
+                generation,
                 function,
                 deps,
                 payload,
             } => {
                 body.extend_from_slice(&task.to_le_bytes());
                 body.extend_from_slice(&attempt.to_le_bytes());
+                body.extend_from_slice(&generation.to_le_bytes());
                 put_str(&mut body, function);
                 body.extend_from_slice(&(deps.len() as u16).to_le_bytes());
                 for d in deps {
@@ -214,11 +337,13 @@ impl Frame {
             Frame::Result {
                 task,
                 attempt,
+                generation,
                 ok,
                 payload,
             } => {
                 body.extend_from_slice(&task.to_le_bytes());
                 body.extend_from_slice(&attempt.to_le_bytes());
+                body.extend_from_slice(&generation.to_le_bytes());
                 body.push(u8::from(*ok));
                 put_bytes(&mut body, payload);
             }
@@ -240,15 +365,54 @@ impl Frame {
                 body.extend_from_slice(&key.to_le_bytes());
                 body.extend_from_slice(&stored.to_le_bytes());
             }
-            Frame::Heartbeat { seq } => {
+            Frame::Heartbeat { seq, t_client_us } => {
                 body.extend_from_slice(&seq.to_le_bytes());
+                body.extend_from_slice(&t_client_us.to_le_bytes());
             }
-            Frame::HeartbeatAck { seq, busy } => {
+            Frame::HeartbeatAck {
+                seq,
+                busy,
+                t_client_us,
+                t_daemon_us,
+            } => {
                 body.extend_from_slice(&seq.to_le_bytes());
                 body.extend_from_slice(&busy.to_le_bytes());
+                body.extend_from_slice(&t_client_us.to_le_bytes());
+                body.extend_from_slice(&t_daemon_us.to_le_bytes());
             }
             Frame::DrainAck { remaining } => {
                 body.extend_from_slice(&remaining.to_le_bytes());
+            }
+            Frame::TelemetrySub { level } => {
+                body.push(*level);
+            }
+            Frame::Telemetry {
+                generation,
+                seq,
+                events,
+                counters,
+                exec_buckets,
+            } => {
+                body.extend_from_slice(&generation.to_le_bytes());
+                body.extend_from_slice(&seq.to_le_bytes());
+                body.extend_from_slice(&(events.len() as u32).to_le_bytes());
+                for e in events {
+                    body.push(e.stage);
+                    body.extend_from_slice(&e.t_us.to_le_bytes());
+                    body.extend_from_slice(&e.task.to_le_bytes());
+                    body.extend_from_slice(&e.attempt.to_le_bytes());
+                    body.extend_from_slice(&e.arg.to_le_bytes());
+                }
+                body.extend_from_slice(&(counters.len() as u16).to_le_bytes());
+                for (code, value) in counters {
+                    body.extend_from_slice(&code.to_le_bytes());
+                    body.extend_from_slice(&value.to_le_bytes());
+                }
+                body.extend_from_slice(&(exec_buckets.len() as u16).to_le_bytes());
+                for (bucket, count) in exec_buckets {
+                    body.extend_from_slice(&bucket.to_le_bytes());
+                    body.extend_from_slice(&count.to_le_bytes());
+                }
             }
         }
         let mut out = Vec::with_capacity(4 + body.len());
@@ -320,6 +484,7 @@ fn decode_body(c: &mut Cursor<'_>) -> Result<Frame, ProtoError> {
         2 => {
             let task = c.u64()?;
             let attempt = c.u32()?;
+            let generation = c.u64()?;
             let function = c.string()?;
             let n = c.u16()? as usize;
             let mut deps = Vec::with_capacity(n.min(1024));
@@ -330,6 +495,7 @@ fn decode_body(c: &mut Cursor<'_>) -> Result<Frame, ProtoError> {
             Frame::Dispatch {
                 task,
                 attempt,
+                generation,
                 function,
                 deps,
                 payload,
@@ -338,7 +504,8 @@ fn decode_body(c: &mut Cursor<'_>) -> Result<Frame, ProtoError> {
         3 => Frame::Result {
             task: c.u64()?,
             attempt: c.u32()?,
-            ok: c.u8()? != 0,
+            generation: c.u64()?,
+            ok: c.bool()?,
             payload: c.bytes()?,
         },
         4 => Frame::Poll,
@@ -355,15 +522,53 @@ fn decode_body(c: &mut Cursor<'_>) -> Result<Frame, ProtoError> {
             key: c.u64()?,
             stored: c.u64()?,
         },
-        8 => Frame::Heartbeat { seq: c.u64()? },
+        8 => Frame::Heartbeat {
+            seq: c.u64()?,
+            t_client_us: c.u64()?,
+        },
         9 => Frame::HeartbeatAck {
             seq: c.u64()?,
             busy: c.u32()?,
+            t_client_us: c.u64()?,
+            t_daemon_us: c.u64()?,
         },
         10 => Frame::Drain,
         11 => Frame::DrainAck {
             remaining: c.u32()?,
         },
+        12 => Frame::TelemetrySub { level: c.u8()? },
+        13 => {
+            let generation = c.u64()?;
+            let seq = c.u64()?;
+            let n = c.u32()? as usize;
+            let mut events = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                events.push(TelemetryEvent {
+                    stage: c.u8()?,
+                    t_us: c.u64()?,
+                    task: c.u64()?,
+                    attempt: c.u32()?,
+                    arg: c.u64()?,
+                });
+            }
+            let n = c.u16()? as usize;
+            let mut counters = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                counters.push((c.u16()?, c.u64()?));
+            }
+            let n = c.u16()? as usize;
+            let mut exec_buckets = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                exec_buckets.push((c.i32()?, c.u64()?));
+            }
+            Frame::Telemetry {
+                generation,
+                seq,
+                events,
+                counters,
+                exec_buckets,
+            }
+        }
         k => return Err(ProtoError::UnknownKind(k)),
     })
 }
@@ -417,8 +622,22 @@ impl Cursor<'_> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
     }
 
+    /// Strict bool: only 0/1 are valid, so decode(encode) stays a
+    /// bijection even under single-byte corruption.
+    fn bool(&mut self) -> Result<bool, ProtoError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(ProtoError::Malformed("bool byte out of range")),
+        }
+    }
+
     fn u32(&mut self) -> Result<u32, ProtoError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn i32(&mut self) -> Result<i32, ProtoError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
 
     fn u64(&mut self) -> Result<u64, ProtoError> {
@@ -452,6 +671,7 @@ mod tests {
             Frame::Dispatch {
                 task: 7,
                 attempt: 2,
+                generation: 4,
                 function: "fnv".into(),
                 deps: vec![1, 2, 3],
                 payload: b"xyz".to_vec(),
@@ -459,12 +679,14 @@ mod tests {
             Frame::Result {
                 task: 7,
                 attempt: 2,
+                generation: 4,
                 ok: true,
                 payload: vec![0xde, 0xad],
             },
             Frame::Result {
                 task: 8,
                 attempt: 1,
+                generation: 0,
                 ok: false,
                 payload: b"boom".to_vec(),
             },
@@ -482,10 +704,48 @@ mod tests {
                 key: 42,
                 stored: 100,
             },
-            Frame::Heartbeat { seq: 99 },
-            Frame::HeartbeatAck { seq: 99, busy: 2 },
+            Frame::Heartbeat {
+                seq: 99,
+                t_client_us: 123_456,
+            },
+            Frame::HeartbeatAck {
+                seq: 99,
+                busy: 2,
+                t_client_us: 123_456,
+                t_daemon_us: 7_890,
+            },
             Frame::Drain,
             Frame::DrainAck { remaining: 5 },
+            Frame::TelemetrySub { level: 2 },
+            Frame::Telemetry {
+                generation: 1,
+                seq: 9,
+                events: vec![
+                    TelemetryEvent {
+                        stage: TEL_STAGE_RECV,
+                        t_us: 1_000,
+                        task: 7,
+                        attempt: 2,
+                        arg: 3,
+                    },
+                    TelemetryEvent {
+                        stage: TEL_STAGE_EXEC_END,
+                        t_us: 2_000,
+                        task: 7,
+                        attempt: 2,
+                        arg: 1,
+                    },
+                ],
+                counters: vec![(TEL_CTR_DISPATCHES, 12), (TEL_CTR_RESULTS_OK, 11)],
+                exec_buckets: vec![(i32::MIN, 1), (-3, 2), (17, 9)],
+            },
+            Frame::Telemetry {
+                generation: 0,
+                seq: 0,
+                events: vec![],
+                counters: vec![],
+                exec_buckets: vec![],
+            },
         ]
     }
 
@@ -571,7 +831,11 @@ mod tests {
             Err(ProtoError::UnknownKind(255))
         ));
 
-        let mut trailing = Frame::Heartbeat { seq: 1 }.encode();
+        let mut trailing = Frame::Heartbeat {
+            seq: 1,
+            t_client_us: 0,
+        }
+        .encode();
         trailing.push(0);
         assert!(matches!(
             Frame::decode(&trailing),
@@ -613,7 +877,49 @@ mod tests {
         assert!(ProtoError::UnknownKind(7).to_string().contains('7'));
         assert!(ProtoError::TrailingBytes(3).to_string().contains('3'));
         assert!(ProtoError::BadUtf8.to_string().contains("UTF-8"));
+        assert!(ProtoError::Malformed("bool").to_string().contains("bool"));
         let io = ProtoError::from(std::io::Error::other("x"));
         assert!(io.to_string().contains("io"));
+    }
+
+    #[test]
+    fn non_canonical_bool_byte_rejected() {
+        let f = Frame::Result {
+            task: 1,
+            attempt: 1,
+            generation: 0,
+            ok: true,
+            payload: vec![],
+        };
+        let mut bytes = f.encode();
+        // ok byte sits after len(4) + kind(2) + task(8) + attempt(4) + gen(8).
+        bytes[26] = 2;
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn full_telemetry_batch_fits_the_frame_cap() {
+        let f = Frame::Telemetry {
+            generation: u64::MAX,
+            seq: u64::MAX,
+            events: vec![
+                TelemetryEvent {
+                    stage: u8::MAX,
+                    t_us: u64::MAX,
+                    task: u64::MAX,
+                    attempt: u32::MAX,
+                    arg: u64::MAX,
+                };
+                TEL_MAX_EVENTS
+            ],
+            counters: vec![(u16::MAX, u64::MAX); 16],
+            exec_buckets: vec![(i32::MIN, u64::MAX); 512],
+        };
+        let bytes = f.encode();
+        assert!((bytes.len() as u32) < MAX_FRAME / 32, "batch far under cap");
+        assert_eq!(Frame::decode(&bytes).unwrap(), f);
     }
 }

@@ -1,0 +1,111 @@
+//! Property-based tests for the NTP-style clock estimator: under
+//! injected skew, slow drift, and adversarially asymmetric path delays,
+//! the estimate must stay within its own stated uncertainty of the true
+//! offset — the bound is the contract the merged timeline renders.
+
+use fedci::clock::{ClockSample, ClockSync};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Builds the sample a heartbeat would produce given the true state of
+/// the world: true offset `theta` (daemon minus client, micros), send
+/// time `t0`, and the two one-way delays.
+fn probe(t0: u64, theta: i64, up_us: u64, down_us: u64) -> ClockSample {
+    ClockSample {
+        t0_us: t0,
+        t_daemon_us: ((t0 + up_us) as i64 + theta) as u64,
+        t3_us: t0 + up_us + down_us,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fixed skew, arbitrary per-probe delay asymmetry: the estimator's
+    /// error never exceeds its reported uncertainty, and the uncertainty
+    /// is exactly half the smallest RTT it saw.
+    #[test]
+    fn estimate_error_is_bounded_by_stated_uncertainty(
+        theta in -1_000_000_000i64..1_000_000_000,
+        delays in vec((100u64..50_000, 100u64..50_000), 1..40),
+    ) {
+        let mut cs = ClockSync::new();
+        let mut t0 = 1_000_000_000u64; // past any negative-theta underflow
+        let mut min_rtt = u64::MAX;
+        for &(up, down) in &delays {
+            cs.observe(probe(t0, theta, up, down));
+            min_rtt = min_rtt.min(up + down);
+            t0 += 100_000;
+        }
+        let est = cs.estimate().unwrap();
+        prop_assert_eq!(est.min_rtt_us, min_rtt);
+        prop_assert_eq!(est.uncertainty_us, min_rtt.div_ceil(2));
+        prop_assert!(
+            (est.offset_us - theta).abs() <= est.uncertainty_us as i64,
+            "error {} exceeds bound {} (theta {theta})",
+            est.offset_us - theta,
+            est.uncertainty_us,
+        );
+    }
+
+    /// A slowly drifting daemon clock: once a quiet (low-RTT) probe lands
+    /// inside the window, the estimate recovers to the *current* offset
+    /// within the quiet probe's RTT bound plus whatever drift accrued
+    /// over the window.
+    #[test]
+    fn drift_recovers_within_minimum_rtt_bound(
+        theta0 in -1_000_000i64..1_000_000,
+        drift_ppm in -200i64..200,
+        noise in vec((500u64..20_000, 500u64..20_000), 4..32),
+    ) {
+        let mut cs = ClockSync::new();
+        let mut t0 = 1_000_000_000u64;
+        let step = 100_000u64; // 100 ms between probes
+        let mut theta = theta0;
+        for &(up, down) in &noise {
+            cs.observe(probe(t0, theta, up, down));
+            t0 += step;
+            theta += drift_ppm * step as i64 / 1_000_000;
+        }
+        // The quiet probe: near-symmetric, lowest RTT by construction.
+        cs.observe(probe(t0, theta, 200, 250));
+        let est = cs.estimate().unwrap();
+        // Drift across the whole window is bounded by ppm * window span.
+        let span_us = (noise.len() as i64 + 1) * step as i64;
+        let max_drift = (drift_ppm.abs() * span_us) / 1_000_000;
+        prop_assert!(
+            (est.offset_us - theta).abs() <= est.uncertainty_us as i64 + max_drift,
+            "error {} exceeds rtt bound {} + drift bound {max_drift}",
+            est.offset_us - theta,
+            est.uncertainty_us,
+        );
+        prop_assert!(est.uncertainty_us <= 225);
+    }
+
+    /// Adversarial asymmetry: even when every probe's delay is entirely
+    /// one-sided (the worst case NTP admits), the error stays within
+    /// rtt/2 — and mapping a daemon stamp back onto the client timeline
+    /// inherits the same bound.
+    #[test]
+    fn one_sided_delay_stays_within_half_rtt(
+        theta in -100_000_000i64..100_000_000,
+        rtts in vec(200u64..100_000, 1..24),
+        upward in (0u16..2).prop_map(|b| b == 1),
+    ) {
+        let mut cs = ClockSync::new();
+        let mut t0 = 1_000_000_000u64;
+        for &rtt in &rtts {
+            let (up, down) = if upward { (rtt, 0) } else { (0, rtt) };
+            cs.observe(probe(t0, theta, up, down));
+            t0 += 50_000;
+        }
+        let est = cs.estimate().unwrap();
+        prop_assert!((est.offset_us - theta).abs() <= est.uncertainty_us as i64);
+        // Round-trip a daemon timestamp through the mapping: the
+        // recovered client time is off by exactly the estimate's error.
+        let daemon_stamp = 500_000_000u64;
+        let true_client = daemon_stamp as i64 - theta;
+        let mapped = est.to_client_us(daemon_stamp);
+        prop_assert!((mapped - true_client).abs() <= est.uncertainty_us as i64);
+    }
+}

@@ -3,7 +3,7 @@
 //! hostile length headers, random garbage — come back as clean errors,
 //! never a panic and never an allocation bigger than the input justifies.
 
-use fedci::proto::{Frame, ProtoError, MAX_FRAME, PROTO_VERSION};
+use fedci::proto::{Frame, ProtoError, TelemetryEvent, MAX_FRAME, PROTO_VERSION, TEL_MAX_EVENTS};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -43,21 +43,26 @@ fn arb_frame() -> BoxedStrategy<Frame> {
         (
             0u64..1_000_000,
             0u32..20,
+            0u64..10,
             arb_name(),
             vec(0u64..1_000_000, 0..8),
             arb_payload()
         )
-            .prop_map(|(task, attempt, function, deps, payload)| Frame::Dispatch {
-                task,
-                attempt,
-                function,
-                deps,
-                payload,
+            .prop_map(|(task, attempt, generation, function, deps, payload)| {
+                Frame::Dispatch {
+                    task,
+                    attempt,
+                    generation,
+                    function,
+                    deps,
+                    payload,
+                }
             }),
-        (0u64..1_000_000, 0u32..20, 0u8..2, arb_payload()).prop_map(
-            |(task, attempt, ok, payload)| Frame::Result {
+        (0u64..1_000_000, 0u32..20, 0u64..10, 0u8..2, arb_payload()).prop_map(
+            |(task, attempt, generation, ok, payload)| Frame::Result {
                 task,
                 attempt,
+                generation,
                 ok: ok == 1,
                 payload,
             }
@@ -74,12 +79,64 @@ fn arb_frame() -> BoxedStrategy<Frame> {
             .prop_map(|(key, payload)| Frame::Transfer { key, payload }),
         (0u64..1_000_000, 0u64..1_000_000)
             .prop_map(|(key, stored)| Frame::TransferAck { key, stored }),
-        (0u64..1_000_000).prop_map(|seq| Frame::Heartbeat { seq }),
-        (0u64..1_000_000, 0u32..64).prop_map(|(seq, busy)| Frame::HeartbeatAck { seq, busy }),
+        (0u64..1_000_000, 0u64..1_000_000_000)
+            .prop_map(|(seq, t_client_us)| Frame::Heartbeat { seq, t_client_us }),
+        (
+            0u64..1_000_000,
+            0u32..64,
+            0u64..1_000_000_000,
+            0u64..1_000_000_000
+        )
+            .prop_map(
+                |(seq, busy, t_client_us, t_daemon_us)| Frame::HeartbeatAck {
+                    seq,
+                    busy,
+                    t_client_us,
+                    t_daemon_us,
+                }
+            ),
         Just(Frame::Drain),
         (0u32..4096).prop_map(|remaining| Frame::DrainAck { remaining }),
+        (0u16..4).prop_map(|level| Frame::TelemetrySub { level: level as u8 }),
+        (
+            0u64..10,
+            0u64..1_000_000,
+            vec(arb_tel_event(), 0..12),
+            vec((0u16..8, 0u64..1_000_000), 0..4),
+            vec((-64i64..64, 0u64..1_000_000), 0..6),
+        )
+            .prop_map(|(generation, seq, events, counters, exec_buckets)| {
+                Frame::Telemetry {
+                    generation,
+                    seq,
+                    events,
+                    counters,
+                    exec_buckets: exec_buckets
+                        .into_iter()
+                        .map(|(b, c)| (b as i32, c))
+                        .collect(),
+                }
+            }),
     ]
     .boxed()
+}
+
+fn arb_tel_event() -> BoxedStrategy<TelemetryEvent> {
+    (
+        0u16..8,
+        0u64..1_000_000_000,
+        0u64..1_000_000,
+        0u32..20,
+        0u64..1_000,
+    )
+        .prop_map(|(stage, t_us, task, attempt, arg)| TelemetryEvent {
+            stage: stage as u8,
+            t_us,
+            task,
+            attempt,
+            arg,
+        })
+        .boxed()
 }
 
 proptest! {
@@ -170,11 +227,33 @@ proptest! {
 /// wire, so pin them.
 #[test]
 fn wire_constants_are_pinned() {
-    assert_eq!(PROTO_VERSION, 1);
+    // Revision 2: clock-sync timestamps on the heartbeat exchange, span
+    // context on DISPATCH/RESULT, TELEMETRY_SUB/TELEMETRY frames.
+    assert_eq!(PROTO_VERSION, 2);
     assert_eq!(MAX_FRAME, 16 * 1024 * 1024);
+    const { assert!(TEL_MAX_EVENTS >= 1024) };
     // Kind tags are part of the wire contract; renumbering breaks
     // rolling upgrades between daemon and client builds.
     assert_eq!(Frame::Poll.kind(), 4);
     assert_eq!(Frame::Drain.kind(), 10);
-    assert_eq!(Frame::Heartbeat { seq: 0 }.kind(), 8);
+    assert_eq!(
+        Frame::Heartbeat {
+            seq: 0,
+            t_client_us: 0
+        }
+        .kind(),
+        8
+    );
+    assert_eq!(Frame::TelemetrySub { level: 0 }.kind(), 12);
+    assert_eq!(
+        Frame::Telemetry {
+            generation: 0,
+            seq: 0,
+            events: vec![],
+            counters: vec![],
+            exec_buckets: vec![],
+        }
+        .kind(),
+        13
+    );
 }

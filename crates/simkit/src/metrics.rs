@@ -215,6 +215,52 @@ impl LogHistogram {
         }
         out
     }
+
+    /// Raw sparse bucket counts as `(bucket_index, count)` pairs in
+    /// increasing index order — a wire-portable encoding of the sketch.
+    /// The zero bucket travels as index [`i32::MIN`] (no geometric bucket
+    /// can occupy it). Feed the result to
+    /// [`LogHistogram::from_bucket_counts`] built with the same `alpha`
+    /// to reconstitute a mergeable sketch on the other side.
+    pub fn bucket_counts(&self) -> Vec<(i32, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len() + 1);
+        if self.zero > 0 {
+            out.push((i32::MIN, self.zero));
+        }
+        out.extend(self.buckets.iter().map(|(&i, &n)| (i, n)));
+        out
+    }
+
+    /// Rebuilds a sketch from [`LogHistogram::bucket_counts`] output.
+    /// Counts land on each bucket's representative value, so quantile
+    /// queries survive the round trip within the configured relative
+    /// error; `sum`/`min`/`max` are likewise representative-based
+    /// approximations. The result merges exactly with any histogram
+    /// built with the same `alpha`.
+    pub fn from_bucket_counts(alpha: f64, counts: &[(i32, u64)]) -> Self {
+        let mut h = Self::with_relative_error(alpha);
+        for &(i, n) in counts {
+            if n == 0 {
+                continue;
+            }
+            let v = if i == i32::MIN {
+                h.zero += n;
+                0.0
+            } else {
+                *h.buckets.entry(i).or_insert(0) += n;
+                2.0 * h.gamma.powi(i) / (1.0 + h.gamma)
+            };
+            h.count += n;
+            h.sum += v * n as f64;
+            if v < h.min {
+                h.min = v;
+            }
+            if v > h.max {
+                h.max = v;
+            }
+        }
+        h
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -839,6 +885,36 @@ fn serve_one(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bucket_counts_round_trip_preserves_quantiles() {
+        let mut h = LogHistogram::new();
+        h.observe(0.0); // zero bucket must survive the wire encoding
+        for i in 1..=1_000 {
+            h.observe(i as f64 * 0.004);
+        }
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], (i32::MIN, 1), "zero bucket travels first");
+        let back = LogHistogram::from_bucket_counts(h.relative_error(), &counts);
+        assert_eq!(back.count(), h.count());
+        for &q in &[0.1, 0.5, 0.9, 0.99] {
+            let a = h.quantile(q).unwrap();
+            let b = back.quantile(q).unwrap();
+            assert!(
+                (a - b).abs() <= a * 2.0 * h.relative_error(),
+                "q{q}: {a} vs {b}"
+            );
+        }
+        // The reconstituted sketch merges exactly with a native one.
+        let mut native = LogHistogram::new();
+        native.observe(1.0);
+        native.merge(&back);
+        assert_eq!(native.count(), h.count() + 1);
+        // Empty round trip stays empty.
+        let empty = LogHistogram::from_bucket_counts(0.02, &[]);
+        assert_eq!(empty.count(), 0);
+        assert!(empty.quantile(0.5).is_none());
+    }
 
     #[test]
     fn log_histogram_bounded_relative_error() {

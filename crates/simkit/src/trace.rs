@@ -313,6 +313,63 @@ impl Tracer {
         head.iter().chain(tail.iter())
     }
 
+    /// Copies every record of `other` into this tracer, shifting each
+    /// timestamp by `offset_us` (negative shifts clamp at zero). Labels
+    /// are re-interned by string, so the two tracers need not share an
+    /// intern table — this is the primitive the cross-process timeline
+    /// merger builds on: per-daemon tracers recorded on their own
+    /// monotonic clocks fold into one client-timeline tracer by passing
+    /// each daemon's estimated clock offset.
+    ///
+    /// Records are appended in `other`'s oldest-first order; if the
+    /// receiving ring overflows, its usual drop-oldest accounting
+    /// applies. Counter final values merge by name (the shifted sample
+    /// stream is replayed, so last-writer-wins per name as always).
+    /// No-op when this tracer is disabled.
+    pub fn merge_from(&mut self, other: &Tracer, offset_us: i64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut map: HashMap<LabelId, LabelId> = HashMap::new();
+        let mut remap = |this: &mut Tracer, id: LabelId| -> LabelId {
+            if let Some(&m) = map.get(&id) {
+                return m;
+            }
+            let m = this.intern(other.label(id));
+            map.insert(id, m);
+            m
+        };
+        let records: Vec<TraceRecord> = other.records().copied().collect();
+        for rec in records {
+            let at = SimTime::from_micros(
+                (rec.at.as_micros() as i64).saturating_add(offset_us).max(0) as u64,
+            );
+            match rec.event {
+                TraceEvent::Begin { name, track, id } => {
+                    let (name, track) = (remap(self, name), remap(self, track));
+                    self.begin(at, name, track, id);
+                }
+                TraceEvent::End { name, track, id } => {
+                    let (name, track) = (remap(self, name), remap(self, track));
+                    self.end(at, name, track, id);
+                }
+                TraceEvent::Instant {
+                    name,
+                    track,
+                    id,
+                    arg,
+                } => {
+                    let (name, track) = (remap(self, name), remap(self, track));
+                    self.instant(at, name, track, id, arg);
+                }
+                TraceEvent::Counter { name, value } => {
+                    let name = remap(self, name);
+                    self.counter(at, name, value);
+                }
+            }
+        }
+    }
+
     /// Writes the trace as Chrome/Perfetto `trace_event` JSON.
     ///
     /// Each track becomes a "process" (named via `process_name` metadata),
@@ -627,6 +684,40 @@ mod tests {
         for l in lines {
             assert!(l.starts_with('{') && l.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn merge_from_shifts_and_reinterns() {
+        let mut daemon = Tracer::new(TraceLevel::Full, 16);
+        let exec = daemon.intern("exec");
+        let ep = daemon.intern("ep0");
+        daemon.begin(SimTime::from_micros(100), exec, ep, 7);
+        daemon.end(SimTime::from_micros(400), exec, ep, 7);
+
+        let mut merged = Tracer::new(TraceLevel::Full, 16);
+        // Give the receiver a colliding intern table: id numbers must not
+        // be trusted across tracers.
+        let other = merged.intern("something-else");
+        assert_eq!(other.0, exec.0);
+        // Daemon clock leads the client by 150 µs → shift records back;
+        // the begin at 100 µs would go negative and clamps at zero.
+        merged.merge_from(&daemon, -150);
+        let recs: Vec<_> = merged.records().copied().collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].at.as_micros(), 0, "clamped, not underflowed");
+        assert_eq!(recs[1].at.as_micros(), 250);
+        match recs[0].event {
+            TraceEvent::Begin { name, track, id } => {
+                assert_eq!(merged.label(name), "exec");
+                assert_eq!(merged.label(track), "ep0");
+                assert_eq!(id, 7);
+            }
+            ref e => panic!("unexpected {e:?}"),
+        }
+        // Disabled receivers stay empty.
+        let mut off = Tracer::disabled();
+        off.merge_from(&daemon, 0);
+        assert!(off.is_empty());
     }
 
     #[test]

@@ -636,6 +636,304 @@ pub fn render_doctor(report: &DoctorReport) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Federated observability: cross-process timeline merge
+// ---------------------------------------------------------------------------
+
+use fedci::clock::ClockEstimate;
+use fedci::process::EndpointTelemetry;
+use fedci::proto::{
+    TEL_STAGE_CHAOS_DELAY, TEL_STAGE_CHAOS_SWALLOW, TEL_STAGE_EXEC_BEGIN, TEL_STAGE_EXEC_END,
+    TEL_STAGE_RECV, TEL_STAGE_SENT,
+};
+use simkit::trace::{TraceLevel, Tracer};
+
+/// Ring capacity of the merged cross-process timeline: the client trace
+/// plus every daemon's telemetry for a large chaos run.
+const MERGED_TRACE_CAPACITY: usize = 1 << 21;
+
+/// Clock estimate for one daemon generation, if a heartbeat round trip
+/// ever completed for it.
+fn clock_for(ep: &EndpointTelemetry, generation: u64) -> Option<&ClockEstimate> {
+    ep.clocks
+        .iter()
+        .find(|(g, _)| *g == generation)
+        .map(|(_, e)| e)
+}
+
+/// Maps a daemon-clock stamp onto the client timeline. Without an
+/// estimate the raw daemon time is kept — the events still render, on a
+/// track whose label says the clock is unsynced.
+fn map_stamp(est: Option<&ClockEstimate>, t_us: u64) -> SimTime {
+    match est {
+        Some(e) => SimTime::from_micros(e.to_client_us(t_us).max(0) as u64),
+        None => SimTime::from_micros(t_us),
+    }
+}
+
+/// Span correlation id for one attempt — same layout the client runtime
+/// uses, so daemon spans and client spans of the same attempt correlate.
+fn span_id(task: u64, attempt: u32) -> u64 {
+    (task << 32) | u64::from(attempt)
+}
+
+/// Merges the client trace and every endpoint's daemon telemetry into one
+/// timeline, all timestamps in microseconds since the fabric's clock
+/// epoch.
+///
+/// Each daemon generation gets its own track, labelled with the endpoint
+/// name and the clock mapping applied to it — `offset ±uncertainty` when
+/// that generation completed a heartbeat round trip, `clock unsynced`
+/// otherwise (its stamps stay on the daemon's own clock). Daemon events
+/// become `d.queued` (RECV → EXEC_BEGIN) and `d.exec`
+/// (EXEC_BEGIN → EXEC_END) spans plus `d.recv` / `d.sent` / chaos
+/// instants; attempts truncated by a crash leave their spans open, which
+/// Perfetto renders as unfinished — exactly what a SIGKILL looks like.
+/// Export with [`Tracer::export_perfetto`].
+pub fn merge_process_timeline(client: Option<&Tracer>, eps: &[EndpointTelemetry]) -> Tracer {
+    let mut out = Tracer::new(TraceLevel::Full, MERGED_TRACE_CAPACITY);
+    if let Some(c) = client {
+        out.merge_from(c, 0);
+    }
+    for ep in eps {
+        merge_endpoint(&mut out, ep);
+    }
+    out
+}
+
+fn merge_endpoint(out: &mut Tracer, ep: &EndpointTelemetry) {
+    let queued = out.intern("d.queued");
+    let exec = out.intern("d.exec");
+    let recv = out.intern("d.recv");
+    let sent = out.intern("d.sent");
+    let swallow = out.intern("d.chaos.swallow");
+    let delay = out.intern("d.chaos.delay");
+    let other = out.intern("d.event");
+    let depth = out.intern(&format!("d.queue_depth/{}", ep.endpoint));
+
+    let mut track_of: HashMap<u64, LabelId> = HashMap::new();
+    let mut open_recv: HashMap<(u64, u64, u32), SimTime> = HashMap::new();
+    let mut open_exec: HashMap<(u64, u64, u32), SimTime> = HashMap::new();
+    for &(generation, ev) in &ep.events {
+        let est = clock_for(ep, generation);
+        let track = *track_of.entry(generation).or_insert_with(|| {
+            let label = match est {
+                Some(e) => format!(
+                    "{} gen{} (offset {:+} µs ±{} µs)",
+                    ep.endpoint, generation, e.offset_us, e.uncertainty_us
+                ),
+                None => format!("{} gen{} (clock unsynced)", ep.endpoint, generation),
+            };
+            out.intern(&label)
+        });
+        let at = map_stamp(est, ev.t_us);
+        let key = (generation, ev.task, ev.attempt);
+        let sid = span_id(ev.task, ev.attempt);
+        match ev.stage {
+            TEL_STAGE_RECV => {
+                out.begin(at, queued, track, sid);
+                open_recv.insert(key, at);
+                out.instant(at, recv, track, ev.task, ev.arg as i64);
+                out.counter(at, depth, ev.arg as f64);
+            }
+            TEL_STAGE_EXEC_BEGIN => {
+                if open_recv.remove(&key).is_some() {
+                    out.end(at, queued, track, sid);
+                }
+                out.begin(at, exec, track, sid);
+                open_exec.insert(key, at);
+            }
+            TEL_STAGE_EXEC_END => {
+                if open_exec.remove(&key).is_some() {
+                    out.end(at, exec, track, sid);
+                } else {
+                    out.instant(at, other, track, ev.task, i64::from(ev.stage));
+                }
+            }
+            TEL_STAGE_SENT => out.instant(at, sent, track, ev.task, ev.arg as i64),
+            TEL_STAGE_CHAOS_SWALLOW => out.instant(at, swallow, track, ev.task, 0),
+            TEL_STAGE_CHAOS_DELAY => out.instant(at, delay, track, ev.task, ev.arg as i64),
+            _ => out.instant(at, other, track, ev.task, i64::from(ev.stage)),
+        }
+    }
+}
+
+/// One attempt's end-to-end causal chain, every stamp in client
+/// microseconds (daemon stamps offset-corrected when the generation's
+/// clock synced). Absent stamps mean the stage was never observed — a
+/// crash-truncated attempt has the daemon-side prefix only.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AttemptChain {
+    /// Task id.
+    pub task: u64,
+    /// Attempt number.
+    pub attempt: u32,
+    /// Index of the endpoint (into the slice given to
+    /// [`attempt_chains`]) that executed the attempt, when any daemon
+    /// event was seen.
+    pub endpoint: Option<usize>,
+    /// Daemon generation the attempt ran under.
+    pub generation: u64,
+    /// Whether the daemon stamps were offset-corrected (the generation's
+    /// clock synced). Unsynced chains keep raw daemon time and are
+    /// exempt from cross-clock causality checks.
+    pub synced: bool,
+    /// Clock uncertainty applied to the daemon stamps.
+    pub uncertainty_us: u64,
+    /// Client dispatched the attempt (`c.attempt` span begin).
+    pub c_dispatch_us: Option<i64>,
+    /// Daemon decoded the DISPATCH frame.
+    pub d_recv_us: Option<i64>,
+    /// A daemon worker began executing.
+    pub d_exec_begin_us: Option<i64>,
+    /// Execution finished on the daemon.
+    pub d_exec_end_us: Option<i64>,
+    /// The RESULT frame was written to the socket.
+    pub d_sent_us: Option<i64>,
+    /// Client observed the attempt's outcome (`c.attempt` span end).
+    pub c_done_us: Option<i64>,
+}
+
+impl AttemptChain {
+    /// True when every stage of the chain was observed.
+    pub fn is_complete(&self) -> bool {
+        self.c_dispatch_us.is_some()
+            && self.d_recv_us.is_some()
+            && self.d_exec_begin_us.is_some()
+            && self.d_exec_end_us.is_some()
+            && self.d_sent_us.is_some()
+            && self.c_done_us.is_some()
+    }
+
+    /// True when the daemon saw the attempt but never sent a RESULT —
+    /// the signature of a crash (or chaos swallow) mid-attempt.
+    pub fn is_truncated(&self) -> bool {
+        self.d_recv_us.is_some() && self.d_sent_us.is_none()
+    }
+}
+
+/// Joins the client trace's per-attempt spans with every endpoint's
+/// daemon telemetry into per-attempt causal chains, sorted by
+/// `(task, attempt)`.
+pub fn attempt_chains(client: Option<&Tracer>, eps: &[EndpointTelemetry]) -> Vec<AttemptChain> {
+    let mut chains: HashMap<(u64, u32), AttemptChain> = HashMap::new();
+    fn chain(
+        m: &mut HashMap<(u64, u32), AttemptChain>,
+        task: u64,
+        attempt: u32,
+    ) -> &mut AttemptChain {
+        m.entry((task, attempt)).or_insert_with(|| AttemptChain {
+            task,
+            attempt,
+            ..AttemptChain::default()
+        })
+    }
+
+    if let Some(c) = client {
+        for rec in c.records() {
+            let (name, id, is_begin) = match rec.event {
+                TraceEvent::Begin { name, id, .. } => (name, id, true),
+                TraceEvent::End { name, id, .. } => (name, id, false),
+                _ => continue,
+            };
+            if c.label(name) != "c.attempt" {
+                continue;
+            }
+            let (task, attempt) = (id >> 32, (id & 0xffff_ffff) as u32);
+            let t = rec.at.as_micros() as i64;
+            let ch = chain(&mut chains, task, attempt);
+            if is_begin {
+                ch.c_dispatch_us = Some(t);
+            } else {
+                ch.c_done_us = Some(t);
+            }
+        }
+    }
+
+    for (i, ep) in eps.iter().enumerate() {
+        for &(generation, ev) in &ep.events {
+            let est = clock_for(ep, generation);
+            let t = match est {
+                Some(e) => e.to_client_us(ev.t_us),
+                None => ev.t_us as i64,
+            };
+            let ch = chain(&mut chains, ev.task, ev.attempt);
+            ch.endpoint = Some(i);
+            ch.generation = generation;
+            ch.synced = est.is_some();
+            ch.uncertainty_us = est.map_or(0, |e| e.uncertainty_us);
+            match ev.stage {
+                TEL_STAGE_RECV => ch.d_recv_us = ch.d_recv_us.or(Some(t)),
+                TEL_STAGE_EXEC_BEGIN => ch.d_exec_begin_us = ch.d_exec_begin_us.or(Some(t)),
+                TEL_STAGE_EXEC_END => ch.d_exec_end_us = Some(t),
+                TEL_STAGE_SENT => ch.d_sent_us = Some(t),
+                _ => {}
+            }
+        }
+    }
+
+    let mut out: Vec<AttemptChain> = chains.into_values().collect();
+    out.sort_unstable_by_key(|c| (c.task, c.attempt));
+    out
+}
+
+/// Checks every chain's stamps for causal order and reports violations as
+/// human-readable strings (empty = all consistent).
+///
+/// Daemon-internal order (`recv ≤ exec_begin ≤ exec_end ≤ sent`) is on
+/// one clock and must hold strictly. Cross-clock edges
+/// (`c_dispatch → d_recv`, `d_sent → c_done`) are checked only for
+/// synced chains, with the chain's clock uncertainty plus `slack_us`
+/// allowed — the estimator's stated bound is exactly the slack the
+/// timeline is entitled to.
+pub fn causal_violations(chains: &[AttemptChain], slack_us: u64) -> Vec<String> {
+    let mut out = Vec::new();
+    for c in chains {
+        let daemon_steps = [
+            ("d.recv", c.d_recv_us),
+            ("d.exec_begin", c.d_exec_begin_us),
+            ("d.exec_end", c.d_exec_end_us),
+            ("d.sent", c.d_sent_us),
+        ];
+        let mut prev: Option<(&str, i64)> = None;
+        for (name, t) in daemon_steps {
+            let Some(t) = t else { continue };
+            if let Some((pn, pt)) = prev {
+                if t < pt {
+                    out.push(format!(
+                        "task {} attempt {}: {name} ({t} µs) precedes {pn} ({pt} µs)",
+                        c.task, c.attempt
+                    ));
+                }
+            }
+            prev = Some((name, t));
+        }
+        if !c.synced {
+            continue;
+        }
+        let bound = (c.uncertainty_us + slack_us) as i64;
+        if let (Some(cd), Some(dr)) = (c.c_dispatch_us, c.d_recv_us) {
+            if dr + bound < cd {
+                out.push(format!(
+                    "task {} attempt {}: d.recv ({dr} µs) precedes c.dispatch ({cd} µs) \
+                     beyond ±{bound} µs",
+                    c.task, c.attempt
+                ));
+            }
+        }
+        if let (Some(ds), Some(cd)) = (c.d_sent_us, c.c_done_us) {
+            if cd + bound < ds {
+                out.push(format!(
+                    "task {} attempt {}: c.done ({cd} µs) precedes d.sent ({ds} µs) \
+                     beyond ±{bound} µs",
+                    c.task, c.attempt
+                ));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -876,5 +1174,171 @@ mod tests {
         if let Some(trace) = report.trace.as_ref() {
             assert!(critical_path(trace).is_none());
         }
+    }
+
+    // -- federated merge ---------------------------------------------------
+
+    use fedci::proto::TelemetryEvent;
+    use simkit::metrics::LogHistogram;
+
+    fn tel(stage: u8, t_us: u64, task: u64, attempt: u32, arg: u64) -> TelemetryEvent {
+        TelemetryEvent {
+            stage,
+            t_us,
+            task,
+            attempt,
+            arg,
+        }
+    }
+
+    /// One endpoint whose daemon clock runs 1 ms ahead of the client,
+    /// estimated to ±50 µs: a full attempt for task 7 plus a truncated
+    /// attempt for task 9 (recv + exec begin, then the daemon died).
+    fn skewed_endpoint() -> EndpointTelemetry {
+        EndpointTelemetry {
+            endpoint: "ep0".into(),
+            events: vec![
+                (0, tel(TEL_STAGE_RECV, 2_000, 7, 1, 3)),
+                (0, tel(TEL_STAGE_EXEC_BEGIN, 2_100, 7, 1, 0)),
+                (0, tel(TEL_STAGE_EXEC_END, 2_500, 7, 1, 1)),
+                (0, tel(TEL_STAGE_SENT, 2_550, 7, 1, 1)),
+                (0, tel(TEL_STAGE_RECV, 2_600, 9, 1, 1)),
+                (0, tel(TEL_STAGE_EXEC_BEGIN, 2_650, 9, 1, 0)),
+            ],
+            clocks: vec![(
+                0,
+                ClockEstimate {
+                    offset_us: 1_000,
+                    uncertainty_us: 50,
+                    min_rtt_us: 100,
+                    samples: 4,
+                },
+            )],
+            counters: Default::default(),
+            exec_hist: LogHistogram::new(),
+            ring_dropped: 0,
+            dropped_batches: 0,
+            dropped_events: 0,
+        }
+    }
+
+    fn client_tracer() -> Tracer {
+        let mut t = Tracer::new(TraceLevel::Full, 1 << 10);
+        let attempt = t.intern("c.attempt");
+        let track = t.intern("client");
+        // Client clock: dispatch at 900, result observed at 1 700 — the
+        // daemon stamps above map to [1 000, 1 550] in between.
+        t.begin(SimTime::from_micros(900), attempt, track, span_id(7, 1));
+        t.end(SimTime::from_micros(1_700), attempt, track, span_id(7, 1));
+        t.begin(SimTime::from_micros(1_550), attempt, track, span_id(9, 1));
+        t.end(SimTime::from_micros(1_900), attempt, track, span_id(9, 1));
+        t
+    }
+
+    #[test]
+    fn merged_timeline_offset_corrects_daemon_tracks() {
+        let client = client_tracer();
+        let merged = merge_process_timeline(Some(&client), &[skewed_endpoint()]);
+        let labels: Vec<&str> = merged
+            .records()
+            .filter_map(|r| match r.event {
+                TraceEvent::Begin { track, .. }
+                | TraceEvent::End { track, .. }
+                | TraceEvent::Instant { track, .. } => Some(merged.label(track)),
+                TraceEvent::Counter { .. } => None,
+            })
+            .collect();
+        assert!(labels.contains(&"client"), "client track merged in");
+        assert!(
+            labels.contains(&"ep0 gen0 (offset +1000 µs ±50 µs)"),
+            "daemon track labelled with its clock mapping: {labels:?}"
+        );
+        // The d.exec span begin for task 7 lands at daemon 2 100 − 1 000.
+        let exec_begin = merged
+            .records()
+            .find(|r| {
+                matches!(r.event, TraceEvent::Begin { name, id, .. }
+                    if merged.label(name) == "d.exec" && id == span_id(7, 1))
+            })
+            .expect("exec span present");
+        assert_eq!(exec_begin.at.as_micros(), 1_100);
+        // Task 9's exec span never ends: exactly one unmatched begin.
+        let begins = merged
+            .records()
+            .filter(|r| {
+                matches!(r.event, TraceEvent::Begin { name, id, .. }
+                    if merged.label(name) == "d.exec" && id == span_id(9, 1))
+            })
+            .count();
+        let ends = merged
+            .records()
+            .filter(|r| {
+                matches!(r.event, TraceEvent::End { name, id, .. }
+                    if merged.label(name) == "d.exec" && id == span_id(9, 1))
+            })
+            .count();
+        assert_eq!((begins, ends), (1, 0), "truncated attempt stays open");
+        // The whole thing exports as Perfetto JSON.
+        let mut buf = Vec::new();
+        merged.export_perfetto(&mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("traceEvents"));
+    }
+
+    #[test]
+    fn attempt_chains_join_both_sides_and_stay_causal() {
+        let client = client_tracer();
+        let eps = [skewed_endpoint()];
+        let chains = attempt_chains(Some(&client), &eps);
+        assert_eq!(chains.len(), 2);
+        let full = &chains[0];
+        assert_eq!((full.task, full.attempt), (7, 1));
+        assert!(full.is_complete(), "{full:?}");
+        assert!(!full.is_truncated());
+        assert_eq!(full.c_dispatch_us, Some(900));
+        assert_eq!(full.d_recv_us, Some(1_000), "offset-corrected");
+        assert_eq!(full.d_sent_us, Some(1_550));
+        assert_eq!(full.c_done_us, Some(1_700));
+        assert!(full.synced);
+        assert_eq!(full.uncertainty_us, 50);
+        let cut = &chains[1];
+        assert_eq!((cut.task, cut.attempt), (9, 1));
+        assert!(cut.is_truncated(), "{cut:?}");
+        assert!(!cut.is_complete());
+        assert_eq!(cut.d_exec_end_us, None);
+        assert_eq!(causal_violations(&chains, 0), Vec::<String>::new());
+    }
+
+    #[test]
+    fn causal_violations_flag_misordered_and_cross_clock_stamps() {
+        // Daemon-internal disorder: exec_end before exec_begin.
+        let mut ep = skewed_endpoint();
+        ep.events = vec![
+            (0, tel(TEL_STAGE_RECV, 2_000, 1, 1, 0)),
+            (0, tel(TEL_STAGE_EXEC_BEGIN, 2_400, 1, 1, 0)),
+            (0, tel(TEL_STAGE_EXEC_END, 2_200, 1, 1, 1)),
+        ];
+        let chains = attempt_chains(None, &[ep]);
+        let v = causal_violations(&chains, 0);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("d.exec_end"), "{v:?}");
+
+        // Cross-clock: the daemon claims it received the dispatch long
+        // before the client sent it — beyond the stated uncertainty.
+        let mut ep = skewed_endpoint();
+        ep.events = vec![(0, tel(TEL_STAGE_RECV, 1_200, 2, 1, 0))];
+        let mut client = Tracer::new(TraceLevel::Full, 64);
+        let attempt = client.intern("c.attempt");
+        let track = client.intern("client");
+        client.begin(SimTime::from_micros(900), attempt, track, span_id(2, 1));
+        let chains = attempt_chains(Some(&client), &[ep.clone()]);
+        // recv maps to 200 µs, dispatch at 900 µs: 700 µs > ±50 bound.
+        let v = causal_violations(&chains, 0);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("d.recv"), "{v:?}");
+        // An unsynced generation is exempt from the cross-clock check.
+        ep.clocks.clear();
+        let chains = attempt_chains(Some(&client), &[ep]);
+        assert!(causal_violations(&chains, 0).is_empty());
+        assert!(!chains[0].synced);
     }
 }

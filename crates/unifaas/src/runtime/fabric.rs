@@ -37,6 +37,8 @@ use crate::monitor::{HealthMonitor, HealthState};
 use fedci::endpoint::EndpointId;
 use fedci::fabric::{Fabric, JobSpec, ProbeState};
 use parking_lot::{Condvar, Mutex};
+use simkit::time::SimTime;
+use simkit::trace::{LabelId, TraceLevel, Tracer};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -93,6 +95,84 @@ impl WireFuture {
     }
 }
 
+/// Labels for the client-side trace, interned once at setup so the hot
+/// path emits only ids.
+struct ClientLabels {
+    track: LabelId,
+    submit: LabelId,
+    attempt: LabelId,
+    dispatch: LabelId,
+    result: LabelId,
+    retry: LabelId,
+    timeout: LabelId,
+    resolve: LabelId,
+}
+
+/// Wall-clock tracer for the client half of a fabric run.
+///
+/// Timestamps are microseconds since the fabric's
+/// [`clock_epoch`](Fabric::clock_epoch) — the same zero the process
+/// backend's clock-alignment estimator maps daemon stamps onto, so a
+/// client trace and offset-corrected daemon telemetry merge onto one
+/// timeline without further adjustment.
+struct ClientTrace {
+    epoch: Instant,
+    labels: ClientLabels,
+    tracer: Mutex<Tracer>,
+}
+
+/// Ring capacity of the client trace: comfortably holds every event of a
+/// million-task run at ~6 records per task once the ring wraps old noise.
+const CLIENT_TRACE_CAPACITY: usize = 1 << 21;
+
+impl ClientTrace {
+    fn new(level: TraceLevel, epoch: Instant) -> ClientTrace {
+        let mut tracer = Tracer::new(level, CLIENT_TRACE_CAPACITY);
+        let labels = ClientLabels {
+            track: tracer.intern("client"),
+            submit: tracer.intern("c.submit"),
+            attempt: tracer.intern("c.attempt"),
+            dispatch: tracer.intern("c.dispatch"),
+            result: tracer.intern("c.result"),
+            retry: tracer.intern("c.retry"),
+            timeout: tracer.intern("c.timeout"),
+            resolve: tracer.intern("c.resolve"),
+        };
+        ClientTrace {
+            epoch,
+            labels,
+            tracer: Mutex::new(tracer),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn instant(&self, name: LabelId, id: u64, arg: i64) {
+        let at = self.now();
+        self.tracer
+            .lock()
+            .instant(at, name, self.labels.track, id, arg);
+    }
+
+    fn begin(&self, name: LabelId, id: u64) {
+        let at = self.now();
+        self.tracer.lock().begin(at, name, self.labels.track, id);
+    }
+
+    fn end(&self, name: LabelId, id: u64) {
+        let at = self.now();
+        self.tracer.lock().end(at, name, self.labels.track, id);
+    }
+}
+
+/// Span correlation id for one attempt: spans are matched by `(name, id)`,
+/// so retries of the same task must not collide.
+fn attempt_span_id(task: usize, attempt: u32) -> u64 {
+    ((task as u64) << 32) | u64::from(attempt)
+}
+
 #[derive(Clone)]
 struct PendingTask {
     function: Arc<str>,
@@ -143,6 +223,7 @@ pub struct FabricRuntime {
     done_cond: Arc<Condvar>,
     retry: LiveRetryPolicy,
     health: Arc<Mutex<HealthMonitor>>,
+    trace: Option<Arc<ClientTrace>>,
 }
 
 impl FabricRuntime {
@@ -167,7 +248,29 @@ impl FabricRuntime {
             done_cond: Arc::new(Condvar::new()),
             retry: LiveRetryPolicy::default(),
             health: Arc::new(Mutex::new(HealthMonitor::new(n))),
+            trace: None,
         }
+    }
+
+    /// Enables client-side tracing (builder style). Emits the `c.*`
+    /// lifecycle events — submit, per-attempt spans, dispatch / result /
+    /// retry / timeout instants and final resolution — on a `client`
+    /// track stamped in microseconds since the fabric's clock epoch.
+    /// Retrieve the recording with [`take_client_tracer`]
+    /// (FabricRuntime::take_client_tracer) after the run.
+    pub fn with_trace(mut self, level: TraceLevel) -> Self {
+        if level != TraceLevel::Off {
+            self.trace = Some(Arc::new(ClientTrace::new(level, self.fabric.clock_epoch())));
+        }
+        self
+    }
+
+    /// Takes the client trace recorded so far, leaving a disabled tracer
+    /// behind. Returns `None` when tracing was never enabled.
+    pub fn take_client_tracer(&self) -> Option<Tracer> {
+        self.trace
+            .as_ref()
+            .map(|t| std::mem::replace(&mut *t.tracer.lock(), Tracer::disabled()))
     }
 
     /// Sets the retry/timeout policy (builder style). Runs on a fabric
@@ -223,14 +326,22 @@ impl FabricRuntime {
             dep_ids,
             remaining: unresolved.len(),
         };
+        let n_deps = task.dep_ids.len();
         if task.remaining == 0 {
             drop(coord);
+            if let Some(tr) = &self.trace {
+                tr.instant(tr.labels.submit, id as u64, n_deps as i64);
+            }
             self.handle().dispatch(id, task);
         } else {
             for d in &unresolved {
                 coord.dependents.entry(*d).or_default().push(id);
             }
             coord.pending.insert(id, task);
+            drop(coord);
+            if let Some(tr) = &self.trace {
+                tr.instant(tr.labels.submit, id as u64, n_deps as i64);
+            }
         }
         future
     }
@@ -274,6 +385,9 @@ impl FabricRuntime {
             }
             let handle = self.handle();
             for (id, ep, attempt) in overdue {
+                if let Some(tr) = &self.trace {
+                    tr.instant(tr.labels.timeout, id as u64, i64::from(attempt));
+                }
                 handle.complete(
                     id,
                     ep,
@@ -315,6 +429,7 @@ impl FabricRuntime {
             done_cond: Arc::clone(&self.done_cond),
             retry: self.retry,
             health: Arc::clone(&self.health),
+            trace: self.trace.clone(),
         }
     }
 }
@@ -342,6 +457,7 @@ struct FabricHandle {
     done_cond: Arc<Condvar>,
     retry: LiveRetryPolicy,
     health: Arc<Mutex<HealthMonitor>>,
+    trace: Option<Arc<ClientTrace>>,
 }
 
 impl FabricHandle {
@@ -349,6 +465,7 @@ impl FabricHandle {
     /// Stale completions — the attempt no longer matches the in-flight
     /// record because a fail-over superseded it — are dropped.
     fn complete(&self, id: usize, ep: usize, attempt: u32, result: WireResult, can_retry: bool) {
+        let ok = result.is_ok();
         let next = {
             let mut coord = self.coord.lock();
             match coord.inflight.get(&id) {
@@ -403,8 +520,15 @@ impl FabricHandle {
                 }
             }
         };
+        if let Some(tr) = &self.trace {
+            tr.end(tr.labels.attempt, attempt_span_id(id, attempt));
+            tr.instant(tr.labels.result, id as u64, i64::from(ok));
+        }
         match next {
             Next::Retry { task, backoff } => {
+                if let Some(tr) = &self.trace {
+                    tr.instant(tr.labels.retry, id as u64, i64::from(attempt + 1));
+                }
                 self.record_health(ep, false);
                 match backoff {
                     // The completion runs on a fabric thread (often the
@@ -422,6 +546,9 @@ impl FabricHandle {
                 }
             }
             Next::Finalize { failed, ran, ready } => {
+                if let Some(tr) = &self.trace {
+                    tr.instant(tr.labels.resolve, id as u64, i64::from(failed));
+                }
                 if ran {
                     self.record_health(ep, !failed);
                 }
@@ -503,6 +630,10 @@ impl FabricHandle {
             }
             (ep, attempt, stage, upstream_err)
         };
+        if let Some(tr) = &self.trace {
+            tr.begin(tr.labels.attempt, attempt_span_id(id, attempt));
+            tr.instant(tr.labels.dispatch, id as u64, ep as i64);
+        }
         if let Some(msg) = upstream_err {
             // Never touched the endpoint: not retryable, says nothing
             // about endpoint health.
@@ -633,6 +764,43 @@ mod tests {
         }
         assert_eq!(rt.endpoint_health(1), HealthState::Down);
         assert_ne!(rt.endpoint_health(0), HealthState::Down);
+    }
+
+    #[test]
+    fn client_trace_records_lifecycle_events() {
+        let rt = FabricRuntime::new(threaded(&[("a", 2)])).with_trace(TraceLevel::Spans);
+        let x = rt.submit("echo", b"ab".to_vec(), &[]);
+        let y = rt.submit("echo", b"cd".to_vec(), &[&x]);
+        assert_eq!(y.wait().unwrap().as_ref(), b"abcd");
+        rt.wait_all();
+        let tracer = rt.take_client_tracer().expect("tracing enabled");
+        let names: Vec<&str> = tracer
+            .records()
+            .map(|r| {
+                tracer.label(match r.event {
+                    simkit::trace::TraceEvent::Begin { name, .. }
+                    | simkit::trace::TraceEvent::End { name, .. }
+                    | simkit::trace::TraceEvent::Instant { name, .. }
+                    | simkit::trace::TraceEvent::Counter { name, .. } => name,
+                })
+            })
+            .collect();
+        for expected in [
+            "c.submit",
+            "c.attempt",
+            "c.dispatch",
+            "c.result",
+            "c.resolve",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        assert_eq!(
+            names.iter().filter(|n| **n == "c.resolve").count(),
+            2,
+            "one resolve per task"
+        );
+        // A second take returns an empty (disabled) recording.
+        assert!(rt.take_client_tracer().expect("still Some").is_empty());
     }
 
     #[test]

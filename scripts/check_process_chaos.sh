@@ -43,8 +43,13 @@ fabric() {
 echo "==> digest gate: threaded vs process vs process+SIGKILL"
 fabric threaded --backend threaded
 fabric process --backend process
+# The chaos run doubles as the observability witness: it writes the
+# merged cross-process Perfetto timeline and the final scraped metrics,
+# which CI uploads alongside the transcripts when the gate fails.
 fabric chaos --backend process \
-  --chaos-kill 0:60 --chaos-kill 1:150 --chaos-kill 0:250
+  --chaos-kill 0:60 --chaos-kill 1:150 --chaos-kill 0:250 \
+  --trace-out "$outdir/chaos_trace.json" \
+  --metrics-out "$outdir/chaos_metrics.prom"
 
 digest() { sed -n 's/^digest=\(0x[0-9a-f]*\).*/\1/p' "$outdir/$1.out.txt"; }
 d_threaded=$(digest threaded)
@@ -69,3 +74,37 @@ if ! grep -q "respawns=[1-9]" "$outdir/chaos.report.txt"; then
   exit 1
 fi
 echo "OK: SIGKILLed process run converged to the unfaulted digest ($d_threaded)"
+
+echo "==> observability gate: merged timeline + metrics from the chaos run"
+if ! [ -s "$outdir/chaos_trace.json" ]; then
+  echo "FAIL: chaos run wrote no merged trace" >&2
+  exit 1
+fi
+# The SIGKILL signature: the client track, a generation-0 track with an
+# offset-corrected clock label, and a post-respawn (generation >= 1)
+# track. A mid-run kill can eat a whole generation's un-flushed ring, so
+# the post-respawn witness is the surviving generation, whatever its
+# number.
+for marker in '"client"' 'gen0 (offset '; do
+  if ! grep -q "$marker" "$outdir/chaos_trace.json"; then
+    echo "FAIL: merged chaos trace missing $marker" >&2
+    exit 1
+  fi
+done
+if ! grep -Eq 'gen[1-9][0-9]* \((offset |clock unsynced)' \
+  "$outdir/chaos_trace.json"; then
+  echo "FAIL: merged chaos trace has no post-respawn generation track" >&2
+  exit 1
+fi
+if ! grep -q "causal violations" "$outdir/chaos.report.txt" \
+  || ! grep -q " 0 causal violations" "$outdir/chaos.report.txt"; then
+  echo "FAIL: chaos timeline reported causal violations (or none computed)" >&2
+  grep "violation" "$outdir/chaos.report.txt" >&2 || true
+  exit 1
+fi
+if ! grep -q '^fedci_proc_respawns' "$outdir/chaos_metrics.prom" \
+  || ! grep -q '^fedci_wire_' "$outdir/chaos_metrics.prom"; then
+  echo "FAIL: chaos metrics export missing fedci_proc_*/fedci_wire_* series" >&2
+  exit 1
+fi
+echo "OK: chaos run shipped a causally clean merged timeline and fedci_* metrics"

@@ -83,6 +83,7 @@ fn process_fabric_connect_mode_matches_threaded_digest() {
             timing: FabricTiming::fast(),
             seed: 1,
             respawn: false,
+            telemetry: false,
         },
     ));
     let rt =
@@ -99,6 +100,72 @@ fn process_fabric_connect_mode_matches_threaded_digest() {
         process.digest, threaded.digest,
         "wire transport must not change results"
     );
+}
+
+#[test]
+fn merged_timeline_is_causally_complete_over_the_wire() {
+    let w = FabricWorkload::new(40, 11);
+    let daemon = spawn_daemon_thread(DaemonConfig::new("obs-it", 2)).expect("daemon");
+    let fabric = Arc::new(ProcessFabric::new(
+        vec![ProcessEndpointSpec {
+            name: "obs-it".to_string(),
+            workers: 2,
+            mode: EndpointMode::Connect {
+                addr: daemon.addr().to_string(),
+            },
+        }],
+        ProcessFabricConfig {
+            timing: FabricTiming::fast(),
+            seed: 3,
+            respawn: false,
+            telemetry: true,
+        },
+    ));
+    let rt = FabricRuntime::new(Arc::clone(&fabric) as Arc<dyn Fabric>)
+        .with_retry(LiveRetryPolicy {
+            max_attempts: 4,
+            task_timeout: Some(Duration::from_secs(5)),
+            backoff: Duration::from_millis(2),
+        })
+        .with_trace(simkit::TraceLevel::Spans);
+    let outcome = run_workload(&rt, &w);
+    assert_eq!(outcome.failures, 0);
+    let client = rt.take_client_tracer().expect("tracing enabled");
+    fabric.shutdown();
+    daemon.join().expect("daemon drains cleanly");
+
+    // The drain flush delivered the daemon's full event stream: every
+    // attempt has all four daemon stages, the clock synced, and the
+    // merged chains are causally consistent within the stated bound.
+    let tel = fabric.telemetry(0);
+    assert!(
+        tel.clocks.iter().any(|(g, _)| *g == 0),
+        "generation 0 synced its clock: {:?}",
+        tel.clocks
+    );
+    assert_eq!(tel.counters.dispatches, 40, "{:?}", tel.counters);
+    assert_eq!(tel.dropped_batches, 0);
+
+    let chains = unifaas::obs::attempt_chains(Some(&client), std::slice::from_ref(&tel));
+    assert_eq!(chains.len(), 40, "one chain per task");
+    for c in &chains {
+        assert!(c.is_complete(), "incomplete chain {c:?}");
+        assert!(c.synced);
+    }
+    let violations = unifaas::obs::causal_violations(&chains, 1_000);
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // And the merged Perfetto timeline renders both sides.
+    let merged = unifaas::obs::merge_process_timeline(Some(&client), std::slice::from_ref(&tel));
+    let mut buf = Vec::new();
+    merged.export_perfetto(&mut buf).unwrap();
+    let json = String::from_utf8(buf).unwrap();
+    assert!(json.contains("\"client\""), "client track exported");
+    assert!(
+        json.contains("obs-it gen0 (offset "),
+        "daemon track labelled"
+    );
+    assert!(json.contains("d.exec"), "daemon exec spans exported");
 }
 
 #[test]
